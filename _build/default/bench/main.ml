@@ -1,0 +1,564 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+   Usage:
+     dune exec bench/main.exe              (everything)
+     dune exec bench/main.exe -- table3    (one experiment)
+
+   Sections: table1 table2 table3 table5 table6 fig1 fig2 fig5 fig6
+             litmus ablation bechamel *)
+
+open Ise_util
+open Ise_sim
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '#');
+  flush stdout
+
+let base = Config.default.Config.einject_base
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: classification of x86 exceptions                           *)
+
+let table1 () =
+  section "Table 1: Classification of x86 exceptions";
+  let t = Table.create ~headers:[ "Class"; "Stage"; "Exceptions" ] in
+  List.iter
+    (fun e ->
+      Table.add_row t
+        [ Ise_core.Fault.x86_class_to_string e.Ise_core.Fault.cls;
+          e.Ise_core.Fault.stage;
+          String.concat ", " e.Ise_core.Fault.names ])
+    Ise_core.Fault.x86_taxonomy;
+  Table.print t;
+  print_endline
+    "Only machine checks originate in the cache/memory hierarchy — the\n\
+     paper's starting observation (Section 2.2)."
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: system parameters                                          *)
+
+let table2 () =
+  section "Table 2: Simulated system parameters";
+  Format.printf "%a@." Config.pp Config.default
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: WC speedup over SC and ASO speculation state               *)
+
+let table3_length = 20_000
+let table3_cores = 4
+
+let table3 () =
+  section "Table 3: Instruction mix, WC speedup, ASO speculation state (KB)";
+  print_endline
+    "(per-core speculation state required to reach 98% of WC IPC;\n\
+     three systems: baseline, 2x memory latency, 4x store-to-load skew)\n";
+  let t =
+    Table.create
+      ~headers:
+        [ "Suite"; "Workload"; "St%"; "Ld%"; "Sync%"; "WC speedup";
+          "KB base"; "KB 2xmem"; "KB 4xskew" ]
+  in
+  List.iter
+    (fun p ->
+      let mk () =
+        Ise_workload.Mix.multicore_streams ~seed:5
+          ~length_per_core:table3_length ~cores:table3_cores p
+      in
+      let size cfg =
+        Ise_aso.Aso_core.size_for_wc_performance ~cfg ~programs:mk ()
+      in
+      let s_base = size Config.default in
+      let s_2x = size (Config.with_2x_memory Config.default) in
+      let s_skew = size (Config.with_4x_store_skew Config.default) in
+      Table.add_row t
+        [ p.Ise_workload.Mix.suite; p.Ise_workload.Mix.name;
+          Table.cell_i p.Ise_workload.Mix.store_pct;
+          Table.cell_i p.Ise_workload.Mix.load_pct;
+          Table.cell_i p.Ise_workload.Mix.sync_pct;
+          Table.cell_f s_base.Ise_aso.Aso_core.wc_speedup;
+          Table.cell_f ~decimals:1 s_base.Ise_aso.Aso_core.state_kb;
+          Table.cell_f ~decimals:1 s_2x.Ise_aso.Aso_core.state_kb;
+          Table.cell_f ~decimals:1 s_skew.Ise_aso.Aso_core.state_kb ];
+      flush stdout)
+    Ise_workload.Mix.table3;
+  Table.print t;
+  print_endline
+    "\nShape checks (paper): 2x memory latency needs about the same state\n\
+     as the baseline; 4x store-to-load skew needs considerably more;\n\
+     the store-heavy BC gains the most from WC, SSSP the least."
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: the contract, exercised                                    *)
+
+let table5 () =
+  section "Table 5: The cores/interface/OS contract (checked on a live run)";
+  let prog =
+    List.init 8 (fun i ->
+        Sim_instr.St
+          { addr = Sim_instr.addr (base + (i * 4096));
+            data = Sim_instr.Imm (i + 1) })
+  in
+  let m = Machine.create ~programs:[| Sim_instr.of_list prog |] () in
+  ignore (Ise_os.Handler.install m);
+  for i = 0 to 7 do
+    Einject.set_faulting (Machine.einject m) (base + (i * 4096))
+  done;
+  Machine.run m;
+  let trace = Machine.trace m in
+  Printf.printf "interface operations traced: %d\n" (List.length trace);
+  List.iteri
+    (fun i ev ->
+      if i < 12 then Format.printf "  %a@." Ise_core.Contract.pp_event ev)
+    trace;
+  if List.length trace > 12 then Printf.printf "  ... (%d more)\n" (List.length trace - 12);
+  (match Machine.check_contract m with
+   | Ok () -> print_endline "contract: SATISFIED (all three rules)"
+   | Error v ->
+     Printf.printf "contract: VIOLATED [%s] %s\n" v.Ise_core.Contract.rule
+       v.Ise_core.Contract.detail)
+
+(* ------------------------------------------------------------------ *)
+(* Table 6: litmus coverage of ordering relations                      *)
+
+let table6 () =
+  section "Table 6: Ordering relations covered by the litmus suite";
+  let generated =
+    Ise_litmus.Gen.generate_suite ~seed:2023 ~count:1574
+      Ise_litmus.Gen.default_params
+  in
+  let suite = Ise_litmus.Library.all @ generated in
+  Printf.printf "suite: %d hand-written + %d generated tests\n\n"
+    (List.length Ise_litmus.Library.all)
+    (List.length generated);
+  let t =
+    Table.create ~headers:[ "Ordering relation"; "Explanation"; "Cases covered" ]
+  in
+  List.iter
+    (fun (cat, n) ->
+      Table.add_row t
+        [ Ise_litmus.Classify.name cat; Ise_litmus.Classify.description cat;
+          Table.cell_i n ])
+    (Ise_litmus.Classify.coverage suite);
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the message-passing litmus test                           *)
+
+let fig1 () =
+  section "Figure 1: Message-passing litmus test (fenced)";
+  let test = Ise_litmus.Library.mp_fenced in
+  Format.printf "%a@." Ise_litmus.Lit_test.pp test;
+  let allowed = Ise_model.Check.allowed Ise_model.Axiom.wc test.Ise_litmus.Lit_test.threads in
+  print_endline "model-allowed outcomes under WC (with fences):";
+  Ise_model.Outcome.Set.iter
+    (fun o -> Format.printf "  %a@." Ise_model.Outcome.pp o)
+    allowed;
+  print_endline "forbidden outcome: 1:r0=1 (L(B)=1) with 1:r1=0 (L(A)=0)";
+  let violation =
+    Ise_model.Outcome.make
+      ~regs:[ ((1, 0), 1); ((1, 1), 0) ]
+      ~mem:[ (0, 1); (1, 1) ]
+  in
+  (match
+     Ise_model.Check.explain Ise_model.Axiom.wc test.Ise_litmus.Lit_test.threads
+       violation
+   with
+   | Ise_model.Check.Forbidden_cycle cycle ->
+     print_endline "the happens-before cycle that forbids it:";
+     List.iter (fun e -> Printf.printf "    %s ->\n" e) cycle
+   | _ -> print_endline "(unexpectedly not forbidden)");
+  let r = Ise_litmus.Lit_run.run ~seeds:30 ~inject_faults:true test in
+  Printf.printf
+    "operational: %d runs with exceptions on every access — violation \
+     observed: %b (pass=%b, contract=%b)\n"
+    r.Ise_litmus.Lit_run.runs r.Ise_litmus.Lit_run.interesting_observed
+    r.Ise_litmus.Lit_run.pass r.Ise_litmus.Lit_run.contract_ok
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: the PUT/GET race                                          *)
+
+let fig2 () =
+  section "Figure 2: PUT/GET race — split stream vs same stream";
+  let show mode name =
+    let outcomes = Ise_model.Imprecise.fig2_outcomes mode in
+    Printf.printf "%s: reachable observer outcomes (L(B), L(A)):\n" name;
+    List.iter
+      (fun o ->
+        let violation = o.Ise_model.Imprecise.l_b = 1 && o.Ise_model.Imprecise.l_a = 0 in
+        Printf.printf "  L(B)=%d L(A)=%d%s\n" o.Ise_model.Imprecise.l_b
+          o.Ise_model.Imprecise.l_a
+          (if violation then "   <-- PC VIOLATION" else ""))
+      outcomes;
+    Printf.printf "  violates PC: %b\n" (Ise_model.Imprecise.fig2_violates_pc mode)
+  in
+  show Ise_model.Imprecise.Split "(a) split stream";
+  show Ise_model.Imprecise.Same "(b) same stream";
+  print_endline
+    "\nConclusion (Section 4.5-4.6): the split-stream treatment requires a\n\
+     hardware/software barrier; the same-stream treatment is race-free."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: overhead breakdown with and without batching              *)
+
+let fig5 () =
+  section "Figure 5: Overhead breakdown of imprecise exceptions (cycles/store)";
+  let unbatched = Ise_workload.Mbench.run ~stores:2000 ~batching:false () in
+  let batched = Ise_workload.Mbench.run ~stores:2000 ~batching:true () in
+  let t =
+    Table.create
+      ~headers:
+        [ "Variant"; "uarch"; "apply"; "other OS"; "total"; "avg batch";
+          "invocations" ]
+  in
+  let row name (r : Ise_workload.Mbench.result) =
+    Table.add_row t
+      [ name;
+        Table.cell_f ~decimals:1 r.Ise_workload.Mbench.uarch_per_store;
+        Table.cell_f ~decimals:1 r.Ise_workload.Mbench.apply_per_store;
+        Table.cell_f ~decimals:1 r.Ise_workload.Mbench.other_per_store;
+        Table.cell_f ~decimals:1 r.Ise_workload.Mbench.total_per_store;
+        Table.cell_f ~decimals:1 r.Ise_workload.Mbench.avg_batch;
+        Table.cell_i r.Ise_workload.Mbench.invocations ]
+  in
+  row "no batching" unbatched;
+  row "batching" batched;
+  Table.print t;
+  Printf.printf
+    "\nper-store speedup from batching: %.2fx\n\
+     (paper: ~600 cycles per store unbatched, microarchitectural part a\n\
+     tiny fraction, significant reduction with batching)\n"
+    (Ise_workload.Mbench.speedup unbatched batched)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: relative performance of GAP and Tailbench                 *)
+
+let fig6 () =
+  section "Figure 6: Relative performance with imprecise store exceptions";
+  let t =
+    Table.create
+      ~headers:
+        [ "Workload"; "Metric"; "Baseline"; "Imprecise"; "Relative";
+          "Imprecise exns"; "Precise exns" ]
+  in
+  (* GAP kernels on a power-law graph, metric = execution time *)
+  let rng = Rng.create 2023 in
+  let g = Ise_workload.Graph.power_law rng ~nodes:3000 ~avg_degree:8 in
+  Printf.printf "GAP graph: %d nodes, %d edges\n" (Ise_workload.Graph.nodes g)
+    (Ise_workload.Graph.nedges g);
+  let gap_row name tr =
+    let cmp =
+      Ise_workload.Runner.compare_with_faults
+        ~mk_programs:(fun () -> [| Ise_workload.Gap.stream_of tr |])
+        ~mark:(fun m -> Ise_workload.Gap.mark_faulting m tr)
+        ~verify:(fun m -> Ise_workload.Gap.verify m tr)
+        ()
+    in
+    Table.add_row t
+      [ name; "exec cycles";
+        Table.cell_i cmp.Ise_workload.Runner.baseline.Ise_workload.Runner.cycles;
+        Table.cell_i cmp.Ise_workload.Runner.imprecise.Ise_workload.Runner.cycles;
+        Table.cell_f ~decimals:3 cmp.Ise_workload.Runner.relative_perf;
+        Table.cell_i
+          cmp.Ise_workload.Runner.imprecise.Ise_workload.Runner
+            .imprecise_exceptions;
+        Table.cell_i
+          cmp.Ise_workload.Runner.imprecise.Ise_workload.Runner.precise_faults ];
+    flush stdout
+  in
+  gap_row "BFS" (Ise_workload.Gap.bfs g ~base ~src:0);
+  gap_row "SSSP" (Ise_workload.Gap.sssp ~max_rounds:3 g ~base ~src:0);
+  gap_row "BC" (Ise_workload.Gap.bc g ~base ~sources:[ 0 ]);
+  (* Tailbench request loops, metric = throughput *)
+  let tail_row name (tr : Ise_workload.Tailbench.trace) =
+    let run mark =
+      let m =
+        Machine.create ~programs:[| Ise_workload.Tailbench.stream_of tr |] ()
+      in
+      Machine.set_trace_enabled m false;
+      let os = Ise_os.Handler.install m in
+      if mark then Ise_workload.Tailbench.mark_faulting m tr;
+      Machine.run m;
+      let imprecise =
+        (Core.stats (Machine.core m 0)).Core.imprecise_exceptions
+      in
+      (Ise_workload.Tailbench.throughput tr ~cycles:(Machine.cycles m),
+       imprecise, os.Ise_os.Handler.precise_faults)
+    in
+    let tput_base, _, _ = run false in
+    let tput_imp, imprecise, precise = run true in
+    Table.add_row t
+      [ name; "req/kcycle";
+        Table.cell_f ~decimals:2 tput_base;
+        Table.cell_f ~decimals:2 tput_imp;
+        Table.cell_f ~decimals:3 (tput_imp /. tput_base);
+        Table.cell_i imprecise; Table.cell_i precise ];
+    flush stdout
+  in
+  (* fixed data structures, so more requests amortise the one-time
+     first-touch faults — the paper runs minutes of requests *)
+  tail_row "Silo" (Ise_workload.Tailbench.silo ~requests:15_000 ~base ());
+  tail_row "Masstree"
+    (Ise_workload.Tailbench.masstree ~requests:50_000 ~base ());
+  Table.print t;
+  print_endline
+    "\nAll workloads run start to finish with exceptions transparently\n\
+     handled (results verified against fault-free runs).  The paper\n\
+     reports >96.5% relative performance on GAP and <4% throughput loss\n\
+     on Tailbench at a much lower exception-per-instruction rate (its\n\
+     graphs are ~300x larger, so fixed handler costs amortise further)."
+
+(* ------------------------------------------------------------------ *)
+(* Litmus campaign (the §6.3 experiment)                               *)
+
+let litmus () =
+  section "Litmus campaign: observed ⊆ allowed under error injection (§6.3)";
+  let generated =
+    Ise_litmus.Gen.generate_suite ~seed:7 ~count:40 Ise_litmus.Gen.default_params
+  in
+  let campaign name cfg tests =
+    let results =
+      Ise_litmus.Lit_run.run_suite ~seeds:12 ~inject_faults:true ~cfg tests
+    in
+    let failed =
+      List.filter
+        (fun r -> not (r.Ise_litmus.Lit_run.pass && r.Ise_litmus.Lit_run.contract_ok))
+        results
+    in
+    let imprecise =
+      List.fold_left
+        (fun acc r -> acc + r.Ise_litmus.Lit_run.imprecise_exceptions)
+        0 results
+    in
+    let precise =
+      List.fold_left
+        (fun acc r -> acc + r.Ise_litmus.Lit_run.precise_exceptions)
+        0 results
+    in
+    Printf.printf
+      "%-4s %3d tests x 12 runs: %s (%d imprecise + %d precise exceptions \
+       handled)\n"
+      name (List.length tests)
+      (if failed = [] then "NO VIOLATIONS"
+       else Printf.sprintf "%d FAILURES" (List.length failed))
+      imprecise precise;
+    List.iter
+      (fun r ->
+        Printf.printf "  FAILED: %s\n" r.Ise_litmus.Lit_run.test.Ise_litmus.Lit_test.name)
+      failed;
+    flush stdout
+  in
+  campaign "WC" (Config.with_consistency Ise_model.Axiom.Wc Config.default)
+    (Ise_litmus.Library.all @ generated);
+  campaign "PC" (Config.with_consistency Ise_model.Axiom.Pc Config.default)
+    Ise_litmus.Library.all;
+  campaign "SC" (Config.with_consistency Ise_model.Axiom.Sc Config.default)
+    Ise_litmus.Library.all
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablation () =
+  section "Ablation 1: batching sweep (analytic model, cycles per store)";
+  let t = Table.create ~headers:[ "Batch size"; "uarch"; "apply"; "other"; "total" ] in
+  List.iter
+    (fun n ->
+      let b =
+        Ise_core.Batch.per_store_overhead Ise_core.Batch.default_cost_model
+          ~batch_size:n
+      in
+      Table.add_row t
+        [ Table.cell_i n;
+          Table.cell_f ~decimals:1 b.Ise_core.Batch.uarch;
+          Table.cell_f ~decimals:1 b.Ise_core.Batch.apply;
+          Table.cell_f ~decimals:1 b.Ise_core.Batch.os_other_cycles;
+          Table.cell_f ~decimals:1 (Ise_core.Batch.total b) ])
+    [ 1; 2; 4; 8; 16; 32 ];
+  Table.print t;
+
+  section "Ablation 2: batching with major faults (IO overlap)";
+  let t = Table.create ~headers:[ "Batch size"; "total cycles/store" ] in
+  List.iter
+    (fun n ->
+      let b =
+        Ise_core.Batch.per_store_overhead ~major_faults:true
+          Ise_core.Batch.default_cost_model ~batch_size:n
+      in
+      Table.add_row t [ Table.cell_i n; Table.cell_f ~decimals:0 (Ise_core.Batch.total b) ])
+    [ 1; 4; 16 ];
+  Table.print t;
+
+  section "Ablation 3: split stream vs same stream on the machine (MP under PC)";
+  let run mode =
+    let cfg =
+      { (Config.with_consistency Ise_model.Axiom.Pc Config.default) with
+        Config.protocol_mode = mode }
+    in
+    let r =
+      Ise_litmus.Lit_run.run ~seeds:25 ~inject_faults:true ~cfg
+        Ise_litmus.Library.mp
+    in
+    Printf.printf
+      "%-12s observed %d outcomes, within its model: %b, MP violation seen: %b\n"
+      (Ise_core.Protocol.mode_to_string mode)
+      (Ise_model.Outcome.Set.cardinal r.Ise_litmus.Lit_run.observed)
+      r.Ise_litmus.Lit_run.pass r.Ise_litmus.Lit_run.interesting_observed
+  in
+  run Ise_core.Protocol.Same_stream;
+  run Ise_core.Protocol.Split_stream;
+  print_endline
+    "(the same-stream machine stays within PC; the split-stream machine is\n\
+     checked against the weaker split-stream model — Section 4.5's point)";
+
+  section "Ablation 4: FSB occupancy vs store-buffer size";
+  let m =
+    Machine.create
+      ~programs:
+        [| Sim_instr.of_list
+             (List.init 24 (fun i ->
+                  Sim_instr.St
+                    { addr = Sim_instr.addr (base + (i * 4096));
+                      data = Sim_instr.Imm 1 })) |]
+      ()
+  in
+  ignore (Ise_os.Handler.install m);
+  for i = 0 to 23 do
+    Einject.set_faulting (Machine.einject m) (base + (i * 4096))
+  done;
+  Machine.run m;
+  let fsb = Core.fsb (Machine.core m 0) in
+  Printf.printf
+    "FSB entries=%d, high watermark=%d, total appended=%d (the FSB sized to\n\
+     the SB can never overflow: one handler invocation drains it fully)\n"
+    (Ise_core.Fsb.entries fsb)
+    (Ise_core.Fsb.high_watermark fsb)
+    (Ise_core.Fsb.total_appended fsb);
+
+  section "Ablation 5: Midgard-style late translation as the fault source";
+  let midgard = Midgard.create ~walk_latency:24 () in
+  let vma = base + 0x0800_0000 in
+  Midgard.add_vma midgard ~base:vma ~bytes:(64 * 4096);
+  let prog =
+    List.concat
+      (List.init 64 (fun i ->
+           [ Sim_instr.St
+               { addr = Sim_instr.addr (vma + (i * 4096));
+                 data = Sim_instr.Imm (i + 1) };
+             Sim_instr.Nop 4 ]))
+  in
+  let m = Machine.create ~programs:[| Sim_instr.of_list prog |] () in
+  Memsys.add_interceptor (Machine.mem m) (Midgard.interceptor midgard);
+  let config =
+    { Ise_os.Handler.costs = Ise_core.Batch.default_cost_model;
+      policy =
+        Ise_os.Handler.Midgard_paging
+          { midgard; major_pct = 0; io_latency = 0 } }
+  in
+  let os = Ise_os.Handler.install ~config m in
+  Machine.run m;
+  Printf.printf
+    "64 stores into a demand-backed VMA: %d late-translation faults, %d\n\
+     imprecise episodes (avg batch %.1f), %d page walks, all %d pages mapped\n\
+     and stores applied: %b — the Midgard scenario of Section 2.2, Example 2\n"
+    (Midgard.faults_taken midgard)
+    (Core.stats (Machine.core m 0)).Core.imprecise_exceptions
+    (Ise_util.Stats.mean os.Ise_os.Handler.batch_sizes)
+    (Midgard.walks_performed midgard)
+    (Midgard.pages_mapped midgard)
+    (let ok = ref true in
+     for i = 0 to 63 do
+       if Machine.read_word m (vma + (i * 4096)) <> i + 1 then ok := false
+     done;
+     !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+
+let bechamel_section () =
+  section "Bechamel micro-benchmarks (core primitives)";
+  let open Bechamel in
+  let open Toolkit in
+  let fsb_roundtrip =
+    Test.make ~name:"fsb-append-drain"
+      (Staged.stage (fun () ->
+           let fsb = Ise_core.Fsb.create ~entries:32 ~base:0 () in
+           for i = 0 to 31 do
+             ignore
+               (Ise_core.Fsb.fsbc_append fsb
+                  { Ise_core.Fault.core = 0; seq = i; addr = 8 * i; data = i;
+                    byte_mask = 0xFF; code = Ise_core.Fault.Bus_error })
+           done;
+           ignore (Ise_core.Fsb.os_drain_all fsb)))
+  in
+  let mp_enumeration =
+    let threads = Ise_litmus.Library.mp.Ise_litmus.Lit_test.threads in
+    Test.make ~name:"model-enumerate-mp"
+      (Staged.stage (fun () ->
+           ignore (Ise_model.Check.allowed Ise_model.Axiom.wc threads)))
+  in
+  let machine_1k =
+    Test.make ~name:"machine-1k-instrs"
+      (Staged.stage (fun () ->
+           let prog =
+             List.init 1000 (fun i ->
+                 if i mod 3 = 0 then
+                   Sim_instr.St
+                     { addr = Sim_instr.addr (0x8000_0000 + (8 * (i mod 128)));
+                       data = Sim_instr.Imm i }
+                 else Sim_instr.Nop 1)
+           in
+           let m = Machine.create ~programs:[| Sim_instr.of_list prog |] () in
+           Machine.set_hooks m
+             { Machine.on_imprecise = (fun _ -> ());
+               on_precise = (fun ~core:_ ~addr:_ ~code:_ ~retry:_ -> ()) };
+           Machine.run m))
+  in
+  let ring =
+    Test.make ~name:"ring-buffer-push-pop"
+      (Staged.stage (fun () ->
+           let rb = Ring_buffer.create ~capacity:64 in
+           for i = 0 to 63 do
+             Ring_buffer.push rb i
+           done;
+           while not (Ring_buffer.is_empty rb) do
+             ignore (Ring_buffer.pop rb)
+           done))
+  in
+  let tests =
+    Test.make_grouped ~name:"ise" [ ring; fsb_roundtrip; mp_enumeration; machine_1k ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> Printf.printf "%-28s %14.1f ns/op\n" name est
+      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [ ("table1", table1); ("table2", table2); ("table3", table3);
+    ("table5", table5); ("table6", table6); ("fig1", fig1); ("fig2", fig2);
+    ("fig5", fig5); ("fig6", fig6); ("litmus", litmus);
+    ("ablation", ablation); ("bechamel", bechamel_section) ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as picked) ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name sections with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown section %S; available: %s\n" name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+      picked
+  | _ -> List.iter (fun (_, f) -> f ()) sections

@@ -1,0 +1,312 @@
+(* ise: command-line front end for the imprecise-store-exceptions
+   library — run litmus tests, workloads, and microbenchmarks without
+   writing OCaml. *)
+
+open Cmdliner
+open Ise_sim
+
+let model_conv =
+  let parse = function
+    | "sc" -> Ok Ise_model.Axiom.Sc
+    | "pc" | "tso" -> Ok Ise_model.Axiom.Pc
+    | "wc" | "rvwmo" -> Ok Ise_model.Axiom.Wc
+    | s -> Error (`Msg (Printf.sprintf "unknown model %S (sc|pc|wc)" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with
+       | Ise_model.Axiom.Sc -> "sc"
+       | Ise_model.Axiom.Pc -> "pc"
+       | Ise_model.Axiom.Wc -> "wc")
+  in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(value & opt model_conv Ise_model.Axiom.Wc
+       & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Consistency model (sc|pc|wc).")
+
+(* ------------------------------------------------------------------ *)
+(* litmus                                                              *)
+
+let litmus_cmd =
+  let run list_only name seeds model no_faults =
+    if list_only then begin
+      List.iter
+        (fun t ->
+          Printf.printf "%-16s %s\n" t.Ise_litmus.Lit_test.name
+            t.Ise_litmus.Lit_test.doc)
+        Ise_litmus.Library.all;
+      0
+    end
+    else begin
+      let tests =
+        match name with
+        | Some n -> (
+          match
+            List.find_opt
+              (fun t -> t.Ise_litmus.Lit_test.name = n)
+              Ise_litmus.Library.all
+          with
+          | Some t -> [ t ]
+          | None ->
+            Printf.eprintf "unknown test %S (see --list)\n" n;
+            exit 1)
+        | None -> Ise_litmus.Library.all
+      in
+      let cfg = Config.with_consistency model Config.default in
+      let results =
+        Ise_litmus.Lit_run.run_suite ~seeds ~inject_faults:(not no_faults) ~cfg
+          tests
+      in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "%-16s pass=%b contract=%b observed=%d/%d relaxed-outcome=%b \
+             exceptions=%d+%d\n"
+            r.Ise_litmus.Lit_run.test.Ise_litmus.Lit_test.name
+            r.Ise_litmus.Lit_run.pass r.Ise_litmus.Lit_run.contract_ok
+            (Ise_model.Outcome.Set.cardinal r.Ise_litmus.Lit_run.observed)
+            (Ise_model.Outcome.Set.cardinal r.Ise_litmus.Lit_run.allowed)
+            r.Ise_litmus.Lit_run.interesting_observed
+            r.Ise_litmus.Lit_run.imprecise_exceptions
+            r.Ise_litmus.Lit_run.precise_exceptions)
+        results;
+      if Ise_litmus.Lit_run.all_pass results then 0 else 1
+    end
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List available tests.")
+  in
+  let name_arg =
+    Arg.(value & opt (some string) None
+         & info [ "t"; "test" ] ~docv:"NAME" ~doc:"Run a single test.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Perturbed runs per test.")
+  in
+  let nofaults_arg =
+    Arg.(value & flag & info [ "no-faults" ] ~doc:"Disable error injection.")
+  in
+  Cmd.v
+    (Cmd.info "litmus" ~doc:"Run litmus tests on the simulated machine (§6.3)")
+    Term.(const run $ list_arg $ name_arg $ seeds_arg $ model_arg $ nofaults_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mbench                                                              *)
+
+let mbench_cmd =
+  let run stores batching =
+    let r = Ise_workload.Mbench.run ~stores ~batching () in
+    Printf.printf
+      "stores=%d batching=%b\n\
+       faulting stores handled: %d in %d invocations (avg batch %.1f)\n\
+       cycles per faulting store: uarch=%.1f apply=%.1f other=%.1f total=%.1f\n"
+      stores batching r.Ise_workload.Mbench.faulting_stores
+      r.Ise_workload.Mbench.invocations r.Ise_workload.Mbench.avg_batch
+      r.Ise_workload.Mbench.uarch_per_store r.Ise_workload.Mbench.apply_per_store
+      r.Ise_workload.Mbench.other_per_store r.Ise_workload.Mbench.total_per_store;
+    0
+  in
+  let stores_arg =
+    Arg.(value & opt int 2000 & info [ "stores" ] ~doc:"Number of stores.")
+  in
+  let batching_arg =
+    Arg.(value & flag & info [ "batching" ] ~doc:"Stream stores back-to-back.")
+  in
+  Cmd.v
+    (Cmd.info "mbench" ~doc:"Figure 5 microbenchmark: per-store overhead")
+    Term.(const run $ stores_arg $ batching_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gap                                                                 *)
+
+let gap_cmd =
+  let run kernel nodes degree inject =
+    let rng = Ise_util.Rng.create 1 in
+    let g = Ise_workload.Graph.power_law rng ~nodes ~avg_degree:degree in
+    let base = Config.default.Config.einject_base in
+    let tr =
+      match kernel with
+      | "bfs" -> Ise_workload.Gap.bfs g ~base ~src:0
+      | "sssp" -> Ise_workload.Gap.sssp ~max_rounds:3 g ~base ~src:0
+      | "bc" -> Ise_workload.Gap.bc g ~base ~sources:[ 0 ]
+      | k ->
+        Printf.eprintf "unknown kernel %S (bfs|sssp|bc)\n" k;
+        exit 1
+    in
+    let m = Machine.create ~programs:[| Ise_workload.Gap.stream_of tr |] () in
+    Machine.set_trace_enabled m false;
+    let os = Ise_os.Handler.install m in
+    if inject then Ise_workload.Gap.mark_faulting m tr;
+    Machine.run m;
+    let cs = Core.stats (Machine.core m 0) in
+    Printf.printf
+      "%s on %d nodes / %d edges: %d instrs in %d cycles (IPC %.2f)\n\
+       exceptions: %d imprecise (%d faulting stores), %d precise\n\
+       results verified: %b\n"
+      tr.Ise_workload.Gap.name (Ise_workload.Graph.nodes g)
+      (Ise_workload.Graph.nedges g) cs.Core.retired (Machine.cycles m)
+      (float_of_int cs.Core.retired /. float_of_int (Machine.cycles m))
+      cs.Core.imprecise_exceptions cs.Core.faulting_stores
+      os.Ise_os.Handler.precise_faults
+      (Ise_workload.Gap.verify m tr);
+    0
+  in
+  let kernel_arg =
+    Arg.(value & opt string "bfs"
+         & info [ "k"; "kernel" ] ~docv:"KERNEL" ~doc:"bfs|sssp|bc")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 2000 & info [ "nodes" ] ~doc:"Graph nodes.")
+  in
+  let degree_arg =
+    Arg.(value & opt int 8 & info [ "degree" ] ~doc:"Average degree.")
+  in
+  let inject_arg =
+    Arg.(value & flag & info [ "inject" ] ~doc:"Mark all graph memory faulting.")
+  in
+  Cmd.v
+    (Cmd.info "gap" ~doc:"Run a GAP kernel trace on the machine (§6.5)")
+    Term.(const run $ kernel_arg $ nodes_arg $ degree_arg $ inject_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mix                                                                 *)
+
+let mix_cmd =
+  let run workload length cores model =
+    let p =
+      try Ise_workload.Mix.find workload
+      with Not_found ->
+        Printf.eprintf "unknown workload %S; available: %s\n" workload
+          (String.concat ", "
+             (List.map (fun p -> p.Ise_workload.Mix.name) Ise_workload.Mix.table3));
+        exit 1
+    in
+    let mk () =
+      Ise_workload.Mix.multicore_streams ~seed:5 ~length_per_core:length ~cores p
+    in
+    let cfg =
+      match model with
+      | Ise_model.Axiom.Sc ->
+        { (Config.with_consistency model Config.default) with
+          Config.sc_speculative_loads = true }
+      | _ -> Config.with_consistency model Config.default
+    in
+    let r = Ise_aso.Aso_core.run ~cfg ~programs:mk () in
+    Printf.printf
+      "%s on %d cores x %d instrs under %s: %d cycles, IPC %.3f\n\
+       SB occupancy watermark %d, outstanding-drain watermark %d\n"
+      workload cores length
+      (match model with
+       | Ise_model.Axiom.Sc -> "SC"
+       | Ise_model.Axiom.Pc -> "PC"
+       | Ise_model.Axiom.Wc -> "WC")
+      r.Ise_aso.Aso_core.cycles r.Ise_aso.Aso_core.ipc
+      r.Ise_aso.Aso_core.sb_occupancy_watermark
+      r.Ise_aso.Aso_core.sb_inflight_watermark;
+    0
+  in
+  let workload_arg =
+    Arg.(value & opt string "BFS" & info [ "w"; "workload" ] ~docv:"NAME"
+         ~doc:"Table 3 workload name.")
+  in
+  let length_arg =
+    Arg.(value & opt int 30_000 & info [ "length" ] ~doc:"Instructions per core.")
+  in
+  let cores_arg = Arg.(value & opt int 4 & info [ "cores" ] ~doc:"Cores.") in
+  Cmd.v
+    (Cmd.info "mix" ~doc:"Run a Table 3 instruction mix and report IPC")
+    Term.(const run $ workload_arg $ length_arg $ cores_arg $ model_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+let explain_cmd =
+  let run name model =
+    let test =
+      match
+        List.find_opt (fun t -> t.Ise_litmus.Lit_test.name = name)
+          Ise_litmus.Library.all
+      with
+      | Some t -> t
+      | None ->
+        Printf.eprintf "unknown test %S (see `ise litmus --list`)\n" name;
+        exit 1
+    in
+    let cfg = { Ise_model.Axiom.model; faults = Ise_model.Axiom.Precise } in
+    Format.printf "%a@." Ise_litmus.Lit_test.pp test;
+    let allowed = Ise_model.Check.allowed cfg test.Ise_litmus.Lit_test.threads in
+    Format.printf "allowed outcomes under %s:@." (Ise_model.Axiom.name cfg);
+    Ise_model.Outcome.Set.iter
+      (fun o -> Format.printf "  %a@." Ise_model.Outcome.pp o)
+      allowed;
+    (* explain the test's own condition outcome *)
+    let sat =
+      Ise_model.Outcome.Set.filter
+        (Ise_litmus.Lit_test.cond_holds test.Ise_litmus.Lit_test.cond)
+        allowed
+    in
+    if not (Ise_model.Outcome.Set.is_empty sat) then begin
+      Format.printf "the test's interesting outcome is ALLOWED; a witness:@.";
+      match
+        Ise_model.Check.explain cfg test.Ise_litmus.Lit_test.threads
+          (Ise_model.Outcome.Set.choose sat)
+      with
+      | Ise_model.Check.Allowed_by witness -> print_endline witness
+      | _ -> ()
+    end
+    else begin
+      (* reconstruct a concrete forbidden target from the condition by
+         taking any unreachable-or-forbidden completion: try every
+         outcome of the weakest model *)
+      let wc_all =
+        Ise_model.Check.allowed
+          { Ise_model.Axiom.model = Ise_model.Axiom.Wc;
+            faults = Ise_model.Axiom.Split_stream }
+          test.Ise_litmus.Lit_test.threads
+      in
+      let candidates =
+        Ise_model.Outcome.Set.filter
+          (Ise_litmus.Lit_test.cond_holds test.Ise_litmus.Lit_test.cond)
+          wc_all
+      in
+      if Ise_model.Outcome.Set.is_empty candidates then
+        print_endline
+          "the interesting outcome is FORBIDDEN (not producible by any \
+           candidate execution)"
+      else begin
+        let target = Ise_model.Outcome.Set.choose candidates in
+        Format.printf "the outcome %a is FORBIDDEN; the cycle:@."
+          Ise_model.Outcome.pp target;
+        match Ise_model.Check.explain cfg test.Ise_litmus.Lit_test.threads target with
+        | Ise_model.Check.Forbidden_cycle cycle ->
+          List.iter (fun e -> Printf.printf "  %s ->\n" e) cycle
+        | Ise_model.Check.Unreachable -> print_endline "  (unreachable)"
+        | Ise_model.Check.Allowed_by _ -> print_endline "  (allowed?!)"
+      end
+    end;
+    0
+  in
+  let name_arg =
+    Arg.(required & opt (some string) None
+         & info [ "t"; "test" ] ~docv:"NAME" ~doc:"Litmus test to explain.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Why a litmus outcome is allowed or forbidden (herd-style cycles)")
+    Term.(const run $ name_arg $ model_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "ise" ~version:"1.0"
+      ~doc:"Imprecise Store Exceptions — litmus tests, workloads, benchmarks"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ litmus_cmd; mbench_cmd; gap_cmd; mix_cmd; explain_cmd ]))

@@ -1,0 +1,1 @@
+examples/accelerator.ml: Config Core Einject Hashtbl Ise_os Ise_sim Ise_util List Machine Printf Sim_instr

@@ -1,0 +1,1 @@
+examples/demand_paging.ml: Config Einject Handler Ise_core Ise_os Ise_sim List Machine Page_table Printf Sim_instr

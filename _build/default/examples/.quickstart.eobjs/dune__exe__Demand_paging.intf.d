@@ -1,0 +1,1 @@
+examples/demand_paging.mli:

@@ -1,0 +1,1 @@
+examples/litmus_tour.ml: Axiom Check Format Imprecise Ise_litmus Ise_model Ise_sim Library List Lit_run Lit_test Outcome Printf

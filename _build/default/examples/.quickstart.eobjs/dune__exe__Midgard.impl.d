@@ -1,0 +1,1 @@
+examples/midgard.ml: Core Ise_core Ise_os Ise_sim List Machine Memsys Midgard Printf Sim_instr

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Core Einject Format Ise_core Ise_os Ise_sim List Machine Printf Sim_instr

@@ -1,0 +1,1 @@
+lib/aso/aso_core.ml: Config Core Ise_model Ise_sim Machine Spec_state

@@ -1,0 +1,1 @@
+lib/aso/aso_core.mli: Ise_sim Spec_state

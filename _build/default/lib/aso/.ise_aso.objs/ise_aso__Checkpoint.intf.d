@@ -1,0 +1,1 @@
+lib/aso/checkpoint.mli:

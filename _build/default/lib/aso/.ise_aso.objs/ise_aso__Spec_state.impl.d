@@ -1,0 +1,1 @@
+lib/aso/spec_state.ml: Format

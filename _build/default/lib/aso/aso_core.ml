@@ -1,0 +1,96 @@
+open Ise_sim
+
+type run_metrics = {
+  cycles : int;
+  retired : int;
+  ipc : float;
+  sb_occupancy_watermark : int;
+  sb_inflight_watermark : int;
+}
+
+let null_hooks : Machine.hooks =
+  {
+    Machine.on_imprecise =
+      (fun _ -> failwith "Aso_core.run: unexpected imprecise exception");
+    on_precise =
+      (fun ~core:_ ~addr:_ ~code:_ ~retry:_ ->
+        failwith "Aso_core.run: unexpected precise exception");
+  }
+
+let run ?(max_cycles = 100_000_000) ~cfg ~programs () =
+  let machine = Machine.create ~cfg ~programs:(programs ()) () in
+  Machine.set_hooks machine null_hooks;
+  Machine.set_trace_enabled machine false;
+  Machine.run ~max_cycles machine;
+  let n = Machine.ncores machine in
+  let retired = Machine.total_retired machine in
+  let cycles = Machine.cycles machine in
+  let occ = ref 0 and infl = ref 0 in
+  for i = 0 to n - 1 do
+    occ := max !occ (Core.sb_occupancy_watermark (Machine.core machine i));
+    infl := max !infl (Core.sb_inflight_watermark (Machine.core machine i))
+  done;
+  {
+    cycles;
+    retired;
+    ipc = float_of_int retired /. float_of_int (max 1 cycles);
+    sb_occupancy_watermark = !occ;
+    sb_inflight_watermark = !infl;
+  }
+
+let aso_config ~checkpoints cfg =
+  (* WC-equivalent timing: a scalable store buffer (4x the hardware SB
+     so buffering is never the limit) with drain concurrency bounded
+     by the checkpoint count — each outstanding store miss holds one
+     checkpoint. *)
+  { (Config.with_consistency Ise_model.Axiom.Wc cfg) with
+    Config.sb_entries = cfg.Config.sb_entries * 4;
+    sb_max_inflight = checkpoints }
+
+type sizing = {
+  checkpoints : int;
+  aso_ipc : float;
+  wc_ipc : float;
+  sc_ipc : float;
+  wc_speedup : float;
+  state : Spec_state.components;
+  state_kb : float;
+}
+
+let size_for_wc_performance ?(target_fraction = 0.98) ?(max_checkpoints = 64)
+    ~cfg ~programs () =
+  let wc = run ~cfg:(Config.with_consistency Ise_model.Axiom.Wc cfg) ~programs () in
+  let sc_cfg =
+    { (Config.with_consistency Ise_model.Axiom.Sc cfg) with
+      Config.sc_speculative_loads = true }
+  in
+  let sc = run ~cfg:sc_cfg ~programs () in
+  let target = target_fraction *. wc.ipc in
+  let ipc_for k =
+    (run ~cfg:(aso_config ~checkpoints:k cfg) ~programs ()).ipc
+  in
+  (* binary search over the checkpoint count (IPC is monotonic in k) *)
+  let rec search lo hi best best_ipc =
+    if lo > hi then (best, best_ipc)
+    else
+      let mid = (lo + hi) / 2 in
+      let ipc = ipc_for mid in
+      if ipc >= target then search lo (mid - 1) mid ipc
+      else search (mid + 1) hi best best_ipc
+  in
+  let k, aso_ipc = search 1 max_checkpoints max_checkpoints 0. in
+  let aso_ipc = if aso_ipc = 0. then ipc_for k else aso_ipc in
+  let aso = run ~cfg:(aso_config ~checkpoints:k cfg) ~programs () in
+  let state =
+    Spec_state.for_checkpoints ~checkpoints:k
+      ~ssb_entries:(max aso.sb_occupancy_watermark k)
+  in
+  {
+    checkpoints = k;
+    aso_ipc;
+    wc_ipc = wc.ipc;
+    sc_ipc = sc.ipc;
+    wc_speedup = wc.ipc /. sc.ipc;
+    state;
+    state_kb = Spec_state.total_kb state;
+  }

@@ -1,0 +1,50 @@
+(** ASO performance evaluation (§3.3, Table 3).
+
+    ASO gives an SC core the timing of a relaxed-consistency core by
+    speculatively retiring past store misses, bounded by the number of
+    checkpoints — each outstanding store miss holds one checkpoint.
+    In the simulator this is modelled exactly: an ASO configuration is
+    the WC drain engine with the concurrent-drain budget set to the
+    checkpoint count and a scalable store buffer (semantically the
+    core remains SC because speculation is invisible; the evaluation
+    is timing-only, and Table 3's runs have no exceptions).
+
+    [size_for_wc_performance] reproduces the paper's methodology:
+    find the smallest checkpoint count whose IPC reaches the target
+    fraction (98%) of the unbounded-WC IPC, and report the speculation
+    state it implies. *)
+
+type run_metrics = {
+  cycles : int;
+  retired : int;
+  ipc : float;
+  sb_occupancy_watermark : int;  (** max scalable-store-buffer depth *)
+  sb_inflight_watermark : int;  (** max outstanding store misses *)
+}
+
+val run :
+  ?max_cycles:int -> cfg:Ise_sim.Config.t ->
+  programs:(unit -> Ise_sim.Sim_instr.stream array) -> unit -> run_metrics
+(** Runs the machine to completion with a null OS (Table 3's runs are
+    exception-free) and aggregates the metrics. *)
+
+val aso_config :
+  checkpoints:int -> Ise_sim.Config.t -> Ise_sim.Config.t
+(** The ASO timing configuration on top of a base system config. *)
+
+type sizing = {
+  checkpoints : int;
+  aso_ipc : float;
+  wc_ipc : float;
+  sc_ipc : float;
+  wc_speedup : float;  (** WC IPC / SC IPC — Table 3's "WC speedup" *)
+  state : Spec_state.components;
+  state_kb : float;
+}
+
+val size_for_wc_performance :
+  ?target_fraction:float -> ?max_checkpoints:int ->
+  cfg:Ise_sim.Config.t ->
+  programs:(unit -> Ise_sim.Sim_instr.stream array) -> unit -> sizing
+(** Binary-search the minimum checkpoint count reaching
+    [target_fraction] (default 0.98) of WC IPC. *)

@@ -1,0 +1,35 @@
+type t = {
+  max : int;
+  mutable live : int list;  (* store seqs, oldest first *)
+  mutable peak : int;
+  mutable failures : int;
+  mutable n_rollbacks : int;
+}
+
+let create ~max_checkpoints =
+  { max = max_checkpoints; live = []; peak = 0; failures = 0; n_rollbacks = 0 }
+
+let active t = List.length t.live
+let watermark t = t.peak
+let allocation_failures t = t.failures
+let rollbacks t = t.n_rollbacks
+
+let try_allocate t ~store_seq =
+  if active t >= t.max then begin
+    t.failures <- t.failures + 1;
+    false
+  end
+  else begin
+    t.live <- t.live @ [ store_seq ];
+    t.peak <- max t.peak (active t);
+    true
+  end
+
+let complete t ~store_seq =
+  t.live <- List.filter (fun s -> s <> store_seq) t.live
+
+let rollback t ~store_seq =
+  let kept, discarded = List.partition (fun s -> s < store_seq) t.live in
+  t.live <- kept;
+  t.n_rollbacks <- t.n_rollbacks + 1;
+  List.length discarded

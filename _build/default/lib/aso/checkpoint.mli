@@ -1,0 +1,32 @@
+(** ASO checkpoint pool (§3.2).
+
+    When an SC core would stall on an ordering requirement (a store
+    miss), it takes a checkpoint — a snapshot of the map table and the
+    physical registers holding the legal SC state — and speculatively
+    retires past the stall.  A checkpoint is merged into its
+    predecessor when the covered store completes without exception;
+    speculation fails (rollback to the oldest checkpoint) when an
+    exception is detected on a speculated store. *)
+
+type t
+
+val create : max_checkpoints:int -> t
+
+val try_allocate : t -> store_seq:int -> bool
+(** Take a checkpoint covering a store miss; [false] when the pool is
+    exhausted (the core must stall — this is the knob Table 3 sizes). *)
+
+val complete : t -> store_seq:int -> unit
+(** The store completed without exception: merge its checkpoint into
+    the previous one, freeing the registers. *)
+
+val rollback : t -> store_seq:int -> int
+(** Exception on a speculated store: discard its checkpoint and every
+    younger one; returns how many were discarded. *)
+
+val active : t -> int
+val watermark : t -> int
+(** Maximum simultaneously live checkpoints. *)
+
+val allocation_failures : t -> int
+val rollbacks : t -> int

@@ -1,0 +1,33 @@
+type components = {
+  ssb_bytes : int;
+  registers_bytes : int;
+  map_tables_bytes : int;
+  cache_bits_bytes : int;
+}
+
+let bytes_per_ssb_entry = 16
+let bytes_per_checkpoint_registers = 256
+let bytes_per_map_table = 40  (* 32 mappings x 10 bits, rounded to bytes *)
+
+(* L1D (64 KiB): per-word valid + SW bits = 8192 words x 2 bits = 2 KiB;
+   per-word SR bits = 1 KiB.  L2 slice (1 MiB): SR bits at double-word
+   granularity = 65536 double-words / 8 = 8 KiB. *)
+let fixed_cache_bits_bytes = 2048 + 1024 + 8192
+
+let for_checkpoints ~checkpoints ~ssb_entries =
+  {
+    ssb_bytes = ssb_entries * bytes_per_ssb_entry;
+    registers_bytes = checkpoints * bytes_per_checkpoint_registers;
+    map_tables_bytes = checkpoints * bytes_per_map_table;
+    cache_bits_bytes = fixed_cache_bits_bytes;
+  }
+
+let total_bytes c =
+  c.ssb_bytes + c.registers_bytes + c.map_tables_bytes + c.cache_bits_bytes
+
+let total_kb c = float_of_int (total_bytes c) /. 1024.
+
+let pp ppf c =
+  Format.fprintf ppf
+    "ssb=%dB regs=%dB maps=%dB cache-bits=%dB total=%.1fKB" c.ssb_bytes
+    c.registers_bytes c.map_tables_bytes c.cache_bits_bytes (total_kb c)

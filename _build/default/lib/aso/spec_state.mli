@@ -1,0 +1,32 @@
+(** Speculation-state accounting for ASO-style post-retirement
+    speculation (§3.2-3.3).
+
+    The state required to give an SC core WC-equivalent performance:
+    - a scalable store buffer entry (16 B) per speculatively retired
+      store;
+    - per checkpoint, up to 32 extra physical registers (256 B) plus a
+      map table of 32 logical→physical mappings at 10 bits each
+      (40 B);
+    - fixed per-core cache metadata: per-word valid and
+      Speculatively-Written bits in the L1D, Speculatively-Read bits
+      in the L1D and the L2 slice. *)
+
+type components = {
+  ssb_bytes : int;
+  registers_bytes : int;
+  map_tables_bytes : int;
+  cache_bits_bytes : int;
+}
+
+val bytes_per_ssb_entry : int
+val bytes_per_checkpoint_registers : int
+val bytes_per_map_table : int
+val fixed_cache_bits_bytes : int
+
+val for_checkpoints : checkpoints:int -> ssb_entries:int -> components
+(** State for a configuration supporting [checkpoints] concurrent
+    checkpoints and an [ssb_entries]-deep scalable store buffer. *)
+
+val total_bytes : components -> int
+val total_kb : components -> float
+val pp : Format.formatter -> components -> unit

@@ -1,0 +1,1 @@
+lib/core/contract.ml: Array Fault Format List Printf

@@ -1,0 +1,1 @@
+lib/core/contract.mli: Fault Format

@@ -1,0 +1,1 @@
+lib/core/fsb.ml: Fault Ise_util List Ring_buffer

@@ -1,0 +1,1 @@
+lib/core/fsb.mli: Fault

@@ -1,0 +1,56 @@
+type cost_model = {
+  drain_per_store : int;
+  pipeline_flush : int;
+  dispatch : int;
+  os_other : int;
+  apply_per_store : int;
+  resolve_per_store : int;
+  io_latency : int;
+}
+
+let default_cost_model =
+  {
+    drain_per_store = 4;
+    pipeline_flush = 14;
+    dispatch = 320;
+    os_other = 180;
+    apply_per_store = 60;
+    resolve_per_store = 22;
+    io_latency = 40_000;
+  }
+
+type breakdown = {
+  uarch : float;
+  apply : float;
+  os_other_cycles : float;
+}
+
+let total b = b.uarch +. b.apply +. b.os_other_cycles
+
+let per_store_overhead ?(major_faults = false) m ~batch_size =
+  if batch_size <= 0 then invalid_arg "Batch.per_store_overhead";
+  let n = float_of_int batch_size in
+  (* the store buffer is drained once per invocation; each store pays
+     its own drain slot, the flush is shared *)
+  let uarch =
+    ((float_of_int m.drain_per_store *. n) +. float_of_int m.pipeline_flush)
+    /. n
+  in
+  let apply = float_of_int (m.apply_per_store + m.resolve_per_store) in
+  let io =
+    if not major_faults then 0.
+    else if batch_size = 1 then float_of_int m.io_latency
+    else
+      (* batched IO requests are all scheduled in one invocation and
+         overlap: the batch pays one latency plus a small issue cost *)
+      (float_of_int m.io_latency +. (50. *. n)) /. n
+  in
+  let os_other_cycles =
+    (float_of_int (m.dispatch + m.os_other) /. n) +. io
+  in
+  { uarch; apply; os_other_cycles }
+
+let speedup m ~batch_size =
+  let unbatched = total (per_store_overhead m ~batch_size:1) in
+  let batched = total (per_store_overhead m ~batch_size) in
+  unbatched /. batched

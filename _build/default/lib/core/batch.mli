@@ -1,0 +1,41 @@
+(** Batching of imprecise store-exception handling (§5.3, Figure 5).
+
+    One imprecise exception can cover every faulting store present in
+    the store buffer, so the fixed costs of a handler invocation
+    (pipeline flush, exception dispatch, context switching) are paid
+    once per batch instead of once per store, and IO requests for
+    major faults can be scheduled together, overlapping their
+    latencies. *)
+
+type cost_model = {
+  drain_per_store : int;  (** FSBC cycles to drain one store to the FSB *)
+  pipeline_flush : int;  (** cycles to flush the ROB and redirect fetch *)
+  dispatch : int;  (** exception dispatch + context switch, per invocation *)
+  os_other : int;  (** misc kernel work per invocation (accounting, return) *)
+  apply_per_store : int;  (** cycles for the OS to apply one faulting store *)
+  resolve_per_store : int;  (** cycles to resolve one fault (e.g. clear EInject) *)
+  io_latency : int;  (** latency of one IO request (major fault), cycles *)
+}
+
+val default_cost_model : cost_model
+(** Calibrated so an unbatched minor fault costs ~600 cycles per
+    faulting store, of which the microarchitectural part is a tiny
+    fraction — the shape of Figure 5. *)
+
+type breakdown = {
+  uarch : float;  (** per-store microarchitectural cycles (drain + flush) *)
+  apply : float;  (** per-store OS cycles applying the store *)
+  os_other_cycles : float;  (** per-store other OS cycles (dispatch etc.) *)
+}
+
+val total : breakdown -> float
+
+val per_store_overhead :
+  ?major_faults:bool -> cost_model -> batch_size:int -> breakdown
+(** Average overhead per faulting store when [batch_size] faulting
+    stores are handled by one handler invocation.  With
+    [major_faults], each store needs an IO request; batched IO
+    overlaps (one latency for the batch), unbatched IO serialises. *)
+
+val speedup : cost_model -> batch_size:int -> float
+(** Per-store overhead ratio unbatched/batched. *)

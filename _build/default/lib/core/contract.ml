@@ -1,0 +1,140 @@
+type event =
+  | Detect of { core : int; cycle : int }
+  | Put of { core : int; cycle : int; record : Fault.record }
+  | Get of { core : int; cycle : int; record : Fault.record }
+  | Apply of { core : int; cycle : int; record : Fault.record }
+  | Resolve of { core : int; cycle : int }
+  | Resume of { core : int; cycle : int }
+
+let pp_event ppf = function
+  | Detect e -> Format.fprintf ppf "DETECT(core=%d)@%d" e.core e.cycle
+  | Put e ->
+    Format.fprintf ppf "PUT(core=%d, %a)@%d" e.core Fault.pp_record e.record
+      e.cycle
+  | Get e ->
+    Format.fprintf ppf "GET(core=%d, %a)@%d" e.core Fault.pp_record e.record
+      e.cycle
+  | Apply e ->
+    Format.fprintf ppf "APPLY(core=%d, %a)@%d" e.core Fault.pp_record e.record
+      e.cycle
+  | Resolve e -> Format.fprintf ppf "RESOLVE(core=%d)@%d" e.core e.cycle
+  | Resume e -> Format.fprintf ppf "RESUME(core=%d)@%d" e.core e.cycle
+
+type violation = {
+  rule : string;
+  detail : string;
+}
+
+let fail rule fmt = Format.kasprintf (fun detail -> Error { rule; detail }) fmt
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+(* Rule 1: per-core PUT sequence numbers strictly increase. *)
+let check_put_order ~ncores trace =
+  let last = Array.make ncores min_int in
+  List.fold_left
+    (fun acc ev ->
+      let* () = acc in
+      match ev with
+      | Put { core; record; _ } ->
+        if record.Fault.seq <= last.(core) then
+          fail "cores-supply-in-sb-order"
+            "core %d PUT seq %d after seq %d" core record.Fault.seq last.(core)
+        else begin
+          last.(core) <- record.Fault.seq;
+          Ok ()
+        end
+      | _ -> Ok ())
+    (Ok ()) trace
+
+(* Rule 2: per-core GET order equals PUT order (FIFO interface). *)
+let check_fifo ~ncores trace =
+  let puts = Array.make ncores [] and gets = Array.make ncores [] in
+  List.iter
+    (function
+      | Put { core; record; _ } -> puts.(core) <- record :: puts.(core)
+      | Get { core; record; _ } -> gets.(core) <- record :: gets.(core)
+      | _ -> ())
+    trace;
+  let rec is_prefix got put =
+    match (got, put) with
+    | [], _ -> true
+    | g :: gs, p :: ps when g = p -> is_prefix gs ps
+    | _ -> false
+  in
+  let rec loop core =
+    if core >= ncores then Ok ()
+    else
+      let put = List.rev puts.(core) and got = List.rev gets.(core) in
+      if not (is_prefix got put) then
+        fail "interface-fifo" "core %d GET order diverges from PUT order" core
+      else loop (core + 1)
+  in
+  loop 0
+
+(* Rule 3a: everything a handler GETs is applied before its RESOLVE.
+   Rule 3b: applications happen in GET (interface) order.
+   Rule 3c: RESUME only after RESOLVE. *)
+let check_os ~ordered_apply ~ncores trace =
+  let outstanding = Array.make ncores [] in
+  (* records got but not yet applied, in order *)
+  let resolved = Array.make ncores true in
+  (* no handler in flight *)
+  List.fold_left
+    (fun acc ev ->
+      let* () = acc in
+      match ev with
+      | Detect { core; _ } ->
+        resolved.(core) <- false;
+        Ok ()
+      | Get { core; record; _ } ->
+        outstanding.(core) <- outstanding.(core) @ [ record ];
+        Ok ()
+      | Apply { core; record; _ } -> (
+        match outstanding.(core) with
+        | r :: rest when r = record ->
+          outstanding.(core) <- rest;
+          Ok ()
+        | r :: _ when ordered_apply ->
+          fail "os-apply-in-interface-order"
+            "core %d applied %s but interface order expects %s" core
+            (Format.asprintf "%a" Fault.pp_record record)
+            (Format.asprintf "%a" Fault.pp_record r)
+        | (_ :: _) as pending ->
+          (* WC: any retrieved-but-unapplied store may be applied *)
+          if List.mem record pending then begin
+            outstanding.(core) <-
+              List.filter (fun x -> x <> record) pending;
+            Ok ()
+          end
+          else
+            fail "os-apply-all" "core %d applied a store it never retrieved"
+              core
+        | [] ->
+          fail "os-apply-in-interface-order"
+            "core %d applied a store it never retrieved" core)
+      | Resolve { core; _ } ->
+        if outstanding.(core) <> [] then
+          fail "os-apply-all-before-resolve"
+            "core %d resolved with %d unapplied faulting stores" core
+            (List.length outstanding.(core))
+        else begin
+          resolved.(core) <- true;
+          Ok ()
+        end
+      | Resume { core; _ } ->
+        if not resolved.(core) then
+          fail "os-resume-after-resolve" "core %d resumed before RESOLVE" core
+        else Ok ()
+      | Put _ -> Ok ())
+    (Ok ()) trace
+
+let check ?(ordered_apply = true) ~ncores trace =
+  let* () = check_put_order ~ncores trace in
+  let* () = check_fifo ~ncores trace in
+  check_os ~ordered_apply ~ncores trace
+
+let check_exn ?ordered_apply ~ncores trace =
+  match check ?ordered_apply ~ncores trace with
+  | Ok () -> ()
+  | Error v -> failwith (Printf.sprintf "contract violation [%s]: %s" v.rule v.detail)

@@ -1,0 +1,41 @@
+(** The contract among the cores, the architectural interface, and the
+    OS (Table 5), as a checkable predicate over execution traces.
+
+    Every operational run of the machine emits a trace of interface
+    operations; this module verifies:
+
+    1. {b Cores} supply faulting stores to the interface in the serial
+       order dictated by the store buffer (per-core [Put] sequence
+       numbers are increasing).
+    2. {b Interface} supplies faulting stores to the OS in the order
+       received ([Get] order equals [Put] order, per core).
+    3. {b OS}: the program resumes only after exception handling
+       ([Resume] after [Resolve]); all retrieved faulting stores are
+       applied before resolving; and they are applied in interface
+       order. *)
+
+type event =
+  | Detect of { core : int; cycle : int }
+  | Put of { core : int; cycle : int; record : Fault.record }
+  | Get of { core : int; cycle : int; record : Fault.record }
+  | Apply of { core : int; cycle : int; record : Fault.record }
+  | Resolve of { core : int; cycle : int }
+  | Resume of { core : int; cycle : int }
+
+val pp_event : Format.formatter -> event -> unit
+
+type violation = {
+  rule : string;
+  detail : string;
+}
+
+val check :
+  ?ordered_apply:bool -> ncores:int -> event list -> (unit, violation) result
+(** Checks the whole trace (events in global observation order)
+    against the contract.  [ordered_apply] (default [true]) enforces
+    rule 3's apply-in-interface-order clause, which Table 5 requires
+    only for PC — pass [false] for WC machines, whose OS may apply
+    faulting stores in any order. *)
+
+val check_exn : ?ordered_apply:bool -> ncores:int -> event list -> unit
+(** @raise Failure with a descriptive message on violation. *)

@@ -1,0 +1,67 @@
+type code =
+  | No_exception
+  | Page_fault
+  | Protection_fault
+  | Bus_error
+  | Accelerator of int
+
+type severity = Recoverable | Irrecoverable
+
+let severity_of = function
+  | No_exception | Page_fault | Bus_error | Accelerator _ -> Recoverable
+  | Protection_fault -> Irrecoverable
+
+let code_to_string = function
+  | No_exception -> "none"
+  | Page_fault -> "page-fault"
+  | Protection_fault -> "protection-fault"
+  | Bus_error -> "bus-error"
+  | Accelerator n -> Printf.sprintf "accelerator-%d" n
+
+type record = {
+  core : int;
+  seq : int;
+  addr : int;
+  data : int;
+  byte_mask : int;
+  code : code;
+}
+
+let pp_record ppf r =
+  Format.fprintf ppf "{core=%d seq=%d addr=0x%x data=%d mask=0x%x code=%s}"
+    r.core r.seq r.addr r.data r.byte_mask (code_to_string r.code)
+
+type x86_class = Fault | Trap | Abort
+
+type x86_entry = {
+  cls : x86_class;
+  stage : string;
+  names : string list;
+}
+
+let x86_class_to_string = function
+  | Fault -> "Fault"
+  | Trap -> "Trap"
+  | Abort -> "Abort"
+
+let x86_taxonomy =
+  [
+    { cls = Fault; stage = "Fetch";
+      names =
+        [ "Control protection exception"; "Code page fault";
+          "Code-segment limit violation" ] };
+    { cls = Fault; stage = "Decode";
+      names = [ "Invalid opcode"; "Device not available"; "Debug" ] };
+    { cls = Fault; stage = "Execute";
+      names =
+        [ "Divide by zero"; "Bound range exceeded"; "FP error";
+          "Alignment check"; "SIMD FP exception"; "Invalid TSS" ] };
+    { cls = Fault; stage = "Memory";
+      names =
+        [ "Segment not present"; "Stack-segment fault"; "Page fault";
+          "General protection fault"; "Virtualization exception" ] };
+    { cls = Trap; stage = "Execute";
+      names = [ "Debug"; "Breakpoint"; "Overflow" ] };
+    { cls = Abort; stage = "Cache/memory hierarchy";
+      names = [ "Double fault"; "Triple fault"; "Machine Check" ] };
+  ]

@@ -1,0 +1,48 @@
+(** Exception codes and faulting-store records.
+
+    A faulting store is a retired store whose memory transaction was
+    denied by a component in the cache/memory hierarchy (an
+    accelerator, a late address translation, an error-injection
+    device).  The record carries everything the OS needs to resolve
+    the exception and re-apply the store (§4.1, §5.2): address, data,
+    byte mask, and the component-specific error code. *)
+
+type code =
+  | No_exception
+  | Page_fault  (** recoverable: demand paging / lazy allocation *)
+  | Protection_fault  (** irrecoverable: the program is terminated *)
+  | Bus_error  (** the EInject device denied the transaction *)
+  | Accelerator of int  (** accelerator-specific error (e.g. täkō callback) *)
+
+type severity = Recoverable | Irrecoverable
+
+val severity_of : code -> severity
+val code_to_string : code -> string
+
+type record = {
+  core : int;  (** originating core *)
+  seq : int;  (** store-buffer sequence number: program order of retirement *)
+  addr : int;  (** byte address *)
+  data : int;  (** store data (up to 8 bytes) *)
+  byte_mask : int;  (** which bytes of the word are written *)
+  code : code;
+}
+
+val pp_record : Format.formatter -> record -> unit
+
+(** {1 Table 1: classification of x86 exceptions}
+
+    Reproduced as static data; all of these are detected in the core
+    pipeline except machine checks — the observation motivating the
+    paper (§2.2). *)
+
+type x86_class = Fault | Trap | Abort
+
+type x86_entry = {
+  cls : x86_class;
+  stage : string;  (** pipeline stage of origin *)
+  names : string list;
+}
+
+val x86_taxonomy : x86_entry list
+val x86_class_to_string : x86_class -> string

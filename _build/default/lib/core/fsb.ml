@@ -1,0 +1,49 @@
+open Ise_util
+
+type t = {
+  ring : Fault.record Ring_buffer.t;
+  base_addr : int;
+  mutable appended : int;
+  mutable watermark : int;
+}
+
+let create ?(entries = 32) ~base () =
+  { ring = Ring_buffer.create ~capacity:entries; base_addr = base;
+    appended = 0; watermark = 0 }
+
+let entries t = Ring_buffer.capacity t.ring
+let base t = t.base_addr
+let mask t = Ring_buffer.capacity t.ring - 1
+let head t = Ring_buffer.head t.ring
+let tail t = Ring_buffer.tail t.ring
+let is_full t = Ring_buffer.is_full t.ring
+let is_empty t = Ring_buffer.is_empty t.ring
+let pending t = Ring_buffer.length t.ring
+
+let fsbc_append t record =
+  if is_full t then false
+  else begin
+    Ring_buffer.push t.ring record;
+    t.appended <- t.appended + 1;
+    t.watermark <- max t.watermark (pending t);
+    true
+  end
+
+let os_peek t = Ring_buffer.peek t.ring
+
+let os_advance t =
+  if is_empty t then failwith "Fsb.os_advance: head has caught up with tail";
+  ignore (Ring_buffer.pop t.ring)
+
+let os_drain_all t =
+  let rec loop acc =
+    match os_peek t with
+    | None -> List.rev acc
+    | Some r ->
+      os_advance t;
+      loop (r :: acc)
+  in
+  loop []
+
+let total_appended t = t.appended
+let high_watermark t = t.watermark

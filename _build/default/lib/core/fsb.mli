@@ -1,0 +1,60 @@
+(** Faulting Store Buffer (§5.2): the backing storage of the
+    architectural interface between the microarchitecture and the OS.
+
+    A per-core ring buffer, conceptually located in pinned main
+    memory, exposed through four system registers:
+
+    - [base] and [mask]: the OS-configured location/size of the ring;
+    - [tail]: written by the FSBC, the position of the next drain;
+    - [head]: written by the OS, the position of the oldest unread
+      faulting store.
+
+    Order among faulting stores is encoded by their relative positions
+    (FIFO).  [head = tail] means all faulting stores have been
+    retrieved. *)
+
+type t
+
+val create : ?entries:int -> base:int -> unit -> t
+(** [entries] defaults to 32, matching the store buffer size of
+    Table 2 ("the FSB is sized according to the number of store buffer
+    entries").  Must be a power of two. *)
+
+val entries : t -> int
+
+(** {1 System-register view} *)
+
+val base : t -> int
+val mask : t -> int
+val head : t -> int
+val tail : t -> int
+
+(** {1 FSBC side (producer)} *)
+
+val fsbc_append : t -> Fault.record -> bool
+(** Writes a faulting store at the tail and increments the tail
+    pointer.  Returns [false] (and does nothing) if the ring is full —
+    the FSBC must stall the drain in that case. *)
+
+val is_full : t -> bool
+
+(** {1 OS side (consumer)} *)
+
+val os_peek : t -> Fault.record option
+(** The record at the head pointer, if any. *)
+
+val os_advance : t -> unit
+(** Marks the head record as read. @raise Failure if empty. *)
+
+val os_drain_all : t -> Fault.record list
+(** GET loop: peek/advance until [head = tail]; returns the records in
+    interface (FIFO) order. *)
+
+val pending : t -> int
+val is_empty : t -> bool
+
+(** {1 Statistics} *)
+
+val total_appended : t -> int
+val high_watermark : t -> int
+(** Maximum simultaneous occupancy observed. *)

@@ -1,0 +1,52 @@
+type mode = Same_stream | Split_stream
+
+let mode_to_string = function
+  | Same_stream -> "same-stream"
+  | Split_stream -> "split-stream"
+
+type 'a entry = { payload : 'a; faulting : bool }
+
+type 'a routing = {
+  to_fsb : 'a list;
+  to_memory : 'a list;
+}
+
+let route mode entries =
+  match mode with
+  | Same_stream ->
+    { to_fsb = List.map (fun e -> e.payload) entries; to_memory = [] }
+  | Split_stream ->
+    let faulting, clean = List.partition (fun e -> e.faulting) entries in
+    { to_fsb = List.map (fun e -> e.payload) faulting;
+      to_memory = List.map (fun e -> e.payload) clean }
+
+let requires_barrier = function Same_stream -> false | Split_stream -> true
+
+type pending_exception =
+  | Precise of { po_index : int }
+  | Imprecise of { oldest_store_seq : int }
+
+let priority pending =
+  let imprecise =
+    List.filter_map
+      (function Imprecise i -> Some i.oldest_store_seq | Precise _ -> None)
+      pending
+  in
+  match imprecise with
+  | [] -> (
+    match pending with
+    | [] -> None
+    | _ ->
+      let oldest =
+        List.fold_left
+          (fun acc p ->
+            match (acc, p) with
+            | None, Precise _ -> Some p
+            | Some (Precise a), Precise b when b.po_index < a.po_index -> Some p
+            | acc, _ -> acc)
+          None pending
+      in
+      oldest)
+  | seqs ->
+    let oldest = List.fold_left min max_int seqs in
+    Some (Imprecise { oldest_store_seq = oldest })

@@ -1,0 +1,52 @@
+(** The imprecise store-exception protocol (§4.5-4.6, §5.3).
+
+    When the store buffer detects an imprecise store exception, the
+    unfinished stores must be routed either to memory or to the FSB.
+    The two formal treatments are:
+
+    - {b Same stream} (§4.6, the paper's design): the faulting store
+      and {e every} unfinished store in the buffer drain to the FSB in
+      store-buffer (FIFO) order; the OS applies them in interface
+      order.  Race-free by construction under PC.
+    - {b Split stream} (§4.5): only faulting stores drain to the FSB;
+      non-faulting stores drain directly to memory.  This requires a
+      hardware/software barrier to close the PUT/GET race under PC and
+      is kept for ablation.
+
+    For the contract (Table 5) the partitioning must preserve
+    store-buffer order within each destination. *)
+
+type mode = Same_stream | Split_stream
+
+val mode_to_string : mode -> string
+
+type 'a entry = { payload : 'a; faulting : bool }
+
+type 'a routing = {
+  to_fsb : 'a list;  (** FIFO order, to be PUT via the FSBC *)
+  to_memory : 'a list;  (** FIFO order, drained directly *)
+}
+
+val route : mode -> 'a entry list -> 'a routing
+(** Partition the store-buffer contents (given oldest-first) at
+    exception-detection time.  [Same_stream] sends everything to the
+    FSB; [Split_stream] splits by the faulting flag. *)
+
+val requires_barrier : mode -> bool
+(** Whether the mode needs PUT/GET synchronisation to be PC-correct —
+    the complexity argument of §4.5. *)
+
+(** {1 Exception priority (§5.3)}
+
+    Before handling any precise exception the core drains the store
+    buffer; a detected imprecise store exception on an older store
+    takes priority and the precise exception is re-generated later. *)
+
+type pending_exception =
+  | Precise of { po_index : int }
+  | Imprecise of { oldest_store_seq : int }
+
+val priority : pending_exception list -> pending_exception option
+(** The exception to handle first: any imprecise store exception beats
+    a precise one (its store is older — it already retired). Among
+    imprecise, the one with the oldest store. *)

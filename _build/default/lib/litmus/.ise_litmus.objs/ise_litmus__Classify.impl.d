@@ -1,0 +1,1 @@
+lib/litmus/classify.ml: Array Event Hashtbl Ise_model List Lit_test Rel

@@ -1,0 +1,1 @@
+lib/litmus/gen.ml: Array Hashtbl Instr Ise_model Ise_util List Lit_test Printf Rng

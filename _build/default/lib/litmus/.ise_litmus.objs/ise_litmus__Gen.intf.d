@@ -1,0 +1,1 @@
+lib/litmus/gen.mli: Ise_util Lit_test

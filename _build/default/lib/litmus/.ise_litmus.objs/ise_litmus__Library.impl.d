@@ -1,0 +1,1 @@
+lib/litmus/library.ml: Axiom Instr Ise_model List Lit_test

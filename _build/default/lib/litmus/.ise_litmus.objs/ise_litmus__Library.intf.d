@@ -1,0 +1,1 @@
+lib/litmus/library.mli: Ise_model Lit_test

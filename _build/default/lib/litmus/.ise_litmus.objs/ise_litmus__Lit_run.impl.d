@@ -1,0 +1,1 @@
+lib/litmus/lit_run.ml: Array Axiom Check Config Core Einject Hashtbl Instr Ise_core Ise_model Ise_os Ise_sim Ise_util List Lit_test Machine Memsys Outcome Rng Sim_instr Stdlib

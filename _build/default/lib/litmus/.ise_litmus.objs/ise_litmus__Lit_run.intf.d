@@ -1,0 +1,1 @@
+lib/litmus/lit_run.mli: Ise_model Ise_sim Lit_test Outcome

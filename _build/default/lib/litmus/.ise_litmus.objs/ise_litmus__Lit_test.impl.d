@@ -1,0 +1,1 @@
+lib/litmus/lit_test.ml: Array Axiom Check Format Instr Ise_model List Outcome

@@ -1,0 +1,1 @@
+lib/litmus/lit_test.mli: Axiom Format Instr Ise_model Outcome

@@ -1,0 +1,99 @@
+open Ise_model
+
+type category =
+  | Dependencies
+  | Po_same_location
+  | Preserved_po
+  | External_read_from
+  | Internal_read_from
+  | Coherence_order
+  | From_read_order
+  | Barriers
+
+let all_categories =
+  [ Dependencies; Po_same_location; Preserved_po; External_read_from;
+    Internal_read_from; Coherence_order; From_read_order; Barriers ]
+
+let name = function
+  | Dependencies -> "Dependencies"
+  | Po_same_location -> "Program order (same location)"
+  | Preserved_po -> "Preserved program order"
+  | External_read_from -> "External read-from order"
+  | Internal_read_from -> "Internal read-from order"
+  | Coherence_order -> "Coherence order"
+  | From_read_order -> "From-read order"
+  | Barriers -> "Barriers"
+
+let description = function
+  | Dependencies -> "Register dependencies for addr, data, and ctrl"
+  | Po_same_location -> "Rd-Rd or Wr-Wr to the same address from the same core"
+  | Preserved_po -> "Instruction pairs maintained in program order (Atomic, LR/SC)"
+  | External_read_from -> "Wr-Rd to the same address from different cores"
+  | Internal_read_from -> "Wr-Rd to the same address from the same core"
+  | Coherence_order -> "Wr-Wr total order to the same address"
+  | From_read_order -> "Rd-Wr to the same address"
+  | Barriers -> "Ordering imposed by barriers"
+
+let classify (t : Lit_test.t) =
+  let graph = Event.compile t.Lit_test.threads in
+  let events = graph.Event.events in
+  let has p =
+    let found = ref false in
+    Array.iter (fun a ->
+        Array.iter (fun b -> if a.Event.id <> b.Event.id && p a b then found := true)
+          events)
+      events;
+    !found
+  in
+  let non_init e = not (Event.is_init e) in
+  let cats = ref [] in
+  let add c = if not (List.mem c !cats) then cats := c :: !cats in
+  if
+    Rel.cardinal graph.Event.addr_dep > 0
+    || Rel.cardinal graph.Event.data_dep > 0
+    || Rel.cardinal graph.Event.ctrl_dep > 0
+  then add Dependencies;
+  if
+    has (fun a b ->
+        Rel.mem graph.Event.po a.Event.id b.Event.id
+        && Event.same_loc a b
+        && a.Event.rmw_partner <> Some b.Event.id
+        && ((Event.is_read a && Event.is_read b)
+           || (Event.is_write a && Event.is_write b)))
+  then add Po_same_location;
+  if Array.exists (fun e -> e.Event.rmw_partner <> None) events then
+    add Preserved_po;
+  if
+    has (fun a b ->
+        Event.is_write a && Event.is_read b && Event.same_loc a b
+        && non_init a && a.Event.tid <> b.Event.tid)
+  then add External_read_from;
+  if
+    has (fun a b ->
+        Event.is_write a && Event.is_read b && Event.same_loc a b
+        && a.Event.tid = b.Event.tid && non_init a
+        && a.Event.rmw_partner <> Some b.Event.id)
+  then add Internal_read_from;
+  if
+    has (fun a b ->
+        Event.is_write a && Event.is_write b && Event.same_loc a b
+        && non_init a && non_init b)
+  then add Coherence_order;
+  if
+    has (fun a b ->
+        Event.is_read a && Event.is_write b && Event.same_loc a b && non_init b
+        && a.Event.rmw_partner <> Some b.Event.id)
+  then add From_read_order;
+  if Array.exists Event.is_fence events then add Barriers;
+  List.rev !cats
+
+let coverage tests =
+  let table = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace table c 0) all_categories;
+  List.iter
+    (fun t ->
+      List.iter
+        (fun c -> Hashtbl.replace table c (Hashtbl.find table c + 1))
+        (classify t))
+    tests;
+  List.map (fun c -> (c, Hashtbl.find table c)) all_categories

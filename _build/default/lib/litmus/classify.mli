@@ -1,0 +1,23 @@
+(** Classification of litmus tests by the ordering relations they
+    exercise — the rows of the paper's Table 6. *)
+
+type category =
+  | Dependencies  (** register dependencies for addr, data, ctrl *)
+  | Po_same_location  (** Rd-Rd or Wr-Wr to the same address, same core *)
+  | Preserved_po  (** instruction pairs kept in program order (AMO/LR-SC) *)
+  | External_read_from  (** Wr-Rd same address, different cores *)
+  | Internal_read_from  (** Wr-Rd same address, same core *)
+  | Coherence_order  (** Wr-Wr total order to the same address *)
+  | From_read_order  (** Rd-Wr to the same address *)
+  | Barriers  (** ordering imposed by fences *)
+
+val all_categories : category list
+val name : category -> string
+val description : category -> string
+
+val classify : Lit_test.t -> category list
+(** Relations whose coverage the test contributes to, derived from the
+    compiled event graph structure. *)
+
+val coverage : Lit_test.t list -> (category * int) list
+(** Table 6: how many tests in the suite cover each relation. *)

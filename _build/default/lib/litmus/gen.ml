@@ -1,0 +1,129 @@
+open Ise_model
+open Ise_util
+
+type params = {
+  max_threads : int;
+  max_instrs : int;
+  max_locs : int;
+  allow_amo : bool;
+  allow_fence : bool;
+  allow_deps : bool;
+}
+
+let default_params =
+  { max_threads = 2; max_instrs = 4; max_locs = 3; allow_amo = true;
+    allow_fence = true; allow_deps = true }
+
+let gen_thread rng p ~writes_left =
+  let n = 1 + Rng.int rng p.max_instrs in
+  let next_reg = ref 0 in
+  let defined = ref [] in
+  let fresh_reg () =
+    let r = !next_reg in
+    incr next_reg;
+    defined := r :: !defined;
+    r
+  in
+  let loc () = Rng.int rng p.max_locs in
+  let instrs = ref [] in
+  for _ = 1 to n do
+    let can_write = !writes_left > 0 in
+    let roll = Rng.int rng 100 in
+    let instr =
+      if roll < 30 then
+        (* plain load *)
+        let r = fresh_reg () in
+        Some (Instr.Load (r, loc ()))
+      else if roll < 60 && can_write then Some (Instr.Store (loc (), 1 + Rng.int rng 2))
+      else if roll < 70 && p.allow_fence then Some Instr.Fence
+      else if roll < 80 && p.allow_deps && !defined <> [] then begin
+        let dep = Rng.choose rng (Array.of_list !defined) in
+        match Rng.int rng 3 with
+        | 0 ->
+          let r = fresh_reg () in
+          Some (Instr.Load_dep (r, loc (), dep))
+        | 1 when can_write -> Some (Instr.Store_reg (loc (), dep))
+        | _ -> Some (Instr.Ctrl dep)
+      end
+      else if roll < 85 && p.allow_amo && can_write then
+        let r = fresh_reg () in
+        if Rng.bool rng then Some (Instr.Amo (r, loc (), 1 + Rng.int rng 2))
+        else Some (Instr.Amo_add (r, loc (), 1))
+      else if can_write then Some (Instr.Store (loc (), 1 + Rng.int rng 2))
+      else
+        let r = fresh_reg () in
+        Some (Instr.Load (r, loc ()))
+    in
+    match instr with
+    | Some i ->
+      (match i with
+       | Instr.Store _ | Instr.Store_reg _ | Instr.Store_dep _
+       | Instr.Amo _ | Instr.Amo_add _ -> decr writes_left
+       | _ -> ());
+      instrs := i :: !instrs
+    | None -> ()
+  done;
+  List.rev !instrs
+
+let communicates threads =
+  (* some location is written by one thread and accessed by another *)
+  let accesses tid want_write =
+    List.filter_map
+      (fun i ->
+        match Instr.loc_of i with
+        | Some l ->
+          let w =
+            match i with
+            | Instr.Store _ | Instr.Store_reg _ | Instr.Store_dep _
+            | Instr.Amo _ | Instr.Amo_add _ -> true
+            | _ -> false
+          in
+          if (not want_write) || w then Some (tid, l) else None
+        | None -> None)
+      threads.(tid)
+  in
+  let nt = Array.length threads in
+  let found = ref false in
+  for t1 = 0 to nt - 1 do
+    for t2 = 0 to nt - 1 do
+      if t1 <> t2 then
+        List.iter
+          (fun (_, l) ->
+            if List.exists (fun (_, l') -> l = l') (accesses t2 false) then
+              found := true)
+          (accesses t1 true)
+    done
+  done;
+  !found
+
+(* keep the per-location write count small so co enumeration stays cheap *)
+let writes_per_loc_ok threads max_per_loc =
+  let counts = Hashtbl.create 4 in
+  Array.iter
+    (List.iter (fun i ->
+         match i with
+         | Instr.Store (l, _) | Instr.Store_reg (l, _) | Instr.Store_dep (l, _, _)
+         | Instr.Amo (_, l, _) | Instr.Amo_add (_, l, _) ->
+           Hashtbl.replace counts l
+             (1 + (try Hashtbl.find counts l with Not_found -> 0))
+         | _ -> ()))
+    threads;
+  Hashtbl.fold (fun _ c ok -> ok && c <= max_per_loc) counts true
+
+let generate rng p =
+  let rec try_once attempt =
+    if attempt > 200 then failwith "Gen.generate: cannot build a communicating test";
+    let nthreads = 2 + Rng.int rng (max 1 (p.max_threads - 1)) in
+    let writes_left = ref 4 in
+    let threads = Array.init nthreads (fun _ -> gen_thread rng p ~writes_left) in
+    if communicates threads && writes_per_loc_ok threads 3 then threads
+    else try_once (attempt + 1)
+  in
+  let threads = try_once 0 in
+  let id = Rng.int rng 1_000_000 in
+  Lit_test.make ~name:(Printf.sprintf "gen-%06d" id)
+    ~doc:"randomly generated test" threads []
+
+let generate_suite ~seed ~count p =
+  let rng = Rng.create seed in
+  List.init count (fun _ -> generate (Rng.split rng) p)

@@ -1,0 +1,303 @@
+open Ise_model
+open Lit_test
+
+let x = 0
+let y = 1
+let z = 2
+
+let st l v = Instr.Store (l, v)
+let ld r l = Instr.Load (r, l)
+let f = Instr.Fence
+
+let all_models e = [ (Axiom.Sc, e); (Axiom.Pc, e); (Axiom.Wc, e) ]
+
+let mp =
+  make ~name:"MP"
+    ~doc:"message passing, no fences: W→W / R→R reordering visible under WC"
+    ~expect:[ (Axiom.Sc, Forbidden); (Axiom.Pc, Forbidden); (Axiom.Wc, Allowed) ]
+    [| [ st x 1; st y 1 ]; [ ld 0 y; ld 1 x ] |]
+    [ Reg_is (1, 0, 1); Reg_is (1, 1, 0) ]
+
+let mp_fenced =
+  make ~name:"MP+fences"
+    ~doc:"Figure 1: fenced message passing; the violation is forbidden everywhere"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1; f; st y 1 ]; [ ld 0 y; f; ld 1 x ] |]
+    [ Reg_is (1, 0, 1); Reg_is (1, 1, 0) ]
+
+let mp_fence_addr =
+  make ~name:"MP+fence+addr"
+    ~doc:"producer fence, consumer address dependency orders the loads"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1; f; st y 1 ]; [ ld 0 y; Instr.Load_dep (1, x, 0) ] |]
+    [ Reg_is (1, 0, 1); Reg_is (1, 1, 0) ]
+
+let mp_fence_data =
+  make ~name:"S+fence+data"
+    ~doc:"producer fence; consumer's data dependency orders load→store"
+    ~expect:(all_models Forbidden)
+    [| [ st x 2; f; st y 1 ]; [ ld 0 y; Instr.Store_reg (x, 0) ] |]
+    (* final x=2 would order the dependent store before the fenced one *)
+    [ Reg_is (1, 0, 1); Mem_is (x, 2) ]
+
+let mp_fence_ctrl =
+  make ~name:"MP+fence+ctrl"
+    ~doc:"control dependency does not order load→load: still visible under WC"
+    ~expect:[ (Axiom.Sc, Forbidden); (Axiom.Pc, Forbidden); (Axiom.Wc, Allowed) ]
+    [| [ st x 1; f; st y 1 ]; [ ld 0 y; Instr.Ctrl 0; ld 1 x ] |]
+    [ Reg_is (1, 0, 1); Reg_is (1, 1, 0) ]
+
+let sb =
+  make ~name:"SB"
+    ~doc:"store buffering (Dekker): the store buffer makes 0,0 visible"
+    ~expect:[ (Axiom.Sc, Forbidden); (Axiom.Pc, Allowed); (Axiom.Wc, Allowed) ]
+    [| [ st x 1; ld 0 y ]; [ st y 1; ld 1 x ] |]
+    [ Reg_is (0, 0, 0); Reg_is (1, 1, 0) ]
+
+let sb_fenced =
+  make ~name:"SB+fences" ~doc:"fences drain the store buffer: 0,0 forbidden"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1; f; ld 0 y ]; [ st y 1; f; ld 1 x ] |]
+    [ Reg_is (0, 0, 0); Reg_is (1, 1, 0) ]
+
+let lb =
+  make ~name:"LB"
+    ~doc:"load buffering: R→W reordering, visible only under WC"
+    ~expect:[ (Axiom.Sc, Forbidden); (Axiom.Pc, Forbidden); (Axiom.Wc, Allowed) ]
+    [| [ ld 0 x; st y 1 ]; [ ld 1 y; st x 1 ] |]
+    [ Reg_is (0, 0, 1); Reg_is (1, 1, 1) ]
+
+let lb_data =
+  make ~name:"LB+datas"
+    ~doc:"data dependencies forbid the load-buffering cycle under WC"
+    ~expect:(all_models Forbidden)
+    [| [ ld 0 x; Instr.Store_reg (y, 0) ]; [ ld 1 y; Instr.Store_reg (x, 1) ] |]
+    [ Reg_is (0, 0, 1); Reg_is (1, 1, 1) ]
+
+let lb_ctrl =
+  make ~name:"LB+ctrls"
+    ~doc:"control dependencies to stores forbid the load-buffering cycle"
+    ~expect:(all_models Forbidden)
+    [| [ ld 0 x; Instr.Ctrl 0; st y 1 ]; [ ld 1 y; Instr.Ctrl 1; st x 1 ] |]
+    [ Reg_is (0, 0, 1); Reg_is (1, 1, 1) ]
+
+let iriw =
+  make ~name:"IRIW"
+    ~doc:"independent reads of independent writes; needs R→R order to forbid"
+    ~expect:[ (Axiom.Sc, Forbidden); (Axiom.Pc, Forbidden); (Axiom.Wc, Allowed) ]
+    [| [ st x 1 ]; [ st y 1 ];
+       [ ld 0 x; ld 1 y ]; [ ld 2 y; ld 3 x ] |]
+    [ Reg_is (2, 0, 1); Reg_is (2, 1, 0); Reg_is (3, 2, 1); Reg_is (3, 3, 0) ]
+
+let iriw_fenced =
+  make ~name:"IRIW+fences" ~doc:"fenced IRIW forbidden under all models"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1 ]; [ st y 1 ];
+       [ ld 0 x; f; ld 1 y ]; [ ld 2 y; f; ld 3 x ] |]
+    [ Reg_is (2, 0, 1); Reg_is (2, 1, 0); Reg_is (3, 2, 1); Reg_is (3, 3, 0) ]
+
+let wrc =
+  make ~name:"WRC"
+    ~doc:"write-to-read causality without dependencies"
+    ~expect:[ (Axiom.Sc, Forbidden); (Axiom.Pc, Forbidden); (Axiom.Wc, Allowed) ]
+    [| [ st x 1 ]; [ ld 0 x; st y 1 ]; [ ld 1 y; ld 2 x ] |]
+    [ Reg_is (1, 0, 1); Reg_is (2, 1, 1); Reg_is (2, 2, 0) ]
+
+let wrc_deps =
+  make ~name:"WRC+deps"
+    ~doc:"data dependency on the middle thread, address dep on the reader"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1 ]; [ ld 0 x; Instr.Store_reg (y, 0) ];
+       [ ld 1 y; Instr.Load_dep (2, x, 1) ] |]
+    [ Reg_is (1, 0, 1); Reg_is (2, 1, 1); Reg_is (2, 2, 0) ]
+
+let s_test =
+  make ~name:"S"
+    ~doc:"W→W then R→W: coherence-final value reveals the reordering"
+    ~expect:[ (Axiom.Sc, Forbidden); (Axiom.Pc, Forbidden); (Axiom.Wc, Allowed) ]
+    [| [ st x 2; st y 1 ]; [ ld 0 y; st x 1 ] |]
+    [ Reg_is (1, 0, 1); Mem_is (x, 2) ]
+
+let two_plus_two_w =
+  make ~name:"2+2W"
+    ~doc:"two writers to two locations; W→W order forbids the cross pattern"
+    ~expect:[ (Axiom.Sc, Forbidden); (Axiom.Pc, Forbidden); (Axiom.Wc, Allowed) ]
+    [| [ st x 1; st y 2 ]; [ st y 1; st x 2 ] |]
+    [ Mem_is (x, 1); Mem_is (y, 1) ]
+
+let corr =
+  make ~name:"CoRR" ~doc:"coherent read-read: later read cannot go back in time"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1 ]; [ ld 0 x; ld 1 x ] |]
+    [ Reg_is (1, 0, 1); Reg_is (1, 1, 0) ]
+
+let coww =
+  make ~name:"CoWW" ~doc:"coherent write-write: program order is coherence order"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1; st x 2 ] |]
+    [ Mem_is (x, 1) ]
+
+let corw1 =
+  make ~name:"CoRW1" ~doc:"read cannot observe a po-later write to the same address"
+    ~expect:(all_models Forbidden)
+    [| [ ld 0 x; st x 1 ] |]
+    [ Reg_is (0, 0, 1) ]
+
+let cowr =
+  make ~name:"CoWR"
+    ~doc:"read after write to same address must not read an older external write"
+    ~expect:(all_models Forbidden)
+    [| [ st x 2; ld 0 x ]; [ st x 1 ] |]
+    [ Reg_is (0, 0, 1); Mem_is (x, 2) ]
+
+let corw2 =
+  make ~name:"CoRW2" ~doc:"read then write, racing external write"
+    ~expect:(all_models Forbidden)
+    [| [ ld 0 x; st x 2 ]; [ st x 1 ] |]
+    [ Reg_is (0, 0, 2) ]
+
+let amo_add_add =
+  make ~name:"AMO-add-add" ~doc:"parallel fetch-add never loses an update"
+    ~expect:(all_models Forbidden)
+    [| [ Instr.Amo_add (0, x, 1) ]; [ Instr.Amo_add (0, x, 1) ] |]
+    [ Mem_is (x, 1) ]
+
+let amo_swap_obs =
+  make ~name:"AMO-swap-obs" ~doc:"swap observes exactly one of the orders"
+    ~expect:(all_models Forbidden)
+    [| [ Instr.Amo (0, x, 1) ]; [ Instr.Amo (1, x, 2) ] |]
+    [ Reg_is (0, 0, 2); Reg_is (1, 1, 1) ]
+(* both swaps reading the other's value would be a coherence cycle *)
+
+let mp_amo =
+  make ~name:"MP+amo"
+    ~doc:"flag set by an AMO; consumer ordering still needs deps/fences in WC"
+    ~expect:[ (Axiom.Sc, Forbidden); (Axiom.Wc, Allowed) ]
+    [| [ st x 1; Instr.Amo (0, y, 1) ]; [ ld 0 y; ld 1 x ] |]
+    [ Reg_is (1, 0, 1); Reg_is (1, 1, 0) ]
+
+let sb_three =
+  make ~name:"SB3"
+    ~doc:"three-thread store-buffering ring"
+    ~expect:[ (Axiom.Sc, Forbidden); (Axiom.Pc, Allowed); (Axiom.Wc, Allowed) ]
+    [| [ st x 1; ld 0 y ]; [ st y 1; ld 1 z ]; [ st z 1; ld 2 x ] |]
+    [ Reg_is (0, 0, 0); Reg_is (1, 1, 0); Reg_is (2, 2, 0) ]
+
+let isa2 =
+  make ~name:"ISA2"
+    ~doc:"three-thread transitive message passing with deps"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1; f; st y 1 ];
+       [ ld 0 y; Instr.Store_reg (z, 0) ];
+       [ ld 1 z; Instr.Load_dep (2, x, 1) ] |]
+    [ Reg_is (1, 0, 1); Reg_is (2, 1, 1); Reg_is (2, 2, 0) ]
+
+let r_test =
+  make ~name:"R"
+    ~doc:"write-write then write-read across threads; coherence-final reveals order"
+    ~expect:[ (Axiom.Sc, Forbidden) ]
+    [| [ st x 1; st y 1 ]; [ st y 2; ld 0 x ] |]
+    [ Reg_is (1, 0, 0); Mem_is (y, 2) ]
+
+let r_fenced =
+  make ~name:"R+fences" ~doc:"fenced R is forbidden under every model"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1; f; st y 1 ]; [ st y 2; f; ld 0 x ] |]
+    [ Reg_is (1, 0, 0); Mem_is (y, 2) ]
+
+let s_fenced =
+  make ~name:"S+fences" ~doc:"fenced S is forbidden under every model"
+    ~expect:(all_models Forbidden)
+    [| [ st x 2; f; st y 1 ]; [ ld 0 y; f; st x 1 ] |]
+    [ Reg_is (1, 0, 1); Mem_is (x, 2) ]
+
+let two_plus_two_w_fenced =
+  make ~name:"2+2W+fences" ~doc:"fences forbid the cross write pattern"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1; f; st y 2 ]; [ st y 1; f; st x 2 ] |]
+    [ Mem_is (x, 1); Mem_is (y, 1) ]
+
+let lb_fenced =
+  make ~name:"LB+fences" ~doc:"fences forbid load buffering"
+    ~expect:(all_models Forbidden)
+    [| [ ld 0 x; f; st y 1 ]; [ ld 1 y; f; st x 1 ] |]
+    [ Reg_is (0, 0, 1); Reg_is (1, 1, 1) ]
+
+let lb_addr =
+  make ~name:"LB+addrs" ~doc:"address dependencies forbid load buffering"
+    ~expect:(all_models Forbidden)
+    [| [ ld 0 x; Instr.Store_dep (y, 1, 0) ];
+       [ ld 1 y; Instr.Store_dep (x, 1, 1) ] |]
+    [ Reg_is (0, 0, 1); Reg_is (1, 1, 1) ]
+
+let rwc =
+  make ~name:"RWC" ~doc:"read-to-write causality, unfenced"
+    ~expect:[ (Axiom.Sc, Forbidden) ]
+    [| [ st x 1 ]; [ ld 0 x; ld 1 y ]; [ st y 1; ld 2 x ] |]
+    [ Reg_is (1, 0, 1); Reg_is (1, 1, 0); Reg_is (2, 2, 0) ]
+
+let rwc_fenced =
+  make ~name:"RWC+fences" ~doc:"fenced RWC is forbidden everywhere"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1 ]; [ ld 0 x; f; ld 1 y ]; [ st y 1; f; ld 2 x ] |]
+    [ Reg_is (1, 0, 1); Reg_is (1, 1, 0); Reg_is (2, 2, 0) ]
+
+let wrc_fences =
+  make ~name:"WRC+fences" ~doc:"fences on both observer threads forbid WRC"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1 ]; [ ld 0 x; f; st y 1 ]; [ ld 1 y; f; ld 2 x ] |]
+    [ Reg_is (1, 0, 1); Reg_is (2, 1, 1); Reg_is (2, 2, 0) ]
+
+let iriw_addrs =
+  make ~name:"IRIW+addrs"
+    ~doc:"address dependencies order each reader's loads: forbidden"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1 ]; [ st y 1 ];
+       [ ld 0 x; Instr.Load_dep (1, y, 0) ];
+       [ ld 2 y; Instr.Load_dep (3, x, 2) ] |]
+    [ Reg_is (2, 0, 1); Reg_is (2, 1, 0); Reg_is (3, 2, 1); Reg_is (3, 3, 0) ]
+
+let sb_amo =
+  make ~name:"SB+amos" ~doc:"Dekker with atomic stores, unfenced"
+    ~expect:[ (Axiom.Sc, Forbidden) ]
+    [| [ Instr.Amo (8, x, 1); ld 0 y ]; [ Instr.Amo (9, y, 1); ld 1 x ] |]
+    [ Reg_is (0, 0, 0); Reg_is (1, 1, 0) ]
+
+let corr3 =
+  make ~name:"CoRR3" ~doc:"three same-address reads never go back in time"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1 ]; [ ld 0 x; ld 1 x; ld 2 x ] |]
+    [ Reg_is (1, 0, 1); Reg_is (1, 1, 1); Reg_is (1, 2, 0) ]
+
+let coww_chain =
+  make ~name:"CoWW-chain" ~doc:"a chain of same-address writes is kept in order"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1; st x 2; st x 3 ] |]
+    [ Mem_is (x, 2) ]
+
+let amo_release_chain =
+  make ~name:"AMO-chain"
+    ~doc:"fetch-adds on one thread accumulate (atomicity + po-loc)"
+    ~expect:(all_models Forbidden)
+    [| [ Instr.Amo_add (0, x, 1); Instr.Amo_add (1, x, 1) ] |]
+    [ Mem_is (x, 1) ]
+
+let mp_swap_flag =
+  make ~name:"MP+swap"
+    ~doc:"flag published by a fenced swap; reader uses an address dependency"
+    ~expect:(all_models Forbidden)
+    [| [ st x 1; f; Instr.Amo (8, y, 1) ];
+       [ ld 0 y; Instr.Load_dep (1, x, 0) ] |]
+    [ Reg_is (1, 0, 1); Reg_is (1, 1, 0) ]
+
+let all =
+  [ mp; mp_fenced; mp_fence_addr; mp_fence_data; mp_fence_ctrl;
+    sb; sb_fenced; lb; lb_data; lb_ctrl; iriw; iriw_fenced;
+    wrc; wrc_deps; s_test; two_plus_two_w;
+    corr; coww; corw1; cowr; corw2;
+    amo_add_add; amo_swap_obs; mp_amo; sb_three; isa2;
+    r_test; r_fenced; s_fenced; two_plus_two_w_fenced;
+    lb_fenced; lb_addr; rwc; rwc_fenced; wrc_fences; iriw_addrs;
+    sb_amo; corr3; coww_chain; amo_release_chain; mp_swap_flag ]
+
+let find name = List.find (fun t -> t.name = name) all

@@ -1,0 +1,63 @@
+(** Hand-written litmus tests.
+
+    The classic suite: message passing, store buffering, load
+    buffering, independent reads of independent writes, write-to-read
+    causality, coherence shapes, fence and dependency variants, and
+    atomic operations — the families the RISC-V litmus suite draws
+    from (§6.3, Table 6).  Expected verdicts under SC / PC / WC are
+    hand-written from the literature where unambiguous and used to
+    validate the axiomatisation. *)
+
+val x : Ise_model.Types.loc
+val y : Ise_model.Types.loc
+val z : Ise_model.Types.loc
+
+val mp : Lit_test.t
+val mp_fenced : Lit_test.t
+(** Figure 1 of the paper. *)
+
+val mp_fence_addr : Lit_test.t
+val mp_fence_data : Lit_test.t
+val mp_fence_ctrl : Lit_test.t
+val sb : Lit_test.t
+val sb_fenced : Lit_test.t
+val lb : Lit_test.t
+val lb_data : Lit_test.t
+val lb_ctrl : Lit_test.t
+val iriw : Lit_test.t
+val iriw_fenced : Lit_test.t
+val wrc : Lit_test.t
+val wrc_deps : Lit_test.t
+val s_test : Lit_test.t
+val two_plus_two_w : Lit_test.t
+val corr : Lit_test.t
+val coww : Lit_test.t
+val corw1 : Lit_test.t
+val cowr : Lit_test.t
+val corw2 : Lit_test.t
+val amo_add_add : Lit_test.t
+val amo_swap_obs : Lit_test.t
+val mp_amo : Lit_test.t
+val sb_three : Lit_test.t
+val isa2 : Lit_test.t
+val r_test : Lit_test.t
+val r_fenced : Lit_test.t
+val s_fenced : Lit_test.t
+val two_plus_two_w_fenced : Lit_test.t
+val lb_fenced : Lit_test.t
+val lb_addr : Lit_test.t
+val rwc : Lit_test.t
+val rwc_fenced : Lit_test.t
+val wrc_fences : Lit_test.t
+val iriw_addrs : Lit_test.t
+val sb_amo : Lit_test.t
+val corr3 : Lit_test.t
+val coww_chain : Lit_test.t
+val amo_release_chain : Lit_test.t
+val mp_swap_flag : Lit_test.t
+
+val all : Lit_test.t list
+(** Every test above, in a stable order. *)
+
+val find : string -> Lit_test.t
+(** Lookup by name. @raise Not_found. *)

@@ -1,0 +1,161 @@
+open Ise_model
+open Ise_sim
+open Ise_util
+
+type result = {
+  test : Lit_test.t;
+  allowed : Outcome.Set.t;
+  observed : Outcome.Set.t;
+  pass : bool;
+  contract_ok : bool;
+  interesting_observed : bool;
+  runs : int;
+  imprecise_exceptions : int;
+  precise_exceptions : int;
+}
+
+let page_size = 4096
+
+let loc_addr ~base l = base + (l * page_size)
+
+let lower_instr ~base = function
+  | Instr.Load (r, x) ->
+    Sim_instr.Ld { dst = r; addr = Sim_instr.addr (loc_addr ~base x) }
+  | Instr.Load_dep (r, x, rdep) ->
+    Sim_instr.Ld { dst = r; addr = Sim_instr.addr ~dep:rdep (loc_addr ~base x) }
+  | Instr.Store (x, v) ->
+    Sim_instr.St { addr = Sim_instr.addr (loc_addr ~base x); data = Sim_instr.Imm v }
+  | Instr.Store_reg (x, r) ->
+    Sim_instr.St
+      { addr = Sim_instr.addr (loc_addr ~base x); data = Sim_instr.From_reg r }
+  | Instr.Store_dep (x, v, rdep) ->
+    Sim_instr.St
+      { addr = Sim_instr.addr ~dep:rdep (loc_addr ~base x);
+        data = Sim_instr.Imm v }
+  | Instr.Fence -> Sim_instr.Fence
+  | Instr.Ctrl r -> Sim_instr.Ctrl r
+  | Instr.Amo (r, x, v) ->
+    Sim_instr.Amo
+      { dst = r; addr = Sim_instr.addr (loc_addr ~base x); op = Memsys.Swap v }
+  | Instr.Amo_add (r, x, v) ->
+    Sim_instr.Amo
+      { dst = r; addr = Sim_instr.addr (loc_addr ~base x); op = Memsys.Add v }
+
+let lower (t : Lit_test.t) ~base =
+  Array.map (List.map (lower_instr ~base)) t.Lit_test.threads
+
+(* Random Nop padding between instructions so different seeds explore
+   different interleavings on a deterministic machine. *)
+let perturb rng instrs =
+  let out = ref [] in
+  if Rng.bool rng then out := [ Sim_instr.Nop (1 + Rng.int rng 60) ];
+  List.iter
+    (fun i ->
+      out := i :: !out;
+      if Rng.int rng 100 < 40 then
+        out := Sim_instr.Nop (1 + Rng.int rng 25) :: !out)
+    instrs;
+  List.rev !out
+
+let locs_of (t : Lit_test.t) =
+  let locs = Hashtbl.create 4 in
+  Array.iter
+    (List.iter (fun i ->
+         match Instr.loc_of i with
+         | Some l -> Hashtbl.replace locs l ()
+         | None -> ()))
+    t.Lit_test.threads;
+  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) locs [])
+
+let dest_regs (t : Lit_test.t) =
+  let regs = ref [] in
+  Array.iteri
+    (fun tid instrs ->
+      List.iter
+        (fun i ->
+          match Instr.defs i with
+          | Some r -> if not (List.mem (tid, r) !regs) then regs := (tid, r) :: !regs
+          | None -> ())
+        instrs)
+    t.Lit_test.threads;
+  List.rev !regs
+
+let model_config (cfg : Config.t) =
+  let model = cfg.Config.consistency in
+  match cfg.Config.protocol_mode with
+  | Ise_core.Protocol.Same_stream -> { Axiom.model; faults = Axiom.Precise }
+  | Ise_core.Protocol.Split_stream ->
+    { Axiom.model; faults = Axiom.Split_stream }
+
+let run ?(seeds = 20) ?(inject_faults = true) ?(timer_interrupts = false)
+    ?(cfg = Config.default) (t : Lit_test.t) =
+  let base = cfg.Config.einject_base in
+  let lowered = lower t ~base in
+  let locs = locs_of t in
+  let regs = dest_regs t in
+  (* allowed set: under split-stream checking, any store may fault *)
+  let faulting =
+    match cfg.Config.protocol_mode with
+    | Ise_core.Protocol.Split_stream when inject_faults -> Lit_test.stores_of t
+    | _ -> []
+  in
+  let allowed = Check.allowed ~faulting (model_config cfg) t.Lit_test.threads in
+  let observed = ref Outcome.Set.empty in
+  let contract_ok = ref true in
+  let imprecise = ref 0 and precise = ref 0 in
+  let root = Rng.create (Hashtbl.hash t.Lit_test.name) in
+  for _run = 1 to seeds do
+    let rng = Rng.split root in
+    let programs =
+      Array.map (fun is -> Sim_instr.of_list (perturb rng is)) lowered
+    in
+    let machine = Machine.create ~cfg ~programs () in
+    let stats = Ise_os.Handler.install machine in
+    if timer_interrupts then
+      Machine.enable_timer_interrupts machine ~period:300 ~handler_cycles:60;
+    if inject_faults then
+      List.iter
+        (fun l -> Einject.set_faulting (Machine.einject machine) (loc_addr ~base l))
+        locs;
+    Machine.run ~max_cycles:2_000_000 machine;
+    let outcome =
+      Outcome.make
+        ~regs:
+          (List.map
+             (fun (tid, r) -> ((tid, r), Core.reg (Machine.core machine tid) r))
+             regs)
+        ~mem:(List.map (fun l -> (l, Machine.read_word machine (loc_addr ~base l))) locs)
+    in
+    observed := Outcome.Set.add outcome !observed;
+    (match cfg.Config.protocol_mode with
+     | Ise_core.Protocol.Same_stream ->
+       if Stdlib.Result.is_error (Machine.check_contract machine) then
+         contract_ok := false
+     | Ise_core.Protocol.Split_stream ->
+       (* split-stream deliberately breaks the interface-order rules;
+          only the OS-side rules are meaningful, so skip the check *)
+       ());
+    let core_stats tid = Core.stats (Machine.core machine tid) in
+    for tid = 0 to Array.length lowered - 1 do
+      imprecise := !imprecise + (core_stats tid).Core.imprecise_exceptions
+    done;
+    precise := !precise + stats.Ise_os.Handler.precise_faults
+  done;
+  let pass = Outcome.Set.subset !observed allowed in
+  {
+    test = t;
+    allowed;
+    observed = !observed;
+    pass;
+    contract_ok = !contract_ok;
+    interesting_observed =
+      Outcome.Set.exists (Lit_test.cond_holds t.Lit_test.cond) !observed;
+    runs = seeds;
+    imprecise_exceptions = !imprecise;
+    precise_exceptions = !precise;
+  }
+
+let run_suite ?seeds ?inject_faults ?timer_interrupts ?cfg tests =
+  List.map (run ?seeds ?inject_faults ?timer_interrupts ?cfg) tests
+
+let all_pass results = List.for_all (fun r -> r.pass && r.contract_ok) results

@@ -1,0 +1,47 @@
+(** Operational litmus running (§6.3).
+
+    Each test is lowered onto the simulated machine (one thread per
+    core, every litmus location on its own EInject page) and run many
+    times under randomly perturbed timing (seeded Nop padding and
+    per-core start skew).  Optionally all test pages are marked
+    faulting first, so every load takes a precise exception and every
+    store an imprecise one, transparently handled by the OS — the
+    paper's error-injection methodology.
+
+    The pass criterion is the paper's: the hardware must not exhibit
+    any outcome the memory model does not allow
+    (observed ⊆ allowed), and every run's interface trace must satisfy
+    the Table 5 contract. *)
+
+open Ise_model
+
+type result = {
+  test : Lit_test.t;
+  allowed : Outcome.Set.t;  (** model-allowed outcomes *)
+  observed : Outcome.Set.t;  (** outcomes seen on the machine *)
+  pass : bool;  (** observed ⊆ allowed *)
+  contract_ok : bool;
+  interesting_observed : bool;
+      (** whether the test's condition outcome was ever observed *)
+  runs : int;
+  imprecise_exceptions : int;  (** total across runs *)
+  precise_exceptions : int;
+}
+
+val lower : Lit_test.t -> base:int -> Ise_sim.Sim_instr.t list array
+(** Pure lowering of litmus instructions to simulator instructions,
+    without perturbation. *)
+
+val run :
+  ?seeds:int -> ?inject_faults:bool -> ?timer_interrupts:bool ->
+  ?cfg:Ise_sim.Config.t -> Lit_test.t -> result
+(** [seeds] (default 20) independent perturbed executions. With
+    [inject_faults] (default true), all test pages start faulting.
+    [timer_interrupts] additionally fires periodic interrupts during
+    every run (§5.3's concurrency stressor). *)
+
+val run_suite :
+  ?seeds:int -> ?inject_faults:bool -> ?timer_interrupts:bool ->
+  ?cfg:Ise_sim.Config.t -> Lit_test.t list -> result list
+
+val all_pass : result list -> bool

@@ -1,0 +1,65 @@
+open Ise_model
+open Ise_model.Types
+
+type atom =
+  | Reg_is of tid * reg * value
+  | Mem_is of loc * value
+
+type cond = atom list
+
+type expectation = Allowed | Forbidden
+
+type t = {
+  name : string;
+  doc : string;
+  threads : Instr.t list array;
+  cond : cond;
+  expect : (Axiom.model * expectation) list;
+}
+
+let make ~name ?(doc = "") ?(expect = []) threads cond =
+  { name; doc; threads; cond; expect }
+
+let cond_holds cond outcome =
+  List.for_all
+    (function
+      | Reg_is (tid, r, v) -> Outcome.reg outcome tid r = v
+      | Mem_is (l, v) -> Outcome.mem_value outcome l = v)
+    cond
+
+let satisfiable cfg t =
+  let allowed = Check.allowed cfg t.threads in
+  Outcome.Set.exists (cond_holds t.cond) allowed
+
+let verdict cfg t = if satisfiable cfg t then Allowed else Forbidden
+
+let check_expectations t =
+  List.map
+    (fun (model, expected) ->
+      let actual = verdict { Axiom.model; faults = Axiom.Precise } t in
+      (model, expected, actual))
+    t.expect
+
+let stores_of t =
+  let acc = ref [] in
+  Array.iteri
+    (fun tid instrs ->
+      List.iteri
+        (fun i instr ->
+          match instr with
+          | Instr.Store _ | Instr.Store_reg _ | Instr.Store_dep _ ->
+            acc := (tid, i) :: !acc
+          | _ -> ())
+        instrs)
+    t.threads;
+  List.rev !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: %s@," t.name t.doc;
+  Array.iteri
+    (fun tid instrs ->
+      Format.fprintf ppf "  T%d:" tid;
+      List.iter (fun i -> Format.fprintf ppf " %a;" Instr.pp i) instrs;
+      Format.fprintf ppf "@,")
+    t.threads;
+  Format.fprintf ppf "@]"

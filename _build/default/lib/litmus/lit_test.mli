@@ -1,0 +1,52 @@
+(** Litmus tests: a small concurrent program, a condition on the final
+    state, and the expected verdict under each memory model.
+
+    Mirrors the structure of the litmus-tests-riscv suite the paper
+    uses (§6.3): each test isolates one or a few ordering relations of
+    Table 6, and the condition describes the single interesting
+    outcome whose reachability distinguishes models. *)
+
+open Ise_model
+open Ise_model.Types
+
+type atom =
+  | Reg_is of tid * reg * value  (** [tid:reg = value] in the final state *)
+  | Mem_is of loc * value  (** [*loc = value] in the final memory *)
+
+type cond = atom list
+(** Conjunction of atoms. *)
+
+type expectation = Allowed | Forbidden
+
+type t = {
+  name : string;
+  doc : string;  (** one-line description of what the test isolates *)
+  threads : Instr.t list array;
+  cond : cond;  (** the interesting outcome *)
+  expect : (Axiom.model * expectation) list;
+      (** hand-written verdicts for the classic tests; used to validate
+          the axiomatisation itself *)
+}
+
+val make :
+  name:string -> ?doc:string ->
+  ?expect:(Axiom.model * expectation) list ->
+  Instr.t list array -> cond -> t
+
+val cond_holds : cond -> Outcome.t -> bool
+
+val satisfiable : Axiom.config -> t -> bool
+(** Whether any allowed outcome under the configuration satisfies the
+    condition (i.e., the interesting outcome is reachable). *)
+
+val verdict : Axiom.config -> t -> expectation
+(** [Allowed] if the interesting outcome is model-reachable. *)
+
+val check_expectations : t -> (Axiom.model * expectation * expectation) list
+(** For each hand-written expectation, (model, expected, actual); the
+    test suite asserts these agree. *)
+
+val stores_of : t -> (tid * int) list
+(** All stores of the program, as faulting-markings. *)
+
+val pp : Format.formatter -> t -> unit

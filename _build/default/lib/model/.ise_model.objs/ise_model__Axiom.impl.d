@@ -1,0 +1,1 @@
+lib/model/axiom.ml: Array Event Exec Rel

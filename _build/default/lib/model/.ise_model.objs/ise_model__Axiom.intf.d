@@ -1,0 +1,1 @@
+lib/model/axiom.mli: Exec Rel

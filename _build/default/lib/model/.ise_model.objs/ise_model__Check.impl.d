@@ -1,0 +1,1 @@
+lib/model/check.ml: Array Axiom Enum Event Exec Format List Option Outcome Rel Seq Types

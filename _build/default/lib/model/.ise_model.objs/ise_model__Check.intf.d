@@ -1,0 +1,1 @@
+lib/model/check.mli: Axiom Instr Outcome Types

@@ -1,0 +1,1 @@
+lib/model/enum.ml: Array Event Exec Hashtbl List Rel Seq

@@ -1,0 +1,1 @@
+lib/model/enum.mli: Event Exec Seq

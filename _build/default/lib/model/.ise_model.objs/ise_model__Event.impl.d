@@ -1,0 +1,1 @@
+lib/model/event.ml: Array Format Hashtbl Instr List Rel Types

@@ -1,0 +1,1 @@
+lib/model/event.mli: Format Instr Rel Types

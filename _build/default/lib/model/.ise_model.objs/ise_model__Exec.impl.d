@@ -1,0 +1,1 @@
+lib/model/exec.ml: Array Event Format Hashtbl Outcome Rel Types

@@ -1,0 +1,1 @@
+lib/model/exec.mli: Event Format Outcome Rel Types

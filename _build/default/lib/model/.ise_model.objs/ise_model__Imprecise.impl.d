@@ -1,0 +1,1 @@
+lib/model/imprecise.ml: Array Axiom Check Instr List Outcome Types

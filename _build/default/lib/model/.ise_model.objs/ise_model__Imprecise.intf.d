@@ -1,0 +1,1 @@
+lib/model/imprecise.mli: Axiom Instr Types

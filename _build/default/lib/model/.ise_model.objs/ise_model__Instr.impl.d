@@ -1,0 +1,1 @@
+lib/model/instr.ml: Format Types

@@ -1,0 +1,1 @@
+lib/model/instr.mli: Format Types

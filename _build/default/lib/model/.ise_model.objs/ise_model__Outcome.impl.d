@@ -1,0 +1,1 @@
+lib/model/outcome.ml: Format List Set Stdlib Types

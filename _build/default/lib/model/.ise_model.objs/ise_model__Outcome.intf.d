@@ -1,0 +1,1 @@
+lib/model/outcome.mli: Format Set Types

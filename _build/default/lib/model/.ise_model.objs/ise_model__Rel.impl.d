@@ -1,0 +1,1 @@
+lib/model/rel.ml: Array Bytes List Queue

@@ -1,0 +1,1 @@
+lib/model/types.mli: Format

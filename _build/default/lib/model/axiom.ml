@@ -1,0 +1,97 @@
+type model = Sc | Pc | Wc
+type fault_mode = Precise | Same_stream | Split_stream
+type config = { model : model; faults : fault_mode }
+
+let sc = { model = Sc; faults = Precise }
+let pc = { model = Pc; faults = Precise }
+let wc = { model = Wc; faults = Precise }
+let rvwmo = wc
+let with_faults faults cfg = { cfg with faults }
+
+let name cfg =
+  let base = match cfg.model with Sc -> "SC" | Pc -> "PC" | Wc -> "WC" in
+  match cfg.faults with
+  | Precise -> base
+  | Same_stream -> base ^ "+same-stream"
+  | Split_stream -> base ^ "+split-stream"
+
+let memory_po (ex : Exec.t) =
+  let events = ex.graph.Event.events in
+  Rel.filter
+    (fun a b ->
+      (not (Event.is_fence events.(a))) && not (Event.is_fence events.(b)))
+    ex.graph.Event.po
+
+let rmw_pairs (ex : Exec.t) =
+  let events = ex.graph.Event.events in
+  let r = Rel.create (Array.length events) in
+  Array.iter
+    (fun e ->
+      if Event.is_read e then
+        match e.Event.rmw_partner with
+        | Some wr -> Rel.add r e.Event.id wr
+        | None -> ())
+    events;
+  r
+
+(* Split-stream relaxation: a faulting store's OS application happens
+   after younger non-faulting operations of the same thread have
+   completed, so those program-order edges disappear (unless to the
+   same location, which the store buffer coalesces / forwards). *)
+let split_relax (ex : Exec.t) rel =
+  let events = ex.graph.Event.events in
+  Rel.filter
+    (fun a b ->
+      let ea = events.(a) and eb = events.(b) in
+      not
+        (Event.is_write ea && ea.Event.faulting
+        && (not eb.Event.faulting)
+        && not (Event.same_loc ea eb)))
+    rel
+
+let ppo cfg (ex : Exec.t) =
+  let events = ex.graph.Event.events in
+  let po_mem = memory_po ex in
+  let base =
+    match cfg.model with
+    | Sc -> po_mem
+    | Pc ->
+      (* the store buffer relaxes store→load order *)
+      Rel.filter
+        (fun a b ->
+          not (Event.is_write events.(a) && Event.is_read events.(b)))
+        po_mem
+    | Wc ->
+      let same_loc =
+        Rel.filter (fun a b -> Event.same_loc events.(a) events.(b)) po_mem
+      in
+      let deps =
+        Rel.union ex.graph.Event.addr_dep
+          (Rel.union ex.graph.Event.data_dep
+             (Rel.filter
+                (fun _ b -> Event.is_write events.(b))
+                ex.graph.Event.ctrl_dep))
+      in
+      Rel.union same_loc (Rel.union deps (rmw_pairs ex))
+  in
+  match cfg.faults with
+  | Precise | Same_stream -> base
+  | Split_stream -> split_relax ex base
+
+let ghb cfg ex =
+  let com w = Rel.union w (Rel.union ex.Exec.co (Exec.fr ex)) in
+  match cfg.model with
+  | Sc ->
+    (* SC orders everything, including internal reads-from. *)
+    Rel.union (ppo cfg ex) (com (Exec.rf_rel ex))
+  | Pc | Wc ->
+    Rel.union (ppo cfg ex)
+      (Rel.union (Exec.fence_order ex) (com (Exec.rfe ex)))
+
+let sc_per_loc ex =
+  let com =
+    Rel.union (Exec.rf_rel ex) (Rel.union ex.Exec.co (Exec.fr ex))
+  in
+  Rel.is_acyclic (Rel.union (Exec.po_loc ex) com)
+
+let consistent cfg ex = sc_per_loc ex && Rel.is_acyclic (ghb cfg ex)

@@ -1,0 +1,53 @@
+(** Consistency axioms: SC, PC (= TSO, §4.2), and WC, each optionally
+    extended with imprecise store exceptions (§4.5-4.6).
+
+    Every model requires SC-per-location (coherence) and RMW
+    atomicity, and differs in the global-happens-before relation:
+
+    - SC:  acyclic(po ∪ rf ∪ co ∪ fr)
+    - PC:  acyclic(ppo ∪ fence ∪ rfe ∪ co ∪ fr) with
+           ppo = po minus store→load pairs (the store buffer)
+    - WC:  acyclic(ppo ∪ fence ∪ rfe ∪ co ∪ fr) with
+           ppo = same-location po ∪ address/data deps ∪
+                 control deps to stores ∪ AMO pairs
+
+    The WC instance with dependency orders corresponds to the
+    RVWMO-style model the paper's prototype targets ({!rvwmo} is an
+    alias for it).
+
+    Fault modes model how retired faulting stores reach memory:
+    - [Precise]: no store ever faults post-retirement (base model);
+    - [Same_stream]: faulting and younger non-faulting stores all
+      travel through the architectural interface in store-buffer order
+      (§4.6) — provably the same allowed outcomes as the base model;
+    - [Split_stream]: non-faulting stores drain directly while faulting
+      stores are applied later by the OS (§4.5) — relaxes the
+      store→store order from a faulting store to younger non-faulting
+      stores of the same thread, which is observable under PC. *)
+
+type model = Sc | Pc | Wc
+
+type fault_mode = Precise | Same_stream | Split_stream
+
+type config = { model : model; faults : fault_mode }
+
+val sc : config
+val pc : config
+val wc : config
+val rvwmo : config
+(** The RVWMO-like instance used for litmus checking (alias of {!wc}). *)
+
+val with_faults : fault_mode -> config -> config
+val name : config -> string
+
+val ppo : config -> Exec.t -> Rel.t
+(** Preserved program order under the configuration. *)
+
+val ghb : config -> Exec.t -> Rel.t
+(** Global happens-before whose acyclicity defines consistency. *)
+
+val sc_per_loc : Exec.t -> bool
+(** Coherence: acyclic(po-loc ∪ rf ∪ co ∪ fr). *)
+
+val consistent : config -> Exec.t -> bool
+(** Full consistency judgement for a candidate execution. *)

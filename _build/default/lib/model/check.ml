@@ -1,0 +1,78 @@
+open Types
+
+let allowed_with_stats ?(faulting : (tid * int) list = []) cfg threads =
+  let graph = Event.compile ~faulting threads in
+  let total = ref 0 in
+  let consistent = ref 0 in
+  let outcomes =
+    Seq.fold_left
+      (fun acc ex ->
+        incr total;
+        if Axiom.consistent cfg ex then begin
+          incr consistent;
+          Outcome.Set.add (Exec.outcome ex) acc
+        end
+        else acc)
+      Outcome.Set.empty (Enum.candidates graph)
+  in
+  (outcomes, !total, !consistent)
+
+let allowed ?faulting cfg threads =
+  let o, _, _ = allowed_with_stats ?faulting cfg threads in
+  o
+
+let equivalent ?faulting a b threads =
+  Outcome.Set.equal (allowed ?faulting a threads) (allowed ?faulting b threads)
+
+let subset ?faulting a b threads =
+  Outcome.Set.subset (allowed ?faulting a threads) (allowed ?faulting b threads)
+
+let extra_outcomes ?faulting a b threads =
+  Outcome.Set.elements
+    (Outcome.Set.diff (allowed ?faulting a threads) (allowed ?faulting b threads))
+
+type verdict =
+  | Allowed_by of string
+  | Forbidden_cycle of string list
+  | Unreachable
+
+let explain ?(faulting = []) cfg threads target =
+  let graph = Event.compile ~faulting threads in
+  let matching =
+    Seq.filter
+      (fun ex -> Outcome.equal (Exec.outcome ex) target)
+      (Enum.candidates graph)
+  in
+  let first_inconsistent = ref None in
+  let consistent_one =
+    Seq.fold_left
+      (fun acc ex ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if Axiom.consistent cfg ex then Some ex
+          else begin
+            if !first_inconsistent = None then first_inconsistent := Some ex;
+            None
+          end)
+      None matching
+  in
+  match (consistent_one, !first_inconsistent) with
+  | Some ex, _ -> Allowed_by (Format.asprintf "%a" Exec.pp ex)
+  | None, Some ex ->
+    (* find the relation whose cycle forbids this candidate *)
+    let events = ex.Exec.graph.Event.events in
+    let name_of id = Format.asprintf "%a" Event.pp events.(id) in
+    let from_rel rel =
+      Option.map (List.map name_of) (Rel.cycle_witness rel)
+    in
+    let ghb_cycle = from_rel (Axiom.ghb cfg ex) in
+    let coherence_cycle =
+      from_rel
+        (Rel.union (Exec.po_loc ex)
+           (Rel.union (Exec.rf_rel ex) (Rel.union ex.Exec.co (Exec.fr ex))))
+    in
+    (match (ghb_cycle, coherence_cycle) with
+     | Some c, _ | None, Some c -> Forbidden_cycle c
+     | None, None -> Forbidden_cycle [ "(no single-candidate cycle found)" ])
+  | None, None -> Unreachable

@@ -1,0 +1,53 @@
+(** Top-level model checking: the allowed-outcome set of a program
+    under a configuration, plus model-comparison helpers used for the
+    paper's proofs-by-enumeration (§4.6). *)
+
+open Types
+
+val allowed :
+  ?faulting:(tid * int) list -> Axiom.config -> Instr.t list array ->
+  Outcome.Set.t
+(** All final outcomes of consistent executions.  [faulting] marks
+    stores (by thread id and program-order index) as generating
+    imprecise exceptions; it only affects configurations whose fault
+    mode is [Split_stream]. *)
+
+val allowed_with_stats :
+  ?faulting:(tid * int) list -> Axiom.config -> Instr.t list array ->
+  Outcome.Set.t * int * int
+(** Outcomes plus (candidate count, consistent count). *)
+
+val equivalent :
+  ?faulting:(tid * int) list -> Axiom.config -> Axiom.config ->
+  Instr.t list array -> bool
+(** Same allowed-outcome sets on this program. *)
+
+val subset :
+  ?faulting:(tid * int) list -> Axiom.config -> Axiom.config ->
+  Instr.t list array -> bool
+(** [subset a b prog]: allowed(a) ⊆ allowed(b). *)
+
+val extra_outcomes :
+  ?faulting:(tid * int) list -> Axiom.config -> Axiom.config ->
+  Instr.t list array -> Outcome.t list
+(** Outcomes allowed by the first configuration but not the second. *)
+
+(** {1 Explanations} *)
+
+type verdict =
+  | Allowed_by of string
+      (** a consistent candidate execution produces the outcome; the
+          payload renders it *)
+  | Forbidden_cycle of string list
+      (** every candidate with this outcome is inconsistent; the
+          payload is a happens-before cycle (one event per line) from a
+          representative candidate — the reason the model says no *)
+  | Unreachable
+      (** no candidate execution, consistent or not, produces the
+          outcome (e.g. values that no store writes) *)
+
+val explain :
+  ?faulting:(tid * int) list -> Axiom.config -> Instr.t list array ->
+  Outcome.t -> verdict
+(** Why an outcome is allowed or forbidden under the configuration —
+    the herd-style answer to "which cycle forbids this?". *)

@@ -1,0 +1,78 @@
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+(* Cartesian product of a list of choice lists, as a lazy sequence. *)
+let rec product : 'a list list -> 'a list Seq.t = function
+  | [] -> Seq.return []
+  | choices :: rest ->
+    Seq.concat_map
+      (fun tail -> Seq.map (fun c -> c :: tail) (List.to_seq choices))
+      (product rest)
+
+let candidates (graph : Event.graph) =
+  let events = graph.Event.events in
+  let n = Array.length events in
+  let reads =
+    Array.to_list events |> List.filter Event.is_read |> List.map (fun e -> e.Event.id)
+  in
+  let writes_for rd =
+    Array.to_list events
+    |> List.filter (fun w -> Event.is_write w && Event.same_loc w events.(rd))
+    |> List.map (fun w -> w.Event.id)
+  in
+  let locs = Hashtbl.create 8 in
+  Array.iter
+    (fun e ->
+      if Event.is_write e && not (Event.is_init e) then
+        match e.Event.loc with
+        | Some l ->
+          Hashtbl.replace locs l (e.Event.id :: (try Hashtbl.find locs l with Not_found -> []))
+        | None -> ())
+    events;
+  let init_of_loc l =
+    let found = ref (-1) in
+    Array.iter
+      (fun e ->
+        if Event.is_init e && e.Event.loc = Some l then found := e.Event.id)
+      events;
+    !found
+  in
+  let loc_orders =
+    Hashtbl.fold
+      (fun l ws acc -> (init_of_loc l, permutations ws) :: acc)
+      locs []
+  in
+  let rf_choices = product (List.map writes_for reads) in
+  let co_choices = product (List.map snd loc_orders) in
+  let inits = List.map fst loc_orders in
+  Seq.concat_map
+    (fun rf_assignment ->
+      let rf = Array.make n (-1) in
+      List.iter2 (fun rd w -> rf.(rd) <- w) reads rf_assignment;
+      Seq.filter_map
+        (fun co_assignment ->
+          let co = Rel.create n in
+          List.iter2
+            (fun init order ->
+              (* init is co-before everything; then the permutation
+                 order, with all transitive pairs added. *)
+              let chain = if init >= 0 then init :: order else order in
+              let rec pairs = function
+                | [] -> ()
+                | x :: rest ->
+                  List.iter (fun y -> Rel.add co x y) rest;
+                  pairs rest
+              in
+              pairs chain)
+            inits co_assignment;
+          Exec.make graph ~rf ~co)
+        co_choices)
+    rf_choices
+
+let count graph = Seq.fold_left (fun acc _ -> acc + 1) 0 (candidates graph)

@@ -1,0 +1,15 @@
+(** Exhaustive enumeration of candidate executions.
+
+    For every read the enumerator tries every same-location write
+    (including the init write) as a reads-from source, and for every
+    location it tries every linearisation of the location's writes as
+    the coherence order.  Candidates that violate value well-formedness
+    or RMW atomicity are dropped by {!Exec.make}.  Litmus-scale
+    programs keep the space tiny. *)
+
+val candidates : Event.graph -> Exec.t Seq.t
+(** All well-formed candidate executions (not yet filtered by any
+    consistency axiom). *)
+
+val count : Event.graph -> int
+(** Number of well-formed candidates (forces the sequence). *)

@@ -1,0 +1,202 @@
+open Types
+
+type dir = R | W | F
+
+type write_source =
+  | Const of value
+  | Of_reg of reg
+  | Amo_swap of value
+  | Amo_fetch_add of value
+
+type t = {
+  id : int;
+  tid : tid;
+  po_index : int;
+  dir : dir;
+  loc : loc option;
+  dst : reg option;
+  wsrc : write_source option;
+  rmw_partner : int option;
+  faulting : bool;
+}
+
+type graph = {
+  events : t array;
+  po : Rel.t;
+  addr_dep : Rel.t;
+  data_dep : Rel.t;
+  ctrl_dep : Rel.t;
+  nthreads : int;
+  nlocs : int;
+}
+
+let is_read e = e.dir = R
+let is_write e = e.dir = W
+let is_fence e = e.dir = F
+let is_init e = e.tid = -1
+
+let same_loc a b =
+  match (a.loc, b.loc) with Some x, Some y -> x = y | _ -> false
+
+let pp ppf e =
+  let loc = match e.loc with Some l -> loc_name l | None -> "-" in
+  let kind =
+    match e.dir with
+    | R -> "R"
+    | W -> if e.faulting then "W!" else "W"
+    | F -> "F"
+  in
+  if is_init e then Format.fprintf ppf "e%d:init W%s" e.id loc
+  else Format.fprintf ppf "e%d:T%d.%d %s%s" e.id e.tid e.po_index kind loc
+
+let locs_of_program threads =
+  let locs = Hashtbl.create 8 in
+  Array.iter
+    (List.iter (fun i ->
+         match Instr.loc_of i with
+         | Some x -> Hashtbl.replace locs x ()
+         | None -> ()))
+    threads;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) locs [])
+
+(* Builder that allocates events and records dependency edges. *)
+type builder = {
+  mutable acc : t list;
+  mutable next_id : int;
+  mutable dep_edges : (int * int) list list;
+      (* [addr; data; ctrl] edge accumulators, reversed *)
+}
+
+let compile ?(faulting = []) threads =
+  let locs = locs_of_program threads in
+  let nlocs = match List.rev locs with [] -> 0 | x :: _ -> x + 1 in
+  let b = { acc = []; next_id = 0; dep_edges = [ []; []; [] ] } in
+  let fresh ?dst ?wsrc ?rmw_partner ?(flt = false) ~tid ~po_index dir loc =
+    let e =
+      { id = b.next_id; tid; po_index; dir; loc; dst; wsrc; rmw_partner;
+        faulting = flt }
+    in
+    b.next_id <- b.next_id + 1;
+    b.acc <- e :: b.acc;
+    e
+  in
+  let add_edge which pair =
+    b.dep_edges <-
+      List.mapi (fun i l -> if i = which then pair :: l else l) b.dep_edges
+  in
+  (* Init writes first so their ids are the smallest. *)
+  List.iter
+    (fun x ->
+      ignore (fresh ~tid:(-1) ~po_index:(-1) ~wsrc:(Const 0) W (Some x)))
+    locs;
+  let po_pairs = ref [] in
+  Array.iteri
+    (fun tid instrs ->
+      (* reg -> event id of the read that last defined it *)
+      let reg_def : (reg, int) Hashtbl.t = Hashtbl.create 8 in
+      (* accumulated control sources: read events guarding later code *)
+      let ctrl_sources = ref [] in
+      let thread_events = ref [] in
+      let is_faulting po_index = List.mem (tid, po_index) faulting in
+      List.iteri
+        (fun po_index instr ->
+          let flt = is_faulting po_index in
+          let dep_on_reg which r target_id =
+            match Hashtbl.find_opt reg_def r with
+            | Some src -> add_edge which (src, target_id)
+            | None -> ()
+          in
+          let emit_ctrl target_id =
+            List.iter (fun src -> add_edge 2 (src, target_id)) !ctrl_sources
+          in
+          let record e = thread_events := e.id :: !thread_events in
+          (match instr with
+           | Instr.Load (r, x) ->
+             let e = fresh ~tid ~po_index ~dst:r R (Some x) in
+             emit_ctrl e.id;
+             Hashtbl.replace reg_def r e.id;
+             record e
+           | Instr.Load_dep (r, x, rdep) ->
+             let e = fresh ~tid ~po_index ~dst:r R (Some x) in
+             dep_on_reg 0 rdep e.id;
+             emit_ctrl e.id;
+             Hashtbl.replace reg_def r e.id;
+             record e
+           | Instr.Store (x, v) ->
+             let e = fresh ~tid ~po_index ~wsrc:(Const v) ~flt W (Some x) in
+             emit_ctrl e.id;
+             record e
+           | Instr.Store_reg (x, r) ->
+             let e = fresh ~tid ~po_index ~wsrc:(Of_reg r) ~flt W (Some x) in
+             dep_on_reg 1 r e.id;
+             emit_ctrl e.id;
+             record e
+           | Instr.Store_dep (x, v, rdep) ->
+             let e = fresh ~tid ~po_index ~wsrc:(Const v) ~flt W (Some x) in
+             dep_on_reg 0 rdep e.id;
+             emit_ctrl e.id;
+             record e
+           | Instr.Fence ->
+             let e = fresh ~tid ~po_index F None in
+             record e
+           | Instr.Ctrl r ->
+             (match Hashtbl.find_opt reg_def r with
+              | Some src ->
+                if not (List.mem src !ctrl_sources) then
+                  ctrl_sources := src :: !ctrl_sources
+              | None -> ())
+           | Instr.Amo (r, x, v) ->
+             let rd = fresh ~tid ~po_index ~dst:r R (Some x) in
+             let wr =
+               fresh ~tid ~po_index ~wsrc:(Amo_swap v) ~rmw_partner:rd.id ~flt W
+                 (Some x)
+             in
+             let rd = { rd with rmw_partner = Some wr.id } in
+             b.acc <-
+               List.map (fun e -> if e.id = rd.id then rd else e) b.acc;
+             emit_ctrl rd.id;
+             emit_ctrl wr.id;
+             Hashtbl.replace reg_def r rd.id;
+             record rd;
+             record wr
+           | Instr.Amo_add (r, x, v) ->
+             let rd = fresh ~tid ~po_index ~dst:r R (Some x) in
+             let wr =
+               fresh ~tid ~po_index ~wsrc:(Amo_fetch_add v) ~rmw_partner:rd.id
+                 ~flt W (Some x)
+             in
+             let rd = { rd with rmw_partner = Some wr.id } in
+             b.acc <-
+               List.map (fun e -> if e.id = rd.id then rd else e) b.acc;
+             emit_ctrl rd.id;
+             emit_ctrl wr.id;
+             Hashtbl.replace reg_def r rd.id;
+             record rd;
+             record wr))
+        instrs;
+      (* program order: all earlier-to-later pairs within the thread *)
+      let ids = List.rev !thread_events in
+      let rec pairs = function
+        | [] -> ()
+        | x :: rest ->
+          List.iter (fun y -> po_pairs := (x, y) :: !po_pairs) rest;
+          pairs rest
+      in
+      pairs ids)
+    threads;
+  let events = Array.of_list (List.rev b.acc) in
+  let n = Array.length events in
+  Array.iteri (fun i e -> assert (e.id = i)) events;
+  let po = Rel.of_list n !po_pairs in
+  let edges which =
+    Rel.of_list n (List.nth b.dep_edges which)
+  in
+  {
+    events;
+    po;
+    addr_dep = edges 0;
+    data_dep = edges 1;
+    ctrl_dep = edges 2;
+    nthreads = Array.length threads;
+    nlocs;
+  }

@@ -1,0 +1,53 @@
+(** Memory events of a candidate execution.
+
+    A litmus program is compiled to a set of events: one init write per
+    location (thread [-1]), one read and/or write per memory
+    instruction (an AMO yields a read-write pair), and one fence event
+    per fence.  Dependency edges (address, data, control) are computed
+    syntactically during compilation by tracking register definitions,
+    and the per-thread program order is returned as a relation. *)
+
+open Types
+
+type dir = R | W | F
+
+type write_source =
+  | Const of value  (** immediate store or init value *)
+  | Of_reg of reg  (** store of a register value *)
+  | Amo_swap of value  (** RMW write: the swapped-in constant *)
+  | Amo_fetch_add of value  (** RMW write: loaded value + constant *)
+
+type t = {
+  id : int;
+  tid : tid;  (** [-1] for init writes *)
+  po_index : int;  (** position within the thread; [-1] for init *)
+  dir : dir;
+  loc : loc option;  (** [None] for fences *)
+  dst : reg option;  (** destination register of a read *)
+  wsrc : write_source option;  (** how a write's value is produced *)
+  rmw_partner : int option;  (** the paired event of an AMO *)
+  faulting : bool;  (** store marked as generating an imprecise exception *)
+}
+
+type graph = {
+  events : t array;
+  po : Rel.t;  (** program order (transitive, intra-thread) *)
+  addr_dep : Rel.t;  (** load → event whose address depends on it *)
+  data_dep : Rel.t;  (** load → store whose data depends on it *)
+  ctrl_dep : Rel.t;  (** load → event control-dependent on it *)
+  nthreads : int;
+  nlocs : int;
+}
+
+val compile : ?faulting:(tid * int) list -> Instr.t list array -> graph
+(** [compile ~faulting threads] builds the event graph.  [faulting]
+    lists [(tid, po_index)] pairs of store instructions that should be
+    marked as faulting (the imprecise-exception extension, §4.5).
+    Instructions at a faulting index must be stores. *)
+
+val is_read : t -> bool
+val is_write : t -> bool
+val is_fence : t -> bool
+val is_init : t -> bool
+val same_loc : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,201 @@
+open Types
+
+type t = {
+  graph : Event.graph;
+  rf : int array;
+  co : Rel.t;
+  values : value array;
+}
+
+let n_events t = Array.length t.graph.Event.events
+
+let rf_rel t =
+  let r = Rel.create (n_events t) in
+  Array.iteri (fun rd w -> if w >= 0 then Rel.add r w rd) t.rf;
+  r
+
+let rfe t =
+  let events = t.graph.Event.events in
+  Rel.filter (fun w rd -> events.(w).Event.tid <> events.(rd).Event.tid) (rf_rel t)
+
+let rfi t =
+  let events = t.graph.Event.events in
+  Rel.filter (fun w rd -> events.(w).Event.tid = events.(rd).Event.tid) (rf_rel t)
+
+let fr t =
+  let events = t.graph.Event.events in
+  let n = n_events t in
+  let r = Rel.create n in
+  Array.iteri
+    (fun rd w0 ->
+      if w0 >= 0 then
+        for w' = 0 to n - 1 do
+          if w' <> w0
+             && Event.is_write events.(w')
+             && Event.same_loc events.(w0) events.(w')
+             && Rel.mem t.co w0 w'
+          then Rel.add r rd w'
+        done)
+    t.rf;
+  (* Reads from a write w0: also fr to writes co-after w0 only; reads
+     from init handled because init writes participate in co. *)
+  r
+
+let po_loc t =
+  let events = t.graph.Event.events in
+  Rel.filter
+    (fun a b -> Event.same_loc events.(a) events.(b))
+    t.graph.Event.po
+
+let fence_order t =
+  let events = t.graph.Event.events in
+  let po = t.graph.Event.po in
+  let n = n_events t in
+  let r = Rel.create n in
+  Array.iter
+    (fun f ->
+      if Event.is_fence f then
+        for a = 0 to n - 1 do
+          if Rel.mem po a f.Event.id && not (Event.is_fence events.(a)) then
+            for b = 0 to n - 1 do
+              if Rel.mem po f.Event.id b && not (Event.is_fence events.(b))
+              then Rel.add r a b
+            done
+        done)
+    events;
+  r
+
+(* Compute the value of every event by fixpoint over rf and data
+   sources.  Returns None if some value never settles (a cycle). *)
+let compute_values (graph : Event.graph) rf =
+  let events = graph.Event.events in
+  let n = Array.length events in
+  let values = Array.make n 0 in
+  let known = Array.make n false in
+  (* The load (if any) feeding a Store_reg through data_dep. *)
+  let data_src = Array.make n (-1) in
+  Rel.iter (fun l w -> data_src.(w) <- l) graph.Event.data_dep;
+  let progress = ref true in
+  let passes = ref 0 in
+  while !progress && !passes <= n + 1 do
+    progress := false;
+    incr passes;
+    Array.iter
+      (fun e ->
+        let open Event in
+        if not known.(e.id) then begin
+          let resolved v =
+            values.(e.id) <- v;
+            known.(e.id) <- true;
+            progress := true
+          in
+          match e.dir with
+          | F -> resolved 0
+          | R ->
+            let w = rf.(e.id) in
+            if w >= 0 && known.(w) then resolved values.(w)
+            else if w < 0 then resolved 0
+          | W -> (
+            match e.wsrc with
+            | Some (Const v) -> resolved v
+            | Some (Amo_swap v) -> resolved v
+            | Some (Amo_fetch_add v) -> (
+              match e.rmw_partner with
+              | Some rd when known.(rd) -> resolved (values.(rd) + v)
+              | _ -> ())
+            | Some (Of_reg _) ->
+              let src = data_src.(e.id) in
+              if src < 0 then resolved 0
+              else if known.(src) then resolved values.(src)
+            | None -> resolved 0)
+        end)
+      events
+  done;
+  if Array.for_all (fun k -> k) known then Some values else None
+
+(* RMW atomicity: the write of an AMO must be coherence-immediately
+   after the write its read observed. *)
+let atomic_ok (graph : Event.graph) rf co =
+  let events = graph.Event.events in
+  let n = Array.length events in
+  let ok = ref true in
+  Array.iter
+    (fun e ->
+      let open Event in
+      if is_read e then
+        match e.rmw_partner with
+        | None -> ()
+        | Some wr ->
+          let w0 = rf.(e.id) in
+          if w0 = wr then ok := false
+          else if w0 >= 0 then begin
+            if not (Rel.mem co w0 wr) then ok := false;
+            for w' = 0 to n - 1 do
+              if w' <> w0 && w' <> wr
+                 && Event.is_write events.(w')
+                 && Event.same_loc events.(w') events.(wr)
+                 && Rel.mem co w0 w' && Rel.mem co w' wr
+              then ok := false
+            done
+          end)
+    events;
+  !ok
+
+let make graph ~rf ~co =
+  if not (atomic_ok graph rf co) then None
+  else
+    match compute_values graph rf with
+    | None -> None
+    | Some values -> Some { graph; rf; co; values }
+
+let outcome t =
+  let events = t.graph.Event.events in
+  (* Final register values: the po-latest read defining each register. *)
+  let best : (tid * reg, int (* po slot *) * value) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  Array.iteri
+    (fun i e ->
+      let open Event in
+      match e.dst with
+      | Some r when e.tid >= 0 ->
+        let key = (e.tid, r) in
+        let slot = (e.po_index * 2) + if is_write e then 1 else 0 in
+        let v = t.values.(i) in
+        (match Hashtbl.find_opt best key with
+         | Some (s, _) when s > slot -> ()
+         | _ -> Hashtbl.replace best key (slot, v))
+      | _ -> ())
+    events;
+  let regs = Hashtbl.fold (fun k (_, v) acc -> (k, v) :: acc) best [] in
+  (* Final memory: coherence-maximal write per location. *)
+  let mem = ref [] in
+  Array.iteri
+    (fun i e ->
+      let open Event in
+      if is_write e then
+        match e.loc with
+        | Some l ->
+          let is_max = ref true in
+          Array.iteri
+            (fun j e' ->
+              if j <> i && Event.is_write e' && Event.same_loc e e'
+                 && Rel.mem t.co i j
+              then is_max := false)
+            events;
+          if !is_max then mem := (l, t.values.(i)) :: !mem
+        | None -> ())
+    events;
+  Outcome.make ~regs ~mem:!mem
+
+let pp ppf t =
+  let events = t.graph.Event.events in
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i e ->
+      Format.fprintf ppf "%a = %d" Event.pp e t.values.(i);
+      if Event.is_read e && t.rf.(i) >= 0 then
+        Format.fprintf ppf "  (rf <- e%d)" t.rf.(i);
+      Format.fprintf ppf "@,")
+    events;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Candidate executions: an event graph together with a reads-from
+    map and a per-location coherence order, plus the derived
+    from-read relation and computed event values. *)
+
+open Types
+
+type t = {
+  graph : Event.graph;
+  rf : int array;
+      (** [rf.(r)] is the write event a read [r] reads from; [-1] for
+          non-read events. *)
+  co : Rel.t;  (** coherence: total order per location over writes *)
+  values : value array;
+      (** [values.(e)]: stored value for writes, read value for reads *)
+}
+
+val rf_rel : t -> Rel.t
+(** Reads-from as a relation (write → read). *)
+
+val rfe : t -> Rel.t
+(** External reads-from: write and read on different threads. *)
+
+val rfi : t -> Rel.t
+(** Internal reads-from: same thread. *)
+
+val fr : t -> Rel.t
+(** From-read: read → every write coherence-after the one it read. *)
+
+val po_loc : t -> Rel.t
+(** Program order restricted to same-location memory accesses. *)
+
+val fence_order : t -> Rel.t
+(** Pairs of memory events separated by a fence in program order. *)
+
+val make : Event.graph -> rf:int array -> co:Rel.t -> t option
+(** Computes event values from [rf]; [None] when the value assignment
+    has no fixpoint (a causal cycle through data) or when RMW
+    atomicity is violated. *)
+
+val outcome : t -> Outcome.t
+(** Final registers (last po-write of each register per thread) and
+    final memory (coherence-maximal write per location). *)
+
+val pp : Format.formatter -> t -> unit

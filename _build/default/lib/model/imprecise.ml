@@ -1,0 +1,132 @@
+open Types
+
+type stream_mode = Split | Same
+
+type obs = { l_b : value; l_a : value }
+
+(* Micro-operations of the Figure 2 scenario.  Each is an atomic step
+   on the shared state; the interleaving enumeration explores every
+   order consistent with the per-core sequences. *)
+type micro =
+  | Detect
+  | Put of loc * value  (** core 0 supplies a faulting store to its interface *)
+  | Write_mem of loc * value  (** split stream: direct drain to memory *)
+  | Get_apply  (** OS drains all visible interface entries, applies in order *)
+  | Resolve
+  | Load_obs of loc  (** an observer load; its value is recorded *)
+  | Load_discard of loc  (** the re-executed L'(A); value unobserved *)
+
+type state = {
+  mutable mem_a : value;
+  mutable mem_b : value;
+  mutable queue : (loc * value) list;  (** core 0's interface, FIFO *)
+  mutable observed : value list;  (** reversed observation list *)
+}
+
+let copy_state s =
+  { mem_a = s.mem_a; mem_b = s.mem_b; queue = s.queue; observed = s.observed }
+
+let read s = function 0 -> s.mem_a | _ -> s.mem_b
+let write s l v = if l = 0 then s.mem_a <- v else s.mem_b <- v
+
+let step s = function
+  | Detect | Resolve -> ()
+  | Put (l, v) -> s.queue <- s.queue @ [ (l, v) ]
+  | Write_mem (l, v) -> write s l v
+  | Get_apply ->
+    List.iter (fun (l, v) -> write s l v) s.queue;
+    s.queue <- []
+  | Load_obs l -> s.observed <- read s l :: s.observed
+  | Load_discard _ -> ()
+
+(* All interleavings of two sequences, applied to the initial state;
+   collect the observation lists. *)
+let explore seq0 seq1 =
+  let results = ref [] in
+  let rec go s ops0 ops1 =
+    match (ops0, ops1) with
+    | [], [] -> results := List.rev s.observed :: !results
+    | _ ->
+      (match ops0 with
+       | op :: rest ->
+         let s' = copy_state s in
+         step s' op;
+         go s' rest ops1
+       | [] -> ());
+      (match ops1 with
+       | op :: rest ->
+         let s' = copy_state s in
+         step s' op;
+         go s' ops0 rest
+       | [] -> ())
+  in
+  go { mem_a = 0; mem_b = 0; queue = [];  observed = [] } seq0 seq1;
+  !results
+
+let fig2_outcomes mode =
+  let loc_a = 0 and loc_b = 1 in
+  let store_b =
+    match mode with
+    | Split -> Write_mem (loc_b, 1)
+    | Same -> Put (loc_b, 1)
+  in
+  (* Core 0: S(A,1) faults; after the fence, S(B,1) follows.  The
+     store buffer drains S(A) to the interface; S(B) either drains to
+     memory (split) or follows through the interface (same).  Core 0's
+     own handler then GETs and resolves. *)
+  let core0 = [ Detect; Put (loc_a, 1); store_b; Get_apply; Resolve ] in
+  (* Core 1: L'(A) faults; handler GETs (racing with core 0's PUTs),
+     resolves, re-executes L'(A), then performs the fenced observer
+     loads L(B); L(A). *)
+  let core1 =
+    [ Detect; Get_apply; Resolve; Load_discard loc_a; Load_obs loc_b;
+      Load_obs loc_a ]
+  in
+  let raw = explore core0 core1 in
+  let outcomes =
+    List.filter_map
+      (function [ b; a ] -> Some { l_b = b; l_a = a } | _ -> None)
+      raw
+  in
+  List.sort_uniq compare outcomes
+
+let fig2_violates_pc mode =
+  List.exists (fun o -> o.l_b = 1 && o.l_a = 0) (fig2_outcomes mode)
+
+let all_store_subsets threads =
+  let stores = ref [] in
+  Array.iteri
+    (fun tid instrs ->
+      List.iteri
+        (fun i instr ->
+          match instr with
+          | Instr.Store _ | Instr.Store_reg _ | Instr.Store_dep _ ->
+            stores := (tid, i) :: !stores
+          | _ -> ())
+        instrs)
+    threads;
+  let stores = List.rev !stores in
+  List.fold_left
+    (fun subsets s -> subsets @ List.map (fun sub -> s :: sub) subsets)
+    [ [] ] stores
+
+let same_stream_preserves cfg threads =
+  let base = Check.allowed cfg threads in
+  List.for_all
+    (fun faulting ->
+      let faulty =
+        Check.allowed ~faulting (Axiom.with_faults Axiom.Same_stream cfg) threads
+      in
+      Outcome.Set.equal base faulty)
+    (all_store_subsets threads)
+
+let split_stream_weakens cfg threads =
+  let base = Check.allowed cfg threads in
+  List.for_all
+    (fun faulting ->
+      let faulty =
+        Check.allowed ~faulting (Axiom.with_faults Axiom.Split_stream cfg)
+          threads
+      in
+      Outcome.Set.subset base faulty)
+    (all_store_subsets threads)

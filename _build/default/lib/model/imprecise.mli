@@ -1,0 +1,57 @@
+(** Operation-level formalism of imprecise store exceptions (§4.4-4.6).
+
+    The paper extends the memory-order vocabulary with five operations
+
+    {v DETECT <m PUT(S(A)) <m GET <m S_OS(A) <m RESOLVE v}
+
+    and shows that the *split-stream* treatment (non-faulting stores
+    drain directly to memory while faulting stores travel through the
+    architectural interface) admits a race between one core's
+    [PUT(S(A))] and another core's [GET] that produces a PC violation
+    (Figure 2a), while the *same-stream* treatment (younger
+    non-faulting stores follow faulting stores through the interface)
+    does not (Figure 2b).
+
+    This module makes that argument executable: it exhaustively
+    enumerates all interleavings of the micro-operations of the
+    two-core scenario and reports which observer outcomes are
+    reachable. *)
+
+open Types
+
+type stream_mode = Split | Same
+
+type obs = { l_b : value; l_a : value }
+(** The two observer loads of the Figure 2 program: Core 1's [L(B)]
+    and [L(A)] (executed in that order, fenced). *)
+
+val fig2_outcomes : stream_mode -> obs list
+(** Reachable observer outcomes over all interleavings of the Figure 2
+    scenario: Core 0 runs [S(A,1); fence; S(B,1)] where [S(A)] faults;
+    Core 1 takes its own imprecise exception, handles it (its GET races
+    with Core 0's PUT), resolves, and then reads [B] then [A]. *)
+
+val fig2_violates_pc : stream_mode -> bool
+(** True iff the outcome [L(B)=1 ∧ L(A)=0] — the PC violation — is
+    reachable. The paper's claim: [true] for [Split], [false] for
+    [Same]. *)
+
+(** {1 Proofs by enumeration}
+
+    §4.6 proves the store-store rule of PC by case analysis; here we
+    verify the theorems on concrete programs by exhaustive
+    enumeration of candidate executions under the axioms of
+    {!Axiom}. *)
+
+val same_stream_preserves :
+  Axiom.config -> Instr.t list array -> bool
+(** For every subset of stores marked faulting, the same-stream
+    configuration allows exactly the base model's outcomes. *)
+
+val split_stream_weakens :
+  Axiom.config -> Instr.t list array -> bool
+(** For every subset of stores marked faulting, the split-stream
+    configuration allows a superset of the base model's outcomes. *)
+
+val all_store_subsets : Instr.t list array -> (tid * int) list list
+(** Every subset of the program's stores, as faulting-markings. *)

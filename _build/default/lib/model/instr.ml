@@ -1,0 +1,52 @@
+open Types
+
+type t =
+  | Load of reg * loc
+  | Load_dep of reg * loc * reg
+  | Store of loc * value
+  | Store_reg of loc * reg
+  | Store_dep of loc * value * reg
+  | Fence
+  | Ctrl of reg
+  | Amo of reg * loc * value
+  | Amo_add of reg * loc * value
+
+let uses = function
+  | Load _ -> []
+  | Load_dep (_, _, rdep) -> [ rdep ]
+  | Store _ -> []
+  | Store_reg (_, r) -> [ r ]
+  | Store_dep (_, _, rdep) -> [ rdep ]
+  | Fence -> []
+  | Ctrl r -> [ r ]
+  | Amo _ | Amo_add _ -> []
+
+let defs = function
+  | Load (r, _) | Load_dep (r, _, _) | Amo (r, _, _) | Amo_add (r, _, _) -> Some r
+  | Store _ | Store_reg _ | Store_dep _ | Fence | Ctrl _ -> None
+
+let loc_of = function
+  | Load (_, x)
+  | Load_dep (_, x, _)
+  | Store (x, _)
+  | Store_reg (x, _)
+  | Store_dep (x, _, _)
+  | Amo (_, x, _)
+  | Amo_add (_, x, _) -> Some x
+  | Fence | Ctrl _ -> None
+
+let is_memory i = match i with Fence | Ctrl _ -> false | _ -> true
+
+let pp ppf = function
+  | Load (r, x) -> Format.fprintf ppf "%s := *%s" (reg_name r) (loc_name x)
+  | Load_dep (r, x, d) ->
+    Format.fprintf ppf "%s := *(%s + 0*%s)" (reg_name r) (loc_name x) (reg_name d)
+  | Store (x, v) -> Format.fprintf ppf "*%s := %d" (loc_name x) v
+  | Store_reg (x, r) -> Format.fprintf ppf "*%s := %s" (loc_name x) (reg_name r)
+  | Store_dep (x, v, d) ->
+    Format.fprintf ppf "*(%s + 0*%s) := %d" (loc_name x) (reg_name d) v
+  | Fence -> Format.fprintf ppf "fence"
+  | Ctrl r -> Format.fprintf ppf "if (%s) {}" (reg_name r)
+  | Amo (r, x, v) -> Format.fprintf ppf "%s := swap(*%s, %d)" (reg_name r) (loc_name x) v
+  | Amo_add (r, x, v) ->
+    Format.fprintf ppf "%s := fetch_add(*%s, %d)" (reg_name r) (loc_name x) v

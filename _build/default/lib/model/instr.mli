@@ -1,0 +1,48 @@
+(** Litmus-program instruction AST.
+
+    A program is a list of threads; each thread is a list of
+    instructions executed in program order.  The AST is deliberately
+    small — just enough to express the ordering relations of the
+    paper's Table 6: plain loads/stores, stores of register values
+    (data dependency), loads through a dependent address (address
+    dependency), control dependencies, fences, and atomic
+    read-modify-writes (covering RISC-V AMO and LR/SC pairs at the
+    model level). *)
+
+open Types
+
+type t =
+  | Load of reg * loc
+      (** [Load (r, x)]: r := *x *)
+  | Load_dep of reg * loc * reg
+      (** [Load_dep (r, x, rdep)]: r := *(x + 0*rdep) — an address
+          dependency on [rdep] that does not change the address. *)
+  | Store of loc * value
+      (** [Store (x, v)]: *x := v (immediate data). *)
+  | Store_reg of loc * reg
+      (** [Store_reg (x, r)]: *x := r — data dependency on [r]. *)
+  | Store_dep of loc * value * reg
+      (** [Store_dep (x, v, rdep)]: *x := v through an address
+          dependency on [rdep]. *)
+  | Fence
+      (** Full memory barrier (the paper's F). *)
+  | Ctrl of reg
+      (** Conditional branch on [reg]; orders subsequent instructions
+          by a control dependency (the branch itself emits no memory
+          event). *)
+  | Amo of reg * loc * value
+      (** [Amo (r, x, v)]: atomically r := *x; *x := v (swap). *)
+  | Amo_add of reg * loc * value
+      (** [Amo_add (r, x, v)]: atomically r := *x; *x := r + v. *)
+
+val uses : t -> reg list
+(** Registers read by the instruction (for dependency edges). *)
+
+val defs : t -> reg option
+(** Register written by the instruction, if any. *)
+
+val loc_of : t -> loc option
+(** Memory location accessed, if any. *)
+
+val is_memory : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+open Types
+
+type t = {
+  regs : ((tid * reg) * value) list;
+  mem : (loc * value) list;
+}
+
+let make ~regs ~mem =
+  let dedup_sorted cmp l =
+    let sorted = List.sort cmp l in
+    let rec go = function
+      | a :: b :: rest when cmp a b = 0 -> go (b :: rest)
+      | a :: rest -> a :: go rest
+      | [] -> []
+    in
+    go sorted
+  in
+  {
+    regs = dedup_sorted (fun (k1, _) (k2, _) -> compare k1 k2) regs;
+    mem = dedup_sorted (fun (k1, _) (k2, _) -> compare k1 k2) mem;
+  }
+
+let reg t tid r =
+  match List.assoc_opt (tid, r) t.regs with Some v -> v | None -> 0
+
+let mem_value t l =
+  match List.assoc_opt l t.mem with Some v -> v | None -> 0
+
+let compare a b =
+  match Stdlib.compare a.regs b.regs with
+  | 0 -> Stdlib.compare a.mem b.mem
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  let pp_reg ppf ((tid, r), v) =
+    Format.fprintf ppf "%d:%s=%d" tid (reg_name r) v
+  in
+  let pp_mem ppf (l, v) = Format.fprintf ppf "%s=%d" (loc_name l) v in
+  Format.fprintf ppf "{%a | %a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_reg)
+    t.regs
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_mem)
+    t.mem
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,26 @@
+(** Observable outcome of an execution: final register and memory
+    values.  Outcomes are the currency of litmus testing — the model
+    enumerates the *allowed* set, the operational machine produces
+    *observed* ones, and the pass criterion is observed ⊆ allowed. *)
+
+open Types
+
+type t = {
+  regs : ((tid * reg) * value) list;  (** sorted by key *)
+  mem : (loc * value) list;  (** sorted by location *)
+}
+
+val make : regs:((tid * reg) * value) list -> mem:(loc * value) list -> t
+(** Sorts and deduplicates the bindings into canonical form. *)
+
+val reg : t -> tid -> reg -> value
+(** Final register value; [0] if never written. *)
+
+val mem_value : t -> loc -> value
+(** Final memory value; [0] if the location is absent. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

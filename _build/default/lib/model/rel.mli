@@ -1,0 +1,38 @@
+(** Finite binary relations over event ids [0 .. n-1].
+
+    Candidate executions are small (a litmus test has at most a couple
+    of dozen events), so relations are dense boolean matrices and all
+    operations are straightforward — clarity over asymptotics. *)
+
+type t
+
+val create : int -> t
+(** Empty relation over [n] elements. *)
+
+val size : t -> int
+val add : t -> int -> int -> unit
+val mem : t -> int -> int -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val compose : t -> t -> t
+(** [compose r s] is [{(a,c) | ∃b. r(a,b) ∧ s(b,c)}]. *)
+
+val inverse : t -> t
+val transitive_closure : t -> t
+val is_acyclic : t -> bool
+(** True when the relation's transitive closure is irreflexive. *)
+
+val cycle_witness : t -> int list option
+(** A cycle [e1; e2; …; e1] when one exists, for error messages. *)
+
+val of_list : int -> (int * int) list -> t
+val to_list : t -> (int * int) list
+val filter : (int -> int -> bool) -> t -> t
+val cardinal : t -> int
+val copy : t -> t
+val equal : t -> t -> bool
+val iter : (int -> int -> unit) -> t -> unit
+
+val topological_order : t -> int list option
+(** A linear extension of the relation, or [None] if cyclic. *)

@@ -1,0 +1,16 @@
+type tid = int
+type loc = int
+type value = int
+type reg = int
+
+let loc_name l =
+  (* x, y, z, w, then v4, v5, ... *)
+  match l with
+  | 0 -> "x"
+  | 1 -> "y"
+  | 2 -> "z"
+  | 3 -> "w"
+  | n -> "v" ^ string_of_int n
+
+let pp_loc ppf l = Format.pp_print_string ppf (loc_name l)
+let reg_name r = "r" ^ string_of_int r

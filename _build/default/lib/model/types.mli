@@ -1,0 +1,23 @@
+(** Shared base types of the memory-model formalism (paper §4.2).
+
+    Litmus-level locations and values are small abstract integers; the
+    operational simulator maps them onto real cache-line addresses when
+    a test is lowered onto the machine. *)
+
+type tid = int
+(** Hardware thread (core) identifier. *)
+
+type loc = int
+(** Memory location identifier (one per distinct address in a test). *)
+
+type value = int
+(** Values stored/loaded. [0] is the implicit initial value. *)
+
+type reg = int
+(** Per-thread register index. *)
+
+val pp_loc : Format.formatter -> loc -> unit
+(** Locations print as [x], [y], [z], … for litmus-style output. *)
+
+val loc_name : loc -> string
+val reg_name : reg -> string

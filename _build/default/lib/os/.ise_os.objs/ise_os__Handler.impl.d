@@ -1,0 +1,1 @@
+lib/os/handler.ml: Einject Engine Hashtbl Ise_core Ise_model Ise_sim Ise_util List Machine Memsys Midgard Page_table

@@ -1,0 +1,1 @@
+lib/os/handler.mli: Ise_core Ise_sim Ise_util Page_table

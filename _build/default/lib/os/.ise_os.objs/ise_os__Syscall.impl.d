@@ -1,0 +1,1 @@
+lib/os/syscall.ml: Config Einject Handler Ise_core Ise_sim List Machine Sim_instr

@@ -1,0 +1,1 @@
+lib/os/syscall.mli: Ise_sim

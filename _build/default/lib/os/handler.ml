@@ -1,0 +1,210 @@
+open Ise_sim
+
+type resolve_policy =
+  | Clear_einject
+  | Demand_paging of { table : Page_table.t; io_latency : int }
+  | Midgard_paging of
+      { midgard : Ise_sim.Midgard.t; major_pct : int; io_latency : int }
+
+type config = {
+  costs : Ise_core.Batch.cost_model;
+  policy : resolve_policy;
+}
+
+let default_config =
+  { costs = Ise_core.Batch.default_cost_model; policy = Clear_einject }
+
+type stats = {
+  mutable invocations : int;
+  mutable stores_handled : int;
+  mutable faulting_handled : int;
+  mutable apply_cycles : int;
+  mutable other_cycles : int;
+  mutable io_requests : int;
+  mutable precise_faults : int;
+  mutable terminated_cores : int;
+  batch_sizes : Ise_util.Stats.t;
+}
+
+let fresh_stats () =
+  { invocations = 0; stores_handled = 0; faulting_handled = 0; apply_cycles = 0;
+    other_cycles = 0; io_requests = 0; precise_faults = 0; terminated_cores = 0;
+    batch_sizes = Ise_util.Stats.create () }
+
+let is_faulting (r : Ise_core.Fault.record) =
+  r.Ise_core.Fault.code <> Ise_core.Fault.No_exception
+
+(* Resolve one fault; returns the cycle cost and the number of IO
+   requests it contributed. *)
+let resolve_one machine config (r : Ise_core.Fault.record) =
+  let einj = Machine.einject machine in
+  let addr = r.Ise_core.Fault.addr in
+  match config.policy with
+  | Clear_einject ->
+    Einject.clear_faulting einj addr;
+    (config.costs.Ise_core.Batch.resolve_per_store, 0)
+  | Demand_paging { table; _ } ->
+    Einject.clear_faulting einj addr;
+    (match Page_table.resolve table addr with
+     | `Was_present | `Minor ->
+       (config.costs.Ise_core.Batch.resolve_per_store, 0)
+     | `Major -> (config.costs.Ise_core.Batch.resolve_per_store, 1))
+  | Midgard_paging { midgard; major_pct; _ } ->
+    Einject.clear_faulting einj addr;
+    let was_mapped = Midgard.is_mapped midgard addr in
+    Midgard.map_page midgard addr;
+    let major =
+      (not was_mapped) && Hashtbl.hash (addr lsr 12) mod 100 < major_pct
+    in
+    (config.costs.Ise_core.Batch.resolve_per_store, if major then 1 else 0)
+
+let install ?(config = default_config) machine =
+  let stats = fresh_stats () in
+  let engine = Machine.engine machine in
+  let costs = config.costs in
+  let on_imprecise core_id =
+    stats.invocations <- stats.invocations + 1;
+    let core = Machine.core machine core_id in
+    let fsb = Ise_sim.Core.fsb core in
+    Engine.schedule_in engine costs.Ise_core.Batch.dispatch (fun () ->
+        (* GET loop: retrieve every faulting store in interface order *)
+        let records = Ise_core.Fsb.os_drain_all fsb in
+        List.iter
+          (fun record ->
+            Machine.trace_event machine
+              (Ise_core.Contract.Get
+                 { core = core_id; cycle = Engine.now engine; record }))
+          records;
+        let n = List.length records in
+        Ise_util.Stats.add_int stats.batch_sizes n;
+        stats.stores_handled <- stats.stores_handled + n;
+        let faulting = List.filter is_faulting records in
+        stats.faulting_handled <- stats.faulting_handled + List.length faulting;
+        let irrecoverable =
+          List.exists
+            (fun r ->
+              Ise_core.Fault.severity_of r.Ise_core.Fault.code
+              = Ise_core.Fault.Irrecoverable)
+            faulting
+        in
+        if irrecoverable then begin
+          (* terminate the application; the faulting stores are
+             discarded (§4.1) *)
+          stats.terminated_cores <- stats.terminated_cores + 1;
+          Ise_sim.Core.terminate core
+        end
+        else begin
+          (* resolve all faults; major faults issue batched IO whose
+             latencies overlap within the single invocation (§5.3) *)
+          let resolve_cycles = ref 0 and ios = ref 0 in
+          List.iter
+            (fun r ->
+              let c, io = resolve_one machine config r in
+              resolve_cycles := !resolve_cycles + c;
+              ios := !ios + io)
+            faulting;
+          stats.io_requests <- stats.io_requests + !ios;
+          let io_wait =
+            if !ios = 0 then 0
+            else
+              match config.policy with
+              | Clear_einject -> 0
+              | Demand_paging { io_latency; _ }
+              | Midgard_paging { io_latency; _ } ->
+                (* batched IO: one (overlapped) latency per invocation
+                   plus a small per-request issue cost *)
+                io_latency + (50 * !ios)
+          in
+          stats.apply_cycles <- stats.apply_cycles + !resolve_cycles;
+          stats.other_cycles <-
+            stats.other_cycles + costs.Ise_core.Batch.dispatch + io_wait;
+          Engine.schedule_in engine
+            (max 1 (!resolve_cycles + io_wait))
+            (fun () ->
+              let apply_start = Engine.now engine in
+              let finish () =
+                stats.apply_cycles <-
+                  stats.apply_cycles + (Engine.now engine - apply_start);
+                Machine.trace_event machine
+                  (Ise_core.Contract.Resolve
+                     { core = core_id; cycle = Engine.now engine });
+                stats.other_cycles <-
+                  stats.other_cycles + costs.Ise_core.Batch.os_other;
+                Engine.schedule_in engine costs.Ise_core.Batch.os_other
+                  (fun () -> Ise_sim.Core.resume core)
+              in
+              (* A batched clean store may target a page that never
+                 faulted before but is marked in the device: the
+                 kernel's own store would take an imprecise exception.
+                 Per §5.4 the OS contains this by resolving inline and
+                 retrying once. *)
+              let apply_one (r : Ise_core.Fault.record) k =
+                let attempts = ref 0 in
+                let rec send () =
+                  incr attempts;
+                  Memsys.request (Machine.mem machine) ~core:core_id
+                    ~addr:r.Ise_core.Fault.addr
+                    (Memsys.Write
+                       { data = r.Ise_core.Fault.data;
+                         mask = r.Ise_core.Fault.byte_mask })
+                    (fun result ->
+                      match result with
+                      | Memsys.Value _ ->
+                        Machine.trace_event machine
+                          (Ise_core.Contract.Apply
+                             { core = core_id; cycle = Engine.now engine;
+                               record = r });
+                        k ()
+                      | Memsys.Denied _ when !attempts <= 1 ->
+                        let c, io = resolve_one machine config r in
+                        stats.apply_cycles <- stats.apply_cycles + c;
+                        stats.io_requests <- stats.io_requests + io;
+                        Engine.schedule_in engine (max 1 c) send
+                      | Memsys.Denied _ ->
+                        failwith
+                          "Handler: S_OS denied twice — the FSB pages \
+                           must be pinned (§5.4)")
+                in
+                send ()
+              in
+              match (Machine.cfg machine).Ise_sim.Config.consistency with
+              | Ise_model.Axiom.Wc ->
+                (* WC does not mandate any order among the applied
+                   stores (§4.4): overlap the S_OS transactions *)
+                let remaining = ref (List.length records) in
+                if !remaining = 0 then finish ()
+                else
+                  List.iter
+                    (fun r ->
+                      apply_one r (fun () ->
+                          decr remaining;
+                          if !remaining = 0 then finish ()))
+                    records
+              | Ise_model.Axiom.Sc | Ise_model.Axiom.Pc ->
+                (* interface order: each S_OS completes before the
+                   next is issued *)
+                let rec apply_loop = function
+                  | [] -> finish ()
+                  | r :: rest -> apply_one r (fun () -> apply_loop rest)
+                in
+                apply_loop records)
+        end)
+  in
+  let on_precise ~core ~addr ~code ~retry =
+    ignore core;
+    ignore code;
+    stats.precise_faults <- stats.precise_faults + 1;
+    let cost =
+      costs.Ise_core.Batch.dispatch + costs.Ise_core.Batch.resolve_per_store
+      + costs.Ise_core.Batch.os_other
+    in
+    Engine.schedule_in engine cost (fun () ->
+        Einject.clear_faulting (Machine.einject machine) addr;
+        (match config.policy with
+         | Demand_paging { table; _ } -> ignore (Page_table.resolve table addr)
+         | Midgard_paging { midgard; _ } -> Midgard.map_page midgard addr
+         | Clear_einject -> ());
+        retry ())
+  in
+  Machine.set_hooks machine { Machine.on_imprecise; on_precise };
+  stats

@@ -1,0 +1,52 @@
+(** The imprecise store-exception handler (§5.3, §6.2).
+
+    The reference OS implementation wired into the machine's hooks:
+
+    - {b imprecise}: after exception dispatch, GET every faulting
+      store from the core's FSB, resolve each fault (clear the EInject
+      bit, or perform demand paging with batched IO for major faults),
+      apply the stores to memory in interface order as OS stores
+      (S_OS), RESOLVE, and resume the core.  Irrecoverable faults
+      terminate the core and discard its faulting stores.
+    - {b precise}: loads (and SC-mode stores) fault precisely; the
+      handler resolves the fault and retries the access.
+
+    Cycle accounting matches Figure 5's breakdown: the
+    microarchitectural part is measured by the core (drain + flush);
+    this module accounts the OS "apply" and "other" parts. *)
+
+type resolve_policy =
+  | Clear_einject
+      (** minimal handler: mark the page non-faulting via the EInject
+          [clr] register *)
+  | Demand_paging of { table : Page_table.t; io_latency : int }
+      (** resolve through a page table; major faults issue IO
+          requests, batched per invocation (overlapped latencies) *)
+  | Midgard_paging of
+      { midgard : Ise_sim.Midgard.t; major_pct : int; io_latency : int }
+      (** resolve late Midgard→physical translation faults (§2.2,
+          Example 2) by establishing the mapping; [major_pct]% of pages
+          need an IO request (deterministic by page number) *)
+
+type config = {
+  costs : Ise_core.Batch.cost_model;
+  policy : resolve_policy;
+}
+
+val default_config : config
+
+type stats = {
+  mutable invocations : int;
+  mutable stores_handled : int;
+  mutable faulting_handled : int;  (** stores with a real exception code *)
+  mutable apply_cycles : int;  (** resolving + applying faulting stores *)
+  mutable other_cycles : int;  (** dispatch, context switch, misc, IO wait *)
+  mutable io_requests : int;
+  mutable precise_faults : int;
+  mutable terminated_cores : int;
+  batch_sizes : Ise_util.Stats.t;
+}
+
+val install : ?config:config -> Ise_sim.Machine.t -> stats
+(** Builds the hooks, installs them on the machine, and returns the
+    statistics record that the handler updates during the run. *)

@@ -1,0 +1,41 @@
+type delivery = Interrupt of int | Imprecise_exception of int
+
+type t = {
+  mutable ie_bit : bool;
+  queue : delivery Queue.t;
+  mutable n_delivered : int;
+}
+
+let create () = { ie_bit = false; queue = Queue.create (); n_delivered = 0 }
+
+let ie t = t.ie_bit
+
+let enter t =
+  if t.ie_bit then failwith "Kernel.enter: recursive handlers are not supported";
+  t.ie_bit <- true
+
+let deliver t d run =
+  if t.ie_bit then begin
+    Queue.add d t.queue;
+    false
+  end
+  else begin
+    enter t;
+    t.n_delivered <- t.n_delivered + 1;
+    run d;
+    t.ie_bit <- false;
+    true
+  end
+
+let exit_and_drain t run =
+  t.ie_bit <- false;
+  while (not t.ie_bit) && not (Queue.is_empty t.queue) do
+    let d = Queue.pop t.queue in
+    enter t;
+    t.n_delivered <- t.n_delivered + 1;
+    run d;
+    t.ie_bit <- false
+  done
+
+let pending t = Queue.length t.queue
+let delivered t = t.n_delivered

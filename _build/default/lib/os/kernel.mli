@@ -1,0 +1,35 @@
+(** Kernel-side serialization state (§5.3-5.4).
+
+    Models the Interrupt-Enable (IE) discipline: the IE bit is set
+    automatically when an interrupt or imprecise store-exception
+    handler is entered and when the kernel enters a non-interruptible
+    critical section; deliveries arriving while IE is set are queued
+    and delivered when the bit clears.  In user mode the bit is
+    hard-wired to zero, so a pending imprecise exception always stops
+    the OS from resuming the application. *)
+
+type delivery = Interrupt of int | Imprecise_exception of int
+(** The payload is the originating core. *)
+
+type t
+
+val create : unit -> t
+
+val ie : t -> bool
+
+val deliver : t -> delivery -> (delivery -> unit) -> bool
+(** [deliver t d run] runs [d] immediately (setting IE for its
+    duration is the caller's job via {!enter}/{!exit}) if IE is clear,
+    otherwise queues it.  Returns whether it ran now. *)
+
+val enter : t -> unit
+(** Sets IE (handler entry or critical-section entry).
+    @raise Failure if already set (recursive handlers are unsupported,
+    §5.4). *)
+
+val exit_and_drain : t -> (delivery -> unit) -> unit
+(** Clears IE and synchronously runs any queued deliveries (each runs
+    with IE set again). *)
+
+val pending : t -> int
+val delivered : t -> int

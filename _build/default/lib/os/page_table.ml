@@ -1,0 +1,41 @@
+type presence =
+  | Present
+  | Absent_minor
+  | Absent_major
+
+type t = {
+  page_bits : int;
+  pages : (int, presence) Hashtbl.t;
+  mutable minors : int;
+  mutable majors : int;
+}
+
+let create ~page_bits = { page_bits; pages = Hashtbl.create 64; minors = 0; majors = 0 }
+
+let vpn t addr = addr lsr t.page_bits
+
+let presence t addr =
+  match Hashtbl.find_opt t.pages (vpn t addr) with
+  | Some p -> p
+  | None -> Present
+
+let set_presence t addr p = Hashtbl.replace t.pages (vpn t addr) p
+
+let resolve t addr =
+  let page = vpn t addr in
+  match Hashtbl.find_opt t.pages page with
+  | None | Some Present -> `Was_present
+  | Some Absent_minor ->
+    Hashtbl.replace t.pages page Present;
+    t.minors <- t.minors + 1;
+    `Minor
+  | Some Absent_major ->
+    Hashtbl.replace t.pages page Present;
+    t.majors <- t.majors + 1;
+    `Major
+
+let minor_faults t = t.minors
+let major_faults t = t.majors
+
+let pages_mapped t =
+  Hashtbl.fold (fun _ p acc -> if p = Present then acc + 1 else acc) t.pages 0

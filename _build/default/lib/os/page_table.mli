@@ -1,0 +1,31 @@
+(** A minimal per-process page table with demand paging.
+
+    The OS substrate for classifying and resolving memory faults: a
+    page is either present, absent-but-cheap (minor fault: lazy
+    allocation / zero page), or absent-on-storage (major fault: an IO
+    request must bring it in).  Resolution latencies follow §4.1's
+    motivation: several µs for lazy allocation, tens of ms (here:
+    configurable cycles) for demand paging. *)
+
+type presence =
+  | Present
+  | Absent_minor  (** resolvable without IO *)
+  | Absent_major  (** needs an IO request *)
+
+type t
+
+val create : page_bits:int -> t
+
+val presence : t -> int -> presence
+(** Presence of the page containing a byte address (default:
+    [Present] for unknown pages). *)
+
+val set_presence : t -> int -> presence -> unit
+
+val resolve : t -> int -> [ `Was_present | `Minor | `Major ]
+(** Marks the page present and reports what kind of fault resolving it
+    was. *)
+
+val minor_faults : t -> int
+val major_faults : t -> int
+val pages_mapped : t -> int

@@ -1,0 +1,33 @@
+(** Kernel-generated imprecise exceptions and their containment
+    (§5.4).
+
+    When the OS itself stores into memory that can fault imprecisely —
+    e.g. [copy_to_user] into a buffer allocated from an accelerator
+    region — the kernel issues a fence after the operation so any
+    imprecise exceptions it caused are reported and handled before the
+    kernel proceeds, and another fence before switching to user mode so
+    no kernel exception leaks into the application. *)
+
+type report = {
+  completed : bool;  (** the syscall ran to completion *)
+  data_correct : bool;  (** every byte landed in the user buffer *)
+  kernel_exceptions : int;  (** imprecise exceptions taken inside the kernel *)
+  contained : bool;
+      (** every kernel exception was resolved before the containment
+          fence completed (no exception outlived the syscall) *)
+}
+
+val copy_to_user :
+  dst:int -> values:int list -> Ise_sim.Sim_instr.t list
+(** The kernel stub: stores of [values] to the user buffer at [dst],
+    followed by the containment fence. *)
+
+val return_to_user : Ise_sim.Sim_instr.t list
+(** The fence issued before switching to user mode. *)
+
+val run_copy_to_user :
+  ?cfg:Ise_sim.Config.t -> dst:int -> values:int list ->
+  mark_faulting:bool -> unit -> report
+(** Runs the kernel stub on a fresh machine with the reference handler
+    installed, optionally marking the user buffer's pages faulting, and
+    audits containment. *)

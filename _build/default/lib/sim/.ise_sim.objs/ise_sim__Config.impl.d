@@ -1,0 +1,1 @@
+lib/sim/config.ml: Format Ise_core Ise_model

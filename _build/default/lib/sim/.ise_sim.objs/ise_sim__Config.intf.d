@@ -1,0 +1,1 @@
+lib/sim/config.mli: Format Ise_core Ise_model

@@ -1,0 +1,1 @@
+lib/sim/core.ml: Array Config Engine Hashtbl Ise_core Ise_model List Memsys Sb Sim_instr

@@ -1,0 +1,1 @@
+lib/sim/core.mli: Config Engine Ise_core Memsys Sim_instr

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Config Core Einject Engine Ise_core Ise_model List Memsys Printf

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Config Core Einject Engine Ise_core Memsys Sim_instr

@@ -1,0 +1,1 @@
+lib/sim/memsys.ml: Array Bitset Cache Config Einject Engine Hashtbl Ise_core Ise_util List Queue

@@ -1,0 +1,1 @@
+lib/sim/midgard.ml: Hashtbl Ise_core List Memsys

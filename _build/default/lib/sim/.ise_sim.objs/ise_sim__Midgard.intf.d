@@ -1,0 +1,1 @@
+lib/sim/midgard.mli: Memsys

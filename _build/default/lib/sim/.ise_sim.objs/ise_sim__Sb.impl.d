@@ -1,0 +1,1 @@
+lib/sim/sb.ml: Ise_core Ise_model List

@@ -1,0 +1,1 @@
+lib/sim/sb.mli: Ise_core Ise_model

@@ -1,0 +1,1 @@
+lib/sim/sim_instr.ml: Format List Memsys

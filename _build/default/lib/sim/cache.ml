@@ -1,0 +1,117 @@
+type state = Invalid | Shared | Exclusive | Modified
+
+type line = {
+  mutable tag : int;  (* block number, -1 when invalid *)
+  mutable state : state;
+  mutable lru : int;  (* larger = more recent *)
+}
+
+type t = {
+  sets : int;
+  ways : int;
+  lines : line array;  (* sets * ways *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~sets ~ways () =
+  {
+    sets;
+    ways;
+    lines =
+      Array.init (sets * ways) (fun _ -> { tag = -1; state = Invalid; lru = 0 });
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let set_of t block = block mod t.sets
+
+let find_line t block =
+  let s = set_of t block in
+  let rec loop w =
+    if w >= t.ways then None
+    else
+      let line = t.lines.((s * t.ways) + w) in
+      if line.tag = block && line.state <> Invalid then Some line else loop (w + 1)
+  in
+  loop 0
+
+let lookup t block =
+  t.tick <- t.tick + 1;
+  match find_line t block with
+  | Some line ->
+    line.lru <- t.tick;
+    t.hits <- t.hits + 1;
+    Some line.state
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let probe t block =
+  match find_line t block with Some line -> Some line.state | None -> None
+
+let insert t block state =
+  t.tick <- t.tick + 1;
+  match find_line t block with
+  | Some line ->
+    line.state <- state;
+    line.lru <- t.tick;
+    None
+  | None ->
+    let s = set_of t block in
+    (* choose an invalid way, else the LRU way *)
+    let victim = ref t.lines.(s * t.ways) in
+    for w = 0 to t.ways - 1 do
+      let line = t.lines.((s * t.ways) + w) in
+      if line.state = Invalid && !victim.state <> Invalid then victim := line
+      else if line.state <> Invalid && !victim.state <> Invalid
+              && line.lru < !victim.lru
+      then victim := line
+    done;
+    let evicted =
+      if !victim.state <> Invalid then begin
+        t.evictions <- t.evictions + 1;
+        Some !victim.tag
+      end
+      else None
+    in
+    !victim.tag <- block;
+    !victim.state <- state;
+    !victim.lru <- t.tick;
+    evicted
+
+let set_state t block state =
+  match find_line t block with
+  | Some line ->
+    if state = Invalid then begin
+      line.state <- Invalid;
+      line.tag <- -1
+    end
+    else line.state <- state
+  | None -> ()
+
+let invalidate t block =
+  match find_line t block with
+  | Some line ->
+    line.state <- Invalid;
+    line.tag <- -1
+  | None -> ()
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let occupancy t =
+  Array.fold_left
+    (fun acc line -> if line.state <> Invalid then acc + 1 else acc)
+    0 t.lines
+
+let state_to_string = function
+  | Invalid -> "I"
+  | Shared -> "S"
+  | Exclusive -> "E"
+  | Modified -> "M"

@@ -1,0 +1,36 @@
+(** Set-associative cache tag array with MESI states and LRU
+    replacement.
+
+    Caches are the simulator's timing model: the global word store in
+    {!Memsys} is the single value oracle, and cache/directory state
+    determines latency.  Entries are keyed by block number
+    (address [lsr] block bits). *)
+
+type state = Invalid | Shared | Exclusive | Modified
+
+type t
+
+val create : sets:int -> ways:int -> unit -> t
+
+val lookup : t -> int -> state option
+(** [lookup t block] returns the block's state if present (touches
+    LRU), [None] on miss.  Records hit/miss statistics. *)
+
+val probe : t -> int -> state option
+(** Like {!lookup} but without LRU touch or statistics — used by the
+    directory to inspect remote caches. *)
+
+val insert : t -> int -> state -> int option
+(** Installs a block, returning the evicted block number if a valid
+    entry had to be replaced. *)
+
+val set_state : t -> int -> state -> unit
+(** Changes the state of a present block (no-op if absent). *)
+
+val invalidate : t -> int -> unit
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val occupancy : t -> int
+val state_to_string : state -> string

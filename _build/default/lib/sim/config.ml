@@ -1,0 +1,113 @@
+type t = {
+  ncores : int;
+  mesh_width : int;
+  dispatch_width : int;
+  retire_width : int;
+  rob_entries : int;
+  sb_entries : int;
+  l1_sets : int;
+  l1_ways : int;
+  l1_latency : int;
+  l2_sets : int;
+  l2_ways : int;
+  l2_latency : int;
+  block_bits : int;
+  noc_hop_latency : int;
+  dram_load_latency : int;
+  dram_store_latency : int;
+  consistency : Ise_model.Axiom.model;
+  sc_speculative_loads : bool;
+  sc_store_issue_window : int;
+  protocol_mode : Ise_core.Protocol.mode;
+  sb_max_inflight : int;
+  fsb_entries : int;
+  fsbc_drain_cost : int;
+  pipeline_flush_cost : int;
+  page_bits : int;
+  einject_base : int;
+  einject_pages : int;
+}
+
+let default =
+  {
+    ncores = 16;
+    mesh_width = 4;
+    dispatch_width = 4;
+    retire_width = 4;
+    rob_entries = 128;
+    sb_entries = 32;
+    (* 64 KiB, 4-way, 64-byte blocks -> 256 sets *)
+    l1_sets = 256;
+    l1_ways = 4;
+    l1_latency = 2;
+    (* 1 MiB per tile, 16-way -> 1024 sets *)
+    l2_sets = 1024;
+    l2_ways = 16;
+    l2_latency = 6;
+    block_bits = 6;
+    noc_hop_latency = 3;
+    dram_load_latency = 80;
+    dram_store_latency = 80;
+    consistency = Ise_model.Axiom.Wc;
+    sc_speculative_loads = false;
+    sc_store_issue_window = 48;
+    protocol_mode = Ise_core.Protocol.Same_stream;
+    sb_max_inflight = 32;
+    fsb_entries = 32;
+    fsbc_drain_cost = 4;
+    pipeline_flush_cost = 14;
+    page_bits = 12;
+    einject_base = 0x4000_0000;
+    einject_pages = 1 lsl 18;  (* a 1 GiB reserved region *)
+  }
+
+let with_consistency model t =
+  let sb_max_inflight =
+    match model with Ise_model.Axiom.Pc -> 1 | _ -> t.sb_max_inflight
+  in
+  { t with consistency = model; sb_max_inflight }
+
+let with_2x_memory t =
+  { t with
+    dram_load_latency = t.dram_load_latency * 2;
+    dram_store_latency = t.dram_store_latency * 2 }
+
+let with_4x_store_skew t =
+  { t with dram_store_latency = t.dram_load_latency * 4 }
+
+let sb_inflight_for model sb_entries =
+  match model with Ise_model.Axiom.Pc -> 1 | _ -> sb_entries
+
+let ntiles t = t.mesh_width * t.mesh_width
+
+let tile_of_core t core =
+  let tile = core mod ntiles t in
+  (tile mod t.mesh_width, tile / t.mesh_width)
+
+let bank_of_block t block = block mod ntiles t
+
+let hops t tile_a tile_b =
+  let xa = tile_a mod t.mesh_width and ya = tile_a / t.mesh_width in
+  let xb = tile_b mod t.mesh_width and yb = tile_b / t.mesh_width in
+  abs (xa - xb) + abs (ya - yb)
+
+let pp ppf t =
+  let model =
+    match t.consistency with
+    | Ise_model.Axiom.Sc -> "SC"
+    | Ise_model.Axiom.Pc -> "PC"
+    | Ise_model.Axiom.Wc -> "WC"
+  in
+  Format.fprintf ppf
+    "@[<v>Core         %d-wide OoO, %s, %d-entry ROB, %d-entry SB, %d cores@,\
+     L1D          %d KiB %d-way, %d-byte blocks, %d-cycle latency@,\
+     L2           %d KiB/tile, %d-way, %d-cycle access@,\
+     Coherence    directory-based MESI@,\
+     Interconnect %dx%d 2D mesh, %d cycles/hop@,\
+     Memory       %d-cycle load / %d-cycle store access latency@]"
+    t.dispatch_width model t.rob_entries t.sb_entries t.ncores
+    (t.l1_sets * t.l1_ways * (1 lsl t.block_bits) / 1024)
+    t.l1_ways (1 lsl t.block_bits) t.l1_latency
+    (t.l2_sets * t.l2_ways * (1 lsl t.block_bits) / 1024)
+    t.l2_ways t.l2_latency t.mesh_width t.mesh_width t.noc_hop_latency
+    t.dram_load_latency t.dram_store_latency

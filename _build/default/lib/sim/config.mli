@@ -1,0 +1,71 @@
+(** System parameters (Table 2) and experiment variants (Table 3).
+
+    The default configuration mirrors the paper's QFlex setup: 16
+    4-wide out-of-order cores with 128-entry ROBs and 32-entry store
+    buffers, 64 KiB 4-way L1D (2-cycle), 1 MiB/tile 16-way L2
+    (6-cycle), directory MESI over a 4×4 mesh with 3-cycle hops, and
+    80-cycle memory. *)
+
+type t = {
+  ncores : int;
+  mesh_width : int;  (** tiles are a [mesh_width × mesh_width] grid *)
+  dispatch_width : int;
+  retire_width : int;
+  rob_entries : int;
+  sb_entries : int;
+  l1_sets : int;
+  l1_ways : int;
+  l1_latency : int;
+  l2_sets : int;  (** per tile *)
+  l2_ways : int;
+  l2_latency : int;
+  block_bits : int;  (** 6 = 64-byte blocks *)
+  noc_hop_latency : int;
+  dram_load_latency : int;
+  dram_store_latency : int;
+      (** equal to load latency by default; the Table 3 skew study
+          multiplies it *)
+  consistency : Ise_model.Axiom.model;
+  sc_speculative_loads : bool;
+      (** timing-only knob for the SC baseline: loads issue out of
+          order under ROB-contained speculation (no squash modelling —
+          not for litmus runs) *)
+  sc_store_issue_window : int;
+      (** how far from the ROB head an SC store may start its memory
+          transaction (1 = issue at head only; the ROB depth =
+          unconstrained early issue) *)
+  protocol_mode : Ise_core.Protocol.mode;
+  sb_max_inflight : int;
+      (** concurrent store-buffer drains (1 under PC order, more under
+          WC / ASO checkpointing) *)
+  fsb_entries : int;
+  fsbc_drain_cost : int;  (** cycles per faulting store drained to the FSB *)
+  pipeline_flush_cost : int;
+  page_bits : int;  (** 12 = 4 KiB pages *)
+  einject_base : int;  (** base address of the EInject-reserved region *)
+  einject_pages : int;
+}
+
+val default : t
+
+val with_consistency : Ise_model.Axiom.model -> t -> t
+val with_2x_memory : t -> t
+(** Table 3 column: both load and store memory latency doubled. *)
+
+val with_4x_store_skew : t -> t
+(** Table 3 column: stores take 4× the load latency to complete. *)
+
+val sb_inflight_for : Ise_model.Axiom.model -> int -> int
+(** Drain concurrency appropriate for a model given the SB size. *)
+
+val tile_of_core : t -> int -> int * int
+(** Mesh coordinates of a core's tile. *)
+
+val bank_of_block : t -> int -> int
+(** Home L2 tile of a block (address-interleaved). *)
+
+val hops : t -> int -> int -> int
+(** Manhattan distance between two tiles' indices. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the Table 2 parameter listing. *)

@@ -1,0 +1,672 @@
+type env = {
+  trace : Ise_core.Contract.event -> unit;
+  on_imprecise : int -> unit;
+  on_precise :
+    core:int -> addr:int -> code:Ise_core.Fault.code -> retry:(unit -> unit)
+    -> unit;
+}
+
+type stats = {
+  mutable retired : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable fences : int;
+  mutable imprecise_exceptions : int;
+  mutable faulting_stores : int;
+  mutable precise_exceptions : int;
+  mutable drain_uarch_cycles : int;
+  mutable sb_full_stalls : int;
+  mutable rob_full_stalls : int;
+}
+
+let fresh_stats () =
+  { retired = 0; loads = 0; stores = 0; fences = 0; imprecise_exceptions = 0;
+    faulting_stores = 0; precise_exceptions = 0; drain_uarch_cycles = 0;
+    sb_full_stalls = 0; rob_full_stalls = 0 }
+
+type rstatus = Waiting | Executing | Done
+
+type rob_entry = {
+  r_seq : int;  (* == ROB position, monotonic *)
+  instr : Sim_instr.t;
+  mutable r_status : rstatus;
+  mutable r_value : int;
+  mutable r_addr : int;  (* resolved effective address; -1 unknown *)
+  mutable r_data : int;
+  mutable ready_at : int;  (* Nop completion cycle *)
+  mutable prefetched : bool;  (* SC: exclusive prefetch sent *)
+  (* renamed source operands: producer ROB seq, or -1 = committed
+     register file.  Captured at dispatch so dependencies always point
+     backwards even when architectural registers are reused. *)
+  a_dep : int;  (* address dependency *)
+  d_dep : int;  (* data dependency *)
+  c_dep : int;  (* control (branch) dependency *)
+}
+
+type phase =
+  | Running
+  | Paused  (* an interrupt handler is executing (IE set) *)
+  | Waiting_drains
+  | Draining_fsb
+  | In_handler
+  | Terminated
+
+let nregs = 64
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  mem : Memsys.t;
+  env : env;
+  core_id : int;
+  stream : Sim_instr.stream;
+  mutable stream_done : bool;
+  mutable replay : Sim_instr.t list;
+  regs : int array;
+  producers : int array;
+  rob : rob_entry option array;
+  mutable rob_head : int;
+  mutable rob_tail : int;
+  sb : Sb.t;
+  fsb_ : Ise_core.Fsb.t;
+  mutable phase : phase;
+  stats : stats;
+  mutable progress : bool;
+}
+
+let create cfg engine mem env ~id ~program =
+  {
+    cfg;
+    engine;
+    mem;
+    env;
+    core_id = id;
+    stream = program;
+    stream_done = false;
+    replay = [];
+    regs = Array.make nregs 0;
+    producers = Array.make nregs (-1);
+    rob = Array.make cfg.Config.rob_entries None;
+    rob_head = 0;
+    rob_tail = 0;
+    sb = Sb.create ~capacity:cfg.Config.sb_entries ~mode:cfg.Config.consistency;
+    fsb_ =
+      Ise_core.Fsb.create ~entries:cfg.Config.fsb_entries
+        ~base:(0x7000_0000 + (id * 4096)) ();
+    phase = Running;
+    stats = fresh_stats ();
+    progress = false;
+  }
+
+let id t = t.core_id
+let fsb t = t.fsb_
+let stats t = t.stats
+let reg t r = t.regs.(r)
+let sb_occupancy_watermark t = Sb.occupancy_watermark t.sb
+let sb_inflight_watermark t = Sb.inflight_watermark t.sb
+
+let rob_count t = t.rob_tail - t.rob_head
+
+let slot t seq = seq mod Array.length t.rob
+
+let get_entry t seq =
+  if seq < t.rob_head || seq >= t.rob_tail then None
+  else t.rob.(slot t seq)
+
+let entry_live t (e : rob_entry) =
+  match get_entry t e.r_seq with Some e' -> e' == e | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Register dataflow (renamed at dispatch)                             *)
+
+(* A producer seq is ready when it has completed or already retired
+   (its value is then in the committed register file). *)
+let dep_ready t seq =
+  seq < 0
+  ||
+  match get_entry t seq with
+  | Some e -> e.r_status = Done
+  | None -> true
+
+let dep_value t seq ~reg_fallback =
+  if seq < 0 then t.regs.(reg_fallback)
+  else
+    match get_entry t seq with
+    | Some e -> e.r_value
+    | None -> t.regs.(reg_fallback)
+
+let addr_ready t (e : rob_entry) (a : Sim_instr.addr_expr) =
+  if dep_ready t e.a_dep then Some a.base else None
+
+let data_ready t (e : rob_entry) = function
+  | Sim_instr.Imm v -> Some v
+  | Sim_instr.From_reg r ->
+    if dep_ready t e.d_dep then Some (dep_value t e.d_dep ~reg_fallback:r)
+    else None
+
+(* ------------------------------------------------------------------ *)
+(* Retirement                                                          *)
+
+let word addr = addr lsr 3
+
+let commit t e =
+  (match e.instr with
+   | Sim_instr.Ld { dst; _ } | Sim_instr.Amo { dst; _ } ->
+     t.regs.(dst) <- e.r_value;
+     if t.producers.(dst) = e.r_seq then t.producers.(dst) <- -1
+   | _ -> ());
+  (match e.instr with
+   | Sim_instr.Ld _ -> t.stats.loads <- t.stats.loads + 1
+   | Sim_instr.St _ -> t.stats.stores <- t.stats.stores + 1
+   | Sim_instr.Fence -> t.stats.fences <- t.stats.fences + 1
+   | _ -> ());
+  t.rob.(slot t e.r_seq) <- None;
+  t.rob_head <- t.rob_head + 1;
+  t.stats.retired <- t.stats.retired + 1;
+  t.progress <- true
+
+let retire t =
+  let sc = t.cfg.Config.consistency = Ise_model.Axiom.Sc in
+  let rec loop n =
+    if n >= t.cfg.Config.retire_width then ()
+    else
+      match get_entry t t.rob_head with
+      | None -> ()
+      | Some e -> (
+        match e.instr with
+        | Sim_instr.Fence ->
+          if Sb.is_empty t.sb && Sb.inflight t.sb = 0 then begin
+            e.r_status <- Done;
+            commit t e;
+            loop (n + 1)
+          end
+        | Sim_instr.St _ when not sc ->
+          if e.r_status = Done then begin
+            if Sb.push t.sb ~seq:e.r_seq ~addr:e.r_addr ~data:e.r_data
+                 ~mask:0xFF
+            then begin
+              commit t e;
+              loop (n + 1)
+            end
+            else t.stats.sb_full_stalls <- t.stats.sb_full_stalls + 1
+          end
+        | _ ->
+          if e.r_status = Done then begin
+            commit t e;
+            loop (n + 1)
+          end)
+  in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Imprecise exception flow (§5.3)                                     *)
+
+let record_of_sb_entry t (e : Sb.entry) =
+  let code =
+    match e.Sb.status with Sb.Faulted c -> c | _ -> Ise_core.Fault.No_exception
+  in
+  { Ise_core.Fault.core = t.core_id; seq = e.Sb.seq; addr = e.Sb.e_addr;
+    data = e.Sb.e_data; byte_mask = e.Sb.e_mask; code }
+
+(* Flush the pipeline: unretired instructions go back to the replay
+   queue (they re-execute after the handler), renames are reset. *)
+let flush_pipeline t =
+  let replayed = ref [] in
+  for seq = t.rob_tail - 1 downto t.rob_head do
+    match t.rob.(slot t seq) with
+    | Some e ->
+      replayed := e.instr :: !replayed;
+      t.rob.(slot t seq) <- None
+    | None -> ()
+  done;
+  t.replay <- !replayed @ t.replay;
+  t.rob_head <- t.rob_tail;
+  Array.fill t.producers 0 nregs (-1)
+
+let flush_and_invoke_handler t ~drain_cycles =
+  flush_pipeline t;
+  t.stats.drain_uarch_cycles <-
+    t.stats.drain_uarch_cycles + drain_cycles + t.cfg.Config.pipeline_flush_cost;
+  t.phase <- In_handler;
+  Engine.schedule_in t.engine t.cfg.Config.pipeline_flush_cost (fun () ->
+      t.env.on_imprecise t.core_id)
+
+let start_fsb_drain t =
+  t.phase <- Draining_fsb;
+  let entries = Sb.take_all t.sb in
+  let tagged =
+    List.map
+      (fun (e : Sb.entry) ->
+        let faulting =
+          match e.Sb.status with Sb.Faulted _ -> true | _ -> false
+        in
+        { Ise_core.Protocol.payload = e; faulting })
+      entries
+  in
+  let routing = Ise_core.Protocol.route t.cfg.Config.protocol_mode tagged in
+  let drain_cost = t.cfg.Config.fsbc_drain_cost in
+  let n_fsb = List.length routing.Ise_core.Protocol.to_fsb in
+  let n_mem = List.length routing.Ise_core.Protocol.to_memory in
+  let remaining = ref (n_fsb + n_mem) in
+  let finish_if_ready () =
+    if !remaining = 0 then
+      flush_and_invoke_handler t ~drain_cycles:(n_fsb * drain_cost)
+  in
+  (* FSBC writes the routed entries to the FSB, one per drain slot *)
+  List.iteri
+    (fun i (e : Sb.entry) ->
+      Engine.schedule_in t.engine ((i + 1) * drain_cost) (fun () ->
+          let record = record_of_sb_entry t e in
+          if not (Ise_core.Fsb.fsbc_append t.fsb_ record) then
+            failwith "FSB overflow: sized below the store buffer";
+          t.env.trace
+            (Ise_core.Contract.Put
+               { core = t.core_id; cycle = Engine.now t.engine; record });
+          remaining := !remaining - 1;
+          finish_if_ready ()))
+    routing.Ise_core.Protocol.to_fsb;
+  (* Split stream: clean stores drain directly to memory, in FIFO
+     order; any of them may fault in turn and joins the FSB late —
+     the ordering hazard of §4.5. *)
+  let rec drain_to_memory = function
+    | [] -> ()
+    | (e : Sb.entry) :: rest ->
+      Memsys.request t.mem ~core:t.core_id ~addr:e.Sb.e_addr
+        (Memsys.Write { data = e.Sb.e_data; mask = e.Sb.e_mask })
+        (fun result ->
+          (match result with
+           | Memsys.Value _ -> ()
+           | Memsys.Denied code ->
+             t.stats.faulting_stores <- t.stats.faulting_stores + 1;
+             let record =
+               { (record_of_sb_entry t e) with Ise_core.Fault.code }
+             in
+             if not (Ise_core.Fsb.fsbc_append t.fsb_ record) then
+               failwith "FSB overflow: sized below the store buffer";
+             t.env.trace
+               (Ise_core.Contract.Put
+                  { core = t.core_id; cycle = Engine.now t.engine; record }));
+          remaining := !remaining - 1;
+          finish_if_ready ();
+          drain_to_memory rest)
+  in
+  if !remaining = 0 then
+    Engine.schedule_in t.engine 1 (fun () -> finish_if_ready ())
+  else drain_to_memory routing.Ise_core.Protocol.to_memory
+
+let begin_exception_episode t =
+  t.phase <- Waiting_drains;
+  t.stats.imprecise_exceptions <- t.stats.imprecise_exceptions + 1;
+  t.env.trace
+    (Ise_core.Contract.Detect { core = t.core_id; cycle = Engine.now t.engine })
+
+(* Leaving a paused state (interrupt handler return, precise-fault
+   retry): an imprecise exception detected meanwhile starts now. *)
+let unpause t =
+  if t.phase = Paused then
+    if Sb.has_fault t.sb then begin_exception_episode t
+    else t.phase <- Running
+
+let on_drain_response t (entry : Sb.entry) result =
+  match result with
+  | Memsys.Value _ -> Sb.complete t.sb entry
+  | Memsys.Denied code ->
+    Sb.mark_faulted t.sb entry code;
+    t.stats.faulting_stores <- t.stats.faulting_stores + 1;
+    (* while an interrupt handler executes (IE set), the detection is
+       deferred: the episode starts when the handler returns (§5.3) *)
+    if t.phase = Running then begin_exception_episode t
+
+let drain_sb t =
+  let picks = Sb.drainable t.sb ~max_inflight:t.cfg.Config.sb_max_inflight in
+  List.iter
+    (fun (entry : Sb.entry) ->
+      Sb.mark_inflight t.sb entry;
+      t.progress <- true;
+      Memsys.request t.mem ~core:t.core_id ~addr:entry.Sb.e_addr
+        (Memsys.Write { data = entry.Sb.e_data; mask = entry.Sb.e_mask })
+        (fun result -> on_drain_response t entry result))
+    picks
+
+(* ------------------------------------------------------------------ *)
+(* Issue                                                               *)
+
+(* A precise exception flushes the pipeline (the faulting instruction
+   and everything younger re-execute from the replay queue) and stalls
+   the core for the handler's duration.  If an imprecise store
+   exception was detected meanwhile, it takes priority at unpause
+   (§5.3). *)
+let take_precise_fault t ~addr ~code =
+  t.stats.precise_exceptions <- t.stats.precise_exceptions + 1;
+  flush_pipeline t;
+  if t.phase = Running then t.phase <- Paused;
+  t.env.on_precise ~core:t.core_id ~addr ~code ~retry:(fun () -> unpause t)
+
+let forward_from_rob t (load : rob_entry) =
+  (* nearest older store to the same word: forward if resolved; block
+     if unresolved (conservative memory disambiguation) *)
+  let rec scan seq =
+    if seq < t.rob_head then `Miss
+    else
+      match t.rob.(slot t seq) with
+      | Some e -> (
+        match e.instr with
+        | Sim_instr.St _ ->
+          if e.r_addr < 0 then `Block  (* unresolved store address *)
+          else if word e.r_addr = word load.r_addr then
+            (* resolved same-word store: forward its data whether or
+               not the write has reached memory yet *)
+            `Forward e.r_data
+          else scan (seq - 1)
+        | Sim_instr.Amo _ when e.r_status <> Done -> `Block
+        | Sim_instr.Amo _ ->
+          (* a completed AMO's write is already in memory *)
+          scan (seq - 1)
+        | _ -> scan (seq - 1))
+      | None -> scan (seq - 1)
+  in
+  scan (load.r_seq - 1)
+
+let issue_load t (e : rob_entry) =
+  e.r_status <- Executing;
+  t.progress <- true;
+  match forward_from_rob t e with
+  | `Forward v ->
+    Engine.schedule_in t.engine t.cfg.Config.l1_latency (fun () ->
+        if entry_live t e then begin
+          e.r_value <- v;
+          e.r_status <- Done
+        end)
+  | `Block -> e.r_status <- Waiting  (* retry next cycle *)
+  | `Miss -> (
+    match Sb.forward t.sb ~addr:e.r_addr with
+    | Some v ->
+      Engine.schedule_in t.engine t.cfg.Config.l1_latency (fun () ->
+          if entry_live t e then begin
+            e.r_value <- v;
+            e.r_status <- Done
+          end)
+    | None ->
+      let send () =
+        Memsys.request t.mem ~core:t.core_id ~addr:e.r_addr Memsys.Read
+          (fun result ->
+            if entry_live t e then
+              match result with
+              | Memsys.Value v ->
+                e.r_value <- v;
+                e.r_status <- Done
+              | Memsys.Denied code ->
+                take_precise_fault t ~addr:e.r_addr ~code)
+      in
+      send ())
+
+let issue_amo t (e : rob_entry) op =
+  e.r_status <- Executing;
+  t.progress <- true;
+  let send () =
+    Memsys.request t.mem ~core:t.core_id ~addr:e.r_addr (Memsys.Atomic op)
+      (fun result ->
+        if entry_live t e then
+          match result with
+          | Memsys.Value old ->
+            e.r_value <- old;
+            e.r_status <- Done
+          | Memsys.Denied code ->
+            take_precise_fault t ~addr:e.r_addr ~code)
+  in
+  send ()
+
+let issue_sc_store t (e : rob_entry) =
+  e.r_status <- Executing;
+  t.progress <- true;
+  let send () =
+    Memsys.request t.mem ~core:t.core_id ~addr:e.r_addr
+      (Memsys.Write { data = e.r_data; mask = 0xFF })
+      (fun result ->
+        if entry_live t e then
+          match result with
+          | Memsys.Value _ -> e.r_status <- Done
+          | Memsys.Denied code ->
+            (* without a store buffer the fault is precise (§2.3) *)
+            take_precise_fault t ~addr:e.r_addr ~code)
+  in
+  send ()
+
+let issue t =
+  let sc = t.cfg.Config.consistency = Ise_model.Axiom.Sc in
+  let pc = t.cfg.Config.consistency = Ise_model.Axiom.Pc in
+  let now = Engine.now t.engine in
+  let all_older_done = ref true in
+  let older_loadlike_done = ref true in
+  let older_unresolved_store = ref false in
+  let older_store_unissued = ref false in
+  let fence_pending = ref false in
+  (* same-word tracking for WC po-loc: word -> oldest incomplete access *)
+  let incomplete_words = Hashtbl.create 8 in
+  let blocked = ref false in
+  let seq = ref t.rob_head in
+  while (not !blocked) && !seq < t.rob_tail do
+    (match t.rob.(slot t !seq) with
+     | None -> ()
+     | Some e ->
+       let is_head = e.r_seq = t.rob_head in
+       (* try to make progress on this entry *)
+       (match (e.instr, e.r_status) with
+        | Sim_instr.Nop _, Waiting ->
+          if now >= e.ready_at then begin
+            e.r_status <- Done;
+            t.progress <- true
+          end
+        | Sim_instr.Ctrl _, Waiting ->
+          if dep_ready t e.c_dep then begin
+            e.r_status <- Done;
+            t.progress <- true
+          end
+        | Sim_instr.St { addr; data }, Waiting -> (
+          match (addr_ready t e addr, data_ready t e data) with
+          | Some a, Some d ->
+            e.r_addr <- a;
+            e.r_data <- d;
+            if sc then begin
+              (* SC without a store buffer: an exclusive prefetch warms
+                 the block as soon as the address resolves, and the
+                 write itself performs at the ROB head, so every store
+                 pays a short commit-time latency (§2.3) *)
+              if (not e.prefetched)
+                 && e.r_seq - t.rob_head < t.cfg.Config.sc_store_issue_window
+              then begin
+                e.prefetched <- true;
+                Memsys.request t.mem ~core:t.core_id ~addr:a
+                  Memsys.Prefetch_exclusive (fun _ -> ())
+              end;
+              if is_head && (not !fence_pending) && not !older_store_unissued
+              then issue_sc_store t e
+            end
+            else begin
+              e.r_status <- Done;
+              t.progress <- true
+            end
+          | _ -> ())
+        | Sim_instr.St _, Done when sc && is_head ->
+          ()  (* impossible: SC stores are Done only after completion *)
+        | Sim_instr.Ld { addr; _ }, Waiting -> (
+          match addr_ready t e addr with
+          | Some a ->
+            e.r_addr <- a;
+            let word_blocked = Hashtbl.mem incomplete_words (word a) in
+            let eligible =
+              (not !fence_pending)
+              && (not word_blocked)
+              && (if sc then
+                    if t.cfg.Config.sc_speculative_loads then
+                      not !older_unresolved_store
+                    else !all_older_done
+                  else if pc then
+                    !older_loadlike_done && not !older_unresolved_store
+                  else not !older_unresolved_store)
+            in
+            if eligible then issue_load t e
+          | None -> ())
+        | Sim_instr.Amo { addr; op; _ }, Waiting -> (
+          match addr_ready t e addr with
+          | Some a ->
+            e.r_addr <- a;
+            if is_head && Sb.is_empty t.sb && Sb.inflight t.sb = 0 then
+              issue_amo t e op
+          | None -> ())
+        | _ -> ());
+       (* update ordering context from this entry's (possibly new) state *)
+       (match e.instr with
+        | Sim_instr.Ctrl _ when e.r_status <> Done ->
+          (* no branch speculation: nothing younger issues *)
+          blocked := true
+        | Sim_instr.Fence when e.r_status <> Done -> fence_pending := true
+        | Sim_instr.St _ ->
+          (* unresolved store addresses block younger loads (no memory
+             disambiguation speculation); resolved stores are handled
+             by ROB/SB forwarding *)
+          if e.r_addr < 0 then older_unresolved_store := true;
+          if e.r_status = Waiting then older_store_unissued := true
+        | Sim_instr.Ld _ | Sim_instr.Amo _ ->
+          if e.r_status <> Done then begin
+            older_loadlike_done := false;
+            (* same-word load-load order (CoRR); an address-dependent
+               older load with an unknown address cannot block younger
+               loads by word, which is acceptable because dependent
+               loads are ordered by their dependency anyway *)
+            if e.r_addr >= 0 then
+              Hashtbl.replace incomplete_words (word e.r_addr) ()
+          end
+        | _ -> ());
+       if e.r_status <> Done then all_older_done := false);
+    incr seq
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let next_instr t =
+  match t.replay with
+  | i :: rest ->
+    t.replay <- rest;
+    Some i
+  | [] ->
+    if t.stream_done then None
+    else (
+      match t.stream () with
+      | Some i -> Some i
+      | None ->
+        t.stream_done <- true;
+        None)
+
+let dispatch t =
+  let dispatched = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !dispatched < t.cfg.Config.dispatch_width do
+    if rob_count t >= t.cfg.Config.rob_entries then begin
+      t.stats.rob_full_stalls <- t.stats.rob_full_stalls + 1;
+      stop := true
+    end
+    else
+      match next_instr t with
+      | None -> stop := true
+      | Some instr ->
+        let producer r = t.producers.(r) in
+        let a_dep, d_dep, c_dep =
+          match instr with
+          | Sim_instr.Ld { addr; _ } | Sim_instr.Amo { addr; _ } ->
+            ((match addr.Sim_instr.dep with Some r -> producer r | None -> -1),
+             -1, -1)
+          | Sim_instr.St { addr; data } ->
+            ((match addr.Sim_instr.dep with Some r -> producer r | None -> -1),
+             (match data with
+              | Sim_instr.From_reg r -> producer r
+              | Sim_instr.Imm _ -> -1),
+             -1)
+          | Sim_instr.Ctrl r -> (-1, -1, producer r)
+          | Sim_instr.Fence | Sim_instr.Nop _ -> (-1, -1, -1)
+        in
+        let e =
+          { r_seq = t.rob_tail; instr; r_status = Waiting; r_value = 0;
+            r_addr = -1; r_data = 0; ready_at = 0; prefetched = false;
+            a_dep; d_dep; c_dep }
+        in
+        (match instr with
+         | Sim_instr.Nop n ->
+           e.ready_at <- Engine.now t.engine + max 1 n;
+           (* wake the machine when the nop completes *)
+           Engine.schedule_in t.engine (max 1 n) (fun () -> ())
+         | Sim_instr.Ld { dst; _ } | Sim_instr.Amo { dst; _ } ->
+           t.producers.(dst) <- e.r_seq
+         | _ -> ());
+        t.rob.(slot t e.r_seq) <- Some e;
+        t.rob_tail <- t.rob_tail + 1;
+        incr dispatched;
+        t.progress <- true
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+
+let step t =
+  t.progress <- false;
+  (match t.phase with
+   | Running ->
+     retire t;
+     issue t;
+     drain_sb t;
+     dispatch t
+   | Paused ->
+     (* the interrupt handler runs; retired stores keep draining in
+        the background — no store-buffer drain is required to take an
+        interrupt (§5.3) *)
+     drain_sb t
+   | Waiting_drains ->
+     if Sb.inflight t.sb = 0 then begin
+       start_fsb_drain t;
+       t.progress <- true
+     end
+   | Draining_fsb | In_handler | Terminated -> ());
+  t.progress
+
+let is_done t =
+  match t.phase with
+  | Terminated -> true
+  | Running ->
+    t.stream_done && t.replay = [] && rob_count t = 0 && Sb.is_empty t.sb
+    && Sb.inflight t.sb = 0
+  | _ -> false
+
+(* Interrupt delivery: only a Running core accepts an interrupt (the
+   IE bit is set during exception handling and while another handler
+   runs).  Returns whether the interrupt was taken. *)
+let interrupt t ~handler_cycles =
+  match t.phase with
+  | Running ->
+    t.phase <- Paused;
+    Engine.schedule_in t.engine (max 1 handler_cycles) (fun () ->
+        (* exceptions detected while the interrupt handler ran are
+           taken now, in order, before user execution resumes *)
+        unpause t);
+    true
+  | Paused | Waiting_drains | Draining_fsb | In_handler | Terminated -> false
+
+let is_terminated t = t.phase = Terminated
+
+let terminate t =
+  t.phase <- Terminated;
+  t.replay <- [];
+  t.stream_done <- true;
+  ignore (Sb.take_all t.sb);
+  for seqn = t.rob_head to t.rob_tail - 1 do
+    t.rob.(slot t seqn) <- None
+  done;
+  t.rob_head <- t.rob_tail
+
+let resume t =
+  if t.phase <> Terminated then begin
+    t.env.trace
+      (Ise_core.Contract.Resume
+         { core = t.core_id; cycle = Engine.now t.engine });
+    t.phase <- Running
+  end

@@ -1,0 +1,33 @@
+open Ise_util
+
+type t = {
+  base_addr : int;
+  pages : int;
+  page_bits : int;
+  bitmap : Bitset.t;
+  mutable denials : int;
+}
+
+let create ~base ~pages ~page_bits =
+  { base_addr = base; pages; page_bits; bitmap = Bitset.create pages;
+    denials = 0 }
+
+let base t = t.base_addr
+let size_bytes t = t.pages lsl t.page_bits
+
+let contains t addr = addr >= t.base_addr && addr < t.base_addr + size_bytes t
+
+let page_index t addr = (addr - t.base_addr) lsr t.page_bits
+
+let set_faulting t addr =
+  if contains t addr then Bitset.set t.bitmap (page_index t addr)
+
+let clear_faulting t addr =
+  if contains t addr then Bitset.clear t.bitmap (page_index t addr)
+
+let is_faulting t addr = contains t addr && Bitset.mem t.bitmap (page_index t addr)
+
+let faulting_pages t = Bitset.cardinal t.bitmap
+let injections t = t.denials
+let record_denial t = t.denials <- t.denials + 1
+let clear_all t = Bitset.clear_all t.bitmap

@@ -1,0 +1,38 @@
+(** EInject: the error/poison-injection device (§6.2).
+
+    Models the paper's hardware component that monitors transactions
+    between the LLC and memory: transactions whose address lies in the
+    device-reserved region are checked against a per-page fault
+    bitmap, and transactions to a marked page are denied with a bus
+    error.  Software manages the bitmap through the [set] and [clr]
+    MMIO registers (here: direct function calls). *)
+
+type t
+
+val create : base:int -> pages:int -> page_bits:int -> t
+
+val base : t -> int
+val size_bytes : t -> int
+val contains : t -> int -> bool
+(** Whether a byte address lies in the reserved region. *)
+
+val set_faulting : t -> int -> unit
+(** MMIO [set]: marks the 4 KiB page containing the address.
+    Addresses outside the region are ignored (like writes to an
+    unmapped MMIO register). *)
+
+val clear_faulting : t -> int -> unit
+(** MMIO [clr]: unmarks the page containing the address. *)
+
+val is_faulting : t -> int -> bool
+(** Device check on a memory transaction: [true] means the
+    transaction is denied with a bus error. *)
+
+val faulting_pages : t -> int
+val injections : t -> int
+(** Number of transactions denied so far. *)
+
+val record_denial : t -> unit
+(** Called by the memory system when it denies a transaction. *)
+
+val clear_all : t -> unit

@@ -1,0 +1,45 @@
+(* Discrete-event scheduler shared by all simulator components.  See
+   engine.mli. *)
+
+open Ise_util
+
+type t = {
+  mutable now : int;
+  queue : (unit -> unit) Pqueue.t;
+}
+
+let create () = { now = 0; queue = Pqueue.create () }
+let now t = t.now
+
+let schedule_at t cycle f =
+  if cycle < t.now then invalid_arg "Engine.schedule_at: in the past";
+  Pqueue.push t.queue cycle f
+
+let schedule_in t delay f = schedule_at t (t.now + delay) f
+
+let run_due t =
+  let rec loop ran =
+    match Pqueue.peek t.queue with
+    | Some (cycle, _) when cycle <= t.now ->
+      (match Pqueue.pop t.queue with
+       | Some (_, f) ->
+         f ();
+         loop true
+       | None -> ran)
+    | _ -> ran
+  in
+  loop false
+
+let advance t = t.now <- t.now + 1
+
+let next_event_cycle t =
+  match Pqueue.peek t.queue with Some (c, _) -> Some c | None -> None
+
+let skip_to_next_event t =
+  match next_event_cycle t with
+  | Some c when c > t.now ->
+    t.now <- c;
+    true
+  | _ -> false
+
+let pending t = Pqueue.length t.queue

@@ -1,0 +1,136 @@
+type hooks = {
+  on_imprecise : int -> unit;
+  on_precise :
+    core:int -> addr:int -> code:Ise_core.Fault.code -> retry:(unit -> unit)
+    -> unit;
+}
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  einj : Einject.t;
+  memsys : Memsys.t;
+  mutable cores : Core.t array;
+  mutable hooks : hooks option;
+  mutable trace_rev : Ise_core.Contract.event list;
+  mutable trace_enabled : bool;
+  mutable trace_len : int;
+  trace_limit : int;
+  mutable interrupts_taken : int;
+  mutable interrupts_deferred : int;
+}
+
+let trace_event t ev =
+  if t.trace_enabled && t.trace_len < t.trace_limit then begin
+    t.trace_rev <- ev :: t.trace_rev;
+    t.trace_len <- t.trace_len + 1
+  end
+
+let create ?(cfg = Config.default) ~programs () =
+  let engine = Engine.create () in
+  let einj =
+    Einject.create ~base:cfg.Config.einject_base ~pages:cfg.Config.einject_pages
+      ~page_bits:cfg.Config.page_bits
+  in
+  let memsys = Memsys.create cfg engine einj in
+  let t =
+    { cfg; engine; einj; memsys; cores = [||]; hooks = None; trace_rev = [];
+      trace_enabled = true; trace_len = 0; trace_limit = 1_000_000;
+      interrupts_taken = 0; interrupts_deferred = 0 }
+  in
+  let env : Core.env =
+    {
+      trace = (fun ev -> trace_event t ev);
+      on_imprecise =
+        (fun core ->
+          match t.hooks with
+          | Some h -> h.on_imprecise core
+          | None -> failwith "Machine: no OS hooks installed");
+      on_precise =
+        (fun ~core ~addr ~code ~retry ->
+          match t.hooks with
+          | Some h -> h.on_precise ~core ~addr ~code ~retry
+          | None -> failwith "Machine: no OS hooks installed");
+    }
+  in
+  let n = Array.length programs in
+  if n > cfg.Config.ncores then invalid_arg "Machine.create: too many programs";
+  t.cores <-
+    Array.init n (fun i ->
+        Core.create cfg engine memsys env ~id:i ~program:programs.(i));
+  t
+
+let set_hooks t h = t.hooks <- Some h
+let cfg t = t.cfg
+let engine t = t.engine
+let mem t = t.memsys
+let einject t = t.einj
+let core t i = t.cores.(i)
+let ncores t = Array.length t.cores
+let set_trace_enabled t b = t.trace_enabled <- b
+
+let all_done t = Array.for_all Core.is_done t.cores
+
+let run ?(max_cycles = 50_000_000) t =
+  if t.hooks = None then failwith "Machine.run: no OS hooks installed";
+  let rec loop () =
+    if all_done t then ()
+    else if Engine.now t.engine > max_cycles then
+      failwith
+        (Printf.sprintf "Machine.run: exceeded %d cycles (livelock?)" max_cycles)
+    else begin
+      ignore (Engine.run_due t.engine);
+      let progress = ref false in
+      Array.iter (fun c -> if Core.step c then progress := true) t.cores;
+      if all_done t then ()
+      else if !progress then begin
+        Engine.advance t.engine;
+        loop ()
+      end
+      else if Engine.skip_to_next_event t.engine then loop ()
+      else if Engine.pending t.engine > 0 then begin
+        (* events due this very cycle were scheduled during core
+           stepping: run them before advancing *)
+        Engine.advance t.engine;
+        loop ()
+      end
+      else
+        failwith
+          (Printf.sprintf "Machine.run: deadlock at cycle %d"
+             (Engine.now t.engine))
+    end
+  in
+  loop ()
+
+let cycles t = Engine.now t.engine
+
+let total_retired t =
+  Array.fold_left (fun acc c -> acc + (Core.stats c).Core.retired) 0 t.cores
+
+let trace t = List.rev t.trace_rev
+
+let check_contract t =
+  let ordered_apply = t.cfg.Config.consistency <> Ise_model.Axiom.Wc in
+  Ise_core.Contract.check ~ordered_apply ~ncores:(Array.length t.cores)
+    (trace t)
+
+(* Periodic timer interrupts on every core, like the OS activity the
+   paper's workloads run under (§6.5). *)
+let enable_timer_interrupts t ~period ~handler_cycles =
+  let rec tick () =
+    Array.iter
+      (fun core ->
+        if not (Core.is_done core) then
+          if Core.interrupt core ~handler_cycles then
+            t.interrupts_taken <- t.interrupts_taken + 1
+          else t.interrupts_deferred <- t.interrupts_deferred + 1)
+      t.cores;
+    if not (all_done t) then Engine.schedule_in t.engine period tick
+  in
+  Engine.schedule_in t.engine period tick
+
+let interrupts_taken t = t.interrupts_taken
+let interrupts_deferred t = t.interrupts_deferred
+
+let read_word t addr = Memsys.peek t.memsys addr
+let write_word t addr v = Memsys.poke t.memsys addr v

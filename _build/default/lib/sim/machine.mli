@@ -1,0 +1,62 @@
+(** The multicore machine: cores, memory hierarchy, EInject device,
+    per-core FSBs, and the interface-operation trace.
+
+    The OS is injected as hooks (see {!Ise_os.Handler} for the
+    reference implementation), keeping the hardware model free of
+    policy.  Every interface operation (DETECT/PUT/GET/APPLY/RESOLVE/
+    RESUME) is traced so runs can be validated against the Table 5
+    contract. *)
+
+type hooks = {
+  on_imprecise : int -> unit;
+      (** imprecise store exception on a core: the FSB holds the
+          faulting (and, same-stream, the clean) stores; the handler
+          must eventually resume the core *)
+  on_precise :
+    core:int -> addr:int -> code:Ise_core.Fault.code -> retry:(unit -> unit)
+    -> unit;
+}
+
+type t
+
+val create : ?cfg:Config.t -> programs:Sim_instr.stream array -> unit -> t
+(** One program per core; missing cores idle. *)
+
+val set_hooks : t -> hooks -> unit
+val cfg : t -> Config.t
+val engine : t -> Engine.t
+val mem : t -> Memsys.t
+val einject : t -> Einject.t
+val core : t -> int -> Core.t
+val ncores : t -> int
+
+val trace_event : t -> Ise_core.Contract.event -> unit
+(** Used by cores and the OS to record interface operations. *)
+
+val set_trace_enabled : t -> bool -> unit
+
+val run : ?max_cycles:int -> t -> unit
+(** Runs to completion (every core done or terminated).
+    @raise Failure on deadlock or when [max_cycles] is exceeded. *)
+
+val cycles : t -> int
+val total_retired : t -> int
+
+val trace : t -> Ise_core.Contract.event list
+(** Interface operations in global observation order. *)
+
+val check_contract : t -> (unit, Ise_core.Contract.violation) result
+
+val enable_timer_interrupts : t -> period:int -> handler_cycles:int -> unit
+(** Fires a timer interrupt on every live core each [period] cycles;
+    deliveries landing during exception handling are counted as
+    deferred (the IE bit masks them). *)
+
+val interrupts_taken : t -> int
+val interrupts_deferred : t -> int
+
+val read_word : t -> int -> int
+(** Final memory value (oracle read). *)
+
+val write_word : t -> int -> int -> unit
+(** Pre-run memory initialisation. *)

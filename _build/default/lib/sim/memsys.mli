@@ -1,0 +1,79 @@
+(** The memory hierarchy: per-core L1D, address-interleaved L2 banks
+    with a MESI directory, a 2D-mesh interconnect timing model, DRAM,
+    and the EInject device.
+
+    Design: a single global word store is the value oracle — values
+    are read and written atomically at a transaction's completion
+    instant, and transactions to the same block are serialised
+    (MSHR-style), which gives per-location coherence by construction.
+    The cache and directory state exists to produce realistic
+    latencies (hits, invalidations, remote-owner fetches, memory
+    accesses) and statistics.
+
+    Transactions that miss the LLC and target a faulting EInject page
+    are denied: the response carries a bus-error code and no state is
+    installed — exactly the paper's §6.2 device behaviour. *)
+
+type amo = Swap of int | Add of int
+
+type kind =
+  | Read
+  | Write of { data : int; mask : int }
+  | Atomic of amo
+  | Prefetch_exclusive
+      (** warms the block into the requester's L1 in Modified state
+          without writing data; denials are reported but harmless
+          (prefetches are hints) *)
+
+type result =
+  | Value of int
+      (** read data for loads/AMOs (the {e old} value for AMOs); [0]
+          for writes *)
+  | Denied of Ise_core.Fault.code
+
+type t
+
+type interceptor = {
+  int_name : string;
+  check : addr:int -> write:bool -> Ise_core.Fault.code option;
+      (** runs when a transaction misses the LLC and reaches memory;
+          returning a code denies the transaction *)
+  extra_latency : addr:int -> int;
+      (** added to every memory access in the interceptor's domain
+          (e.g. a page-table walk) *)
+}
+
+val create : Config.t -> Engine.t -> Einject.t -> t
+(** The EInject device is installed as the first memory-side
+    interceptor. *)
+
+val add_interceptor : t -> interceptor -> unit
+(** Registers another memory-side component that can deny transactions
+    (a Midgard-style late translation, an accelerator, …).
+    Interceptors are consulted in registration order; the first denial
+    wins. *)
+
+val request :
+  t -> core:int -> addr:int -> kind -> (result -> unit) -> unit
+(** Starts a transaction; the callback fires at the completion cycle.
+    Same-block transactions are serialised in arrival order. *)
+
+val peek : t -> int -> int
+(** Oracle read of the 8-byte word containing the address (no timing,
+    no state change) — for result extraction after a run. *)
+
+val poke : t -> int -> int -> unit
+(** Oracle write — for initialising memory before a run. *)
+
+val einject : t -> Einject.t
+val flush_caches : t -> unit
+
+(** {1 Statistics} *)
+
+val l1_hits : t -> int
+val l1_misses : t -> int
+val l2_hits : t -> int
+val l2_misses : t -> int
+val dram_accesses : t -> int
+val denials : t -> int
+val invalidations : t -> int

@@ -1,0 +1,60 @@
+type vma = { v_base : int; v_bytes : int }
+
+type t = {
+  page_bits : int;
+  walk_latency : int;
+  mutable vmas : vma list;
+  mapped : (int, unit) Hashtbl.t;  (* page number -> mapped *)
+  mutable faults : int;
+  mutable walks : int;
+}
+
+let create ?(page_bits = 12) ?(walk_latency = 24) () =
+  { page_bits; walk_latency; vmas = []; mapped = Hashtbl.create 256;
+    faults = 0; walks = 0 }
+
+let add_vma t ~base ~bytes = t.vmas <- { v_base = base; v_bytes = bytes } :: t.vmas
+
+let in_vma t addr =
+  List.exists
+    (fun v -> addr >= v.v_base && addr < v.v_base + v.v_bytes)
+    t.vmas
+
+let page t addr = addr lsr t.page_bits
+
+let map_page t addr = Hashtbl.replace t.mapped (page t addr) ()
+let unmap_page t addr = Hashtbl.remove t.mapped (page t addr)
+let is_mapped t addr = Hashtbl.mem t.mapped (page t addr)
+
+let map_all t =
+  List.iter
+    (fun v ->
+      let p = ref v.v_base in
+      while !p < v.v_base + v.v_bytes do
+        map_page t !p;
+        p := !p + (1 lsl t.page_bits)
+      done)
+    t.vmas
+
+let interceptor t =
+  {
+    Memsys.int_name = "midgard";
+    check =
+      (fun ~addr ~write:_ ->
+        if in_vma t addr && not (is_mapped t addr) then begin
+          t.faults <- t.faults + 1;
+          Some Ise_core.Fault.Page_fault
+        end
+        else None);
+    extra_latency =
+      (fun ~addr ->
+        if in_vma t addr then begin
+          t.walks <- t.walks + 1;
+          t.walk_latency
+        end
+        else 0);
+  }
+
+let faults_taken t = t.faults
+let walks_performed t = t.walks
+let pages_mapped t = Hashtbl.length t.mapped

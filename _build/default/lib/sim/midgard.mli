@@ -1,0 +1,47 @@
+(** A Midgard-style intermediate address space (paper §2.2, Example 2).
+
+    In Midgard the cache hierarchy is indexed by an intermediate
+    address space: the lightweight VMA-based virtual→Midgard
+    translation happens at the core for every access, while the
+    heavyweight page-based Midgard→physical translation is needed only
+    when the cache hierarchy misses.  A store can therefore pass its
+    front-end translation, retire, miss in the LLC, and {e then} take
+    a page fault during the back-end translation — an imprecise store
+    exception.
+
+    This module models the back-end: a set of VMAs (front-end checks
+    are assumed to have passed — the simulator's addresses {e are}
+    Midgard addresses) and a Midgard→physical page table.  It plugs
+    into {!Memsys} as a memory-side interceptor: accesses that miss
+    the LLC inside a registered VMA pay a page-walk latency and fault
+    when the page is unmapped. *)
+
+type t
+
+val create : ?page_bits:int -> ?walk_latency:int -> unit -> t
+(** [walk_latency] (default 24 cycles) models the page-based
+    Midgard→physical walk performed on every LLC miss in a VMA. *)
+
+val add_vma : t -> base:int -> bytes:int -> unit
+(** Registers a virtual memory area in the Midgard space.  Pages
+    inside a VMA start unmapped (demand-backed). *)
+
+val in_vma : t -> int -> bool
+
+val map_page : t -> int -> unit
+(** OS side: establishes the Midgard→physical mapping for the page
+    containing the address. *)
+
+val unmap_page : t -> int -> unit
+val is_mapped : t -> int -> bool
+
+val map_all : t -> unit
+(** Pre-populates every page of every VMA (a fault-free baseline). *)
+
+val interceptor : t -> Memsys.interceptor
+(** The memory-side hook: LLC misses inside a VMA pay the walk latency
+    and are denied with [Page_fault] when the page is unmapped. *)
+
+val faults_taken : t -> int
+val walks_performed : t -> int
+val pages_mapped : t -> int

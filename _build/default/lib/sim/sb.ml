@@ -1,0 +1,140 @@
+type status =
+  | Waiting
+  | Inflight
+  | Faulted of Ise_core.Fault.code
+
+type entry = {
+  seq : int;
+  e_addr : int;
+  mutable e_data : int;
+  mutable e_mask : int;
+  mutable status : status;
+}
+
+type t = {
+  cap : int;
+  mode : Ise_model.Axiom.model;
+  mutable items : entry list;  (* oldest first *)
+  mutable n_inflight : int;
+  mutable occ_watermark : int;
+  mutable infl_watermark : int;
+}
+
+let create ~capacity ~mode =
+  { cap = capacity; mode; items = []; n_inflight = 0; occ_watermark = 0;
+    infl_watermark = 0 }
+
+let capacity t = t.cap
+let length t = List.length t.items
+let is_empty t = t.items = []
+let is_full t = length t >= t.cap
+let inflight t = t.n_inflight
+
+let has_fault t =
+  List.exists (fun e -> match e.status with Faulted _ -> true | _ -> false)
+    t.items
+
+let entries t = t.items
+
+let word addr = addr lsr 3
+
+let merge_data old_data old_mask data mask =
+  let d = ref old_data and m = old_mask lor mask in
+  for byte = 0 to 7 do
+    if mask land (1 lsl byte) <> 0 then begin
+      let shift = byte * 8 in
+      let keep = lnot (0xFF lsl shift) in
+      d := (!d land keep) lor (data land (0xFF lsl shift))
+    end
+  done;
+  (!d, m)
+
+let push t ~seq ~addr ~data ~mask =
+  let coalesced =
+    match t.mode with
+    | Ise_model.Axiom.Wc ->
+      (* coalesce into a waiting same-word entry; safe under WC since
+         no inter-address order is required *)
+      (match
+         List.find_opt
+           (fun e -> word e.e_addr = word addr && e.status = Waiting)
+           t.items
+       with
+       | Some e ->
+         let d, m = merge_data e.e_data e.e_mask data mask in
+         e.e_data <- d;
+         e.e_mask <- m;
+         true
+       | None -> false)
+    | Ise_model.Axiom.Sc | Ise_model.Axiom.Pc -> false
+  in
+  if coalesced then true
+  else if is_full t then false
+  else begin
+    t.items <-
+      t.items @ [ { seq; e_addr = addr; e_data = data; e_mask = mask;
+                    status = Waiting } ];
+    t.occ_watermark <- max t.occ_watermark (length t);
+    true
+  end
+
+let older_same_word_outstanding t entry =
+  List.exists
+    (fun e ->
+      e.seq < entry.seq && word e.e_addr = word entry.e_addr
+      && e.status <> Waiting)
+    t.items
+
+let drainable t ~max_inflight =
+  if t.n_inflight >= max_inflight then []
+  else
+    match t.mode with
+    | Ise_model.Axiom.Pc | Ise_model.Axiom.Sc ->
+      (* strict FIFO, one at a time *)
+      (match t.items with
+       | e :: _ when e.status = Waiting && t.n_inflight = 0 -> [ e ]
+       | _ -> [])
+    | Ise_model.Axiom.Wc ->
+      let budget = max_inflight - t.n_inflight in
+      let rec pick acc n = function
+        | [] -> List.rev acc
+        | _ when n = 0 -> List.rev acc
+        | e :: rest ->
+          if e.status = Waiting && not (older_same_word_outstanding t e) then
+            pick (e :: acc) (n - 1) rest
+          else pick acc n rest
+      in
+      pick [] budget t.items
+
+let mark_inflight t e =
+  e.status <- Inflight;
+  t.n_inflight <- t.n_inflight + 1;
+  t.infl_watermark <- max t.infl_watermark t.n_inflight
+
+let complete t e =
+  if e.status = Inflight then t.n_inflight <- t.n_inflight - 1;
+  t.items <- List.filter (fun x -> x.seq <> e.seq) t.items
+
+let mark_faulted t e code =
+  if e.status = Inflight then t.n_inflight <- t.n_inflight - 1;
+  e.status <- Faulted code
+
+let forward t ~addr =
+  let w = word addr in
+  let rec newest acc = function
+    | [] -> acc
+    | e :: rest ->
+      if word e.e_addr = w then newest (Some e) rest else newest acc rest
+  in
+  match newest None t.items with
+  | Some e -> Some e.e_data
+  | None -> None
+
+let take_all t =
+  let all = t.items in
+  t.items <- [];
+  t.n_inflight <- 0;
+  all
+
+let occupancy_watermark t = t.occ_watermark
+let inflight_watermark t = t.infl_watermark

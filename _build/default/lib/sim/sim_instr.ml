@@ -1,0 +1,64 @@
+type reg = int
+
+type addr_expr = {
+  base : int;
+  dep : reg option;
+}
+
+type data_expr = Imm of int | From_reg of reg
+
+type t =
+  | Ld of { dst : reg; addr : addr_expr }
+  | St of { addr : addr_expr; data : data_expr }
+  | Amo of { dst : reg; addr : addr_expr; op : Memsys.amo }
+  | Fence
+  | Ctrl of reg
+  | Nop of int
+
+let addr ?dep base = { base; dep }
+
+let is_store = function St _ -> true | _ -> false
+
+let is_memory = function
+  | Ld _ | St _ | Amo _ -> true
+  | Fence | Ctrl _ | Nop _ -> false
+
+let pp ppf = function
+  | Ld { dst; addr } -> Format.fprintf ppf "ld r%d, [0x%x]" dst addr.base
+  | St { addr; data = Imm v } -> Format.fprintf ppf "st [0x%x], %d" addr.base v
+  | St { addr; data = From_reg r } ->
+    Format.fprintf ppf "st [0x%x], r%d" addr.base r
+  | Amo { dst; addr; op = Memsys.Swap v } ->
+    Format.fprintf ppf "amoswap r%d, [0x%x], %d" dst addr.base v
+  | Amo { dst; addr; op = Memsys.Add v } ->
+    Format.fprintf ppf "amoadd r%d, [0x%x], %d" dst addr.base v
+  | Fence -> Format.fprintf ppf "fence"
+  | Ctrl r -> Format.fprintf ppf "bnez r%d" r
+  | Nop n -> Format.fprintf ppf "nop(%d)" n
+
+type stream = unit -> t option
+
+let of_list instrs =
+  let remaining = ref instrs in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | i :: rest ->
+      remaining := rest;
+      Some i
+
+let concat streams =
+  let remaining = ref streams in
+  let rec next () =
+    match !remaining with
+    | [] -> None
+    | s :: rest -> (
+      match s () with
+      | Some i -> Some i
+      | None ->
+        remaining := rest;
+        next ())
+  in
+  next
+
+let count = List.length

@@ -1,0 +1,40 @@
+(** The simulator's instruction set.
+
+    A deliberately small ISA for trace-driven simulation: loads,
+    stores, atomics, fences, control dependencies, and fixed-latency
+    compute ([Nop]) standing in for the "Others" fraction of an
+    instruction mix.  Addresses may depend on a register (resolved
+    when the producing load completes) so litmus dependencies and
+    pointer-chasing workloads stall realistically even though the
+    trace generator knows all addresses ahead of time. *)
+
+type reg = int
+
+type addr_expr = {
+  base : int;  (** the effective byte address *)
+  dep : reg option;  (** register that must be ready first *)
+}
+
+type data_expr = Imm of int | From_reg of reg
+
+type t =
+  | Ld of { dst : reg; addr : addr_expr }
+  | St of { addr : addr_expr; data : data_expr }
+  | Amo of { dst : reg; addr : addr_expr; op : Memsys.amo }
+  | Fence
+  | Ctrl of reg
+      (** unresolved branch: younger instructions may not issue until
+          the register is ready (no branch speculation) *)
+  | Nop of int  (** completes [n ≥ 1] cycles after dispatch *)
+
+val addr : ?dep:reg -> int -> addr_expr
+val is_store : t -> bool
+val is_memory : t -> bool
+val pp : Format.formatter -> t -> unit
+
+type stream = unit -> t option
+(** Lazily produced instruction sequence; [None] ends the program. *)
+
+val of_list : t list -> stream
+val concat : stream list -> stream
+val count : t list -> int

@@ -1,0 +1,50 @@
+type t = { words : Bytes.t; n : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let set t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xFF))
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let popcount_byte b =
+  let rec loop b acc = if b = 0 then acc else loop (b lsr 1) (acc + (b land 1)) in
+  loop b 0
+
+let cardinal t =
+  let total = ref 0 in
+  Bytes.iter (fun c -> total := !total + popcount_byte (Char.code c)) t.words;
+  !total
+
+let is_empty t = cardinal t = 0
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let clear_all t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+let copy t = { words = Bytes.copy t.words; n = t.n }
+let equal a b = a.n = b.n && Bytes.equal a.words b.words

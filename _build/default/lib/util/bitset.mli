@@ -1,0 +1,24 @@
+(** Dense mutable bitset over [0 .. n-1].
+
+    Backs the EInject page-fault bitmap (one bit per 4 KiB page of the
+    device-reserved region) and directory sharer vectors. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero set over the domain [0..n-1]. *)
+
+val length : t -> int
+(** Domain size. *)
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val clear_all : t -> unit
+val to_list : t -> int list
+val copy : t -> t
+val equal : t -> t -> bool

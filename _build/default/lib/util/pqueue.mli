@@ -1,0 +1,21 @@
+(** Minimum priority queue keyed by integer priority (binary heap).
+
+    Drives the discrete-event simulation engine: events are ordered by
+    firing time, with a monotonically increasing sequence number
+    breaking ties so same-cycle events fire in insertion order
+    (deterministic simulation). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> int -> 'a -> unit
+(** [push q prio v] inserts [v] with priority [prio]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Removes the minimum-priority element; FIFO among equals. *)
+
+val peek : 'a t -> (int * 'a) option
+val clear : 'a t -> unit

@@ -1,0 +1,92 @@
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  mutable head : int;
+  mutable tail : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~capacity =
+  if not (is_power_of_two capacity) then
+    invalid_arg "Ring_buffer.create: capacity must be a positive power of two";
+  { slots = Array.make capacity None; mask = capacity - 1; head = 0; tail = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.tail - t.head
+let is_empty t = t.head = t.tail
+let is_full t = length t = capacity t
+let head t = t.head
+let tail t = t.tail
+
+let push t v =
+  if is_full t then failwith "Ring_buffer.push: full";
+  t.slots.(t.tail land t.mask) <- Some v;
+  t.tail <- t.tail + 1
+
+let pop t =
+  if is_empty t then failwith "Ring_buffer.pop: empty";
+  let idx = t.head land t.mask in
+  match t.slots.(idx) with
+  | None -> assert false
+  | Some v ->
+    t.slots.(idx) <- None;
+    t.head <- t.head + 1;
+    v
+
+let peek t = if is_empty t then None else t.slots.(t.head land t.mask)
+
+let peek_at t pos =
+  if pos < t.head || pos >= t.tail then None else t.slots.(pos land t.mask)
+
+let iter f t =
+  for pos = t.head to t.tail - 1 do
+    match t.slots.(pos land t.mask) with
+    | None -> assert false
+    | Some v -> f v
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+
+let find p t =
+  let rec loop pos =
+    if pos >= t.tail then None
+    else
+      match t.slots.(pos land t.mask) with
+      | Some v when p v -> Some v
+      | _ -> loop (pos + 1)
+  in
+  loop t.head
+
+let find_last p t =
+  let rec loop pos =
+    if pos < t.head then None
+    else
+      match t.slots.(pos land t.mask) with
+      | Some v when p v -> Some v
+      | _ -> loop (pos - 1)
+  in
+  loop (t.tail - 1)
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.head <- 0;
+  t.tail <- 0
+
+let update_last f t =
+  if is_empty t then false
+  else
+    let idx = (t.tail - 1) land t.mask in
+    match t.slots.(idx) with
+    | None -> assert false
+    | Some v ->
+      (match f v with
+       | None -> false
+       | Some v' ->
+         t.slots.(idx) <- Some v';
+         true)

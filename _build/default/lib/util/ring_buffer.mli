@@ -1,0 +1,56 @@
+(** Bounded FIFO ring buffer with explicit head/tail positions.
+
+    This is the data structure backing both the hardware store buffer
+    and the Faulting Store Buffer of the paper (§5.2): a
+    uni-directional, order-preserving channel where the producer owns
+    the tail pointer and the consumer owns the head pointer.  Positions
+    are monotonically increasing integers; the physical slot is the
+    position masked by the capacity, mirroring the base/mask system
+    registers of the FSBC. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty ring. [capacity] must be a power
+    of two (so a mask register can address it), and positive. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val head : 'a t -> int
+(** Monotonic position of the oldest element. *)
+
+val tail : 'a t -> int
+(** Monotonic position one past the newest element. *)
+
+val push : 'a t -> 'a -> unit
+(** Appends at the tail. @raise Failure if full. *)
+
+val pop : 'a t -> 'a
+(** Removes and returns the oldest element. @raise Failure if empty. *)
+
+val peek : 'a t -> 'a option
+(** Oldest element without removing it. *)
+
+val peek_at : 'a t -> int -> 'a option
+(** [peek_at t pos] reads the element at monotonic position [pos] if it
+    is still buffered. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest-to-newest iteration. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val find : ('a -> bool) -> 'a t -> 'a option
+
+val find_last : ('a -> bool) -> 'a t -> 'a option
+(** Newest matching element — the store-buffer forwarding lookup. *)
+
+val clear : 'a t -> unit
+
+val update_last : ('a -> 'a option) -> 'a t -> bool
+(** [update_last f t] applies [f] to the newest element; if [f] returns
+    [Some v] the element is replaced by [v] and the result is [true].
+    Used for store coalescing. *)

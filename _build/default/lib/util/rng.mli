@@ -1,0 +1,43 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    Every stochastic component of the simulator draws from an [t]
+    obtained by splitting a single per-run root generator, so a run is
+    fully reproducible from its seed.  The implementation is
+    SplitMix64, which is small, fast, and has well-understood
+    statistical quality for simulation purposes. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] draws the number of failures before the first
+    success of a Bernoulli trial with success probability [p].
+    Requires [0 < p <= 1]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from an exponential distribution. *)

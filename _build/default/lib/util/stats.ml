@@ -1,0 +1,86 @@
+type t = {
+  mutable samples : float array;
+  mutable size : int;
+  mutable sorted : bool;
+}
+
+let create () = { samples = [||]; size = 0; sorted = true }
+
+let add t x =
+  if t.size >= Array.length t.samples then begin
+    let ncap = max 64 (2 * Array.length t.samples) in
+    let ns = Array.make ncap 0. in
+    Array.blit t.samples 0 ns 0 t.size;
+    t.samples <- ns
+  end;
+  t.samples.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sorted <- false
+
+let add_int t x = add t (float_of_int x)
+let count t = t.size
+
+let total t =
+  let s = ref 0. in
+  for i = 0 to t.size - 1 do
+    s := !s +. t.samples.(i)
+  done;
+  !s
+
+let mean t = if t.size = 0 then nan else total t /. float_of_int t.size
+
+let variance t =
+  if t.size < 2 then 0.
+  else begin
+    let m = mean t in
+    let s = ref 0. in
+    for i = 0 to t.size - 1 do
+      let d = t.samples.(i) -. m in
+      s := !s +. (d *. d)
+    done;
+    !s /. float_of_int (t.size - 1)
+  end
+
+let stddev t = sqrt (variance t)
+
+let fold_range f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.samples.(i)
+  done;
+  !acc
+
+let min_value t = if t.size = 0 then nan else fold_range min infinity t
+let max_value t = if t.size = 0 then nan else fold_range max neg_infinity t
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let sub = Array.sub t.samples 0 t.size in
+    Array.sort compare sub;
+    Array.blit sub 0 t.samples 0 t.size;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.size = 0 then nan
+  else begin
+    ensure_sorted t;
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int t.size)) in
+    let idx = max 0 (min (t.size - 1) (rank - 1)) in
+    t.samples.(idx)
+  end
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.size - 1 do
+    add t a.samples.(i)
+  done;
+  for i = 0 to b.size - 1 do
+    add t b.samples.(i)
+  done;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p99=%.2f max=%.2f"
+    (count t) (mean t) (stddev t) (min_value t) (percentile t 50.)
+    (percentile t 99.) (max_value t)

@@ -1,0 +1,27 @@
+(** Streaming statistics accumulator.
+
+    Collects samples and reports count, mean, variance, min, max, and
+    percentiles.  Percentiles require retaining the samples; the
+    accumulator keeps them all, which is fine at simulation scale. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]]; nearest-rank on the sorted
+    samples. Returns [nan] when empty. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators into a fresh one. *)
+
+val pp : Format.formatter -> t -> unit

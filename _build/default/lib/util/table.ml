@@ -1,0 +1,58 @@
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list }
+
+let create ~headers = { headers; rows = [] }
+let add_row t cells = t.rows <- Cells cells :: t.rows
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri
+      (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Separator -> ()) rows;
+  let buf = Buffer.create 256 in
+  let pad s w =
+    let n = String.length s in
+    if n >= w then s else s ^ String.make (w - n) ' '
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        if i < ncols then Buffer.add_string buf (pad c widths.(i))
+        else Buffer.add_string buf c)
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "--";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  rule ();
+  List.iter (function Cells c -> emit_cells c | Separator -> rule ()) rows;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+   | Some s ->
+     print_newline ();
+     print_endline s;
+     print_endline (String.make (String.length s) '=')
+   | None -> ());
+  print_string (render t);
+  flush stdout
+
+let cell_f ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_i v = string_of_int v

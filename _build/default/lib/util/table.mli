@@ -1,0 +1,23 @@
+(** ASCII table rendering for benchmark output.
+
+    The bench harness prints the paper's tables and figure series as
+    aligned text tables so the rows can be compared against the paper
+    directly. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+val add_separator : t -> unit
+
+val render : t -> string
+(** Renders with a header rule and column alignment. *)
+
+val print : ?title:string -> t -> unit
+(** [print ~title t] writes the table (with an optional underlined
+    title) to stdout. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell with a fixed number of decimals (default 2). *)
+
+val cell_i : int -> string

@@ -1,0 +1,1 @@
+lib/workload/gap.ml: Array Einject Graph Hashtbl Ise_sim List Machine Queue Sim_instr

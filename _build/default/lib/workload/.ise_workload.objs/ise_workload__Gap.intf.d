@@ -1,0 +1,1 @@
+lib/workload/gap.mli: Graph Ise_sim

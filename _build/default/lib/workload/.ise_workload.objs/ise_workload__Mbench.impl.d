@@ -1,0 +1,1 @@
+lib/workload/mbench.ml: Config Core Einject Ise_os Ise_sim Ise_util List Machine Rng Sim_instr Stats

@@ -1,0 +1,1 @@
+lib/workload/mbench.mli: Ise_sim

@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Array Ise_sim Ise_util List Rng

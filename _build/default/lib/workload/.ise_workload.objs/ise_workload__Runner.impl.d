@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Config Core Ise_os Ise_sim Machine

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Ise_sim

@@ -1,0 +1,1 @@
+lib/workload/tailbench.ml: Array Einject Ise_sim Ise_util List Machine Rng Sim_instr

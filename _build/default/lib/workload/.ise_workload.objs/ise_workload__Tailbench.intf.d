@@ -1,0 +1,1 @@
+lib/workload/tailbench.mli: Ise_sim

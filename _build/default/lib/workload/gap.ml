@@ -1,0 +1,215 @@
+open Ise_sim
+
+type trace = {
+  name : string;
+  instrs : Sim_instr.t array;
+  expected : (int * int) list;
+  region : int * int;
+}
+
+type layout = {
+  offsets_at : int;
+  edges_at : int;
+  weights_at : int;
+  data_at : int;  (* dist / sigma / delta arrays *)
+  total_bytes : int;
+}
+
+let page = 4096
+let round_up_page x = (x + page - 1) / page * page
+
+let mk_layout (g : Graph.t) ~base ~data_arrays =
+  let offsets_at = base in
+  let edges_at = round_up_page (offsets_at + (8 * (g.Graph.n + 1))) in
+  let weights_at = round_up_page (edges_at + (8 * Graph.nedges g)) in
+  let data_at = round_up_page (weights_at + (8 * Graph.nedges g)) in
+  let total_bytes =
+    round_up_page (data_at + (data_arrays * 8 * g.Graph.n)) - base
+  in
+  { offsets_at; edges_at; weights_at; data_at; total_bytes }
+
+let layout_bytes g = (mk_layout g ~base:0 ~data_arrays:2).total_bytes
+
+(* Trace builder: accumulates instructions and the final stored value
+   per address. *)
+type builder = {
+  mutable acc : Sim_instr.t list;
+  mutable count : int;
+  stores : (int, int) Hashtbl.t;
+  mutable next_reg : int;
+}
+
+let builder () = { acc = []; count = 0; stores = Hashtbl.create 64; next_reg = 0 }
+
+let fresh_reg b =
+  b.next_reg <- (b.next_reg + 1) mod 48;
+  b.next_reg
+
+let emit b i =
+  b.acc <- i :: b.acc;
+  b.count <- b.count + 1
+
+let load ?dep b addr =
+  let r = fresh_reg b in
+  emit b (Sim_instr.Ld { dst = r; addr = Sim_instr.addr ?dep addr });
+  r
+
+let store b addr v =
+  emit b (Sim_instr.St { addr = Sim_instr.addr addr; data = Sim_instr.Imm v });
+  Hashtbl.replace b.stores addr v
+
+let compute b n = if n > 0 then emit b (Sim_instr.Nop n)
+
+let finish b name ~region =
+  {
+    name;
+    instrs = Array.of_list (List.rev b.acc);
+    expected = Hashtbl.fold (fun a v acc -> (a, v) :: acc) b.stores [];
+    region;
+  }
+
+(* GAP constructs the CSR from an edge list before running the kernel
+   (BuildGraph): stores to every offsets/edges/weights page.  Under
+   fault injection these writes are the main source of imprecise store
+   exceptions (§6.5). *)
+let emit_build b (g : Graph.t) l =
+  for v = 0 to g.Graph.n do
+    store b (l.offsets_at + (8 * v)) g.Graph.offsets.(v);
+    if v land 7 = 0 then compute b 1
+  done;
+  for e = 0 to Graph.nedges g - 1 do
+    store b (l.edges_at + (8 * e)) g.Graph.edges.(e);
+    store b (l.weights_at + (8 * e)) g.Graph.weights.(e);
+    if e land 7 = 0 then compute b 1
+  done
+
+let bfs ?(include_build = true) (g : Graph.t) ~base ~src =
+  let l = mk_layout g ~base ~data_arrays:1 in
+  let dist_addr v = l.data_at + (8 * v) in
+  let b = builder () in
+  if include_build then emit_build b g l;
+  let dist = Array.make g.Graph.n max_int in
+  dist.(src) <- 0;
+  store b (dist_addr src) 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    (* read the row bounds, then chase each edge *)
+    let r_off = load b (l.offsets_at + (8 * u)) in
+    let _ = load b (l.offsets_at + (8 * (u + 1))) in
+    for e = g.Graph.offsets.(u) to g.Graph.offsets.(u + 1) - 1 do
+      let v = g.Graph.edges.(e) in
+      let r_edge = load ~dep:r_off b (l.edges_at + (8 * e)) in
+      let _ = load ~dep:r_edge b (dist_addr v) in
+      if dist.(v) = max_int then begin
+        dist.(v) <- dist.(u) + 1;
+        store b (dist_addr v) dist.(v);
+        Queue.add v q
+      end;
+      compute b 6
+    done
+  done;
+  finish b "BFS" ~region:(base, l.total_bytes)
+
+let sssp ?(include_build = true) ?(max_rounds = 6) (g : Graph.t) ~base ~src =
+  let l = mk_layout g ~base ~data_arrays:1 in
+  let dist_addr v = l.data_at + (8 * v) in
+  let b = builder () in
+  if include_build then emit_build b g l;
+  let dist = Array.make g.Graph.n max_int in
+  dist.(src) <- 0;
+  store b (dist_addr src) 0;
+  let changed = ref true in
+  let round = ref 0 in
+  while !changed && !round < max_rounds do
+    changed := false;
+    incr round;
+    for u = 0 to g.Graph.n - 1 do
+      let r_du = load b (dist_addr u) in
+      if dist.(u) < max_int then begin
+        let r_off = load ~dep:r_du b (l.offsets_at + (8 * u)) in
+        for e = g.Graph.offsets.(u) to g.Graph.offsets.(u + 1) - 1 do
+          let v = g.Graph.edges.(e) and w = g.Graph.weights.(e) in
+          let r_edge = load ~dep:r_off b (l.edges_at + (8 * e)) in
+          let _ = load b (l.weights_at + (8 * e)) in
+          let _ = load ~dep:r_edge b (dist_addr v) in
+          if dist.(u) + w < dist.(v) then begin
+            dist.(v) <- dist.(u) + w;
+            store b (dist_addr v) dist.(v);
+            changed := true
+          end;
+          compute b 6
+        done
+      end
+      else compute b 1
+    done
+  done;
+  finish b "SSSP" ~region:(base, l.total_bytes)
+
+let bc ?(include_build = true) (g : Graph.t) ~base ~sources =
+  let l = mk_layout g ~base ~data_arrays:2 in
+  let sigma_addr v = l.data_at + (8 * v) in
+  let delta_addr v = l.data_at + (8 * g.Graph.n) + (8 * v) in
+  let b = builder () in
+  if include_build then emit_build b g l;
+  List.iter
+    (fun src ->
+      let sigma = Array.make g.Graph.n 0.0 in
+      let dist = Array.make g.Graph.n (-1) in
+      let order = ref [] in
+      sigma.(src) <- 1.0;
+      dist.(src) <- 0;
+      store b (sigma_addr src) 1000;
+      let q = Queue.create () in
+      Queue.add src q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        order := u :: !order;
+        let r_off = load b (l.offsets_at + (8 * u)) in
+        for e = g.Graph.offsets.(u) to g.Graph.offsets.(u + 1) - 1 do
+          let v = g.Graph.edges.(e) in
+          let r_edge = load ~dep:r_off b (l.edges_at + (8 * e)) in
+          let _ = load ~dep:r_edge b (sigma_addr v) in
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end;
+          if dist.(v) = dist.(u) + 1 then begin
+            sigma.(v) <- sigma.(v) +. sigma.(u);
+            store b (sigma_addr v) (int_of_float (1000. *. sigma.(v)))
+          end;
+          compute b 4
+        done
+      done;
+      (* backward dependency accumulation: store-heavy *)
+      let delta = Array.make g.Graph.n 0.0 in
+      List.iter
+        (fun u ->
+          let r_du = load b (delta_addr u) in
+          for e = g.Graph.offsets.(u) to g.Graph.offsets.(u + 1) - 1 do
+            let v = g.Graph.edges.(e) in
+            let _ = load ~dep:r_du b (delta_addr v) in
+            if dist.(v) = dist.(u) + 1 && sigma.(v) > 0. then begin
+              delta.(u) <-
+                delta.(u) +. (sigma.(u) /. sigma.(v) *. (1.0 +. delta.(v)));
+              store b (delta_addr u) (int_of_float (1000. *. delta.(u)))
+            end
+          done)
+        !order)
+    sources;
+  finish b "BC" ~region:(base, l.total_bytes)
+
+let stream_of t = Sim_instr.of_list (Array.to_list t.instrs)
+
+let mark_faulting machine t =
+  let base, bytes = t.region in
+  let einj = Machine.einject machine in
+  let p = ref base in
+  while !p < base + bytes do
+    Einject.set_faulting einj !p;
+    p := !p + page
+  done
+
+let verify machine t =
+  List.for_all (fun (a, v) -> Machine.read_word machine a = v) t.expected

@@ -1,0 +1,41 @@
+(** GAP kernels (BFS, SSSP, BC) as memory traces (§6.5).
+
+    Each kernel runs the real algorithm over a CSR graph laid out in
+    simulated memory and emits the corresponding instruction trace:
+    offset/edge/value loads with the natural pointer-chasing
+    dependencies, and stores of the actually computed values.  Running
+    the trace on the machine therefore materialises the kernel's
+    results in simulated memory, which the tests check against the
+    pure reference implementation — with and without injected
+    imprecise exceptions. *)
+
+type trace = {
+  name : string;
+  instrs : Ise_sim.Sim_instr.t array;
+  expected : (int * int) list;
+      (** (address, value) pairs the trace must leave in memory *)
+  region : int * int;  (** (base address, bytes) of the data footprint *)
+}
+
+val layout_bytes : Graph.t -> int
+
+val bfs : ?include_build:bool -> Graph.t -> base:int -> src:int -> trace
+(** [include_build] (default true) prepends the CSR-construction
+    stores (GAP's BuildGraph phase) — under fault injection these are
+    the main source of imprecise store exceptions. *)
+
+val sssp :
+  ?include_build:bool -> ?max_rounds:int -> Graph.t -> base:int -> src:int ->
+  trace
+
+val bc : ?include_build:bool -> Graph.t -> base:int -> sources:int list -> trace
+
+val stream_of : trace -> Ise_sim.Sim_instr.stream
+
+val mark_faulting : Ise_sim.Machine.t -> trace -> unit
+(** Marks every page of the trace's data region faulting (the paper's
+    §6.5 methodology: all workload memory is allocated from the
+    EInject region and marked before the run). *)
+
+val verify : Ise_sim.Machine.t -> trace -> bool
+(** All expected (address, value) pairs present in final memory. *)

@@ -1,0 +1,136 @@
+open Ise_util
+
+type t = {
+  n : int;
+  offsets : int array;
+  edges : int array;
+  weights : int array;
+}
+
+let nodes t = t.n
+let nedges t = Array.length t.edges
+let degree t v = t.offsets.(v + 1) - t.offsets.(v)
+
+let neighbors t v =
+  List.init (degree t v) (fun i ->
+      let e = t.offsets.(v) + i in
+      (t.edges.(e), t.weights.(e)))
+
+let of_adjacency rng adj =
+  let n = Array.length adj in
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + List.length adj.(v)
+  done;
+  let m = offsets.(n) in
+  let edges = Array.make m 0 and weights = Array.make m 1 in
+  for v = 0 to n - 1 do
+    List.iteri
+      (fun i u ->
+        edges.(offsets.(v) + i) <- u;
+        weights.(offsets.(v) + i) <- 1 + Rng.int rng 16)
+      adj.(v)
+  done;
+  { n; offsets; edges; weights }
+
+let uniform rng ~nodes:n ~avg_degree =
+  let adj = Array.make n [] in
+  let m = n * avg_degree in
+  for _ = 1 to m do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then adj.(u) <- v :: adj.(u)
+  done;
+  of_adjacency rng adj
+
+let power_law rng ~nodes:n ~avg_degree =
+  let adj = Array.make n [] in
+  let m = n * avg_degree in
+  (* preferential-attachment flavour: bias targets towards low ids,
+     which accumulate high in-degree *)
+  for _ = 1 to m do
+    let u = Rng.int rng n in
+    let v =
+      let r = Rng.float rng 1.0 in
+      let skewed = r *. r *. r in
+      int_of_float (skewed *. float_of_int n) mod n
+    in
+    if u <> v then adj.(u) <- v :: adj.(u)
+  done;
+  of_adjacency rng adj
+
+let footprint_bytes t = 8 * (Array.length t.offsets + (2 * nedges t))
+
+let bfs_distances t ~src =
+  let dist = Array.make t.n max_int in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for e = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+      let v = t.edges.(e) in
+      if dist.(v) = max_int then begin
+        dist.(v) <- dist.(u) + 1;
+        Queue.add v q
+      end
+    done
+  done;
+  dist
+
+let sssp_distances t ~src =
+  let dist = Array.make t.n max_int in
+  dist.(src) <- 0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for u = 0 to t.n - 1 do
+      if dist.(u) < max_int then
+        for e = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+          let v = t.edges.(e) and w = t.weights.(e) in
+          if dist.(u) + w < dist.(v) then begin
+            dist.(v) <- dist.(u) + w;
+            changed := true
+          end
+        done
+    done
+  done;
+  dist
+
+let bc_scores t ~sources =
+  let bc = Array.make t.n 0.0 in
+  List.iter
+    (fun src ->
+      (* Brandes: forward BFS computing sigma and levels, then a
+         backward dependency accumulation *)
+      let sigma = Array.make t.n 0.0 in
+      let dist = Array.make t.n (-1) in
+      let order = ref [] in
+      sigma.(src) <- 1.0;
+      dist.(src) <- 0;
+      let q = Queue.create () in
+      Queue.add src q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        order := u :: !order;
+        for e = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+          let v = t.edges.(e) in
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end;
+          if dist.(v) = dist.(u) + 1 then sigma.(v) <- sigma.(v) +. sigma.(u)
+        done
+      done;
+      let delta = Array.make t.n 0.0 in
+      List.iter
+        (fun u ->
+          for e = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+            let v = t.edges.(e) in
+            if dist.(v) = dist.(u) + 1 && sigma.(v) > 0. then
+              delta.(u) <-
+                delta.(u) +. (sigma.(u) /. sigma.(v) *. (1.0 +. delta.(v)))
+          done;
+          if u <> src then bc.(u) <- bc.(u) +. delta.(u))
+        !order)
+    sources;
+  bc

@@ -1,0 +1,37 @@
+(** Synthetic graphs in CSR form, the substrate for the GAP kernels
+    (§6.5: BFS, SSSP, BC on graphs of ~n nodes and ~8n edges). *)
+
+type t = {
+  n : int;
+  offsets : int array;  (** length n+1 *)
+  edges : int array;  (** concatenated adjacency lists *)
+  weights : int array;  (** per-edge positive weights *)
+}
+
+val nodes : t -> int
+val nedges : t -> int
+val degree : t -> int -> int
+val neighbors : t -> int -> (int * int) list
+(** (target, weight) pairs. *)
+
+val uniform : Ise_util.Rng.t -> nodes:int -> avg_degree:int -> t
+(** Erdős–Rényi-style random graph with deterministic weights. *)
+
+val power_law : Ise_util.Rng.t -> nodes:int -> avg_degree:int -> t
+(** Skewed degree distribution (preferential attachment flavour),
+    closer to the Kronecker graphs GAP uses. *)
+
+val footprint_bytes : t -> int
+(** Bytes of the CSR arrays when laid out in simulated memory. *)
+
+(** {1 Reference algorithms} (pure OCaml, used to validate traces) *)
+
+val bfs_distances : t -> src:int -> int array
+(** Unweighted hop distances; unreachable = max_int. *)
+
+val sssp_distances : t -> src:int -> int array
+(** Bellman-Ford shortest path distances. *)
+
+val bc_scores : t -> sources:int list -> float array
+(** Brandes betweenness-centrality contributions from the given
+    source set. *)

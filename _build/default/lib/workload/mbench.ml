@@ -1,0 +1,68 @@
+open Ise_util
+open Ise_sim
+
+type result = {
+  batching : bool;
+  faulting_stores : int;
+  invocations : int;
+  avg_batch : float;
+  uarch_per_store : float;
+  apply_per_store : float;
+  other_per_store : float;
+  total_per_store : float;
+  total_cycles : int;
+}
+
+let page = 4096
+
+let build_trace rng ~stores ~array_bytes ~base ~batching =
+  let words = array_bytes / 8 in
+  let acc = ref [] in
+  for _ = 1 to stores do
+    acc :=
+      Sim_instr.St
+        { addr = Sim_instr.addr (base + (8 * Rng.int rng words));
+          data = Sim_instr.Imm (Rng.int rng 1_000_000) }
+      :: !acc;
+    if not batching then acc := Sim_instr.Fence :: !acc
+    else acc := Sim_instr.Nop 1 :: !acc
+  done;
+  List.rev !acc
+
+let run ?(cfg = Config.default) ?(seed = 7) ?(stores = 2000)
+    ?(array_bytes = 16 * 1024 * 1024) ?(fault_page_pct = 60) ~batching () =
+  let rng = Rng.create seed in
+  let base = cfg.Config.einject_base in
+  let trace = build_trace rng ~stores ~array_bytes ~base ~batching in
+  let machine =
+    Machine.create ~cfg ~programs:[| Sim_instr.of_list trace |] ()
+  in
+  Machine.set_trace_enabled machine false;
+  let os = Ise_os.Handler.install machine in
+  (* mark a random subset of the array's pages faulting *)
+  let npages = array_bytes / page in
+  for p = 0 to npages - 1 do
+    if Rng.int rng 100 < fault_page_pct then
+      Einject.set_faulting (Machine.einject machine) (base + (p * page))
+  done;
+  Machine.run ~max_cycles:200_000_000 machine;
+  let core_stats = Core.stats (Machine.core machine 0) in
+  let handled = max 1 os.Ise_os.Handler.faulting_handled in
+  let f n = float_of_int n /. float_of_int handled in
+  let uarch = f core_stats.Core.drain_uarch_cycles in
+  let apply = f os.Ise_os.Handler.apply_cycles in
+  let other = f os.Ise_os.Handler.other_cycles in
+  {
+    batching;
+    faulting_stores = os.Ise_os.Handler.faulting_handled;
+    invocations = os.Ise_os.Handler.invocations;
+    avg_batch = Stats.mean os.Ise_os.Handler.batch_sizes;
+    uarch_per_store = uarch;
+    apply_per_store = apply;
+    other_per_store = other;
+    total_per_store = uarch +. apply +. other;
+    total_cycles = Machine.cycles machine;
+  }
+
+let speedup unbatched batched =
+  unbatched.total_per_store /. batched.total_per_store

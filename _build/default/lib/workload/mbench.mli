@@ -1,0 +1,31 @@
+(** The Figure 5 microbenchmark: overhead breakdown of imprecise
+    store-exception handling, with and without batching.
+
+    The benchmark applies a configurable number of stores to a large
+    array in the EInject region, with a fraction of the pages marked
+    faulting.  In the unbatched variant each store is followed by a
+    fence, so every imprecise exception covers exactly one faulting
+    store; in the batched variant stores stream back-to-back and each
+    exception covers whatever the store buffer has accumulated. *)
+
+type result = {
+  batching : bool;
+  faulting_stores : int;
+  invocations : int;
+  avg_batch : float;
+  uarch_per_store : float;  (** FSB drain + pipeline flush cycles *)
+  apply_per_store : float;  (** resolve + S_OS cycles *)
+  other_per_store : float;  (** dispatch, misc OS, IO wait cycles *)
+  total_per_store : float;
+  total_cycles : int;
+}
+
+val run :
+  ?cfg:Ise_sim.Config.t -> ?seed:int -> ?stores:int -> ?array_bytes:int ->
+  ?fault_page_pct:int -> batching:bool -> unit -> result
+(** Defaults: 2000 stores over a 16 MiB array with 60% of pages
+    faulting (scaled down from the paper's 10 K stores over 512 MiB —
+    the per-store overhead is size-independent). *)
+
+val speedup : result -> result -> float
+(** [speedup unbatched batched]: per-store overhead ratio. *)

@@ -1,0 +1,112 @@
+open Ise_util
+
+type profile = {
+  name : string;
+  suite : string;
+  store_pct : int;
+  load_pct : int;
+  sync_pct : int;
+  store_cold_pct : int;
+  store_shared_pct : int;
+  load_cold_pct : int;
+  hot_bytes : int;
+  cold_bytes : int;
+}
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+(* The locality knobs are calibrated so the WC-over-SC speedups line
+   up with Table 3's shape: store-miss-heavy BC gains the most, the
+   nearly store-free SSSP gains almost nothing. *)
+let table3 =
+  [
+    { name = "BFS"; suite = "GAP"; store_pct = 11; load_pct = 22; sync_pct = 0;
+      store_cold_pct = 9; store_shared_pct = 8; load_cold_pct = 35; hot_bytes = kib 32;
+      cold_bytes = mib 64 };
+    { name = "SSSP"; suite = "GAP"; store_pct = 3; load_pct = 22; sync_pct = 1;
+      store_cold_pct = 4; store_shared_pct = 0; load_cold_pct = 45; hot_bytes = kib 32;
+      cold_bytes = mib 64 };
+    { name = "BC"; suite = "GAP"; store_pct = 25; load_pct = 25; sync_pct = 0;
+      store_cold_pct = 25; store_shared_pct = 35; load_cold_pct = 25; hot_bytes = kib 32;
+      cold_bytes = mib 64 };
+    { name = "Silo"; suite = "Tailbench"; store_pct = 7; load_pct = 13;
+      sync_pct = 2; store_cold_pct = 0; store_shared_pct = 100; load_cold_pct = 30;
+      hot_bytes = kib 48; cold_bytes = mib 32 };
+    { name = "Masstree"; suite = "Tailbench"; store_pct = 14; load_pct = 13;
+      sync_pct = 0; store_cold_pct = 8; store_shared_pct = 10; load_cold_pct = 35;
+      hot_bytes = kib 48; cold_bytes = mib 32 };
+    { name = "Data Caching"; suite = "Cloudsuite"; store_pct = 11;
+      load_pct = 24; sync_pct = 0; store_cold_pct = 2; store_shared_pct = 0; load_cold_pct = 35;
+      hot_bytes = kib 48; cold_bytes = mib 32 };
+    { name = "Media Streaming"; suite = "Cloudsuite"; store_pct = 9;
+      load_pct = 13; sync_pct = 0; store_cold_pct = 3; store_shared_pct = 0; load_cold_pct = 40;
+      hot_bytes = kib 48; cold_bytes = mib 32 };
+    { name = "Data Serving"; suite = "Cloudsuite"; store_pct = 9;
+      load_pct = 24; sync_pct = 0; store_cold_pct = 2; store_shared_pct = 0; load_cold_pct = 35;
+      hot_bytes = kib 48; cold_bytes = mib 32 };
+  ]
+
+let find name = List.find (fun p -> p.name = name) table3
+
+let footprint_bytes p = p.hot_bytes + p.cold_bytes
+
+let stream ?(shared_base = 0xA000_0000) ~seed ~length ~base p =
+  let rng = Rng.create seed in
+  let emitted = ref 0 in
+  let hot_words = p.hot_bytes / 8 and cold_words = p.cold_bytes / 8 in
+  (* stores draw their hot addresses from a small, intensely reused
+     sub-range so cache churn from streaming loads does not turn
+     nominally hot stores into misses *)
+  let store_hot_words = min hot_words (8192 / 8) in
+  (* a small shared region models contended structures (locks,
+     counters, hot index nodes): high steal probability between an SC
+     prefetch and its commit write *)
+  let shared_words = 512 in
+  let cold_base = base + p.hot_bytes in
+  let pick_store_addr () =
+    let roll = Rng.int rng 100 in
+    if roll < p.store_shared_pct then
+      shared_base + (8 * Rng.int rng shared_words)
+    else if roll < p.store_shared_pct + p.store_cold_pct then
+      cold_base + (8 * Rng.int rng cold_words)
+    else base + (8 * Rng.int rng store_hot_words)
+  in
+  let pick_addr ~store cold_pct =
+    if store then pick_store_addr ()
+    else if Rng.int rng 100 < cold_pct then
+      cold_base + (8 * Rng.int rng cold_words)
+    else base + (8 * Rng.int rng hot_words)
+  in
+  let reg_counter = ref 0 in
+  let next_reg () =
+    (* cycle through a window of registers so loads rarely serialise
+       on register reuse *)
+    reg_counter := (!reg_counter + 1) mod 48;
+    !reg_counter
+  in
+  fun () ->
+    if !emitted >= length then None
+    else begin
+      incr emitted;
+      let roll = Rng.int rng 100 in
+      if roll < p.store_pct then
+        Some
+          (Ise_sim.Sim_instr.St
+             { addr = Ise_sim.Sim_instr.addr (pick_addr ~store:true p.store_cold_pct);
+               data = Ise_sim.Sim_instr.Imm (Rng.int rng 1_000_000) })
+      else if roll < p.store_pct + p.load_pct then
+        Some
+          (Ise_sim.Sim_instr.Ld
+             { dst = next_reg ();
+               addr = Ise_sim.Sim_instr.addr (pick_addr ~store:false p.load_cold_pct) })
+      else if roll < p.store_pct + p.load_pct + p.sync_pct then
+        Some Ise_sim.Sim_instr.Fence
+      else Some (Ise_sim.Sim_instr.Nop 1)
+    end
+
+let multicore_streams ?shared_base ~seed ~length_per_core ~cores p =
+  Array.init cores (fun i ->
+      let base = 0x8000_0000 + (i * 0x0400_0000) in
+      stream ?shared_base ~seed:(seed + (i * 7919)) ~length:length_per_core
+        ~base p)

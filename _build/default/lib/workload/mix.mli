@@ -1,0 +1,44 @@
+(** Instruction-mix synthesis for the Table 3 study.
+
+    Each profile reproduces a benchmark's instruction mix (store /
+    load / sync / other percentages, Table 3) together with locality
+    knobs that control how often memory operations miss the cache
+    hierarchy — the determinants of the WC-over-SC speedup and of the
+    ASO speculation-state requirement. *)
+
+type profile = {
+  name : string;
+  suite : string;  (** GAP / Tailbench / Cloudsuite *)
+  store_pct : int;
+  load_pct : int;
+  sync_pct : int;  (** fences; the rest of 100% is compute *)
+  store_cold_pct : int;  (** % of stores that touch the cold region *)
+  store_shared_pct : int;
+      (** % of stores to a region shared by all threads — cross-core
+          invalidations make these the classic store-wait stores *)
+  load_cold_pct : int;  (** % of loads that touch the cold region *)
+  hot_bytes : int;  (** cache-resident working set *)
+  cold_bytes : int;  (** streaming working set (≫ LLC) *)
+}
+
+val table3 : profile list
+(** The eight evaluated workloads: BFS, SSSP, BC (GAP); Silo, Masstree
+    (Tailbench); Data Caching, Media Streaming, Data Serving
+    (Cloudsuite), with the paper's instruction mixes. *)
+
+val find : string -> profile
+
+val stream :
+  ?shared_base:int -> seed:int -> length:int -> base:int -> profile ->
+  Ise_sim.Sim_instr.stream
+(** A fresh instruction stream of [length] instructions following the
+    profile, with private addresses laid out from [base] and shared
+    stores hitting [shared_base] (default [0xA000_0000]). *)
+
+val multicore_streams :
+  ?shared_base:int -> seed:int -> length_per_core:int -> cores:int ->
+  profile -> Ise_sim.Sim_instr.stream array
+(** One stream per core over disjoint private regions and a common
+    shared region — the Table 3 run configuration. *)
+
+val footprint_bytes : profile -> int

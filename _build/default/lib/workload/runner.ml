@@ -1,0 +1,51 @@
+open Ise_sim
+
+type run = {
+  cycles : int;
+  retired : int;
+  imprecise_exceptions : int;
+  faulting_stores : int;
+  precise_faults : int;
+  handler_invocations : int;
+}
+
+let run_once ?(cfg = Config.default) ?mark ?verify ~programs () =
+  let machine = Machine.create ~cfg ~programs () in
+  Machine.set_trace_enabled machine false;
+  let os = Ise_os.Handler.install machine in
+  (match mark with Some f -> f machine | None -> ());
+  Machine.run ~max_cycles:500_000_000 machine;
+  (match verify with
+   | Some check ->
+     if not (check machine) then failwith "Runner.run_once: result verification failed"
+   | None -> ());
+  let imprecise = ref 0 and faulting = ref 0 in
+  for i = 0 to Machine.ncores machine - 1 do
+    let s = Core.stats (Machine.core machine i) in
+    imprecise := !imprecise + s.Core.imprecise_exceptions;
+    faulting := !faulting + s.Core.faulting_stores
+  done;
+  {
+    cycles = Machine.cycles machine;
+    retired = Machine.total_retired machine;
+    imprecise_exceptions = !imprecise;
+    faulting_stores = !faulting;
+    precise_faults = os.Ise_os.Handler.precise_faults;
+    handler_invocations = os.Ise_os.Handler.invocations;
+  }
+
+type comparison = {
+  baseline : run;
+  imprecise : run;
+  relative_perf : float;
+}
+
+let compare_with_faults ?cfg ~mk_programs ~mark ?verify () =
+  let baseline = run_once ?cfg ?verify ~programs:(mk_programs ()) () in
+  let imprecise = run_once ?cfg ~mark ?verify ~programs:(mk_programs ()) () in
+  {
+    baseline;
+    imprecise;
+    relative_perf =
+      float_of_int baseline.cycles /. float_of_int (max 1 imprecise.cycles);
+  }

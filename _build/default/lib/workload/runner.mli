@@ -1,0 +1,31 @@
+(** End-to-end workload runs with and without injected imprecise
+    exceptions (Figure 6's methodology). *)
+
+type run = {
+  cycles : int;
+  retired : int;
+  imprecise_exceptions : int;
+  faulting_stores : int;
+  precise_faults : int;
+  handler_invocations : int;
+}
+
+val run_once :
+  ?cfg:Ise_sim.Config.t -> ?mark:(Ise_sim.Machine.t -> unit) ->
+  ?verify:(Ise_sim.Machine.t -> bool) ->
+  programs:Ise_sim.Sim_instr.stream array -> unit -> run
+(** Runs the programs under the reference OS handler; [mark] injects
+    faults before the run starts; [verify] (checked after the run)
+    raises on failure. *)
+
+type comparison = {
+  baseline : run;  (** no injected exceptions *)
+  imprecise : run;  (** all data pages marked faulting at start *)
+  relative_perf : float;  (** baseline cycles / imprecise cycles *)
+}
+
+val compare_with_faults :
+  ?cfg:Ise_sim.Config.t ->
+  mk_programs:(unit -> Ise_sim.Sim_instr.stream array) ->
+  mark:(Ise_sim.Machine.t -> unit) ->
+  ?verify:(Ise_sim.Machine.t -> bool) -> unit -> comparison

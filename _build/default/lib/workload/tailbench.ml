@@ -1,0 +1,107 @@
+open Ise_util
+open Ise_sim
+
+type trace = {
+  name : string;
+  instrs : Sim_instr.t array;
+  requests : int;
+  region : int * int;
+}
+
+let page = 4096
+
+type builder = {
+  mutable acc : Sim_instr.t list;
+  mutable next_reg : int;
+}
+
+let builder () = { acc = []; next_reg = 0 }
+
+let fresh_reg b =
+  b.next_reg <- (b.next_reg + 1) mod 48;
+  b.next_reg
+
+let emit b i = b.acc <- i :: b.acc
+
+let silo ?(seed = 1) ?(slots = 1 lsl 16) ?(reads_per_txn = 6)
+    ?(writes_per_txn = 2) ~requests ~base () =
+  let rng = Rng.create seed in
+  let b = builder () in
+  let slot_addr s = base + (8 * s) in
+  for _txn = 1 to requests do
+    (* read phase *)
+    for _ = 1 to reads_per_txn do
+      let r = fresh_reg b in
+      emit b
+        (Sim_instr.Ld { dst = r; addr = Sim_instr.addr (slot_addr (Rng.int rng slots)) });
+      emit b (Sim_instr.Nop 1)
+    done;
+    (* write phase *)
+    for _ = 1 to writes_per_txn do
+      emit b
+        (Sim_instr.St
+           { addr = Sim_instr.addr (slot_addr (Rng.int rng slots));
+             data = Sim_instr.Imm (Rng.int rng 1_000_000) })
+    done;
+    (* commit *)
+    emit b Sim_instr.Fence;
+    emit b (Sim_instr.Nop 4)
+  done;
+  { name = "Silo"; instrs = Array.of_list (List.rev b.acc); requests;
+    region = (base, ((slots * 8 / page) + 1) * page) }
+
+let masstree ?(seed = 2) ?(fanout_log2 = 4) ?(depth = 5) ?(update_pct = 10)
+    ~requests ~base () =
+  let rng = Rng.create seed in
+  let b = builder () in
+  (* an implicit tree laid out level by level: level l spans
+     fanout^l nodes *)
+  let fanout = 1 lsl fanout_log2 in
+  let level_base = Array.make (depth + 1) 0 in
+  for l = 1 to depth do
+    level_base.(l) <-
+      level_base.(l - 1) + int_of_float (float_of_int fanout ** float_of_int (l - 1))
+  done;
+  let total_nodes =
+    level_base.(depth)
+    + int_of_float (float_of_int fanout ** float_of_int (depth - 1))
+  in
+  for _req = 1 to requests do
+    (* pointer-chase from root to leaf: each level's address depends
+       on the previous load *)
+    let idx = ref 0 in
+    let prev = ref None in
+    for l = 0 to depth - 1 do
+      let node = level_base.(l) + !idx in
+      let r = fresh_reg b in
+      emit b
+        (Sim_instr.Ld
+           { dst = r; addr = Sim_instr.addr ?dep:!prev (base + (8 * node)) });
+      prev := Some r;
+      idx := (!idx * fanout) + Rng.int rng fanout;
+      emit b (Sim_instr.Nop 1)
+    done;
+    if Rng.int rng 100 < update_pct then begin
+      let leaf = level_base.(depth - 1) + (!idx / fanout) in
+      emit b
+        (Sim_instr.St
+           { addr = Sim_instr.addr (base + (8 * leaf));
+             data = Sim_instr.Imm (Rng.int rng 1_000_000) })
+    end;
+    emit b (Sim_instr.Nop 2)
+  done;
+  { name = "Masstree"; instrs = Array.of_list (List.rev b.acc); requests;
+    region = (base, ((total_nodes * 8 / page) + 1) * page) }
+
+let stream_of t = Sim_instr.of_list (Array.to_list t.instrs)
+
+let mark_faulting machine t =
+  let base, bytes = t.region in
+  let einj = Machine.einject machine in
+  let p = ref base in
+  while !p < base + bytes do
+    Einject.set_faulting einj !p;
+    p := !p + page
+  done
+
+let throughput t ~cycles = float_of_int t.requests /. (float_of_int cycles /. 1000.)

@@ -1,0 +1,30 @@
+(** Tailbench-style request loops (§6.5: Silo and Masstree in
+    integrated mode, throughput as the metric).
+
+    - {b Silo}: an OLTP key-value store — each transaction reads a
+      handful of random records, updates one or two, and commits with
+      a fence.
+    - {b Masstree}: a tree-structured index — each request
+      pointer-chases a trie of configurable depth (dependent loads)
+      and occasionally updates the leaf. *)
+
+type trace = {
+  name : string;
+  instrs : Ise_sim.Sim_instr.t array;
+  requests : int;
+  region : int * int;  (** (base, bytes) of the data structures *)
+}
+
+val silo :
+  ?seed:int -> ?slots:int -> ?reads_per_txn:int -> ?writes_per_txn:int ->
+  requests:int -> base:int -> unit -> trace
+
+val masstree :
+  ?seed:int -> ?fanout_log2:int -> ?depth:int -> ?update_pct:int ->
+  requests:int -> base:int -> unit -> trace
+
+val stream_of : trace -> Ise_sim.Sim_instr.stream
+val mark_faulting : Ise_sim.Machine.t -> trace -> unit
+
+val throughput : trace -> cycles:int -> float
+(** Requests per kilocycle. *)

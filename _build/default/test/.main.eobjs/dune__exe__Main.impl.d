@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_aso Test_core Test_integration Test_litmus Test_model Test_os Test_sim Test_util Test_workload

@@ -1,0 +1,1 @@
+test/test_aso.ml: Alcotest Aso_core Checkpoint Ise_aso Ise_model Ise_sim Ise_workload List QCheck QCheck_alcotest Spec_state

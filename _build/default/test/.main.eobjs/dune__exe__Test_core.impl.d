@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Batch Contract Fault Fsb Ise_core List Protocol QCheck QCheck_alcotest Stdlib

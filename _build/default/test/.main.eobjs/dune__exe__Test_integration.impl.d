@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Config Gen Ise_core Ise_litmus Ise_model Ise_os Ise_sim Ise_util Ise_workload Library List Lit_run Lit_test Machine Memsys Stdlib

@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Axiom Check Classify Gen Instr Ise_litmus Ise_model Ise_util Library List Lit_test Outcome Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Axiom Check Enum Event Exec Imprecise Instr Ise_litmus Ise_model Ise_util List Outcome QCheck QCheck_alcotest Rel Seq String

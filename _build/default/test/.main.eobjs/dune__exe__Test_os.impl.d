@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Config Core Einject Handler Ise_core Ise_os Ise_sim Ise_util Kernel List Machine Page_table QCheck QCheck_alcotest Sim_instr Syscall

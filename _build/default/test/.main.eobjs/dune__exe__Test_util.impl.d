@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Ise_util List Option Pqueue QCheck QCheck_alcotest Queue Ring_buffer Rng Stats String Table

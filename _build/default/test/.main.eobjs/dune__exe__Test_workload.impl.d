@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Config Core Gap Graph Ise_os Ise_sim Ise_util Ise_workload List Machine Mbench Mix Printf QCheck QCheck_alcotest Sim_instr Tailbench

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "ise"
+    [
+      ("util", Test_util.suite);
+      ("model", Test_model.suite);
+      ("litmus", Test_litmus.suite);
+      ("sim", Test_sim.suite);
+      ("core", Test_core.suite);
+      ("os", Test_os.suite);
+      ("aso", Test_aso.suite);
+      ("workload", Test_workload.suite);
+      ("integration", Test_integration.suite);
+    ]

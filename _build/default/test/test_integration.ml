@@ -1,0 +1,187 @@
+(* Cross-library integration: the paper's headline claims, end to end. *)
+
+open Ise_litmus
+open Ise_sim
+
+let check = Alcotest.check
+
+let base = Config.default.Config.einject_base
+
+(* §6.3: the machine never exhibits an outcome the model forbids, with
+   exceptions injected on every location, under WC (the prototype's
+   RVWMO stand-in). *)
+let test_litmus_suite_wc_with_faults () =
+  let cfg = Config.with_consistency Ise_model.Axiom.Wc Config.default in
+  let results = Lit_run.run_suite ~seeds:8 ~inject_faults:true ~cfg Library.all in
+  List.iter
+    (fun r ->
+      check Alcotest.bool (r.Lit_run.test.Lit_test.name ^ " passes") true
+        r.Lit_run.pass;
+      check Alcotest.bool
+        (r.Lit_run.test.Lit_test.name ^ " contract") true r.Lit_run.contract_ok)
+    results;
+  (* the error-injection methodology actually injected *)
+  let total_imprecise =
+    List.fold_left (fun acc r -> acc + r.Lit_run.imprecise_exceptions) 0 results
+  in
+  check Alcotest.bool "imprecise exceptions injected" true (total_imprecise > 50)
+
+let test_litmus_suite_pc_with_faults () =
+  let cfg = Config.with_consistency Ise_model.Axiom.Pc Config.default in
+  let results = Lit_run.run_suite ~seeds:6 ~inject_faults:true ~cfg Library.all in
+  check Alcotest.bool "all pass under PC" true (Lit_run.all_pass results)
+
+let test_litmus_suite_without_faults () =
+  let cfg = Config.with_consistency Ise_model.Axiom.Wc Config.default in
+  let results = Lit_run.run_suite ~seeds:8 ~inject_faults:false ~cfg Library.all in
+  check Alcotest.bool "all pass fault-free" true (Lit_run.all_pass results)
+
+let test_litmus_generated_suite () =
+  let cfg = Config.with_consistency Ise_model.Axiom.Wc Config.default in
+  let tests = Gen.generate_suite ~seed:21 ~count:15 Gen.default_params in
+  let results = Lit_run.run_suite ~seeds:5 ~inject_faults:true ~cfg tests in
+  check Alcotest.bool "generated tests pass" true (Lit_run.all_pass results)
+
+(* The machine does exhibit genuinely relaxed behaviour: SB's 0,0 *)
+let test_relaxed_behaviour_observable () =
+  let cfg = Config.with_consistency Ise_model.Axiom.Wc Config.default in
+  let r = Lit_run.run ~seeds:40 ~inject_faults:false ~cfg Library.sb in
+  check Alcotest.bool "store buffering observed" true r.Lit_run.interesting_observed
+
+(* §4.5/§4.6 ablation: under PC, the split-stream protocol admits the
+   MP violation in the model while same-stream does not. *)
+let test_split_stream_model_ablation () =
+  (* only the older store S(x) faults; the younger S(y) drains direct *)
+  let faulting = [ (0, 0) ] in
+  let pc_split =
+    Ise_model.Check.allowed ~faulting
+      (Ise_model.Axiom.with_faults Ise_model.Axiom.Split_stream Ise_model.Axiom.pc)
+      Library.mp.Lit_test.threads
+  in
+  let pc_same =
+    Ise_model.Check.allowed ~faulting
+      (Ise_model.Axiom.with_faults Ise_model.Axiom.Same_stream Ise_model.Axiom.pc)
+      Library.mp.Lit_test.threads
+  in
+  let violation o =
+    Ise_model.Outcome.reg o 1 0 = 1 && Ise_model.Outcome.reg o 1 1 = 0
+  in
+  check Alcotest.bool "split admits" true
+    (Ise_model.Outcome.Set.exists violation pc_split);
+  check Alcotest.bool "same forbids" false
+    (Ise_model.Outcome.Set.exists violation pc_same)
+
+(* Operationally, the split-stream machine under PC stays within the
+   split-stream model (which is weaker than PC). *)
+let test_split_stream_machine_within_model () =
+  let cfg =
+    { (Config.with_consistency Ise_model.Axiom.Pc Config.default) with
+      Config.protocol_mode = Ise_core.Protocol.Split_stream }
+  in
+  let r = Lit_run.run ~seeds:12 ~inject_faults:true ~cfg Library.mp in
+  check Alcotest.bool "observed ⊆ split-stream-allowed" true r.Lit_run.pass
+
+(* Interrupt storm: litmus correctness survives timer interrupts
+   firing concurrently with injected exceptions (§5.3). *)
+let test_litmus_with_interrupts () =
+  let cfg = Config.with_consistency Ise_model.Axiom.Wc Config.default in
+  let tests =
+    [ Library.mp; Library.mp_fenced; Library.sb; Library.sb_fenced;
+      Library.amo_add_add; Library.corr ]
+  in
+  let results =
+    Lit_run.run_suite ~seeds:8 ~inject_faults:true ~timer_interrupts:true ~cfg
+      tests
+  in
+  check Alcotest.bool "no violations under interrupt storm" true
+    (Lit_run.all_pass results)
+
+(* Midgard (§2.2 Example 2) end to end with the paging handler. *)
+let test_midgard_end_to_end () =
+  let midgard = Ise_sim.Midgard.create () in
+  let vma = base + 0x0800_0000 in
+  Ise_sim.Midgard.add_vma midgard ~base:vma ~bytes:(8 * 4096);
+  let prog =
+    List.init 8 (fun i ->
+        Ise_sim.Sim_instr.St
+          { addr = Ise_sim.Sim_instr.addr (vma + (i * 4096));
+            data = Ise_sim.Sim_instr.Imm (i + 100) })
+  in
+  let m = Machine.create ~programs:[| Ise_sim.Sim_instr.of_list prog |] () in
+  Memsys.add_interceptor (Machine.mem m) (Ise_sim.Midgard.interceptor midgard);
+  let config =
+    { Ise_os.Handler.costs = Ise_core.Batch.default_cost_model;
+      policy =
+        Ise_os.Handler.Midgard_paging
+          { midgard; major_pct = 50; io_latency = 5_000 } }
+  in
+  let os = Ise_os.Handler.install ~config m in
+  Machine.run m;
+  check Alcotest.bool "late-translation faults occurred" true
+    (Ise_sim.Midgard.faults_taken midgard >= 8);
+  check Alcotest.int "all pages mapped" 8 (Ise_sim.Midgard.pages_mapped midgard);
+  check Alcotest.bool "majors issued IO" true (os.Ise_os.Handler.io_requests >= 1);
+  for i = 0 to 7 do
+    check Alcotest.int "store landed" (i + 100)
+      (Machine.read_word m (vma + (i * 4096)))
+  done;
+  check Alcotest.bool "contract holds" true
+    (Stdlib.Result.is_ok (Machine.check_contract m))
+
+(* §6.5 transparency at workload scale: a fault-injected BFS produces
+   exactly the same result memory as the fault-free run. *)
+let test_gap_scale_transparency () =
+  let g =
+    Ise_workload.Graph.power_law (Ise_util.Rng.create 23) ~nodes:800 ~avg_degree:6
+  in
+  let tr = Ise_workload.Gap.bfs g ~base ~src:0 in
+  let cmp =
+    Ise_workload.Runner.compare_with_faults
+      ~mk_programs:(fun () -> [| Ise_workload.Gap.stream_of tr |])
+      ~mark:(fun m -> Ise_workload.Gap.mark_faulting m tr)
+      ~verify:(fun m -> Ise_workload.Gap.verify m tr)
+      ()
+  in
+  check Alcotest.bool "exceptions were injected" true
+    (cmp.Ise_workload.Runner.imprecise.Ise_workload.Runner.imprecise_exceptions > 5);
+  check Alcotest.bool "slowdown bounded" true
+    (cmp.Ise_workload.Runner.relative_perf > 0.5)
+
+(* Batching shrinks the per-store handling cost on the machine, not
+   just in the analytical model (Figure 5's comparison). *)
+let test_fig5_shape_on_machine () =
+  let unbatched = Ise_workload.Mbench.run ~stores:400 ~batching:false () in
+  let batched = Ise_workload.Mbench.run ~stores:400 ~batching:true () in
+  check Alcotest.bool "batching at least 2x" true
+    (Ise_workload.Mbench.speedup unbatched batched > 2.0)
+
+(* The analytic batching model and the measured machine agree on the
+   unbatched anchor (~600 cycles per faulting store). *)
+let test_fig5_model_vs_machine () =
+  let analytic =
+    Ise_core.Batch.total
+      (Ise_core.Batch.per_store_overhead Ise_core.Batch.default_cost_model
+         ~batch_size:1)
+  in
+  let measured =
+    (Ise_workload.Mbench.run ~stores:300 ~batching:false ()).Ise_workload.Mbench
+    .total_per_store
+  in
+  let ratio = measured /. analytic in
+  check Alcotest.bool "within 2x of each other" true (ratio > 0.5 && ratio < 2.0)
+
+let suite =
+  [
+    ("litmus suite, WC + faults (§6.3)", `Slow, test_litmus_suite_wc_with_faults);
+    ("litmus suite, PC + faults", `Slow, test_litmus_suite_pc_with_faults);
+    ("litmus suite, fault-free", `Slow, test_litmus_suite_without_faults);
+    ("litmus generated suite", `Slow, test_litmus_generated_suite);
+    ("relaxed behaviour observable", `Quick, test_relaxed_behaviour_observable);
+    ("split-stream model ablation (Fig 2)", `Quick, test_split_stream_model_ablation);
+    ("split-stream machine within model", `Quick, test_split_stream_machine_within_model);
+    ("litmus under interrupt storm", `Slow, test_litmus_with_interrupts);
+    ("midgard end-to-end (§2.2 Ex.2)", `Quick, test_midgard_end_to_end);
+    ("GAP-scale fault transparency (§6.5)", `Slow, test_gap_scale_transparency);
+    ("Fig 5 batching shape on machine", `Slow, test_fig5_shape_on_machine);
+    ("Fig 5 model vs machine anchor", `Slow, test_fig5_model_vs_machine);
+  ]
