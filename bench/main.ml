@@ -14,6 +14,17 @@ let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '#');
   flush stdout
 
+(* Machine-readable results alongside the printed tables, one
+   BENCH_<section>.json per section, so the numbers are trackable
+   across revisions without scraping stdout. *)
+let emit_bench name json =
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out file in
+  output_string oc (Ise_telemetry.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[bench] wrote %s\n%!" file
+
 let base = Config.default.Config.einject_base
 
 (* ------------------------------------------------------------------ *)
@@ -58,6 +69,7 @@ let table3 () =
         [ "Suite"; "Workload"; "St%"; "Ld%"; "Sync%"; "WC speedup";
           "KB base"; "KB 2xmem"; "KB 4xskew" ]
   in
+  let rows = ref [] in
   List.iter
     (fun p ->
       let mk () =
@@ -79,9 +91,23 @@ let table3 () =
           Table.cell_f ~decimals:1 s_base.Ise_aso.Aso_core.state_kb;
           Table.cell_f ~decimals:1 s_2x.Ise_aso.Aso_core.state_kb;
           Table.cell_f ~decimals:1 s_skew.Ise_aso.Aso_core.state_kb ];
+      rows :=
+        Ise_telemetry.Json.Obj
+          [ ("suite", Ise_telemetry.Json.String p.Ise_workload.Mix.suite);
+            ("workload", Ise_telemetry.Json.String p.Ise_workload.Mix.name);
+            ("wc_speedup",
+             Ise_telemetry.Json.Float s_base.Ise_aso.Aso_core.wc_speedup);
+            ("kb_base",
+             Ise_telemetry.Json.Float s_base.Ise_aso.Aso_core.state_kb);
+            ("kb_2xmem",
+             Ise_telemetry.Json.Float s_2x.Ise_aso.Aso_core.state_kb);
+            ("kb_4xskew",
+             Ise_telemetry.Json.Float s_skew.Ise_aso.Aso_core.state_kb) ]
+        :: !rows;
       flush stdout)
     Ise_workload.Mix.table3;
   Table.print t;
+  emit_bench "table3" (Ise_telemetry.Json.List (List.rev !rows));
   print_endline
     "\nShape checks (paper): 2x memory latency needs about the same state\n\
      as the baseline; 4x store-to-load skew needs considerably more;\n\
@@ -223,6 +249,27 @@ let fig5 () =
   row "no batching" unbatched;
   row "batching" batched;
   Table.print t;
+  let variant (r : Ise_workload.Mbench.result) =
+    Ise_telemetry.Json.Obj
+      [ ("uarch_per_store",
+         Ise_telemetry.Json.Float r.Ise_workload.Mbench.uarch_per_store);
+        ("apply_per_store",
+         Ise_telemetry.Json.Float r.Ise_workload.Mbench.apply_per_store);
+        ("other_per_store",
+         Ise_telemetry.Json.Float r.Ise_workload.Mbench.other_per_store);
+        ("total_per_store",
+         Ise_telemetry.Json.Float r.Ise_workload.Mbench.total_per_store);
+        ("avg_batch",
+         Ise_telemetry.Json.Float r.Ise_workload.Mbench.avg_batch);
+        ("invocations",
+         Ise_telemetry.Json.Int r.Ise_workload.Mbench.invocations) ]
+  in
+  emit_bench "fig5"
+    (Ise_telemetry.Json.Obj
+       [ ("no_batching", variant unbatched); ("batching", variant batched);
+         ("speedup",
+          Ise_telemetry.Json.Float
+            (Ise_workload.Mbench.speedup unbatched batched)) ]);
   Printf.printf
     "\nper-store speedup from batching: %.2fx\n\
      (paper: ~600 cycles per store unbatched, microarchitectural part a\n\
@@ -245,6 +292,18 @@ let fig6 () =
   let g = Ise_workload.Graph.power_law rng ~nodes:3000 ~avg_degree:8 in
   Printf.printf "GAP graph: %d nodes, %d edges\n" (Ise_workload.Graph.nodes g)
     (Ise_workload.Graph.nedges g);
+  let bench_rows = ref [] in
+  let bench_row name metric ~baseline ~imprecise ~relative ~exns =
+    bench_rows :=
+      Ise_telemetry.Json.Obj
+        [ ("workload", Ise_telemetry.Json.String name);
+          ("metric", Ise_telemetry.Json.String metric);
+          ("baseline", Ise_telemetry.Json.Float baseline);
+          ("imprecise", Ise_telemetry.Json.Float imprecise);
+          ("relative", Ise_telemetry.Json.Float relative);
+          ("imprecise_exceptions", Ise_telemetry.Json.Int exns) ]
+      :: !bench_rows
+  in
   let gap_row name tr =
     let cmp =
       Ise_workload.Runner.compare_with_faults
@@ -263,6 +322,17 @@ let fig6 () =
             .imprecise_exceptions;
         Table.cell_i
           cmp.Ise_workload.Runner.imprecise.Ise_workload.Runner.precise_faults ];
+    bench_row name "exec_cycles"
+      ~baseline:
+        (float_of_int
+           cmp.Ise_workload.Runner.baseline.Ise_workload.Runner.cycles)
+      ~imprecise:
+        (float_of_int
+           cmp.Ise_workload.Runner.imprecise.Ise_workload.Runner.cycles)
+      ~relative:cmp.Ise_workload.Runner.relative_perf
+      ~exns:
+        cmp.Ise_workload.Runner.imprecise.Ise_workload.Runner
+          .imprecise_exceptions;
     flush stdout
   in
   gap_row "BFS" (Ise_workload.Gap.bfs g ~base ~src:0);
@@ -292,6 +362,8 @@ let fig6 () =
         Table.cell_f ~decimals:2 tput_imp;
         Table.cell_f ~decimals:3 (tput_imp /. tput_base);
         Table.cell_i imprecise; Table.cell_i precise ];
+    bench_row name "req_per_kcycle" ~baseline:tput_base ~imprecise:tput_imp
+      ~relative:(tput_imp /. tput_base) ~exns:imprecise;
     flush stdout
   in
   (* fixed data structures, so more requests amortise the one-time
@@ -300,6 +372,7 @@ let fig6 () =
   tail_row "Masstree"
     (Ise_workload.Tailbench.masstree ~requests:50_000 ~base ());
   Table.print t;
+  emit_bench "fig6" (Ise_telemetry.Json.List (List.rev !bench_rows));
   print_endline
     "\nAll workloads run start to finish with exceptions transparently\n\
      handled (results verified against fault-free runs).  The paper\n\
@@ -315,6 +388,7 @@ let litmus () =
   let generated =
     Ise_litmus.Gen.generate_suite ~seed:7 ~count:40 Ise_litmus.Gen.default_params
   in
+  let campaigns = ref [] in
   let campaign name cfg tests =
     let results =
       Ise_litmus.Lit_run.run_suite ~seeds:12 ~inject_faults:true ~cfg tests
@@ -345,6 +419,14 @@ let litmus () =
       (fun r ->
         Printf.printf "  FAILED: %s\n" r.Ise_litmus.Lit_run.test.Ise_litmus.Lit_test.name)
       failed;
+    campaigns :=
+      Ise_telemetry.Json.Obj
+        [ ("model", Ise_telemetry.Json.String name);
+          ("tests", Ise_telemetry.Json.Int (List.length tests));
+          ("failures", Ise_telemetry.Json.Int (List.length failed));
+          ("imprecise_exceptions", Ise_telemetry.Json.Int imprecise);
+          ("precise_exceptions", Ise_telemetry.Json.Int precise) ]
+      :: !campaigns;
     flush stdout
   in
   campaign "WC" (Config.with_consistency Ise_model.Axiom.Wc Config.default)
@@ -352,7 +434,8 @@ let litmus () =
   campaign "PC" (Config.with_consistency Ise_model.Axiom.Pc Config.default)
     Ise_litmus.Library.all;
   campaign "SC" (Config.with_consistency Ise_model.Axiom.Sc Config.default)
-    Ise_litmus.Library.all
+    Ise_litmus.Library.all;
+  emit_bench "litmus" (Ise_telemetry.Json.List (List.rev !campaigns))
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)

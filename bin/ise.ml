@@ -26,6 +26,52 @@ let model_arg =
        & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Consistency model (sc|pc|wc).")
 
 (* ------------------------------------------------------------------ *)
+(* telemetry plumbing                                                  *)
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file (open in Perfetto or \
+                 chrome://tracing).")
+
+let write_file path contents =
+  match open_out path with
+  | oc ->
+    output_string oc contents;
+    close_out oc
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write trace: %s\n" msg;
+    exit 1
+
+let write_trace sink path =
+  let json =
+    Ise_telemetry.Trace.to_chrome_json (Ise_telemetry.Sink.trace sink)
+  in
+  write_file path (Ise_telemetry.Json.to_string json);
+  Printf.eprintf "wrote trace to %s\n%!" path
+
+(* Builds the machine for a GAP kernel run (shared by `gap` and
+   `stats`). *)
+let gap_machine kernel nodes degree inject =
+  let rng = Ise_util.Rng.create 1 in
+  let g = Ise_workload.Graph.power_law rng ~nodes ~avg_degree:degree in
+  let base = Config.default.Config.einject_base in
+  let tr =
+    match kernel with
+    | "bfs" -> Ise_workload.Gap.bfs g ~base ~src:0
+    | "sssp" -> Ise_workload.Gap.sssp ~max_rounds:3 g ~base ~src:0
+    | "bc" -> Ise_workload.Gap.bc g ~base ~sources:[ 0 ]
+    | k ->
+      Printf.eprintf "unknown kernel %S (bfs|sssp|bc)\n" k;
+      exit 1
+  in
+  let m = Machine.create ~programs:[| Ise_workload.Gap.stream_of tr |] () in
+  Machine.set_trace_enabled m false;
+  let os = Ise_os.Handler.install m in
+  if inject then Ise_workload.Gap.mark_faulting m tr;
+  (g, tr, m, os)
+
+(* ------------------------------------------------------------------ *)
 (* litmus                                                              *)
 
 let litmus_cmd =
@@ -121,24 +167,22 @@ let mbench_cmd =
 (* gap                                                                 *)
 
 let gap_cmd =
-  let run kernel nodes degree inject =
-    let rng = Ise_util.Rng.create 1 in
-    let g = Ise_workload.Graph.power_law rng ~nodes ~avg_degree:degree in
-    let base = Config.default.Config.einject_base in
-    let tr =
-      match kernel with
-      | "bfs" -> Ise_workload.Gap.bfs g ~base ~src:0
-      | "sssp" -> Ise_workload.Gap.sssp ~max_rounds:3 g ~base ~src:0
-      | "bc" -> Ise_workload.Gap.bc g ~base ~sources:[ 0 ]
-      | k ->
-        Printf.eprintf "unknown kernel %S (bfs|sssp|bc)\n" k;
-        exit 1
+  let run kernel nodes degree inject trace_out =
+    let g, tr, m, os = gap_machine kernel nodes degree inject in
+    let sink =
+      match trace_out with
+      | None -> None
+      | Some _ ->
+        let sink = Ise_telemetry.Sink.create () in
+        Machine.attach_telemetry m sink;
+        Some sink
     in
-    let m = Machine.create ~programs:[| Ise_workload.Gap.stream_of tr |] () in
-    Machine.set_trace_enabled m false;
-    let os = Ise_os.Handler.install m in
-    if inject then Ise_workload.Gap.mark_faulting m tr;
     Machine.run m;
+    (match (sink, trace_out) with
+     | Some sink, Some path ->
+       Machine.record_final_stats m;
+       write_trace sink path
+     | _ -> ());
     let cs = Core.stats (Machine.core m 0) in
     Printf.printf
       "%s on %d nodes / %d edges: %d instrs in %d cycles (IPC %.2f)\n\
@@ -167,7 +211,69 @@ let gap_cmd =
   in
   Cmd.v
     (Cmd.info "gap" ~doc:"Run a GAP kernel trace on the machine (§6.5)")
-    Term.(const run $ kernel_arg $ nodes_arg $ degree_arg $ inject_arg)
+    Term.(const run $ kernel_arg $ nodes_arg $ degree_arg $ inject_arg
+          $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+
+let stats_cmd =
+  let run kernel nodes degree no_inject format trace_out sample_period =
+    if sample_period <= 0 then begin
+      Printf.eprintf "--sample-period must be positive\n";
+      exit 1
+    end;
+    let _g, _tr, m, _os = gap_machine kernel nodes degree (not no_inject) in
+    let sink = Ise_telemetry.Sink.create () in
+    Machine.attach_telemetry ~sample_period m sink;
+    Machine.run m;
+    Machine.record_final_stats m;
+    let reg = Ise_telemetry.Sink.registry sink in
+    (match format with
+     | "text" -> Format.printf "%a@." Ise_telemetry.Registry.pp_text reg
+     | "csv" -> print_string (Ise_telemetry.Registry.to_csv reg)
+     | "json" ->
+       print_endline
+         (Ise_telemetry.Json.to_string_pretty
+            (Ise_telemetry.Registry.to_json reg))
+     | f ->
+       Printf.eprintf "unknown format %S (text|csv|json)\n" f;
+       exit 1);
+    (match trace_out with
+     | Some path -> write_trace sink path
+     | None -> ());
+    0
+  in
+  let kernel_arg =
+    Arg.(value & opt string "bfs"
+         & info [ "k"; "kernel" ] ~docv:"KERNEL" ~doc:"bfs|sssp|bc")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 2000 & info [ "nodes" ] ~doc:"Graph nodes.")
+  in
+  let degree_arg =
+    Arg.(value & opt int 8 & info [ "degree" ] ~doc:"Average degree.")
+  in
+  let noinject_arg =
+    Arg.(value & flag
+         & info [ "no-inject" ]
+             ~doc:"Do not mark graph memory faulting (no exception episodes).")
+  in
+  let format_arg =
+    Arg.(value & opt string "text"
+         & info [ "f"; "format" ] ~docv:"FMT" ~doc:"text|csv|json")
+  in
+  let period_arg =
+    Arg.(value & opt int 200
+         & info [ "sample-period" ] ~docv:"CYCLES"
+             ~doc:"Probe sampling period in cycles.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a GAP kernel with full telemetry and dump the metrics \
+             registry (optionally a Perfetto trace)")
+    Term.(const run $ kernel_arg $ nodes_arg $ degree_arg $ noinject_arg
+          $ format_arg $ trace_out_arg $ period_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mix                                                                 *)
@@ -309,4 +415,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ litmus_cmd; mbench_cmd; gap_cmd; mix_cmd; explain_cmd ]))
+          [ litmus_cmd; mbench_cmd; gap_cmd; mix_cmd; explain_cmd; stats_cmd ]))

@@ -4,12 +4,13 @@ type t = {
   ring : Fault.record Ring_buffer.t;
   base_addr : int;
   mutable appended : int;
+  mutable drained : int;
   mutable watermark : int;
 }
 
 let create ?(entries = 32) ~base () =
   { ring = Ring_buffer.create ~capacity:entries; base_addr = base;
-    appended = 0; watermark = 0 }
+    appended = 0; drained = 0; watermark = 0 }
 
 let entries t = Ring_buffer.capacity t.ring
 let base t = t.base_addr
@@ -33,7 +34,8 @@ let os_peek t = Ring_buffer.peek t.ring
 
 let os_advance t =
   if is_empty t then failwith "Fsb.os_advance: head has caught up with tail";
-  ignore (Ring_buffer.pop t.ring)
+  ignore (Ring_buffer.pop t.ring);
+  t.drained <- t.drained + 1
 
 let os_drain_all t =
   let rec loop acc =
@@ -46,4 +48,5 @@ let os_drain_all t =
   loop []
 
 let total_appended t = t.appended
+let total_drained t = t.drained
 let high_watermark t = t.watermark

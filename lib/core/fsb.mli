@@ -56,5 +56,9 @@ val is_empty : t -> bool
 (** {1 Statistics} *)
 
 val total_appended : t -> int
+
+val total_drained : t -> int
+(** Records retrieved by the OS over the buffer's lifetime. *)
+
 val high_watermark : t -> int
 (** Maximum simultaneous occupancy observed. *)

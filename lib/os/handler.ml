@@ -62,15 +62,46 @@ let install ?(config = default_config) machine =
   let stats = fresh_stats () in
   let engine = Machine.engine machine in
   let costs = config.costs in
+  (* Telemetry may be attached to the machine after the handler is
+     installed, so resolve the trace sink at emission time. *)
+  let tel_trace () =
+    match Machine.telemetry machine with
+    | None -> None
+    | Some sink -> Some (Ise_telemetry.Sink.trace sink)
+  in
+  let span_b name tid =
+    match tel_trace () with
+    | None -> ()
+    | Some tr ->
+      Ise_telemetry.Trace.span_begin tr ~cat:"os" ~name ~tid (Engine.now engine)
+  in
+  let span_e name tid =
+    match tel_trace () with
+    | None -> ()
+    | Some tr ->
+      Ise_telemetry.Trace.span_end tr ~cat:"os" ~name ~tid (Engine.now engine)
+  in
+  let inst ?args name tid =
+    match tel_trace () with
+    | None -> ()
+    | Some tr ->
+      Ise_telemetry.Trace.instant tr ~cat:"os" ?args ~name ~tid
+        (Engine.now engine)
+  in
   let on_imprecise core_id =
     stats.invocations <- stats.invocations + 1;
     let core = Machine.core machine core_id in
     let fsb = Ise_sim.Core.fsb core in
     Engine.schedule_in engine costs.Ise_core.Batch.dispatch (fun () ->
+        span_b "handler" core_id;
         (* GET loop: retrieve every faulting store in interface order *)
         let records = Ise_core.Fsb.os_drain_all fsb in
         List.iter
           (fun record ->
+            inst "GET" core_id
+              ~args:
+                [ ("addr",
+                   Ise_telemetry.Json.Int record.Ise_core.Fault.addr) ];
             Machine.trace_event machine
               (Ise_core.Contract.Get
                  { core = core_id; cycle = Engine.now engine; record }))
@@ -91,6 +122,7 @@ let install ?(config = default_config) machine =
           (* terminate the application; the faulting stores are
              discarded (§4.1) *)
           stats.terminated_cores <- stats.terminated_cores + 1;
+          span_e "handler" core_id;
           Ise_sim.Core.terminate core
         end
         else begin
@@ -118,20 +150,27 @@ let install ?(config = default_config) machine =
           stats.apply_cycles <- stats.apply_cycles + !resolve_cycles;
           stats.other_cycles <-
             stats.other_cycles + costs.Ise_core.Batch.dispatch + io_wait;
+          span_b "resolve" core_id;
           Engine.schedule_in engine
             (max 1 (!resolve_cycles + io_wait))
             (fun () ->
+              span_e "resolve" core_id;
+              span_b "apply" core_id;
               let apply_start = Engine.now engine in
               let finish () =
                 stats.apply_cycles <-
                   stats.apply_cycles + (Engine.now engine - apply_start);
+                span_e "apply" core_id;
+                inst "RESOLVE" core_id;
                 Machine.trace_event machine
                   (Ise_core.Contract.Resolve
                      { core = core_id; cycle = Engine.now engine });
                 stats.other_cycles <-
                   stats.other_cycles + costs.Ise_core.Batch.os_other;
                 Engine.schedule_in engine costs.Ise_core.Batch.os_other
-                  (fun () -> Ise_sim.Core.resume core)
+                  (fun () ->
+                    span_e "handler" core_id;
+                    Ise_sim.Core.resume core)
               in
               (* A batched clean store may target a page that never
                  faulted before but is marked in the device: the
@@ -150,6 +189,10 @@ let install ?(config = default_config) machine =
                     (fun result ->
                       match result with
                       | Memsys.Value _ ->
+                        inst "APPLY" core_id
+                          ~args:
+                            [ ("addr",
+                               Ise_telemetry.Json.Int r.Ise_core.Fault.addr) ];
                         Machine.trace_event machine
                           (Ise_core.Contract.Apply
                              { core = core_id; cycle = Engine.now engine;

@@ -103,6 +103,11 @@ let invalidate t block =
 
 let hits t = t.hits
 let misses t = t.misses
+let accesses t = t.hits + t.misses
+
+let miss_rate t =
+  let n = accesses t in
+  if n = 0 then 0. else float_of_int t.misses /. float_of_int n
 let evictions t = t.evictions
 
 let occupancy t =

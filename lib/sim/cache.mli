@@ -31,6 +31,11 @@ val invalidate : t -> int -> unit
 
 val hits : t -> int
 val misses : t -> int
+val accesses : t -> int
+
+val miss_rate : t -> float
+(** [misses / (hits + misses)]; [0.] before any access. *)
+
 val evictions : t -> int
 val occupancy : t -> int
 val state_to_string : state -> string

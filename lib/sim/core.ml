@@ -51,6 +51,17 @@ type phase =
   | In_handler
   | Terminated
 
+(* Telemetry handles, resolved once at attach time so hot paths touch
+   plain mutable cells instead of the registry's hash table.  [None]
+   (the default) costs one option match per site and no allocation. *)
+type tel = {
+  t_sink : Ise_telemetry.Sink.t;
+  t_drained : Ise_telemetry.Registry.counter;
+  t_drain_faults : Ise_telemetry.Registry.counter;
+  t_episodes : Ise_telemetry.Registry.counter;
+  t_flushes : Ise_telemetry.Registry.counter;
+}
+
 let nregs = 64
 
 type t = {
@@ -72,6 +83,7 @@ type t = {
   mutable phase : phase;
   stats : stats;
   mutable progress : bool;
+  mutable tel : tel option;
 }
 
 let create cfg engine mem env ~id ~program =
@@ -96,16 +108,33 @@ let create cfg engine mem env ~id ~program =
     phase = Running;
     stats = fresh_stats ();
     progress = false;
+    tel = None;
   }
 
 let id t = t.core_id
 let fsb t = t.fsb_
 let stats t = t.stats
 let reg t r = t.regs.(r)
+let sb_occupancy t = Sb.length t.sb
 let sb_occupancy_watermark t = Sb.occupancy_watermark t.sb
 let sb_inflight_watermark t = Sb.inflight_watermark t.sb
 
+let set_telemetry t sink =
+  let registry = Ise_telemetry.Sink.registry sink in
+  let name s = Printf.sprintf "core%d/%s" t.core_id s in
+  t.tel <-
+    Some
+      { t_sink = sink;
+        t_drained = Ise_telemetry.Registry.counter registry (name "sb/drained");
+        t_drain_faults =
+          Ise_telemetry.Registry.counter registry (name "sb/drain_faults");
+        t_episodes =
+          Ise_telemetry.Registry.counter registry (name "ise/episodes");
+        t_flushes =
+          Ise_telemetry.Registry.counter registry (name "rob/flushes") }
+
 let rob_count t = t.rob_tail - t.rob_head
+let rob_occupancy = rob_count
 
 let slot t seq = seq mod Array.length t.rob
 
@@ -211,6 +240,9 @@ let record_of_sb_entry t (e : Sb.entry) =
 (* Flush the pipeline: unretired instructions go back to the replay
    queue (they re-execute after the handler), renames are reset. *)
 let flush_pipeline t =
+  (match t.tel with
+   | None -> ()
+   | Some tel -> Ise_telemetry.Registry.incr tel.t_flushes);
   let replayed = ref [] in
   for seq = t.rob_tail - 1 downto t.rob_head do
     match t.rob.(slot t seq) with
@@ -224,6 +256,15 @@ let flush_pipeline t =
   Array.fill t.producers 0 nregs (-1)
 
 let flush_and_invoke_handler t ~drain_cycles =
+  (match t.tel with
+   | None -> ()
+   | Some tel ->
+     let tr = Ise_telemetry.Sink.trace tel.t_sink in
+     let now = Engine.now t.engine in
+     Ise_telemetry.Trace.span_end tr ~cat:"ise" ~name:"fsb_drain"
+       ~tid:t.core_id now;
+     Ise_telemetry.Trace.instant tr ~cat:"ise" ~name:"pipeline_flush"
+       ~tid:t.core_id now);
   flush_pipeline t;
   t.stats.drain_uarch_cycles <-
     t.stats.drain_uarch_cycles + drain_cycles + t.cfg.Config.pipeline_flush_cost;
@@ -233,6 +274,12 @@ let flush_and_invoke_handler t ~drain_cycles =
 
 let start_fsb_drain t =
   t.phase <- Draining_fsb;
+  (match t.tel with
+   | None -> ()
+   | Some tel ->
+     Ise_telemetry.Trace.span_begin
+       (Ise_telemetry.Sink.trace tel.t_sink)
+       ~cat:"ise" ~name:"fsb_drain" ~tid:t.core_id (Engine.now t.engine));
   let entries = Sb.take_all t.sb in
   let tagged =
     List.map
@@ -262,6 +309,16 @@ let start_fsb_drain t =
           t.env.trace
             (Ise_core.Contract.Put
                { core = t.core_id; cycle = Engine.now t.engine; record });
+          (match t.tel with
+           | None -> ()
+           | Some tel ->
+             Ise_telemetry.Trace.instant
+               (Ise_telemetry.Sink.trace tel.t_sink)
+               ~cat:"ise" ~name:"PUT" ~tid:t.core_id
+               ~args:
+                 [ ("addr",
+                    Ise_telemetry.Json.Int record.Ise_core.Fault.addr) ]
+               (Engine.now t.engine));
           remaining := !remaining - 1;
           finish_if_ready ()))
     routing.Ise_core.Protocol.to_fsb;
@@ -285,7 +342,17 @@ let start_fsb_drain t =
                failwith "FSB overflow: sized below the store buffer";
              t.env.trace
                (Ise_core.Contract.Put
-                  { core = t.core_id; cycle = Engine.now t.engine; record }));
+                  { core = t.core_id; cycle = Engine.now t.engine; record });
+             match t.tel with
+             | None -> ()
+             | Some tel ->
+               Ise_telemetry.Trace.instant
+                 (Ise_telemetry.Sink.trace tel.t_sink)
+                 ~cat:"ise" ~name:"PUT" ~tid:t.core_id
+                 ~args:
+                   [ ("addr",
+                      Ise_telemetry.Json.Int record.Ise_core.Fault.addr) ]
+                 (Engine.now t.engine));
           remaining := !remaining - 1;
           finish_if_ready ();
           drain_to_memory rest)
@@ -297,6 +364,16 @@ let start_fsb_drain t =
 let begin_exception_episode t =
   t.phase <- Waiting_drains;
   t.stats.imprecise_exceptions <- t.stats.imprecise_exceptions + 1;
+  (match t.tel with
+   | None -> ()
+   | Some tel ->
+     Ise_telemetry.Registry.incr tel.t_episodes;
+     let tr = Ise_telemetry.Sink.trace tel.t_sink in
+     let now = Engine.now t.engine in
+     Ise_telemetry.Trace.instant tr ~cat:"ise" ~name:"DETECT" ~tid:t.core_id
+       now;
+     Ise_telemetry.Trace.span_begin tr ~cat:"ise" ~name:"episode"
+       ~tid:t.core_id now);
   t.env.trace
     (Ise_core.Contract.Detect { core = t.core_id; cycle = Engine.now t.engine })
 
@@ -309,8 +386,27 @@ let unpause t =
 
 let on_drain_response t (entry : Sb.entry) result =
   match result with
-  | Memsys.Value _ -> Sb.complete t.sb entry
+  | Memsys.Value _ ->
+    (match t.tel with
+     | None -> ()
+     | Some tel ->
+       Ise_telemetry.Registry.incr tel.t_drained;
+       Ise_telemetry.Trace.instant
+         (Ise_telemetry.Sink.trace tel.t_sink)
+         ~cat:"sb" ~name:"store_drain" ~tid:t.core_id
+         ~args:[ ("addr", Ise_telemetry.Json.Int entry.Sb.e_addr) ]
+         (Engine.now t.engine));
+    Sb.complete t.sb entry
   | Memsys.Denied code ->
+    (match t.tel with
+     | None -> ()
+     | Some tel ->
+       Ise_telemetry.Registry.incr tel.t_drain_faults;
+       Ise_telemetry.Trace.instant
+         (Ise_telemetry.Sink.trace tel.t_sink)
+         ~cat:"sb" ~name:"store_fault" ~tid:t.core_id
+         ~args:[ ("addr", Ise_telemetry.Json.Int entry.Sb.e_addr) ]
+         (Engine.now t.engine));
     Sb.mark_faulted t.sb entry code;
     t.stats.faulting_stores <- t.stats.faulting_stores + 1;
     (* while an interrupt handler executes (IE set), the detection is
@@ -653,7 +749,22 @@ let interrupt t ~handler_cycles =
 
 let is_terminated t = t.phase = Terminated
 
+let in_episode t =
+  match t.phase with
+  | Waiting_drains | Draining_fsb | In_handler -> true
+  | Running | Paused | Terminated -> false
+
 let terminate t =
+  (match t.tel with
+   | None -> ()
+   | Some tel when in_episode t ->
+     let tr = Ise_telemetry.Sink.trace tel.t_sink in
+     let now = Engine.now t.engine in
+     Ise_telemetry.Trace.instant tr ~cat:"ise" ~name:"TERMINATE"
+       ~tid:t.core_id now;
+     Ise_telemetry.Trace.span_end tr ~cat:"ise" ~name:"episode" ~tid:t.core_id
+       now
+   | Some _ -> ());
   t.phase <- Terminated;
   t.replay <- [];
   t.stream_done <- true;
@@ -665,6 +776,16 @@ let terminate t =
 
 let resume t =
   if t.phase <> Terminated then begin
+    (match t.tel with
+     | None -> ()
+     | Some tel when in_episode t ->
+       let tr = Ise_telemetry.Sink.trace tel.t_sink in
+       let now = Engine.now t.engine in
+       Ise_telemetry.Trace.instant tr ~cat:"ise" ~name:"RESUME" ~tid:t.core_id
+         now;
+       Ise_telemetry.Trace.span_end tr ~cat:"ise" ~name:"episode"
+         ~tid:t.core_id now
+     | Some _ -> ());
     t.env.trace
       (Ise_core.Contract.Resume
          { core = t.core_id; cycle = Engine.now t.engine });

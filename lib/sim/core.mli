@@ -80,3 +80,16 @@ val reg : t -> int -> int
 
 val sb_occupancy_watermark : t -> int
 val sb_inflight_watermark : t -> int
+
+(** {1 Telemetry} *)
+
+val set_telemetry : t -> Ise_telemetry.Sink.t -> unit
+(** Registers this core's counters ([core<id>/sb/drained],
+    [core<id>/sb/drain_faults], [core<id>/ise/episodes],
+    [core<id>/rob/flushes]) and starts emitting trace spans/instants
+    for exception episodes.  When never called the core performs no
+    telemetry work beyond a single [option] check per site. *)
+
+val sb_occupancy : t -> int
+val rob_occupancy : t -> int
+(** Instantaneous occupancies, for periodic probes. *)

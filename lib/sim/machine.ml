@@ -18,6 +18,8 @@ type t = {
   trace_limit : int;
   mutable interrupts_taken : int;
   mutable interrupts_deferred : int;
+  mutable telemetry : Ise_telemetry.Sink.t option;
+  mutable probe : Ise_telemetry.Probe.t option;
 }
 
 let trace_event t ev =
@@ -36,7 +38,8 @@ let create ?(cfg = Config.default) ~programs () =
   let t =
     { cfg; engine; einj; memsys; cores = [||]; hooks = None; trace_rev = [];
       trace_enabled = true; trace_len = 0; trace_limit = 1_000_000;
-      interrupts_taken = 0; interrupts_deferred = 0 }
+      interrupts_taken = 0; interrupts_deferred = 0; telemetry = None;
+      probe = None }
   in
   let env : Core.env =
     {
@@ -70,6 +73,91 @@ let ncores t = Array.length t.cores
 let set_trace_enabled t b = t.trace_enabled <- b
 
 let all_done t = Array.for_all Core.is_done t.cores
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+
+let telemetry t = t.telemetry
+
+let attach_telemetry ?(sample_period = 200) t sink =
+  if sample_period <= 0 then
+    invalid_arg "Machine.attach_telemetry: sample_period must be positive";
+  t.telemetry <- Some sink;
+  Array.iter (fun c -> Core.set_telemetry c sink) t.cores;
+  let registry = Ise_telemetry.Sink.registry sink in
+  let trace = Ise_telemetry.Sink.trace sink in
+  let probe =
+    Ise_telemetry.Probe.create ~trace ~registry ~period:sample_period ()
+  in
+  Array.iteri
+    (fun i c ->
+      let pfx = Printf.sprintf "core%d" i in
+      Ise_telemetry.Probe.add_source probe (pfx ^ "/fsb/occupancy") (fun () ->
+          float_of_int (Ise_core.Fsb.pending (Core.fsb c)));
+      Ise_telemetry.Probe.add_source probe (pfx ^ "/sb/occupancy") (fun () ->
+          float_of_int (Core.sb_occupancy c));
+      Ise_telemetry.Probe.add_source probe (pfx ^ "/rob/occupancy") (fun () ->
+          float_of_int (Core.rob_occupancy c)))
+    t.cores;
+  Ise_telemetry.Probe.add_source probe "mem/l1/miss_rate" (fun () ->
+      Memsys.l1_miss_rate t.memsys);
+  Ise_telemetry.Probe.add_source probe "mem/l2/miss_rate" (fun () ->
+      Memsys.l2_miss_rate t.memsys);
+  Ise_telemetry.Probe.add_source probe "mem/noc/hop_cycles" (fun () ->
+      float_of_int (Memsys.noc_hop_cycles t.memsys));
+  t.probe <- Some probe;
+  (* The sampling tick only reads state, so the extra wake-ups cannot
+     change what any core does at any cycle: a telemetry-on run takes
+     exactly the same number of cycles as a telemetry-off run. *)
+  let rec tick () =
+    if not (all_done t) then begin
+      Ise_telemetry.Probe.sample probe ~now:(Engine.now t.engine);
+      Engine.schedule_in t.engine sample_period tick
+    end
+  in
+  Engine.schedule_in t.engine sample_period tick
+
+let record_final_stats t =
+  match t.telemetry with
+  | None -> ()
+  | Some sink ->
+    let r = Ise_telemetry.Sink.registry sink in
+    let set name v =
+      Ise_telemetry.Registry.(set_counter (counter r name) v)
+    in
+    let setf name v = Ise_telemetry.Registry.(set (gauge r name) v) in
+    set "machine/cycles" (Engine.now t.engine);
+    set "machine/interrupts/taken" t.interrupts_taken;
+    set "machine/interrupts/deferred" t.interrupts_deferred;
+    Array.iteri
+      (fun i c ->
+        let pfx = Printf.sprintf "core%d" i in
+        let s = Core.stats c in
+        set (pfx ^ "/retired") s.Core.retired;
+        set (pfx ^ "/loads") s.Core.loads;
+        set (pfx ^ "/stores") s.Core.stores;
+        set (pfx ^ "/fences") s.Core.fences;
+        set (pfx ^ "/ise/imprecise_exceptions") s.Core.imprecise_exceptions;
+        set (pfx ^ "/ise/faulting_stores") s.Core.faulting_stores;
+        set (pfx ^ "/ise/precise_exceptions") s.Core.precise_exceptions;
+        set (pfx ^ "/ise/drain_uarch_cycles") s.Core.drain_uarch_cycles;
+        set (pfx ^ "/sb/full_stalls") s.Core.sb_full_stalls;
+        set (pfx ^ "/rob/full_stalls") s.Core.rob_full_stalls;
+        let fsb = Core.fsb c in
+        set (pfx ^ "/fsb/appended") (Ise_core.Fsb.total_appended fsb);
+        set (pfx ^ "/fsb/drained") (Ise_core.Fsb.total_drained fsb);
+        set (pfx ^ "/fsb/high_watermark") (Ise_core.Fsb.high_watermark fsb))
+      t.cores;
+    set "mem/l1/hits" (Memsys.l1_hits t.memsys);
+    set "mem/l1/misses" (Memsys.l1_misses t.memsys);
+    set "mem/l2/hits" (Memsys.l2_hits t.memsys);
+    set "mem/l2/misses" (Memsys.l2_misses t.memsys);
+    set "mem/dram/accesses" (Memsys.dram_accesses t.memsys);
+    set "mem/denials" (Memsys.denials t.memsys);
+    set "mem/invalidations" (Memsys.invalidations t.memsys);
+    set "mem/noc/total_hop_cycles" (Memsys.noc_hop_cycles t.memsys);
+    setf "mem/l1/final_miss_rate" (Memsys.l1_miss_rate t.memsys);
+    setf "mem/l2/final_miss_rate" (Memsys.l2_miss_rate t.memsys)
 
 let run ?(max_cycles = 50_000_000) t =
   if t.hooks = None then failwith "Machine.run: no OS hooks installed";
@@ -117,13 +205,26 @@ let check_contract t =
 (* Periodic timer interrupts on every core, like the OS activity the
    paper's workloads run under (§6.5). *)
 let enable_timer_interrupts t ~period ~handler_cycles =
+  let note name core =
+    match t.telemetry with
+    | None -> ()
+    | Some sink ->
+      Ise_telemetry.Trace.instant
+        (Ise_telemetry.Sink.trace sink)
+        ~cat:"irq" ~name ~tid:(Core.id core) (Engine.now t.engine)
+  in
   let rec tick () =
     Array.iter
       (fun core ->
         if not (Core.is_done core) then
-          if Core.interrupt core ~handler_cycles then
-            t.interrupts_taken <- t.interrupts_taken + 1
-          else t.interrupts_deferred <- t.interrupts_deferred + 1)
+          if Core.interrupt core ~handler_cycles then begin
+            t.interrupts_taken <- t.interrupts_taken + 1;
+            note "timer_interrupt" core
+          end
+          else begin
+            t.interrupts_deferred <- t.interrupts_deferred + 1;
+            note "timer_interrupt_deferred" core
+          end)
       t.cores;
     if not (all_done t) then Engine.schedule_in t.engine period tick
   in

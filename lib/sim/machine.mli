@@ -55,6 +55,26 @@ val enable_timer_interrupts : t -> period:int -> handler_cycles:int -> unit
 val interrupts_taken : t -> int
 val interrupts_deferred : t -> int
 
+(** {1 Telemetry}
+
+    Optional and off by default: without {!attach_telemetry} the
+    machine performs no telemetry work. *)
+
+val attach_telemetry : ?sample_period:int -> t -> Ise_telemetry.Sink.t -> unit
+(** Wires the sink into every core, registers periodic probe sources
+    (per-core FSB/SB/ROB occupancy, L1/L2 miss rates, NoC hop cycles)
+    sampled every [sample_period] cycles (default 200), and starts
+    emitting trace events.  Sampling is read-only, so an instrumented
+    run takes exactly the same cycles as an uninstrumented one.  Call
+    before {!run}. *)
+
+val telemetry : t -> Ise_telemetry.Sink.t option
+
+val record_final_stats : t -> unit
+(** Mirrors end-of-run component statistics (retired counts, cache
+    hits/misses, FSB totals, ...) into the sink's registry as absolute
+    counters.  No-op without telemetry. *)
+
 val read_word : t -> int -> int
 (** Final memory value (oracle read). *)
 

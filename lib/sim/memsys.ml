@@ -42,6 +42,7 @@ type t = {
   busy : (int, pending Queue.t) Hashtbl.t;
   mutable dram_accesses : int;
   mutable invalidations : int;
+  mutable noc_hop_cycles : int;
 }
 
 let einject_interceptor einj =
@@ -72,6 +73,7 @@ let create cfg engine einj =
     busy = Hashtbl.create 64;
     dram_accesses = 0;
     invalidations = 0;
+    noc_hop_cycles = 0;
   }
 
 let add_interceptor t i = t.interceptors <- t.interceptors @ [ i ]
@@ -93,7 +95,9 @@ let ntiles t = t.cfg.Config.mesh_width * t.cfg.Config.mesh_width
 let tile_of_core t core = core mod ntiles t
 
 let hop_latency t a b =
-  Config.hops t.cfg a b * t.cfg.Config.noc_hop_latency
+  let l = Config.hops t.cfg a b * t.cfg.Config.noc_hop_latency in
+  t.noc_hop_cycles <- t.noc_hop_cycles + l;
+  l
 
 (* Merge store data into the oracle under a byte mask. *)
 let merge_word old data mask =
@@ -296,3 +300,11 @@ let l2_misses t = sum Cache.misses t.l2
 let dram_accesses t = t.dram_accesses
 let denials t = Einject.injections t.einj
 let invalidations t = t.invalidations
+let noc_hop_cycles t = t.noc_hop_cycles
+
+let rate misses hits =
+  let n = misses + hits in
+  if n = 0 then 0. else float_of_int misses /. float_of_int n
+
+let l1_miss_rate t = rate (l1_misses t) (l1_hits t)
+let l2_miss_rate t = rate (l2_misses t) (l2_hits t)

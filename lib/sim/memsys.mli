@@ -77,3 +77,11 @@ val l2_misses : t -> int
 val dram_accesses : t -> int
 val denials : t -> int
 val invalidations : t -> int
+
+val noc_hop_cycles : t -> int
+(** Cumulative mesh-hop cycles charged to transactions — the NoC
+    traffic proxy sampled by the telemetry probes. *)
+
+val l1_miss_rate : t -> float
+val l2_miss_rate : t -> float
+(** Aggregate across all L1s / L2 banks; [0.] before any access. *)

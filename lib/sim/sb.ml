@@ -16,13 +16,14 @@ type t = {
   mode : Ise_model.Axiom.model;
   mutable items : entry list;  (* oldest first *)
   mutable n_inflight : int;
+  mutable n_completed : int;
   mutable occ_watermark : int;
   mutable infl_watermark : int;
 }
 
 let create ~capacity ~mode =
-  { cap = capacity; mode; items = []; n_inflight = 0; occ_watermark = 0;
-    infl_watermark = 0 }
+  { cap = capacity; mode; items = []; n_inflight = 0; n_completed = 0;
+    occ_watermark = 0; infl_watermark = 0 }
 
 let capacity t = t.cap
 let length t = List.length t.items
@@ -113,6 +114,7 @@ let mark_inflight t e =
 
 let complete t e =
   if e.status = Inflight then t.n_inflight <- t.n_inflight - 1;
+  t.n_completed <- t.n_completed + 1;
   t.items <- List.filter (fun x -> x.seq <> e.seq) t.items
 
 let mark_faulted t e code =
@@ -136,5 +138,6 @@ let take_all t =
   t.n_inflight <- 0;
   all
 
+let completed t = t.n_completed
 let occupancy_watermark t = t.occ_watermark
 let inflight_watermark t = t.infl_watermark

@@ -54,5 +54,8 @@ val take_all : t -> entry list
 (** Removes and returns everything, oldest first — the
     exception-drain path. *)
 
+val completed : t -> int
+(** Stores drained to memory over the buffer's lifetime. *)
+
 val occupancy_watermark : t -> int
 val inflight_watermark : t -> int

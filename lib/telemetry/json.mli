@@ -1,0 +1,38 @@
+(** Minimal JSON: just enough to emit Chrome trace-event files and
+    machine-readable benchmark reports, and to parse them back in
+    tests — the toolchain has no JSON package and the container cannot
+    install one.
+
+    Numbers are kept as either [Int] or [Float]; the printer never
+    emits [nan]/[inf] (they become [null], which keeps every emitted
+    document standard-compliant). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for files meant to be read. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the subset above.  Accepts any standard JSON
+    document; integers without [.]/[e] parse as [Int], everything else
+    numeric as [Float]. *)
+
+(** {1 Accessors} (total: return [None] on shape mismatch) *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val to_str : t -> string option

@@ -1,0 +1,35 @@
+type source = {
+  s_name : string;
+  s_read : unit -> float;
+  s_hist : Ise_util.Stats.t;
+}
+
+type t = {
+  registry : Registry.t;
+  trace : Trace.t option;
+  p_period : int;
+  mutable sources : source list;  (* reverse registration order *)
+  mutable n_samples : int;
+}
+
+let create ?trace ~registry ~period () =
+  if period <= 0 then invalid_arg "Probe.create: period must be positive";
+  { registry; trace; p_period = period; sources = []; n_samples = 0 }
+
+let add_source t name read =
+  let hist = Registry.histogram t.registry name in
+  t.sources <- { s_name = name; s_read = read; s_hist = hist } :: t.sources
+
+let sample t ~now =
+  t.n_samples <- t.n_samples + 1;
+  List.iter
+    (fun s ->
+      let v = s.s_read () in
+      Ise_util.Stats.add s.s_hist v;
+      match t.trace with
+      | Some tr -> Trace.counter tr ~name:s.s_name ~value:v now
+      | None -> ())
+    t.sources
+
+let period t = t.p_period
+let samples_taken t = t.n_samples

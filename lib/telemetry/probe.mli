@@ -1,0 +1,26 @@
+(** Cycle-domain probes: periodic sampling of component state.
+
+    A probe bundles a set of named read-only sources (occupancies,
+    miss rates, cumulative counters).  The owner of the clock — the
+    simulator engine — calls {!sample} every [period] cycles; each
+    sample lands in a same-named histogram in the registry (giving
+    end-of-run occupancy distributions) and, when a trace is attached,
+    as a Chrome counter-track event (giving the timeseries in
+    Perfetto).
+
+    Sources must be pure reads: sampling must never perturb the
+    simulation, so that telemetry-on and telemetry-off runs take
+    exactly the same number of cycles. *)
+
+type t
+
+val create :
+  ?trace:Trace.t -> registry:Registry.t -> period:int -> unit -> t
+(** [period] must be positive. *)
+
+val add_source : t -> string -> (unit -> float) -> unit
+(** Registers the histogram [name] in the registry immediately. *)
+
+val sample : t -> now:int -> unit
+val period : t -> int
+val samples_taken : t -> int

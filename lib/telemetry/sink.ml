@@ -1,0 +1,11 @@
+type t = {
+  registry : Registry.t;
+  trace : Trace.t;
+}
+
+let create ?trace_capacity () =
+  { registry = Registry.create ();
+    trace = Trace.create ?ring_capacity:trace_capacity () }
+
+let registry t = t.registry
+let trace t = t.trace

@@ -1,0 +1,19 @@
+(** The attachable telemetry bundle: one metrics registry plus one
+    trace recorder.
+
+    Components hold a [Sink.t option], [None] by default — telemetry
+    is strictly opt-in, and a disabled hot path is a single [match] on
+    the option, with zero allocation.  See {!Ise_sim.Machine} for the
+    wiring ([attach_telemetry]). *)
+
+type t = {
+  registry : Registry.t;
+  trace : Trace.t;
+}
+
+val create : ?trace_capacity:int -> unit -> t
+(** [trace_capacity] bounds the trace to a ring of that many events
+    (power of two); omitted means unbounded. *)
+
+val registry : t -> Registry.t
+val trace : t -> Trace.t

@@ -1,0 +1,109 @@
+open Ise_util
+
+type phase =
+  | Span_begin
+  | Span_end
+  | Instant
+  | Counter_sample
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : phase;
+  ev_ts : int;
+  ev_tid : int;
+  ev_args : (string * Json.t) list;
+}
+
+type t = {
+  ring : event Ring_buffer.t option;
+  mutable events_rev : event list;  (* unbounded mode *)
+  mutable n_recorded : int;
+  mutable n_dropped : int;
+}
+
+let create ?ring_capacity () =
+  let ring =
+    match ring_capacity with
+    | None -> None
+    | Some cap -> Some (Ring_buffer.create ~capacity:cap)
+  in
+  { ring; events_rev = []; n_recorded = 0; n_dropped = 0 }
+
+let emit t ev =
+  t.n_recorded <- t.n_recorded + 1;
+  match t.ring with
+  | Some rb ->
+    if Ring_buffer.is_full rb then begin
+      ignore (Ring_buffer.pop rb);
+      t.n_dropped <- t.n_dropped + 1
+    end;
+    Ring_buffer.push rb ev
+  | None -> t.events_rev <- ev :: t.events_rev
+
+let span_begin t ?(cat = "") ?(args = []) ~name ~tid ts =
+  emit t
+    { ev_name = name; ev_cat = cat; ev_ph = Span_begin; ev_ts = ts;
+      ev_tid = tid; ev_args = args }
+
+let span_end t ?(cat = "") ?(args = []) ~name ~tid ts =
+  emit t
+    { ev_name = name; ev_cat = cat; ev_ph = Span_end; ev_ts = ts; ev_tid = tid;
+      ev_args = args }
+
+let instant t ?(cat = "") ?(args = []) ~name ~tid ts =
+  emit t
+    { ev_name = name; ev_cat = cat; ev_ph = Instant; ev_ts = ts; ev_tid = tid;
+      ev_args = args }
+
+let counter t ~name ~value ts =
+  emit t
+    { ev_name = name; ev_cat = "counter"; ev_ph = Counter_sample; ev_ts = ts;
+      ev_tid = 0; ev_args = [ ("value", Json.Float value) ] }
+
+let events t =
+  match t.ring with
+  | Some rb -> Ring_buffer.to_list rb
+  | None -> List.rev t.events_rev
+
+let length t =
+  match t.ring with
+  | Some rb -> Ring_buffer.length rb
+  | None -> List.length t.events_rev
+
+let recorded t = t.n_recorded
+let dropped t = t.n_dropped
+
+let clear t =
+  (match t.ring with Some rb -> Ring_buffer.clear rb | None -> ());
+  t.events_rev <- [];
+  t.n_recorded <- 0;
+  t.n_dropped <- 0
+
+let phase_letter = function
+  | Span_begin -> "B"
+  | Span_end -> "E"
+  | Instant -> "i"
+  | Counter_sample -> "C"
+
+let event_to_json ev =
+  let base =
+    [ ("name", Json.String ev.ev_name);
+      ("cat", Json.String (if ev.ev_cat = "" then "ise" else ev.ev_cat));
+      ("ph", Json.String (phase_letter ev.ev_ph));
+      ("ts", Json.Int ev.ev_ts); ("pid", Json.Int 0);
+      ("tid", Json.Int ev.ev_tid) ]
+  in
+  let scope =
+    (* instant events need a scope; "t" = thread *)
+    match ev.ev_ph with Instant -> [ ("s", Json.String "t") ] | _ -> []
+  in
+  let args =
+    match ev.ev_args with [] -> [] | a -> [ ("args", Json.Obj a) ]
+  in
+  Json.Obj (base @ scope @ args)
+
+let to_chrome_json t =
+  Json.Obj
+    [ ("traceEvents", Json.List (List.map event_to_json (events t)));
+      ("displayTimeUnit", Json.String "ms") ]

@@ -1,0 +1,66 @@
+(** Structured trace recorder with Chrome trace-event export.
+
+    Records begin/end spans, instant events, and counter samples in
+    the simulator's cycle domain, and renders them as a Chrome
+    trace-event JSON document ([{"traceEvents": [...]}]) loadable in
+    Perfetto ([ui.perfetto.dev]) or [chrome://tracing].  Cycles are
+    written to the [ts] field (the viewers display them as
+    microseconds; only relative magnitudes matter).
+
+    Two storage modes:
+    - unbounded (default): every event is kept;
+    - bounded: a ring of the most recent [ring_capacity] events
+      (reusing {!Ise_util.Ring_buffer}), so tracing an arbitrarily
+      long run stays O(capacity) memory — the number of evicted
+      events is reported by {!dropped}. *)
+
+type phase =
+  | Span_begin  (** Chrome ["B"] *)
+  | Span_end  (** Chrome ["E"] *)
+  | Instant  (** Chrome ["i"] *)
+  | Counter_sample  (** Chrome ["C"] *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : phase;
+  ev_ts : int;  (** cycle *)
+  ev_tid : int;  (** core id (0 for machine-level events) *)
+  ev_args : (string * Json.t) list;
+}
+
+type t
+
+val create : ?ring_capacity:int -> unit -> t
+(** [ring_capacity], when given, must be a positive power of two and
+    enables the bounded mode. *)
+
+val span_begin :
+  t -> ?cat:string -> ?args:(string * Json.t) list -> name:string ->
+  tid:int -> int -> unit
+(** The trailing [int] is the cycle timestamp (likewise below). *)
+
+val span_end :
+  t -> ?cat:string -> ?args:(string * Json.t) list -> name:string ->
+  tid:int -> int -> unit
+
+val instant :
+  t -> ?cat:string -> ?args:(string * Json.t) list -> name:string ->
+  tid:int -> int -> unit
+
+val counter : t -> name:string -> value:float -> int -> unit
+(** Emits a Chrome counter-track sample ([ph = "C"], [args = {"value":
+    v}]); Perfetto renders each name as its own counter track. *)
+
+val events : t -> event list
+(** Oldest first (post-eviction in bounded mode). *)
+
+val length : t -> int
+val recorded : t -> int
+(** Total events ever emitted, including evicted ones. *)
+
+val dropped : t -> int
+val clear : t -> unit
+
+val to_chrome_json : t -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)

@@ -1,10 +1,14 @@
 type t = {
   mutable samples : float array;
   mutable size : int;
-  mutable sorted : bool;
+  (* sorted copy of the live region, built lazily on the first
+     percentile query and reused until the next mutation *)
+  mutable sorted_cache : float array;
+  mutable cache_valid : bool;
 }
 
-let create () = { samples = [||]; size = 0; sorted = true }
+let create () =
+  { samples = [||]; size = 0; sorted_cache = [||]; cache_valid = false }
 
 let add t x =
   if t.size >= Array.length t.samples then begin
@@ -15,10 +19,14 @@ let add t x =
   end;
   t.samples.(t.size) <- x;
   t.size <- t.size + 1;
-  t.sorted <- false
+  t.cache_valid <- false
 
 let add_int t x = add t (float_of_int x)
 let count t = t.size
+
+let clear t =
+  t.size <- 0;
+  t.cache_valid <- false
 
 let total t =
   let s = ref 0. in
@@ -54,20 +62,30 @@ let min_value t = if t.size = 0 then nan else fold_range min infinity t
 let max_value t = if t.size = 0 then nan else fold_range max neg_infinity t
 
 let ensure_sorted t =
-  if not t.sorted then begin
+  if not t.cache_valid then begin
     let sub = Array.sub t.samples 0 t.size in
     Array.sort compare sub;
-    Array.blit sub 0 t.samples 0 t.size;
-    t.sorted <- true
+    t.sorted_cache <- sub;
+    t.cache_valid <- true
   end
 
 let percentile t p =
   if t.size = 0 then nan
   else begin
     ensure_sorted t;
-    let rank = int_of_float (ceil (p /. 100. *. float_of_int t.size)) in
-    let idx = max 0 (min (t.size - 1) (rank - 1)) in
-    t.samples.(idx)
+    let p = if p < 0. then 0. else if p > 100. then 100. else p in
+    (* interpolate between ranks: rank p sits at index p/100*(n-1) of
+       the sorted samples; a fractional index blends its neighbours.
+       Nearest-rank (the previous behaviour) biases small-sample tail
+       percentiles — p99 of 100 samples was simply the maximum. *)
+    let rank = p /. 100. *. float_of_int (t.size - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then t.sorted_cache.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      t.sorted_cache.(lo)
+      +. (frac *. (t.sorted_cache.(hi) -. t.sorted_cache.(lo)))
   end
 
 let merge a b =

@@ -17,9 +17,15 @@ val stddev : t -> float
 val min_value : t -> float
 val max_value : t -> float
 
+val clear : t -> unit
+(** Forget all samples (the handle stays usable). *)
+
 val percentile : t -> float -> float
-(** [percentile t p] with [p] in [\[0,100\]]; nearest-rank on the sorted
-    samples. Returns [nan] when empty. *)
+(** [percentile t p] with [p] clamped to [\[0,100\]]: linear
+    interpolation between the two nearest ranks of the sorted samples
+    (so [percentile t 50.] of [{1,2,3,4}] is [2.5], not [3]).  The
+    sorted order is cached and reused across queries until the next
+    [add].  Returns [nan] when empty. *)
 
 val merge : t -> t -> t
 (** Combine two accumulators into a fresh one. *)

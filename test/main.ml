@@ -9,5 +9,6 @@ let () =
       ("os", Test_os.suite);
       ("aso", Test_aso.suite);
       ("workload", Test_workload.suite);
+      ("telemetry", Test_telemetry.suite);
       ("integration", Test_integration.suite);
     ]

@@ -237,9 +237,14 @@ let test_stats_percentile () =
   for i = 1 to 100 do
     Stats.add_int s i
   done;
-  check (Alcotest.float 1e-9) "p50" 50. (Stats.percentile s 50.);
-  check (Alcotest.float 1e-9) "p99" 99. (Stats.percentile s 99.);
-  check (Alcotest.float 1e-9) "p100" 100. (Stats.percentile s 100.)
+  (* interpolated: rank p/100 * (n-1) over samples 1..100 *)
+  check (Alcotest.float 1e-9) "p50" 50.5 (Stats.percentile s 50.);
+  check (Alcotest.float 1e-9) "p99" 99.01 (Stats.percentile s 99.);
+  check (Alcotest.float 1e-9) "p100" 100. (Stats.percentile s 100.);
+  check (Alcotest.float 1e-9) "p0" 1. (Stats.percentile s 0.);
+  (* queries interleaved with adds: the sorted cache must invalidate *)
+  Stats.add_int s 1000;
+  check (Alcotest.float 1e-9) "p100 after add" 1000. (Stats.percentile s 100.)
 
 let test_stats_merge () =
   let a = Stats.create () and b = Stats.create () in
