@@ -403,6 +403,260 @@ let explain_cmd =
     Term.(const run $ name_arg $ model_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+
+let corpus_arg =
+  Arg.(value & opt string "corpus"
+       & info [ "corpus" ] ~docv:"DIR" ~doc:"Regression-corpus directory.")
+
+let fuzz_seeds_arg =
+  Arg.(value & opt int 10
+       & info [ "seeds-per-test" ] ~docv:"N"
+           ~doc:"Perturbed operational runs per test and variant.")
+
+let inject_bug_arg =
+  Arg.(value & flag
+       & info [ "inject-bug" ]
+           ~doc:"Self-test: deliberately break the axiomatic oracle \
+                 (strict ppo) before running, to prove the harness finds, \
+                 shrinks, and records the resulting counterexamples.")
+
+let with_injected_bug inject f =
+  if inject then Ise_model.Axiom.fuzz_unsound_strict_ppo := true;
+  Fun.protect
+    ~finally:(fun () -> Ise_model.Axiom.fuzz_unsound_strict_ppo := false)
+    f
+
+let variants_of_spec spec =
+  match spec with
+  | "all" -> Ok Ise_fuzz.Campaign.all_variants
+  | "base" -> Ok [ Ise_fuzz.Campaign.base_variant ]
+  | spec ->
+    let names = String.split_on_char ',' spec in
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+        match Ise_fuzz.Campaign.variant_named (String.trim n) with
+        | Some v -> resolve (v :: acc) rest
+        | None -> Error n)
+    in
+    resolve [] names
+
+let fuzz_run_cmd =
+  let run seed count seeds_per_test variants_spec corpus_dir no_save inject
+      trace_out =
+    let variants =
+      match variants_of_spec variants_spec with
+      | Ok vs -> vs
+      | Error n ->
+        Printf.eprintf
+          "unknown variant %S; valid names:\n  %s\n" n
+          (String.concat "\n  "
+             (List.map Ise_fuzz.Campaign.variant_name
+                Ise_fuzz.Campaign.all_variants));
+        exit 1
+    in
+    let sink =
+      match trace_out with
+      | None -> None
+      | Some _ -> Some (Ise_telemetry.Sink.create ())
+    in
+    let report =
+      with_injected_bug inject (fun () ->
+          Ise_fuzz.Campaign.run ~count ~seeds_per_test ~variants
+            ?telemetry:sink ~log:prerr_endline ~seed ())
+    in
+    (match (sink, trace_out) with
+     | Some sink, Some path -> write_trace sink path
+     | _ -> ());
+    Printf.printf "seed %d: %d tests, %d checks, %d failure(s)\n"
+      report.Ise_fuzz.Campaign.r_seed report.Ise_fuzz.Campaign.r_tests
+      report.Ise_fuzz.Campaign.r_checks
+      (List.length report.Ise_fuzz.Campaign.r_failures);
+    List.iter
+      (fun f ->
+        Format.printf "@.%s under %s [%s]: %s@.%a@."
+          f.Ise_fuzz.Campaign.f_test.Ise_litmus.Lit_test.name
+          (Ise_fuzz.Campaign.variant_name f.Ise_fuzz.Campaign.f_variant)
+          (Ise_fuzz.Campaign.kind_name f.Ise_fuzz.Campaign.f_kind)
+          f.Ise_fuzz.Campaign.f_detail Ise_litmus.Lit_test.pp
+          f.Ise_fuzz.Campaign.f_shrunk;
+        if not no_save then begin
+          let path =
+            Ise_fuzz.Corpus.save ~dir:corpus_dir
+              (Ise_fuzz.Campaign.entry_of_failure ~seed f)
+          in
+          Printf.printf "replay artifact: %s\n" path
+        end)
+      report.Ise_fuzz.Campaign.r_failures;
+    if report.Ise_fuzz.Campaign.r_failures = [] then 0 else 1
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let count_arg =
+    Arg.(value & opt int 100
+         & info [ "count" ] ~docv:"N" ~doc:"Generated tests.")
+  in
+  let variants_arg =
+    Arg.(value & opt string "all"
+         & info [ "variants" ] ~docv:"SPEC"
+             ~doc:"Lattice variants to sweep: 'all', 'base', or a \
+                   comma-separated list of variant names.")
+  in
+  let nosave_arg =
+    Arg.(value & flag
+         & info [ "no-save" ] ~doc:"Do not write failure artifacts.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a differential fuzzing campaign over the config lattice")
+    Term.(const run $ seed_arg $ count_arg $ fuzz_seeds_arg $ variants_arg
+          $ corpus_arg $ nosave_arg $ inject_bug_arg $ trace_out_arg)
+
+let fuzz_replay_cmd =
+  let run corpus_dir files seeds inject =
+    let entries =
+      match files with
+      | [] -> Ise_fuzz.Corpus.load_dir corpus_dir
+      | fs -> List.map (fun f -> (f, Ise_fuzz.Corpus.load_file f)) fs
+    in
+    if entries = [] then begin
+      Printf.eprintf "no corpus entries under %s\n" corpus_dir;
+      exit 1
+    end;
+    let failed = ref 0 in
+    with_injected_bug inject (fun () ->
+        List.iter
+          (fun (path, entry) ->
+            match entry with
+            | Error msg ->
+              incr failed;
+              Printf.printf "%-40s PARSE ERROR: %s\n%!" path msg
+            | Ok e -> (
+              match Ise_fuzz.Campaign.replay ~seeds e with
+              | Ok () -> Printf.printf "%-40s ok\n%!" path
+              | Error msg ->
+                incr failed;
+                Printf.printf "%-40s FAIL: %s\n%!" path msg))
+          entries);
+    if !failed = 0 then 0 else 1
+  in
+  let files_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"FILE" ~doc:"Artifacts to replay (default: --corpus).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay corpus artifacts and compare with their expected verdicts")
+    Term.(const run $ corpus_arg $ files_arg $ fuzz_seeds_arg $ inject_bug_arg)
+
+let fuzz_shrink_cmd =
+  let run file seeds inject =
+    match Ise_fuzz.Corpus.load_file file with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      1
+    | Ok e -> (
+      match Ise_fuzz.Campaign.variant_named e.Ise_fuzz.Corpus.e_variant with
+      | None ->
+        Printf.eprintf "unknown variant %S\n" e.Ise_fuzz.Corpus.e_variant;
+        1
+      | Some v ->
+        with_injected_bug inject (fun () ->
+            match
+              Ise_fuzz.Campaign.failing_check ~seeds v
+                e.Ise_fuzz.Corpus.e_test
+            with
+            | None ->
+              Printf.printf "nothing to shrink: every check passes\n";
+              0
+            | Some (kind, detail) ->
+              Printf.printf "shrinking %s failure (%s)...\n%!"
+                (Ise_fuzz.Campaign.kind_name kind)
+                detail;
+              let shrunk, steps =
+                Ise_fuzz.Shrink.minimize
+                  ~keeps_failing:(fun t ->
+                    match Ise_fuzz.Campaign.failing_check ~seeds v t with
+                    | Some (k, _) -> k = kind
+                    | None -> false)
+                  e.Ise_fuzz.Corpus.e_test
+              in
+              Format.printf "%d shrink step(s):@.%a@." steps
+                Ise_litmus.Lit_test.pp shrunk;
+              print_string
+                (Ise_fuzz.Corpus.to_string
+                   { e with Ise_fuzz.Corpus.e_test = shrunk });
+              0))
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Artifact to minimize.")
+  in
+  Cmd.v
+    (Cmd.info "shrink" ~doc:"Re-minimize a corpus artifact in place")
+    Term.(const run $ file_arg $ fuzz_seeds_arg $ inject_bug_arg)
+
+let fuzz_corpus_status_cmd =
+  let run corpus_dir =
+    let entries = Ise_fuzz.Corpus.load_dir corpus_dir in
+    Printf.printf "%d entr%s under %s\n" (List.length entries)
+      (if List.length entries = 1 then "y" else "ies")
+      corpus_dir;
+    let parsed =
+      List.filter_map
+        (fun (path, e) ->
+          match e with
+          | Ok e ->
+            Printf.printf "  %-32s %-24s %-18s expect-%s\n"
+              (Filename.basename path) e.Ise_fuzz.Corpus.e_variant
+              e.Ise_fuzz.Corpus.e_kind
+              (match e.Ise_fuzz.Corpus.e_expect with
+               | Ise_fuzz.Corpus.Must_pass -> "pass"
+               | Ise_fuzz.Corpus.Must_fail -> "fail");
+            Some e.Ise_fuzz.Corpus.e_test
+          | Error msg ->
+            Printf.printf "  %-32s PARSE ERROR: %s\n" (Filename.basename path)
+              msg;
+            None)
+        entries
+    in
+    Printf.printf "\nTable 6 relation coverage of the corpus:\n";
+    List.iter
+      (fun (cat, n) ->
+        Printf.printf "  %-36s %d\n" (Ise_litmus.Classify.name cat) n)
+      (Ise_litmus.Classify.coverage parsed);
+    0
+  in
+  Cmd.v
+    (Cmd.info "corpus-status"
+       ~doc:"List corpus entries and their Table 6 relation coverage")
+    Term.(const run $ corpus_arg)
+
+let fuzz_seed_corpus_cmd =
+  let run corpus_dir =
+    List.iter
+      (fun e ->
+        let path = Ise_fuzz.Corpus.save ~dir:corpus_dir e in
+        Printf.printf "wrote %s (%s)\n" path e.Ise_fuzz.Corpus.e_detail)
+      (Ise_fuzz.Campaign.seed_entries ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "seed-corpus"
+       ~doc:"Write the hand-picked Table 6 seed entries into the corpus")
+    Term.(const run $ corpus_arg)
+
+let fuzz_cmd =
+  Cmd.group
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: campaigns, replay, shrinking, corpus \
+             (§6.3's observed ⊆ allowed at scale)")
+    [ fuzz_run_cmd; fuzz_replay_cmd; fuzz_shrink_cmd; fuzz_corpus_status_cmd;
+      fuzz_seed_corpus_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -415,4 +669,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ litmus_cmd; mbench_cmd; gap_cmd; mix_cmd; explain_cmd; stats_cmd ]))
+          [ litmus_cmd; mbench_cmd; gap_cmd; mix_cmd; explain_cmd; stats_cmd;
+            fuzz_cmd ]))

@@ -1,0 +1,124 @@
+(** Differential fuzzing campaigns over the configuration lattice.
+
+    A campaign generates random litmus programs ({!Ise_litmus.Gen}),
+    runs each one under a deterministic selection of lattice variants,
+    and checks, per §6.3:
+
+    - {b differential}: every outcome the operational machine exhibits
+      is allowed by the axiomatic model (observed ⊆ allowed);
+    - {b contract}: every run's architectural-interface trace satisfies
+      the Table 5 rules (checked inside {!Ise_litmus.Lit_run});
+    - {b model-vs-model} (proofs-by-enumeration, §4.6): allowed(SC) ⊆
+      allowed(PC) ⊆ allowed(WC); same-stream fault handling preserves
+      the base model exactly; split-stream only ever {e adds}
+      outcomes.
+
+    Any failure is minimized with {!Shrink} — re-running the failed
+    check on every candidate — and recorded as a {!Corpus} artifact, so
+    it replays from the file alone.  The whole campaign is a pure
+    function of its integer seed. *)
+
+open Ise_model
+open Ise_litmus
+
+(** {1 The lattice} *)
+
+type mem_variant = Mem_default | Mem_2x | Mem_skew4x
+
+type variant = {
+  v_model : Axiom.model;
+  v_protocol : Ise_core.Protocol.mode;
+  v_faults : bool;  (** mark every test page faulting (error injection) *)
+  v_timer : bool;  (** periodic timer interrupts during runs (§5.3) *)
+  v_mem : mem_variant;  (** Table 3 cache/NoC/memory latency variants *)
+  v_ordered_drain : bool;
+      (** force [sb_max_inflight = 1] (single ordered drain) instead of
+          the wide ASO-checkpoint-style concurrent drain *)
+}
+
+val all_variants : variant list
+(** The swept lattice: SC/PC/WC × same/split stream × fault injection ×
+    timer interrupts × drain width, plus per-model memory-latency
+    variants.  Meaningless corners (split-stream without fault
+    injection; drain width under PC, whose protocol already forces a
+    single drain) are pruned. *)
+
+val variant_name : variant -> string
+(** Canonical compact name, e.g. ["pc+same+faults"],
+    ["wc+split+faults+timer+ordered"] — the [variant] field of corpus
+    artifacts. *)
+
+val variant_named : string -> variant option
+val base_variant : variant
+(** [wc+same+faults] — the paper's default configuration. *)
+
+val cfg_of_variant : variant -> Ise_sim.Config.t
+
+(** {1 Checks} *)
+
+type check_kind =
+  | Differential  (** observed ⊄ allowed *)
+  | Contract  (** Table 5 interface-order violation *)
+  | Model_mono  (** allowed(SC) ⊆ allowed(PC) ⊆ allowed(WC) broken *)
+  | Same_stream_equiv  (** same-stream changed the allowed set (§4.6) *)
+  | Split_subset  (** split-stream removed an outcome *)
+
+val kind_name : check_kind -> string
+val kind_named : string -> check_kind option
+
+val failing_check :
+  ?seeds:int -> ?model_checks:bool -> variant -> Lit_test.t ->
+  (check_kind * string) option
+(** First failing check of the test under the variant, with a one-line
+    explanation; [None] when everything passes.  [seeds] (default 10)
+    is the number of perturbed operational runs; [model_checks]
+    (default true) enables the model-vs-model enumeration checks. *)
+
+(** {1 Campaigns} *)
+
+type failure = {
+  f_test : Lit_test.t;  (** as generated *)
+  f_shrunk : Lit_test.t;
+  f_variant : variant;
+  f_kind : check_kind;
+  f_detail : string;
+  f_shrink_steps : int;
+}
+
+type report = {
+  r_seed : int;
+  r_tests : int;
+  r_checks : int;  (** test×variant checks executed *)
+  r_failures : failure list;  (** discovery order *)
+}
+
+val run :
+  ?params:Gen.params -> ?count:int -> ?seeds_per_test:int ->
+  ?variants:variant list -> ?variants_per_test:int ->
+  ?model_checks:bool -> ?shrink_evals:int ->
+  ?telemetry:Ise_telemetry.Sink.t -> ?log:(string -> unit) ->
+  seed:int -> unit -> report
+(** Deterministic in [seed].  [count] (default 100) programs are
+    generated; test [i] runs under [variants_per_test] (default 2)
+    variants chosen round-robin from [variants] (default
+    {!all_variants}).  Failures are shrunk with at most [shrink_evals]
+    (default 400) candidate re-checks each.  When [telemetry] is given,
+    the campaign maintains [fuzz/*] counters and emits one trace span
+    per generated test. *)
+
+(** {1 Corpus integration} *)
+
+val entry_of_failure : seed:int -> failure -> Corpus.entry
+(** A [Must_fail] artifact for a freshly-found failure (flip it to
+    [Must_pass] once the bug it witnesses is fixed). *)
+
+val seed_entries : unit -> Corpus.entry list
+(** Hand-picked [Must_pass] entries, one distinct library test per
+    Table 6 relation family, so replay coverage is non-empty from day
+    one ([ise fuzz seed-corpus] writes them to disk). *)
+
+val replay : ?seeds:int -> Corpus.entry -> (unit, string) result
+(** Re-runs the entry's checks under its recorded variant and compares
+    with its [expect] field: [Must_pass] entries must pass every
+    check; [Must_fail] entries must fail their recorded [kind].
+    Unknown variant names are an [Error]. *)

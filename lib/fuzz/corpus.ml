@@ -1,0 +1,279 @@
+open Ise_model
+open Ise_litmus
+
+type expect = Must_pass | Must_fail
+
+type entry = {
+  e_seed : int;
+  e_variant : string;
+  e_kind : string;
+  e_detail : string;
+  e_expect : expect;
+  e_test : Lit_test.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* writing                                                             *)
+
+let loc_tok l = Types.loc_name l
+let reg_tok r = Types.reg_name r
+
+let instr_tok = function
+  | Instr.Load (r, x) -> Printf.sprintf "R %s %s" (reg_tok r) (loc_tok x)
+  | Instr.Load_dep (r, x, d) ->
+    Printf.sprintf "Rd %s %s %s" (reg_tok r) (loc_tok x) (reg_tok d)
+  | Instr.Store (x, v) -> Printf.sprintf "W %s %d" (loc_tok x) v
+  | Instr.Store_reg (x, r) -> Printf.sprintf "Wr %s %s" (loc_tok x) (reg_tok r)
+  | Instr.Store_dep (x, v, d) ->
+    Printf.sprintf "Wd %s %d %s" (loc_tok x) v (reg_tok d)
+  | Instr.Fence -> "F"
+  | Instr.Ctrl r -> Printf.sprintf "C %s" (reg_tok r)
+  | Instr.Amo (r, x, v) -> Printf.sprintf "A %s %s %d" (reg_tok r) (loc_tok x) v
+  | Instr.Amo_add (r, x, v) ->
+    Printf.sprintf "Aa %s %s %d" (reg_tok r) (loc_tok x) v
+
+let atom_tok = function
+  | Lit_test.Reg_is (tid, r, v) ->
+    Printf.sprintf "R %d %s %d" tid (reg_tok r) v
+  | Lit_test.Mem_is (l, v) -> Printf.sprintf "M %s %d" (loc_tok l) v
+
+let to_string e =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "ise-fuzz v1";
+  line "name %s" e.e_test.Lit_test.name;
+  if e.e_test.Lit_test.doc <> "" then line "doc %s" e.e_test.Lit_test.doc;
+  line "seed %d" e.e_seed;
+  line "variant %s" e.e_variant;
+  line "kind %s" e.e_kind;
+  line "expect %s" (match e.e_expect with Must_pass -> "pass" | Must_fail -> "fail");
+  if e.e_detail <> "" then line "detail %s" e.e_detail;
+  Array.iter
+    (fun instrs ->
+      line "thread %s" (String.concat "; " (List.map instr_tok instrs)))
+    e.e_test.Lit_test.threads;
+  if e.e_test.Lit_test.cond <> [] then
+    line "cond %s" (String.concat "; " (List.map atom_tok e.e_test.Lit_test.cond));
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+
+let parse_loc s =
+  match s with
+  | "x" -> Ok 0
+  | "y" -> Ok 1
+  | "z" -> Ok 2
+  | "w" -> Ok 3
+  | _ ->
+    let num s = int_of_string_opt s in
+    (match
+       if String.length s > 1 && s.[0] = 'v' then
+         num (String.sub s 1 (String.length s - 1))
+       else num s
+     with
+     | Some l when l >= 0 -> Ok l
+     | _ -> Error (Printf.sprintf "bad location %S" s))
+
+let parse_reg s =
+  match
+    if String.length s > 1 && s.[0] = 'r' then
+      int_of_string_opt (String.sub s 1 (String.length s - 1))
+    else int_of_string_opt s
+  with
+  | Some r when r >= 0 -> Ok r
+  | _ -> Error (Printf.sprintf "bad register %S" s)
+
+let parse_value s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad value %S" s)
+
+let ( let* ) = Result.bind
+
+let parse_instr s =
+  let toks =
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun t -> t <> "")
+  in
+  match toks with
+  | [ "R"; r; x ] ->
+    let* r = parse_reg r in
+    let* x = parse_loc x in
+    Ok (Instr.Load (r, x))
+  | [ "Rd"; r; x; d ] ->
+    let* r = parse_reg r in
+    let* x = parse_loc x in
+    let* d = parse_reg d in
+    Ok (Instr.Load_dep (r, x, d))
+  | [ "W"; x; v ] ->
+    let* x = parse_loc x in
+    let* v = parse_value v in
+    Ok (Instr.Store (x, v))
+  | [ "Wr"; x; r ] ->
+    let* x = parse_loc x in
+    let* r = parse_reg r in
+    Ok (Instr.Store_reg (x, r))
+  | [ "Wd"; x; v; d ] ->
+    let* x = parse_loc x in
+    let* v = parse_value v in
+    let* d = parse_reg d in
+    Ok (Instr.Store_dep (x, v, d))
+  | [ "F" ] -> Ok Instr.Fence
+  | [ "C"; r ] ->
+    let* r = parse_reg r in
+    Ok (Instr.Ctrl r)
+  | [ "A"; r; x; v ] ->
+    let* r = parse_reg r in
+    let* x = parse_loc x in
+    let* v = parse_value v in
+    Ok (Instr.Amo (r, x, v))
+  | [ "Aa"; r; x; v ] ->
+    let* r = parse_reg r in
+    let* x = parse_loc x in
+    let* v = parse_value v in
+    Ok (Instr.Amo_add (r, x, v))
+  | _ -> Error (Printf.sprintf "bad instruction %S" s)
+
+let parse_atom s =
+  let toks =
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun t -> t <> "")
+  in
+  match toks with
+  | [ "R"; tid; r; v ] ->
+    let* tid = parse_value tid in
+    let* r = parse_reg r in
+    let* v = parse_value v in
+    Ok (Lit_test.Reg_is (tid, r, v))
+  | [ "M"; l; v ] ->
+    let* l = parse_loc l in
+    let* v = parse_value v in
+    Ok (Lit_test.Mem_is (l, v))
+  | _ -> Error (Printf.sprintf "bad condition atom %S" s)
+
+let parse_seq parse s =
+  let items = String.split_on_char ';' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest ->
+      let* v = parse item in
+      go (v :: acc) rest
+  in
+  go [] (List.filter (fun i -> String.trim i <> "") items)
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let name = ref None and doc = ref "" and seed = ref None in
+  let variant = ref None and kind = ref None and detail = ref "" in
+  let expect = ref None and threads = ref [] and cond = ref [] in
+  let rec go = function
+    | [] -> Ok ()
+    | line :: rest ->
+      let key, rest_of_line =
+        match String.index_opt line ' ' with
+        | Some i ->
+          ( String.sub line 0 i,
+            String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+        | None -> (line, "")
+      in
+      let* () =
+        match key with
+        | "ise-fuzz" ->
+          if rest_of_line = "v1" then Ok ()
+          else Error (Printf.sprintf "unsupported version %S" rest_of_line)
+        | "name" -> name := Some rest_of_line; Ok ()
+        | "doc" -> doc := rest_of_line; Ok ()
+        | "seed" ->
+          let* v = parse_value rest_of_line in
+          seed := Some v;
+          Ok ()
+        | "variant" -> variant := Some rest_of_line; Ok ()
+        | "kind" -> kind := Some rest_of_line; Ok ()
+        | "detail" -> detail := rest_of_line; Ok ()
+        | "expect" -> (
+          match rest_of_line with
+          | "pass" -> expect := Some Must_pass; Ok ()
+          | "fail" -> expect := Some Must_fail; Ok ()
+          | e -> Error (Printf.sprintf "bad expect %S (pass|fail)" e))
+        | "thread" ->
+          let* instrs = parse_seq parse_instr rest_of_line in
+          threads := instrs :: !threads;
+          Ok ()
+        | "cond" ->
+          let* atoms = parse_seq parse_atom rest_of_line in
+          cond := !cond @ atoms;
+          Ok ()
+        | k -> Error (Printf.sprintf "unknown key %S in line %S" k line)
+      in
+      go rest
+  in
+  let* () =
+    match lines with
+    | first :: _ when first = "ise-fuzz v1" -> go lines
+    | _ -> Error "missing \"ise-fuzz v1\" header"
+  in
+  match (!name, !seed, !variant, !kind, !expect, List.rev !threads) with
+  | Some name, Some seed, Some variant, Some kind, Some expect,
+    (_ :: _ as threads) ->
+    Ok
+      {
+        e_seed = seed;
+        e_variant = variant;
+        e_kind = kind;
+        e_detail = !detail;
+        e_expect = expect;
+        e_test =
+          Lit_test.make ~name ~doc:!doc (Array.of_list threads) !cond;
+      }
+  | None, _, _, _, _, _ -> Error "missing name"
+  | _, None, _, _, _, _ -> Error "missing seed"
+  | _, _, None, _, _, _ -> Error "missing variant"
+  | _, _, _, None, _, _ -> Error "missing kind"
+  | _, _, _, _, None, _ -> Error "missing expect"
+  | _ -> Error "missing thread lines"
+
+(* ------------------------------------------------------------------ *)
+(* files                                                               *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '_')
+    name
+
+let save ~dir e =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (sanitize e.e_test.Lit_test.name ^ ".lit") in
+  let oc = open_out path in
+  output_string oc (to_string e);
+  close_out oc;
+  path
+
+let load_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    (match of_string s with
+     | Ok e -> Ok e
+     | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".lit")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (path, load_file path))

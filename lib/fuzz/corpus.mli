@@ -1,0 +1,51 @@
+(** Replayable regression corpus.
+
+    Every failure the campaign finds — and every hand-picked seed
+    test — is stored as one plain-text artifact: the (shrunk) program,
+    the lattice variant it ran under, the campaign seed, and the
+    verdict replay should produce today.  The format is line-oriented
+    and diff-friendly so artifacts live in git under [corpus/] and a
+    reviewer can read a counterexample without tooling.
+
+    {v
+    ise-fuzz v1
+    name SB
+    seed 42
+    variant pc+same+faults
+    kind differential
+    expect pass
+    detail store buffering must stay allowed under PC
+    thread W x 1; R r0 y
+    thread W y 1; R r1 x
+    cond R 0 r0 0; R 1 r1 0
+    v}
+
+    Instruction tokens: [R r x] load, [Rd r x rdep] dependent load,
+    [W x v] store, [Wr x r] store of register, [Wd x v rdep] dependent
+    store, [F] fence, [C r] control dependency, [A r x v] AMO swap,
+    [Aa r x v] AMO add.  Registers are [r<n>], locations [x y z w]
+    then [l<n>]. *)
+
+type expect = Must_pass | Must_fail
+
+type entry = {
+  e_seed : int;  (** campaign seed that produced the artifact *)
+  e_variant : string;  (** lattice variant name (see {!Campaign}) *)
+  e_kind : string;  (** which check failed ([seed] for seeded entries) *)
+  e_detail : string;  (** one-line human explanation *)
+  e_expect : expect;  (** verdict replay should produce now *)
+  e_test : Ise_litmus.Lit_test.t;
+}
+
+val to_string : entry -> string
+val of_string : string -> (entry, string) result
+(** Errors carry the offending line. *)
+
+val save : dir:string -> entry -> string
+(** Writes [<dir>/<name>.lit] (creating [dir] if needed) and returns
+    the path.  The file name is the test name sanitized to
+    [[A-Za-z0-9._-]]. *)
+
+val load_file : string -> (entry, string) result
+val load_dir : string -> (string * (entry, string) result) list
+(** All [*.lit] files, sorted by path for determinism. *)

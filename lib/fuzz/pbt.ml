@@ -1,0 +1,183 @@
+open Ise_util
+
+type 'a gen = Rng.t -> 'a
+type 'a shrinker = 'a -> 'a Seq.t
+
+type 'a arb = {
+  gen : 'a gen;
+  shrink : 'a shrinker;
+  pp : Format.formatter -> 'a -> unit;
+}
+
+let shrink_nothing _ = Seq.empty
+
+let opaque_pp ppf _ = Format.pp_print_string ppf "<opaque>"
+
+let make ?(shrink = shrink_nothing) ?(pp = opaque_pp) gen = { gen; shrink; pp }
+
+(* ------------------------------------------------------------------ *)
+(* generators                                                          *)
+
+let return v _rng = v
+let map f g rng = f (g rng)
+
+let int_range lo hi rng =
+  if hi < lo then invalid_arg "Pbt.int_range: empty range";
+  lo + Rng.int rng (hi - lo + 1)
+
+let bool rng = Rng.bool rng
+
+let oneof gens rng =
+  match gens with
+  | [] -> invalid_arg "Pbt.oneof: empty list"
+  | _ -> (List.nth gens (Rng.int rng (List.length gens))) rng
+
+let choose vs rng =
+  match vs with
+  | [] -> invalid_arg "Pbt.choose: empty list"
+  | _ -> List.nth vs (Rng.int rng (List.length vs))
+
+let frequency weighted rng =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Pbt.frequency: weights must be positive";
+  let roll = Rng.int rng total in
+  let rec pick acc = function
+    | [] -> assert false
+    | (w, g) :: rest -> if roll < acc + w then g rng else pick (acc + w) rest
+  in
+  pick 0 weighted
+
+let pair ga gb rng =
+  let a = ga rng in
+  let b = gb rng in
+  (a, b)
+
+let list_of ?(min = 0) ~max g rng =
+  let n = int_range min max rng in
+  List.init n (fun _ -> g rng)
+
+(* ------------------------------------------------------------------ *)
+(* shrinkers                                                           *)
+
+let shrink_int n =
+  if n = 0 then Seq.empty
+  else
+    let candidates = ref [] in
+    let push v = if v <> n then candidates := v :: !candidates in
+    push 0;
+    push (n / 2);
+    push (n - (if n > 0 then 1 else -1));
+    List.to_seq (List.rev !candidates)
+
+(* Drop a contiguous chunk [i, i+len) from [l]. *)
+let drop_chunk l i len =
+  List.filteri (fun j _ -> j < i || j >= i + len) l
+
+let shrink_list ?(elt = shrink_nothing) l =
+  let n = List.length l in
+  let drops =
+    (* halves first, then singles: O(n log n) candidates total *)
+    let rec sizes acc len = if len >= 1 then sizes (len :: acc) (len / 2) else acc in
+    let chunk_sizes = if n = 0 then [] else sizes [] (n / 2) in
+    let chunk_sizes = List.sort_uniq (fun a b -> compare b a) (1 :: chunk_sizes) in
+    Seq.concat_map
+      (fun len ->
+        Seq.init
+          (n - len + 1)
+          (fun i -> drop_chunk l i len))
+      (List.to_seq chunk_sizes)
+  in
+  let elements =
+    Seq.concat_map
+      (fun i ->
+        Seq.map
+          (fun v -> List.mapi (fun j x -> if i = j then v else x) l)
+          (elt (List.nth l i)))
+      (Seq.init n (fun i -> i))
+  in
+  Seq.append drops elements
+
+let shrink_pair sa sb (a, b) =
+  Seq.append
+    (Seq.map (fun a' -> (a', b)) (sa a))
+    (Seq.map (fun b' -> (a, b')) (sb b))
+
+(* ------------------------------------------------------------------ *)
+(* running                                                             *)
+
+type 'a failure = {
+  fail_seed : int;
+  fail_index : int;
+  fail_case : 'a;
+  fail_shrunk : 'a;
+  fail_shrink_steps : int;
+  fail_error : string option;
+}
+
+type 'a outcome = Passed of int | Failed of 'a failure
+
+let minimize ?(max_evals = 10_000) shrink still_fails x =
+  let evals = ref 0 in
+  let rec go x steps =
+    let next =
+      Seq.find
+        (fun c ->
+          incr evals;
+          !evals <= max_evals && still_fails c)
+        (shrink x)
+    in
+    match next with
+    | Some c when !evals <= max_evals -> go c (steps + 1)
+    | _ -> (x, steps)
+  in
+  go x 0
+
+let prop_fails prop x =
+  match prop x with
+  | ok -> (not ok, None)
+  | exception e -> (true, Some (Printexc.to_string e))
+
+let run ?(count = 100) ~seed arb prop =
+  let root = Rng.create seed in
+  let rec go i =
+    if i >= count then Passed count
+    else begin
+      let case = arb.gen (Rng.split root) in
+      match prop_fails prop case with
+      | false, _ -> go (i + 1)
+      | true, error ->
+        let shrunk, steps =
+          minimize arb.shrink (fun c -> fst (prop_fails prop c)) case
+        in
+        (* report the error message of the *shrunk* case when it raises *)
+        let error =
+          match prop_fails prop shrunk with _, (Some _ as e) -> e | _ -> error
+        in
+        Failed
+          {
+            fail_seed = seed;
+            fail_index = i;
+            fail_case = case;
+            fail_shrunk = shrunk;
+            fail_shrink_steps = steps;
+            fail_error = error;
+          }
+    end
+  in
+  go 0
+
+let check ?count ~seed ~name arb prop =
+  match run ?count ~seed arb prop with
+  | Passed _ -> ()
+  | Failed f ->
+    let msg =
+      Format.asprintf
+        "@[<v>property %S failed (seed %d, case #%d, %d shrink steps)%a@,\
+         counterexample: %a@]"
+        name f.fail_seed f.fail_index f.fail_shrink_steps
+        (fun ppf -> function
+          | None -> ()
+          | Some e -> Format.fprintf ppf "@,raised: %s" e)
+        f.fail_error arb.pp f.fail_shrunk
+    in
+    failwith msg

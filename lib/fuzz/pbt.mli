@@ -1,0 +1,94 @@
+(** Dependency-free property-based-testing core.
+
+    The harness needs three things qcheck also provides — generators,
+    properties, and shrinking — but built on {!Ise_util.Rng} so a
+    campaign is a pure function of its integer seed: the same seed
+    replays the same generated cases, the same failures, and the same
+    shrink sequences on any machine.  Everything below is deliberately
+    small; the litmus-specific shrinker lives in {!Shrink}.
+
+    A property fails when it returns [false] {e or} raises; the raised
+    message is preserved in the failure report. *)
+
+type 'a gen = Ise_util.Rng.t -> 'a
+(** Generators consume a splittable RNG and are otherwise pure. *)
+
+type 'a shrinker = 'a -> 'a Seq.t
+(** Strictly-smaller candidates, most aggressive first.  Every
+    candidate must be smaller under some well-founded measure, so the
+    greedy minimization loop terminates. *)
+
+type 'a arb = {
+  gen : 'a gen;
+  shrink : 'a shrinker;
+  pp : Format.formatter -> 'a -> unit;
+}
+(** A generator bundled with how to shrink and print its values. *)
+
+val make :
+  ?shrink:'a shrinker -> ?pp:(Format.formatter -> 'a -> unit) -> 'a gen ->
+  'a arb
+(** Defaults: no shrinking, opaque printer. *)
+
+(** {1 Generators} *)
+
+val return : 'a -> 'a gen
+val map : ('a -> 'b) -> 'a gen -> 'b gen
+val int_range : int -> int -> int gen
+(** [int_range lo hi] is uniform on the inclusive range. *)
+
+val bool : bool gen
+val oneof : 'a gen list -> 'a gen
+val choose : 'a list -> 'a gen
+(** Uniform pick from a non-empty list. *)
+
+val frequency : (int * 'a gen) list -> 'a gen
+(** Weighted pick; weights must be positive. *)
+
+val pair : 'a gen -> 'b gen -> ('a * 'b) gen
+val list_of : ?min:int -> max:int -> 'a gen -> 'a list gen
+(** Length uniform in [min..max] (default [min] 0). *)
+
+(** {1 Shrinkers} *)
+
+val shrink_nothing : 'a shrinker
+val shrink_int : int shrinker
+(** Halves towards 0 (then decrements), preserving sign. *)
+
+val shrink_list : ?elt:'a shrinker -> 'a list shrinker
+(** Drops chunks (halves first, then single elements), then shrinks
+    elements in place with [elt]. *)
+
+val shrink_pair : 'a shrinker -> 'b shrinker -> ('a * 'b) shrinker
+
+(** {1 Running properties} *)
+
+type 'a failure = {
+  fail_seed : int;  (** root seed of the run that failed *)
+  fail_index : int;  (** 0-based index of the failing case *)
+  fail_case : 'a;  (** as generated *)
+  fail_shrunk : 'a;  (** after greedy minimization *)
+  fail_shrink_steps : int;  (** accepted shrink steps *)
+  fail_error : string option;  (** exception message, if the property raised *)
+}
+
+type 'a outcome =
+  | Passed of int  (** number of cases run *)
+  | Failed of 'a failure
+
+val minimize :
+  ?max_evals:int -> 'a shrinker -> ('a -> bool) -> 'a -> 'a * int
+(** [minimize shrink still_fails x] greedily walks to a local minimum:
+    repeatedly takes the first candidate for which [still_fails] holds.
+    Returns the minimum and the number of accepted steps (0 when [x] is
+    already minimal).  [still_fails x] is assumed; [max_evals]
+    (default 10_000) bounds total candidate evaluations. *)
+
+val run : ?count:int -> seed:int -> 'a arb -> ('a -> bool) -> 'a outcome
+(** [run ~seed arb prop] checks [count] (default 100) generated cases
+    and shrinks the first failure.  Deterministic in [seed]. *)
+
+val check : ?count:int -> seed:int -> name:string -> 'a arb -> ('a -> bool) -> unit
+(** Like {!run} but raises [Failure] with a rendered report on the
+    first (shrunk) counterexample — the alcotest-friendly entry
+    point. *)

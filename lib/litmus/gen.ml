@@ -14,6 +14,38 @@ let default_params =
   { max_threads = 2; max_instrs = 4; max_locs = 3; allow_amo = true;
     allow_fence = true; allow_deps = true }
 
+let validate p =
+  if p.max_threads < 2 then
+    Error
+      (Printf.sprintf
+         "Gen: max_threads = %d, but inter-thread communication needs at \
+          least 2 threads"
+         p.max_threads)
+  else if p.max_threads > 8 then
+    Error
+      (Printf.sprintf
+         "Gen: max_threads = %d makes model enumeration intractable (max 8)"
+         p.max_threads)
+  else if p.max_instrs < 1 then
+    Error (Printf.sprintf "Gen: max_instrs = %d, need at least 1" p.max_instrs)
+  else if p.max_instrs > 16 then
+    Error
+      (Printf.sprintf
+         "Gen: max_instrs = %d makes model enumeration intractable (max 16)"
+         p.max_instrs)
+  else if p.max_locs < 1 then
+    Error
+      (Printf.sprintf
+         "Gen: max_locs = %d, but communication needs at least one shared \
+          location"
+         p.max_locs)
+  else if p.max_locs > 8 then
+    Error
+      (Printf.sprintf
+         "Gen: max_locs = %d makes model enumeration intractable (max 8)"
+         p.max_locs)
+  else Ok ()
+
 let gen_thread rng p ~writes_left =
   let n = 1 + Rng.int rng p.max_instrs in
   let next_reg = ref 0 in
@@ -110,12 +142,85 @@ let writes_per_loc_ok threads max_per_loc =
     threads;
   Hashtbl.fold (fun _ c ok -> ok && c <= max_per_loc) counts true
 
+(* diy-style critical-cycle skeleton: thread [i] accesses location
+   [i] then location [i+1 mod n], so the per-thread program-order
+   edges and the inter-thread communication edges close a cycle.
+   These are exactly the shapes (SB, LB, MP, S, R, 2+2W and their
+   fence/dependency variants) that distinguish SC from PC from WC —
+   the purely random path below produces them too rarely for
+   differential fuzzing to exercise the relaxed corners of the
+   models. *)
+let gen_cycle_threads rng p =
+  let nthreads =
+    let cap = min p.max_threads p.max_locs in
+    2 + Rng.int rng (max 1 (min cap 3 - 1))
+  in
+  let next_val = ref 0 in
+  let fresh_val () = incr next_val; !next_val in
+  let any_write = ref false in
+  let threads =
+    Array.init nthreads (fun i ->
+        let l_in = i and l_out = (i + 1) mod nthreads in
+        let next_reg = ref 0 in
+        let fresh_reg () =
+          let r = !next_reg in
+          incr next_reg;
+          r
+        in
+        let mk write l =
+          if write then begin
+            any_write := true;
+            Instr.Store (l, fresh_val ())
+          end
+          else Instr.Load (fresh_reg (), l)
+        in
+        let a = mk (Rng.bool rng) l_in in
+        let b =
+          let write = Rng.bool rng in
+          match a with
+          | Instr.Load (r, _) when p.allow_deps && Rng.int rng 100 < 30 ->
+            if write then begin
+              any_write := true;
+              Instr.Store_reg (l_out, r)
+            end
+            else Instr.Load_dep (fresh_reg (), l_out, r)
+          | _ -> mk write l_out
+        in
+        let fence =
+          if p.allow_fence && Rng.int rng 100 < 25 then [ Instr.Fence ] else []
+        in
+        (a :: fence) @ [ b ])
+  in
+  (* a cycle with no write at all cannot communicate; force one *)
+  if not !any_write then
+    threads.(0) <-
+      (match threads.(0) with _ :: rest -> Instr.Store (0, fresh_val ()) :: rest
+                            | [] -> assert false);
+  threads
+
+let max_attempts = 200
+
 let generate rng p =
+  (match validate p with Ok () -> () | Error msg -> invalid_arg msg);
   let rec try_once attempt =
-    if attempt > 200 then failwith "Gen.generate: cannot build a communicating test";
-    let nthreads = 2 + Rng.int rng (max 1 (p.max_threads - 1)) in
-    let writes_left = ref 4 in
-    let threads = Array.init nthreads (fun _ -> gen_thread rng p ~writes_left) in
+    if attempt >= max_attempts then
+      failwith
+        (Printf.sprintf
+           "Gen.generate: no communicating test after %d attempts \
+            (max_threads=%d max_instrs=%d max_locs=%d amo=%b fence=%b \
+            deps=%b); loosen the parameters"
+           max_attempts p.max_threads p.max_instrs p.max_locs p.allow_amo
+           p.allow_fence p.allow_deps);
+    let threads =
+      if p.max_locs >= 2 && Rng.bool rng then gen_cycle_threads rng p
+      else begin
+        let nthreads = 2 + Rng.int rng (max 1 (p.max_threads - 1)) in
+        (* independent per-thread budgets: a shared budget let the
+           first thread starve the others of stores, killing most
+           communication shapes *)
+        Array.init nthreads (fun _ -> gen_thread rng p ~writes_left:(ref 3))
+      end
+    in
     if communicates threads && writes_per_loc_ok threads 3 then threads
     else try_once (attempt + 1)
   in

@@ -19,8 +19,20 @@ type params = {
 
 val default_params : params
 
+val validate : params -> (unit, string) result
+(** Rejects parameter combinations under which generation cannot make
+    progress (fewer than 2 threads or no shared location: no
+    inter-thread communication is expressible) or under which
+    exhaustive model enumeration would blow up (threads, instructions,
+    or locations far beyond litmus scale).  The error spells out the
+    offending field. *)
+
 val generate : Ise_util.Rng.t -> params -> Lit_test.t
-(** One random test; retries internally until the program has
-    inter-thread communication. *)
+(** One random test; retries internally (bounded) until the program
+    has inter-thread communication.
+    @raise Invalid_argument when {!validate} rejects the parameters.
+    @raise Failure if no communicating program is found within the
+    retry bound — the message names the parameters responsible. *)
 
 val generate_suite : seed:int -> count:int -> params -> Lit_test.t list
+(** @raise Invalid_argument when {!validate} rejects the parameters. *)

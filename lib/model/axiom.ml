@@ -49,11 +49,18 @@ let split_relax (ex : Exec.t) rel =
         && not (Event.same_loc ea eb)))
     rel
 
+let fuzz_unsound_strict_ppo = ref false
+
 let ppo cfg (ex : Exec.t) =
   let events = ex.graph.Event.events in
   let po_mem = memory_po ex in
   let base =
     match cfg.model with
+    | _ when !fuzz_unsound_strict_ppo ->
+      (* injected oracle bug (see the mli): keep full program order, so
+         store-buffer relaxations the machine legally exhibits become
+         forbidden *)
+      po_mem
     | Sc -> po_mem
     | Pc ->
       (* the store buffer relaxes store→load order *)

@@ -40,6 +40,16 @@ val rvwmo : config
 val with_faults : fault_mode -> config -> config
 val name : config -> string
 
+val fuzz_unsound_strict_ppo : bool ref
+(** Deliberate bug injection for the differential fuzz harness's
+    self-test ([false] by default; never set outside tests).  When set,
+    {!ppo} keeps the full program order under every model — removing
+    exactly the store→load relaxation PC's and WC's store buffers are
+    allowed — so the axiomatic oracle wrongly forbids store-buffering
+    outcomes the machine legitimately exhibits.  A sound harness must
+    report observed ⊄ allowed and shrink the counterexample to the
+    classic 2-thread SB shape. *)
+
 val ppo : config -> Exec.t -> Rel.t
 (** Preserved program order under the configuration. *)
 

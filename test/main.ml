@@ -10,5 +10,6 @@ let () =
       ("aso", Test_aso.suite);
       ("workload", Test_workload.suite);
       ("telemetry", Test_telemetry.suite);
+      ("fuzz", Test_fuzz.suite);
       ("integration", Test_integration.suite);
     ]

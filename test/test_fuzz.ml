@@ -1,0 +1,522 @@
+(* Tests for the differential fuzzing harness: the PBT core itself,
+   property tests of Ise_util written with that core, the litmus
+   shrinker, the corpus format, and campaign end-to-end behaviour
+   (including finding, shrinking, and replaying an injected model
+   bug). *)
+
+open Ise_fuzz
+module Rng = Ise_util.Rng
+module Instr = Ise_model.Instr
+module Lit_test = Ise_litmus.Lit_test
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* PBT core *)
+
+let ints = Pbt.make ~shrink:Pbt.shrink_int ~pp:Format.pp_print_int
+    (Pbt.int_range 0 1000)
+
+let test_pbt_finds_and_shrinks () =
+  match Pbt.run ~count:200 ~seed:11 ints (fun n -> n < 50) with
+  | Pbt.Passed _ -> Alcotest.fail "property n < 50 should fail on 0..1000"
+  | Pbt.Failed f ->
+    checkb "generated case fails" false (f.Pbt.fail_case < 50);
+    checki "shrunk to boundary" 50 f.Pbt.fail_shrunk;
+    check (Alcotest.option Alcotest.string) "no exception" None f.Pbt.fail_error
+
+let test_pbt_deterministic () =
+  let once () =
+    match Pbt.run ~count:200 ~seed:13 ints (fun n -> n mod 7 <> 3) with
+    | Pbt.Passed _ -> Alcotest.fail "n mod 7 <> 3 should fail"
+    | Pbt.Failed f -> (f.Pbt.fail_index, f.Pbt.fail_case, f.Pbt.fail_shrunk)
+  in
+  let i1, c1, s1 = once () and i2, c2, s2 = once () in
+  checki "same failing index" i1 i2;
+  checki "same failing case" c1 c2;
+  checki "same shrunk case" s1 s2;
+  (* greedy shrinking only promises a local minimum that still fails *)
+  checki "shrunk still fails" 3 (s1 mod 7);
+  checkb "shrunk no larger than the case" true (s1 <= c1)
+
+let test_pbt_exception_is_failure () =
+  match
+    Pbt.run ~count:200 ~seed:17 ints (fun n ->
+        if n > 100 then failwith "boom" else true)
+  with
+  | Pbt.Passed _ -> Alcotest.fail "raising property should fail"
+  | Pbt.Failed f ->
+    checkb "error recorded"
+      true
+      (match f.Pbt.fail_error with
+      | Some m -> contains_substring m "boom"
+      | None -> false);
+    checki "shrunk to boundary" 101 f.Pbt.fail_shrunk
+
+let test_pbt_minimize_idempotent () =
+  let still_fails n = n >= 50 in
+  let m, steps = Pbt.minimize Pbt.shrink_int still_fails 700 in
+  checki "minimum" 50 m;
+  checkb "made progress" true (steps > 0);
+  let m', steps' = Pbt.minimize Pbt.shrink_int still_fails m in
+  checki "re-minimizing is a no-op" m m';
+  checki "zero steps on a minimum" 0 steps'
+
+let test_pbt_list_shrink () =
+  let lists =
+    Pbt.make
+      ~shrink:(Pbt.shrink_list ~elt:Pbt.shrink_int)
+      ~pp:(fun ppf l ->
+        Format.fprintf ppf "[%s]"
+          (String.concat "; " (List.map string_of_int l)))
+      (Pbt.list_of ~max:8 (Pbt.int_range 0 20))
+  in
+  match Pbt.run ~count:300 ~seed:19 lists (List.for_all (fun n -> n <= 10)) with
+  | Pbt.Passed _ -> Alcotest.fail "lists with an element > 10 exist"
+  | Pbt.Failed f ->
+    check Alcotest.(list int) "shrunk to the single smallest witness"
+      [ 11 ] f.Pbt.fail_shrunk
+
+let test_pbt_bad_params () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "empty oneof" (Invalid_argument "Pbt.oneof: empty list")
+    (fun () -> ignore (Pbt.oneof [] rng));
+  Alcotest.check_raises "empty choose"
+    (Invalid_argument "Pbt.choose: empty list") (fun () ->
+      ignore (Pbt.choose [] rng));
+  Alcotest.check_raises "inverted range"
+    (Invalid_argument "Pbt.int_range: empty range") (fun () ->
+      ignore (Pbt.int_range 5 3 rng))
+
+(* ------------------------------------------------------------------ *)
+(* Ise_util properties, written with the new core *)
+
+module RB = Ise_util.Ring_buffer
+module PQ = Ise_util.Pqueue
+module BS = Ise_util.Bitset
+module Stats = Ise_util.Stats
+
+type rop = RPush of int | RPop | RPeek | RClear
+
+let ring_ops =
+  Pbt.list_of ~max:40
+    (Pbt.frequency
+       [ (5, Pbt.map (fun v -> RPush v) (Pbt.int_range 0 99));
+         (3, Pbt.return RPop);
+         (1, Pbt.return RPeek);
+         (1, Pbt.return RClear) ])
+
+(* Ring_buffer against the obvious list model, including the
+   raise-on-full / raise-on-empty contract. *)
+let ring_buffer_agrees ops =
+  let rb = RB.create ~capacity:4 in
+  let model = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      match op with
+      | RPush v ->
+        if List.length !model < 4 then begin
+          RB.push rb v;
+          model := !model @ [ v ]
+        end
+        else begin
+          match RB.push rb v with
+          | () -> ok := false
+          | exception Failure _ -> ()
+        end
+      | RPop -> begin
+          match (RB.pop rb, !model) with
+          | v, m :: rest ->
+            if v <> m then ok := false else model := rest
+          | _, [] -> ok := false
+          | exception Failure _ -> if !model <> [] then ok := false
+        end
+      | RPeek ->
+        let expected = match !model with [] -> None | m :: _ -> Some m in
+        if RB.peek rb <> expected then ok := false
+      | RClear ->
+        RB.clear rb;
+        model := [])
+    ops;
+  !ok && RB.to_list rb = !model && RB.length rb = List.length !model
+  && RB.is_empty rb = (!model = [])
+
+let test_ring_buffer_model () =
+  Pbt.check ~count:300 ~seed:23 ~name:"ring buffer = list model"
+    (Pbt.make ring_ops) ring_buffer_agrees
+
+let test_pqueue_ordering () =
+  let prios = Pbt.list_of ~min:1 ~max:30 (Pbt.int_range 0 9) in
+  Pbt.check ~count:300 ~seed:29 ~name:"pqueue pops = stable sort"
+    (Pbt.make prios) (fun prios ->
+      let q = PQ.create () in
+      List.iteri (fun idx p -> PQ.push q p idx) prios;
+      let popped = ref [] in
+      let rec drain () =
+        match PQ.pop q with
+        | Some pv ->
+          popped := pv :: !popped;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      let expected =
+        List.stable_sort
+          (fun (p1, _) (p2, _) -> compare p1 p2)
+          (List.mapi (fun idx p -> (p, idx)) prios)
+      in
+      List.rev !popped = expected && PQ.is_empty q)
+
+type bop = BSet of int | BClr of int
+
+let test_bitset_model () =
+  let n = 16 in
+  let ops =
+    Pbt.list_of ~max:60
+      (Pbt.oneof
+         [ Pbt.map (fun i -> BSet i) (Pbt.int_range 0 (n - 1));
+           Pbt.map (fun i -> BClr i) (Pbt.int_range 0 (n - 1)) ])
+  in
+  Pbt.check ~count:300 ~seed:31 ~name:"bitset = bool array"
+    (Pbt.make ops) (fun ops ->
+      let bs = BS.create n in
+      let model = Array.make n false in
+      List.iter
+        (fun op ->
+          match op with
+          | BSet i ->
+            BS.set bs i;
+            model.(i) <- true
+          | BClr i ->
+            BS.clear bs i;
+            model.(i) <- false)
+        ops;
+      let members = List.filter (fun i -> model.(i)) (List.init n Fun.id) in
+      BS.to_list bs = members
+      && BS.cardinal bs = List.length members
+      && List.for_all (fun i -> BS.mem bs i = model.(i)) (List.init n Fun.id))
+
+let test_stats_percentile_monotone () =
+  let samples = Pbt.list_of ~min:1 ~max:50 (Pbt.int_range (-100) 100) in
+  let queries = Pbt.pair (Pbt.int_range 0 100) (Pbt.int_range 0 100) in
+  Pbt.check ~count:300 ~seed:37 ~name:"percentile is monotone in p"
+    (Pbt.make (Pbt.pair samples queries))
+    (fun (samples, (q1, q2)) ->
+      let s = Stats.create () in
+      List.iter (Stats.add_int s) samples;
+      let lo = float_of_int (min q1 q2) and hi = float_of_int (max q1 q2) in
+      let p_lo = Stats.percentile s lo and p_hi = Stats.percentile s hi in
+      p_lo <= p_hi
+      && Stats.min_value s <= Stats.percentile s 0.
+      && Stats.percentile s 100. <= Stats.max_value s)
+
+(* ------------------------------------------------------------------ *)
+(* Generator parameter validation *)
+
+let test_gen_validate () =
+  let module Gen = Ise_litmus.Gen in
+  let p = Gen.default_params in
+  let expect_error field p =
+    match Gen.validate p with
+    | Error msg ->
+      checkb (Printf.sprintf "error names %s" field) true
+        (contains_substring msg field)
+    | Ok () -> Alcotest.failf "expected %s to be rejected" field
+  in
+  expect_error "max_threads" { p with Gen.max_threads = 1 };
+  expect_error "max_threads" { p with Gen.max_threads = 9 };
+  expect_error "max_instrs" { p with Gen.max_instrs = 0 };
+  expect_error "max_instrs" { p with Gen.max_instrs = 17 };
+  expect_error "max_locs" { p with Gen.max_locs = 0 };
+  expect_error "max_locs" { p with Gen.max_locs = 9 };
+  checkb "defaults validate" true (Gen.validate p = Ok ());
+  (match Gen.generate (Rng.create 1) { p with Gen.max_threads = 1 } with
+  | _ -> Alcotest.fail "generate must reject invalid params"
+  | exception Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Litmus shrinker *)
+
+let total_instrs (t : Lit_test.t) =
+  Array.fold_left (fun a is -> a + List.length is) 0 t.Lit_test.threads
+
+let has_fence (t : Lit_test.t) =
+  Array.exists (List.exists (fun i -> i = Instr.Fence)) t.Lit_test.threads
+
+let test_shrink_candidates_decrease () =
+  let tests =
+    Ise_litmus.Gen.generate_suite ~seed:5 ~count:15
+      Ise_litmus.Gen.default_params
+  in
+  List.iter
+    (fun t ->
+      let s = Shrink.size t in
+      Seq.iter
+        (fun c ->
+          if Shrink.size c >= s then
+            Alcotest.failf "candidate of %s does not shrink: %d >= %d"
+              t.Lit_test.name (Shrink.size c) s)
+        (Shrink.candidates t))
+    tests
+
+let test_shrink_preserves_and_terminates () =
+  (* structural property: "the test contains a fence" — minimization
+     must keep it failing and land on the 1-thread 1-instruction
+     minimum *)
+  let t =
+    Lit_test.make ~name:"shrink-meta"
+      [| [ Instr.Store (0, 1); Instr.Fence; Instr.Load (0, 1) ];
+         [ Instr.Store (1, 2); Instr.Load (1, 0); Instr.Fence ] |]
+      []
+  in
+  checkb "input fails" true (has_fence t);
+  let shrunk, steps = Shrink.minimize ~keeps_failing:has_fence t in
+  checkb "failure preserved" true (has_fence shrunk);
+  checkb "made progress" true (steps > 0);
+  checki "one thread" 1 (Array.length shrunk.Lit_test.threads);
+  checki "one instruction" 1 (total_instrs shrunk);
+  check Alcotest.string "name preserved" t.Lit_test.name shrunk.Lit_test.name;
+  let again, steps' = Shrink.minimize ~keeps_failing:has_fence shrunk in
+  checki "idempotent: zero further steps" 0 steps';
+  checki "idempotent: same size" (Shrink.size shrunk) (Shrink.size again)
+
+let test_shrink_keeps_cond_locations () =
+  (* tests with a condition must never have locations merged away *)
+  let t =
+    Lit_test.make ~name:"cond-locs"
+      [| [ Instr.Store (0, 1); Instr.Load (0, 1) ];
+         [ Instr.Store (1, 1) ] |]
+      [ Lit_test.Mem_is (1, 1) ]
+  in
+  (* merge_locs proposes nothing when a condition is present: every
+     candidate must come from drops/simplifications only, so location 1
+     of the condition is never renamed *)
+  checkb "no candidate renames locations" true
+    (Seq.for_all
+       (fun (c : Lit_test.t) ->
+         Array.for_all
+           (List.for_all (fun i ->
+                match Instr.loc_of i with Some l -> l <= 1 | None -> true))
+           c.Lit_test.threads)
+       (Shrink.candidates t))
+
+(* ------------------------------------------------------------------ *)
+(* Corpus format *)
+
+let entry_equal (a : Corpus.entry) (b : Corpus.entry) =
+  a.Corpus.e_seed = b.Corpus.e_seed
+  && a.Corpus.e_variant = b.Corpus.e_variant
+  && a.Corpus.e_kind = b.Corpus.e_kind
+  && a.Corpus.e_detail = b.Corpus.e_detail
+  && a.Corpus.e_expect = b.Corpus.e_expect
+  && a.Corpus.e_test.Lit_test.name = b.Corpus.e_test.Lit_test.name
+  && a.Corpus.e_test.Lit_test.threads = b.Corpus.e_test.Lit_test.threads
+  && a.Corpus.e_test.Lit_test.cond = b.Corpus.e_test.Lit_test.cond
+
+let test_corpus_roundtrip () =
+  let entries = Campaign.seed_entries () in
+  checkb "seed corpus is non-empty" true (entries <> []);
+  List.iter
+    (fun e ->
+      match Corpus.of_string (Corpus.to_string e) with
+      | Ok e' ->
+        checkb
+          (Printf.sprintf "%s round-trips" e.Corpus.e_test.Lit_test.name)
+          true (entry_equal e e')
+      | Error msg ->
+        Alcotest.failf "%s failed to parse back: %s"
+          e.Corpus.e_test.Lit_test.name msg)
+    entries
+
+let test_corpus_rejects_garbage () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  checkb "bad header" true (is_error (Corpus.of_string "not-a-corpus\n"));
+  checkb "empty" true (is_error (Corpus.of_string ""));
+  checkb "bad instruction" true
+    (is_error
+       (Corpus.of_string
+          "ise-fuzz v1\nname t\nseed 1\nvariant wc+same+faults\nkind \
+           seed\nexpect pass\nthread Q x 1\n"));
+  checkb "bad expect" true
+    (is_error
+       (Corpus.of_string
+          "ise-fuzz v1\nname t\nseed 1\nvariant wc+same+faults\nkind \
+           seed\nexpect maybe\nthread W x 1\n"))
+
+(* the checked-in corpus, relative to _build/default/test *)
+let corpus_dir () =
+  let candidates =
+    [ "../../../corpus"; "../../corpus"; "../corpus"; "corpus" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some d -> d
+  | None -> Alcotest.fail "corpus/ directory not found from test cwd"
+
+let test_corpus_replays_green () =
+  let entries = Corpus.load_dir (corpus_dir ()) in
+  checkb "checked-in corpus is non-empty" true (entries <> []);
+  List.iter
+    (fun (path, parsed) ->
+      match parsed with
+      | Error msg -> Alcotest.failf "%s does not parse: %s" path msg
+      | Ok entry -> begin
+          match Campaign.replay entry with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s does not replay: %s" path msg
+        end)
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* Campaign *)
+
+let test_variant_names_roundtrip () =
+  let names = List.map Campaign.variant_name Campaign.all_variants in
+  checki "names are unique"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun v ->
+      match Campaign.variant_named (Campaign.variant_name v) with
+      | Some v' ->
+        checkb (Campaign.variant_name v) true (v = v')
+      | None ->
+        Alcotest.failf "variant %s does not parse back"
+          (Campaign.variant_name v))
+    Campaign.all_variants;
+  List.iter
+    (fun k ->
+      checkb (Campaign.kind_name k) true
+        (Campaign.kind_named (Campaign.kind_name k) = Some k))
+    [ Campaign.Differential; Campaign.Contract; Campaign.Model_mono;
+      Campaign.Same_stream_equiv; Campaign.Split_subset ]
+
+let test_campaign_clean_is_sound () =
+  (* a bounded sweep over the lattice must find nothing on the sound
+     model: the harness itself must not produce false positives *)
+  let report =
+    Campaign.run ~count:8 ~seeds_per_test:5 ~seed:3 ()
+  in
+  checki "tests run" 8 report.Campaign.r_tests;
+  checkb "checks executed" true (report.Campaign.r_checks >= 8);
+  checki "no false positives" 0 (List.length report.Campaign.r_failures)
+
+let test_campaign_telemetry () =
+  let sink = Ise_telemetry.Sink.create () in
+  let _report =
+    Campaign.run ~telemetry:sink ~count:3 ~seeds_per_test:3 ~seed:1 ()
+  in
+  let snap = Ise_telemetry.Registry.snapshot (Ise_telemetry.Sink.registry sink) in
+  let counter name =
+    match List.assoc_opt name snap with
+    | Some (Ise_telemetry.Registry.Snap_counter n) -> n
+    | _ -> Alcotest.failf "counter %s missing" name
+  in
+  checki "fuzz/tests counter" 3 (counter "fuzz/tests");
+  checkb "fuzz/checks counter" true (counter "fuzz/checks" >= 3);
+  checki "fuzz/failures counter" 0 (counter "fuzz/failures")
+
+let test_campaign_validates_params () =
+  let bad = { Ise_litmus.Gen.default_params with Ise_litmus.Gen.max_threads = 1 } in
+  (match Campaign.run ~params:bad ~count:1 ~seed:1 () with
+  | _ -> Alcotest.fail "invalid generator params must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Campaign.run ~variants:[] ~count:1 ~seed:1 () with
+  | _ -> Alcotest.fail "empty variant list must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let with_injected_bug f =
+  Ise_model.Axiom.fuzz_unsound_strict_ppo := true;
+  Fun.protect
+    ~finally:(fun () -> Ise_model.Axiom.fuzz_unsound_strict_ppo := false)
+    f
+
+(* the headline acceptance criterion: an injected model bug (ppo kept
+   artificially strict, so the oracle wrongly forbids store-buffer
+   relaxation) is found by the campaign, shrunk to a ≤2-thread
+   ≤4-instruction witness, and the saved artifact replays *)
+let test_campaign_finds_injected_bug () =
+  let variant =
+    match Campaign.variant_named "wc+same+nofaults" with
+    | Some v -> v
+    | None -> Alcotest.fail "variant wc+same+nofaults missing"
+  in
+  let entry =
+    with_injected_bug (fun () ->
+        let report =
+          Campaign.run ~count:25 ~seeds_per_test:20 ~variants:[ variant ]
+            ~seed:7 ()
+        in
+        checkb "injected bug found" true (report.Campaign.r_failures <> []);
+        let f = List.hd report.Campaign.r_failures in
+        checkb "differential failure" true
+          (f.Campaign.f_kind = Campaign.Differential);
+        checkb "shrunk to <= 2 threads" true
+          (Array.length f.Campaign.f_shrunk.Lit_test.threads <= 2);
+        checkb "shrunk to <= 4 instructions" true
+          (total_instrs f.Campaign.f_shrunk <= 4);
+        checkb "shrinking made progress" true
+          (Shrink.size f.Campaign.f_shrunk <= Shrink.size f.Campaign.f_test);
+        let entry = Campaign.entry_of_failure ~seed:7 f in
+        (* the artifact replays (still under the bug): Must_fail matches *)
+        (match Campaign.replay ~seeds:20 entry with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "artifact does not replay: %s" msg);
+        (* and survives the on-disk format *)
+        match Corpus.of_string (Corpus.to_string entry) with
+        | Ok e -> e
+        | Error msg -> Alcotest.failf "artifact does not round-trip: %s" msg)
+  in
+  (* with the sound model restored, the Must_fail artifact no longer
+     fails — exactly the signal to flip it to Must_pass after a fix *)
+  match Campaign.replay ~seeds:20 entry with
+  | Ok () -> Alcotest.fail "artifact must not reproduce on the sound model"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "pbt: finds and shrinks" `Quick test_pbt_finds_and_shrinks;
+    Alcotest.test_case "pbt: deterministic in seed" `Quick test_pbt_deterministic;
+    Alcotest.test_case "pbt: exception is a failure" `Quick
+      test_pbt_exception_is_failure;
+    Alcotest.test_case "pbt: minimize is idempotent" `Quick
+      test_pbt_minimize_idempotent;
+    Alcotest.test_case "pbt: list shrinking" `Quick test_pbt_list_shrink;
+    Alcotest.test_case "pbt: rejects bad combinator args" `Quick
+      test_pbt_bad_params;
+    Alcotest.test_case "util: ring buffer vs list model" `Quick
+      test_ring_buffer_model;
+    Alcotest.test_case "util: pqueue ordering" `Quick test_pqueue_ordering;
+    Alcotest.test_case "util: bitset vs bool array" `Quick test_bitset_model;
+    Alcotest.test_case "util: percentile monotone" `Quick
+      test_stats_percentile_monotone;
+    Alcotest.test_case "gen: parameter validation" `Quick test_gen_validate;
+    Alcotest.test_case "shrink: candidates strictly decrease" `Quick
+      test_shrink_candidates_decrease;
+    Alcotest.test_case "shrink: preserves failure, terminates, idempotent"
+      `Quick test_shrink_preserves_and_terminates;
+    Alcotest.test_case "shrink: conditions pin locations" `Quick
+      test_shrink_keeps_cond_locations;
+    Alcotest.test_case "corpus: round-trip" `Quick test_corpus_roundtrip;
+    Alcotest.test_case "corpus: rejects malformed input" `Quick
+      test_corpus_rejects_garbage;
+    Alcotest.test_case "corpus: checked-in entries replay green" `Slow
+      test_corpus_replays_green;
+    Alcotest.test_case "campaign: variant/kind names round-trip" `Quick
+      test_variant_names_roundtrip;
+    Alcotest.test_case "campaign: clean run is sound" `Slow
+      test_campaign_clean_is_sound;
+    Alcotest.test_case "campaign: telemetry counters" `Quick
+      test_campaign_telemetry;
+    Alcotest.test_case "campaign: validates parameters" `Quick
+      test_campaign_validates_params;
+    Alcotest.test_case "campaign: finds, shrinks, replays injected bug" `Slow
+      test_campaign_finds_injected_bug;
+  ]
