@@ -3,9 +3,15 @@
    Usage:
      dune exec bench/main.exe              (everything)
      dune exec bench/main.exe -- table3    (one experiment)
+     dune exec bench/main.exe -- -j 4      (sections in parallel)
 
    Sections: table1 table2 table3 table5 table6 fig1 fig2 fig5 fig6
-             litmus ablation bechamel *)
+             litmus ablation bechamel pool
+
+   With -j N (default: detected core count) sections run on an
+   Ise_pool worker pool, each with stdout captured and re-emitted in
+   section order, so the combined output is byte-identical to a
+   sequential run; -j 1 runs everything in-process. *)
 
 open Ise_util
 open Ise_sim
@@ -625,23 +631,133 @@ let bechamel_section () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Pool: the parallel-execution engine, benchmarked on itself          *)
+
+let pool_bench () =
+  section "Pool: fixed-seed fuzz campaign, -j 1 vs -j 4";
+  let jobs = 4 in
+  let campaign j =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Ise_fuzz.Campaign.run ~count:24 ~seeds_per_test:8 ~jobs:j ~seed:2023 ()
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r1, t1 = campaign 1 in
+  let rn, tn = campaign jobs in
+  (* byte-level fingerprint: counts plus every failure rendered as the
+     corpus artifact it would be saved as *)
+  let fingerprint (r : Ise_fuzz.Campaign.report) =
+    ( r.Ise_fuzz.Campaign.r_tests,
+      r.Ise_fuzz.Campaign.r_checks,
+      List.map
+        (fun f ->
+          Ise_fuzz.Corpus.to_string
+            (Ise_fuzz.Campaign.entry_of_failure ~seed:2023 f))
+        r.Ise_fuzz.Campaign.r_failures )
+  in
+  let identical = fingerprint r1 = fingerprint rn in
+  let t = Table.create ~headers:[ "Jobs"; "Wall (s)"; "Speedup" ] in
+  Table.add_row t [ "1"; Table.cell_f ~decimals:2 t1; Table.cell_f ~decimals:2 1. ];
+  Table.add_row t
+    [ string_of_int jobs; Table.cell_f ~decimals:2 tn;
+      Table.cell_f ~decimals:2 (t1 /. tn) ];
+  Table.print t;
+  Printf.printf
+    "results byte-identical across -j: %b (%d tests, %d checks, %d failures; \
+     %d cores detected)\n"
+    identical r1.Ise_fuzz.Campaign.r_tests r1.Ise_fuzz.Campaign.r_checks
+    (List.length r1.Ise_fuzz.Campaign.r_failures)
+    (Ise_pool.Pool.default_jobs ());
+  emit_bench "pool"
+    (Ise_telemetry.Json.Obj
+       [ ("jobs", Ise_telemetry.Json.Int jobs);
+         ("cores_detected", Ise_telemetry.Json.Int (Ise_pool.Pool.default_jobs ()));
+         ("seq_wall_s", Ise_telemetry.Json.Float t1);
+         ("par_wall_s", Ise_telemetry.Json.Float tn);
+         ("speedup", Ise_telemetry.Json.Float (t1 /. tn));
+         ("identical_results", Ise_telemetry.Json.Bool identical) ]);
+  if not identical then begin
+    Printf.eprintf "[bench] pool: -j %d diverged from -j 1!\n%!" jobs;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table5", table5); ("table6", table6); ("fig1", fig1); ("fig2", fig2);
     ("fig5", fig5); ("fig6", fig6); ("litmus", litmus);
-    ("ablation", ablation); ("bechamel", bechamel_section) ]
+    ("ablation", ablation); ("bechamel", bechamel_section);
+    ("pool", pool_bench) ]
+
+(* Run [f] with stdout redirected to a temp file; return what it
+   printed.  Used by the parallel driver so each worker's section
+   output can be re-emitted in section order. *)
+let captured f =
+  let tmp = Filename.temp_file "ise_bench" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f;
+  let ic = open_in_bin tmp in
+  let out = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  out
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as picked) ->
-    List.iter
-      (fun name ->
-        match List.assoc_opt name sections with
-        | Some f -> f ()
-        | None ->
-          Printf.eprintf "unknown section %S; available: %s\n" name
-            (String.concat " " (List.map fst sections));
-          exit 1)
-      picked
-  | _ -> List.iter (fun (_, f) -> f ()) sections
+  let rec parse jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> parse (Some j) acc rest
+      | _ ->
+        Printf.eprintf "-j needs a positive integer, got %S\n" n;
+        exit 1)
+    | ("-j" | "--jobs") :: [] ->
+      Printf.eprintf "-j needs a value\n";
+      exit 1
+    | a :: rest -> parse jobs (a :: acc) rest
+  in
+  let jobs, picked = parse None [] (List.tl (Array.to_list Sys.argv)) in
+  let jobs =
+    match jobs with Some j -> j | None -> Ise_pool.Pool.default_jobs ()
+  in
+  let picked = if picked = [] then List.map fst sections else picked in
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name sections) then begin
+        Printf.eprintf "unknown section %S; available: %s\n" name
+          (String.concat " " (List.map fst sections));
+        exit 1
+      end)
+    picked;
+  if jobs <= 1 || List.length picked <= 1 then
+    List.iter (fun name -> (List.assoc name sections) ()) picked
+  else begin
+    let names = Array.of_list picked in
+    let ok = ref true in
+    let _outcomes, _stats =
+      Ise_pool.Pool.map ~jobs
+        ~on_result:(fun i outcome ->
+          match outcome with
+          | Ise_pool.Pool.Done out ->
+            print_string out;
+            flush stdout
+          | Ise_pool.Pool.Failed err ->
+            ok := false;
+            Printf.eprintf "[bench] section %s failed: %s\n%!" names.(i)
+              (Ise_pool.Pool.error_to_string err))
+        (fun name -> captured (List.assoc name sections))
+        names
+    in
+    if not !ok then exit 1
+  end

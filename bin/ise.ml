@@ -26,6 +26,15 @@ let model_arg =
        & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Consistency model (sc|pc|wc).")
 
 (* ------------------------------------------------------------------ *)
+(* parallelism plumbing                                                *)
+
+let jobs_arg =
+  Arg.(value & opt int (Ise_pool.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Parallel worker processes (default: detected core count; 1 \
+                 runs in-process with no fork).")
+
+(* ------------------------------------------------------------------ *)
 (* telemetry plumbing                                                  *)
 
 let trace_out_arg =
@@ -75,7 +84,7 @@ let gap_machine kernel nodes degree inject =
 (* litmus                                                              *)
 
 let litmus_cmd =
-  let run list_only name seeds model no_faults =
+  let run list_only name seeds model no_faults jobs =
     if list_only then begin
       List.iter
         (fun t ->
@@ -93,31 +102,47 @@ let litmus_cmd =
               (fun t -> t.Ise_litmus.Lit_test.name = n)
               Ise_litmus.Library.all
           with
-          | Some t -> [ t ]
+          | Some t -> [| t |]
           | None ->
             Printf.eprintf "unknown test %S (see --list)\n" n;
             exit 1)
-        | None -> Ise_litmus.Library.all
+        | None -> Array.of_list Ise_litmus.Library.all
       in
       let cfg = Config.with_consistency model Config.default in
-      let results =
-        Ise_litmus.Lit_run.run_suite ~seeds ~inject_faults:(not no_faults) ~cfg
-          tests
-      in
-      List.iter
-        (fun r ->
-          Printf.printf
+      (* one job per test; the worker returns the fully-formatted line
+         so -j N output is byte-identical to -j 1 *)
+      let run_one t =
+        let r =
+          Ise_litmus.Lit_run.run ~seeds ~inject_faults:(not no_faults) ~cfg t
+        in
+        ( Printf.sprintf
             "%-16s pass=%b contract=%b observed=%d/%d relaxed-outcome=%b \
-             exceptions=%d+%d\n"
+             exceptions=%d+%d"
             r.Ise_litmus.Lit_run.test.Ise_litmus.Lit_test.name
             r.Ise_litmus.Lit_run.pass r.Ise_litmus.Lit_run.contract_ok
             (Ise_model.Outcome.Set.cardinal r.Ise_litmus.Lit_run.observed)
             (Ise_model.Outcome.Set.cardinal r.Ise_litmus.Lit_run.allowed)
             r.Ise_litmus.Lit_run.interesting_observed
             r.Ise_litmus.Lit_run.imprecise_exceptions
-            r.Ise_litmus.Lit_run.precise_exceptions)
-        results;
-      if Ise_litmus.Lit_run.all_pass results then 0 else 1
+            r.Ise_litmus.Lit_run.precise_exceptions,
+          r.Ise_litmus.Lit_run.pass && r.Ise_litmus.Lit_run.contract_ok )
+      in
+      let ok = ref true in
+      let _outcomes, _stats =
+        Ise_pool.Pool.map ~jobs
+          ~on_result:(fun i outcome ->
+            match outcome with
+            | Ise_pool.Pool.Done (line, pass) ->
+              print_endline line;
+              if not pass then ok := false
+            | Ise_pool.Pool.Failed err ->
+              Printf.printf "%-16s POOL FAILURE: %s\n"
+                tests.(i).Ise_litmus.Lit_test.name
+                (Ise_pool.Pool.error_to_string err);
+              ok := false)
+          run_one tests
+      in
+      if !ok then 0 else 1
     end
   in
   let list_arg =
@@ -135,7 +160,8 @@ let litmus_cmd =
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"Run litmus tests on the simulated machine (§6.3)")
-    Term.(const run $ list_arg $ name_arg $ seeds_arg $ model_arg $ nofaults_arg)
+    Term.(const run $ list_arg $ name_arg $ seeds_arg $ model_arg $ nofaults_arg
+          $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mbench                                                              *)
@@ -444,7 +470,7 @@ let variants_of_spec spec =
 
 let fuzz_run_cmd =
   let run seed count seeds_per_test variants_spec corpus_dir no_save inject
-      trace_out =
+      trace_out telemetry_out jobs =
     let variants =
       match variants_of_spec variants_spec with
       | Ok vs -> vs
@@ -457,22 +483,33 @@ let fuzz_run_cmd =
         exit 1
     in
     let sink =
-      match trace_out with
-      | None -> None
-      | Some _ -> Some (Ise_telemetry.Sink.create ())
+      match (trace_out, telemetry_out) with
+      | None, None -> None
+      | _ -> Some (Ise_telemetry.Sink.create ())
     in
     let report =
       with_injected_bug inject (fun () ->
-          Ise_fuzz.Campaign.run ~count ~seeds_per_test ~variants
+          Ise_fuzz.Campaign.run ~count ~seeds_per_test ~variants ~jobs
             ?telemetry:sink ~log:prerr_endline ~seed ())
     in
     (match (sink, trace_out) with
      | Some sink, Some path -> write_trace sink path
      | _ -> ());
+    (match (sink, telemetry_out) with
+     | Some sink, Some path ->
+       write_file path
+         (Ise_telemetry.Json.to_string_pretty
+            (Ise_telemetry.Registry.to_json
+               (Ise_telemetry.Sink.registry sink)));
+       Printf.eprintf "wrote telemetry to %s\n%!" path
+     | _ -> ());
     Printf.printf "seed %d: %d tests, %d checks, %d failure(s)\n"
       report.Ise_fuzz.Campaign.r_seed report.Ise_fuzz.Campaign.r_tests
       report.Ise_fuzz.Campaign.r_checks
       (List.length report.Ise_fuzz.Campaign.r_failures);
+    if report.Ise_fuzz.Campaign.r_lost_tests > 0 then
+      Printf.eprintf "warning: %d test(s) lost to failed pool shards\n%!"
+        report.Ise_fuzz.Campaign.r_lost_tests;
     List.iter
       (fun f ->
         Format.printf "@.%s under %s [%s]: %s@.%a@."
@@ -489,7 +526,11 @@ let fuzz_run_cmd =
           Printf.printf "replay artifact: %s\n" path
         end)
       report.Ise_fuzz.Campaign.r_failures;
-    if report.Ise_fuzz.Campaign.r_failures = [] then 0 else 1
+    if
+      report.Ise_fuzz.Campaign.r_failures = []
+      && report.Ise_fuzz.Campaign.r_lost_tests = 0
+    then 0
+    else 1
   in
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
@@ -508,11 +549,18 @@ let fuzz_run_cmd =
     Arg.(value & flag
          & info [ "no-save" ] ~doc:"Do not write failure artifacts.")
   in
+  let telemetry_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry-out" ] ~docv:"FILE"
+             ~doc:"Write the final metrics registry (fuzz/* and pool/* \
+                   counters) as JSON.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run a differential fuzzing campaign over the config lattice")
     Term.(const run $ seed_arg $ count_arg $ fuzz_seeds_arg $ variants_arg
-          $ corpus_arg $ nosave_arg $ inject_bug_arg $ trace_out_arg)
+          $ corpus_arg $ nosave_arg $ inject_bug_arg $ trace_out_arg
+          $ telemetry_out_arg $ jobs_arg)
 
 let fuzz_replay_cmd =
   let run corpus_dir files seeds inject =
@@ -599,24 +647,34 @@ let fuzz_shrink_cmd =
     Term.(const run $ file_arg $ fuzz_seeds_arg $ inject_bug_arg)
 
 let fuzz_corpus_status_cmd =
-  let run corpus_dir =
+  let run corpus_dir seeds =
     let entries = Ise_fuzz.Corpus.load_dir corpus_dir in
     Printf.printf "%d entr%s under %s\n" (List.length entries)
       (if List.length entries = 1 then "y" else "ies")
       corpus_dir;
+    let failed = ref 0 in
     let parsed =
       List.filter_map
         (fun (path, e) ->
           match e with
           | Ok e ->
-            Printf.printf "  %-32s %-24s %-18s expect-%s\n"
+            let verdict =
+              match Ise_fuzz.Campaign.replay ~seeds e with
+              | Ok () -> "replay-ok"
+              | Error msg ->
+                incr failed;
+                "REPLAY FAIL: " ^ msg
+            in
+            Printf.printf "  %-32s %-24s %-18s expect-%-4s %s\n"
               (Filename.basename path) e.Ise_fuzz.Corpus.e_variant
               e.Ise_fuzz.Corpus.e_kind
               (match e.Ise_fuzz.Corpus.e_expect with
                | Ise_fuzz.Corpus.Must_pass -> "pass"
-               | Ise_fuzz.Corpus.Must_fail -> "fail");
+               | Ise_fuzz.Corpus.Must_fail -> "fail")
+              verdict;
             Some e.Ise_fuzz.Corpus.e_test
           | Error msg ->
+            incr failed;
             Printf.printf "  %-32s PARSE ERROR: %s\n" (Filename.basename path)
               msg;
             None)
@@ -627,12 +685,19 @@ let fuzz_corpus_status_cmd =
       (fun (cat, n) ->
         Printf.printf "  %-36s %d\n" (Ise_litmus.Classify.name cat) n)
       (Ise_litmus.Classify.coverage parsed);
-    0
+    (* non-zero on any parse or replay failure, so CI can gate on it *)
+    if !failed = 0 then 0
+    else begin
+      Printf.printf "\n%d corpus entr%s failed\n" !failed
+        (if !failed = 1 then "y" else "ies");
+      1
+    end
   in
   Cmd.v
     (Cmd.info "corpus-status"
-       ~doc:"List corpus entries and their Table 6 relation coverage")
-    Term.(const run $ corpus_arg)
+       ~doc:"List corpus entries (replaying each) and their Table 6 relation \
+             coverage; non-zero exit if any entry fails to parse or replay")
+    Term.(const run $ corpus_arg $ fuzz_seeds_arg)
 
 let fuzz_seed_corpus_cmd =
   let run corpus_dir =

@@ -211,11 +211,13 @@ type report = {
   r_tests : int;
   r_checks : int;
   r_failures : failure list;
+  r_lost_tests : int;
 }
 
 let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
     ?(variants = all_variants) ?(variants_per_test = 2) ?(model_checks = true)
-    ?(shrink_evals = 400) ?telemetry ?(log = fun (_ : string) -> ()) ~seed () =
+    ?(shrink_evals = 400) ?(jobs = 1) ?job_timeout ?telemetry
+    ?(log = fun (_ : string) -> ()) ~seed () =
   (match Gen.validate params with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Campaign.run: " ^ msg));
@@ -233,10 +235,10 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
           Ise_telemetry.Registry.counter reg "fuzz/shrink_steps" ))
       telemetry
   in
-  let count_tests () =
-    Option.iter (fun (t, _, _, _) -> Ise_telemetry.Registry.incr t) counters
-  and count_checks () =
-    Option.iter (fun (_, c, _, _) -> Ise_telemetry.Registry.incr c) counters
+  let count_tests n =
+    Option.iter (fun (t, _, _, _) -> Ise_telemetry.Registry.add t n) counters
+  and count_checks n =
+    Option.iter (fun (_, c, _, _) -> Ise_telemetry.Registry.add c n) counters
   and count_failure steps =
     Option.iter
       (fun (_, _, f, s) ->
@@ -246,62 +248,119 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
   in
   let trace = Option.map Ise_telemetry.Sink.trace telemetry in
   let rng = Rng.create seed in
-  let checks = ref 0 in
+  (* Generation stays in the supervisor and in test order, so the test
+     stream is one pure function of [seed] whatever the worker count. *)
+  let tests =
+    Array.init count (fun _ -> Gen.generate (Rng.split rng) params)
+  in
+  let variant_of i j = varr.(((i * variants_per_test) + j) mod nv) in
+  (* The pure, shippable part of a check: no logging, no shrinking, no
+     telemetry — exactly what a worker process runs. *)
+  let raw_failures i t =
+    let acc = ref [] in
+    for j = 0 to variants_per_test - 1 do
+      (* model-vs-model checks don't depend on the simulator knobs,
+         so run them only on the test's first variant *)
+      match
+        failing_check ~seeds:seeds_per_test
+          ~model_checks:(model_checks && j = 0) (variant_of i j) t
+      with
+      | None -> ()
+      | Some (kind, detail) -> acc := (i, j, kind, detail) :: !acc
+    done;
+    List.rev !acc
+  in
+  (* Shrinking stays in the supervisor: it is where the failure is
+     logged, minimized, and turned into a record, identically for the
+     sequential and the parallel path. *)
+  let process_failure (i, j, kind, detail) =
+    let t = tests.(i) in
+    let v = variant_of i j in
+    log
+      (Printf.sprintf "FAIL %s under %s [%s]: %s" t.Lit_test.name
+         (variant_name v) (kind_name kind) detail);
+    let shrunk, steps =
+      Shrink.minimize ~max_evals:shrink_evals
+        ~keeps_failing:(kind_fails ~seeds:seeds_per_test v kind)
+        t
+    in
+    if steps > 0 then
+      log
+        (Printf.sprintf "  shrunk %s: %d -> %d instrs in %d steps"
+           t.Lit_test.name
+           (Array.fold_left (fun a is -> a + List.length is) 0
+              t.Lit_test.threads)
+           (Array.fold_left (fun a is -> a + List.length is) 0
+              shrunk.Lit_test.threads)
+           steps);
+    count_failure steps;
+    { f_test = t; f_shrunk = shrunk; f_variant = v; f_kind = kind;
+      f_detail = detail; f_shrink_steps = steps }
+  in
   let failures = ref [] in
-  List.iteri
-    (fun i t ->
-      count_tests ();
-      Option.iter
-        (fun tr ->
-          Ise_telemetry.Trace.span_begin tr ~cat:"fuzz"
-            ~name:t.Lit_test.name ~tid:0 i)
-        trace;
-      for j = 0 to variants_per_test - 1 do
-        let v = varr.(((i * variants_per_test) + j) mod nv) in
-        incr checks;
-        count_checks ();
-        (* model-vs-model checks don't depend on the simulator knobs,
-           so run them only on the test's first variant *)
-        match
-          failing_check ~seeds:seeds_per_test
-            ~model_checks:(model_checks && j = 0) v t
-        with
-        | None -> ()
-        | Some (kind, detail) ->
+  let lost = ref 0 in
+  if jobs <= 1 || not Ise_pool.Pool.fork_available || count = 0 then
+    Array.iteri
+      (fun i t ->
+        count_tests 1;
+        Option.iter
+          (fun tr ->
+            Ise_telemetry.Trace.span_begin tr ~cat:"fuzz"
+              ~name:t.Lit_test.name ~tid:0 i)
+          trace;
+        count_checks variants_per_test;
+        List.iter
+          (fun f -> failures := process_failure f :: !failures)
+          (raw_failures i t);
+        Option.iter
+          (fun tr ->
+            Ise_telemetry.Trace.span_end tr ~cat:"fuzz"
+              ~name:t.Lit_test.name ~tid:0 (i + 1))
+          trace)
+      tests
+  else begin
+    (* contiguous shards keep each test's global index — the variant
+       schedule depends on it — and results come back in shard order,
+       so the failure stream is byte-identical to the sequential one *)
+    let shard_size = max 1 ((count + (jobs * 4) - 1) / (jobs * 4)) in
+    let nshards = (count + shard_size - 1) / shard_size in
+    let shards =
+      Array.init nshards (fun s ->
+          let base = s * shard_size in
+          (base, Array.sub tests base (min shard_size (count - base))))
+    in
+    let worker (base, ts) =
+      let acc = ref [] in
+      Array.iteri
+        (fun k t -> acc := List.rev_append (raw_failures (base + k) t) !acc)
+        ts;
+      List.rev !acc
+    in
+    let outcomes, _stats =
+      Ise_pool.Pool.map ~jobs ?job_timeout ?telemetry worker shards
+    in
+    Array.iteri
+      (fun s outcome ->
+        let base, ts = shards.(s) in
+        match outcome with
+        | Ise_pool.Pool.Done fs ->
+          count_tests (Array.length ts);
+          count_checks (Array.length ts * variants_per_test);
+          List.iter (fun f -> failures := process_failure f :: !failures) fs
+        | Ise_pool.Pool.Failed err ->
+          lost := !lost + Array.length ts;
           log
-            (Printf.sprintf "FAIL %s under %s [%s]: %s" t.Lit_test.name
-               (variant_name v) (kind_name kind) detail);
-          let shrunk, steps =
-            Shrink.minimize ~max_evals:shrink_evals
-              ~keeps_failing:(kind_fails ~seeds:seeds_per_test v kind)
-              t
-          in
-          if steps > 0 then
-            log
-              (Printf.sprintf "  shrunk %s: %d -> %d instrs in %d steps"
-                 t.Lit_test.name
-                 (Array.fold_left (fun a is -> a + List.length is) 0
-                    t.Lit_test.threads)
-                 (Array.fold_left (fun a is -> a + List.length is) 0
-                    shrunk.Lit_test.threads)
-                 steps);
-          count_failure steps;
-          failures :=
-            { f_test = t; f_shrunk = shrunk; f_variant = v; f_kind = kind;
-              f_detail = detail; f_shrink_steps = steps }
-            :: !failures
-      done;
-      Option.iter
-        (fun tr ->
-          Ise_telemetry.Trace.span_end tr ~cat:"fuzz"
-            ~name:t.Lit_test.name ~tid:0 (i + 1))
-        trace)
-    (List.init count (fun _ -> Gen.generate (Rng.split rng) params));
+            (Printf.sprintf "LOST shard %d (tests %d-%d): %s" s base
+               (base + Array.length ts - 1)
+               (Ise_pool.Pool.error_to_string err)))
+      outcomes
+  end;
   {
     r_seed = seed;
-    r_tests = count;
-    r_checks = !checks;
+    r_tests = count - !lost;
+    r_checks = (count - !lost) * variants_per_test;
     r_failures = List.rev !failures;
+    r_lost_tests = !lost;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -87,15 +87,19 @@ type failure = {
 
 type report = {
   r_seed : int;
-  r_tests : int;
+  r_tests : int;  (** tests whose checks actually ran *)
   r_checks : int;  (** test×variant checks executed *)
   r_failures : failure list;  (** discovery order *)
+  r_lost_tests : int;
+      (** tests lost to a failed parallel shard (crash/timeout after
+          retries); always 0 sequentially and on a healthy pool *)
 }
 
 val run :
   ?params:Gen.params -> ?count:int -> ?seeds_per_test:int ->
   ?variants:variant list -> ?variants_per_test:int ->
   ?model_checks:bool -> ?shrink_evals:int ->
+  ?jobs:int -> ?job_timeout:float ->
   ?telemetry:Ise_telemetry.Sink.t -> ?log:(string -> unit) ->
   seed:int -> unit -> report
 (** Deterministic in [seed].  [count] (default 100) programs are
@@ -104,7 +108,17 @@ val run :
     {!all_variants}).  Failures are shrunk with at most [shrink_evals]
     (default 400) candidate re-checks each.  When [telemetry] is given,
     the campaign maintains [fuzz/*] counters and emits one trace span
-    per generated test. *)
+    per generated test (sequentially) or one [pool] span per shard.
+
+    [jobs] (default 1) > 1 fans the test×variant checks out over an
+    {!Ise_pool.Pool} of forked workers in contiguous shards; test
+    generation, logging, shrinking, and artifact construction stay in
+    the supervisor, and shard results are consumed in shard order, so
+    the report — failures, shrunk tests, log stream — is byte-identical
+    to a [jobs = 1] run of the same seed.  A shard whose worker dies
+    even after retries is {e reported} ([r_lost_tests], a [LOST] log
+    line) rather than aborting the campaign.  [job_timeout] bounds one
+    shard's wall-clock seconds. *)
 
 (** {1 Corpus integration} *)
 

@@ -1,0 +1,92 @@
+let magic = "ISEP"
+let version = 1
+let header_bytes = 9
+let default_max_payload = 64 * 1024 * 1024
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Oversized of int
+  | Truncated
+
+let error_to_string = function
+  | Bad_magic -> "bad magic bytes (stream desynchronised?)"
+  | Bad_version v -> Printf.sprintf "unknown frame version %d" v
+  | Oversized n -> Printf.sprintf "claimed payload of %d bytes exceeds the cap" n
+  | Truncated -> "stream ended inside a frame"
+
+let encode payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr version);
+  Bytes.set b 5 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 6 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 7 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 8 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b header_bytes n;
+  Bytes.unsafe_to_string b
+
+type decoded =
+  | Frame of string * int
+  | Need_more
+  | Corrupt of error
+
+(* Validate as much of the header as is present, so corruption is
+   reported from the first bad byte rather than after buffering a
+   bogus multi-megabyte "payload". *)
+let decode ?(max_payload = default_max_payload) buf ~pos ~len =
+  let magic_len = min len 4 in
+  let rec magic_ok i =
+    i >= magic_len || (Bytes.get buf (pos + i) = magic.[i] && magic_ok (i + 1))
+  in
+  if not (magic_ok 0) then Corrupt Bad_magic
+  else if len < 5 then Need_more
+  else
+    let v = Char.code (Bytes.get buf (pos + 4)) in
+    if v <> version then Corrupt (Bad_version v)
+    else if len < header_bytes then Need_more
+    else
+      let byte i = Char.code (Bytes.get buf (pos + i)) in
+      let n = (byte 5 lsl 24) lor (byte 6 lsl 16) lor (byte 7 lsl 8) lor byte 8 in
+      if n > max_payload then Corrupt (Oversized n)
+      else if len < header_bytes + n then Need_more
+      else Frame (Bytes.sub_string buf (pos + header_bytes) n, header_bytes + n)
+
+let write_frame fd payload =
+  let msg = encode payload in
+  let n = String.length msg in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write_substring fd msg !off (n - !off) in
+    off := !off + w
+  done
+
+let read_exactly fd buf n =
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    match Unix.read fd buf !off (n - !off) with
+    | 0 -> eof := true
+    | k -> off := !off + k
+  done;
+  !off
+
+let read_frame ?(max_payload = default_max_payload) fd =
+  let hdr = Bytes.create header_bytes in
+  match read_exactly fd hdr header_bytes with
+  | 0 -> Error `Eof
+  | k when k < header_bytes -> Error (`Corrupt Truncated)
+  | _ -> (
+    match decode ~max_payload hdr ~pos:0 ~len:header_bytes with
+    | Corrupt e -> Error (`Corrupt e)
+    | Frame (p, _) -> Ok p (* only possible for empty payloads *)
+    | Need_more ->
+      let byte i = Char.code (Bytes.get hdr i) in
+      let n = (byte 5 lsl 24) lor (byte 6 lsl 16) lor (byte 7 lsl 8) lor byte 8 in
+      let payload = Bytes.create n in
+      if read_exactly fd payload n < n then Error (`Corrupt Truncated)
+      else Ok (Bytes.unsafe_to_string payload))
+
+let marshal v = Marshal.to_string v []
+let unmarshal s = Marshal.from_string s 0

@@ -1,0 +1,77 @@
+(** Versioned, length-prefixed message framing for pool pipe IPC.
+
+    Every message exchanged between the pool supervisor and its forked
+    workers is one {e frame}: a fixed 9-byte header — 4 magic bytes
+    (["ISEP"]), 1 version byte, 4 big-endian payload-length bytes —
+    followed by the payload.  The header makes stream desynchronisation
+    (a worker writing garbage, a partial write cut off by a kill)
+    detectable instead of silently corrupting the next message, and the
+    version byte lets the wire format evolve without ambiguity.
+
+    The payload is an opaque string; {!marshal}/{!unmarshal} are the
+    convenience pair the pool uses to move OCaml values through it
+    (safe here because supervisor and workers are the same executable
+    image — workers are forks, never execs). *)
+
+val version : int
+(** Current wire-format version (written into every header). *)
+
+val header_bytes : int
+(** Size of the fixed frame header (9). *)
+
+val default_max_payload : int
+(** Default refusal threshold for claimed payload sizes (64 MiB); a
+    length field above it is treated as corruption, not as a request to
+    allocate. *)
+
+(** {1 Errors} *)
+
+type error =
+  | Bad_magic  (** header does not start with the magic bytes *)
+  | Bad_version of int  (** recognised magic, unknown version *)
+  | Oversized of int  (** claimed payload length exceeds the cap *)
+  | Truncated  (** stream ended inside a frame *)
+
+val error_to_string : error -> string
+
+(** {1 Encoding} *)
+
+val encode : string -> string
+(** [encode payload] is the framed message (header ^ payload). *)
+
+(** {1 Streaming decode}
+
+    For the supervisor's non-blocking reads: bytes accumulate in a
+    buffer and frames are peeled off the front as they complete. *)
+
+type decoded =
+  | Frame of string * int
+      (** payload and total bytes consumed (header + payload) *)
+  | Need_more  (** a valid prefix, but the frame is incomplete *)
+  | Corrupt of error
+
+val decode : ?max_payload:int -> bytes -> pos:int -> len:int -> decoded
+(** Examine [len] bytes starting at [pos].  Never raises; never
+    consumes anything on [Need_more] or [Corrupt]. *)
+
+(** {1 Blocking file-descriptor helpers}
+
+    Used by workers, whose lives are simple: read one frame, compute,
+    write one frame. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Writes the whole framed message, looping over partial writes.
+    Raises [Unix.Unix_error] (e.g. [EPIPE]) if the peer is gone. *)
+
+val read_frame :
+  ?max_payload:int -> Unix.file_descr -> (string, [ `Eof | `Corrupt of error ]) result
+(** Blocking read of exactly one frame.  [`Eof] only on a clean
+    end-of-stream at a frame boundary; an EOF mid-frame is
+    [`Corrupt Truncated]. *)
+
+(** {1 Marshal convenience} *)
+
+val marshal : 'a -> string
+val unmarshal : string -> 'a
+(** [unmarshal] trusts the payload — only use on frames produced by
+    [marshal] in the same executable image. *)

@@ -1,0 +1,96 @@
+(** Fork-based parallel execution engine.
+
+    [map f items] runs [f] over [items] on a pool of worker processes
+    ([Unix.fork] + pipe IPC, {!Codec} frames) and returns the outcomes
+    {e in input order} — parallelism is an implementation detail, never
+    a source of nondeterminism:
+
+    - results are delivered to [on_result] strictly in index order
+      (index [k] is reported only once [0..k-1] have been), so streamed
+      output is byte-identical whatever the worker count or scheduling;
+    - [jobs <= 1] bypasses forking entirely and runs [f] in-process, so
+      single-process debugging (breakpoints, printf, backtraces) sees
+      exactly the production code path minus the IPC.
+
+    Robustness is built in, because a 500-shard campaign must not die
+    at shard 347:
+
+    - {b per-job timeout}: a worker exceeding [job_timeout] gets
+      SIGTERM, then SIGKILL after [kill_grace] seconds;
+    - {b crash detection and bounded retry}: a worker that dies
+      mid-job (signal, [exit], OOM kill) is reaped and respawned, and
+      the job is retried up to [max_retries] times with exponential
+      backoff;
+    - {b failure isolation}: a job that exhausts its retries — or
+      whose [f] raises, which is deterministic and not retried — is
+      reported as a [Failed] outcome; the rest of the batch completes;
+    - {b graceful drain on SIGINT}: no new jobs are dispatched,
+      in-flight jobs finish (still subject to their timeouts), queued
+      jobs come back as [Failed Cancelled], and the partial outcome
+      array is returned normally.
+
+    Jobs and results cross the pipes via [Marshal], which is safe
+    because workers are forks of the supervisor (same code image) —
+    but it means ['a] and ['r] must not contain closures or custom
+    blocks.  [f] itself never crosses a pipe: each worker inherits it
+    at fork time. *)
+
+(** {1 Outcomes} *)
+
+type error =
+  | Crashed of string  (** worker died mid-job (description of how) *)
+  | Timed_out of float  (** seconds the job had run when killed *)
+  | Exception of string  (** [f] raised (deterministic; not retried) *)
+  | Cancelled  (** never dispatched: SIGINT drain *)
+
+val error_to_string : error -> string
+
+type 'r outcome = Done of 'r | Failed of error
+
+type stats = {
+  st_jobs : int;  (** input size *)
+  st_workers : int;  (** pool size actually used *)
+  st_dispatched : int;  (** dispatches, including retries *)
+  st_completed : int;  (** jobs that returned a result *)
+  st_retried : int;
+  st_timed_out : int;
+  st_crashes : int;
+  st_cancelled : int;
+  st_wall_s : float;
+}
+
+(** {1 Sizing} *)
+
+val fork_available : bool
+(** False on platforms without [Unix.fork] (Windows); [map] then always
+    uses the in-process path. *)
+
+val default_jobs : unit -> int
+(** Detected core count ([Domain.recommended_domain_count], falling
+    back to the [nproc] utility, falling back to 1). *)
+
+(** {1 Running} *)
+
+val map :
+  ?jobs:int ->
+  ?job_timeout:float ->
+  ?kill_grace:float ->
+  ?max_retries:int ->
+  ?retry_backoff:float ->
+  ?telemetry:Ise_telemetry.Sink.t ->
+  ?on_result:(int -> 'r outcome -> unit) ->
+  ('a -> 'r) ->
+  'a array ->
+  'r outcome array * stats
+(** [jobs] defaults to {!default_jobs}[ ()] (capped at the number of
+    items); [job_timeout] in seconds, default none — the in-process
+    path never enforces timeouts; [kill_grace] (default 0.5 s) is the
+    SIGTERM→SIGKILL escalation delay; [max_retries] (default 2) bounds
+    re-dispatches after crashes/timeouts, with delays of
+    [retry_backoff] (default 0.05 s) doubling per attempt.
+
+    With [telemetry], maintains [pool/*] counters (jobs, dispatched,
+    completed, retried, timed_out, crashes, workers_spawned), a
+    per-worker [pool/worker<k>/job_ms] latency histogram, and one
+    [pool]-category trace span per dispatch (tid = worker slot,
+    timestamps in µs since the call), visible in Perfetto. *)

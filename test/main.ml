@@ -11,5 +11,6 @@ let () =
       ("workload", Test_workload.suite);
       ("telemetry", Test_telemetry.suite);
       ("fuzz", Test_fuzz.suite);
+      ("pool", Test_pool.suite);
       ("integration", Test_integration.suite);
     ]
