@@ -755,7 +755,10 @@ let () =
           | Ise_pool.Pool.Failed err ->
             ok := false;
             Printf.eprintf "[bench] section %s failed: %s\n%!" names.(i)
-              (Ise_pool.Pool.error_to_string err))
+              (Ise_pool.Pool.error_to_string err)
+          | Ise_pool.Pool.Split _ ->
+            (* no bisect function is passed here *)
+            assert false)
         (fun name -> captured (List.assoc name sections))
         names
     in

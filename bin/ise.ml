@@ -139,7 +139,10 @@ let litmus_cmd =
               Printf.printf "%-16s POOL FAILURE: %s\n"
                 tests.(i).Ise_litmus.Lit_test.name
                 (Ise_pool.Pool.error_to_string err);
-              ok := false)
+              ok := false
+            | Ise_pool.Pool.Split _ ->
+              (* no bisect function is passed here *)
+              assert false)
           run_one tests
       in
       if !ok then 0 else 1
@@ -457,6 +460,7 @@ let variants_of_spec spec =
   match spec with
   | "all" -> Ok Ise_fuzz.Campaign.all_variants
   | "base" -> Ok [ Ise_fuzz.Campaign.base_variant ]
+  | "chaos" -> Ok Ise_fuzz.Campaign.chaos_variants
   | spec ->
     let names = String.split_on_char ',' spec in
     let rec resolve acc = function
@@ -542,8 +546,9 @@ let fuzz_run_cmd =
   let variants_arg =
     Arg.(value & opt string "all"
          & info [ "variants" ] ~docv:"SPEC"
-             ~doc:"Lattice variants to sweep: 'all', 'base', or a \
-                   comma-separated list of variant names.")
+             ~doc:"Lattice variants to sweep: 'all', 'base', 'chaos' (the \
+                   fault-injection points), or a comma-separated list of \
+                   variant names.")
   in
   let nosave_arg =
     Arg.(value & flag
@@ -722,6 +727,294 @@ let fuzz_cmd =
       fuzz_seed_corpus_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+
+let with_handler_bug inject f =
+  if inject then Ise_os.Handler.bug_drop_get := true;
+  Fun.protect
+    ~finally:(fun () -> Ise_os.Handler.bug_drop_get := false)
+    f
+
+let profiles_of_spec spec =
+  match spec with
+  | "all" -> Ok Ise_chaos.Profile.all
+  | spec ->
+    let names = String.split_on_char ',' spec in
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+        match Ise_chaos.Profile.named (String.trim n) with
+        | Some p -> resolve (p :: acc) rest
+        | None -> Error n)
+    in
+    resolve [] names
+
+let chaos_inject_bug_arg =
+  Arg.(value & flag
+       & info [ "inject-bug" ]
+           ~doc:"Self-test: deliberately make the OS handler drop one \
+                 retrieved record per batch, to prove the watchdog catches \
+                 the lost store and the campaign shrinks it to a replayable \
+                 artifact.")
+
+let chaos_run_cmd =
+  let run seed trials cores stores profiles_spec telemetry_out trace_out
+      snapshot_out corpus_dir no_save inject jobs =
+    let profiles =
+      match profiles_of_spec profiles_spec with
+      | Ok ps -> ps
+      | Error n ->
+        Printf.eprintf "unknown chaos profile %S; valid names:\n  %s\n" n
+          (String.concat "\n  "
+             (List.map
+                (fun p -> p.Ise_chaos.Profile.name)
+                Ise_chaos.Profile.all));
+        exit 1
+    in
+    let trials =
+      match trials with Some t -> t | None -> List.length profiles
+    in
+    with_handler_bug inject @@ fun () ->
+    let parr = Array.of_list profiles in
+    let sink =
+      match (telemetry_out, trace_out) with
+      | None, None -> None
+      | _ -> Some (Ise_telemetry.Sink.create ())
+    in
+    (* trial t: profile rotates, seed advances — (seed, profile) fully
+       determines the run, so the whole command is byte-identical for a
+       fixed seed whatever the worker count *)
+    let specs =
+      Array.init trials (fun t ->
+          (seed + t, parr.(t mod Array.length parr).Ise_chaos.Profile.name))
+    in
+    let run_one ?telemetry (s, pname) =
+      let profile = Option.get (Ise_chaos.Profile.named pname) in
+      Ise_chaos.Chaos_run.run_stress ?telemetry ~ncores:cores
+        ~stores_per_core:stores ~seed:s ~profile ()
+    in
+    let reports =
+      if jobs <= 1 || not Ise_pool.Pool.fork_available then
+        Array.map (fun spec -> run_one ?telemetry:sink spec) specs
+      else begin
+        if sink <> None then
+          Printf.eprintf
+            "note: at -j > 1, --telemetry-out/--trace-out record pool \
+             metrics but not per-trial chaos counters; use -j 1 for \
+             complete traces\n%!";
+        let outcomes, _stats =
+          Ise_pool.Pool.map ~jobs ?telemetry:sink run_one specs
+        in
+        Array.mapi
+          (fun i outcome ->
+            match outcome with
+            | Ise_pool.Pool.Done r -> r
+            | Ise_pool.Pool.Failed err ->
+              (* a crashed worker is re-run in-process: the report must
+                 not depend on pool health *)
+              Printf.eprintf "trial %d lost (%s); re-running in-process\n%!"
+                i
+                (Ise_pool.Pool.error_to_string err);
+              run_one specs.(i)
+            | Ise_pool.Pool.Split _ -> assert false)
+          outcomes
+      end
+    in
+    Array.iter
+      (fun r -> Format.printf "%a@." Ise_chaos.Chaos_run.pp_report r)
+      reports;
+    let totals = Hashtbl.create 8 in
+    let order = ref [] in
+    Array.iter
+      (fun r ->
+        List.iter
+          (fun (k, v) ->
+            if not (Hashtbl.mem totals k) then order := k :: !order;
+            Hashtbl.replace totals k
+              (v + Option.value ~default:0 (Hashtbl.find_opt totals k)))
+          r.Ise_chaos.Chaos_run.r_counts)
+      reports;
+    Printf.printf "== totals over %d trial(s) ==\n" trials;
+    List.iter
+      (fun k -> Printf.printf "%s=%d\n" k (Hashtbl.find totals k))
+      (List.rev !order);
+    let violations =
+      Array.fold_left
+        (fun a r -> a + List.length r.Ise_chaos.Chaos_run.r_violations)
+        0 reports
+    in
+    Printf.printf "violations=%d\n" violations;
+    (match (sink, trace_out) with
+     | Some sink, Some path -> write_trace sink path
+     | _ -> ());
+    (match (sink, telemetry_out) with
+     | Some sink, Some path ->
+       write_file path
+         (Ise_telemetry.Json.to_string_pretty
+            (Ise_telemetry.Registry.to_json
+               (Ise_telemetry.Sink.registry sink)));
+       Printf.eprintf "wrote telemetry to %s\n%!" path
+     | _ -> ());
+    (match snapshot_out with
+     | Some path when violations > 0 ->
+       let buf = Buffer.create 1024 in
+       Array.iter
+         (fun r ->
+           match r.Ise_chaos.Chaos_run.r_snapshot with
+           | Some s ->
+             Buffer.add_string buf
+               (Printf.sprintf "=== seed=%d profile=%s ===\n%s\n"
+                  r.Ise_chaos.Chaos_run.r_seed
+                  r.Ise_chaos.Chaos_run.r_profile s)
+           | None -> ())
+         reports;
+       write_file path (Buffer.contents buf);
+       Printf.eprintf "wrote watchdog snapshots to %s\n%!" path
+     | _ -> ());
+    if not inject then if violations = 0 then 0 else 1
+    else begin
+      (* the canary must be *caught*: stress violations, plus a chaos
+         campaign that finds, shrinks, and records the lost store *)
+      let chaos_light =
+        List.filter
+          (fun v -> v.Ise_fuzz.Campaign.v_chaos = Some "light")
+          Ise_fuzz.Campaign.chaos_variants
+      in
+      let report =
+        Ise_fuzz.Campaign.run ~count:4 ~seeds_per_test:3 ~variants:chaos_light
+          ~variants_per_test:1 ~model_checks:false ~log:prerr_endline ~seed ()
+      in
+      List.iter
+        (fun f ->
+          Format.printf "@.%s under %s [%s]: %s@.%a@."
+            f.Ise_fuzz.Campaign.f_test.Ise_litmus.Lit_test.name
+            (Ise_fuzz.Campaign.variant_name f.Ise_fuzz.Campaign.f_variant)
+            (Ise_fuzz.Campaign.kind_name f.Ise_fuzz.Campaign.f_kind)
+            f.Ise_fuzz.Campaign.f_detail Ise_litmus.Lit_test.pp
+            f.Ise_fuzz.Campaign.f_shrunk;
+          if not no_save then begin
+            let path =
+              Ise_fuzz.Corpus.save ~dir:corpus_dir
+                (Ise_fuzz.Campaign.entry_of_failure ~seed f)
+            in
+            Printf.printf "replay artifact: %s\n" path
+          end)
+        report.Ise_fuzz.Campaign.r_failures;
+      let watchdog_failures =
+        List.filter
+          (fun f -> f.Ise_fuzz.Campaign.f_kind = Ise_fuzz.Campaign.Watchdog)
+          report.Ise_fuzz.Campaign.r_failures
+      in
+      if violations > 0 && watchdog_failures <> [] then begin
+        Printf.printf
+          "injected bug caught: %d stress violation(s), %d shrunk \
+           campaign failure(s)\n"
+          violations
+          (List.length watchdog_failures);
+        0
+      end
+      else begin
+        Printf.printf "injected bug NOT caught\n";
+        1
+      end
+    end
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Root seed.")
+  in
+  let trials_arg =
+    Arg.(value & opt (some int) None
+         & info [ "trials" ] ~docv:"N"
+             ~doc:"Stress trials; profiles rotate across them (default: one \
+                   per selected profile).")
+  in
+  let cores_arg =
+    Arg.(value & opt int 4
+         & info [ "cores" ] ~docv:"N" ~doc:"Cores per stress machine.")
+  in
+  let stores_arg =
+    Arg.(value & opt int 120
+         & info [ "stores" ] ~docv:"N" ~doc:"Stores per core.")
+  in
+  let profiles_arg =
+    Arg.(value & opt string "all"
+         & info [ "profiles" ] ~docv:"SPEC"
+             ~doc:"Chaos profiles: 'all' or a comma-separated list of \
+                   profile names.")
+  in
+  let telemetry_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry-out" ] ~docv:"FILE"
+             ~doc:"Write the final metrics registry (chaos/* counters and \
+                   machine stats) as JSON.")
+  in
+  let snapshot_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot-out" ] ~docv:"FILE"
+             ~doc:"On violations, write the watchdog's diagnostic snapshots \
+                   here (CI uploads this as an artifact).")
+  in
+  let nosave_arg =
+    Arg.(value & flag
+         & info [ "no-save" ]
+             ~doc:"With --inject-bug: do not write failure artifacts.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Seeded fault-injection stress runs with the invariant watchdog \
+             attached")
+    Term.(const run $ seed_arg $ trials_arg $ cores_arg $ stores_arg
+          $ profiles_arg $ telemetry_out_arg $ trace_out_arg
+          $ snapshot_out_arg $ corpus_arg $ nosave_arg $ chaos_inject_bug_arg
+          $ jobs_arg)
+
+let chaos_replay_cmd =
+  let run corpus_dir files seeds inject =
+    let entries =
+      match files with
+      | [] -> Ise_fuzz.Corpus.load_dir corpus_dir
+      | fs -> List.map (fun f -> (f, Ise_fuzz.Corpus.load_file f)) fs
+    in
+    if entries = [] then begin
+      Printf.eprintf "no corpus entries under %s\n" corpus_dir;
+      exit 1
+    end;
+    let failed = ref 0 in
+    with_handler_bug inject (fun () ->
+        List.iter
+          (fun (path, entry) ->
+            match entry with
+            | Error msg ->
+              incr failed;
+              Printf.printf "%-40s PARSE ERROR: %s\n%!" path msg
+            | Ok e -> (
+              match Ise_fuzz.Campaign.replay ~seeds e with
+              | Ok () -> Printf.printf "%-40s ok\n%!" path
+              | Error msg ->
+                incr failed;
+                Printf.printf "%-40s FAIL: %s\n%!" path msg))
+          entries);
+    if !failed = 0 then 0 else 1
+  in
+  let files_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"FILE" ~doc:"Artifacts to replay (default: --corpus).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay chaos corpus artifacts (--inject-bug reproduces \
+             handler-bug witnesses)")
+    Term.(const run $ corpus_arg $ files_arg $ fuzz_seeds_arg
+          $ chaos_inject_bug_arg)
+
+let chaos_cmd =
+  Cmd.group
+    (Cmd.info "chaos"
+       ~doc:"Deterministic fault injection: seeded stress runs, the \
+             invariant watchdog, and chaos-hardened litmus replay")
+    [ chaos_run_cmd; chaos_replay_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -734,5 +1027,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ litmus_cmd; mbench_cmd; gap_cmd; mix_cmd; explain_cmd; stats_cmd;
+          [ litmus_cmd; mbench_cmd; gap_cmd; mix_cmd; explain_cmd; stats_cmd; chaos_cmd;
             fuzz_cmd ]))

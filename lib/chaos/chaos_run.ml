@@ -1,0 +1,318 @@
+open Ise_util
+open Ise_sim
+
+type report = {
+  r_seed : int;
+  r_profile : string;
+  r_cycles : int;
+  r_events : int;
+  r_counts : (string * int) list;
+  r_violations : Watchdog.violation list;
+  r_terminated : int;
+  r_verified : int;
+  r_mismatches : int;
+  r_snapshot : string option;
+}
+
+let ok r = r.r_violations = [] && r.r_mismatches = 0
+
+let cfg_with_profile (p : Profile.t) (cfg : Config.t) =
+  let cfg = { cfg with Config.fsb_overflow = p.Profile.fsb_overflow } in
+  match p.Profile.fsb_entries with
+  | None -> cfg
+  | Some n -> { cfg with Config.fsb_entries = n }
+
+(* distinct root streams for program generation and injection decisions *)
+let plane_seed seed = Hashtbl.hash (seed, "plane")
+
+let page_size = 4096
+let pages_per_core = 4
+let words_per_page = 16
+
+(* ------------------------------------------------------------------ *)
+(* Stress runs                                                         *)
+
+(* Per-core program over a private address stripe, plus the last-writer
+   model the final memory image is verified against. *)
+let gen_program rng ~base ~stores =
+  let model = Hashtbl.create 64 in
+  let instrs = ref [] in
+  let nslots = pages_per_core * words_per_page in
+  for i = 1 to stores do
+    let slot = Rng.int rng nslots in
+    let page = slot / words_per_page and w = slot mod words_per_page in
+    let addr = base + (page * page_size) + (w * 8) in
+    let v = (i lsl 8) lor (slot land 0xFF) in
+    Hashtbl.replace model (addr lsr 3) v;
+    instrs :=
+      Sim_instr.St { addr = Sim_instr.addr addr; data = Sim_instr.Imm v }
+      :: !instrs;
+    if Rng.int rng 100 < 30 then
+      instrs :=
+        Sim_instr.Ld { dst = 1 + Rng.int rng 8; addr = Sim_instr.addr addr }
+        :: !instrs;
+    if Rng.int rng 100 < 25 then
+      instrs := Sim_instr.Nop (1 + Rng.int rng 20) :: !instrs
+  done;
+  (List.rev !instrs, model)
+
+let run_stress ?(ncores = 4) ?(stores_per_core = 120) ?telemetry ~seed
+    ~profile () =
+  let cfg = cfg_with_profile profile Config.default in
+  let stripe i = cfg.Config.einject_base + (i * pages_per_core * page_size) in
+  let root = Rng.create seed in
+  let progs_models =
+    Array.init ncores (fun i ->
+        let rng = Rng.split root in
+        gen_program rng ~base:(stripe i) ~stores:stores_per_core)
+  in
+  let programs =
+    Array.map (fun (is, _) -> Sim_instr.of_list is) progs_models
+  in
+  let machine = Machine.create ~cfg ~programs () in
+  let plane = Plane.create ~seed:(plane_seed seed) ~profile in
+  ignore
+    (Ise_os.Handler.install
+       ~max_apply_retries:profile.Profile.max_apply_retries
+       ~apply_backoff:profile.Profile.apply_backoff
+       ~on_apply_exhausted:profile.Profile.on_apply_exhausted
+       ~chaos:(Plane.handler_chaos plane) machine);
+  Plane.install plane machine;
+  let wd =
+    Watchdog.create
+      ~ordered_interface:
+        (cfg.Config.protocol_mode = Ise_core.Protocol.Same_stream)
+      ~ordered_apply:(cfg.Config.consistency <> Ise_model.Axiom.Wc)
+      ~ncores ()
+  in
+  Watchdog.attach wd machine;
+  (match telemetry with
+   | None -> ()
+   | Some sink -> Machine.attach_telemetry machine sink);
+  (* half of each stripe's pages start faulting: stores there take
+     imprecise exceptions, stores to the other pages drain cleanly *)
+  Array.iteri
+    (fun i _ ->
+      Einject.set_faulting (Machine.einject machine) (stripe i);
+      Einject.set_faulting (Machine.einject machine)
+        (stripe i + (2 * page_size)))
+    progs_models;
+  let crash = ref None in
+  (try Machine.run ~max_cycles:20_000_000 machine with
+   | Watchdog.Trip msg -> crash := Some ("livelock", msg)
+   | Failure msg -> crash := Some ("machine-failure", msg));
+  let completed = !crash = None in
+  if completed then Watchdog.check_final wd;
+  let extra =
+    match !crash with
+    | None -> []
+    | Some (rule, msg) ->
+      [ { Watchdog.w_rule = rule; w_cycle = Machine.cycles machine;
+          w_detail = msg } ]
+  in
+  (* verify the final memory image of every live core against the
+     last-writer model (terminated cores legitimately discard stores) *)
+  let verified = ref 0 and mismatches = ref [] in
+  let terminated = ref 0 in
+  for i = 0 to ncores - 1 do
+    if Core.is_terminated (Machine.core machine i) then incr terminated
+    else if completed then begin
+      let _, model = progs_models.(i) in
+      let words =
+        List.sort compare (Hashtbl.fold (fun w v acc -> (w, v) :: acc) model [])
+      in
+      List.iter
+        (fun (w, v) ->
+          incr verified;
+          let got = Machine.read_word machine (w lsl 3) in
+          if got <> v then
+            mismatches :=
+              { Watchdog.w_rule = "memory-mismatch";
+                w_cycle = Machine.cycles machine;
+                w_detail =
+                  Printf.sprintf
+                    "core %d addr 0x%x: expected %d, found %d" i (w lsl 3) v
+                    got }
+              :: !mismatches)
+        words
+    end
+  done;
+  let mismatches = List.rev !mismatches in
+  let violations = Watchdog.violations wd @ extra @ mismatches in
+  (match telemetry with
+   | None -> ()
+   | Some sink ->
+     Plane.record_counts plane sink;
+     if completed then Machine.record_final_stats machine);
+  {
+    r_seed = seed;
+    r_profile = profile.Profile.name;
+    r_cycles = Machine.cycles machine;
+    r_events = Watchdog.events_observed wd;
+    r_counts = Plane.counts plane;
+    r_violations = violations;
+    r_terminated = !terminated;
+    r_verified = !verified;
+    r_mismatches = List.length mismatches;
+    r_snapshot =
+      (if violations = [] then None else Some (Watchdog.snapshot wd));
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>profile=%s seed=%d cycles=%d events=%d terminated=%d verified=%d \
+     mismatches=%d violations=%d"
+    r.r_profile r.r_seed r.r_cycles r.r_events r.r_terminated r.r_verified
+    r.r_mismatches
+    (List.length r.r_violations);
+  List.iter (fun (k, v) -> Format.fprintf ppf "@,  %s=%d" k v) r.r_counts;
+  List.iter
+    (fun (v : Watchdog.violation) ->
+      Format.fprintf ppf "@,  VIOLATION [%s@%d] %s" v.Watchdog.w_rule
+        v.Watchdog.w_cycle v.Watchdog.w_detail)
+    r.r_violations;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Chaos-hardened litmus checking                                      *)
+
+let chaos_seed (p : Profile.t) (t : Ise_litmus.Lit_test.t) =
+  Hashtbl.hash
+    (t.Ise_litmus.Lit_test.name, t.Ise_litmus.Lit_test.threads,
+     p.Profile.name)
+
+let loc_addr ~base l = base + (l * page_size)
+
+let locs_of (t : Ise_litmus.Lit_test.t) =
+  let locs = Hashtbl.create 4 in
+  Array.iter
+    (List.iter (fun i ->
+         match Ise_model.Instr.loc_of i with
+         | Some l -> Hashtbl.replace locs l ()
+         | None -> ()))
+    t.Ise_litmus.Lit_test.threads;
+  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) locs [])
+
+let dest_regs (t : Ise_litmus.Lit_test.t) =
+  let regs = ref [] in
+  Array.iteri
+    (fun tid instrs ->
+      List.iter
+        (fun i ->
+          match Ise_model.Instr.defs i with
+          | Some r ->
+            if not (List.mem (tid, r) !regs) then regs := (tid, r) :: !regs
+          | None -> ())
+        instrs)
+    t.Ise_litmus.Lit_test.threads;
+  List.rev !regs
+
+let model_config (cfg : Config.t) =
+  let model = cfg.Config.consistency in
+  match cfg.Config.protocol_mode with
+  | Ise_core.Protocol.Same_stream ->
+    { Ise_model.Axiom.model; faults = Ise_model.Axiom.Precise }
+  | Ise_core.Protocol.Split_stream ->
+    { Ise_model.Axiom.model; faults = Ise_model.Axiom.Split_stream }
+
+let perturb rng instrs =
+  let out = ref [] in
+  if Rng.bool rng then out := [ Sim_instr.Nop (1 + Rng.int rng 60) ];
+  List.iter
+    (fun i ->
+      out := i :: !out;
+      if Rng.int rng 100 < 40 then
+        out := Sim_instr.Nop (1 + Rng.int rng 25) :: !out)
+    instrs;
+  List.rev !out
+
+let lit_check ?(seeds = 12) ~cfg ~profile (t : Ise_litmus.Lit_test.t) =
+  let cfg = cfg_with_profile profile cfg in
+  let base = cfg.Config.einject_base in
+  let lowered = Ise_litmus.Lit_run.lower t ~base in
+  let locs = locs_of t in
+  let regs = dest_regs t in
+  let faulting =
+    match cfg.Config.protocol_mode with
+    | Ise_core.Protocol.Split_stream -> Ise_litmus.Lit_test.stores_of t
+    | _ -> []
+  in
+  let allowed =
+    Ise_model.Check.allowed ~faulting (model_config cfg)
+      t.Ise_litmus.Lit_test.threads
+  in
+  let root = Rng.create (chaos_seed profile t) in
+  let ncores = Array.length lowered in
+  let rec go run =
+    if run > seeds then None
+    else begin
+      let rng = Rng.split root in
+      let programs =
+        Array.map (fun is -> Sim_instr.of_list (perturb rng is)) lowered
+      in
+      let machine = Machine.create ~cfg ~programs () in
+      let plane =
+        Plane.create
+          ~seed:(Hashtbl.hash (chaos_seed profile t, run))
+          ~profile
+      in
+      ignore
+        (Ise_os.Handler.install
+           ~max_apply_retries:profile.Profile.max_apply_retries
+           ~apply_backoff:profile.Profile.apply_backoff
+           ~on_apply_exhausted:profile.Profile.on_apply_exhausted
+           ~chaos:(Plane.handler_chaos plane) machine);
+      Plane.install plane machine;
+      let wd =
+        Watchdog.create
+          ~ordered_interface:
+            (cfg.Config.protocol_mode = Ise_core.Protocol.Same_stream)
+          ~ordered_apply:(cfg.Config.consistency <> Ise_model.Axiom.Wc)
+          ~ncores ()
+      in
+      Watchdog.attach wd machine;
+      List.iter
+        (fun l ->
+          Einject.set_faulting (Machine.einject machine) (loc_addr ~base l))
+        locs;
+      match Machine.run ~max_cycles:4_000_000 machine with
+      | exception Watchdog.Trip _ ->
+        Some (Printf.sprintf "run %d: watchdog tripped (livelock)" run)
+      | exception Failure msg -> Some (Printf.sprintf "run %d: %s" run msg)
+      | () -> (
+        Watchdog.check_final wd;
+        let outcome =
+          Ise_model.Outcome.make
+            ~regs:
+              (List.map
+                 (fun (tid, r) ->
+                   ((tid, r), Core.reg (Machine.core machine tid) r))
+                 regs)
+            ~mem:
+              (List.map
+                 (fun l -> (l, Machine.read_word machine (loc_addr ~base l)))
+                 locs)
+        in
+        if not (Ise_model.Outcome.Set.mem outcome allowed) then
+          Some
+            (Format.asprintf "run %d: outcome %a not allowed under chaos" run
+               Ise_model.Outcome.pp outcome)
+        else
+          let contract_bad =
+            match cfg.Config.protocol_mode with
+            | Ise_core.Protocol.Same_stream ->
+              Stdlib.Result.is_error (Machine.check_contract machine)
+            | Ise_core.Protocol.Split_stream -> false
+          in
+          if contract_bad then
+            Some (Printf.sprintf "run %d: interface contract violated" run)
+          else
+            match Watchdog.violations wd with
+            | [] -> go (run + 1)
+            | v :: _ ->
+              Some
+                (Printf.sprintf "run %d: watchdog [%s] %s" run
+                   v.Watchdog.w_rule v.Watchdog.w_detail))
+    end
+  in
+  go 1

@@ -1,0 +1,56 @@
+(** Chaos executions: self-checking stress runs and chaos-hardened
+    litmus checking.
+
+    A stress run builds a multicore machine where every core writes a
+    private address stripe (half its pages marked faulting in the
+    EInject device), attaches the fault-injection {!Plane} and the
+    invariant {!Watchdog}, runs to completion, and then verifies the
+    final memory image word by word against the program's last-writer
+    values.  Everything is a pure function of [(seed, profile)] — the
+    same pair reproduces the same run byte for byte. *)
+
+type report = {
+  r_seed : int;
+  r_profile : string;
+  r_cycles : int;
+  r_events : int;  (** interface operations the watchdog observed *)
+  r_counts : (string * int) list;  (** {!Plane.counts} *)
+  r_violations : Watchdog.violation list;
+  r_terminated : int;  (** cores gracefully terminated *)
+  r_verified : int;  (** words checked against the last-writer model *)
+  r_mismatches : int;  (** words whose final value was wrong *)
+  r_snapshot : string option;  (** diagnostic dump when something failed *)
+}
+
+val ok : report -> bool
+(** No watchdog violations and no memory mismatches. *)
+
+val run_stress :
+  ?ncores:int -> ?stores_per_core:int -> ?telemetry:Ise_telemetry.Sink.t ->
+  seed:int -> profile:Profile.t -> unit -> report
+(** Defaults: 4 cores, 120 stores per core.  A {!Watchdog.Trip}
+    (livelock) or machine [Failure] is converted into a violation with
+    the diagnostic snapshot attached — the call itself never raises.
+    With [telemetry], chaos counters and machine stats are mirrored
+    into the sink (pass a fresh sink per run). *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Deterministic single-line-per-field rendering, used by the CLI's
+    byte-identical determinism contract. *)
+
+val cfg_with_profile : Profile.t -> Ise_sim.Config.t -> Ise_sim.Config.t
+(** Applies the profile's FSB sizing/overflow-policy overrides. *)
+
+val chaos_seed : Profile.t -> Ise_litmus.Lit_test.t -> int
+(** Deterministic root seed for {!lit_check}, derived from the test's
+    thread programs and the profile name — stable across
+    find/shrink/save/replay, which all rebuild the test value. *)
+
+val lit_check :
+  ?seeds:int -> cfg:Ise_sim.Config.t -> profile:Profile.t ->
+  Ise_litmus.Lit_test.t -> string option
+(** Runs a litmus test [seeds] times (default 12) under the profile
+    with plane + watchdog attached: fails ([Some detail]) when an
+    outcome falls outside the model-allowed set, the Table 5 contract
+    is violated, or the watchdog flags anything.  Only meaningful for
+    {!Profile.outcome_transparent} profiles. *)

@@ -1,0 +1,161 @@
+open Ise_util
+
+type t = {
+  pf : Profile.t;
+  rng_put : Rng.t;
+  rng_bp : Rng.t;
+  rng_noc : Rng.t;
+  rng_dup : Rng.t;
+  rng_deny : Rng.t;
+  rng_fatal : Rng.t;
+  rng_preempt : Rng.t;
+  deny_used : (int, int) Hashtbl.t;  (* address -> denials consumed *)
+  mutable bp_run : int;  (* consecutive forced backpressures *)
+  mutable put_delays : int;
+  mutable backpressures : int;
+  mutable noc_delays : int;
+  mutable noc_dups : int;
+  mutable transient_denials : int;
+  mutable fatal_denials : int;
+  mutable handler_preemptions : int;
+}
+
+let create ~seed ~profile =
+  let root = Rng.create seed in
+  {
+    pf = profile;
+    rng_put = Rng.split root;
+    rng_bp = Rng.split root;
+    rng_noc = Rng.split root;
+    rng_dup = Rng.split root;
+    rng_deny = Rng.split root;
+    rng_fatal = Rng.split root;
+    rng_preempt = Rng.split root;
+    deny_used = Hashtbl.create 256;
+    bp_run = 0;
+    put_delays = 0;
+    backpressures = 0;
+    noc_delays = 0;
+    noc_dups = 0;
+    transient_denials = 0;
+    fatal_denials = 0;
+    handler_preemptions = 0;
+  }
+
+let profile t = t.pf
+
+let hit rng pct = pct > 0 && Rng.int rng 100 < pct
+
+(* --- Memsys perturbation ------------------------------------------ *)
+
+let pb_delay t ~core:_ ~addr:_ ~write:_ =
+  if hit t.rng_noc t.pf.Profile.noc_delay_pct then begin
+    t.noc_delays <- t.noc_delays + 1;
+    1 + Rng.int t.rng_noc (max 1 t.pf.Profile.noc_delay_max)
+  end
+  else 0
+
+let pb_deny t ~core:_ ~addr ~write:_ =
+  if not (hit t.rng_deny t.pf.Profile.deny_pct) then None
+  else
+    let used =
+      match Hashtbl.find_opt t.deny_used addr with Some n -> n | None -> 0
+    in
+    if used >= t.pf.Profile.deny_budget then None
+    else begin
+      Hashtbl.replace t.deny_used addr (used + 1);
+      if hit t.rng_fatal t.pf.Profile.deny_fatal_pct then begin
+        t.fatal_denials <- t.fatal_denials + 1;
+        Some Ise_core.Fault.Protection_fault
+      end
+      else begin
+        t.transient_denials <- t.transient_denials + 1;
+        Some Ise_core.Fault.Page_fault
+      end
+    end
+
+let pb_duplicate t ~core:_ ~addr:_ =
+  if hit t.rng_dup t.pf.Profile.dup_pct then begin
+    t.noc_dups <- t.noc_dups + 1;
+    true
+  end
+  else false
+
+let perturb t =
+  {
+    Ise_sim.Memsys.pb_delay = pb_delay t;
+    pb_deny = pb_deny t;
+    pb_duplicate = pb_duplicate t;
+  }
+
+(* --- FSBC hooks ---------------------------------------------------- *)
+
+let ch_put_delay t () =
+  if hit t.rng_put t.pf.Profile.put_delay_pct then begin
+    t.put_delays <- t.put_delays + 1;
+    1 + Rng.int t.rng_put (max 1 t.pf.Profile.put_delay_max)
+  end
+  else 0
+
+let ch_backpressure t () =
+  if
+    t.bp_run < t.pf.Profile.backpressure_budget
+    && hit t.rng_bp t.pf.Profile.backpressure_pct
+  then begin
+    t.bp_run <- t.bp_run + 1;
+    t.backpressures <- t.backpressures + 1;
+    true
+  end
+  else begin
+    t.bp_run <- 0;
+    false
+  end
+
+let core_hooks t =
+  {
+    Ise_sim.Core.ch_put_delay = ch_put_delay t;
+    ch_backpressure = ch_backpressure t;
+  }
+
+(* --- Handler hook -------------------------------------------------- *)
+
+let hc_preempt t () =
+  if hit t.rng_preempt t.pf.Profile.preempt_pct then begin
+    t.handler_preemptions <- t.handler_preemptions + 1;
+    t.pf.Profile.preempt_cycles
+  end
+  else 0
+
+let handler_chaos t = { Ise_os.Handler.hc_preempt = hc_preempt t }
+
+let install t machine =
+  Ise_sim.Memsys.set_perturb (Ise_sim.Machine.mem machine) (Some (perturb t));
+  for i = 0 to Ise_sim.Machine.ncores machine - 1 do
+    Ise_sim.Core.set_chaos
+      (Ise_sim.Machine.core machine i)
+      (Some (core_hooks t))
+  done;
+  match t.pf.Profile.timer_period with
+  | None -> ()
+  | Some period ->
+    Ise_sim.Machine.enable_timer_interrupts machine ~period ~handler_cycles:60
+
+(* --- Counters ------------------------------------------------------ *)
+
+let counts t =
+  [
+    ("chaos/put_delays", t.put_delays);
+    ("chaos/backpressures", t.backpressures);
+    ("chaos/noc_delays", t.noc_delays);
+    ("chaos/noc_dups", t.noc_dups);
+    ("chaos/transient_denials", t.transient_denials);
+    ("chaos/fatal_denials", t.fatal_denials);
+    ("chaos/handler_preemptions", t.handler_preemptions);
+  ]
+
+let record_counts t sink =
+  let r = Ise_telemetry.Sink.registry sink in
+  List.iter
+    (fun (name, v) ->
+      Ise_telemetry.Registry.(set_counter (counter r name) v))
+    (counts t)

@@ -1,0 +1,49 @@
+(** The fault-injection plane: one seeded decision engine feeding
+    every chaos hook point in the stack.
+
+    Each decision category (FSBC append delay, append backpressure,
+    NoC delay, message duplication, transient denial, handler
+    preemption) draws from its own generator split from the root seed,
+    so enabling one category never perturbs another's stream — a
+    failure found under [storm] still reproduces when replayed with
+    the same seed.
+
+    Convergence guarantees the plane upholds by construction:
+    - backpressure is bounded to [backpressure_budget] consecutive
+      refusals, so a stalled append always eventually proceeds;
+    - transient denials are capped per address at [deny_budget], so a
+      denied access (and the handler's S_OS store) always succeeds
+      within the handler's retry budget. *)
+
+type t
+
+val create : seed:int -> profile:Profile.t -> t
+val profile : t -> Profile.t
+
+(** {1 Hook points} *)
+
+val perturb : t -> Ise_sim.Memsys.perturb
+(** For {!Ise_sim.Memsys.set_perturb}. *)
+
+val core_hooks : t -> Ise_sim.Core.chaos_hooks
+(** For {!Ise_sim.Core.set_chaos}. *)
+
+val handler_chaos : t -> Ise_os.Handler.chaos
+(** For {!Ise_os.Handler.install}'s [?chaos]. *)
+
+val install : t -> Ise_sim.Machine.t -> unit
+(** Wires {!perturb} and {!core_hooks} into a machine (every core),
+    and enables timer interrupts when the profile asks for them.  The
+    handler hook must still be passed to
+    {!Ise_os.Handler.install} — the plane cannot reach hooks installed
+    after it. *)
+
+(** {1 Injection counters} *)
+
+val counts : t -> (string * int) list
+(** [("chaos/put_delays", n); ...] — one entry per fault class, in a
+    fixed order, including zero entries (so coverage checks can assert
+    on the full vector). *)
+
+val record_counts : t -> Ise_telemetry.Sink.t -> unit
+(** Mirrors {!counts} into the sink's registry as absolute counters. *)

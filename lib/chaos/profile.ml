@@ -1,0 +1,123 @@
+type t = {
+  name : string;
+  doc : string;
+  fsb_entries : int option;
+  fsb_overflow : Ise_sim.Config.fsb_overflow;
+  put_delay_pct : int;
+  put_delay_max : int;
+  backpressure_pct : int;
+  backpressure_budget : int;
+  noc_delay_pct : int;
+  noc_delay_max : int;
+  dup_pct : int;
+  deny_pct : int;
+  deny_budget : int;
+  deny_fatal_pct : int;
+  timer_period : int option;
+  preempt_pct : int;
+  preempt_cycles : int;
+  max_apply_retries : int;
+  apply_backoff : int;
+  on_apply_exhausted : [ `Fail | `Terminate ];
+}
+
+let quiet =
+  {
+    name = "quiet";
+    doc = "no injection at all (plumbing baseline)";
+    fsb_entries = None;
+    fsb_overflow = Ise_sim.Config.Fsb_fatal;
+    put_delay_pct = 0;
+    put_delay_max = 0;
+    backpressure_pct = 0;
+    backpressure_budget = 0;
+    noc_delay_pct = 0;
+    noc_delay_max = 0;
+    dup_pct = 0;
+    deny_pct = 0;
+    deny_budget = 0;
+    deny_fatal_pct = 0;
+    timer_period = None;
+    preempt_pct = 0;
+    preempt_cycles = 0;
+    max_apply_retries = 1;
+    apply_backoff = 0;
+    on_apply_exhausted = `Fail;
+  }
+
+let light =
+  { quiet with
+    name = "light";
+    doc = "mild NoC delays";
+    noc_delay_pct = 10;
+    noc_delay_max = 8 }
+
+let fsb_stall =
+  { quiet with
+    name = "fsb-stall";
+    doc = "8-entry FSB, overflow stalls + early handler invocation";
+    fsb_entries = Some 8;
+    fsb_overflow = Ise_sim.Config.Fsb_stall;
+    put_delay_pct = 30;
+    put_delay_max = 12;
+    backpressure_pct = 15;
+    backpressure_budget = 3 }
+
+let fsb_degrade =
+  { quiet with
+    name = "fsb-degrade";
+    doc = "8-entry FSB, overflow drops to precise re-execution";
+    fsb_entries = Some 8;
+    fsb_overflow = Ise_sim.Config.Fsb_degrade;
+    put_delay_pct = 20;
+    put_delay_max = 8 }
+
+let noc =
+  { quiet with
+    name = "noc";
+    doc = "heavy mesh delays and duplicated store deliveries";
+    noc_delay_pct = 40;
+    noc_delay_max = 24;
+    dup_pct = 10 }
+
+let transient =
+  { quiet with
+    name = "transient";
+    doc = "transient denials survived by bounded retry with backoff";
+    deny_pct = 12;
+    deny_budget = 2;
+    max_apply_retries = 6;
+    apply_backoff = 2;
+    noc_delay_pct = 10;
+    noc_delay_max = 6 }
+
+let storm =
+  {
+    name = "storm";
+    doc = "everything at once, including graceful termination";
+    fsb_entries = Some 8;
+    fsb_overflow = Ise_sim.Config.Fsb_stall;
+    put_delay_pct = 30;
+    put_delay_max = 12;
+    backpressure_pct = 15;
+    backpressure_budget = 3;
+    noc_delay_pct = 30;
+    noc_delay_max = 16;
+    dup_pct = 8;
+    deny_pct = 10;
+    deny_budget = 2;
+    deny_fatal_pct = 4;
+    timer_period = Some 700;
+    preempt_pct = 25;
+    preempt_cycles = 40;
+    max_apply_retries = 6;
+    apply_backoff = 2;
+    on_apply_exhausted = `Terminate;
+  }
+
+let all = [ light; fsb_stall; fsb_degrade; noc; transient; storm ]
+
+let named name = List.find_opt (fun p -> p.name = name) all
+
+let outcome_transparent p =
+  p.deny_fatal_pct = 0 && p.on_apply_exhausted = `Fail

@@ -1,0 +1,73 @@
+(** Chaos profiles: named, fixed bundles of fault-injection rates.
+
+    A profile says {e what} trouble the plane injects and how hard;
+    the seed says {e where} it lands.  Keeping the rates in named
+    profiles (rather than free-form knobs) makes every chaos failure
+    replayable from a [(profile, seed)] pair and lets the fuzz
+    campaign treat the profile as one more lattice dimension.
+
+    All percentages are in [0, 100] and are sampled per decision from
+    the plane's independent per-category streams. *)
+
+type t = {
+  name : string;
+  doc : string;
+  fsb_entries : int option;
+      (** shrink the FSB (must be a power of two) so overflow actually
+          happens; [None] keeps the configuration's size *)
+  fsb_overflow : Ise_sim.Config.fsb_overflow;
+  put_delay_pct : int;  (** FSBC appends hit by a slow drain slot *)
+  put_delay_max : int;  (** extra cycles per delayed append, 1..max *)
+  backpressure_pct : int;  (** appends refused by transient port pressure *)
+  backpressure_budget : int;
+      (** max consecutive forced refusals — bounds the stall so retry
+          always converges *)
+  noc_delay_pct : int;  (** memory transactions delayed in the mesh *)
+  noc_delay_max : int;
+  dup_pct : int;  (** plain stores delivered twice (idempotent) *)
+  deny_pct : int;  (** transactions transiently denied at the LLC edge *)
+  deny_budget : int;
+      (** per-address cap on transient denials; the handler's retry
+          budget must exceed it so bounded retry always succeeds *)
+  deny_fatal_pct : int;
+      (** fraction of transient denials that carry an irrecoverable
+          code instead — exercises termination; keep 0 in profiles
+          used for litmus outcome checking *)
+  timer_period : int option;  (** periodic timer interrupts on all cores *)
+  preempt_pct : int;  (** handler GET rounds preempted by a timer irq *)
+  preempt_cycles : int;
+  max_apply_retries : int;  (** handler S_OS retry budget (> deny_budget) *)
+  apply_backoff : int;  (** base of the handler's exponential backoff *)
+  on_apply_exhausted : [ `Fail | `Terminate ];
+}
+
+val light : t
+(** Mild NoC delays only — chaos plumbing with near-seed behaviour. *)
+
+val fsb_stall : t
+(** 8-entry FSB under [Fsb_stall]: overflow backpressure with early
+    handler invocation, plus slow drain slots. *)
+
+val fsb_degrade : t
+(** 8-entry FSB under [Fsb_degrade]: drop-to-precise re-execution. *)
+
+val noc : t
+(** Heavy mesh delays and duplicated store deliveries. *)
+
+val transient : t
+(** Transient denials everywhere, survived by bounded retry with
+    backoff. *)
+
+val storm : t
+(** Everything at once, including rare irrecoverable denials
+    (graceful termination) and handler preemption.  Not
+    outcome-transparent — for stress runs, not litmus checking. *)
+
+val all : t list
+val named : string -> t option
+(** Lookup by {!field-name}; [None] for unknown names. *)
+
+val outcome_transparent : t -> bool
+(** Whether the profile provably preserves program results (no
+    irrecoverable injections, no termination policy) — the criterion
+    for using it in litmus-outcome chaos variants. *)

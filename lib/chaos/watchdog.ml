@@ -1,0 +1,273 @@
+open Ise_core
+
+type violation = {
+  w_rule : string;
+  w_cycle : int;
+  w_detail : string;
+}
+
+exception Trip of string
+
+let ring_size = 8
+
+type cstate = {
+  mutable puts : Fault.record list;  (* pending GET, oldest first *)
+  mutable gets : Fault.record list;  (* pending APPLY, in GET order *)
+  mutable last_seq : int;
+  mutable in_episode : bool;
+  mutable resolved : bool;
+  mutable terminated : bool;
+  ring : string array;  (* last few events, for the snapshot *)
+  mutable ring_n : int;
+}
+
+type t = {
+  ordered_interface : bool;
+  ordered_apply : bool;
+  cores : cstate array;
+  mutable viols : violation list;  (* newest first *)
+  mutable events : int;
+  mutable machine : Ise_sim.Machine.t option;
+}
+
+let create ?(ordered_interface = true) ?(ordered_apply = true) ~ncores () =
+  {
+    ordered_interface;
+    ordered_apply;
+    cores =
+      Array.init ncores (fun _ ->
+          { puts = []; gets = []; last_seq = -1; in_episode = false;
+            resolved = false; terminated = false;
+            ring = Array.make ring_size ""; ring_n = 0 });
+    viols = [];
+    events = 0;
+    machine = None;
+  }
+
+let violations t = List.rev t.viols
+let events_observed t = t.events
+
+let flag t ~cycle rule detail =
+  t.viols <- { w_rule = rule; w_cycle = cycle; w_detail = detail } :: t.viols
+
+let pp_rec r =
+  Format.asprintf "seq=%d addr=0x%x data=%d" r.Fault.seq r.Fault.addr
+    r.Fault.data
+
+(* Remove the first structurally-equal record; None if absent. *)
+let remove_first r l =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+      if x = r then Some (List.rev_append acc rest) else go (x :: acc) rest
+  in
+  go [] l
+
+let observe t ev =
+  t.events <- t.events + 1;
+  let core_of = function
+    | Contract.Detect { core; _ } | Contract.Put { core; _ }
+    | Contract.Get { core; _ } | Contract.Apply { core; _ }
+    | Contract.Resolve { core; _ } | Contract.Resume { core; _ }
+    | Contract.Terminate { core; _ } -> core
+  and cycle_of = function
+    | Contract.Detect { cycle; _ } | Contract.Put { cycle; _ }
+    | Contract.Get { cycle; _ } | Contract.Apply { cycle; _ }
+    | Contract.Resolve { cycle; _ } | Contract.Resume { cycle; _ }
+    | Contract.Terminate { cycle; _ } -> cycle
+  in
+  let core = core_of ev and cycle = cycle_of ev in
+  if core < 0 || core >= Array.length t.cores then
+    flag t ~cycle "bad-core" (Printf.sprintf "event on core %d" core)
+  else begin
+    let c = t.cores.(core) in
+    c.ring.(c.ring_n mod ring_size) <- Format.asprintf "%a" Contract.pp_event ev;
+    c.ring_n <- c.ring_n + 1;
+    let flag = flag t ~cycle in
+    match ev with
+    | _ when c.terminated ->
+      (* per-core quiesce: a terminated core is silent forever *)
+      flag "after-terminate"
+        (Format.asprintf "core %d emitted %a after TERMINATE" core
+           Contract.pp_event ev)
+    | Contract.Detect _ ->
+      c.in_episode <- true;
+      c.resolved <- false
+    | Contract.Put { record; _ } ->
+      if t.ordered_interface && record.Fault.seq <= c.last_seq then
+        flag "put-order"
+          (Printf.sprintf "core %d PUT seq %d after seq %d" core
+             record.Fault.seq c.last_seq);
+      c.last_seq <- max c.last_seq record.Fault.seq;
+      c.puts <- c.puts @ [ record ]
+    | Contract.Get { record; _ } -> (
+      match c.puts with
+      | first :: rest when t.ordered_interface ->
+        if first = record then begin
+          c.puts <- rest;
+          c.gets <- c.gets @ [ record ]
+        end
+        else begin
+          (* flag, then keep the monitor in sync as best we can *)
+          match remove_first record c.puts with
+          | Some rest' ->
+            flag "get-order"
+              (Printf.sprintf "core %d GET %s but oldest PUT is %s" core
+                 (pp_rec record) (pp_rec first));
+            c.puts <- rest';
+            c.gets <- c.gets @ [ record ]
+          | None ->
+            flag "get-unknown"
+              (Printf.sprintf "core %d GET %s never PUT" core (pp_rec record))
+        end
+      | _ -> (
+        match remove_first record c.puts with
+        | Some rest ->
+          c.puts <- rest;
+          c.gets <- c.gets @ [ record ]
+        | None ->
+          flag "get-unknown"
+            (Printf.sprintf "core %d GET %s never PUT" core (pp_rec record))))
+    | Contract.Apply { record; _ } -> (
+      match c.gets with
+      | first :: rest when t.ordered_apply ->
+        if first = record then c.gets <- rest
+        else begin
+          match remove_first record c.gets with
+          | Some rest' ->
+            flag "apply-order"
+              (Printf.sprintf "core %d APPLY %s but oldest GET is %s" core
+                 (pp_rec record) (pp_rec first));
+            c.gets <- rest'
+          | None ->
+            flag "apply-unknown"
+              (Printf.sprintf
+                 "core %d APPLY %s never retrieved (or applied twice)" core
+                 (pp_rec record))
+        end
+      | _ -> (
+        match remove_first record c.gets with
+        | Some rest -> c.gets <- rest
+        | None ->
+          flag "apply-unknown"
+            (Printf.sprintf
+               "core %d APPLY %s never retrieved (or applied twice)" core
+               (pp_rec record))))
+    | Contract.Resolve _ ->
+      if c.puts <> [] then
+        flag "lost-store"
+          (Printf.sprintf "core %d RESOLVE with %d stores never retrieved"
+             core (List.length c.puts));
+      if c.gets <> [] then
+        flag "lost-store"
+          (Printf.sprintf "core %d RESOLVE with %d stores never applied" core
+             (List.length c.gets));
+      c.resolved <- true
+    | Contract.Resume _ ->
+      if c.in_episode && not c.resolved then
+        flag "resume-before-resolve"
+          (Printf.sprintf "core %d RESUME without RESOLVE" core);
+      c.in_episode <- false;
+      c.resolved <- false
+    | Contract.Terminate _ ->
+      (* §4.1: retrieved-but-unapplied faulting stores are discarded *)
+      c.terminated <- true;
+      c.in_episode <- false;
+      c.puts <- [];
+      c.gets <- []
+  end
+
+let check_final t =
+  Array.iteri
+    (fun i c ->
+      if not c.terminated then begin
+        if c.puts <> [] then
+          flag t ~cycle:(-1) "lost-store-at-exit"
+            (Printf.sprintf "core %d ended with %d stores never retrieved" i
+               (List.length c.puts));
+        if c.gets <> [] then
+          flag t ~cycle:(-1) "lost-store-at-exit"
+            (Printf.sprintf "core %d ended with %d stores never applied" i
+               (List.length c.gets))
+      end)
+    t.cores
+
+let snapshot t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "watchdog: %d events observed, %d violations\n" t.events
+       (List.length t.viols));
+  Array.iteri
+    (fun i c ->
+      let phase =
+        match t.machine with
+        | None -> ""
+        | Some m when i < Ise_sim.Machine.ncores m ->
+          Printf.sprintf " phase=%s"
+            (Ise_sim.Core.phase_name (Ise_sim.Machine.core m i))
+        | Some _ -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "core %d:%s pending_put=%d pending_apply=%d episode=%b \
+            terminated=%b\n"
+           i phase (List.length c.puts) (List.length c.gets) c.in_episode
+           c.terminated);
+      let n = min c.ring_n ring_size in
+      for k = 0 to n - 1 do
+        let idx = (c.ring_n - n + k) mod ring_size in
+        Buffer.add_string buf (Printf.sprintf "    %s\n" c.ring.(idx))
+      done)
+    t.cores;
+  List.iteri
+    (fun i v ->
+      if i < 16 then
+        Buffer.add_string buf
+          (Printf.sprintf "  [%s@%d] %s\n" v.w_rule v.w_cycle v.w_detail))
+    (violations t);
+  Buffer.contents buf
+
+let attach ?(window = 20_000) ?(max_stalled = 10) t machine =
+  t.machine <- Some machine;
+  Ise_sim.Machine.add_observer machine (fun ev -> observe t ev);
+  let engine = Ise_sim.Machine.engine machine in
+  let all_done () =
+    let done_ = ref true in
+    for i = 0 to Ise_sim.Machine.ncores machine - 1 do
+      if not (Ise_sim.Core.is_done (Ise_sim.Machine.core machine i)) then
+        done_ := false
+    done;
+    !done_
+  in
+  let progress_sig () =
+    let fsb_traffic = ref 0 in
+    for i = 0 to Ise_sim.Machine.ncores machine - 1 do
+      let fsb = Ise_sim.Core.fsb (Ise_sim.Machine.core machine i) in
+      fsb_traffic :=
+        !fsb_traffic + Ise_core.Fsb.total_appended fsb
+        + Ise_core.Fsb.total_drained fsb
+    done;
+    (Ise_sim.Machine.total_retired machine, t.events, !fsb_traffic)
+  in
+  let last = ref (-1, -1, -1) in
+  let stalled = ref 0 in
+  let rec tick () =
+    if not (all_done ()) then begin
+      let s = progress_sig () in
+      if s = !last then begin
+        incr stalled;
+        if !stalled >= max_stalled then
+          raise
+            (Trip
+               (Printf.sprintf
+                  "no progress for %d cycles (livelock)\n%s"
+                  (window * max_stalled) (snapshot t)))
+      end
+      else begin
+        last := s;
+        stalled := 0
+      end;
+      Ise_sim.Engine.schedule_in engine window tick
+    end
+  in
+  Ise_sim.Engine.schedule_in engine window tick

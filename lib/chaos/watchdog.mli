@@ -1,0 +1,75 @@
+(** Machine-level invariant watchdog.
+
+    Observes every interface operation as it happens (via
+    {!Ise_sim.Machine.add_observer}) and maintains per-core
+    bookkeeping of the episode protocol.  The invariants are the
+    Table 5 contract restated as an {e online} monitor — they hold
+    under any amount of chaos, which is precisely what makes them
+    worth checking:
+
+    - {b no lost store}: every PUT is retrieved (GET) and applied
+      exactly once before the episode RESOLVEs;
+    - {b no duplicated store}: an APPLY of a record never seen, or
+      seen twice, is flagged;
+    - {b interface order}: per-core PUT sequence numbers increase, and
+      GETs return records in PUT order (relaxed for split-stream,
+      where a late-faulting clean store may join the FSB out of
+      order);
+    - {b apply order}: APPLYs follow GET order when the consistency
+      model demands it (SC/PC);
+    - {b protocol shape}: RESUME only after RESOLVE; nothing after
+      TERMINATE (per-core quiesce);
+    - {b liveness}: the machine makes progress — retirement, interface
+      events, or FSB traffic — every watchdog window, else the run is
+      declared livelocked ({!Trip}) with a diagnostic snapshot.
+
+    Violations are collected, not raised (a chaos run reports them
+    all); only the liveness tripwire raises, because a livelocked run
+    would otherwise never return. *)
+
+type violation = {
+  w_rule : string;
+  w_cycle : int;
+  w_detail : string;
+}
+
+exception Trip of string
+(** Raised from the engine tick when no progress was observed for
+    [max_stalled] consecutive windows.  The message embeds the
+    snapshot. *)
+
+type t
+
+val create :
+  ?ordered_interface:bool -> ?ordered_apply:bool -> ncores:int -> unit -> t
+(** [ordered_interface] (default [true]) enforces PUT-seq order and
+    GET=PUT order — pass [false] for split-stream machines.
+    [ordered_apply] (default [true]) enforces APPLY-in-GET-order —
+    pass [false] for WC. *)
+
+val observe : t -> Ise_core.Contract.event -> unit
+(** Feed one event.  Normally wired by {!attach}; exposed for unit
+    tests on synthetic event lists. *)
+
+val attach : ?window:int -> ?max_stalled:int -> t -> Ise_sim.Machine.t -> unit
+(** Registers {!observe} as a machine observer and starts the
+    bounded-progress tick: every [window] cycles (default 20,000) the
+    progress signature (retired instructions, events observed, FSB
+    append/drain totals) is sampled; [max_stalled] (default 10)
+    unchanged samples while cores are still live raise {!Trip}. *)
+
+val check_final : t -> unit
+(** End-of-run residue: records still unretrieved or unapplied on a
+    live core become [lost-store-at-exit] violations.  Call after the
+    run completes (not after a {!Trip}). *)
+
+val violations : t -> violation list
+(** In observation order. *)
+
+val events_observed : t -> int
+
+val snapshot : t -> string
+(** Human-readable per-core state: phase (when attached), pending
+    PUT/GET counts, episode flags, and the last few events — the
+    diagnostic dumped when the watchdog trips or a violation is
+    reported. *)

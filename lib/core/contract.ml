@@ -5,6 +5,7 @@ type event =
   | Apply of { core : int; cycle : int; record : Fault.record }
   | Resolve of { core : int; cycle : int }
   | Resume of { core : int; cycle : int }
+  | Terminate of { core : int; cycle : int }
 
 let pp_event ppf = function
   | Detect e -> Format.fprintf ppf "DETECT(core=%d)@%d" e.core e.cycle
@@ -19,6 +20,7 @@ let pp_event ppf = function
       e.cycle
   | Resolve e -> Format.fprintf ppf "RESOLVE(core=%d)@%d" e.core e.cycle
   | Resume e -> Format.fprintf ppf "RESUME(core=%d)@%d" e.core e.cycle
+  | Terminate e -> Format.fprintf ppf "TERMINATE(core=%d)@%d" e.core e.cycle
 
 type violation = {
   rule : string;
@@ -126,6 +128,12 @@ let check_os ~ordered_apply ~ncores trace =
         if not resolved.(core) then
           fail "os-resume-after-resolve" "core %d resumed before RESOLVE" core
         else Ok ()
+      | Terminate { core; _ } ->
+        (* §4.1: an irrecoverable fault terminates the application; its
+           retrieved-but-unapplied faulting stores are discarded *)
+        outstanding.(core) <- [];
+        resolved.(core) <- true;
+        Ok ()
       | Put _ -> Ok ())
     (Ok ()) trace
 

@@ -21,6 +21,9 @@ type event =
   | Apply of { core : int; cycle : int; record : Fault.record }
   | Resolve of { core : int; cycle : int }
   | Resume of { core : int; cycle : int }
+  | Terminate of { core : int; cycle : int }
+      (** irrecoverable fault: the application is terminated and its
+          outstanding faulting stores are discarded (§4.1) *)
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -9,10 +9,13 @@ type t = {
 }
 
 let create ?(entries = 32) ~base () =
+  if entries <= 0 || entries land (entries - 1) <> 0 then
+    invalid_arg "Fsb.create: entries must be a positive power of two";
   { ring = Ring_buffer.create ~capacity:entries; base_addr = base;
     appended = 0; drained = 0; watermark = 0 }
 
 let entries t = Ring_buffer.capacity t.ring
+let capacity = entries
 let base t = t.base_addr
 let mask t = Ring_buffer.capacity t.ring - 1
 let head t = Ring_buffer.head t.ring

@@ -18,9 +18,17 @@ type t
 val create : ?entries:int -> base:int -> unit -> t
 (** [entries] defaults to 32, matching the store buffer size of
     Table 2 ("the FSB is sized according to the number of store buffer
-    entries").  Must be a power of two. *)
+    entries").
+    @raise Invalid_argument unless [entries] is a positive power of
+    two — the hardware masks the ring index, so any other size would
+    silently alias slots. *)
 
 val entries : t -> int
+
+val capacity : t -> int
+(** Alias of {!entries}: the number of slots in the ring.  The buffer
+    overflows when {!pending}[ = capacity]; see {!fsbc_append} for the
+    producer-side contract at that point. *)
 
 (** {1 System-register view} *)
 
@@ -33,10 +41,20 @@ val tail : t -> int
 
 val fsbc_append : t -> Fault.record -> bool
 (** Writes a faulting store at the tail and increments the tail
-    pointer.  Returns [false] (and does nothing) if the ring is full —
-    the FSBC must stall the drain in that case. *)
+    pointer.
+
+    {b Overflow behaviour}: when the ring is full ([{!is_full} t]),
+    the append returns [false] and changes {e nothing} — no slot is
+    overwritten, no pointer moves, no statistic is updated.  The FSBC
+    must then apply one of the machine's overflow policies: stall the
+    drain until the OS frees entries (head advances), or degrade the
+    record to a replayed precise store.  Silently dropping the record
+    would lose a faulting store, which the Table 5 contract (and the
+    chaos watchdog) treats as a machine-level invariant violation. *)
 
 val is_full : t -> bool
+(** [true] exactly when {!pending}[ = ]{!capacity}: the next
+    {!fsbc_append} will refuse. *)
 
 (** {1 OS side (consumer)} *)
 

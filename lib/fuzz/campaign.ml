@@ -15,6 +15,7 @@ type variant = {
   v_timer : bool;
   v_mem : mem_variant;
   v_ordered_drain : bool;
+  v_chaos : string option;
 }
 
 let model_tag = function Axiom.Sc -> "sc" | Axiom.Pc -> "pc" | Axiom.Wc -> "wc"
@@ -33,7 +34,8 @@ let variant_name v =
        | Mem_default -> []
        | Mem_2x -> [ "mem2x" ]
        | Mem_skew4x -> [ "skew4x" ])
-    @ if v.v_ordered_drain then [ "ordered" ] else [])
+    @ (if v.v_ordered_drain then [ "ordered" ] else [])
+    @ match v.v_chaos with None -> [] | Some p -> [ "chaos-" ^ p ])
 
 let base_variant =
   {
@@ -43,6 +45,7 @@ let base_variant =
     v_timer = false;
     v_mem = Mem_default;
     v_ordered_drain = false;
+    v_chaos = None;
   }
 
 let all_variants =
@@ -76,8 +79,24 @@ let all_variants =
     [ Axiom.Sc; Axiom.Pc; Axiom.Wc ];
   List.rev !acc
 
+(* Chaos rides on the paper's default configuration: every
+   outcome-transparent profile becomes one more lattice point whose
+   check is the chaos-hardened litmus run (plane + watchdog).  The
+   [fsb-degrade] profile is only outcome-transparent under WC (dropping
+   a record to precise re-execution reorders the store FIFO that SC/PC
+   expose), which the base variant already is. *)
+let chaos_variants =
+  List.filter_map
+    (fun (p : Ise_chaos.Profile.t) ->
+      if Ise_chaos.Profile.outcome_transparent p then
+        Some { base_variant with v_chaos = Some p.Ise_chaos.Profile.name }
+      else None)
+    Ise_chaos.Profile.all
+
 let variant_named name =
-  List.find_opt (fun v -> variant_name v = name) all_variants
+  List.find_opt
+    (fun v -> variant_name v = name)
+    (all_variants @ chaos_variants)
 
 let cfg_of_variant v =
   let cfg = Config.with_consistency v.v_model Config.default in
@@ -99,6 +118,7 @@ type check_kind =
   | Model_mono
   | Same_stream_equiv
   | Split_subset
+  | Watchdog
 
 let kind_name = function
   | Differential -> "differential"
@@ -106,6 +126,7 @@ let kind_name = function
   | Model_mono -> "model-mono"
   | Same_stream_equiv -> "same-stream-equiv"
   | Split_subset -> "split-subset"
+  | Watchdog -> "watchdog"
 
 let kind_named = function
   | "differential" -> Some Differential
@@ -113,6 +134,7 @@ let kind_named = function
   | "model-mono" -> Some Model_mono
   | "same-stream-equiv" -> Some Same_stream_equiv
   | "split-subset" -> Some Split_subset
+  | "watchdog" -> Some Watchdog
   | _ -> None
 
 let render_extra observed allowed =
@@ -168,22 +190,36 @@ let model_check kind v (t : Lit_test.t) =
       Some
         (Printf.sprintf "split-stream removed an outcome from allowed(%s)"
            (model_tag v.v_model))
-  | Differential | Contract -> None
+  | Differential | Contract | Watchdog -> None
 
 let model_kinds = [ Model_mono; Same_stream_equiv; Split_subset ]
 
+(* The chaos check subsumes differential, contract, and the watchdog
+   invariants — under a plane that perturbs every layer. *)
+let chaos_check ~seeds v t =
+  match v.v_chaos with
+  | None -> None
+  | Some pname -> (
+    match Ise_chaos.Profile.named pname with
+    | None -> Some ("unknown chaos profile " ^ pname)
+    | Some profile ->
+      Ise_chaos.Chaos_run.lit_check ~seeds ~cfg:(cfg_of_variant v) ~profile t)
+
 let failing_check ?(seeds = 10) ?(model_checks = true) v t =
-  let diff, contract = operational ~seeds v t in
-  match (diff, contract) with
-  | Some d, _ -> Some (Differential, d)
-  | None, Some d -> Some (Contract, d)
-  | None, None ->
-    if not model_checks then None
-    else
-      List.find_map
-        (fun kind ->
-          Option.map (fun d -> (kind, d)) (model_check kind v t))
-        model_kinds
+  match v.v_chaos with
+  | Some _ -> Option.map (fun d -> (Watchdog, d)) (chaos_check ~seeds v t)
+  | None -> (
+    let diff, contract = operational ~seeds v t in
+    match (diff, contract) with
+    | Some d, _ -> Some (Differential, d)
+    | None, Some d -> Some (Contract, d)
+    | None, None ->
+      if not model_checks then None
+      else
+        List.find_map
+          (fun kind ->
+            Option.map (fun d -> (kind, d)) (model_check kind v t))
+          model_kinds)
 
 (* Does exactly [kind] still fail on [t]?  Used as the shrinking
    property so minimization cannot drift to a different bug. *)
@@ -191,6 +227,7 @@ let kind_fails ~seeds v kind t =
   match kind with
   | Differential -> fst (operational ~seeds v t) <> None
   | Contract -> snd (operational ~seeds v t) <> None
+  | Watchdog -> chaos_check ~seeds v t <> None
   | Model_mono | Same_stream_equiv | Split_subset ->
     model_check kind v t <> None
 
@@ -336,24 +373,45 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
         ts;
       List.rev !acc
     in
-    let outcomes, _stats =
-      Ise_pool.Pool.map ~jobs ?job_timeout ?telemetry worker shards
+    (* a timed-out shard is bisected: one wedged test costs half a
+       shard, and the offending half is pinpointed in the log *)
+    let bisect (base, ts) =
+      let len = Array.length ts in
+      if len < 2 then None
+      else
+        let mid = len / 2 in
+        Some
+          ( (base, Array.sub ts 0 mid),
+            (base + mid, Array.sub ts mid (len - mid)) )
     in
-    Array.iteri
-      (fun s outcome ->
-        let base, ts = shards.(s) in
-        match outcome with
-        | Ise_pool.Pool.Done fs ->
-          count_tests (Array.length ts);
-          count_checks (Array.length ts * variants_per_test);
-          List.iter (fun f -> failures := process_failure f :: !failures) fs
-        | Ise_pool.Pool.Failed err ->
-          lost := !lost + Array.length ts;
-          log
-            (Printf.sprintf "LOST shard %d (tests %d-%d): %s" s base
-               (base + Array.length ts - 1)
-               (Ise_pool.Pool.error_to_string err)))
-      outcomes
+    let outcomes, _stats =
+      Ise_pool.Pool.map ~jobs ?job_timeout ?telemetry ~bisect worker shards
+    in
+    let rec consume s (base, ts) outcome =
+      match outcome with
+      | Ise_pool.Pool.Done fs ->
+        count_tests (Array.length ts);
+        count_checks (Array.length ts * variants_per_test);
+        List.iter (fun f -> failures := process_failure f :: !failures) fs
+      | Ise_pool.Pool.Failed err ->
+        lost := !lost + Array.length ts;
+        log
+          (Printf.sprintf "LOST shard %d (tests %d-%d): %s" s base
+             (base + Array.length ts - 1)
+             (Ise_pool.Pool.error_to_string err))
+      | Ise_pool.Pool.Split (lo, ro) ->
+        (* halves mirror [bisect]'s split exactly *)
+        let mid = Array.length ts / 2 in
+        log
+          (Printf.sprintf "SPLIT shard %d (tests %d-%d): timed out, bisected"
+             s base
+             (base + Array.length ts - 1));
+        consume s (base, Array.sub ts 0 mid) lo;
+        consume s
+          (base + mid, Array.sub ts mid (Array.length ts - mid))
+          ro
+    in
+    Array.iteri (fun s outcome -> consume s shards.(s) outcome) outcomes
   end;
   {
     r_seed = seed;

@@ -34,6 +34,10 @@ type variant = {
   v_ordered_drain : bool;
       (** force [sb_max_inflight = 1] (single ordered drain) instead of
           the wide ASO-checkpoint-style concurrent drain *)
+  v_chaos : string option;
+      (** when set, the variant's check is the chaos-hardened litmus
+          run of {!Ise_chaos.Chaos_run.lit_check} under the named
+          {!Ise_chaos.Profile}; [None] in every {!all_variants} point *)
 }
 
 val all_variants : variant list
@@ -48,7 +52,16 @@ val variant_name : variant -> string
     ["wc+split+faults+timer+ordered"] — the [variant] field of corpus
     artifacts. *)
 
+val chaos_variants : variant list
+(** One lattice point per {!Ise_chaos.Profile.outcome_transparent}
+    profile, on the paper's default (WC, same-stream) configuration.
+    Kept out of {!all_variants} — chaos runs are an order of magnitude
+    slower, so campaigns opt in ([ise chaos campaign],
+    [ise fuzz run --chaos]). *)
+
 val variant_named : string -> variant option
+(** Searches {!all_variants} and {!chaos_variants}. *)
+
 val base_variant : variant
 (** [wc+same+faults] — the paper's default configuration. *)
 
@@ -62,6 +75,9 @@ type check_kind =
   | Model_mono  (** allowed(SC) ⊆ allowed(PC) ⊆ allowed(WC) broken *)
   | Same_stream_equiv  (** same-stream changed the allowed set (§4.6) *)
   | Split_subset  (** split-stream removed an outcome *)
+  | Watchdog
+      (** chaos run failed: bad outcome, contract breach, or an
+          invariant-watchdog violation under fault injection *)
 
 val kind_name : check_kind -> string
 val kind_named : string -> check_kind option

@@ -14,6 +14,8 @@ type config = {
 let default_config =
   { costs = Ise_core.Batch.default_cost_model; policy = Clear_einject }
 
+type chaos = { hc_preempt : unit -> int }
+
 type stats = {
   mutable invocations : int;
   mutable stores_handled : int;
@@ -23,13 +25,20 @@ type stats = {
   mutable io_requests : int;
   mutable precise_faults : int;
   mutable terminated_cores : int;
+  mutable apply_retries : int;
   batch_sizes : Ise_util.Stats.t;
 }
 
 let fresh_stats () =
   { invocations = 0; stores_handled = 0; faulting_handled = 0; apply_cycles = 0;
     other_cycles = 0; io_requests = 0; precise_faults = 0; terminated_cores = 0;
-    batch_sizes = Ise_util.Stats.create () }
+    apply_retries = 0; batch_sizes = Ise_util.Stats.create () }
+
+(* Injected bug for chaos self-tests (`ise chaos run --inject-bug`):
+   the last record of each drained batch is dropped on the floor — the
+   FSB head has already advanced past it, so the store is lost.  The
+   watchdog must catch this. *)
+let bug_drop_get = ref false
 
 let is_faulting (r : Ise_core.Fault.record) =
   r.Ise_core.Fault.code <> Ise_core.Fault.No_exception
@@ -58,7 +67,8 @@ let resolve_one machine config (r : Ise_core.Fault.record) =
     in
     (config.costs.Ise_core.Batch.resolve_per_store, if major then 1 else 0)
 
-let install ?(config = default_config) machine =
+let install ?(config = default_config) ?(max_apply_retries = 1)
+    ?(apply_backoff = 0) ?(on_apply_exhausted = `Fail) ?chaos machine =
   let stats = fresh_stats () in
   let engine = Machine.engine machine in
   let costs = config.costs in
@@ -92,20 +102,50 @@ let install ?(config = default_config) machine =
     stats.invocations <- stats.invocations + 1;
     let core = Machine.core machine core_id in
     let fsb = Ise_sim.Core.fsb core in
-    Engine.schedule_in engine costs.Ise_core.Batch.dispatch (fun () ->
-        span_b "handler" core_id;
-        (* GET loop: retrieve every faulting store in interface order *)
-        let records = Ise_core.Fsb.os_drain_all fsb in
-        List.iter
-          (fun record ->
-            inst "GET" core_id
-              ~args:
-                [ ("addr",
-                   Ise_telemetry.Json.Int record.Ise_core.Fault.addr) ];
-            Machine.trace_event machine
-              (Ise_core.Contract.Get
-                 { core = core_id; cycle = Engine.now engine; record }))
-          records;
+    let got = ref [] in
+    let started = ref false in
+    let preempt_cycles () =
+      match chaos with Some c -> c.hc_preempt () | None -> 0
+    in
+    (* GET loop: retrieve every faulting store in interface order.
+       Normally one round suffices (the FSB is fully populated before
+       the handler runs); under FSB-overflow stall the handler is
+       invoked early and polls while the stalled FSBC drain completes —
+       each round's GETs free ring entries.  A chaos timer interrupt
+       may preempt the handler between rounds (extra cycles). *)
+    let rec poll () =
+      Engine.schedule_in engine
+        (costs.Ise_core.Batch.dispatch + preempt_cycles ())
+        (fun () ->
+          if Ise_sim.Core.is_terminated core then ()
+          else begin
+            if not !started then begin
+              started := true;
+              span_b "handler" core_id
+            end;
+            let drained = Ise_core.Fsb.os_drain_all fsb in
+            let drained =
+              if !bug_drop_get && drained <> [] then
+                List.filteri (fun i _ -> i < List.length drained - 1) drained
+              else drained
+            in
+            List.iter
+              (fun record ->
+                inst "GET" core_id
+                  ~args:
+                    [ ("addr",
+                       Ise_telemetry.Json.Int record.Ise_core.Fault.addr) ];
+                Machine.trace_event machine
+                  (Ise_core.Contract.Get
+                     { core = core_id; cycle = Engine.now engine; record }))
+              drained;
+            got := List.rev_append drained !got;
+            if Ise_sim.Core.in_exception_drain core
+               || Ise_core.Fsb.pending fsb > 0
+            then poll ()
+            else proceed (List.rev !got)
+          end)
+    and proceed records =
         let n = List.length records in
         Ise_util.Stats.add_int stats.batch_sizes n;
         stats.stores_handled <- stats.stores_handled + n;
@@ -158,19 +198,22 @@ let install ?(config = default_config) machine =
               span_b "apply" core_id;
               let apply_start = Engine.now engine in
               let finish () =
-                stats.apply_cycles <-
-                  stats.apply_cycles + (Engine.now engine - apply_start);
-                span_e "apply" core_id;
-                inst "RESOLVE" core_id;
-                Machine.trace_event machine
-                  (Ise_core.Contract.Resolve
-                     { core = core_id; cycle = Engine.now engine });
-                stats.other_cycles <-
-                  stats.other_cycles + costs.Ise_core.Batch.os_other;
-                Engine.schedule_in engine costs.Ise_core.Batch.os_other
-                  (fun () ->
-                    span_e "handler" core_id;
-                    Ise_sim.Core.resume core)
+                if Ise_sim.Core.is_terminated core then ()
+                else begin
+                  stats.apply_cycles <-
+                    stats.apply_cycles + (Engine.now engine - apply_start);
+                  span_e "apply" core_id;
+                  inst "RESOLVE" core_id;
+                  Machine.trace_event machine
+                    (Ise_core.Contract.Resolve
+                       { core = core_id; cycle = Engine.now engine });
+                  stats.other_cycles <-
+                    stats.other_cycles + costs.Ise_core.Batch.os_other;
+                  Engine.schedule_in engine costs.Ise_core.Batch.os_other
+                    (fun () ->
+                      span_e "handler" core_id;
+                      Ise_sim.Core.resume core)
+                end
               in
               (* A batched clean store may target a page that never
                  faulted before but is marked in the device: the
@@ -187,26 +230,45 @@ let install ?(config = default_config) machine =
                        { data = r.Ise_core.Fault.data;
                          mask = r.Ise_core.Fault.byte_mask })
                     (fun result ->
-                      match result with
-                      | Memsys.Value _ ->
-                        inst "APPLY" core_id
-                          ~args:
-                            [ ("addr",
-                               Ise_telemetry.Json.Int r.Ise_core.Fault.addr) ];
-                        Machine.trace_event machine
-                          (Ise_core.Contract.Apply
-                             { core = core_id; cycle = Engine.now engine;
-                               record = r });
-                        k ()
-                      | Memsys.Denied _ when !attempts <= 1 ->
-                        let c, io = resolve_one machine config r in
-                        stats.apply_cycles <- stats.apply_cycles + c;
-                        stats.io_requests <- stats.io_requests + io;
-                        Engine.schedule_in engine (max 1 c) send
-                      | Memsys.Denied _ ->
-                        failwith
-                          "Handler: S_OS denied twice — the FSB pages \
-                           must be pinned (§5.4)")
+                      if Ise_sim.Core.is_terminated core then ()
+                      else
+                        match result with
+                        | Memsys.Value _ ->
+                          inst "APPLY" core_id
+                            ~args:
+                              [ ("addr",
+                                 Ise_telemetry.Json.Int r.Ise_core.Fault.addr) ];
+                          Machine.trace_event machine
+                            (Ise_core.Contract.Apply
+                               { core = core_id; cycle = Engine.now engine;
+                                 record = r });
+                          k ()
+                        | Memsys.Denied _ when !attempts <= max_apply_retries ->
+                          (* the handler's own S_OS store faulted: resolve
+                             inline and retry with (optional) exponential
+                             backoff — a bounded nested invocation (§5.4) *)
+                          stats.apply_retries <- stats.apply_retries + 1;
+                          let c, io = resolve_one machine config r in
+                          stats.apply_cycles <- stats.apply_cycles + c;
+                          stats.io_requests <- stats.io_requests + io;
+                          let backoff =
+                            apply_backoff * (1 lsl min 16 (!attempts - 1))
+                          in
+                          Engine.schedule_in engine (max 1 (c + backoff)) send
+                        | Memsys.Denied _ -> (
+                          match on_apply_exhausted with
+                          | `Fail ->
+                            failwith
+                              "Handler: S_OS denied twice — the FSB pages \
+                               must be pinned (§5.4)"
+                          | `Terminate ->
+                            (* double fault with retries exhausted:
+                               terminate the application gracefully *)
+                            stats.terminated_cores <-
+                              stats.terminated_cores + 1;
+                            span_e "apply" core_id;
+                            span_e "handler" core_id;
+                            Ise_sim.Core.terminate core))
                 in
                 send ()
               in
@@ -231,7 +293,9 @@ let install ?(config = default_config) machine =
                   | r :: rest -> apply_one r (fun () -> apply_loop rest)
                 in
                 apply_loop records)
-        end)
+        end
+    in
+    poll ()
   in
   let on_precise ~core ~addr ~code ~retry =
     ignore core;

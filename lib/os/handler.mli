@@ -35,6 +35,12 @@ type config = {
 
 val default_config : config
 
+type chaos = {
+  hc_preempt : unit -> int;
+      (** extra cycles a timer interrupt steals from the handler before
+          a GET round ({!Ise_chaos} installs this; 0 = no preemption) *)
+}
+
 type stats = {
   mutable invocations : int;
   mutable stores_handled : int;
@@ -44,9 +50,32 @@ type stats = {
   mutable io_requests : int;
   mutable precise_faults : int;
   mutable terminated_cores : int;
+  mutable apply_retries : int;
+      (** S_OS stores that were denied and re-sent after an inline
+          re-resolve (the bounded nested invocation of §5.4) *)
   batch_sizes : Ise_util.Stats.t;
 }
 
-val install : ?config:config -> Ise_sim.Machine.t -> stats
+val bug_drop_get : bool ref
+(** Fault-injection self-test (`ise chaos run --inject-bug`): while
+    set, the handler silently drops the last record of every drained
+    batch — a lost store the chaos watchdog must catch.  Global so
+    forked campaign workers inherit it. *)
+
+val install :
+  ?config:config ->
+  ?max_apply_retries:int ->
+  ?apply_backoff:int ->
+  ?on_apply_exhausted:[ `Fail | `Terminate ] ->
+  ?chaos:chaos ->
+  Ise_sim.Machine.t -> stats
 (** Builds the hooks, installs them on the machine, and returns the
-    statistics record that the handler updates during the run. *)
+    statistics record that the handler updates during the run.
+
+    A denied S_OS store is re-resolved inline and retried up to
+    [max_apply_retries] times (default 1), each retry delayed by
+    [apply_backoff]·2{^ attempts-1} extra cycles (default 0).  When
+    retries are exhausted, [on_apply_exhausted] picks between the
+    seed's [`Fail] (raise — S_OS must not fault when FSB pages are
+    pinned) and [`Terminate] (graceful core termination, the
+    double-fault policy chaos profiles exercise). *)

@@ -10,7 +10,10 @@ let error_to_string = function
   | Exception s -> "raised: " ^ s
   | Cancelled -> "cancelled (drain)"
 
-type 'r outcome = Done of 'r | Failed of error
+type 'r outcome =
+  | Done of 'r
+  | Failed of error
+  | Split of 'r outcome * 'r outcome
 
 type stats = {
   st_jobs : int;
@@ -21,6 +24,7 @@ type stats = {
   st_timed_out : int;
   st_crashes : int;
   st_cancelled : int;
+  st_bisected : int;
   st_wall_s : float;
 }
 
@@ -144,6 +148,7 @@ let run_inline ~telemetry ~on_result f items =
       st_timed_out = 0;
       st_crashes = 0;
       st_cancelled = 0;
+      st_bisected = 0;
       st_wall_s = Unix.gettimeofday () -. t0;
     } )
 
@@ -201,7 +206,7 @@ let status_string = function
   | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
 
 let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
-    ~telemetry ~on_result f items =
+    ~telemetry ~on_result ~bisect f items =
   let n = Array.length items in
   let t0 = Unix.gettimeofday () in
   let tele = Option.map (make_tele t0) telemetry in
@@ -217,9 +222,21 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
   and retried = ref 0
   and timed_out = ref 0
   and crashes = ref 0
-  and cancelled = ref 0 in
+  and cancelled = ref 0
+  and bisected = ref 0 in
   let results = Array.make n None in
-  let attempts = Array.make n 0 in
+  (* indices >= n are bisection halves of a timed-out job *)
+  let extra = Hashtbl.create 8 in
+  let next_extra = ref n in
+  let children = Hashtbl.create 8 in (* parent -> (left, right) *)
+  let parent_of = Hashtbl.create 8 in
+  let child_out = Hashtbl.create 8 in
+  let item_of idx = if idx < n then items.(idx) else Hashtbl.find extra idx in
+  let attempts = Hashtbl.create (2 * n) in
+  let get_attempts idx =
+    Option.value ~default:0 (Hashtbl.find_opt attempts idx)
+  in
+  let bump_attempts idx = Hashtbl.replace attempts idx (get_attempts idx + 1) in
   let pending = Queue.create () in
   for i = 0 to n - 1 do
     Queue.add i pending
@@ -244,6 +261,48 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
           incr emit
         done
     end
+  in
+  (* A half's outcome parks until its sibling lands, then the parent
+     completes as [Split]; base indices complete directly. *)
+  let complete_any idx out =
+    match Hashtbl.find_opt parent_of idx with
+    | None -> complete idx out
+    | Some p -> (
+      Hashtbl.replace child_out idx out;
+      match Hashtbl.find_opt children p with
+      | Some (li, ri) -> (
+        match (Hashtbl.find_opt child_out li, Hashtbl.find_opt child_out ri)
+        with
+        | Some lo, Some ro -> complete p (Split (lo, ro))
+        | _ -> ())
+      | None -> ())
+  in
+  (* Timeout-then-bisect: a timed-out job is split once — each half is
+     a fresh job with its own timeout and retry budget, pinning the
+     slow or wedged item to one half.  Halves are never re-split. *)
+  let try_bisect idx =
+    match bisect with
+    | Some bs
+      when (not (interrupted ()))
+           && (not (Hashtbl.mem parent_of idx))
+           && not (Hashtbl.mem children idx) -> (
+      match bs (item_of idx) with
+      | Some (a, b) ->
+        let li = !next_extra in
+        incr next_extra;
+        let ri = !next_extra in
+        incr next_extra;
+        Hashtbl.replace extra li a;
+        Hashtbl.replace extra ri b;
+        Hashtbl.replace children idx (li, ri);
+        Hashtbl.replace parent_of li idx;
+        Hashtbl.replace parent_of ri idx;
+        incr bisected;
+        Queue.add li pending;
+        Queue.add ri pending;
+        true
+      | None -> false)
+    | _ -> false
   in
   let workers =
     Array.init nw (fun slot ->
@@ -294,7 +353,7 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
   let schedule_retry now idx =
     incr retried;
     count (fun t -> t.c_retried) tele;
-    let delay = retry_backoff *. (2. ** float_of_int (attempts.(idx) - 1)) in
+    let delay = retry_backoff *. (2. ** float_of_int (get_attempts idx - 1)) in
     retries :=
       List.merge
         (fun (a, _) (b, _) -> compare a b)
@@ -316,21 +375,23 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
      | Some r ->
        w.w_job <- None;
        span_end tele ~slot:w.w_slot r.r_idx;
-       let err =
-         if r.r_timed_out then begin
-           incr timed_out;
-           count (fun t -> t.c_timed_out) tele;
-           Timed_out (now -. r.r_started)
-         end
-         else begin
-           incr crashes;
-           count (fun t -> t.c_crashes) tele;
-           Crashed (Printf.sprintf "%s (%s)" reason status)
-         end
-       in
-       if (not (interrupted ())) && attempts.(r.r_idx) <= max_retries then
-         schedule_retry now r.r_idx
-       else complete r.r_idx (Failed err));
+       if r.r_timed_out then begin
+         incr timed_out;
+         count (fun t -> t.c_timed_out) tele;
+         if not (try_bisect r.r_idx) then
+           if (not (interrupted ())) && get_attempts r.r_idx <= max_retries
+           then schedule_retry now r.r_idx
+           else complete_any r.r_idx (Failed (Timed_out (now -. r.r_started)))
+       end
+       else begin
+         incr crashes;
+         count (fun t -> t.c_crashes) tele;
+         if (not (interrupted ())) && get_attempts r.r_idx <= max_retries then
+           schedule_retry now r.r_idx
+         else
+           complete_any r.r_idx
+             (Failed (Crashed (Printf.sprintf "%s (%s)" reason status)))
+       end);
     if (not (interrupted ())) && work_queued () then spawn w
   in
   let next_job now =
@@ -343,7 +404,7 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
       | _ -> Queue.take_opt pending
   in
   let dispatch w ~now idx =
-    attempts.(idx) <- attempts.(idx) + 1;
+    bump_attempts idx;
     w.w_job <-
       Some
         {
@@ -357,7 +418,7 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
     incr dispatched;
     count (fun t -> t.c_dispatched) tele;
     span_begin tele ~slot:w.w_slot idx;
-    try Codec.write_frame w.w_req (Codec.marshal (idx, items.(idx)))
+    try Codec.write_frame w.w_req (Codec.marshal (idx, item_of idx))
     with Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
       handle_death w ~now "dispatch write failed"
   in
@@ -373,7 +434,7 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
      | _ -> ());
     incr completed;
     count (fun t -> t.c_completed) tele;
-    complete idx
+    complete_any idx
       (match res with Ok r -> Done r | Error e -> Failed (Exception e))
   in
   let handle_readable w ~now =
@@ -470,12 +531,12 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
       let rec flush_pending () =
         match Queue.take_opt pending with
         | Some idx ->
-          complete idx (Failed Cancelled);
+          complete_any idx (Failed Cancelled);
           flush_pending ()
         | None -> ()
       in
       flush_pending ();
-      List.iter (fun (_, idx) -> complete idx (Failed Cancelled)) !retries;
+      List.iter (fun (_, idx) -> complete_any idx (Failed Cancelled)) !retries;
       retries := []
     end;
     if !sigints >= 2 then
@@ -540,11 +601,12 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
       st_timed_out = !timed_out;
       st_crashes = !crashes;
       st_cancelled = !cancelled;
+      st_bisected = !bisected;
       st_wall_s = Unix.gettimeofday () -. t0;
     } )
 
 let map ?jobs ?job_timeout ?(kill_grace = 0.5) ?(max_retries = 2)
-    ?(retry_backoff = 0.05) ?telemetry ?on_result f items =
+    ?(retry_backoff = 0.05) ?telemetry ?on_result ?bisect f items =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   if Array.length items = 0 then
     ( [||],
@@ -557,10 +619,11 @@ let map ?jobs ?job_timeout ?(kill_grace = 0.5) ?(max_retries = 2)
         st_timed_out = 0;
         st_crashes = 0;
         st_cancelled = 0;
+        st_bisected = 0;
         st_wall_s = 0.;
       } )
   else if jobs <= 1 || not fork_available then
     run_inline ~telemetry ~on_result f items
   else
     run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
-      ~telemetry ~on_result f items
+      ~telemetry ~on_result ~bisect f items

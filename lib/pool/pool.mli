@@ -17,6 +17,11 @@
 
     - {b per-job timeout}: a worker exceeding [job_timeout] gets
       SIGTERM, then SIGKILL after [kill_grace] seconds;
+    - {b timeout-then-bisect}: with [bisect], a timed-out job is split
+      {e once} into two halves, each dispatched as a fresh job with its
+      own timeout and retry budget — a batch with one pathological item
+      loses half a batch, not the whole batch, and the offender is
+      pinned to one half; the original index reports [Split];
     - {b crash detection and bounded retry}: a worker that dies
       mid-job (signal, [exit], OOM kill) is reaped and respawned, and
       the job is retried up to [max_retries] times with exponential
@@ -45,7 +50,12 @@ type error =
 
 val error_to_string : error -> string
 
-type 'r outcome = Done of 'r | Failed of error
+type 'r outcome =
+  | Done of 'r
+  | Failed of error
+  | Split of 'r outcome * 'r outcome
+      (** the job timed out and was bisected: outcomes of the two
+          halves, in input order (only with [map]'s [bisect]) *)
 
 type stats = {
   st_jobs : int;  (** input size *)
@@ -56,6 +66,7 @@ type stats = {
   st_timed_out : int;
   st_crashes : int;
   st_cancelled : int;
+  st_bisected : int;  (** timed-out jobs split into two halves *)
   st_wall_s : float;
 }
 
@@ -79,6 +90,7 @@ val map :
   ?retry_backoff:float ->
   ?telemetry:Ise_telemetry.Sink.t ->
   ?on_result:(int -> 'r outcome -> unit) ->
+  ?bisect:('a -> ('a * 'a) option) ->
   ('a -> 'r) ->
   'a array ->
   'r outcome array * stats
@@ -88,6 +100,11 @@ val map :
     SIGTERM→SIGKILL escalation delay; [max_retries] (default 2) bounds
     re-dispatches after crashes/timeouts, with delays of
     [retry_backoff] (default 0.05 s) doubling per attempt.
+
+    [bisect item] returns the two halves of a splittable item ([None]
+    for atoms).  It is consulted only when a job {e times out}; crash
+    retries are unchanged.  Halves are never re-split, so one timeout
+    costs at most two extra dispatches.
 
     With [telemetry], maintains [pool/*] counters (jobs, dispatched,
     completed, retried, timed_out, crashes, workers_spawned), a

@@ -1,3 +1,8 @@
+type fsb_overflow =
+  | Fsb_fatal
+  | Fsb_stall
+  | Fsb_degrade
+
 type t = {
   ncores : int;
   mesh_width : int;
@@ -21,6 +26,7 @@ type t = {
   protocol_mode : Ise_core.Protocol.mode;
   sb_max_inflight : int;
   fsb_entries : int;
+  fsb_overflow : fsb_overflow;
   fsbc_drain_cost : int;
   pipeline_flush_cost : int;
   page_bits : int;
@@ -54,6 +60,7 @@ let default =
     protocol_mode = Ise_core.Protocol.Same_stream;
     sb_max_inflight = 32;
     fsb_entries = 32;
+    fsb_overflow = Fsb_fatal;
     fsbc_drain_cost = 4;
     pipeline_flush_cost = 14;
     page_bits = 12;

@@ -6,6 +6,20 @@
     (6-cycle), directory MESI over a 4×4 mesh with 3-cycle hops, and
     80-cycle memory. *)
 
+type fsb_overflow =
+  | Fsb_fatal
+      (** treat overflow as a sizing bug and abort the run — the seed
+          behaviour, correct while the FSB is sized to the store buffer *)
+  | Fsb_stall
+      (** backpressure: the FSBC re-attempts the append after a short
+          stall, and the OS handler is invoked early so its GETs free
+          ring entries while the drain is still in progress *)
+  | Fsb_degrade
+      (** drop-to-precise degradation: the record is withheld from the
+          FSB and re-executed as an ordinary store after the handler
+          resumes the core (a smaller batch per episode, never a lost
+          store) *)
+
 type t = {
   ncores : int;
   mesh_width : int;  (** tiles are a [mesh_width × mesh_width] grid *)
@@ -39,6 +53,8 @@ type t = {
       (** concurrent store-buffer drains (1 under PC order, more under
           WC / ASO checkpointing) *)
   fsb_entries : int;
+  fsb_overflow : fsb_overflow;
+      (** what the FSBC does when an append finds the FSB full *)
   fsbc_drain_cost : int;  (** cycles per faulting store drained to the FSB *)
   pipeline_flush_cost : int;
   page_bits : int;  (** 12 = 4 KiB pages *)

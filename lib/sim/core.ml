@@ -17,12 +17,22 @@ type stats = {
   mutable drain_uarch_cycles : int;
   mutable sb_full_stalls : int;
   mutable rob_full_stalls : int;
+  mutable fsb_overflow_stalls : int;
+  mutable fsb_overflow_drops : int;
 }
 
 let fresh_stats () =
   { retired = 0; loads = 0; stores = 0; fences = 0; imprecise_exceptions = 0;
     faulting_stores = 0; precise_exceptions = 0; drain_uarch_cycles = 0;
-    sb_full_stalls = 0; rob_full_stalls = 0 }
+    sb_full_stalls = 0; rob_full_stalls = 0; fsb_overflow_stalls = 0;
+    fsb_overflow_drops = 0 }
+
+(* Chaos plane hooks (see {!Ise_chaos}): consulted by the FSBC on each
+   append.  [None] — the default — costs one option match. *)
+type chaos_hooks = {
+  ch_put_delay : unit -> int;
+  ch_backpressure : unit -> bool;
+}
 
 type rstatus = Waiting | Executing | Done
 
@@ -84,6 +94,18 @@ type t = {
   stats : stats;
   mutable progress : bool;
   mutable tel : tel option;
+  mutable chaos : chaos_hooks option;
+  mutable handler_invoked : bool;
+      (* the OS hook has been called for the current episode (possibly
+         early, under FSB-overflow stall backpressure) *)
+  mutable overflow_replay : Ise_core.Fault.record list;
+      (* records withheld from a full FSB under [Fsb_degrade]; they
+         re-execute as ordinary stores after the handler resumes *)
+  degraded_words : (int, unit) Hashtbl.t;
+      (* word addresses with a withheld record this episode: later
+         same-word records must degrade too, else the handler's S_OS
+         apply of a newer write would be overwritten by the replayed
+         older one (per-location order) *)
 }
 
 let create cfg engine mem env ~id ~program =
@@ -109,11 +131,30 @@ let create cfg engine mem env ~id ~program =
     stats = fresh_stats ();
     progress = false;
     tel = None;
+    chaos = None;
+    handler_invoked = false;
+    overflow_replay = [];
+    degraded_words = Hashtbl.create 8;
   }
 
 let id t = t.core_id
 let fsb t = t.fsb_
 let stats t = t.stats
+let set_chaos t c = t.chaos <- c
+
+let in_exception_drain t =
+  match t.phase with
+  | Waiting_drains | Draining_fsb -> true
+  | Running | Paused | In_handler | Terminated -> false
+
+let phase_name t =
+  match t.phase with
+  | Running -> "running"
+  | Paused -> "paused"
+  | Waiting_drains -> "waiting-drains"
+  | Draining_fsb -> "draining-fsb"
+  | In_handler -> "in-handler"
+  | Terminated -> "terminated"
 let reg t r = t.regs.(r)
 let sb_occupancy t = Sb.length t.sb
 let sb_occupancy_watermark t = Sb.occupancy_watermark t.sb
@@ -269,8 +310,28 @@ let flush_and_invoke_handler t ~drain_cycles =
   t.stats.drain_uarch_cycles <-
     t.stats.drain_uarch_cycles + drain_cycles + t.cfg.Config.pipeline_flush_cost;
   t.phase <- In_handler;
-  Engine.schedule_in t.engine t.cfg.Config.pipeline_flush_cost (fun () ->
-      t.env.on_imprecise t.core_id)
+  if not t.handler_invoked then begin
+    t.handler_invoked <- true;
+    Engine.schedule_in t.engine t.cfg.Config.pipeline_flush_cost (fun () ->
+        if t.phase <> Terminated then t.env.on_imprecise t.core_id)
+  end
+
+(* Under [Fsb_stall] a full FSB invokes the handler before the drain
+   completes: its GETs free ring entries so the stalled FSBC can make
+   progress.  The handler polls until the drain finishes. *)
+let invoke_handler_early t =
+  if not t.handler_invoked then begin
+    t.handler_invoked <- true;
+    Engine.schedule_in t.engine 1 (fun () ->
+        if t.phase <> Terminated then t.env.on_imprecise t.core_id)
+  end
+
+(* A store dropped-to-precise re-executes after resume as an ordinary
+   store with the record's payload. *)
+let sim_instr_of_record (r : Ise_core.Fault.record) =
+  Sim_instr.St
+    { addr = Sim_instr.addr r.Ise_core.Fault.addr;
+      data = Sim_instr.Imm r.Ise_core.Fault.data }
 
 let start_fsb_drain t =
   t.phase <- Draining_fsb;
@@ -292,36 +353,98 @@ let start_fsb_drain t =
   in
   let routing = Ise_core.Protocol.route t.cfg.Config.protocol_mode tagged in
   let drain_cost = t.cfg.Config.fsbc_drain_cost in
-  let n_fsb = List.length routing.Ise_core.Protocol.to_fsb in
-  let n_mem = List.length routing.Ise_core.Protocol.to_memory in
-  let remaining = ref (n_fsb + n_mem) in
-  let finish_if_ready () =
-    if !remaining = 0 then
-      flush_and_invoke_handler t ~drain_cycles:(n_fsb * drain_cost)
+  let remaining =
+    ref
+      (List.length routing.Ise_core.Protocol.to_fsb
+       + List.length routing.Ise_core.Protocol.to_memory)
   in
-  (* FSBC writes the routed entries to the FSB, one per drain slot *)
-  List.iteri
-    (fun i (e : Sb.entry) ->
-      Engine.schedule_in t.engine ((i + 1) * drain_cost) (fun () ->
-          let record = record_of_sb_entry t e in
-          if not (Ise_core.Fsb.fsbc_append t.fsb_ record) then
-            failwith "FSB overflow: sized below the store buffer";
-          t.env.trace
-            (Ise_core.Contract.Put
-               { core = t.core_id; cycle = Engine.now t.engine; record });
-          (match t.tel with
-           | None -> ()
-           | Some tel ->
-             Ise_telemetry.Trace.instant
-               (Ise_telemetry.Sink.trace tel.t_sink)
-               ~cat:"ise" ~name:"PUT" ~tid:t.core_id
-               ~args:
-                 [ ("addr",
-                    Ise_telemetry.Json.Int record.Ise_core.Fault.addr) ]
-               (Engine.now t.engine));
+  let drain_cycles = ref 0 in
+  let finish_if_ready () =
+    if !remaining = 0 && t.phase = Draining_fsb then
+      flush_and_invoke_handler t ~drain_cycles:!drain_cycles
+  in
+  let trace_put record =
+    t.env.trace
+      (Ise_core.Contract.Put
+         { core = t.core_id; cycle = Engine.now t.engine; record });
+    match t.tel with
+    | None -> ()
+    | Some tel ->
+      Ise_telemetry.Trace.instant
+        (Ise_telemetry.Sink.trace tel.t_sink)
+        ~cat:"ise" ~name:"PUT" ~tid:t.core_id
+        ~args:[ ("addr", Ise_telemetry.Json.Int record.Ise_core.Fault.addr) ]
+        (Engine.now t.engine)
+  in
+  (* Append one record, honouring chaos backpressure and the configured
+     overflow policy; [k] continues once the record is disposed of
+     (appended, or withheld under [Fsb_degrade]). *)
+  let put_record record k =
+    let degrade () =
+      t.stats.fsb_overflow_drops <- t.stats.fsb_overflow_drops + 1;
+      Hashtbl.replace t.degraded_words (record.Ise_core.Fault.addr lsr 3) ();
+      t.overflow_replay <- t.overflow_replay @ [ record ];
+      remaining := !remaining - 1;
+      finish_if_ready ();
+      k ()
+    in
+    let rec attempt () =
+      if t.phase = Terminated then ()
+      else if
+        Hashtbl.length t.degraded_words > 0
+        && Hashtbl.mem t.degraded_words (record.Ise_core.Fault.addr lsr 3)
+      then degrade ()
+      else
+        let forced =
+          match t.chaos with Some c -> c.ch_backpressure () | None -> false
+        in
+        if (not forced) && Ise_core.Fsb.fsbc_append t.fsb_ record then begin
+          trace_put record;
+          drain_cycles := !drain_cycles + drain_cost;
           remaining := !remaining - 1;
-          finish_if_ready ()))
-    routing.Ise_core.Protocol.to_fsb;
+          finish_if_ready ();
+          k ()
+        end
+        else if forced then begin
+          (* transient FSBC-port backpressure: the plane bounds it, so
+             plain retry converges without anything being freed *)
+          t.stats.fsb_overflow_stalls <- t.stats.fsb_overflow_stalls + 1;
+          retry ()
+        end
+        else begin
+          match t.cfg.Config.fsb_overflow with
+          | Config.Fsb_fatal ->
+            failwith "FSB overflow: sized below the store buffer"
+          | Config.Fsb_stall ->
+            (* genuine overflow: stall this append and invoke the
+               handler early — its GETs free ring entries mid-drain *)
+            t.stats.fsb_overflow_stalls <- t.stats.fsb_overflow_stalls + 1;
+            invoke_handler_early t;
+            retry ()
+          | Config.Fsb_degrade -> degrade ()
+        end
+    and retry () =
+      let backoff = max 1 (drain_cost * 4) in
+      drain_cycles := !drain_cycles + backoff;
+      Engine.schedule_in t.engine backoff attempt
+    in
+    attempt ()
+  in
+  let chaos_put_delay () =
+    match t.chaos with Some c -> c.ch_put_delay () | None -> 0
+  in
+  (* The FSBC writes the routed entries to the FSB as a sequential
+     chain, one per drain slot: each append starts only when its
+     predecessor has been disposed of, so per-record chaos delays and
+     overflow stalls cannot reorder the PUT stream (interface rule 1) *)
+  let rec append_chain = function
+    | [] -> ()
+    | (e : Sb.entry) :: rest ->
+      Engine.schedule_in t.engine (drain_cost + chaos_put_delay ()) (fun () ->
+          if t.phase <> Terminated then
+            put_record (record_of_sb_entry t e) (fun () -> append_chain rest))
+  in
+  append_chain routing.Ise_core.Protocol.to_fsb;
   (* Split stream: clean stores drain directly to memory, in FIFO
      order; any of them may fault in turn and joins the FSB late —
      the ordering hazard of §4.5. *)
@@ -331,31 +454,19 @@ let start_fsb_drain t =
       Memsys.request t.mem ~core:t.core_id ~addr:e.Sb.e_addr
         (Memsys.Write { data = e.Sb.e_data; mask = e.Sb.e_mask })
         (fun result ->
-          (match result with
-           | Memsys.Value _ -> ()
-           | Memsys.Denied code ->
-             t.stats.faulting_stores <- t.stats.faulting_stores + 1;
-             let record =
-               { (record_of_sb_entry t e) with Ise_core.Fault.code }
-             in
-             if not (Ise_core.Fsb.fsbc_append t.fsb_ record) then
-               failwith "FSB overflow: sized below the store buffer";
-             t.env.trace
-               (Ise_core.Contract.Put
-                  { core = t.core_id; cycle = Engine.now t.engine; record });
-             match t.tel with
-             | None -> ()
-             | Some tel ->
-               Ise_telemetry.Trace.instant
-                 (Ise_telemetry.Sink.trace tel.t_sink)
-                 ~cat:"ise" ~name:"PUT" ~tid:t.core_id
-                 ~args:
-                   [ ("addr",
-                      Ise_telemetry.Json.Int record.Ise_core.Fault.addr) ]
-                 (Engine.now t.engine));
-          remaining := !remaining - 1;
-          finish_if_ready ();
-          drain_to_memory rest)
+          if t.phase = Terminated then ()
+          else
+            match result with
+            | Memsys.Value _ ->
+              remaining := !remaining - 1;
+              finish_if_ready ();
+              drain_to_memory rest
+            | Memsys.Denied code ->
+              t.stats.faulting_stores <- t.stats.faulting_stores + 1;
+              let record =
+                { (record_of_sb_entry t e) with Ise_core.Fault.code }
+              in
+              put_record record (fun () -> drain_to_memory rest))
   in
   if !remaining = 0 then
     Engine.schedule_in t.engine 1 (fun () -> finish_if_ready ())
@@ -765,7 +876,13 @@ let terminate t =
      Ise_telemetry.Trace.span_end tr ~cat:"ise" ~name:"episode" ~tid:t.core_id
        now
    | Some _ -> ());
+  t.env.trace
+    (Ise_core.Contract.Terminate
+       { core = t.core_id; cycle = Engine.now t.engine });
   t.phase <- Terminated;
+  t.handler_invoked <- false;
+  t.overflow_replay <- [];
+  Hashtbl.reset t.degraded_words;
   t.replay <- [];
   t.stream_done <- true;
   ignore (Sb.take_all t.sb);
@@ -789,5 +906,14 @@ let resume t =
     t.env.trace
       (Ise_core.Contract.Resume
          { core = t.core_id; cycle = Engine.now t.engine });
+    t.handler_invoked <- false;
+    (* dropped-to-precise stores re-execute first: they are older than
+       anything the pipeline flush put back in the replay queue *)
+    (match t.overflow_replay with
+     | [] -> ()
+     | dropped ->
+       t.replay <- List.map sim_instr_of_record dropped @ t.replay;
+       t.overflow_replay <- [];
+       Hashtbl.reset t.degraded_words);
     t.phase <- Running
   end

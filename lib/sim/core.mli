@@ -42,6 +42,12 @@ type stats = {
       (** FSBC drain + pipeline-flush cycles (Figure 5's µarch part) *)
   mutable sb_full_stalls : int;
   mutable rob_full_stalls : int;
+  mutable fsb_overflow_stalls : int;
+      (** appends that found the FSB full (or chaos backpressure) and
+          stalled under [Fsb_stall] *)
+  mutable fsb_overflow_drops : int;
+      (** records withheld from a full FSB under [Fsb_degrade] and
+          re-executed as ordinary stores after resume *)
 }
 
 type t
@@ -80,6 +86,31 @@ val reg : t -> int -> int
 
 val sb_occupancy_watermark : t -> int
 val sb_inflight_watermark : t -> int
+
+(** {1 Chaos hooks}
+
+    Consulted by the FSBC on each append when a fault-injection plane
+    is attached ({!Ise_chaos} installs one); absent by default. *)
+
+type chaos_hooks = {
+  ch_put_delay : unit -> int;
+      (** extra cycles before an FSBC append starts (a slow drain slot) *)
+  ch_backpressure : unit -> bool;
+      (** transient append-port backpressure: the append retries after a
+          short stall.  The plane must bound consecutive [true]s so the
+          retry always converges. *)
+}
+
+val set_chaos : t -> chaos_hooks option -> unit
+
+val in_exception_drain : t -> bool
+(** The core is between DETECT and the pipeline flush: waiting for
+    outstanding drains or moving store-buffer contents to the FSB.  An
+    early-invoked handler (FSB-overflow stall) polls this to know when
+    the PUT stream is complete. *)
+
+val phase_name : t -> string
+(** Lower-case phase label for diagnostics and watchdog snapshots. *)
 
 (** {1 Telemetry} *)
 

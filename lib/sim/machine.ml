@@ -20,13 +20,19 @@ type t = {
   mutable interrupts_deferred : int;
   mutable telemetry : Ise_telemetry.Sink.t option;
   mutable probe : Ise_telemetry.Probe.t option;
+  mutable observers : (Ise_core.Contract.event -> unit) list;
 }
 
 let trace_event t ev =
+  (* observers (the chaos watchdog) see every event, even when trace
+     recording is disabled or the ring is full *)
+  List.iter (fun f -> f ev) t.observers;
   if t.trace_enabled && t.trace_len < t.trace_limit then begin
     t.trace_rev <- ev :: t.trace_rev;
     t.trace_len <- t.trace_len + 1
   end
+
+let add_observer t f = t.observers <- t.observers @ [ f ]
 
 let create ?(cfg = Config.default) ~programs () =
   let engine = Engine.create () in
@@ -39,7 +45,7 @@ let create ?(cfg = Config.default) ~programs () =
     { cfg; engine; einj; memsys; cores = [||]; hooks = None; trace_rev = [];
       trace_enabled = true; trace_len = 0; trace_limit = 1_000_000;
       interrupts_taken = 0; interrupts_deferred = 0; telemetry = None;
-      probe = None }
+      probe = None; observers = [] }
   in
   let env : Core.env =
     {
@@ -143,6 +149,8 @@ let record_final_stats t =
         set (pfx ^ "/ise/drain_uarch_cycles") s.Core.drain_uarch_cycles;
         set (pfx ^ "/sb/full_stalls") s.Core.sb_full_stalls;
         set (pfx ^ "/rob/full_stalls") s.Core.rob_full_stalls;
+        set (pfx ^ "/fsb/overflow_stalls") s.Core.fsb_overflow_stalls;
+        set (pfx ^ "/fsb/overflow_drops") s.Core.fsb_overflow_drops;
         let fsb = Core.fsb c in
         set (pfx ^ "/fsb/appended") (Ise_core.Fsb.total_appended fsb);
         set (pfx ^ "/fsb/drained") (Ise_core.Fsb.total_drained fsb);

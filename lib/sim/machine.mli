@@ -33,6 +33,13 @@ val ncores : t -> int
 val trace_event : t -> Ise_core.Contract.event -> unit
 (** Used by cores and the OS to record interface operations. *)
 
+val add_observer : t -> (Ise_core.Contract.event -> unit) -> unit
+(** Registers a callback invoked on every interface operation as it
+    happens, before trace recording — independent of
+    {!set_trace_enabled} and the trace ring's capacity.  The chaos
+    watchdog ({!Ise_chaos.Watchdog}) attaches this way so its
+    invariants hold even on runs too long to record. *)
+
 val set_trace_enabled : t -> bool -> unit
 
 val run : ?max_cycles:int -> t -> unit

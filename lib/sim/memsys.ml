@@ -30,6 +30,12 @@ type interceptor = {
   extra_latency : addr:int -> int;
 }
 
+type perturb = {
+  pb_delay : core:int -> addr:int -> write:bool -> int;
+  pb_deny : core:int -> addr:int -> write:bool -> Ise_core.Fault.code option;
+  pb_duplicate : core:int -> addr:int -> bool;
+}
+
 type t = {
   cfg : Config.t;
   engine : Engine.t;
@@ -43,6 +49,7 @@ type t = {
   mutable dram_accesses : int;
   mutable invalidations : int;
   mutable noc_hop_cycles : int;
+  mutable perturb : perturb option;
 }
 
 let einject_interceptor einj =
@@ -74,9 +81,11 @@ let create cfg engine einj =
     dram_accesses = 0;
     invalidations = 0;
     noc_hop_cycles = 0;
+    perturb = None;
   }
 
 let add_interceptor t i = t.interceptors <- t.interceptors @ [ i ]
+let set_perturb t p = t.perturb <- p
 
 let einject t = t.einj
 
@@ -242,6 +251,26 @@ let walk t core addr kind =
 let rec start t { p_core = core; p_addr = addr; p_kind = kind; p_k = k } =
   let block = block_of t addr in
   let latency, denial = walk t core addr kind in
+  (* Chaos plane (when attached): NoC delay, transient denial, message
+     duplication.  The decisions are drawn from the plane's own seeded
+     streams, so a perturbed run is a pure function of (seed, program). *)
+  let latency, denial, duplicate =
+    match t.perturb with
+    | None -> (latency, denial, false)
+    | Some pb ->
+      let write = is_write_kind kind in
+      let latency = latency + pb.pb_delay ~core ~addr ~write in
+      let denial =
+        match denial with Some _ -> denial | None -> pb.pb_deny ~core ~addr ~write
+      in
+      (* only plain stores are duplicated: re-delivering the same masked
+         bytes is idempotent, while a duplicated AMO would double-apply *)
+      let duplicate =
+        denial = None
+        && (match kind with Write _ -> pb.pb_duplicate ~core ~addr | _ -> false)
+      in
+      (latency, denial, duplicate)
+  in
   Engine.schedule_in t.engine latency (fun () ->
       let result =
         match denial with
@@ -251,6 +280,10 @@ let rec start t { p_core = core; p_addr = addr; p_kind = kind; p_k = k } =
           | Read -> Value (oracle_read t addr)
           | Write { data; mask } ->
             oracle_write t addr data mask;
+            (* duplicated NoC delivery: the write effect lands twice at
+               the same instant — idempotent, but the second delivery is
+               real traffic and is counted by the plane *)
+            if duplicate then oracle_write t addr data mask;
             Value 0
           | Prefetch_exclusive -> Value 0
           | Atomic amo ->

@@ -53,6 +53,31 @@ val add_interceptor : t -> interceptor -> unit
     Interceptors are consulted in registration order; the first denial
     wins. *)
 
+(** {1 Chaos perturbation}
+
+    An optional fault-injection plane consulted on every transaction
+    ({!Ise_chaos} installs one).  Unlike interceptors — which model
+    architectural components and run only when a transaction reaches
+    memory — the perturbation sees every request and models transport
+    trouble: NoC contention delays, transient denials that a retry
+    survives, duplicated mesh messages. *)
+
+type perturb = {
+  pb_delay : core:int -> addr:int -> write:bool -> int;
+      (** extra cycles added to the transaction's latency *)
+  pb_deny : core:int -> addr:int -> write:bool -> Ise_core.Fault.code option;
+      (** transiently deny the transaction (consulted only when no
+          architectural denial already applies); the plane must bound
+          per-address denials so bounded retry always succeeds *)
+  pb_duplicate : core:int -> addr:int -> bool;
+      (** deliver a store twice; only plain writes are duplicated (the
+          re-apply of the same masked bytes is idempotent) *)
+}
+
+val set_perturb : t -> perturb option -> unit
+(** Installs (or clears) the perturbation plane.  [None] — the default —
+    is free on the hot path. *)
+
 val request :
   t -> core:int -> addr:int -> kind -> (result -> unit) -> unit
 (** Starts a transaction; the callback fires at the completion cycle.

@@ -12,5 +12,6 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("fuzz", Test_fuzz.suite);
       ("pool", Test_pool.suite);
+      ("chaos", Test_chaos.suite);
       ("integration", Test_integration.suite);
     ]

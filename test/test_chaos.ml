@@ -1,0 +1,303 @@
+(* Tests for Ise_chaos: deterministic replay (same seed, same bytes),
+   zero watchdog violations on every built-in profile, nonzero
+   injection counters for every fault class, the watchdog's synthetic
+   rule checks, and the seeded-bug canary (a handler that drops a GET
+   must be caught). *)
+
+module Profile = Ise_chaos.Profile
+module Plane = Ise_chaos.Plane
+module Watchdog = Ise_chaos.Watchdog
+module Chaos_run = Ise_chaos.Chaos_run
+module Contract = Ise_core.Contract
+module Fault = Ise_core.Fault
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let report_string r = Format.asprintf "%a" Chaos_run.pp_report r
+
+let run ?ncores ?stores_per_core ~seed profile =
+  Chaos_run.run_stress ?ncores ?stores_per_core ~seed ~profile ()
+
+(* ------------------------------------------------------------------ *)
+(* profiles                                                            *)
+
+let test_profiles_well_formed () =
+  List.iter
+    (fun (p : Profile.t) ->
+      checkb (p.Profile.name ^ " named") true
+        (Profile.named p.Profile.name = Some p);
+      (match p.Profile.fsb_entries with
+       | Some n -> checkb (p.Profile.name ^ " fsb pow2") true (n land (n - 1) = 0)
+       | None -> ());
+      (* bounded-retry convergence: the handler must out-retry the
+         per-address denial budget *)
+      if p.Profile.deny_pct > 0 then
+        checkb
+          (p.Profile.name ^ " retries > deny budget")
+          true
+          (p.Profile.max_apply_retries > p.Profile.deny_budget))
+    Profile.all
+
+let test_outcome_transparent () =
+  checkb "light transparent" true (Profile.outcome_transparent Profile.light);
+  checkb "storm not transparent" false
+    (Profile.outcome_transparent Profile.storm)
+
+(* ------------------------------------------------------------------ *)
+(* determinism                                                         *)
+
+let test_same_seed_same_bytes () =
+  List.iter
+    (fun p ->
+      let a = report_string (run ~seed:42 p) in
+      let b = report_string (run ~seed:42 p) in
+      checks (p.Profile.name ^ " byte-identical") a b)
+    [ Profile.light; Profile.fsb_stall; Profile.storm ]
+
+let test_different_seed_different_run () =
+  let a = run ~seed:1 Profile.noc and b = run ~seed:2 Profile.noc in
+  checkb "seeds diverge" false
+    (report_string a = report_string b)
+
+(* ------------------------------------------------------------------ *)
+(* clean runs: every profile, no violations                            *)
+
+let test_profile_clean p () =
+  let r = run ~seed:42 p in
+  (match r.Chaos_run.r_violations with
+   | [] -> ()
+   | v :: _ ->
+     Alcotest.failf "%s: %d violations, first [%s] %s%s" p.Profile.name
+       (List.length r.Chaos_run.r_violations) v.Watchdog.w_rule
+       v.Watchdog.w_detail
+       (match r.Chaos_run.r_snapshot with
+        | Some s -> "\n" ^ s
+        | None -> ""));
+  checki (p.Profile.name ^ " mismatches") 0 r.Chaos_run.r_mismatches;
+  checkb (p.Profile.name ^ " ok") true (Chaos_run.ok r);
+  checkb (p.Profile.name ^ " verified words") true
+    (r.Chaos_run.r_verified > 0 || r.Chaos_run.r_terminated = 4)
+
+(* ------------------------------------------------------------------ *)
+(* coverage: across profiles and a few seeds, every fault class fires  *)
+
+let test_all_classes_fire () =
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun seed ->
+          let r = run ~seed p in
+          List.iter
+            (fun (k, v) ->
+              Hashtbl.replace totals k
+                (v + Option.value ~default:0 (Hashtbl.find_opt totals k)))
+            r.Chaos_run.r_counts)
+        [ 1; 2; 3 ])
+    Profile.all;
+  List.iter
+    (fun cls ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt totals cls) in
+      checkb (cls ^ " fired") true (n > 0))
+    [ "chaos/put_delays"; "chaos/backpressures"; "chaos/noc_delays";
+      "chaos/noc_dups"; "chaos/transient_denials"; "chaos/fatal_denials";
+      "chaos/handler_preemptions" ]
+
+let test_overflow_policies_exercised () =
+  (* the shrunken-FSB profiles must actually overflow *)
+  let stall = run ~seed:7 Profile.fsb_stall in
+  let t = Ise_telemetry.Sink.create () in
+  let degrade =
+    Chaos_run.run_stress ~telemetry:t ~seed:7 ~profile:Profile.fsb_degrade ()
+  in
+  checkb "stall run ok" true (Chaos_run.ok stall);
+  checkb "degrade run ok" true (Chaos_run.ok degrade);
+  let stat name =
+    List.fold_left
+      (fun acc (k, s) ->
+        match s with
+        | Ise_telemetry.Registry.Snap_counter v
+          when String.length k >= String.length name
+               && String.sub k
+                    (String.length k - String.length name)
+                    (String.length name)
+                  = name ->
+          acc + v
+        | _ -> acc)
+      0
+      (Ise_telemetry.Registry.snapshot (Ise_telemetry.Sink.registry t))
+  in
+  checkb "degrade drops counted" true (stat "fsb/overflow_drops" > 0)
+
+(* ------------------------------------------------------------------ *)
+(* seeded bug: a handler that drops one GET per batch must be caught   *)
+
+let test_inject_bug_caught () =
+  Ise_os.Handler.bug_drop_get := true;
+  Fun.protect
+    ~finally:(fun () -> Ise_os.Handler.bug_drop_get := false)
+    (fun () ->
+      let r = run ~seed:42 Profile.light in
+      checkb "bug caught" false (Chaos_run.ok r);
+      checkb "lost store flagged" true
+        (List.exists
+           (fun v ->
+             v.Watchdog.w_rule = "lost-store"
+             || v.Watchdog.w_rule = "lost-store-at-exit"
+             || v.Watchdog.w_rule = "livelock"
+             || v.Watchdog.w_rule = "memory-mismatch")
+           r.Chaos_run.r_violations);
+      match r.Chaos_run.r_snapshot with
+      | Some s -> checkb "snapshot nonempty" true (String.length s > 0)
+      | None -> Alcotest.fail "no snapshot on a failing run")
+
+(* ------------------------------------------------------------------ *)
+(* watchdog unit rules on synthetic event streams                      *)
+
+let rec_ ?(seq = 0) ?(addr = 0x1000) ?(data = 7) core =
+  ignore core;
+  { Fault.core; seq; addr; data; byte_mask = 0xFF; code = Fault.Page_fault }
+
+let wd_rules events =
+  let wd = Watchdog.create ~ncores:1 () in
+  List.iter (Watchdog.observe wd) events;
+  List.map (fun v -> v.Watchdog.w_rule) (Watchdog.violations wd)
+
+let test_watchdog_clean_episode () =
+  let r = rec_ 0 in
+  let evs =
+    [ Contract.Detect { core = 0; cycle = 1 };
+      Contract.Put { core = 0; cycle = 2; record = r };
+      Contract.Get { core = 0; cycle = 3; record = r };
+      Contract.Apply { core = 0; cycle = 4; record = r };
+      Contract.Resolve { core = 0; cycle = 5 };
+      Contract.Resume { core = 0; cycle = 6 } ]
+  in
+  checki "clean episode" 0 (List.length (wd_rules evs))
+
+let test_watchdog_lost_store () =
+  let r = rec_ 0 in
+  let evs =
+    [ Contract.Detect { core = 0; cycle = 1 };
+      Contract.Put { core = 0; cycle = 2; record = r };
+      Contract.Resolve { core = 0; cycle = 5 } ]
+  in
+  checkb "lost store" true (List.mem "lost-store" (wd_rules evs))
+
+let test_watchdog_double_apply () =
+  let r = rec_ 0 in
+  let evs =
+    [ Contract.Put { core = 0; cycle = 2; record = r };
+      Contract.Get { core = 0; cycle = 3; record = r };
+      Contract.Apply { core = 0; cycle = 4; record = r };
+      Contract.Apply { core = 0; cycle = 5; record = r } ]
+  in
+  checkb "double apply" true (List.mem "apply-unknown" (wd_rules evs))
+
+let test_watchdog_put_order () =
+  let r0 = rec_ ~seq:5 0 and r1 = rec_ ~seq:3 ~addr:0x2000 0 in
+  let evs =
+    [ Contract.Put { core = 0; cycle = 2; record = r0 };
+      Contract.Put { core = 0; cycle = 3; record = r1 } ]
+  in
+  checkb "put order" true (List.mem "put-order" (wd_rules evs))
+
+let test_watchdog_get_order () =
+  let r0 = rec_ ~seq:0 0 and r1 = rec_ ~seq:1 ~addr:0x2000 0 in
+  let evs =
+    [ Contract.Put { core = 0; cycle = 2; record = r0 };
+      Contract.Put { core = 0; cycle = 3; record = r1 };
+      Contract.Get { core = 0; cycle = 4; record = r1 } ]
+  in
+  checkb "get order" true (List.mem "get-order" (wd_rules evs));
+  (* unordered interface accepts the same stream *)
+  let wd = Watchdog.create ~ordered_interface:false ~ncores:1 () in
+  List.iter (Watchdog.observe wd) evs;
+  checki "split-stream tolerant" 0 (List.length (Watchdog.violations wd))
+
+let test_watchdog_resume_before_resolve () =
+  let evs =
+    [ Contract.Detect { core = 0; cycle = 1 };
+      Contract.Resume { core = 0; cycle = 2 } ]
+  in
+  checkb "resume before resolve" true
+    (List.mem "resume-before-resolve" (wd_rules evs))
+
+let test_watchdog_quiesce_after_terminate () =
+  let r = rec_ 0 in
+  let evs =
+    [ Contract.Put { core = 0; cycle = 2; record = r };
+      Contract.Terminate { core = 0; cycle = 3 };
+      Contract.Put { core = 0; cycle = 4; record = r } ]
+  in
+  checkb "after terminate" true (List.mem "after-terminate" (wd_rules evs))
+
+let test_watchdog_final_residue () =
+  let r = rec_ 0 in
+  let wd = Watchdog.create ~ncores:1 () in
+  Watchdog.observe wd (Contract.Put { core = 0; cycle = 2; record = r });
+  Watchdog.check_final wd;
+  checkb "residue at exit" true
+    (List.exists
+       (fun v -> v.Watchdog.w_rule = "lost-store-at-exit")
+       (Watchdog.violations wd))
+
+(* ------------------------------------------------------------------ *)
+(* chaos-hardened litmus                                               *)
+
+let test_lit_check_passes () =
+  let cfg = Ise_sim.Config.default in
+  List.iter
+    (fun p ->
+      match
+        Chaos_run.lit_check ~seeds:4 ~cfg ~profile:p Ise_litmus.Library.mp
+      with
+      | None -> ()
+      | Some d -> Alcotest.failf "%s: %s" p.Profile.name d)
+    [ Profile.light; Profile.transient ]
+
+let test_chaos_seed_stable () =
+  let t = Ise_litmus.Library.sb in
+  checki "stable" (Chaos_run.chaos_seed Profile.light t)
+    (Chaos_run.chaos_seed Profile.light t);
+  checkb "profile-dependent" true
+    (Chaos_run.chaos_seed Profile.light t
+     <> Chaos_run.chaos_seed Profile.noc t)
+
+let suite =
+  [
+    Alcotest.test_case "profiles well-formed" `Quick test_profiles_well_formed;
+    Alcotest.test_case "outcome transparency" `Quick test_outcome_transparent;
+    Alcotest.test_case "same seed, same bytes" `Quick test_same_seed_same_bytes;
+    Alcotest.test_case "different seeds diverge" `Quick
+      test_different_seed_different_run;
+  ]
+  @ List.map
+      (fun p ->
+        Alcotest.test_case
+          (Printf.sprintf "clean run: %s" p.Profile.name)
+          `Quick (test_profile_clean p))
+      Profile.all
+  @ [
+      Alcotest.test_case "every fault class fires" `Slow test_all_classes_fire;
+      Alcotest.test_case "overflow policies exercised" `Quick
+        test_overflow_policies_exercised;
+      Alcotest.test_case "injected bug is caught" `Quick test_inject_bug_caught;
+      Alcotest.test_case "watchdog: clean episode" `Quick
+        test_watchdog_clean_episode;
+      Alcotest.test_case "watchdog: lost store" `Quick test_watchdog_lost_store;
+      Alcotest.test_case "watchdog: double apply" `Quick
+        test_watchdog_double_apply;
+      Alcotest.test_case "watchdog: put order" `Quick test_watchdog_put_order;
+      Alcotest.test_case "watchdog: get order" `Quick test_watchdog_get_order;
+      Alcotest.test_case "watchdog: resume before resolve" `Quick
+        test_watchdog_resume_before_resolve;
+      Alcotest.test_case "watchdog: quiesce after terminate" `Quick
+        test_watchdog_quiesce_after_terminate;
+      Alcotest.test_case "watchdog: residue at exit" `Quick
+        test_watchdog_final_residue;
+      Alcotest.test_case "litmus under chaos" `Slow test_lit_check_passes;
+      Alcotest.test_case "chaos seed stable" `Quick test_chaos_seed_stable;
+    ]

@@ -10,12 +10,19 @@ let record ?(core = 0) ?(code = Fault.Bus_error) seq addr data =
 (* Fault                                                               *)
 
 let test_fault_severity () =
+  (* every code, so a new constructor cannot silently default *)
+  check Alcotest.bool "no exception recoverable" true
+    (Fault.severity_of Fault.No_exception = Fault.Recoverable);
   check Alcotest.bool "page fault recoverable" true
     (Fault.severity_of Fault.Page_fault = Fault.Recoverable);
   check Alcotest.bool "protection fault irrecoverable" true
     (Fault.severity_of Fault.Protection_fault = Fault.Irrecoverable);
+  check Alcotest.bool "bus error recoverable" true
+    (Fault.severity_of Fault.Bus_error = Fault.Recoverable);
   check Alcotest.bool "accelerator recoverable" true
-    (Fault.severity_of (Fault.Accelerator 3) = Fault.Recoverable)
+    (Fault.severity_of (Fault.Accelerator 3) = Fault.Recoverable);
+  check Alcotest.bool "accelerator code 0 recoverable" true
+    (Fault.severity_of (Fault.Accelerator 0) = Fault.Recoverable)
 
 let test_fault_x86_taxonomy () =
   (* Table 1: machine checks are the only hierarchy-origin exception *)
@@ -61,7 +68,30 @@ let test_fsb_full () =
   let fsb = Fsb.create ~entries:2 ~base:0 () in
   ignore (Fsb.fsbc_append fsb (record 0 0 0));
   ignore (Fsb.fsbc_append fsb (record 1 8 1));
-  check Alcotest.bool "full rejects" false (Fsb.fsbc_append fsb (record 2 16 2))
+  check Alcotest.bool "full rejects" false (Fsb.fsbc_append fsb (record 2 16 2));
+  (* a refused append changes nothing: pointers, pending, stats *)
+  check Alcotest.int "pending unchanged" 2 (Fsb.pending fsb);
+  check Alcotest.int "tail unchanged" 2 (Fsb.tail fsb);
+  check Alcotest.int "appends not counted" 2 (Fsb.total_appended fsb)
+
+let test_fsb_capacity () =
+  let fsb = Fsb.create ~entries:8 ~base:0 () in
+  check Alcotest.int "capacity = entries" (Fsb.entries fsb) (Fsb.capacity fsb);
+  check Alcotest.bool "full iff pending = capacity" false (Fsb.is_full fsb);
+  for i = 0 to Fsb.capacity fsb - 1 do
+    ignore (Fsb.fsbc_append fsb (record i (8 * i) i))
+  done;
+  check Alcotest.bool "now full" true (Fsb.is_full fsb);
+  (* non-power-of-two sizes would alias ring slots under the mask *)
+  List.iter
+    (fun n ->
+      check Alcotest.bool
+        (Printf.sprintf "entries=%d rejected" n)
+        true
+        (match Fsb.create ~entries:n ~base:0 () with
+         | _ -> false
+         | exception Invalid_argument _ -> true))
+    [ 0; -1; 3; 6; 12 ]
 
 let test_fsb_peek_advance () =
   let fsb = Fsb.create ~entries:4 ~base:0 () in
@@ -298,6 +328,7 @@ let suite =
     ("fsb system registers", `Quick, test_fsb_sysregs);
     ("fsb FIFO", `Quick, test_fsb_fifo);
     ("fsb full", `Quick, test_fsb_full);
+    ("fsb capacity and sizing", `Quick, test_fsb_capacity);
     ("fsb peek/advance", `Quick, test_fsb_peek_advance);
     ("fsb watermark", `Quick, test_fsb_watermark);
     qtest prop_fsb_order_preserving;

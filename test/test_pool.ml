@@ -125,9 +125,11 @@ let test_codec_fd_truncated () =
 
 let requires_fork () = Pool.fork_available
 
-let render_outcome = function
+let rec render_outcome = function
   | Pool.Done r -> Printf.sprintf "done:%d" r
   | Pool.Failed e -> "failed:" ^ Pool.error_to_string e
+  | Pool.Split (l, r) ->
+    Printf.sprintf "split:(%s|%s)" (render_outcome l) (render_outcome r)
 
 let test_pool_inline_matches_forked () =
   (* same inputs, same outcome array, whether forked or in-process;
@@ -231,6 +233,38 @@ let test_pool_timeout_kill () =
     checkb "killed promptly" true (Unix.gettimeofday () -. t0 < 10.)
   end
 
+let test_pool_timeout_bisect () =
+  if not (requires_fork ()) then ()
+  else begin
+    (* batch 0 contains one wedged item: the timed-out batch is split
+       once, the clean half completes, the wedged half times out for
+       good (halves are never re-split) *)
+    let f batch =
+      List.iter (fun i -> if i = 13 then Unix.sleepf 30.) batch;
+      List.fold_left ( + ) 0 batch
+    in
+    let bisect = function
+      | ([] | [ _ ]) -> None
+      | batch ->
+        let mid = List.length batch / 2 in
+        Some (List.filteri (fun i _ -> i < mid) batch,
+              List.filteri (fun i _ -> i >= mid) batch)
+    in
+    let outs, stats =
+      Pool.map ~jobs:2 ~job_timeout:0.4 ~kill_grace:0.1 ~max_retries:0 ~bisect
+        f
+        [| [ 1; 2; 13; 4 ]; [ 5; 6 ] |]
+    in
+    (match outs.(0) with
+    | Pool.Split (Pool.Done 3, Pool.Failed (Pool.Timed_out _)) -> ()
+    | o -> Alcotest.failf "expected Split(done 3, timeout), got %s"
+             (render_outcome o));
+    checkb "clean batch unaffected" true (outs.(1) = Pool.Done 11);
+    checki "one bisection" 1 stats.Pool.st_bisected;
+    (* whole batch + wedged half both timed out *)
+    checki "timeouts counted" 2 stats.Pool.st_timed_out
+  end
+
 let test_pool_sigint_drain () =
   if not (requires_fork ()) then ()
   else begin
@@ -315,6 +349,8 @@ let suite =
     Alcotest.test_case "pool: crash isolated after retries" `Quick
       test_pool_crash_exhausts_retries;
     Alcotest.test_case "pool: timeout killed" `Quick test_pool_timeout_kill;
+    Alcotest.test_case "pool: timeout bisected" `Quick
+      test_pool_timeout_bisect;
     Alcotest.test_case "pool: SIGINT drains" `Quick test_pool_sigint_drain;
     Alcotest.test_case "pool: campaign -j4 = -j1" `Slow
       test_campaign_j4_equals_j1;

@@ -85,8 +85,43 @@ let test_einject_basic () =
 
 let test_einject_outside_ignored () =
   let e = Einject.create ~base:0x1000 ~pages:4 ~page_bits:12 in
+  (* below and above the region: both MMIO registers are dead writes *)
+  Einject.set_faulting e 0x0fff;
   Einject.set_faulting e 0x9000;
-  check Alcotest.int "nothing marked" 0 (Einject.faulting_pages e)
+  Einject.set_faulting e 0x5000;
+  (* one past the last page *)
+  check Alcotest.int "nothing marked" 0 (Einject.faulting_pages e);
+  Einject.clear_faulting e 0x9000;
+  check Alcotest.int "clr outside harmless" 0 (Einject.faulting_pages e);
+  check Alcotest.bool "outside never faults" false (Einject.is_faulting e 0x9000)
+
+let test_einject_idempotent () =
+  let e = Einject.create ~base:0x1000 ~pages:4 ~page_bits:12 in
+  (* set/set and clr/clr are idempotent, like MMIO bitmap writes *)
+  Einject.set_faulting e 0x2000;
+  Einject.set_faulting e 0x2abc;
+  check Alcotest.int "one page marked" 1 (Einject.faulting_pages e);
+  Einject.clear_faulting e 0x2fff;
+  Einject.clear_faulting e 0x2000;
+  check Alcotest.int "clear is idempotent" 0 (Einject.faulting_pages e);
+  Einject.clear_faulting e 0x3000;
+  (* clr of an unmarked page *)
+  check Alcotest.int "still none" 0 (Einject.faulting_pages e)
+
+let test_einject_page_boundary () =
+  let e = Einject.create ~base:0x1000 ~pages:4 ~page_bits:12 in
+  (* marking the last byte of a page marks that page alone *)
+  Einject.set_faulting e 0x2fff;
+  check Alcotest.bool "first byte of page" true (Einject.is_faulting e 0x2000);
+  check Alcotest.bool "next page clear" false (Einject.is_faulting e 0x3000);
+  check Alcotest.bool "previous page clear" false
+    (Einject.is_faulting e 0x1fff);
+  (* first and last pages of the region are reachable *)
+  Einject.set_faulting e 0x1000;
+  Einject.set_faulting e 0x4fff;
+  check Alcotest.int "three pages marked" 3 (Einject.faulting_pages e);
+  Einject.clear_all e;
+  check Alcotest.int "clear_all" 0 (Einject.faulting_pages e)
 
 (* ------------------------------------------------------------------ *)
 (* Cache                                                               *)
@@ -611,6 +646,8 @@ let suite =
     ("config mesh distance", `Quick, test_config_mesh);
     ("einject mark/clear", `Quick, test_einject_basic);
     ("einject ignores outside", `Quick, test_einject_outside_ignored);
+    ("einject set/clr idempotent", `Quick, test_einject_idempotent);
+    ("einject page boundaries", `Quick, test_einject_page_boundary);
     ("cache hit/miss", `Quick, test_cache_hit_miss);
     ("cache LRU eviction", `Quick, test_cache_lru_eviction);
     ("cache state transitions", `Quick, test_cache_state_transitions);
