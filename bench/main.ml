@@ -22,11 +22,19 @@ let section title =
 
 (* Machine-readable results alongside the printed tables, one
    BENCH_<section>.json per section, so the numbers are trackable
-   across revisions without scraping stdout. *)
+   across revisions without scraping stdout.  Every file carries the
+   run_id/git-rev stamp so it joins with ledger entries and traces. *)
 let emit_bench name json =
+  let stamped =
+    match json with
+    | Ise_telemetry.Json.Obj fields ->
+      Ise_telemetry.Json.Obj (Ise_obs.Runinfo.stamp () @ fields)
+    | other ->
+      Ise_telemetry.Json.Obj (Ise_obs.Runinfo.stamp () @ [ ("rows", other) ])
+  in
   let file = Printf.sprintf "BENCH_%s.json" name in
   let oc = open_out file in
-  output_string oc (Ise_telemetry.Json.to_string_pretty json);
+  output_string oc (Ise_telemetry.Json.to_string_pretty stamped);
   output_char oc '\n';
   close_out oc;
   Printf.printf "[bench] wrote %s\n%!" file
@@ -713,21 +721,62 @@ let captured f =
   Sys.remove tmp;
   out
 
+(* After the sections have run, read the BENCH_<section>.json files
+   they emitted, flatten every numeric leaf, and append one run record
+   to the ledger — works identically for sequential and forked runs,
+   because forked workers write the files into the same cwd. *)
+let append_ledger ~path picked =
+  let metrics =
+    List.concat_map
+      (fun name ->
+        let file = Printf.sprintf "BENCH_%s.json" name in
+        if not (Sys.file_exists file) then []
+        else begin
+          let ic = open_in_bin file in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Ise_telemetry.Json.of_string text with
+          | Error _ -> []
+          | Ok json -> Ise_obs.Ledger.flatten_json ~prefix:name json
+        end)
+      picked
+  in
+  if metrics = [] then
+    Printf.eprintf
+      "[bench] --ledger: no BENCH_*.json metrics among sections %s\n%!"
+      (String.concat " " picked)
+  else begin
+    let label = String.concat "+" picked in
+    Ise_obs.Ledger.append ~path
+      (Ise_obs.Ledger.make ~kind:"bench" ~label ~seed:0
+         ~config:("sections=" ^ label) metrics);
+    Printf.eprintf "[bench] appended %d metrics to %s\n%!"
+      (List.length metrics) path
+  end
+
 let () =
-  let rec parse jobs acc = function
-    | [] -> (jobs, List.rev acc)
+  let rec parse jobs ledger trace_out telemetry_out acc = function
+    | [] -> (jobs, ledger, trace_out, telemetry_out, List.rev acc)
     | ("-j" | "--jobs") :: n :: rest -> (
       match int_of_string_opt n with
-      | Some j when j >= 1 -> parse (Some j) acc rest
+      | Some j when j >= 1 -> parse (Some j) ledger trace_out telemetry_out acc rest
       | _ ->
         Printf.eprintf "-j needs a positive integer, got %S\n" n;
         exit 1)
-    | ("-j" | "--jobs") :: [] ->
-      Printf.eprintf "-j needs a value\n";
+    | "--ledger" :: path :: rest ->
+      parse jobs (Some path) trace_out telemetry_out acc rest
+    | "--trace-out" :: path :: rest ->
+      parse jobs ledger (Some path) telemetry_out acc rest
+    | "--telemetry-out" :: path :: rest ->
+      parse jobs ledger trace_out (Some path) acc rest
+    | [ ("-j" | "--jobs" | "--ledger" | "--trace-out" | "--telemetry-out") as a ] ->
+      Printf.eprintf "%s needs a value\n" a;
       exit 1
-    | a :: rest -> parse jobs (a :: acc) rest
+    | a :: rest -> parse jobs ledger trace_out telemetry_out (a :: acc) rest
   in
-  let jobs, picked = parse None [] (List.tl (Array.to_list Sys.argv)) in
+  let jobs, ledger, trace_out, telemetry_out, picked =
+    parse None None None None [] (List.tl (Array.to_list Sys.argv))
+  in
   let jobs =
     match jobs with Some j -> j | None -> Ise_pool.Pool.default_jobs ()
   in
@@ -740,13 +789,18 @@ let () =
         exit 1
       end)
     picked;
+  let sink =
+    match (trace_out, telemetry_out) with
+    | None, None -> None
+    | _ -> Some (Ise_telemetry.Sink.create ())
+  in
   if jobs <= 1 || List.length picked <= 1 then
     List.iter (fun name -> (List.assoc name sections) ()) picked
   else begin
     let names = Array.of_list picked in
     let ok = ref true in
     let _outcomes, _stats =
-      Ise_pool.Pool.map ~jobs
+      Ise_pool.Pool.map ~jobs ?telemetry:sink
         ~on_result:(fun i outcome ->
           match outcome with
           | Ise_pool.Pool.Done out ->
@@ -763,4 +817,34 @@ let () =
         names
     in
     if not !ok then exit 1
-  end
+  end;
+  (match sink with
+   | None -> ()
+   | Some sink ->
+     (match trace_out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Ise_telemetry.Json.to_string
+             (Ise_telemetry.Trace.to_chrome_json
+                ~meta:(Ise_obs.Runinfo.stamp ())
+                (Ise_telemetry.Sink.trace sink)));
+        close_out oc;
+        Printf.eprintf "[bench] wrote trace to %s\n%!" path
+      | None -> ());
+     (match telemetry_out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Ise_telemetry.Json.to_string_pretty
+             (Ise_telemetry.Json.Obj
+                (Ise_obs.Runinfo.stamp ()
+                @ [ ( "metrics",
+                      Ise_telemetry.Registry.to_json
+                        (Ise_telemetry.Sink.registry sink) ) ])));
+        close_out oc;
+        Printf.eprintf "[bench] wrote telemetry to %s\n%!" path
+      | None -> ()));
+  match ledger with
+  | Some path -> append_ledger ~path picked
+  | None -> ()

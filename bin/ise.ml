@@ -43,6 +43,10 @@ let trace_out_arg =
            ~doc:"Write a Chrome trace-event JSON file (open in Perfetto or \
                  chrome://tracing).")
 
+let telemetry_out_arg ~doc =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry-out" ] ~docv:"FILE" ~doc)
+
 let write_file path contents =
   match open_out path with
   | oc ->
@@ -52,12 +56,77 @@ let write_file path contents =
     Printf.eprintf "cannot write trace: %s\n" msg;
     exit 1
 
+(* every JSON artifact carries the run_id/git_rev stamp so traces,
+   telemetry dumps, and ledger entries from one run are joinable *)
 let write_trace sink path =
   let json =
-    Ise_telemetry.Trace.to_chrome_json (Ise_telemetry.Sink.trace sink)
+    Ise_telemetry.Trace.to_chrome_json
+      ~meta:(Ise_obs.Runinfo.stamp ())
+      (Ise_telemetry.Sink.trace sink)
   in
   write_file path (Ise_telemetry.Json.to_string json);
   Printf.eprintf "wrote trace to %s\n%!" path
+
+let write_telemetry sink path =
+  let json =
+    Ise_telemetry.Json.Obj
+      (Ise_obs.Runinfo.stamp ()
+      @ [ ( "metrics",
+            Ise_telemetry.Registry.to_json
+              (Ise_telemetry.Sink.registry sink) ) ])
+  in
+  write_file path (Ise_telemetry.Json.to_string_pretty json);
+  Printf.eprintf "wrote telemetry to %s\n%!" path
+
+(* a sink is created when any output flag needs one *)
+let sink_for = function
+  | None, None -> None
+  | _ -> Some (Ise_telemetry.Sink.create ())
+
+let write_outputs sink ~trace_out ~telemetry_out =
+  match sink with
+  | None -> ()
+  | Some sink ->
+    Option.iter (write_trace sink) trace_out;
+    Option.iter (write_telemetry sink) telemetry_out
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* observability plumbing                                              *)
+
+let journal_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal-dir" ] ~docv:"DIR"
+           ~doc:"Keep per-worker flight-recorder crash journals in this \
+                 directory (forked pool workers only; journals of \
+                 cleanly-exited workers are removed).")
+
+let ledger_arg =
+  Arg.(value & opt (some string) None
+       & info [ "ledger" ] ~docv:"FILE"
+           ~doc:"Append a run record (metrics, git rev, seed) to this \
+                 newline-JSON ledger, for later $(b,ise compare).")
+
+let append_ledger ~path record =
+  Ise_obs.Ledger.append ~path record;
+  Printf.eprintf "appended %s/%s record to %s\n%!"
+    record.Ise_obs.Ledger.l_kind record.Ise_obs.Ledger.l_label path
+
+let meta_bool meta k default =
+  match List.assoc_opt k meta with
+  | Some "true" -> true
+  | Some "false" -> false
+  | _ -> default
 
 (* Builds the machine for a GAP kernel run (shared by `gap` and
    `stats`). *)
@@ -84,7 +153,7 @@ let gap_machine kernel nodes degree inject =
 (* litmus                                                              *)
 
 let litmus_cmd =
-  let run list_only name seeds model no_faults jobs =
+  let run list_only name seeds model no_faults jobs trace_out telemetry_out =
     if list_only then begin
       List.iter
         (fun t ->
@@ -128,8 +197,9 @@ let litmus_cmd =
           r.Ise_litmus.Lit_run.pass && r.Ise_litmus.Lit_run.contract_ok )
       in
       let ok = ref true in
+      let sink = sink_for (trace_out, telemetry_out) in
       let _outcomes, _stats =
-        Ise_pool.Pool.map ~jobs
+        Ise_pool.Pool.map ~jobs ?telemetry:sink
           ~on_result:(fun i outcome ->
             match outcome with
             | Ise_pool.Pool.Done (line, pass) ->
@@ -145,6 +215,7 @@ let litmus_cmd =
               assert false)
           run_one tests
       in
+      write_outputs sink ~trace_out ~telemetry_out;
       if !ok then 0 else 1
     end
   in
@@ -164,7 +235,10 @@ let litmus_cmd =
   Cmd.v
     (Cmd.info "litmus" ~doc:"Run litmus tests on the simulated machine (§6.3)")
     Term.(const run $ list_arg $ name_arg $ seeds_arg $ model_arg $ nofaults_arg
-          $ jobs_arg)
+          $ jobs_arg $ trace_out_arg
+          $ telemetry_out_arg
+              ~doc:"Write the pool metrics registry (pool/* counters) as \
+                    JSON.")
 
 (* ------------------------------------------------------------------ *)
 (* mbench                                                              *)
@@ -196,22 +270,13 @@ let mbench_cmd =
 (* gap                                                                 *)
 
 let gap_cmd =
-  let run kernel nodes degree inject trace_out =
+  let run kernel nodes degree inject trace_out telemetry_out =
     let g, tr, m, os = gap_machine kernel nodes degree inject in
-    let sink =
-      match trace_out with
-      | None -> None
-      | Some _ ->
-        let sink = Ise_telemetry.Sink.create () in
-        Machine.attach_telemetry m sink;
-        Some sink
-    in
+    let sink = sink_for (trace_out, telemetry_out) in
+    Option.iter (Machine.attach_telemetry m) sink;
     Machine.run m;
-    (match (sink, trace_out) with
-     | Some sink, Some path ->
-       Machine.record_final_stats m;
-       write_trace sink path
-     | _ -> ());
+    if sink <> None then Machine.record_final_stats m;
+    write_outputs sink ~trace_out ~telemetry_out;
     let cs = Core.stats (Machine.core m 0) in
     Printf.printf
       "%s on %d nodes / %d edges: %d instrs in %d cycles (IPC %.2f)\n\
@@ -241,13 +306,16 @@ let gap_cmd =
   Cmd.v
     (Cmd.info "gap" ~doc:"Run a GAP kernel trace on the machine (§6.5)")
     Term.(const run $ kernel_arg $ nodes_arg $ degree_arg $ inject_arg
-          $ trace_out_arg)
+          $ trace_out_arg
+          $ telemetry_out_arg
+              ~doc:"Write the machine's metrics registry as JSON.")
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 
 let stats_cmd =
-  let run kernel nodes degree no_inject format trace_out sample_period =
+  let run kernel nodes degree no_inject format trace_out telemetry_out
+      sample_period =
     if sample_period <= 0 then begin
       Printf.eprintf "--sample-period must be positive\n";
       exit 1
@@ -270,6 +338,9 @@ let stats_cmd =
        exit 1);
     (match trace_out with
      | Some path -> write_trace sink path
+     | None -> ());
+    (match telemetry_out with
+     | Some path -> write_telemetry sink path
      | None -> ());
     0
   in
@@ -302,7 +373,11 @@ let stats_cmd =
        ~doc:"Run a GAP kernel with full telemetry and dump the metrics \
              registry (optionally a Perfetto trace)")
     Term.(const run $ kernel_arg $ nodes_arg $ degree_arg $ noinject_arg
-          $ format_arg $ trace_out_arg $ period_arg)
+          $ format_arg $ trace_out_arg
+          $ telemetry_out_arg
+              ~doc:"Also write the (stamped) metrics registry as a JSON \
+                    file, independent of --format."
+          $ period_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mix                                                                 *)
@@ -472,9 +547,34 @@ let variants_of_spec spec =
     in
     resolve [] names
 
+let shard_sizing_conv =
+  let parse = function
+    | "auto" -> Ok `Auto
+    | "formula" -> Ok `Formula
+    | s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok (`Fixed n)
+      | _ ->
+        Error (`Msg (Printf.sprintf "bad shard size %S (auto|formula|N)" s)))
+  in
+  let print ppf = function
+    | `Auto -> Format.pp_print_string ppf "auto"
+    | `Formula -> Format.pp_print_string ppf "formula"
+    | `Fixed n -> Format.pp_print_int ppf n
+  in
+  Arg.conv (parse, print)
+
+let shard_size_arg =
+  Arg.(value & opt shard_sizing_conv `Formula
+       & info [ "shard-size" ] ~docv:"SPEC"
+           ~doc:"Tests per parallel shard: 'formula' (count/(jobs*4), the \
+                 default), 'auto' (a pilot round calibrates shard size from \
+                 the pool's per-worker latency histograms), or a fixed \
+                 count.  All policies produce byte-identical reports.")
+
 let fuzz_run_cmd =
   let run seed count seeds_per_test variants_spec corpus_dir no_save inject
-      trace_out telemetry_out jobs =
+      trace_out telemetry_out jobs shard_sizing journal_dir ledger =
     let variants =
       match variants_of_spec variants_spec with
       | Ok vs -> vs
@@ -486,27 +586,30 @@ let fuzz_run_cmd =
                 Ise_fuzz.Campaign.all_variants));
         exit 1
     in
-    let sink =
-      match (trace_out, telemetry_out) with
-      | None, None -> None
-      | _ -> Some (Ise_telemetry.Sink.create ())
-    in
+    let sink = sink_for (trace_out, telemetry_out) in
     let report =
       with_injected_bug inject (fun () ->
           Ise_fuzz.Campaign.run ~count ~seeds_per_test ~variants ~jobs
-            ?telemetry:sink ~log:prerr_endline ~seed ())
+            ~shard_sizing ?journal_dir ?telemetry:sink ~log:prerr_endline
+            ~seed ())
     in
-    (match (sink, trace_out) with
-     | Some sink, Some path -> write_trace sink path
-     | _ -> ());
-    (match (sink, telemetry_out) with
-     | Some sink, Some path ->
-       write_file path
-         (Ise_telemetry.Json.to_string_pretty
-            (Ise_telemetry.Registry.to_json
-               (Ise_telemetry.Sink.registry sink)));
-       Printf.eprintf "wrote telemetry to %s\n%!" path
-     | _ -> ());
+    write_outputs sink ~trace_out ~telemetry_out;
+    (match ledger with
+     | None -> ()
+     | Some path ->
+       append_ledger ~path
+         (Ise_obs.Ledger.make ~kind:"fuzz" ~label:variants_spec ~seed
+            ~config:
+              (Printf.sprintf "count=%d seeds_per_test=%d jobs-independent"
+                 count seeds_per_test)
+            [ ("tests", float_of_int report.Ise_fuzz.Campaign.r_tests);
+              ("checks", float_of_int report.Ise_fuzz.Campaign.r_checks);
+              ( "failures",
+                float_of_int
+                  (List.length report.Ise_fuzz.Campaign.r_failures) );
+              ( "lost_tests",
+                float_of_int report.Ise_fuzz.Campaign.r_lost_tests )
+            ]));
     Printf.printf "seed %d: %d tests, %d checks, %d failure(s)\n"
       report.Ise_fuzz.Campaign.r_seed report.Ise_fuzz.Campaign.r_tests
       report.Ise_fuzz.Campaign.r_checks
@@ -565,7 +668,8 @@ let fuzz_run_cmd =
        ~doc:"Run a differential fuzzing campaign over the config lattice")
     Term.(const run $ seed_arg $ count_arg $ fuzz_seeds_arg $ variants_arg
           $ corpus_arg $ nosave_arg $ inject_bug_arg $ trace_out_arg
-          $ telemetry_out_arg $ jobs_arg)
+          $ telemetry_out_arg $ jobs_arg $ shard_size_arg $ journal_dir_arg
+          $ ledger_arg)
 
 let fuzz_replay_cmd =
   let run corpus_dir files seeds inject =
@@ -759,7 +863,8 @@ let chaos_inject_bug_arg =
 
 let chaos_run_cmd =
   let run seed trials cores stores profiles_spec telemetry_out trace_out
-      snapshot_out corpus_dir no_save inject jobs =
+      snapshot_out journal_out journal_dir ledger corpus_dir no_save inject
+      jobs =
     let profiles =
       match profiles_of_spec profiles_spec with
       | Ok ps -> ps
@@ -776,11 +881,7 @@ let chaos_run_cmd =
     in
     with_handler_bug inject @@ fun () ->
     let parr = Array.of_list profiles in
-    let sink =
-      match (telemetry_out, trace_out) with
-      | None, None -> None
-      | _ -> Some (Ise_telemetry.Sink.create ())
-    in
+    let sink = sink_for (trace_out, telemetry_out) in
     (* trial t: profile rotates, seed advances — (seed, profile) fully
        determines the run, so the whole command is byte-identical for a
        fixed seed whatever the worker count *)
@@ -803,7 +904,7 @@ let chaos_run_cmd =
              metrics but not per-trial chaos counters; use -j 1 for \
              complete traces\n%!";
         let outcomes, _stats =
-          Ise_pool.Pool.map ~jobs ?telemetry:sink run_one specs
+          Ise_pool.Pool.map ~jobs ?telemetry:sink ?journal_dir run_one specs
         in
         Array.mapi
           (fun i outcome ->
@@ -844,17 +945,7 @@ let chaos_run_cmd =
         0 reports
     in
     Printf.printf "violations=%d\n" violations;
-    (match (sink, trace_out) with
-     | Some sink, Some path -> write_trace sink path
-     | _ -> ());
-    (match (sink, telemetry_out) with
-     | Some sink, Some path ->
-       write_file path
-         (Ise_telemetry.Json.to_string_pretty
-            (Ise_telemetry.Registry.to_json
-               (Ise_telemetry.Sink.registry sink)));
-       Printf.eprintf "wrote telemetry to %s\n%!" path
-     | _ -> ());
+    write_outputs sink ~trace_out ~telemetry_out;
     (match snapshot_out with
      | Some path when violations > 0 ->
        let buf = Buffer.create 1024 in
@@ -871,6 +962,79 @@ let chaos_run_cmd =
        write_file path (Buffer.contents buf);
        Printf.eprintf "wrote watchdog snapshots to %s\n%!" path
      | _ -> ());
+    (* the flight-recorder journal of the first violating trial (else
+       the last trial) — feed it to `ise report --journal` *)
+    (match journal_out with
+     | Some path when Array.length reports > 0 ->
+       let pick =
+         match
+           Array.find_opt
+             (fun r -> r.Ise_chaos.Chaos_run.r_violations <> [])
+             reports
+         with
+         | Some r -> r
+         | None -> reports.(Array.length reports - 1)
+       in
+       write_file path pick.Ise_chaos.Chaos_run.r_journal;
+       Printf.eprintf "wrote flight-recorder journal (seed %d, %s) to %s\n%!"
+         pick.Ise_chaos.Chaos_run.r_seed pick.Ise_chaos.Chaos_run.r_profile
+         path
+     | _ -> ());
+    (match ledger with
+     | None -> ()
+     | Some path ->
+       (* offline episode-latency aggregates from every trial journal *)
+       let ep_totals = ref [] in
+       let episodes = ref 0 in
+       let offline_anomalies = ref 0 in
+       Array.iter
+         (fun r ->
+           match Ise_obs.Journal.parse r.Ise_chaos.Chaos_run.r_journal with
+           | Error _ -> ()
+           | Ok p ->
+             let a =
+               Ise_obs.Episode.analyze
+                 ~ordered_interface:
+                   (meta_bool p.Ise_obs.Journal.j_meta "ordered_interface"
+                      true)
+                 ~ordered_apply:
+                   (meta_bool p.Ise_obs.Journal.j_meta "ordered_apply" true)
+                 (Ise_obs.Episode.of_journal p)
+             in
+             offline_anomalies :=
+               !offline_anomalies
+               + List.length a.Ise_obs.Episode.an_anomalies;
+             List.iter
+               (fun ep ->
+                 incr episodes;
+                 match
+                   (Ise_obs.Episode.phases_of ep).Ise_obs.Episode.ph_total
+                 with
+                 | Some t -> ep_totals := float_of_int t :: !ep_totals
+                 | None -> ())
+               a.Ise_obs.Episode.an_episodes)
+         reports;
+       let ep_mean =
+         match !ep_totals with
+         | [] -> 0.
+         | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+       in
+       let metrics =
+         List.map
+           (fun k -> (k, float_of_int (Hashtbl.find totals k)))
+           (List.rev !order)
+         @ [ ("violations", float_of_int violations);
+             ("episodes", float_of_int !episodes);
+             ("episode_total_cycles_mean", ep_mean);
+             ("offline_anomalies", float_of_int !offline_anomalies)
+           ]
+       in
+       append_ledger ~path
+         (Ise_obs.Ledger.make ~kind:"chaos" ~label:profiles_spec ~seed
+            ~config:
+              (Printf.sprintf "trials=%d cores=%d stores=%d" trials cores
+                 stores)
+            metrics));
     if not inject then if violations = 0 then 0 else 1
     else begin
       (* the canary must be *caught*: stress violations, plus a chaos
@@ -954,6 +1118,13 @@ let chaos_run_cmd =
              ~doc:"On violations, write the watchdog's diagnostic snapshots \
                    here (CI uploads this as an artifact).")
   in
+  let journal_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal-out" ] ~docv:"FILE"
+             ~doc:"Write the flight-recorder journal of the first violating \
+                   trial (or the last trial when all pass) — analyze it with \
+                   $(b,ise report --journal).")
+  in
   let nosave_arg =
     Arg.(value & flag
          & info [ "no-save" ]
@@ -965,8 +1136,8 @@ let chaos_run_cmd =
              attached")
     Term.(const run $ seed_arg $ trials_arg $ cores_arg $ stores_arg
           $ profiles_arg $ telemetry_out_arg $ trace_out_arg
-          $ snapshot_out_arg $ corpus_arg $ nosave_arg $ chaos_inject_bug_arg
-          $ jobs_arg)
+          $ snapshot_out_arg $ journal_out_arg $ journal_dir_arg $ ledger_arg
+          $ corpus_arg $ nosave_arg $ chaos_inject_bug_arg $ jobs_arg)
 
 let chaos_replay_cmd =
   let run corpus_dir files seeds inject =
@@ -1015,17 +1186,302 @@ let chaos_cmd =
     [ chaos_run_cmd; chaos_replay_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* report                                                              *)
+
+let report_cmd =
+  let run journal trace format top check ordered_interface ordered_apply
+      retry_threshold =
+    let events, meta =
+      match (journal, trace) with
+      | Some _, Some _ ->
+        Printf.eprintf "--journal and --trace are mutually exclusive\n";
+        exit 1
+      | None, None ->
+        Printf.eprintf "need --journal FILE or --trace FILE\n";
+        exit 1
+      | Some path, None -> (
+        match Ise_obs.Journal.load path with
+        | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+        | Ok p ->
+          if p.Ise_obs.Journal.j_corrupt <> [] then
+            Printf.eprintf
+              "note: %d corrupt line(s) skipped (truncated tail?)\n%!"
+              (List.length p.Ise_obs.Journal.j_corrupt);
+          (match List.assoc_opt "dropped" p.Ise_obs.Journal.j_meta with
+           | Some d when d <> "0" ->
+             Printf.eprintf
+               "note: the bounded ring dropped %s event(s); early episodes \
+                may look truncated\n%!" d
+           | _ -> ());
+          (Ise_obs.Episode.of_journal p, p.Ise_obs.Journal.j_meta))
+      | None, Some path -> (
+        match Ise_telemetry.Json.of_string (read_file path) with
+        | Error msg ->
+          Printf.eprintf "cannot parse %s: %s\n" path msg;
+          exit 1
+        | Ok json -> (
+          match Ise_obs.Episode.of_chrome_json json with
+          | Error msg ->
+            Printf.eprintf "cannot read trace %s: %s\n" path msg;
+            exit 1
+          | Ok evs -> (evs, [])))
+    in
+    (* contract-order flags: CLI override > journal metadata > Table 5
+       defaults (same-stream, ordered applies) *)
+    let ordered_interface =
+      match ordered_interface with
+      | Some b -> b
+      | None -> meta_bool meta "ordered_interface" true
+    in
+    let ordered_apply =
+      match ordered_apply with
+      | Some b -> b
+      | None -> meta_bool meta "ordered_apply" true
+    in
+    let analysis =
+      Ise_obs.Episode.analyze ~ordered_interface ~ordered_apply
+        ~retry_threshold events
+    in
+    (match format with
+     | "text" -> print_string (Ise_obs.Episode.report_text ~top analysis)
+     | "md" -> print_string (Ise_obs.Episode.report_md ~top analysis)
+     | "json" ->
+       print_endline
+         (Ise_telemetry.Json.to_string_pretty
+            (Ise_obs.Episode.report_json ~top analysis))
+     | f ->
+       Printf.eprintf "unknown format %S (text|md|json)\n" f;
+       exit 1);
+    if check && not (Ise_obs.Episode.clean analysis) then 1 else 0
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Flight-recorder journal to analyze (from \
+                   $(b,chaos run --journal-out) or a pool worker's \
+                   crash journal).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Chrome trace-event JSON to analyze (from --trace-out).")
+  in
+  let format_arg =
+    Arg.(value & opt string "text"
+         & info [ "f"; "format" ] ~docv:"FMT" ~doc:"text|md|json")
+  in
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N" ~doc:"Slowest episodes to list.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Exit non-zero when the offline analysis finds any \
+                   contract anomaly.")
+  in
+  let oi_arg =
+    Arg.(value & opt (some bool) None
+         & info [ "ordered-interface" ] ~docv:"BOOL"
+             ~doc:"Require GETs to replay PUT order (same-stream protocol); \
+                   default: journal metadata, else true.")
+  in
+  let oa_arg =
+    Arg.(value & opt (some bool) None
+         & info [ "ordered-apply" ] ~docv:"BOOL"
+             ~doc:"Require applies to follow GET order (PC); default: \
+                   journal metadata, else true.")
+  in
+  let retry_arg =
+    Arg.(value & opt int 4
+         & info [ "retry-threshold" ] ~docv:"N"
+             ~doc:"GET retries per store beyond which an episode is flagged \
+                   as a retry storm.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Offline episode post-mortem: reconstruct per-fault episode \
+             timelines from a journal or trace, re-validate the Table 5 \
+             lifecycle, and break down per-phase latencies")
+    Term.(const run $ journal_arg $ trace_arg $ format_arg $ top_arg
+          $ check_arg $ oi_arg $ oa_arg $ retry_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+
+let compare_cmd =
+  let run base_file new_file against kind label threshold overrides format =
+    let thresholds =
+      List.map
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | Some i -> (
+            let name = String.sub spec 0 i in
+            let v =
+              String.sub spec (i + 1) (String.length spec - i - 1)
+            in
+            match float_of_string_opt v with
+            | Some f when f >= 0. -> (name, f)
+            | _ ->
+              Printf.eprintf "bad --metric-threshold %S (NAME=FLOAT)\n" spec;
+              exit 1)
+          | None ->
+            Printf.eprintf "bad --metric-threshold %S (NAME=FLOAT)\n" spec;
+            exit 1)
+        overrides
+    in
+    let load path =
+      match Ise_obs.Ledger.load ~path with
+      | Ok records -> records
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    let pick path records =
+      match Ise_obs.Ledger.last ?kind ?label records with
+      | Some r -> r
+      | None ->
+        Printf.eprintf "no matching run record in %s\n" path;
+        exit 1
+    in
+    let base, cand =
+      match (against, base_file, new_file) with
+      | Some path, None, None -> (
+        (* last two matching records of one ledger: did the newest run
+           regress against its predecessor? *)
+        let matching =
+          List.filter
+            (fun r ->
+              (match kind with
+               | None -> true
+               | Some k -> r.Ise_obs.Ledger.l_kind = k)
+              && match label with
+                 | None -> true
+                 | Some l -> r.Ise_obs.Ledger.l_label = l)
+            (load path)
+        in
+        match List.rev matching with
+        | cand :: base :: _ -> (base, cand)
+        | _ ->
+          Printf.eprintf "need two matching run records in %s\n" path;
+          exit 1)
+      | None, Some b, Some n -> (pick b (load b), pick n (load n))
+      | _ ->
+        Printf.eprintf
+          "usage: ise compare BASE NEW | ise compare --against-ledger FILE\n";
+        exit 1
+    in
+    let cmp =
+      Ise_obs.Ledger.compare_records ~threshold ~thresholds ~base cand
+    in
+    (match format with
+     | "text" -> print_string (Ise_obs.Ledger.comparison_text cmp)
+     | "md" -> print_string (Ise_obs.Ledger.comparison_md cmp)
+     | "json" ->
+       print_endline
+         (Ise_telemetry.Json.to_string_pretty
+            (Ise_obs.Ledger.comparison_json cmp))
+     | f ->
+       Printf.eprintf "unknown format %S (text|md|json)\n" f;
+       exit 1);
+    if Ise_obs.Ledger.regressed cmp then 1 else 0
+  in
+  let base_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"BASE"
+             ~doc:"Baseline ledger file (its last matching record is the \
+                   baseline).")
+  in
+  let new_arg =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"NEW"
+             ~doc:"Candidate ledger file (its last matching record is \
+                   compared).")
+  in
+  let against_arg =
+    Arg.(value & opt (some string) None
+         & info [ "against-ledger" ] ~docv:"FILE"
+             ~doc:"Compare the last two matching records of one ledger \
+                   instead of two files.")
+  in
+  let kind_arg =
+    Arg.(value & opt (some string) None
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"Only consider records of this kind (bench|fuzz|chaos).")
+  in
+  let label_arg =
+    Arg.(value & opt (some string) None
+         & info [ "label" ] ~docv:"LABEL"
+             ~doc:"Only consider records with this label.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 0.02
+         & info [ "threshold" ] ~docv:"FRAC"
+             ~doc:"Default relative noise band; a gated metric regresses \
+                   only strictly beyond it.")
+  in
+  let override_arg =
+    Arg.(value & opt_all string []
+         & info [ "metric-threshold" ] ~docv:"NAME=FRAC"
+             ~doc:"Per-metric noise-band override (repeatable).")
+  in
+  let format_arg =
+    Arg.(value & opt string "text"
+         & info [ "f"; "format" ] ~docv:"FMT" ~doc:"text|md|json")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Diff two ledger run records metric-by-metric with noise \
+             thresholds; exits non-zero on regression (the CI perf gate)")
+    Term.(const run $ base_arg $ new_arg $ against_arg $ kind_arg $ label_arg
+          $ threshold_arg $ override_arg $ format_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
 let () =
+  Printexc.record_backtrace true;
+  (* process-global flight recorder: library code (campaign failures,
+     chaos machines) records into it, and an uncaught exception dumps
+     the ring so there is a post-mortem artifact even for CLI crashes *)
+  ignore
+    (Ise_obs.Recorder.enable ~capacity:2048
+       ~meta:(Ise_obs.Runinfo.stamp_meta () @ [ ("kind", "cli") ])
+       ());
+  Ise_obs.Recorder.note "cli/start"
+    ~args:
+      [ ( "argv",
+          Ise_telemetry.Json.String
+            (String.concat " " (Array.to_list Sys.argv)) ) ];
   let info =
     Cmd.info "ise" ~version:"1.0"
       ~doc:"Imprecise Store Exceptions — litmus tests, workloads, benchmarks"
   in
-  exit
-    (Cmd.eval'
-       (Cmd.group ~default info
-          [ litmus_cmd; mbench_cmd; gap_cmd; mix_cmd; explain_cmd; stats_cmd; chaos_cmd;
-            fuzz_cmd ]))
+  let code =
+    try
+      Cmd.eval' ~catch:false
+        (Cmd.group ~default info
+           [ litmus_cmd; mbench_cmd; gap_cmd; mix_cmd; explain_cmd; stats_cmd;
+             chaos_cmd; fuzz_cmd; report_cmd; compare_cmd ])
+    with e ->
+      let bt = Printexc.get_backtrace () in
+      let msg = Printexc.to_string e in
+      Printf.eprintf "ise: uncaught exception: %s\n%s%!" msg bt;
+      (match Ise_obs.Recorder.global () with
+       | None -> ()
+       | Some r ->
+         Ise_obs.Recorder.note "cli/uncaught-exception"
+           ~args:[ ("exn", Ise_telemetry.Json.String msg) ];
+         let path = Filename.concat ".ise" "crash-journal.jnl" in
+         (try
+            if not (Sys.file_exists ".ise") then Sys.mkdir ".ise" 0o755;
+            Ise_obs.Recorder.dump_to r path;
+            Printf.eprintf "flight recorder dumped to %s\n%!" path
+          with _ -> ()));
+      125
+  in
+  exit code

@@ -12,6 +12,7 @@ type report = {
   r_verified : int;
   r_mismatches : int;
   r_snapshot : string option;
+  r_journal : string;
 }
 
 let ok r = r.r_violations = [] && r.r_mismatches = 0
@@ -86,6 +87,24 @@ let run_stress ?(ncores = 4) ?(stores_per_core = 120) ?telemetry ~seed
       ~ncores ()
   in
   Watchdog.attach wd machine;
+  (* always-on flight recorder: same event stream the watchdog sees,
+     dumped with the snapshot when something trips *)
+  let recorder =
+    Ise_obs.Recorder.create ~capacity:8192
+      ~meta:
+        (Ise_obs.Runinfo.stamp_meta ()
+        @ [ ("kind", "chaos"); ("profile", profile.Profile.name);
+            ("seed", string_of_int seed); ("ncores", string_of_int ncores);
+            ( "ordered_interface",
+              string_of_bool
+                (cfg.Config.protocol_mode = Ise_core.Protocol.Same_stream) );
+            ( "ordered_apply",
+              string_of_bool (cfg.Config.consistency <> Ise_model.Axiom.Wc) )
+          ])
+      ()
+  in
+  Ise_obs.Recorder.observe_machine recorder machine;
+  Ise_obs.Recorder.observe_machine_global machine;
   (match telemetry with
    | None -> ()
    | Some sink -> Machine.attach_telemetry machine sink);
@@ -155,7 +174,17 @@ let run_stress ?(ncores = 4) ?(stores_per_core = 120) ?telemetry ~seed
     r_verified = !verified;
     r_mismatches = List.length mismatches;
     r_snapshot =
-      (if violations = [] then None else Some (Watchdog.snapshot wd));
+      (if violations = [] then None
+       else
+         Some
+           (Watchdog.snapshot wd
+           ^ "--- flight recorder (journal tail) ---\n"
+           ^ String.concat "\n" (Ise_obs.Recorder.tail_lines recorder)
+           ^ "\n"));
+    r_journal =
+      (Ise_obs.Recorder.set_meta recorder "dropped"
+         (string_of_int (Ise_obs.Recorder.dropped recorder));
+       Ise_obs.Recorder.dump recorder);
   }
 
 let pp_report ppf r =
@@ -271,6 +300,9 @@ let lit_check ?(seeds = 12) ~cfg ~profile (t : Ise_litmus.Lit_test.t) =
           ~ncores ()
       in
       Watchdog.attach wd machine;
+      (* forked campaign workers may have a global (spilling) recorder:
+         mirror the lifecycle stream so a crash leaves a journal tail *)
+      Ise_obs.Recorder.observe_machine_global machine;
       List.iter
         (fun l ->
           Einject.set_faulting (Machine.einject machine) (loc_addr ~base l))

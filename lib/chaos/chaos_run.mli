@@ -19,7 +19,13 @@ type report = {
   r_terminated : int;  (** cores gracefully terminated *)
   r_verified : int;  (** words checked against the last-writer model *)
   r_mismatches : int;  (** words whose final value was wrong *)
-  r_snapshot : string option;  (** diagnostic dump when something failed *)
+  r_snapshot : string option;
+      (** diagnostic dump when something failed, with the flight
+          recorder's journal tail appended *)
+  r_journal : string;
+      (** full {!Ise_obs.Journal} text of the run's lifecycle events
+          (bounded by the recorder ring) — feed to
+          [Ise_obs.Episode.analyze] or [ise report] *)
 }
 
 val ok : report -> bool

@@ -253,7 +253,8 @@ type report = {
 
 let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
     ?(variants = all_variants) ?(variants_per_test = 2) ?(model_checks = true)
-    ?(shrink_evals = 400) ?(jobs = 1) ?job_timeout ?telemetry
+    ?(shrink_evals = 400) ?(jobs = 1) ?job_timeout
+    ?(shard_sizing = `Formula) ?journal_dir ?telemetry
     ?(log = fun (_ : string) -> ()) ~seed () =
   (match Gen.validate params with
    | Ok () -> ()
@@ -316,6 +317,11 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
     log
       (Printf.sprintf "FAIL %s under %s [%s]: %s" t.Lit_test.name
          (variant_name v) (kind_name kind) detail);
+    Ise_obs.Recorder.note "fuzz/failure"
+      ~args:
+        [ ("test", Ise_telemetry.Json.String t.Lit_test.name);
+          ("variant", Ise_telemetry.Json.String (variant_name v));
+          ("kind", Ise_telemetry.Json.String (kind_name kind)) ];
     let shrunk, steps =
       Shrink.minimize ~max_evals:shrink_evals
         ~keeps_failing:(kind_fails ~seeds:seeds_per_test v kind)
@@ -359,13 +365,6 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
     (* contiguous shards keep each test's global index — the variant
        schedule depends on it — and results come back in shard order,
        so the failure stream is byte-identical to the sequential one *)
-    let shard_size = max 1 ((count + (jobs * 4) - 1) / (jobs * 4)) in
-    let nshards = (count + shard_size - 1) / shard_size in
-    let shards =
-      Array.init nshards (fun s ->
-          let base = s * shard_size in
-          (base, Array.sub tests base (min shard_size (count - base))))
-    in
     let worker (base, ts) =
       let acc = ref [] in
       Array.iteri
@@ -384,16 +383,22 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
           ( (base, Array.sub ts 0 mid),
             (base + mid, Array.sub ts mid (len - mid)) )
     in
-    let outcomes, _stats =
-      Ise_pool.Pool.map ~jobs ?job_timeout ?telemetry ~bisect worker shards
-    in
+    (* Consumption asserts the deterministic-schedule contract: every
+       sizing policy must hand results back contiguously in global
+       test order, or the variant schedule (a function of the global
+       index) would silently diverge from the sequential run. *)
+    let next_base = ref 0 in
     let rec consume s (base, ts) outcome =
       match outcome with
       | Ise_pool.Pool.Done fs ->
+        assert (base = !next_base);
+        next_base := base + Array.length ts;
         count_tests (Array.length ts);
         count_checks (Array.length ts * variants_per_test);
         List.iter (fun f -> failures := process_failure f :: !failures) fs
       | Ise_pool.Pool.Failed err ->
+        assert (base = !next_base);
+        next_base := base + Array.length ts;
         lost := !lost + Array.length ts;
         log
           (Printf.sprintf "LOST shard %d (tests %d-%d): %s" s base
@@ -411,7 +416,72 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
           (base + mid, Array.sub ts mid (Array.length ts - mid))
           ro
     in
-    Array.iteri (fun s outcome -> consume s shards.(s) outcome) outcomes
+    let run_shards shards =
+      let outcomes, _stats =
+        Ise_pool.Pool.map ~jobs ?job_timeout ?telemetry ~bisect ?journal_dir
+          worker shards
+      in
+      Array.iteri (fun s outcome -> consume s shards.(s) outcome) outcomes
+    in
+    let formula_size = max 1 ((count + (jobs * 4) - 1) / (jobs * 4)) in
+    (* `Auto: run a pilot of single-test shards through the pool with a
+       private sink, then size the remaining shards from the measured
+       per-test latency (pool/worker<k>/job_ms histograms) *)
+    let pilot =
+      match shard_sizing with `Auto -> min count (jobs * 2) | _ -> 0
+    in
+    let shard_size =
+      if pilot = 0 then
+        match shard_sizing with `Fixed n -> max 1 n | _ -> formula_size
+      else begin
+        let cal = Ise_telemetry.Sink.create () in
+        let pshards = Array.init pilot (fun i -> (i, Array.sub tests i 1)) in
+        let outcomes, _stats =
+          Ise_pool.Pool.map ~jobs ?job_timeout ~telemetry:cal ~bisect
+            ?journal_dir worker pshards
+        in
+        Array.iteri (fun s outcome -> consume s pshards.(s) outcome) outcomes;
+        let is_job_ms name =
+          String.length name > 12
+          && String.sub name 0 11 = "pool/worker"
+          && String.sub name (String.length name - 7) 7 = "/job_ms"
+        in
+        let total_ms = ref 0.0 and samples = ref 0 in
+        List.iter
+          (fun (name, s) ->
+            match s with
+            | Ise_telemetry.Registry.Snap_histogram h when is_job_ms name ->
+              total_ms := !total_ms +. (h.s_mean *. float_of_int h.s_count);
+              samples := !samples + h.s_count
+            | _ -> ())
+          (Ise_telemetry.Registry.snapshot (Ise_telemetry.Sink.registry cal));
+        if !samples = 0 then formula_size
+        else begin
+          let mean = Float.max 0.01 (!total_ms /. float_of_int !samples) in
+          let target_ms = 250.0 in
+          let by_latency =
+            max 1 (int_of_float (Float.round (target_ms /. mean)))
+          in
+          (* keep at least two shards per worker so the tail balances *)
+          let cap = max 1 ((count - pilot + (jobs * 2) - 1) / (jobs * 2)) in
+          let chosen = min by_latency cap in
+          log
+            (Printf.sprintf
+               "auto shard sizing: pilot %d tests, mean %.1f ms/test -> %d \
+                tests/shard"
+               pilot mean chosen);
+          chosen
+        end
+      end
+    in
+    let remaining = count - pilot in
+    let nshards = (remaining + shard_size - 1) / shard_size in
+    let shards =
+      Array.init nshards (fun s ->
+          let base = pilot + (s * shard_size) in
+          (base, Array.sub tests base (min shard_size (count - base))))
+    in
+    run_shards shards
   end;
   {
     r_seed = seed;

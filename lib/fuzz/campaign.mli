@@ -116,6 +116,8 @@ val run :
   ?variants:variant list -> ?variants_per_test:int ->
   ?model_checks:bool -> ?shrink_evals:int ->
   ?jobs:int -> ?job_timeout:float ->
+  ?shard_sizing:[ `Formula | `Fixed of int | `Auto ] ->
+  ?journal_dir:string ->
   ?telemetry:Ise_telemetry.Sink.t -> ?log:(string -> unit) ->
   seed:int -> unit -> report
 (** Deterministic in [seed].  [count] (default 100) programs are
@@ -134,7 +136,23 @@ val run :
     to a [jobs = 1] run of the same seed.  A shard whose worker dies
     even after retries is {e reported} ([r_lost_tests], a [LOST] log
     line) rather than aborting the campaign.  [job_timeout] bounds one
-    shard's wall-clock seconds. *)
+    shard's wall-clock seconds.
+
+    [shard_sizing] picks the shard size of the parallel path:
+    [`Formula] (default) is the historical [count / (jobs*4)];
+    [`Fixed n] forces [n] tests per shard; [`Auto] first runs a small
+    pilot — [min count (2*jobs)] tests as single-test shards — reads
+    the pool's per-worker [pool/worker<k>/job_ms] latency histograms,
+    and sizes the remaining shards so each targets ~250 ms of work
+    (clamped to keep at least two shards per worker).  Every sizing
+    policy preserves the deterministic schedule: shards stay
+    contiguous in global test order and are consumed in order —
+    asserted at consumption — so the report is byte-identical across
+    policies and worker counts.
+
+    [journal_dir] is passed to {!Ise_pool.Pool.map}: forked workers
+    keep crash journals there, and each chaos-variant machine mirrors
+    its lifecycle events into them. *)
 
 (** {1 Corpus integration} *)
 

@@ -1,0 +1,729 @@
+module Trace = Ise_telemetry.Trace
+module Json = Ise_telemetry.Json
+module Stats = Ise_util.Stats
+
+type kind = Detect | Put | Get | Apply | Resolve | Resume | Terminate
+
+type ev = {
+  e_kind : kind;
+  e_core : int;
+  e_cycle : int;
+  e_seq : int option;
+  e_addr : int option;
+  e_data : int option;
+}
+
+let kind_name = function
+  | Detect -> "DETECT"
+  | Put -> "PUT"
+  | Get -> "GET"
+  | Apply -> "APPLY"
+  | Resolve -> "RESOLVE"
+  | Resume -> "RESUME"
+  | Terminate -> "TERMINATE"
+
+let kind_of_name = function
+  | "DETECT" -> Some Detect
+  | "PUT" -> Some Put
+  | "GET" -> Some Get
+  | "APPLY" -> Some Apply
+  | "RESOLVE" -> Some Resolve
+  | "RESUME" -> Some Resume
+  | "TERMINATE" -> Some Terminate
+  | _ -> None
+
+let int_arg args k =
+  match List.assoc_opt k args with Some v -> Json.to_int v | None -> None
+
+let of_trace_events events =
+  List.filter_map
+    (fun (e : Trace.event) ->
+      match e.ev_ph with
+      | Trace.Instant -> (
+          match kind_of_name e.ev_name with
+          | None -> None
+          | Some e_kind ->
+              Some
+                {
+                  e_kind;
+                  e_core = e.ev_tid;
+                  e_cycle = e.ev_ts;
+                  e_seq = int_arg e.ev_args "seq";
+                  e_addr = int_arg e.ev_args "addr";
+                  e_data = int_arg e.ev_args "data";
+                })
+      | _ -> None)
+    events
+
+let of_chrome_json json =
+  match Json.member "traceEvents" json with
+  | None -> Error "no traceEvents key (not a Chrome trace document)"
+  | Some evs -> (
+      match Json.to_list evs with
+      | None -> Error "traceEvents is not a list"
+      | Some items ->
+          let get_str k o = Option.bind (Json.member k o) Json.to_str in
+          (* numeric fields may round-trip as Float; accept both *)
+          let get_int k o =
+            Option.map int_of_float
+              (Option.bind (Json.member k o) Json.to_float)
+          in
+          Ok
+            (List.filter_map
+               (fun item ->
+                 match (get_str "ph" item, get_str "name" item) with
+                 | Some "i", Some name -> (
+                     match kind_of_name name with
+                     | None -> None
+                     | Some e_kind ->
+                         let args =
+                           Option.value ~default:Json.Null
+                             (Json.member "args" item)
+                         in
+                         Some
+                           {
+                             e_kind;
+                             e_core =
+                               Option.value ~default:0 (get_int "tid" item);
+                             e_cycle =
+                               Option.value ~default:0 (get_int "ts" item);
+                             e_seq = get_int "seq" args;
+                             e_addr = get_int "addr" args;
+                             e_data = get_int "data" args;
+                           })
+                 | _ -> None)
+               items))
+
+let of_journal (p : Journal.parsed) = of_trace_events p.j_events
+
+type anomaly = {
+  a_rule : string;
+  a_core : int;
+  a_cycle : int;
+  a_detail : string;
+}
+
+type episode = {
+  ep_id : int;
+  ep_core : int;
+  ep_detect : int;
+  ep_end : int option;
+  ep_terminated : bool;
+  ep_puts : int;
+  ep_gets : int;
+  ep_applies : int;
+  ep_first_put : int option;
+  ep_last_put : int option;
+  ep_first_get : int option;
+  ep_last_get : int option;
+  ep_first_apply : int option;
+  ep_last_apply : int option;
+  ep_resolve : int option;
+}
+
+type phases = {
+  ph_detect_to_drain : int option;
+  ph_drain : int option;
+  ph_get_loop : int option;
+  ph_apply : int option;
+  ph_resume : int option;
+  ph_total : int option;
+}
+
+let phases_of ep =
+  let sub a b = match (a, b) with Some a, Some b -> Some (a - b) | _ -> None in
+  {
+    ph_detect_to_drain = sub ep.ep_first_put (Some ep.ep_detect);
+    ph_drain = sub ep.ep_last_put ep.ep_first_put;
+    ph_get_loop = sub ep.ep_last_get ep.ep_first_get;
+    ph_apply = sub ep.ep_last_apply ep.ep_first_apply;
+    ph_resume = sub ep.ep_end ep.ep_resolve;
+    ph_total = sub ep.ep_end (Some ep.ep_detect);
+  }
+
+type analysis = {
+  an_events : int;
+  an_cores : int;
+  an_episodes : episode list;
+  an_anomalies : anomaly list;
+}
+
+(* Mutable in-flight episode; frozen into an [episode] at close. *)
+type open_ep = {
+  oe_id : int;
+  oe_core : int;
+  oe_detect : int;
+  mutable oe_puts : int;
+  mutable oe_gets : int;
+  mutable oe_applies : int;
+  mutable oe_first_put : int option;
+  mutable oe_last_put : int option;
+  mutable oe_first_get : int option;
+  mutable oe_last_get : int option;
+  mutable oe_first_apply : int option;
+  mutable oe_last_apply : int option;
+  mutable oe_resolve : int option;
+  mutable oe_get_counts : (int * int) list;  (* key -> GET attempts *)
+}
+
+type cstate = {
+  core : int;
+  mutable open_ep : open_ep option;
+  mutable pending_puts : ev list;  (* not yet GET, oldest first *)
+  mutable pending_gets : ev list;  (* not yet APPLY, in GET order *)
+  mutable last_seq : int;
+  mutable resolved : bool;
+  mutable terminated : bool;
+}
+
+(* Two lifecycle events denote the same store when their sequence
+   numbers agree; journals always carry [seq], Chrome traces from
+   older builds may only carry [addr], so fall back to it. *)
+let same_store a b =
+  match (a.e_seq, b.e_seq) with
+  | Some x, Some y -> x = y
+  | _ -> (
+      match (a.e_addr, b.e_addr) with Some x, Some y -> x = y | _ -> false)
+
+let store_key e =
+  match e.e_seq with
+  | Some s -> s
+  | None -> ( match e.e_addr with Some a -> a | None -> -1)
+
+let pp_store e =
+  let f name = function Some v -> Printf.sprintf " %s=%d" name v | None -> "" in
+  let fx name = function
+    | Some v -> Printf.sprintf " %s=0x%x" name v
+    | None -> ""
+  in
+  String.trim
+    (Printf.sprintf "%s%s%s" (f "seq" e.e_seq) (fx "addr" e.e_addr)
+       (f "data" e.e_data))
+
+let remove_first_store e l =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+        if same_store x e then Some (List.rev_append acc rest)
+        else go (x :: acc) rest
+  in
+  go [] l
+
+let analyze ?(ordered_interface = true) ?(ordered_apply = true)
+    ?(retry_threshold = 4) evs =
+  let max_core =
+    List.fold_left (fun m e -> max m e.e_core) (-1) evs
+  in
+  let ncores = max_core + 1 in
+  let cores =
+    Array.init ncores (fun core ->
+        { core; open_ep = None; pending_puts = []; pending_gets = [];
+          last_seq = -1; resolved = false; terminated = false })
+  in
+  let anomalies = ref [] and episodes = ref [] and next_id = ref 0 in
+  let flag ~core ~cycle rule detail =
+    anomalies :=
+      { a_rule = rule; a_core = core; a_cycle = cycle; a_detail = detail }
+      :: !anomalies
+  in
+  let close_ep c ~cycle ~terminated =
+    match c.open_ep with
+    | None -> ()
+    | Some oe ->
+        episodes :=
+          {
+            ep_id = oe.oe_id;
+            ep_core = oe.oe_core;
+            ep_detect = oe.oe_detect;
+            ep_end = Some cycle;
+            ep_terminated = terminated;
+            ep_puts = oe.oe_puts;
+            ep_gets = oe.oe_gets;
+            ep_applies = oe.oe_applies;
+            ep_first_put = oe.oe_first_put;
+            ep_last_put = oe.oe_last_put;
+            ep_first_get = oe.oe_first_get;
+            ep_last_get = oe.oe_last_get;
+            ep_first_apply = oe.oe_first_apply;
+            ep_last_apply = oe.oe_last_apply;
+            ep_resolve = oe.oe_resolve;
+          }
+          :: !episodes;
+        c.open_ep <- None
+  in
+  let touch first last cycle =
+    (match !first with None -> first := Some cycle | Some _ -> ());
+    last := Some cycle
+  in
+  List.iter
+    (fun e ->
+      if e.e_core < 0 || e.e_core >= ncores then
+        flag ~core:e.e_core ~cycle:e.e_cycle "bad-core"
+          (Printf.sprintf "event on core %d" e.e_core)
+      else begin
+        let c = cores.(e.e_core) in
+        let flag rule detail = flag ~core:e.e_core ~cycle:e.e_cycle rule detail in
+        if c.terminated then
+          flag "after-terminate"
+            (Printf.sprintf "core %d emitted %s after TERMINATE" e.e_core
+               (kind_name e.e_kind))
+        else
+          match e.e_kind with
+          | Detect ->
+              (* a DETECT inside an open episode extends it (nested
+                 faults drain into the same handler invocation) *)
+              if c.open_ep = None then begin
+                let oe =
+                  { oe_id = !next_id; oe_core = e.e_core;
+                    oe_detect = e.e_cycle; oe_puts = 0; oe_gets = 0;
+                    oe_applies = 0; oe_first_put = None; oe_last_put = None;
+                    oe_first_get = None; oe_last_get = None;
+                    oe_first_apply = None; oe_last_apply = None;
+                    oe_resolve = None; oe_get_counts = [] }
+                in
+                incr next_id;
+                c.open_ep <- Some oe
+              end;
+              c.resolved <- false
+          | Put ->
+              (match c.open_ep with
+              | None ->
+                  flag "orphan-event"
+                    (Printf.sprintf "core %d PUT %s outside any episode"
+                       e.e_core (pp_store e))
+              | Some oe ->
+                  oe.oe_puts <- oe.oe_puts + 1;
+                  let first = ref oe.oe_first_put and last = ref oe.oe_last_put in
+                  touch first last e.e_cycle;
+                  oe.oe_first_put <- !first;
+                  oe.oe_last_put <- !last);
+              (match e.e_seq with
+              | Some seq ->
+                  if ordered_interface && seq <= c.last_seq then
+                    flag "put-order"
+                      (Printf.sprintf "core %d PUT seq %d after seq %d"
+                         e.e_core seq c.last_seq);
+                  c.last_seq <- max c.last_seq seq
+              | None -> ());
+              c.pending_puts <- c.pending_puts @ [ e ]
+          | Get ->
+              (match c.open_ep with
+              | None ->
+                  flag "orphan-event"
+                    (Printf.sprintf "core %d GET %s outside any episode"
+                       e.e_core (pp_store e))
+              | Some oe ->
+                  oe.oe_gets <- oe.oe_gets + 1;
+                  let first = ref oe.oe_first_get and last = ref oe.oe_last_get in
+                  touch first last e.e_cycle;
+                  oe.oe_first_get <- !first;
+                  oe.oe_last_get <- !last;
+                  let key = store_key e in
+                  let n =
+                    1 + Option.value ~default:0 (List.assoc_opt key oe.oe_get_counts)
+                  in
+                  oe.oe_get_counts <-
+                    (key, n) :: List.remove_assoc key oe.oe_get_counts;
+                  if n = retry_threshold + 1 then
+                    flag "retry-storm"
+                      (Printf.sprintf "core %d GET %s retried %d times"
+                         e.e_core (pp_store e) n));
+              (match c.pending_puts with
+              | oldest :: rest when ordered_interface ->
+                  if same_store oldest e then begin
+                    c.pending_puts <- rest;
+                    c.pending_gets <- c.pending_gets @ [ e ]
+                  end
+                  else (
+                    match remove_first_store e c.pending_puts with
+                    | Some rest' ->
+                        flag "get-order"
+                          (Printf.sprintf
+                             "core %d GET %s but oldest PUT is %s" e.e_core
+                             (pp_store e) (pp_store oldest));
+                        c.pending_puts <- rest';
+                        c.pending_gets <- c.pending_gets @ [ e ]
+                    | None ->
+                        flag "get-unknown"
+                          (Printf.sprintf "core %d GET %s never PUT" e.e_core
+                             (pp_store e)))
+              | _ -> (
+                  match remove_first_store e c.pending_puts with
+                  | Some rest ->
+                      c.pending_puts <- rest;
+                      c.pending_gets <- c.pending_gets @ [ e ]
+                  | None ->
+                      flag "get-unknown"
+                        (Printf.sprintf "core %d GET %s never PUT" e.e_core
+                           (pp_store e))))
+          | Apply ->
+              (match c.open_ep with
+              | None ->
+                  flag "orphan-event"
+                    (Printf.sprintf "core %d APPLY %s outside any episode"
+                       e.e_core (pp_store e))
+              | Some oe ->
+                  oe.oe_applies <- oe.oe_applies + 1;
+                  let first = ref oe.oe_first_apply
+                  and last = ref oe.oe_last_apply in
+                  touch first last e.e_cycle;
+                  oe.oe_first_apply <- !first;
+                  oe.oe_last_apply <- !last);
+              (match c.pending_gets with
+              | oldest :: rest when ordered_apply ->
+                  if same_store oldest e then c.pending_gets <- rest
+                  else (
+                    match remove_first_store e c.pending_gets with
+                    | Some rest' ->
+                        flag "apply-order"
+                          (Printf.sprintf
+                             "core %d APPLY %s but oldest GET is %s" e.e_core
+                             (pp_store e) (pp_store oldest));
+                        c.pending_gets <- rest'
+                    | None ->
+                        flag "apply-unknown"
+                          (Printf.sprintf
+                             "core %d APPLY %s never retrieved (or applied \
+                              twice)"
+                             e.e_core (pp_store e)))
+              | _ -> (
+                  match remove_first_store e c.pending_gets with
+                  | Some rest -> c.pending_gets <- rest
+                  | None ->
+                      flag "apply-unknown"
+                        (Printf.sprintf
+                           "core %d APPLY %s never retrieved (or applied \
+                            twice)"
+                           e.e_core (pp_store e))))
+          | Resolve ->
+              (match c.open_ep with
+              | None ->
+                  flag "orphan-event"
+                    (Printf.sprintf "core %d RESOLVE outside any episode"
+                       e.e_core)
+              | Some oe -> oe.oe_resolve <- Some e.e_cycle);
+              if c.pending_puts <> [] then
+                flag "lost-store"
+                  (Printf.sprintf
+                     "core %d RESOLVE with %d stores never retrieved (%s)"
+                     e.e_core
+                     (List.length c.pending_puts)
+                     (String.concat "; " (List.map pp_store c.pending_puts)));
+              if c.pending_gets <> [] then
+                flag "lost-store"
+                  (Printf.sprintf
+                     "core %d RESOLVE with %d stores never applied (%s)"
+                     e.e_core
+                     (List.length c.pending_gets)
+                     (String.concat "; " (List.map pp_store c.pending_gets)));
+              c.resolved <- true
+          | Resume ->
+              if c.open_ep <> None && not c.resolved then
+                flag "resume-before-resolve"
+                  (Printf.sprintf "core %d RESUME without RESOLVE" e.e_core);
+              close_ep c ~cycle:e.e_cycle ~terminated:false;
+              c.resolved <- false
+          | Terminate ->
+              close_ep c ~cycle:e.e_cycle ~terminated:true;
+              c.terminated <- true;
+              c.pending_puts <- [];
+              c.pending_gets <- []
+      end)
+    evs;
+  (* end of journal *)
+  Array.iter
+    (fun c ->
+      (match c.open_ep with
+      | Some oe ->
+          flag ~core:c.core ~cycle:oe.oe_detect "stuck-episode"
+            (Printf.sprintf
+               "core %d episode #%d detected at cycle %d never resumed"
+               c.core oe.oe_id oe.oe_detect);
+          episodes :=
+            {
+              ep_id = oe.oe_id;
+              ep_core = oe.oe_core;
+              ep_detect = oe.oe_detect;
+              ep_end = None;
+              ep_terminated = false;
+              ep_puts = oe.oe_puts;
+              ep_gets = oe.oe_gets;
+              ep_applies = oe.oe_applies;
+              ep_first_put = oe.oe_first_put;
+              ep_last_put = oe.oe_last_put;
+              ep_first_get = oe.oe_first_get;
+              ep_last_get = oe.oe_last_get;
+              ep_first_apply = oe.oe_first_apply;
+              ep_last_apply = oe.oe_last_apply;
+              ep_resolve = oe.oe_resolve;
+            }
+            :: !episodes;
+          c.open_ep <- None
+      | None -> ());
+      if not c.terminated then begin
+        if c.pending_puts <> [] then
+          flag ~core:c.core ~cycle:(-1) "lost-store-at-exit"
+            (Printf.sprintf "core %d ended with %d stores never retrieved (%s)"
+               c.core
+               (List.length c.pending_puts)
+               (String.concat "; " (List.map pp_store c.pending_puts)));
+        if c.pending_gets <> [] then
+          flag ~core:c.core ~cycle:(-1) "lost-store-at-exit"
+            (Printf.sprintf "core %d ended with %d stores never applied (%s)"
+               c.core
+               (List.length c.pending_gets)
+               (String.concat "; " (List.map pp_store c.pending_gets)))
+      end)
+    cores;
+  let episodes =
+    List.sort (fun a b -> compare a.ep_id b.ep_id) !episodes
+  in
+  {
+    an_events = List.length evs;
+    an_cores = ncores;
+    an_episodes = episodes;
+    an_anomalies = List.rev !anomalies;
+  }
+
+let clean a = a.an_anomalies = []
+
+let rules a =
+  List.sort_uniq compare (List.map (fun v -> v.a_rule) a.an_anomalies)
+
+let total_of ep =
+  match (phases_of ep).ph_total with Some t -> t | None -> max_int
+(* stuck episodes sort as slowest *)
+
+let slowest ?(top = 5) a =
+  let sorted =
+    List.sort (fun x y -> compare (total_of y) (total_of x)) a.an_episodes
+  in
+  List.filteri (fun i _ -> i < top) sorted
+
+(* Per-core rollup: episode counts and total-latency stats. *)
+type rollup = {
+  ru_core : int;
+  ru_episodes : int;
+  ru_terminated : int;
+  ru_stuck : int;
+  ru_puts : int;
+  ru_gets : int;
+  ru_applies : int;
+  ru_total : Stats.t;  (* cycles, completed episodes only *)
+}
+
+let rollups a =
+  List.init a.an_cores (fun core ->
+      let eps = List.filter (fun e -> e.ep_core = core) a.an_episodes in
+      let total = Stats.create () in
+      List.iter
+        (fun e ->
+          match (phases_of e).ph_total with
+          | Some t -> Stats.add_int total t
+          | None -> ())
+        eps;
+      {
+        ru_core = core;
+        ru_episodes = List.length eps;
+        ru_terminated =
+          List.length (List.filter (fun e -> e.ep_terminated) eps);
+        ru_stuck = List.length (List.filter (fun e -> e.ep_end = None) eps);
+        ru_puts = List.fold_left (fun s e -> s + e.ep_puts) 0 eps;
+        ru_gets = List.fold_left (fun s e -> s + e.ep_gets) 0 eps;
+        ru_applies = List.fold_left (fun s e -> s + e.ep_applies) 0 eps;
+        ru_total = total;
+      })
+
+let opt_str = function Some v -> string_of_int v | None -> "-"
+
+let pp_phases b ep =
+  let p = phases_of ep in
+  Buffer.add_string b
+    (Printf.sprintf
+       "total=%s detect_to_drain=%s drain=%s get_loop=%s apply=%s resume=%s"
+       (opt_str p.ph_total)
+       (opt_str p.ph_detect_to_drain)
+       (opt_str p.ph_drain) (opt_str p.ph_get_loop) (opt_str p.ph_apply)
+       (opt_str p.ph_resume))
+
+let report_text ?(top = 5) a =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "episode report: %d lifecycle events, %d cores, %d episodes, %d \
+        anomalies\n"
+       a.an_events a.an_cores
+       (List.length a.an_episodes)
+       (List.length a.an_anomalies));
+  if a.an_anomalies <> [] then begin
+    Buffer.add_string b "\nanomalies:\n";
+    List.iter
+      (fun v ->
+        Buffer.add_string b
+          (Printf.sprintf "  [%s@%d] %s\n" v.a_rule v.a_cycle v.a_detail))
+      a.an_anomalies
+  end;
+  Buffer.add_string b "\nper-core rollup:\n";
+  List.iter
+    (fun r ->
+      let lat =
+        if Stats.count r.ru_total = 0 then "no completed episodes"
+        else
+          Printf.sprintf "total mean %.1f p90 %.1f max %.0f cycles"
+            (Stats.mean r.ru_total)
+            (Stats.percentile r.ru_total 90.)
+            (Stats.max_value r.ru_total)
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "  core %d: %d episodes (%d terminated, %d stuck), %s; puts %d \
+            gets %d applies %d\n"
+           r.ru_core r.ru_episodes r.ru_terminated r.ru_stuck lat r.ru_puts
+           r.ru_gets r.ru_applies))
+    (rollups a);
+  let slow = slowest ~top a in
+  if slow <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "\nslowest %d episodes:\n" (List.length slow));
+    List.iter
+      (fun ep ->
+        Buffer.add_string b
+          (Printf.sprintf "  #%d core %d detect@%d%s " ep.ep_id ep.ep_core
+             ep.ep_detect
+             (if ep.ep_end = None then " [STUCK]"
+              else if ep.ep_terminated then " [TERMINATED]"
+              else ""));
+        pp_phases b ep;
+        Buffer.add_char b '\n')
+      slow
+  end;
+  Buffer.contents b
+
+let report_md ?(top = 5) a =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "## Episode report\n\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "%d lifecycle events · %d cores · %d episodes · **%d anomalies**\n\n"
+       a.an_events a.an_cores
+       (List.length a.an_episodes)
+       (List.length a.an_anomalies));
+  if a.an_anomalies <> [] then begin
+    Buffer.add_string b "### Anomalies\n\n| rule | core | cycle | detail |\n|---|---|---|---|\n";
+    List.iter
+      (fun v ->
+        Buffer.add_string b
+          (Printf.sprintf "| `%s` | %d | %d | %s |\n" v.a_rule v.a_core
+             v.a_cycle v.a_detail))
+      a.an_anomalies;
+    Buffer.add_char b '\n'
+  end;
+  Buffer.add_string b
+    "### Per-core rollup\n\n\
+     | core | episodes | terminated | stuck | mean total | p90 total | puts \
+     | gets | applies |\n\
+     |---|---|---|---|---|---|---|---|---|\n";
+  List.iter
+    (fun r ->
+      let mean, p90 =
+        if Stats.count r.ru_total = 0 then ("-", "-")
+        else
+          ( Printf.sprintf "%.1f" (Stats.mean r.ru_total),
+            Printf.sprintf "%.1f" (Stats.percentile r.ru_total 90.) )
+      in
+      Buffer.add_string b
+        (Printf.sprintf "| %d | %d | %d | %d | %s | %s | %d | %d | %d |\n"
+           r.ru_core r.ru_episodes r.ru_terminated r.ru_stuck mean p90
+           r.ru_puts r.ru_gets r.ru_applies))
+    (rollups a);
+  let slow = slowest ~top a in
+  if slow <> [] then begin
+    Buffer.add_string b
+      "\n### Slowest episodes\n\n\
+       | # | core | detect | total | detect→drain | drain | GET loop | \
+       apply | resume |\n\
+       |---|---|---|---|---|---|---|---|---|\n";
+    List.iter
+      (fun ep ->
+        let p = phases_of ep in
+        Buffer.add_string b
+          (Printf.sprintf "| %d | %d | %d | %s | %s | %s | %s | %s | %s |\n"
+             ep.ep_id ep.ep_core ep.ep_detect
+             (opt_str p.ph_total)
+             (opt_str p.ph_detect_to_drain)
+             (opt_str p.ph_drain) (opt_str p.ph_get_loop) (opt_str p.ph_apply)
+             (opt_str p.ph_resume)))
+      slow
+  end;
+  Buffer.contents b
+
+let opt_json = function Some v -> Json.Int v | None -> Json.Null
+
+let episode_json ep =
+  let p = phases_of ep in
+  Json.Obj
+    [
+      ("id", Json.Int ep.ep_id);
+      ("core", Json.Int ep.ep_core);
+      ("detect", Json.Int ep.ep_detect);
+      ("end", opt_json ep.ep_end);
+      ("terminated", Json.Bool ep.ep_terminated);
+      ("puts", Json.Int ep.ep_puts);
+      ("gets", Json.Int ep.ep_gets);
+      ("applies", Json.Int ep.ep_applies);
+      ( "phases",
+        Json.Obj
+          [
+            ("detect_to_drain", opt_json p.ph_detect_to_drain);
+            ("drain", opt_json p.ph_drain);
+            ("get_loop", opt_json p.ph_get_loop);
+            ("apply", opt_json p.ph_apply);
+            ("resume", opt_json p.ph_resume);
+            ("total", opt_json p.ph_total);
+          ] );
+    ]
+
+let report_json ?(top = 5) a =
+  Json.Obj
+    (Runinfo.stamp ()
+    @ [
+        ("events", Json.Int a.an_events);
+        ("cores", Json.Int a.an_cores);
+        ("episode_count", Json.Int (List.length a.an_episodes));
+        ("anomaly_count", Json.Int (List.length a.an_anomalies));
+        ("rules", Json.List (List.map (fun r -> Json.String r) (rules a)));
+        ( "anomalies",
+          Json.List
+            (List.map
+               (fun v ->
+                 Json.Obj
+                   [
+                     ("rule", Json.String v.a_rule);
+                     ("core", Json.Int v.a_core);
+                     ("cycle", Json.Int v.a_cycle);
+                     ("detail", Json.String v.a_detail);
+                   ])
+               a.an_anomalies) );
+        ( "rollup",
+          Json.List
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("core", Json.Int r.ru_core);
+                     ("episodes", Json.Int r.ru_episodes);
+                     ("terminated", Json.Int r.ru_terminated);
+                     ("stuck", Json.Int r.ru_stuck);
+                     ("puts", Json.Int r.ru_puts);
+                     ("gets", Json.Int r.ru_gets);
+                     ("applies", Json.Int r.ru_applies);
+                     ( "total_mean",
+                       if Stats.count r.ru_total = 0 then Json.Null
+                       else Json.Float (Stats.mean r.ru_total) );
+                     ( "total_p90",
+                       if Stats.count r.ru_total = 0 then Json.Null
+                       else Json.Float (Stats.percentile r.ru_total 90.) );
+                   ])
+               (rollups a)) );
+        ("slowest", Json.List (List.map episode_json (slowest ~top a)));
+      ])

@@ -1,0 +1,112 @@
+(** Offline episode post-mortem: reconstructs per-fault episode
+    timelines from a journal or Chrome-trace file and re-validates the
+    Table 5 lifecycle (DETECT → PUT → GET → apply → RESOLVE → RESUME).
+
+    This is a {e third}, independent implementation of the contract —
+    alongside [Ise_core.Contract.check] (trace predicate) and
+    [Ise_chaos.Watchdog] (online monitor) — written against the paper
+    table, not against either of those modules, precisely so the three
+    can be cross-checked against each other in tests.  Rule names
+    deliberately match the watchdog's ([lost-store], [get-order], ...)
+    so verdicts are comparable; offline-only anomalies get their own
+    names ([stuck-episode], [retry-storm], [orphan-event]). *)
+
+type kind = Detect | Put | Get | Apply | Resolve | Resume | Terminate
+
+type ev = {
+  e_kind : kind;
+  e_core : int;
+  e_cycle : int;
+  e_seq : int option;  (** store-buffer sequence number, when known *)
+  e_addr : int option;
+  e_data : int option;
+}
+
+val kind_name : kind -> string
+
+(** {1 Event extraction} *)
+
+val of_trace_events : Ise_telemetry.Trace.event list -> ev list
+(** Keeps only lifecycle instants ([DETECT]/[PUT]/...); other trace
+    events (spans, counters) pass through unharmed as [None]-field
+    noise filters.  Order is preserved. *)
+
+val of_chrome_json : Ise_telemetry.Json.t -> (ev list, string) result
+(** From a [to_chrome_json]/[--trace-out] document. *)
+
+val of_journal : Journal.parsed -> ev list
+
+(** {1 Analysis} *)
+
+type anomaly = {
+  a_rule : string;
+  a_core : int;
+  a_cycle : int;
+  a_detail : string;
+}
+
+type episode = {
+  ep_id : int;  (** global, in detection order *)
+  ep_core : int;
+  ep_detect : int;  (** cycle *)
+  ep_end : int option;  (** RESUME/TERMINATE cycle; [None] = stuck *)
+  ep_terminated : bool;
+  ep_puts : int;
+  ep_gets : int;
+  ep_applies : int;
+  ep_first_put : int option;
+  ep_last_put : int option;
+  ep_first_get : int option;
+  ep_last_get : int option;
+  ep_first_apply : int option;
+  ep_last_apply : int option;
+  ep_resolve : int option;
+}
+
+(** Per-phase latency breakdown, all in cycles.  [None] when the
+    bounding events are absent. *)
+type phases = {
+  ph_detect_to_drain : int option;  (** DETECT → first PUT *)
+  ph_drain : int option;  (** first PUT → last PUT *)
+  ph_get_loop : int option;  (** first GET → last GET *)
+  ph_apply : int option;  (** first APPLY → last APPLY *)
+  ph_resume : int option;  (** RESOLVE → RESUME *)
+  ph_total : int option;  (** DETECT → RESUME/TERMINATE *)
+}
+
+val phases_of : episode -> phases
+
+type analysis = {
+  an_events : int;
+  an_cores : int;
+  an_episodes : episode list;  (** detection order *)
+  an_anomalies : anomaly list;
+}
+
+val analyze :
+  ?ordered_interface:bool ->
+  ?ordered_apply:bool ->
+  ?retry_threshold:int ->
+  ev list ->
+  analysis
+(** [ordered_interface] (default [true]): GETs must replay PUT order
+    per core (same-stream protocol).  [ordered_apply] (default
+    [true]): applies must follow GET order (Table 5 requires this only
+    under PC).  [retry_threshold] (default [4]): more GETs than this
+    for one store flags [retry-storm]. *)
+
+val clean : analysis -> bool
+(** No anomalies. *)
+
+val rules : analysis -> string list
+(** Sorted, de-duplicated anomaly rule names. *)
+
+val slowest : ?top:int -> analysis -> episode list
+
+(** {1 Reports} *)
+
+val report_text : ?top:int -> analysis -> string
+val report_md : ?top:int -> analysis -> string
+val report_json : ?top:int -> analysis -> Ise_telemetry.Json.t
+(** All three include per-core rollups and the top-N slowest
+    episodes; [report_json] embeds the {!Runinfo.stamp}. *)

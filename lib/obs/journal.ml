@@ -1,0 +1,228 @@
+module Trace = Ise_telemetry.Trace
+module Json = Ise_telemetry.Json
+
+type meta = (string * string) list
+
+(* %-escape anything that would break line/token structure.  The set
+   is small on purpose: journals are mostly ints and short names, and
+   the escaped form stays grep-able. *)
+let must_escape c =
+  match c with ' ' | '=' | '%' | '\n' | '\r' | '\t' -> true | _ -> false
+
+let escape s =
+  if String.exists must_escape s then (
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if must_escape c then Buffer.add_string b (Printf.sprintf "%%%02x" (Char.code c))
+        else Buffer.add_char b c)
+      s;
+    Buffer.contents b)
+  else s
+
+let unescape s =
+  if not (String.contains s '%') then s
+  else (
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      let c = s.[!i] in
+      if c = '%' && !i + 2 < n then (
+        (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+        | Some code -> Buffer.add_char b (Char.chr (code land 0xff))
+        | None -> Buffer.add_char b c);
+        i := !i + 3)
+      else (
+        Buffer.add_char b c;
+        incr i)
+    done;
+    Buffer.contents b)
+
+let phase_letter = function
+  | Trace.Span_begin -> "B"
+  | Trace.Span_end -> "E"
+  | Trace.Instant -> "i"
+  | Trace.Counter_sample -> "C"
+
+let phase_of_letter = function
+  | "B" -> Some Trace.Span_begin
+  | "E" -> Some Trace.Span_end
+  | "i" -> Some Trace.Instant
+  | "C" -> Some Trace.Counter_sample
+  | _ -> None
+
+let encode_value (v : Json.t) =
+  match v with
+  | Json.Int i -> "i" ^ string_of_int i
+  | Json.Float f -> "f" ^ Printf.sprintf "%h" f
+  | Json.String s -> "s" ^ escape s
+  | Json.Bool b -> if b then "b1" else "b0"
+  | Json.Null -> "n"
+  | (Json.List _ | Json.Obj _) as j -> "j" ^ escape (Json.to_string j)
+
+let decode_value s =
+  if s = "" then Error "empty value"
+  else
+    let payload = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'i' -> (
+        match int_of_string_opt payload with
+        | Some i -> Ok (Json.Int i)
+        | None -> Error ("bad int " ^ payload))
+    | 'f' -> (
+        match float_of_string_opt payload with
+        | Some f -> Ok (Json.Float f)
+        | None -> Error ("bad float " ^ payload))
+    | 's' -> Ok (Json.String (unescape payload))
+    | 'b' -> Ok (Json.Bool (payload = "1"))
+    | 'n' -> Ok Json.Null
+    | 'j' -> Json.of_string (unescape payload)
+    | c -> Error (Printf.sprintf "unknown value tag %c" c)
+
+let encode_event (e : Trace.event) =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (string_of_int e.ev_ts);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (string_of_int e.ev_tid);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (phase_letter e.ev_ph);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (escape e.ev_cat);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (escape e.ev_name);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b (escape k);
+      Buffer.add_char b '=';
+      Buffer.add_string b (encode_value v))
+    e.ev_args;
+  Buffer.contents b
+
+let split_ws s = String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let decode_event line =
+  match split_ws line with
+  | ts :: tid :: ph :: cat :: name :: args -> (
+      match
+        (int_of_string_opt ts, int_of_string_opt tid, phase_of_letter ph)
+      with
+      | Some ev_ts, Some ev_tid, Some ev_ph ->
+          let rec decode_args acc = function
+            | [] -> Ok (List.rev acc)
+            | tok :: rest -> (
+                match String.index_opt tok '=' with
+                | None -> Error ("argument without '=': " ^ tok)
+                | Some i -> (
+                    let k = unescape (String.sub tok 0 i) in
+                    let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+                    match decode_value v with
+                    | Ok v -> decode_args ((k, v) :: acc) rest
+                    | Error e -> Error e))
+          in
+          Result.map
+            (fun ev_args ->
+              {
+                Trace.ev_name = unescape name;
+                ev_cat = unescape cat;
+                ev_ph;
+                ev_ts;
+                ev_tid;
+                ev_args;
+              })
+            (decode_args [] args)
+      | _ -> Error ("bad event prefix: " ^ line))
+  | _ -> Error ("short event line: " ^ line)
+
+let magic = "#ise-journal"
+let version = "v1"
+
+let header meta =
+  let b = Buffer.create 64 in
+  Buffer.add_string b magic;
+  Buffer.add_char b ' ';
+  Buffer.add_string b version;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b (escape k);
+      Buffer.add_char b '=';
+      Buffer.add_string b (escape v))
+    meta;
+  Buffer.contents b
+
+let parse_header line =
+  match split_ws line with
+  | m :: v :: pairs when m = magic ->
+      if v <> version then Error ("unsupported journal version " ^ v)
+      else
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | tok :: rest -> (
+              match String.index_opt tok '=' with
+              | None -> Error ("bad header token: " ^ tok)
+              | Some i ->
+                  let k = unescape (String.sub tok 0 i) in
+                  let v =
+                    unescape (String.sub tok (i + 1) (String.length tok - i - 1))
+                  in
+                  go ((k, v) :: acc) rest)
+        in
+        go [] pairs
+  | _ -> Error "not an ise journal (missing #ise-journal header)"
+
+type parsed = {
+  j_meta : meta;
+  j_events : Ise_telemetry.Trace.event list;
+  j_corrupt : string list;
+}
+
+let render meta events =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (header meta);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string b (encode_event e);
+      Buffer.add_char b '\n')
+    events;
+  Buffer.contents b
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | [] -> Error "empty journal"
+  | hd :: rest -> (
+      match parse_header hd with
+      | Error e -> Error e
+      | Ok j_meta ->
+          let events = ref [] and corrupt = ref [] in
+          List.iter
+            (fun line ->
+              let line = String.trim line in
+              if line <> "" && not (String.length line > 0 && line.[0] = '#')
+              then
+                match decode_event line with
+                | Ok e -> events := e :: !events
+                | Error _ -> corrupt := line :: !corrupt)
+            rest;
+          Ok
+            {
+              j_meta;
+              j_events = List.rev !events;
+              j_corrupt = List.rev !corrupt;
+            })
+
+let load path =
+  match
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+    with Sys_error _ | End_of_file -> None
+  with
+  | None -> Error ("cannot read " ^ path)
+  | Some text -> parse text

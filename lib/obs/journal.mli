@@ -1,0 +1,51 @@
+(** Compact line codec for flight-recorder journals.
+
+    A journal is a plain-text artifact built to survive crashes: a
+    header line carrying run metadata, then one event per line, each
+    line flushed independently, so a journal truncated mid-line by a
+    [SIGKILL] still parses up to the last complete event.
+
+    Format (version 1):
+
+    {v
+    #ise-journal v1 run_id=ab12 git_rev=f00 profile=storm
+    184 2 i ise DETECT
+    190 2 i ise PUT seq=i0 addr=i4096 data=i17
+    v}
+
+    Event lines are [ts tid ph cat name k=v ...] where [ph] is one of
+    [B]/[E]/[i]/[C] (Chrome trace-event phases) and argument values
+    are typed by a one-letter prefix: [i] int, [f] float, [s] string,
+    [b] bool, [n] null, [j] nested JSON.  Strings are %-escaped so a
+    line never contains a raw space, [=], [%], or newline inside a
+    token. *)
+
+type meta = (string * string) list
+
+val escape : string -> string
+val unescape : string -> string
+
+val encode_event : Ise_telemetry.Trace.event -> string
+(** One line, no trailing newline. *)
+
+val decode_event : string -> (Ise_telemetry.Trace.event, string) result
+
+val header : meta -> string
+(** The [#ise-journal v1 ...] line, no trailing newline. *)
+
+val parse_header : string -> (meta, string) result
+
+type parsed = {
+  j_meta : meta;
+  j_events : Ise_telemetry.Trace.event list;  (** oldest first *)
+  j_corrupt : string list;
+      (** lines that failed to decode — a truncated tail is data, not
+          an error *)
+}
+
+val render : meta -> Ise_telemetry.Trace.event list -> string
+val parse : string -> (parsed, string) result
+(** [Error] only when the header is missing or unreadable. *)
+
+val load : string -> (parsed, string) result
+(** Reads and {!parse}s a journal file. *)

@@ -1,0 +1,352 @@
+module Json = Ise_telemetry.Json
+
+type record = {
+  l_run_id : string;
+  l_git_rev : string;
+  l_kind : string;
+  l_label : string;
+  l_seed : int;
+  l_config : string;
+  l_time : float;
+  l_metrics : (string * float) list;
+}
+
+let make ?run_id ?git_rev ?(config = "") ?time ~kind ~label ~seed metrics =
+  {
+    l_run_id = (match run_id with Some r -> r | None -> Runinfo.run_id ());
+    l_git_rev = (match git_rev with Some r -> r | None -> Runinfo.git_rev ());
+    l_kind = kind;
+    l_label = label;
+    l_seed = seed;
+    l_config = config;
+    l_time = (match time with Some t -> t | None -> Unix.gettimeofday ());
+    l_metrics = metrics;
+  }
+
+let to_json r =
+  Json.Obj
+    [
+      ("run_id", Json.String r.l_run_id);
+      ("git_rev", Json.String r.l_git_rev);
+      ("kind", Json.String r.l_kind);
+      ("label", Json.String r.l_label);
+      ("seed", Json.Int r.l_seed);
+      ("config", Json.String r.l_config);
+      ("time", Json.Float r.l_time);
+      ( "metrics",
+        Json.Obj
+          (List.map
+             (fun (k, v) ->
+               ( k,
+                 if Float.is_integer v && Float.abs v < 1e15 then
+                   Json.Int (int_of_float v)
+                 else Json.Float v ))
+             r.l_metrics) );
+    ]
+
+let of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let num k = Option.bind (Json.member k j) Json.to_float in
+  match (str "kind", Json.member "metrics" j) with
+  | None, _ -> Error "record missing \"kind\""
+  | _, None -> Error "record missing \"metrics\""
+  | Some kind, Some (Json.Obj fields) ->
+      let metrics =
+        List.filter_map
+          (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float v))
+          fields
+      in
+      Ok
+        {
+          l_run_id = Option.value ~default:"" (str "run_id");
+          l_git_rev = Option.value ~default:"unknown" (str "git_rev");
+          l_kind = kind;
+          l_label = Option.value ~default:"" (str "label");
+          l_seed =
+            int_of_float (Option.value ~default:0.0 (num "seed"));
+          l_config = Option.value ~default:"" (str "config");
+          l_time = Option.value ~default:0.0 (num "time");
+          l_metrics = metrics;
+        }
+  | Some _, Some _ -> Error "record \"metrics\" is not an object"
+
+let mkdir_for path =
+  let dir = Filename.dirname path in
+  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let append ~path r =
+  mkdir_for path;
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  output_string oc (Json.to_string (to_json r));
+  output_char oc '\n';
+  close_out oc
+
+let load ~path =
+  match
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+    with Sys_error _ | End_of_file -> None
+  with
+  | None -> Error ("cannot read " ^ path)
+  | Some text ->
+      let lines = String.split_on_char '\n' text in
+      let rec go acc i = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+            let line = String.trim line in
+            if line = "" then go acc (i + 1) rest
+            else (
+              match Json.of_string line with
+              | Error e ->
+                  Error (Printf.sprintf "%s:%d: bad JSON: %s" path i e)
+              | Ok j -> (
+                  match of_json j with
+                  | Error e ->
+                      Error (Printf.sprintf "%s:%d: bad record: %s" path i e)
+                  | Ok r -> go (r :: acc) (i + 1) rest))
+      in
+      go [] 1 lines
+
+let last ?kind ?label records =
+  let matches r =
+    (match kind with Some k -> r.l_kind = k | None -> true)
+    && match label with Some l -> r.l_label = l | None -> true
+  in
+  List.fold_left
+    (fun acc r -> if matches r then Some r else acc)
+    None records
+
+(* Comparison *)
+
+type direction = Lower_better | Higher_better | Informational
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let ends_with ~suffix s =
+  let ns = String.length s and nf = String.length suffix in
+  ns >= nf && String.sub s (ns - nf) nf = suffix
+
+let direction_of name =
+  let n = String.lowercase_ascii name in
+  (* wall-clock is machine-dependent: report, never gate *)
+  if contains n "wall" || contains n "detected" then Informational
+  else if
+    contains n "cycle" || contains n "violation" || contains n "failure"
+    || contains n "mismatch" || contains n "anomal" || contains n "dropped"
+    || contains n "stall" || ends_with ~suffix:"_ms" n
+    || contains n "latency" || contains n "occupancy"
+  then Lower_better
+  else if
+    contains n "speedup" || contains n "throughput" || contains n "ipc"
+    || contains n "retired" || contains n "relative"
+  then Higher_better
+  else Informational
+
+type verdict =
+  | Improved
+  | Neutral
+  | Regressed
+  | Missing_base
+  | Missing_new
+  | Incomparable
+
+type delta = {
+  d_name : string;
+  d_dir : direction;
+  d_base : float option;
+  d_new : float option;
+  d_rel : float option;
+  d_verdict : verdict;
+}
+
+type comparison = {
+  c_base : record;
+  c_new : record;
+  c_deltas : delta list;
+}
+
+let classify ~dir ~thr ~base ~cand =
+  if Float.is_nan base || Float.is_nan cand then (None, Incomparable)
+  else if base = 0.0 then
+    if cand = 0.0 then (Some 0.0, Neutral) else (None, Incomparable)
+  else
+    let rel = (cand -. base) /. Float.abs base in
+    let v =
+      match dir with
+      | Informational -> Neutral
+      | Lower_better ->
+          if rel > thr then Regressed
+          else if rel < -.thr then Improved
+          else Neutral
+      | Higher_better ->
+          if rel < -.thr then Regressed
+          else if rel > thr then Improved
+          else Neutral
+    in
+    (Some rel, v)
+
+let compare_records ?(threshold = 0.02) ?(thresholds = []) ~base cand =
+  let names =
+    List.sort_uniq compare
+      (List.map fst base.l_metrics @ List.map fst cand.l_metrics)
+  in
+  let deltas =
+    List.map
+      (fun name ->
+        let b = List.assoc_opt name base.l_metrics
+        and n = List.assoc_opt name cand.l_metrics in
+        let dir = direction_of name in
+        let thr =
+          Option.value ~default:threshold (List.assoc_opt name thresholds)
+        in
+        let rel, verdict =
+          match (b, n) with
+          | None, Some _ -> (None, Missing_base)
+          | Some _, None -> (None, Missing_new)
+          | None, None -> (None, Incomparable)
+          | Some b, Some n -> classify ~dir ~thr ~base:b ~cand:n
+        in
+        {
+          d_name = name;
+          d_dir = dir;
+          d_base = b;
+          d_new = n;
+          d_rel = rel;
+          d_verdict = verdict;
+        })
+      names
+  in
+  { c_base = base; c_new = cand; c_deltas = deltas }
+
+let regressed c = List.exists (fun d -> d.d_verdict = Regressed) c.c_deltas
+let improved c = List.exists (fun d -> d.d_verdict = Improved) c.c_deltas
+
+let counts c =
+  List.fold_left
+    (fun (i, n, r) d ->
+      match d.d_verdict with
+      | Improved -> (i + 1, n, r)
+      | Regressed -> (i, n, r + 1)
+      | _ -> (i, n + 1, r))
+    (0, 0, 0) c.c_deltas
+
+let verdict_name = function
+  | Improved -> "improved"
+  | Neutral -> "neutral"
+  | Regressed -> "REGRESSED"
+  | Missing_base -> "new-metric"
+  | Missing_new -> "missing"
+  | Incomparable -> "incomparable"
+
+let dir_glyph = function
+  | Lower_better -> "<"
+  | Higher_better -> ">"
+  | Informational -> "."
+
+let opt_num = function Some f -> Printf.sprintf "%.4g" f | None -> "-"
+let opt_pct = function
+  | Some f -> Printf.sprintf "%+.1f%%" (100.0 *. f)
+  | None -> "-"
+
+let overall c =
+  if regressed c then "REGRESSED" else if improved c then "improved" else "neutral"
+
+let header_line c =
+  Printf.sprintf "compare %s/%s (%s, seed %d) -> %s/%s (%s, seed %d): %s"
+    c.c_base.l_kind c.c_base.l_label c.c_base.l_git_rev c.c_base.l_seed
+    c.c_new.l_kind c.c_new.l_label c.c_new.l_git_rev c.c_new.l_seed
+    (overall c)
+
+let comparison_text c =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (header_line c);
+  Buffer.add_char b '\n';
+  let i, n, r = counts c in
+  Buffer.add_string b
+    (Printf.sprintf "  %d improved, %d neutral, %d regressed\n" i n r);
+  List.iter
+    (fun d ->
+      if d.d_verdict <> Neutral || d.d_dir <> Informational then
+        Buffer.add_string b
+          (Printf.sprintf "  %-12s %s %-40s %10s -> %-10s %8s\n"
+             (verdict_name d.d_verdict)
+             (dir_glyph d.d_dir) d.d_name (opt_num d.d_base) (opt_num d.d_new)
+             (opt_pct d.d_rel)))
+    c.c_deltas;
+  Buffer.contents b
+
+let comparison_md c =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "## Perf comparison — **%s**\n\n" (overall c));
+  Buffer.add_string b
+    (Printf.sprintf "base `%s` (%s) → new `%s` (%s)\n\n" c.c_base.l_git_rev
+       c.c_base.l_label c.c_new.l_git_rev c.c_new.l_label);
+  Buffer.add_string b
+    "| metric | dir | base | new | Δ | verdict |\n|---|---|---|---|---|---|\n";
+  List.iter
+    (fun d ->
+      Buffer.add_string b
+        (Printf.sprintf "| `%s` | %s | %s | %s | %s | %s |\n" d.d_name
+           (dir_glyph d.d_dir) (opt_num d.d_base) (opt_num d.d_new)
+           (opt_pct d.d_rel)
+           (verdict_name d.d_verdict)))
+    c.c_deltas;
+  Buffer.contents b
+
+let opt_json = function
+  | Some f ->
+      if Float.is_nan f then Json.Null
+      else if Float.is_integer f && Float.abs f < 1e15 then
+        Json.Int (int_of_float f)
+      else Json.Float f
+  | None -> Json.Null
+
+let comparison_json c =
+  let i, n, r = counts c in
+  Json.Obj
+    (Runinfo.stamp ()
+    @ [
+        ("overall", Json.String (overall c));
+        ("base_rev", Json.String c.c_base.l_git_rev);
+        ("new_rev", Json.String c.c_new.l_git_rev);
+        ("improved", Json.Int i);
+        ("neutral", Json.Int n);
+        ("regressed", Json.Int r);
+        ( "deltas",
+          Json.List
+            (List.map
+               (fun d ->
+                 Json.Obj
+                   [
+                     ("name", Json.String d.d_name);
+                     ("base", opt_json d.d_base);
+                     ("new", opt_json d.d_new);
+                     ("rel", opt_json d.d_rel);
+                     ("verdict", Json.String (verdict_name d.d_verdict));
+                   ])
+               c.c_deltas) );
+      ])
+
+let flatten_json ?(prefix = "") json =
+  let acc = ref [] in
+  let join p k = if p = "" then k else p ^ "/" ^ k in
+  let rec go p (j : Json.t) =
+    match j with
+    | Json.Int i -> acc := (p, float_of_int i) :: !acc
+    | Json.Float f -> acc := (p, f) :: !acc
+    | Json.Bool b -> acc := (p, if b then 1.0 else 0.0) :: !acc
+    | Json.Null | Json.String _ -> ()
+    | Json.Obj fields -> List.iter (fun (k, v) -> go (join p k) v) fields
+    | Json.List items -> List.iteri (fun i v -> go (join p (string_of_int i)) v) items
+  in
+  go prefix json;
+  List.rev !acc

@@ -1,0 +1,114 @@
+(** Cross-run regression ledger: newline-JSON run records plus a
+    thresholded metric differ for CI perf gating.
+
+    Each bench/campaign/chaos run can append one {!record} — git rev,
+    seed, config digest, flat metric snapshot — to a ledger file
+    ([.ise/ledger.jsonl] locally, [BENCH_history.jsonl] committed).
+    {!compare_records} diffs two metric snapshots with per-metric
+    noise thresholds and classifies every metric as improved, neutral,
+    or regressed; the overall verdict gates CI.
+
+    Threshold semantics: for relative delta [d = (new - base)/|base|]
+    and threshold [thr], a metric regresses only when it moves {e
+    strictly} beyond the threshold in its bad direction — a delta
+    exactly at the threshold is neutral (noise bands are inclusive).
+    Metrics whose direction cannot be inferred from the name, and
+    wall-clock timings (machine-dependent), are informational: shown,
+    never gating.  NaN or zero baselines make a metric incomparable
+    rather than regressed, and a metric missing from one side is
+    reported as missing — visible, not gating — so a renamed metric
+    cannot silently pass {e or} spuriously fail the gate. *)
+
+type record = {
+  l_run_id : string;
+  l_git_rev : string;
+  l_kind : string;  (** ["bench"], ["fuzz"], ["chaos"] *)
+  l_label : string;  (** e.g. bench section list *)
+  l_seed : int;
+  l_config : string;  (** digest of the run configuration *)
+  l_time : float;  (** unix epoch seconds *)
+  l_metrics : (string * float) list;
+}
+
+val make :
+  ?run_id:string ->
+  ?git_rev:string ->
+  ?config:string ->
+  ?time:float ->
+  kind:string ->
+  label:string ->
+  seed:int ->
+  (string * float) list ->
+  record
+(** Defaults: {!Runinfo.run_id}/{!Runinfo.git_rev}, config [""], time
+    [Unix.gettimeofday ()]. *)
+
+val to_json : record -> Ise_telemetry.Json.t
+val of_json : Ise_telemetry.Json.t -> (record, string) result
+
+val append : path:string -> record -> unit
+(** Creates parent directory and file as needed; one compact JSON
+    object per line. *)
+
+val load : path:string -> (record list, string) result
+(** Oldest first; blank lines skipped; a corrupt line is an [Error]. *)
+
+val last : ?kind:string -> ?label:string -> record list -> record option
+
+(** {1 Comparison} *)
+
+type direction = Lower_better | Higher_better | Informational
+
+val direction_of : string -> direction
+(** Inferred from the metric name ([cycles], [violations], [_ms] →
+    lower-better; [speedup], [throughput], [ipc] → higher-better;
+    wall-clock and unknown names → informational). *)
+
+type verdict =
+  | Improved
+  | Neutral
+  | Regressed
+  | Missing_base  (** metric only in the new record *)
+  | Missing_new  (** metric only in the base record *)
+  | Incomparable  (** NaN, or zero baseline with nonzero new value *)
+
+type delta = {
+  d_name : string;
+  d_dir : direction;
+  d_base : float option;
+  d_new : float option;
+  d_rel : float option;  (** relative delta, when computable *)
+  d_verdict : verdict;
+}
+
+type comparison = {
+  c_base : record;
+  c_new : record;
+  c_deltas : delta list;  (** sorted by metric name *)
+}
+
+val compare_records :
+  ?threshold:float ->
+  ?thresholds:(string * float) list ->
+  base:record ->
+  record ->
+  comparison
+(** [compare_records ~base cand].  [threshold] (default [0.02] — the
+    gated metrics are deterministic cycle counts) is the default
+    relative noise band; [thresholds] overrides it per metric name. *)
+
+val regressed : comparison -> bool
+val improved : comparison -> bool
+val counts : comparison -> int * int * int
+(** (improved, neutral-ish, regressed). *)
+
+val comparison_text : comparison -> string
+val comparison_md : comparison -> string
+val comparison_json : comparison -> Ise_telemetry.Json.t
+
+(** {1 Metric flattening} *)
+
+val flatten_json : ?prefix:string -> Ise_telemetry.Json.t -> (string * float) list
+(** Numeric leaves of a JSON document as slash-joined paths —
+    [{"fig5": {"sc": {"cycles": 10}}}] yields [("fig5/sc/cycles",
+    10.)].  Booleans count as 0/1; strings and nulls are skipped. *)

@@ -1,0 +1,148 @@
+module Trace = Ise_telemetry.Trace
+module Json = Ise_telemetry.Json
+module Contract = Ise_core.Contract
+module Fault = Ise_core.Fault
+
+type t = {
+  trace : Trace.t;
+  mutable rmeta : Journal.meta;
+  mutable spill : out_channel option;
+  mutable notes : int;  (* monotonic ts for out-of-cycle-domain notes *)
+}
+
+let create ?(capacity = 4096) ?spill ?(meta = []) () =
+  let spill_chan =
+    match spill with
+    | None -> None
+    | Some path ->
+        let oc = open_out_bin path in
+        output_string oc (Journal.header meta);
+        output_char oc '\n';
+        flush oc;
+        Some oc
+  in
+  {
+    trace = Trace.create ~ring_capacity:capacity ();
+    rmeta = meta;
+    spill = spill_chan;
+    notes = 0;
+  }
+
+let meta t = t.rmeta
+
+let set_meta t k v =
+  t.rmeta <- (k, v) :: List.remove_assoc k t.rmeta
+
+let spill_line t line =
+  match t.spill with
+  | None -> ()
+  | Some oc ->
+      (* one write + flush per event: the whole point is that the tail
+         survives a SIGKILL mid-run *)
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+
+let record t (e : Trace.event) =
+  (match e.ev_ph with
+  | Trace.Span_begin ->
+      Trace.span_begin t.trace ~cat:e.ev_cat ~args:e.ev_args ~name:e.ev_name
+        ~tid:e.ev_tid e.ev_ts
+  | Trace.Span_end ->
+      Trace.span_end t.trace ~cat:e.ev_cat ~args:e.ev_args ~name:e.ev_name
+        ~tid:e.ev_tid e.ev_ts
+  | Trace.Instant ->
+      Trace.instant t.trace ~cat:e.ev_cat ~args:e.ev_args ~name:e.ev_name
+        ~tid:e.ev_tid e.ev_ts
+  | Trace.Counter_sample ->
+      let value =
+        match List.assoc_opt "value" e.ev_args with
+        | Some v -> Option.value ~default:0.0 (Json.to_float v)
+        | None -> 0.0
+      in
+      Trace.counter t.trace ~name:e.ev_name ~value e.ev_ts);
+  spill_line t (Journal.encode_event e)
+
+let instant t ?(cat = "ise") ?(args = []) ~name ~tid ts =
+  record t
+    { Trace.ev_name = name; ev_cat = cat; ev_ph = Trace.Instant; ev_ts = ts;
+      ev_tid = tid; ev_args = args }
+
+let events t = Trace.events t.trace
+let recorded t = Trace.recorded t.trace
+let dropped t = Trace.dropped t.trace
+
+let dump t = Journal.render t.rmeta (events t)
+
+let dump_to t path =
+  let oc = open_out_bin path in
+  output_string oc (dump t);
+  close_out oc
+
+let tail_lines ?(limit = 64) t =
+  let evs = events t in
+  let n = List.length evs in
+  let evs = if n > limit then List.filteri (fun i _ -> i >= n - limit) evs else evs in
+  List.map Journal.encode_event evs
+
+let close t =
+  match t.spill with
+  | None -> ()
+  | Some oc ->
+      (try flush oc with Sys_error _ -> ());
+      (try close_out oc with Sys_error _ -> ());
+      t.spill <- None
+
+let event_of_contract (ev : Contract.event) : Trace.event =
+  let record_args (r : Fault.record) =
+    [
+      ("seq", Json.Int r.seq);
+      ("addr", Json.Int r.addr);
+      ("data", Json.Int r.data);
+    ]
+  in
+  let mk name core cycle args =
+    { Trace.ev_name = name; ev_cat = "ise"; ev_ph = Trace.Instant;
+      ev_ts = cycle; ev_tid = core; ev_args = args }
+  in
+  match ev with
+  | Contract.Detect { core; cycle } -> mk "DETECT" core cycle []
+  | Contract.Put { core; cycle; record } ->
+      mk "PUT" core cycle (record_args record)
+  | Contract.Get { core; cycle; record } ->
+      mk "GET" core cycle (record_args record)
+  | Contract.Apply { core; cycle; record } ->
+      mk "APPLY" core cycle (record_args record)
+  | Contract.Resolve { core; cycle } -> mk "RESOLVE" core cycle []
+  | Contract.Resume { core; cycle } -> mk "RESUME" core cycle []
+  | Contract.Terminate { core; cycle } -> mk "TERMINATE" core cycle []
+
+let observe_machine t machine =
+  Ise_sim.Machine.add_observer machine (fun ev ->
+      record t (event_of_contract ev))
+
+(* Process-global recorder *)
+
+let global_cell : t option ref = ref None
+
+let enable ?capacity ?spill ?meta () =
+  (match !global_cell with Some old -> close old | None -> ());
+  let t = create ?capacity ?spill ?meta () in
+  global_cell := Some t;
+  t
+
+let disable () =
+  (match !global_cell with Some t -> close t | None -> ());
+  global_cell := None
+
+let global () = !global_cell
+
+let note ?cat ?args name =
+  match !global_cell with
+  | None -> ()
+  | Some t ->
+      t.notes <- t.notes + 1;
+      instant t ?cat ?args ~name ~tid:0 t.notes
+
+let observe_machine_global machine =
+  match !global_cell with None -> () | Some t -> observe_machine t machine

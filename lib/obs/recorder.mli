@@ -1,0 +1,87 @@
+(** Flight recorder: an always-on bounded journal of structured
+    events, cheap enough to leave enabled and dumped only when
+    something goes wrong.
+
+    A recorder is a bounded {!Ise_telemetry.Trace} ring plus journal
+    metadata, and optionally a {e spill} file: when given, every event
+    is also encoded and flushed to disk line-by-line, so the journal
+    tail survives the recording process being killed ([SIGKILL],
+    watchdog timeout) — the supervisor reads the spill file back with
+    {!Journal.load}.
+
+    A process-global recorder serves call sites that have no channel
+    to thread a handle through (forked pool workers, CLI crash
+    handlers); library code records into it via {!note} /
+    {!observe_machine}, which are no-ops while it is disabled. *)
+
+type t
+
+val create :
+  ?capacity:int -> ?spill:string -> ?meta:Journal.meta -> unit -> t
+(** [capacity] (default [4096]) must be a positive power of two.
+    [spill], when given, is truncated and the header written
+    immediately. *)
+
+val meta : t -> Journal.meta
+val set_meta : t -> string -> string -> unit
+(** Adds or replaces one header key. *)
+
+val record : t -> Ise_telemetry.Trace.event -> unit
+
+val instant :
+  t ->
+  ?cat:string ->
+  ?args:(string * Ise_telemetry.Json.t) list ->
+  name:string ->
+  tid:int ->
+  int ->
+  unit
+
+val events : t -> Ise_telemetry.Trace.event list
+(** Oldest first (post-eviction). *)
+
+val recorded : t -> int
+val dropped : t -> int
+
+val dump : t -> string
+(** Full journal text (header + ring contents). *)
+
+val dump_to : t -> string -> unit
+
+val tail_lines : ?limit:int -> t -> string list
+(** The newest [limit] (default [64]) encoded event lines, oldest
+    first — for embedding in human-facing snapshots. *)
+
+val close : t -> unit
+(** Flushes and closes the spill channel, if any.  The ring stays
+    readable. *)
+
+val observe_machine : t -> Ise_sim.Machine.t -> unit
+(** Mirrors every {!Ise_core.Contract.event} the machine emits into
+    the journal as an instant event ([DETECT]/[PUT]/[GET]/[APPLY]/
+    [RESOLVE]/[RESUME]/[TERMINATE], [tid] = core, [ts] = cycle, args
+    [seq]/[addr]/[data]) — the same stream the chaos watchdog
+    observes, which is what makes offline/online cross-checks
+    meaningful. *)
+
+val event_of_contract : Ise_core.Contract.event -> Ise_telemetry.Trace.event
+
+(** {1 Process-global recorder} *)
+
+val enable : ?capacity:int -> ?spill:string -> ?meta:Journal.meta -> unit -> t
+val disable : unit -> unit
+(** Closes the spill channel and drops the global recorder. *)
+
+val global : unit -> t option
+
+val note :
+  ?cat:string ->
+  ?args:(string * Ise_telemetry.Json.t) list ->
+  string ->
+  unit
+(** Records an instant on the global recorder (no-op when disabled).
+    Timestamps are a per-recorder monotonic note counter — notes live
+    in wall-ordering, not the simulator cycle domain. *)
+
+val observe_machine_global : Ise_sim.Machine.t -> unit
+(** {!observe_machine} on the global recorder, if enabled. *)

@@ -1,0 +1,47 @@
+let run_id_cell = ref None
+
+let run_id () =
+  match !run_id_cell with
+  | Some id -> id
+  | None ->
+      let id =
+        match Sys.getenv_opt "ISE_RUN_ID" with
+        | Some id when id <> "" -> id
+        | _ ->
+            let t = Unix.gettimeofday () in
+            let pid = Unix.getpid () in
+            Printf.sprintf "%08x%04x"
+              (int_of_float (Float.rem t 4294967296.0))
+              (pid land 0xffff)
+      in
+      run_id_cell := Some id;
+      id
+
+let git_rev_cell = ref None
+
+let git_rev () =
+  match !git_rev_cell with
+  | Some rev -> rev
+  | None ->
+      let rev =
+        try
+          let ic =
+            Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+          in
+          let line = try input_line ic with End_of_file -> "" in
+          let status = Unix.close_process_in ic in
+          match status with
+          | Unix.WEXITED 0 when line <> "" -> line
+          | _ -> "unknown"
+        with _ -> "unknown"
+      in
+      git_rev_cell := Some rev;
+      rev
+
+let stamp () =
+  [
+    ("run_id", Ise_telemetry.Json.String (run_id ()));
+    ("git_rev", Ise_telemetry.Json.String (git_rev ()));
+  ]
+
+let stamp_meta () = [ ("run_id", run_id ()); ("git_rev", git_rev ()) ]

@@ -1,0 +1,22 @@
+(** Identity of the current process run, for joining artifacts.
+
+    Every JSON artifact the tools emit (telemetry snapshots, trace
+    files, BENCH sections, ledger records, journals) carries the same
+    [run_id]/[git_rev] pair, so a trace file found in CI can be joined
+    back to the ledger entry and the commit that produced it. *)
+
+val run_id : unit -> string
+(** Stable within the process.  Honors [ISE_RUN_ID] when set (CI and
+    tests use it for reproducible artifacts); otherwise derived from
+    pid and wall clock at first use. *)
+
+val git_rev : unit -> string
+(** Short commit hash of the working tree, or ["unknown"] outside a
+    git checkout.  Cached after the first call. *)
+
+val stamp : unit -> (string * Ise_telemetry.Json.t) list
+(** [[("run_id", ...); ("git_rev", ...)]] — splice into the top level
+    of emitted JSON objects. *)
+
+val stamp_meta : unit -> (string * string) list
+(** Same pair as string key/values, for journal headers. *)

@@ -133,7 +133,8 @@ let install ?(config = default_config) ?(max_apply_retries = 1)
               (fun record ->
                 inst "GET" core_id
                   ~args:
-                    [ ("addr",
+                    [ ("seq", Ise_telemetry.Json.Int record.Ise_core.Fault.seq);
+                      ("addr",
                        Ise_telemetry.Json.Int record.Ise_core.Fault.addr) ];
                 Machine.trace_event machine
                   (Ise_core.Contract.Get
@@ -236,7 +237,9 @@ let install ?(config = default_config) ?(max_apply_retries = 1)
                         | Memsys.Value _ ->
                           inst "APPLY" core_id
                             ~args:
-                              [ ("addr",
+                              [ ("seq",
+                                 Ise_telemetry.Json.Int r.Ise_core.Fault.seq);
+                                ("addr",
                                  Ise_telemetry.Json.Int r.Ise_core.Fault.addr) ];
                           Machine.trace_event machine
                             (Ise_core.Contract.Apply

@@ -189,16 +189,37 @@ let worker_loop req resp f =
     | Error (`Corrupt _) -> Unix._exit 102
     | Ok payload ->
       let idx, job = Codec.unmarshal payload in
+      (* no-ops unless the supervisor enabled a journal for this child *)
+      Ise_obs.Recorder.note "pool/job"
+        ~args:[ ("idx", Ise_telemetry.Json.Int idx) ];
       let res =
         match f job with
         | r -> Ok r
         | exception e -> Error (Printexc.to_string e)
       in
+      Ise_obs.Recorder.note "pool/job-end"
+        ~args:[ ("idx", Ise_telemetry.Json.Int idx) ];
       (try Codec.write_frame resp (Codec.marshal (idx, res))
        with _ -> Unix._exit 103);
       loop ()
   in
   loop ()
+
+(* Crash journals: with [journal_dir], every forked worker enables the
+   process-global flight recorder with a per-(slot, pid) spill file in
+   that directory; each journal line is flushed as it is written, so
+   when a worker dies (crash, timeout SIGKILL) the supervisor finds a
+   decodable journal tail on disk and names it in the error.  Journals
+   of workers that shut down cleanly are removed. *)
+let journal_file dir ~slot ~pid =
+  Filename.concat dir (Printf.sprintf "worker%d-%d.jnl" slot pid)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
 
 let status_string = function
   | Unix.WEXITED n -> Printf.sprintf "exited with code %d" n
@@ -206,7 +227,8 @@ let status_string = function
   | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
 
 let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
-    ~telemetry ~on_result ~bisect f items =
+    ~telemetry ~on_result ~bisect ~journal_dir f items =
+  Option.iter mkdir_p journal_dir;
   let n = Array.length items in
   let t0 = Unix.gettimeofday () in
   let tele = Option.map (make_tele t0) telemetry in
@@ -327,6 +349,19 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
     | 0 ->
       Unix.close req_w;
       Unix.close resp_r;
+      (match journal_dir with
+       | None -> ()
+       | Some dir -> (
+         try
+           ignore
+             (Ise_obs.Recorder.enable ~capacity:1024
+                ~spill:(journal_file dir ~slot:w.w_slot ~pid:(Unix.getpid ()))
+                ~meta:
+                  (Ise_obs.Runinfo.stamp_meta ()
+                  @ [ ("kind", "pool-worker");
+                      ("slot", string_of_int w.w_slot) ])
+                ())
+         with Sys_error _ -> ()));
       (* drop the parent ends of every other live worker's pipes, so a
          crashed sibling's EOF is seen by the supervisor alone *)
       Array.iter
@@ -361,6 +396,12 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
         [ (now +. delay, idx) ]
   in
   let handle_death w ~now reason =
+    let journal =
+      match journal_dir with
+      | Some dir when Sys.file_exists (journal_file dir ~slot:w.w_slot ~pid:w.w_pid)
+        -> Some (journal_file dir ~slot:w.w_slot ~pid:w.w_pid)
+      | _ -> None
+    in
     let status =
       match Unix.waitpid [] w.w_pid with
       | _, st -> status_string st
@@ -390,7 +431,12 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
            schedule_retry now r.r_idx
          else
            complete_any r.r_idx
-             (Failed (Crashed (Printf.sprintf "%s (%s)" reason status)))
+             (Failed
+                (Crashed
+                   (Printf.sprintf "%s (%s)%s" reason status
+                      (match journal with
+                       | Some p -> "; journal: " ^ p
+                       | None -> ""))))
        end);
     if (not (interrupted ())) && work_queued () then spawn w
   in
@@ -581,13 +627,19 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
             ready
     end
   done;
-  (* orderly shutdown: EOF on the job pipe makes each worker exit 0 *)
+  (* orderly shutdown: EOF on the job pipe makes each worker exit 0 —
+     a cleanly-exited worker's crash journal carries no information *)
   Array.iter
     (fun w ->
       if w.w_alive then begin
         (try Unix.close w.w_req with Unix.Unix_error _ -> ());
         (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
         (try Unix.close w.w_resp with Unix.Unix_error _ -> ());
+        (match journal_dir with
+         | Some dir -> (
+           try Sys.remove (journal_file dir ~slot:w.w_slot ~pid:w.w_pid)
+           with Sys_error _ -> ())
+         | None -> ());
         w.w_alive <- false
       end)
     workers;
@@ -606,7 +658,8 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
     } )
 
 let map ?jobs ?job_timeout ?(kill_grace = 0.5) ?(max_retries = 2)
-    ?(retry_backoff = 0.05) ?telemetry ?on_result ?bisect f items =
+    ?(retry_backoff = 0.05) ?telemetry ?on_result ?bisect ?journal_dir f
+    items =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   if Array.length items = 0 then
     ( [||],
@@ -626,4 +679,4 @@ let map ?jobs ?job_timeout ?(kill_grace = 0.5) ?(max_retries = 2)
     run_inline ~telemetry ~on_result f items
   else
     run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
-      ~telemetry ~on_result ~bisect f items
+      ~telemetry ~on_result ~bisect ~journal_dir f items

@@ -91,6 +91,7 @@ val map :
   ?telemetry:Ise_telemetry.Sink.t ->
   ?on_result:(int -> 'r outcome -> unit) ->
   ?bisect:('a -> ('a * 'a) option) ->
+  ?journal_dir:string ->
   ('a -> 'r) ->
   'a array ->
   'r outcome array * stats
@@ -110,4 +111,13 @@ val map :
     completed, retried, timed_out, crashes, workers_spawned), a
     per-worker [pool/worker<k>/job_ms] latency histogram, and one
     [pool]-category trace span per dispatch (tid = worker slot,
-    timestamps in µs since the call), visible in Perfetto. *)
+    timestamps in µs since the call), visible in Perfetto.
+
+    With [journal_dir] (forked path only), every worker enables the
+    process-global {!Ise_obs.Recorder} with a line-flushed spill file
+    [journal_dir/worker<slot>-<pid>.jnl]: job code that records into
+    the global recorder (e.g. chaos runs mirroring their lifecycle
+    events) leaves a decodable journal tail on disk even when the
+    worker is killed mid-job.  A worker death that exhausts its
+    retries names the journal path in the [Crashed] error; journals of
+    cleanly-exited workers are removed. *)

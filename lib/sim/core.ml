@@ -373,7 +373,9 @@ let start_fsb_drain t =
       Ise_telemetry.Trace.instant
         (Ise_telemetry.Sink.trace tel.t_sink)
         ~cat:"ise" ~name:"PUT" ~tid:t.core_id
-        ~args:[ ("addr", Ise_telemetry.Json.Int record.Ise_core.Fault.addr) ]
+        ~args:
+          [ ("seq", Ise_telemetry.Json.Int record.Ise_core.Fault.seq);
+            ("addr", Ise_telemetry.Json.Int record.Ise_core.Fault.addr) ]
         (Engine.now t.engine)
   in
   (* Append one record, honouring chaos backpressure and the configured

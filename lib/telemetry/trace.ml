@@ -103,7 +103,8 @@ let event_to_json ev =
   in
   Json.Obj (base @ scope @ args)
 
-let to_chrome_json t =
+let to_chrome_json ?(meta = []) t =
   Json.Obj
-    [ ("traceEvents", Json.List (List.map event_to_json (events t)));
-      ("displayTimeUnit", Json.String "ms") ]
+    (meta
+    @ [ ("traceEvents", Json.List (List.map event_to_json (events t)));
+        ("displayTimeUnit", Json.String "ms") ])

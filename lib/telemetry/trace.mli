@@ -62,5 +62,8 @@ val recorded : t -> int
 val dropped : t -> int
 val clear : t -> unit
 
-val to_chrome_json : t -> Json.t
-(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+val to_chrome_json : ?meta:(string * Json.t) list -> t -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}].  [meta]
+    key/values (e.g. a run id / git rev stamp) are spliced into the
+    top-level object ahead of [traceEvents]; Chrome/Perfetto ignore
+    unknown keys. *)

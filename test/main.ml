@@ -13,5 +13,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("pool", Test_pool.suite);
       ("chaos", Test_chaos.suite);
+      ("obs", Test_obs.suite);
       ("integration", Test_integration.suite);
     ]

@@ -115,6 +115,113 @@ let test_ring_update_last () =
   check Alcotest.bool "updated" true updated;
   check (Alcotest.list Alcotest.int) "coalesced" [ 1; 20 ] (Ring_buffer.to_list rb)
 
+(* Wrap-around audit, as seeded properties on the repo's own Pbt core:
+   drive a ring far past its capacity in positions (so the mask wraps
+   many times) against a plain list model, across every capacity
+   including 1, and check the read-side API agrees with the model at
+   every step. *)
+let test_ring_pbt_wraparound () =
+  let arb =
+    Ise_fuzz.Pbt.make
+      ~shrink:(Ise_fuzz.Pbt.shrink_pair Ise_fuzz.Pbt.shrink_nothing
+                 (Ise_fuzz.Pbt.shrink_list ~elt:Ise_fuzz.Pbt.shrink_int))
+      (Ise_fuzz.Pbt.pair
+         (Ise_fuzz.Pbt.choose [ 1; 2; 4; 8 ])
+         (Ise_fuzz.Pbt.list_of ~max:200 (Ise_fuzz.Pbt.int_range 0 3)))
+  in
+  Ise_fuzz.Pbt.check ~count:200 ~seed:2023 ~name:"ring wrap-around vs model"
+    arb
+    (fun (capacity, ops) ->
+      let rb = Ring_buffer.create ~capacity in
+      let model = ref [] in
+      let counter = ref 0 in
+      let agrees () =
+        Ring_buffer.to_list rb = !model
+        && Ring_buffer.length rb = List.length !model
+        && Ring_buffer.peek rb
+           = (match !model with [] -> None | x :: _ -> Some x)
+        && Ring_buffer.tail rb - Ring_buffer.head rb = List.length !model
+        &&
+        let seen = ref [] in
+        Ring_buffer.iter (fun v -> seen := v :: !seen) rb;
+        List.rev !seen = !model
+      in
+      List.for_all
+        (fun op ->
+          (match op with
+           | 0 when not (Ring_buffer.is_full rb) ->
+             incr counter;
+             Ring_buffer.push rb !counter;
+             model := !model @ [ !counter ]
+           | 1 when not (Ring_buffer.is_empty rb) ->
+             let v = Ring_buffer.pop rb in
+             (match !model with
+              | x :: rest when x = v -> model := rest
+              | _ -> failwith "pop disagrees with model")
+           | 2 -> ignore (Ring_buffer.find_last (fun v -> v land 1 = 0) rb)
+           | _ ->
+             ignore
+               (Ring_buffer.update_last
+                  (fun v -> if v land 1 = 0 then Some (v + 1000) else None)
+                  rb);
+             (model :=
+                match List.rev !model with
+                | x :: rest when x land 1 = 0 ->
+                  List.rev ((x + 1000) :: rest)
+                | _ -> !model));
+          agrees ())
+        ops)
+
+let test_ring_pbt_peek_at_window () =
+  let arb =
+    Ise_fuzz.Pbt.make
+      (Ise_fuzz.Pbt.pair
+         (Ise_fuzz.Pbt.int_range 0 40)
+         (Ise_fuzz.Pbt.int_range 0 50))
+  in
+  Ise_fuzz.Pbt.check ~count:200 ~seed:7 ~name:"peek_at only inside [head,tail)"
+    arb
+    (fun (pops, probe) ->
+      let rb = Ring_buffer.create ~capacity:8 in
+      (* interleave pushes and pops so head advances [pops] times while
+         the ring stays legal *)
+      let pushed = ref 0 in
+      let popped = ref 0 in
+      while !popped < pops do
+        if Ring_buffer.is_empty rb || (!pushed - !popped < 5 && !pushed < pops + 5)
+        then begin
+          Ring_buffer.push rb !pushed;
+          incr pushed
+        end
+        else begin
+          ignore (Ring_buffer.pop rb);
+          incr popped
+        end
+      done;
+      let inside =
+        probe >= Ring_buffer.head rb && probe < Ring_buffer.tail rb
+      in
+      match Ring_buffer.peek_at rb probe with
+      | Some v -> inside && v = probe
+      | None -> not inside)
+
+let test_ring_create_edges () =
+  (* capacity 1 is a legal (degenerate) ring *)
+  let rb = Ring_buffer.create ~capacity:1 in
+  Ring_buffer.push rb 42;
+  check Alcotest.bool "cap-1 full" true (Ring_buffer.is_full rb);
+  check Alcotest.int "cap-1 pop" 42 (Ring_buffer.pop rb);
+  Ring_buffer.push rb 43;
+  check Alcotest.int "cap-1 wraps" 43 (Ring_buffer.pop rb);
+  List.iter
+    (fun capacity ->
+      Alcotest.check_raises
+        (Printf.sprintf "capacity %d rejected" capacity)
+        (Invalid_argument
+           "Ring_buffer.create: capacity must be a positive power of two")
+        (fun () -> ignore (Ring_buffer.create ~capacity : int Ring_buffer.t)))
+    [ 0; -1; 3; 6; 12 ]
+
 let prop_ring_model =
   QCheck.Test.make ~name:"ring buffer behaves like a FIFO queue" ~count:300
     QCheck.(list (int_range 0 2))
@@ -291,6 +398,9 @@ let suite =
     ("ring peek_at", `Quick, test_ring_peek_at);
     ("ring find_last", `Quick, test_ring_find_last);
     ("ring update_last", `Quick, test_ring_update_last);
+    ("ring pbt wrap-around model", `Quick, test_ring_pbt_wraparound);
+    ("ring pbt peek_at window", `Quick, test_ring_pbt_peek_at_window);
+    ("ring create edge cases", `Quick, test_ring_create_edges);
     qtest prop_ring_model;
     ("bitset basic", `Quick, test_bitset_basic);
     ("bitset bounds", `Quick, test_bitset_bounds);
