@@ -691,13 +691,133 @@ let pool_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* serve: daemon throughput, latency, and cache identity               *)
+
+let serve_bench () =
+  section "Serve: daemon requests/sec, p99 latency, cache identity";
+  if not Ise_pool.Pool.fork_available then
+    print_endline "fork unavailable on this platform; serve bench skipped"
+  else begin
+    let dir = Filename.temp_file "ise_serve_bench" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let socket = Filename.concat dir "d.sock" in
+    let store_dir = Filename.concat dir "store" in
+    let daemon =
+      match Unix.fork () with
+      | 0 ->
+        (try
+           Ise_serve.Server.run
+             {
+               (Ise_serve.Server.default_config ~socket_path:socket) with
+               Ise_serve.Server.store_dir = Some store_dir;
+             }
+         with _ -> ());
+        Unix._exit 0
+      | pid -> pid
+    in
+    let connect () =
+      match Ise_serve.Client.connect ~retries:100 socket with
+      | Ok c -> c
+      | Error msg ->
+        Printf.eprintf "[bench] serve: %s\n%!" msg;
+        exit 1
+    in
+    let params = { Ise_serve.Proto.default_params with Ise_serve.Proto.seeds = 5 } in
+    let tests = Ise_litmus.Library.all in
+    let c = connect () in
+    let batch () =
+      let t0 = Unix.gettimeofday () in
+      match Ise_serve.Client.litmus c ~tests ~params with
+      | Ok replies -> (replies, Unix.gettimeofday () -. t0)
+      | Error msg ->
+        Printf.eprintf "[bench] serve: %s\n%!" msg;
+        exit 1
+    in
+    let cold, cold_s = batch () in
+    let warm, warm_s = batch () in
+    (* p99 request latency against the warm cache, one test per request *)
+    let lat = Stats.create () in
+    let narr = Array.of_list tests in
+    let reqs = 200 in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to reqs - 1 do
+      let r0 = Unix.gettimeofday () in
+      (match
+         Ise_serve.Client.litmus c
+           ~tests:[ narr.(i mod Array.length narr) ]
+           ~params
+       with
+      | Ok _ -> ()
+      | Error msg ->
+        Printf.eprintf "[bench] serve: %s\n%!" msg;
+        exit 1);
+      Stats.add lat ((Unix.gettimeofday () -. r0) *. 1000.)
+    done;
+    let loop_s = Unix.gettimeofday () -. t0 in
+    (match Ise_serve.Client.shutdown c with Ok () | Error _ -> ());
+    Ise_serve.Client.close c;
+    ignore (Unix.waitpid [] daemon);
+    (* acceptance: ≥90% hits on the repeated batch, responses
+       byte-identical to the daemon's cold pass AND to a no-daemon
+       -j 1 run of the same tests *)
+    let lines rs = List.map (fun r -> r.Ise_serve.Proto.r_line) rs in
+    let hits =
+      List.length (List.filter (fun r -> r.Ise_serve.Proto.r_cached) warm)
+    in
+    let hit_rate = float_of_int hits /. float_of_int (List.length warm) in
+    let local =
+      List.map
+        (fun t ->
+          Ise_litmus.Lit_run.summary_line
+            (Ise_litmus.Lit_run.run ~seeds:5 ~inject_faults:true
+               ~cfg:(Ise_serve.Proto.cfg_of_params params) t))
+        tests
+    in
+    let identical_warm = lines cold = lines warm in
+    let identical_local = lines warm = local in
+    let req_per_s = float_of_int reqs /. loop_s in
+    let p50 = Stats.percentile lat 50. and p99 = Stats.percentile lat 99. in
+    let t = Table.create ~headers:[ "Pass"; "Wall (s)"; "Hits" ] in
+    Table.add_row t [ "cold batch"; Table.cell_f ~decimals:2 cold_s; "0" ];
+    Table.add_row t
+      [ "warm batch"; Table.cell_f ~decimals:2 warm_s; string_of_int hits ];
+    Table.print t;
+    Printf.printf
+      "sustained: %.0f req/s over %d single-test requests (p50 %.2f ms, p99 \
+       %.2f ms)\n\
+       cache hit rate on repeat batch: %.0f%%; warm ≡ cold bytes: %b; \
+       daemon ≡ no-daemon bytes: %b\n"
+      req_per_s reqs p50 p99 (100. *. hit_rate) identical_warm identical_local;
+    emit_bench "serve"
+      (Ise_telemetry.Json.Obj
+         [ ("tests", Ise_telemetry.Json.Int (List.length tests));
+           ("requests", Ise_telemetry.Json.Int reqs);
+           ("req_per_s", Ise_telemetry.Json.Float req_per_s);
+           ("p50_ms", Ise_telemetry.Json.Float p50);
+           ("p99_ms", Ise_telemetry.Json.Float p99);
+           ("cold_wall_s", Ise_telemetry.Json.Float cold_s);
+           ("warm_wall_s", Ise_telemetry.Json.Float warm_s);
+           ("hit_rate", Ise_telemetry.Json.Float hit_rate);
+           ("identical_cold_warm", Ise_telemetry.Json.Bool identical_warm);
+           ("identical_no_daemon", Ise_telemetry.Json.Bool identical_local) ]);
+    if hit_rate < 0.9 || not identical_warm || not identical_local then begin
+      Printf.eprintf
+        "[bench] serve: cache acceptance failed (hit rate %.2f, warm=cold \
+         %b, daemon=local %b)!\n%!"
+        hit_rate identical_warm identical_local;
+      exit 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table5", table5); ("table6", table6); ("fig1", fig1); ("fig2", fig2);
     ("fig5", fig5); ("fig6", fig6); ("litmus", litmus);
     ("ablation", ablation); ("bechamel", bechamel_section);
-    ("pool", pool_bench) ]
+    ("pool", pool_bench); ("serve", serve_bench) ]
 
 (* Run [f] with stdout redirected to a temp file; return what it
    printed.  Used by the parallel driver so each worker's section

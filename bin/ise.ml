@@ -184,16 +184,7 @@ let litmus_cmd =
         let r =
           Ise_litmus.Lit_run.run ~seeds ~inject_faults:(not no_faults) ~cfg t
         in
-        ( Printf.sprintf
-            "%-16s pass=%b contract=%b observed=%d/%d relaxed-outcome=%b \
-             exceptions=%d+%d"
-            r.Ise_litmus.Lit_run.test.Ise_litmus.Lit_test.name
-            r.Ise_litmus.Lit_run.pass r.Ise_litmus.Lit_run.contract_ok
-            (Ise_model.Outcome.Set.cardinal r.Ise_litmus.Lit_run.observed)
-            (Ise_model.Outcome.Set.cardinal r.Ise_litmus.Lit_run.allowed)
-            r.Ise_litmus.Lit_run.interesting_observed
-            r.Ise_litmus.Lit_run.imprecise_exceptions
-            r.Ise_litmus.Lit_run.precise_exceptions,
+        ( Ise_litmus.Lit_run.summary_line r,
           r.Ise_litmus.Lit_run.pass && r.Ise_litmus.Lit_run.contract_ok )
       in
       let ok = ref true in
@@ -756,11 +747,37 @@ let fuzz_shrink_cmd =
     Term.(const run $ file_arg $ fuzz_seeds_arg $ inject_bug_arg)
 
 let fuzz_corpus_status_cmd =
-  let run corpus_dir seeds =
+  let run corpus_dir seeds cached store_dir =
     let entries = Ise_fuzz.Corpus.load_dir corpus_dir in
     Printf.printf "%d entr%s under %s\n" (List.length entries)
       (if List.length entries = 1 then "y" else "ies")
       corpus_dir;
+    (* with --cached, replays route through the result store: a hit
+       reuses the stored verdict, a miss replays and writes through *)
+    let store =
+      if cached then Some (Ise_serve.Store.open_ ~dir:store_dir ()) else None
+    in
+    let hits = ref 0 and misses = ref 0 in
+    let replay e =
+      match store with
+      | None -> Ise_fuzz.Campaign.replay ~seeds e
+      | Some store -> (
+        let key = Ise_serve.Proto.replay_key e ~seeds in
+        match
+          Option.bind
+            (Ise_serve.Store.find store key)
+            Ise_serve.Proto.replay_payload_of_string
+        with
+        | Some r ->
+          incr hits;
+          r
+        | None ->
+          incr misses;
+          let r = Ise_fuzz.Campaign.replay ~seeds e in
+          Ise_serve.Store.add store key
+            (Ise_serve.Proto.replay_payload_to_string r);
+          r)
+    in
     let failed = ref 0 in
     let parsed =
       List.filter_map
@@ -768,7 +785,7 @@ let fuzz_corpus_status_cmd =
           match e with
           | Ok e ->
             let verdict =
-              match Ise_fuzz.Campaign.replay ~seeds e with
+              match replay e with
               | Ok () -> "replay-ok"
               | Error msg ->
                 incr failed;
@@ -794,6 +811,8 @@ let fuzz_corpus_status_cmd =
       (fun (cat, n) ->
         Printf.printf "  %-36s %d\n" (Ise_litmus.Classify.name cat) n)
       (Ise_litmus.Classify.coverage parsed);
+    if cached then
+      Printf.printf "\nresult store: %d hit(s), %d miss(es)\n" !hits !misses;
     (* non-zero on any parse or replay failure, so CI can gate on it *)
     if !failed = 0 then 0
     else begin
@@ -802,11 +821,22 @@ let fuzz_corpus_status_cmd =
       1
     end
   in
+  let cached_arg =
+    Arg.(value & flag
+         & info [ "cached" ]
+             ~doc:"Route replays through the content-addressed result store \
+                   and report hit/miss counts.")
+  in
+  let store_arg =
+    Arg.(value & opt string ".ise-store"
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Result store directory (with $(b,--cached)).")
+  in
   Cmd.v
     (Cmd.info "corpus-status"
        ~doc:"List corpus entries (replaying each) and their Table 6 relation \
              coverage; non-zero exit if any entry fails to parse or replay")
-    Term.(const run $ corpus_arg $ fuzz_seeds_arg)
+    Term.(const run $ corpus_arg $ fuzz_seeds_arg $ cached_arg $ store_arg)
 
 let fuzz_seed_corpus_cmd =
   let run corpus_dir =
@@ -1439,6 +1469,239 @@ let compare_cmd =
           $ threshold_arg $ override_arg $ format_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve / client / store                                              *)
+
+let socket_arg =
+  Arg.(value & opt string ".ise-serve.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix domain socket the daemon listens on.")
+
+let serve_cmd =
+  let run socket store jobs mem_entries quiet =
+    let log =
+      if quiet then ignore
+      else fun msg -> Printf.eprintf "[ise-serve] %s\n%!" msg
+    in
+    let cfg =
+      {
+        (Ise_serve.Server.default_config ~socket_path:socket) with
+        Ise_serve.Server.store_dir = store;
+        jobs;
+        mem_entries;
+        log;
+      }
+    in
+    Ise_serve.Server.run cfg;
+    0
+  in
+  let store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Back the daemon with a content-addressed result store in \
+                   this directory (omit to disable caching).")
+  in
+  let mem_arg =
+    Arg.(value & opt int 512
+         & info [ "mem-entries" ] ~docv:"N"
+             ~doc:"In-memory LRU front of the result store.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No lifecycle logging.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the long-lived ISE service daemon: litmus, fuzz-replay, and \
+             report requests over a Unix socket, backed by a \
+             content-addressed result store")
+    Term.(const run $ socket_arg $ store_arg $ jobs_arg $ mem_arg $ quiet_arg)
+
+let connect_or_die socket =
+  match Ise_serve.Client.connect ~retries:50 socket with
+  | Ok c -> c
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+
+let client_litmus_cmd =
+  let run socket name seeds model no_faults require_hits =
+    let tests =
+      match name with
+      | Some n -> (
+        match
+          List.find_opt
+            (fun t -> t.Ise_litmus.Lit_test.name = n)
+            Ise_litmus.Library.all
+        with
+        | Some t -> [ t ]
+        | None ->
+          Printf.eprintf "unknown test %S (see ise litmus --list)\n" n;
+          exit 1)
+      | None -> Ise_litmus.Library.all
+    in
+    let params =
+      {
+        Ise_serve.Proto.seeds;
+        inject_faults = not no_faults;
+        timer_interrupts = false;
+        model;
+      }
+    in
+    let c = connect_or_die socket in
+    match Ise_serve.Client.litmus c ~tests ~params with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      Ise_serve.Client.close c;
+      1
+    | Ok replies ->
+      Ise_serve.Client.close c;
+      (* stdout is byte-identical to `ise litmus` on the same tests;
+         cache accounting goes to stderr *)
+      let ok = ref true and hits = ref 0 and misses = ref 0 in
+      List.iter
+        (fun r ->
+          print_endline r.Ise_serve.Proto.r_line;
+          if not r.Ise_serve.Proto.r_pass then ok := false;
+          if r.Ise_serve.Proto.r_cached then incr hits else incr misses)
+        replies;
+      Printf.eprintf "result store: %d hit(s), %d miss(es)\n%!" !hits !misses;
+      if require_hits && !misses > 0 then begin
+        Printf.eprintf "--require-hits: %d response(s) were not cache hits\n"
+          !misses;
+        1
+      end
+      else if !ok then 0
+      else 1
+  in
+  let name_arg =
+    Arg.(value & opt (some string) None
+         & info [ "t"; "test" ] ~docv:"NAME" ~doc:"Run a single test.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Perturbed runs per test.")
+  in
+  let nofaults_arg =
+    Arg.(value & flag & info [ "no-faults" ] ~doc:"Disable error injection.")
+  in
+  let require_hits_arg =
+    Arg.(value & flag
+         & info [ "require-hits" ]
+             ~doc:"Exit non-zero unless every response was a cache hit (CI \
+                   smoke assertion).")
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:"Run litmus tests through the daemon; output is byte-identical \
+             to a local $(b,ise litmus) run")
+    Term.(const run $ socket_arg $ name_arg $ seeds_arg $ model_arg
+          $ nofaults_arg $ require_hits_arg)
+
+let client_stats_cmd =
+  let run socket =
+    let c = connect_or_die socket in
+    match Ise_serve.Client.server_stats c with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      Ise_serve.Client.close c;
+      1
+    | Ok s ->
+      Ise_serve.Client.close c;
+      Printf.printf
+        "daemon pid=%d git=%s uptime=%.1fs\n\
+         connections=%d requests=%d errors=%d\n\
+         cold litmus runs=%d cold replays=%d\n"
+        s.Ise_serve.Proto.ss_pid s.Ise_serve.Proto.ss_git_rev
+        s.Ise_serve.Proto.ss_uptime_s s.Ise_serve.Proto.ss_connections
+        s.Ise_serve.Proto.ss_requests s.Ise_serve.Proto.ss_errors
+        s.Ise_serve.Proto.ss_litmus_runs s.Ise_serve.Proto.ss_replays;
+      (match s.Ise_serve.Proto.ss_store with
+       | None -> Printf.printf "result store: disabled\n"
+       | Some v ->
+         Printf.printf
+           "result store: mem-hits=%d disk-hits=%d misses=%d writes=%d \
+            corrupt-skipped=%d mem-evictions=%d\n"
+           v.Ise_serve.Proto.v_mem_hits v.Ise_serve.Proto.v_disk_hits
+           v.Ise_serve.Proto.v_misses v.Ise_serve.Proto.v_writes
+           v.Ise_serve.Proto.v_corrupt_skipped
+           v.Ise_serve.Proto.v_mem_evictions);
+      0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print the daemon's lifetime counters")
+    Term.(const run $ socket_arg)
+
+let client_shutdown_cmd =
+  let run socket =
+    let c = connect_or_die socket in
+    let r = Ise_serve.Client.shutdown c in
+    Ise_serve.Client.close c;
+    match r with
+    | Ok () ->
+      Printf.printf "daemon draining\n";
+      0
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask the daemon to drain and exit")
+    Term.(const run $ socket_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"Talk to a running $(b,ise serve) daemon over its Unix socket")
+    [ client_litmus_cmd; client_stats_cmd; client_shutdown_cmd ]
+
+let store_dir_pos_arg =
+  Arg.(value & opt string ".ise-store"
+       & info [ "store" ] ~docv:"DIR" ~doc:"Result store directory.")
+
+let store_stats_cmd =
+  let run dir =
+    let s = Ise_serve.Store.scan dir in
+    Printf.printf "%s: %d entr%s, %d bytes, %d corrupt\n" dir
+      s.Ise_serve.Store.ds_entries
+      (if s.Ise_serve.Store.ds_entries = 1 then "y" else "ies")
+      s.Ise_serve.Store.ds_bytes s.Ise_serve.Store.ds_corrupt;
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Validate every entry of a result store and summarize it")
+    Term.(const run $ store_dir_pos_arg)
+
+let store_gc_cmd =
+  let run dir max_entries max_bytes =
+    let g = Ise_serve.Store.gc ?max_entries ?max_bytes dir in
+    Printf.printf
+      "%s: kept %d, deleted %d, removed %d corrupt, freed %d bytes\n" dir
+      g.Ise_serve.Store.gc_kept g.Ise_serve.Store.gc_deleted
+      g.Ise_serve.Store.gc_corrupt_deleted g.Ise_serve.Store.gc_bytes_freed;
+    0
+  in
+  let max_entries_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-entries" ] ~docv:"N"
+             ~doc:"Keep at most N newest valid entries.")
+  in
+  let max_bytes_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-bytes" ] ~docv:"B"
+             ~doc:"Keep at most B bytes of valid entries.")
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Delete corrupt entries, then the oldest entries beyond the \
+             bounds")
+    Term.(const run $ store_dir_pos_arg $ max_entries_arg $ max_bytes_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and bound the content-addressed result store")
+    [ store_stats_cmd; store_gc_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -1466,7 +1729,8 @@ let () =
       Cmd.eval' ~catch:false
         (Cmd.group ~default info
            [ litmus_cmd; mbench_cmd; gap_cmd; mix_cmd; explain_cmd; stats_cmd;
-             chaos_cmd; fuzz_cmd; report_cmd; compare_cmd ])
+             chaos_cmd; fuzz_cmd; report_cmd; compare_cmd; serve_cmd;
+             client_cmd; store_cmd ])
     with e ->
       let bt = Printexc.get_backtrace () in
       let msg = Printexc.to_string e in

@@ -159,3 +159,15 @@ let run_suite ?seeds ?inject_faults ?timer_interrupts ?cfg tests =
   List.map (run ?seeds ?inject_faults ?timer_interrupts ?cfg) tests
 
 let all_pass results = List.for_all (fun r -> r.pass && r.contract_ok) results
+
+(* The one-line rendering `ise litmus` prints and the serve daemon
+   caches; shared so a cache hit is byte-identical to a cold run by
+   construction. *)
+let summary_line r =
+  Printf.sprintf
+    "%-16s pass=%b contract=%b observed=%d/%d relaxed-outcome=%b \
+     exceptions=%d+%d"
+    r.test.Lit_test.name r.pass r.contract_ok
+    (Outcome.Set.cardinal r.observed)
+    (Outcome.Set.cardinal r.allowed)
+    r.interesting_observed r.imprecise_exceptions r.precise_exceptions

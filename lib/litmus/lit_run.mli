@@ -45,3 +45,8 @@ val run_suite :
   ?cfg:Ise_sim.Config.t -> Lit_test.t list -> result list
 
 val all_pass : result list -> bool
+
+val summary_line : result -> string
+(** The canonical one-line result rendering — what [ise litmus]
+    prints and what the {!Ise_serve} result store caches, shared so a
+    cache hit is byte-identical to a cold run by construction. *)

@@ -54,6 +54,77 @@ let stores_of t =
     t.threads;
   List.rev !acc
 
+(* ------------------------------------------------------------------ *)
+(* canonical fingerprint                                               *)
+
+(* The canonical form renames registers (per thread) and locations
+   (globally) to dense indices in first-use order, drops the name /
+   doc / expect metadata, and sorts the condition atoms, so any two
+   serializations of the same program — different whitespace,
+   comments, metadata ordering, or register/location spellings — hash
+   identically, while any semantic difference (an instruction, an
+   operand, a value, thread order) changes the hash. *)
+let canonical_form t =
+  let locs = Hashtbl.create 8 in
+  let nloc = ref 0 in
+  let loc l =
+    match Hashtbl.find_opt locs l with
+    | Some i -> i
+    | None ->
+      let i = !nloc in
+      incr nloc;
+      Hashtbl.add locs l i;
+      i
+  in
+  let ntids = Array.length t.threads in
+  let reg_tbls = Array.init ntids (fun _ -> (Hashtbl.create 8, ref 0)) in
+  let reg tid r =
+    if tid < 0 || tid >= ntids then r (* malformed cond; keep raw *)
+    else begin
+      let tbl, n = reg_tbls.(tid) in
+      match Hashtbl.find_opt tbl r with
+      | Some i -> i
+      | None ->
+        let i = !n in
+        incr n;
+        Hashtbl.add tbl r i;
+        i
+    end
+  in
+  let itok tid = function
+    | Instr.Load (r, x) -> Printf.sprintf "R%d,%d" (reg tid r) (loc x)
+    | Instr.Load_dep (r, x, d) ->
+      Printf.sprintf "Rd%d,%d,%d" (reg tid r) (loc x) (reg tid d)
+    | Instr.Store (x, v) -> Printf.sprintf "W%d,%d" (loc x) v
+    | Instr.Store_reg (x, r) -> Printf.sprintf "Wr%d,%d" (loc x) (reg tid r)
+    | Instr.Store_dep (x, v, d) ->
+      Printf.sprintf "Wd%d,%d,%d" (loc x) v (reg tid d)
+    | Instr.Fence -> "F"
+    | Instr.Ctrl r -> Printf.sprintf "C%d" (reg tid r)
+    | Instr.Amo (r, x, v) -> Printf.sprintf "A%d,%d,%d" (reg tid r) (loc x) v
+    | Instr.Amo_add (r, x, v) ->
+      Printf.sprintf "Aa%d,%d,%d" (reg tid r) (loc x) v
+  in
+  let b = Buffer.create 128 in
+  Array.iteri
+    (fun tid instrs ->
+      Buffer.add_string b (Printf.sprintf "t%d:" tid);
+      List.iter (fun i -> Buffer.add_string b (itok tid i ^ ";")) instrs;
+      Buffer.add_char b '\n')
+    t.threads;
+  let atoms =
+    List.map
+      (function
+        | Reg_is (tid, r, v) -> Printf.sprintf "r%d:%d=%d" tid (reg tid r) v
+        | Mem_is (l, v) -> Printf.sprintf "m%d=%d" (loc l) v)
+      t.cond
+  in
+  Buffer.add_string b
+    ("cond:" ^ String.concat ";" (List.sort compare atoms));
+  Buffer.contents b
+
+let fingerprint t = Digest.to_hex (Digest.string (canonical_form t))
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>%s: %s@," t.name t.doc;
   Array.iteri

@@ -49,4 +49,16 @@ val check_expectations : t -> (Axiom.model * expectation * expectation) list
 val stores_of : t -> (tid * int) list
 (** All stores of the program, as faulting-markings. *)
 
+val canonical_form : t -> string
+(** Canonical textual form of the program alone: registers renamed per
+    thread and locations renamed globally to dense first-use indices,
+    condition atoms sorted, name/doc/expect metadata dropped.  Two
+    serializations of the same program (whitespace, comments, metadata
+    ordering, register/location spellings) canonicalize identically;
+    any semantic difference does not. *)
+
+val fingerprint : t -> string
+(** Content hash (hex digest) of {!canonical_form} — the test half of
+    the {!Ise_serve} result-store key. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,34 +1,63 @@
 let magic = "ISEP"
-let version = 1
-let header_bytes = 9
+let version = 2
+let min_version = 1
+let header_bytes = 10
+let header_bytes_v1 = 9
 let default_max_payload = 64 * 1024 * 1024
 
 type error =
   | Bad_magic
-  | Bad_version of int
+  | Unsupported_version of int
   | Oversized of int
   | Truncated
 
 let error_to_string = function
   | Bad_magic -> "bad magic bytes (stream desynchronised?)"
-  | Bad_version v -> Printf.sprintf "unknown frame version %d" v
+  | Unsupported_version v ->
+    Printf.sprintf
+      "unsupported frame version %d (from a newer writer? this reader \
+       handles %d..%d)"
+      v min_version version
   | Oversized n -> Printf.sprintf "claimed payload of %d bytes exceeds the cap" n
   | Truncated -> "stream ended inside a frame"
 
-let encode payload =
+(* v1 layout: magic(4) version(1) len(4); no protocol byte — decoded
+   with proto = 0.  v2 layout: magic(4) version(1) proto(1) len(4).
+   The version byte alone selects the layout, so a v1 reader facing a
+   v2 frame rejects it at the version byte instead of mis-parsing the
+   protocol byte as part of the length. *)
+
+let encode ?(proto = 0) ?(version = version) payload =
+  if proto < 0 || proto > 0xff then invalid_arg "Codec.encode: bad proto";
   let n = String.length payload in
-  let b = Bytes.create (header_bytes + n) in
-  Bytes.blit_string magic 0 b 0 4;
-  Bytes.set b 4 (Char.chr version);
-  Bytes.set b 5 (Char.chr ((n lsr 24) land 0xff));
-  Bytes.set b 6 (Char.chr ((n lsr 16) land 0xff));
-  Bytes.set b 7 (Char.chr ((n lsr 8) land 0xff));
-  Bytes.set b 8 (Char.chr (n land 0xff));
-  Bytes.blit_string payload 0 b header_bytes n;
-  Bytes.unsafe_to_string b
+  let put_len b off =
+    Bytes.set b off (Char.chr ((n lsr 24) land 0xff));
+    Bytes.set b (off + 1) (Char.chr ((n lsr 16) land 0xff));
+    Bytes.set b (off + 2) (Char.chr ((n lsr 8) land 0xff));
+    Bytes.set b (off + 3) (Char.chr (n land 0xff))
+  in
+  match version with
+  | 1 ->
+    if proto <> 0 then
+      invalid_arg "Codec.encode: v1 frames cannot carry a protocol version";
+    let b = Bytes.create (header_bytes_v1 + n) in
+    Bytes.blit_string magic 0 b 0 4;
+    Bytes.set b 4 '\001';
+    put_len b 5;
+    Bytes.blit_string payload 0 b header_bytes_v1 n;
+    Bytes.unsafe_to_string b
+  | 2 ->
+    let b = Bytes.create (header_bytes + n) in
+    Bytes.blit_string magic 0 b 0 4;
+    Bytes.set b 4 '\002';
+    Bytes.set b 5 (Char.chr proto);
+    put_len b 6;
+    Bytes.blit_string payload 0 b header_bytes n;
+    Bytes.unsafe_to_string b
+  | v -> invalid_arg (Printf.sprintf "Codec.encode: cannot write version %d" v)
 
 type decoded =
-  | Frame of string * int
+  | Frame of { payload : string; proto : int; consumed : int }
   | Need_more
   | Corrupt of error
 
@@ -43,18 +72,30 @@ let decode ?(max_payload = default_max_payload) buf ~pos ~len =
   if not (magic_ok 0) then Corrupt Bad_magic
   else if len < 5 then Need_more
   else
-    let v = Char.code (Bytes.get buf (pos + 4)) in
-    if v <> version then Corrupt (Bad_version v)
-    else if len < header_bytes then Need_more
+    let byte i = Char.code (Bytes.get buf (pos + i)) in
+    let v = byte 4 in
+    if v < min_version || v > version then Corrupt (Unsupported_version v)
     else
-      let byte i = Char.code (Bytes.get buf (pos + i)) in
-      let n = (byte 5 lsl 24) lor (byte 6 lsl 16) lor (byte 7 lsl 8) lor byte 8 in
-      if n > max_payload then Corrupt (Oversized n)
-      else if len < header_bytes + n then Need_more
-      else Frame (Bytes.sub_string buf (pos + header_bytes) n, header_bytes + n)
+      let hdr, proto_of = if v = 1 then (header_bytes_v1, fun () -> 0)
+        else (header_bytes, fun () -> byte 5)
+      in
+      if len < hdr then Need_more
+      else
+        let l0 = hdr - 4 in
+        let n =
+          (byte l0 lsl 24) lor (byte (l0 + 1) lsl 16) lor (byte (l0 + 2) lsl 8)
+          lor byte (l0 + 3)
+        in
+        if n > max_payload then Corrupt (Oversized n)
+        else if len < hdr + n then Need_more
+        else
+          Frame
+            { payload = Bytes.sub_string buf (pos + hdr) n;
+              proto = proto_of ();
+              consumed = hdr + n }
 
-let write_frame fd payload =
-  let msg = encode payload in
+let write_frame ?proto fd payload =
+  let msg = encode ?proto payload in
   let n = String.length msg in
   let off = ref 0 in
   while !off < n do
@@ -62,31 +103,52 @@ let write_frame fd payload =
     off := !off + w
   done
 
-let read_exactly fd buf n =
+let read_exactly fd buf ~pos n =
   let off = ref 0 in
   let eof = ref false in
   while (not !eof) && !off < n do
-    match Unix.read fd buf !off (n - !off) with
+    match Unix.read fd buf (pos + !off) (n - !off) with
     | 0 -> eof := true
     | k -> off := !off + k
   done;
   !off
 
-let read_frame ?(max_payload = default_max_payload) fd =
+let read_frame_ext ?(max_payload = default_max_payload) fd =
+  (* up to the version byte the two layouts agree; the version byte
+     then says how much more header to fetch *)
   let hdr = Bytes.create header_bytes in
-  match read_exactly fd hdr header_bytes with
+  match read_exactly fd hdr ~pos:0 5 with
   | 0 -> Error `Eof
-  | k when k < header_bytes -> Error (`Corrupt Truncated)
-  | _ -> (
-    match decode ~max_payload hdr ~pos:0 ~len:header_bytes with
-    | Corrupt e -> Error (`Corrupt e)
-    | Frame (p, _) -> Ok p (* only possible for empty payloads *)
-    | Need_more ->
-      let byte i = Char.code (Bytes.get hdr i) in
-      let n = (byte 5 lsl 24) lor (byte 6 lsl 16) lor (byte 7 lsl 8) lor byte 8 in
-      let payload = Bytes.create n in
-      if read_exactly fd payload n < n then Error (`Corrupt Truncated)
-      else Ok (Bytes.unsafe_to_string payload))
+  | k when k < 5 -> Error (`Corrupt Truncated)
+  | _ ->
+    let v = Char.code (Bytes.get hdr 4) in
+    let full =
+      if v >= min_version && v <= version then
+        if v = 1 then header_bytes_v1 else header_bytes
+      else 5 (* rejected below by decode on the prefix *)
+    in
+    if read_exactly fd hdr ~pos:5 (full - 5) < full - 5 then
+      Error (`Corrupt Truncated)
+    else (
+      match decode ~max_payload hdr ~pos:0 ~len:full with
+      | Corrupt e -> Error (`Corrupt e)
+      | Frame { payload; proto; _ } ->
+        Ok (proto, payload) (* only possible for empty payloads *)
+      | Need_more ->
+        let byte i = Char.code (Bytes.get hdr i) in
+        let l0 = full - 4 in
+        let n =
+          (byte l0 lsl 24) lor (byte (l0 + 1) lsl 16) lor (byte (l0 + 2) lsl 8)
+          lor byte (l0 + 3)
+        in
+        let payload = Bytes.create n in
+        if read_exactly fd payload ~pos:0 n < n then Error (`Corrupt Truncated)
+        else Ok ((if v = 1 then 0 else byte 5), Bytes.unsafe_to_string payload))
+
+let read_frame ?max_payload fd =
+  match read_frame_ext ?max_payload fd with
+  | Ok (_proto, payload) -> Ok payload
+  | Error _ as e -> e
 
 let marshal v = Marshal.to_string v []
 let unmarshal s = Marshal.from_string s 0

@@ -1,12 +1,27 @@
-(** Versioned, length-prefixed message framing for pool pipe IPC.
+(** Versioned, length-prefixed message framing for pipe and socket IPC.
 
     Every message exchanged between the pool supervisor and its forked
-    workers is one {e frame}: a fixed 9-byte header — 4 magic bytes
-    (["ISEP"]), 1 version byte, 4 big-endian payload-length bytes —
-    followed by the payload.  The header makes stream desynchronisation
-    (a worker writing garbage, a partial write cut off by a kill)
-    detectable instead of silently corrupting the next message, and the
-    version byte lets the wire format evolve without ambiguity.
+    workers — and between the {!Ise_serve} daemon and its clients — is
+    one {e frame}: a fixed header — 4 magic bytes (["ISEP"]), 1
+    frame-format version byte, 1 protocol byte (v2), 4 big-endian
+    payload-length bytes — followed by the payload.  The header makes
+    stream desynchronisation (a worker writing garbage, a partial
+    write cut off by a kill) detectable instead of silently corrupting
+    the next message; the format version byte lets the framing layout
+    evolve without ambiguity, and the protocol byte carries the {e
+    application} protocol version so endpoints can negotiate before
+    interpreting payloads.
+
+    Compatibility rules:
+
+    - this reader accepts frames of every version in
+      [{!min_version}..{!version}] — a v1 frame (9-byte header, no
+      protocol byte) decodes with [proto = 0];
+    - a frame from a {e newer} writer is rejected with
+      [Unsupported_version], never mis-decoded: the version byte is
+      validated before any layout-dependent field is read, so a v1
+      reader facing a v2 frame fails at the version byte instead of
+      parsing the protocol byte as payload length.
 
     The payload is an opaque string; {!marshal}/{!unmarshal} are the
     convenience pair the pool uses to move OCaml values through it
@@ -14,10 +29,17 @@
     image — workers are forks, never execs). *)
 
 val version : int
-(** Current wire-format version (written into every header). *)
+(** Current frame-format version (written into every header by
+    default). *)
+
+val min_version : int
+(** Oldest frame-format version this reader still decodes. *)
 
 val header_bytes : int
-(** Size of the fixed frame header (9). *)
+(** Size of the current fixed frame header (10). *)
+
+val header_bytes_v1 : int
+(** Size of the legacy v1 header (9), for compatibility tests. *)
 
 val default_max_payload : int
 (** Default refusal threshold for claimed payload sizes (64 MiB); a
@@ -28,7 +50,9 @@ val default_max_payload : int
 
 type error =
   | Bad_magic  (** header does not start with the magic bytes *)
-  | Bad_version of int  (** recognised magic, unknown version *)
+  | Unsupported_version of int
+      (** recognised magic, but a frame-format version outside
+          [min_version..version] — typically a newer writer *)
   | Oversized of int  (** claimed payload length exceeds the cap *)
   | Truncated  (** stream ended inside a frame *)
 
@@ -36,8 +60,12 @@ val error_to_string : error -> string
 
 (** {1 Encoding} *)
 
-val encode : string -> string
-(** [encode payload] is the framed message (header ^ payload). *)
+val encode : ?proto:int -> ?version:int -> string -> string
+(** [encode payload] is the framed message (header ^ payload).
+    [proto] (default 0, range 0..255) is the application-protocol byte
+    carried by v2 frames.  [version] (default {!version}) selects the
+    header layout for compatibility testing; writing a v1 frame with a
+    non-zero [proto] is an [Invalid_argument]. *)
 
 (** {1 Streaming decode}
 
@@ -45,8 +73,9 @@ val encode : string -> string
     buffer and frames are peeled off the front as they complete. *)
 
 type decoded =
-  | Frame of string * int
-      (** payload and total bytes consumed (header + payload) *)
+  | Frame of { payload : string; proto : int; consumed : int }
+      (** payload, application-protocol byte (0 for v1 frames), and
+          total bytes consumed (header + payload) *)
   | Need_more  (** a valid prefix, but the frame is incomplete *)
   | Corrupt of error
 
@@ -56,18 +85,24 @@ val decode : ?max_payload:int -> bytes -> pos:int -> len:int -> decoded
 
 (** {1 Blocking file-descriptor helpers}
 
-    Used by workers, whose lives are simple: read one frame, compute,
-    write one frame. *)
+    Used by workers and by serve clients, whose lives are simple: read
+    one frame, compute, write one frame. *)
 
-val write_frame : Unix.file_descr -> string -> unit
+val write_frame : ?proto:int -> Unix.file_descr -> string -> unit
 (** Writes the whole framed message, looping over partial writes.
     Raises [Unix.Unix_error] (e.g. [EPIPE]) if the peer is gone. *)
 
 val read_frame :
   ?max_payload:int -> Unix.file_descr -> (string, [ `Eof | `Corrupt of error ]) result
-(** Blocking read of exactly one frame.  [`Eof] only on a clean
-    end-of-stream at a frame boundary; an EOF mid-frame is
-    [`Corrupt Truncated]. *)
+(** Blocking read of exactly one frame, discarding the protocol byte.
+    [`Eof] only on a clean end-of-stream at a frame boundary; an EOF
+    mid-frame is [`Corrupt Truncated]. *)
+
+val read_frame_ext :
+  ?max_payload:int ->
+  Unix.file_descr ->
+  (int * string, [ `Eof | `Corrupt of error ]) result
+(** Like {!read_frame} but returns [(proto, payload)]. *)
 
 (** {1 Marshal convenience} *)
 

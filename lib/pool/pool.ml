@@ -497,7 +497,7 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
       let parsing = ref true in
       while !parsing do
         match Codec.decode bytes ~pos:!pos ~len:(total - !pos) with
-        | Codec.Frame (p, used) ->
+        | Codec.Frame { payload = p; consumed = used; _ } ->
           handle_result w ~now p;
           pos := !pos + used
         | Codec.Need_more -> parsing := false

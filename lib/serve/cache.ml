@@ -1,0 +1,62 @@
+type 'a entry = { value : 'a; mutable used : int }
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;  (* monotonic recency stamp *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~cap = {
+  cap;
+  tbl = Hashtbl.create (max 16 cap);
+  tick = 0;
+  hits = 0;
+  misses = 0;
+  evictions = 0;
+}
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.used <- t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    touch t e;
+    Some e.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, u) when u <= e.used -> ()
+      | _ -> victim := Some (k, e.used))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key value =
+  if t.cap > 0 then begin
+    if not (Hashtbl.mem t.tbl key) && Hashtbl.length t.tbl >= t.cap then
+      evict_lru t;
+    let e = { value; used = 0 } in
+    touch t e;
+    Hashtbl.replace t.tbl key e
+  end
+
+let length t = Hashtbl.length t.tbl
+let cap t = t.cap
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions

@@ -1,0 +1,27 @@
+(** Small string-keyed LRU cache — the in-memory front of the result
+    {!Store}.
+
+    Capacity is a handful of hundreds of entries, so eviction scans
+    for the least-recently-used key instead of maintaining a linked
+    list; [find]/[add] stay O(1) amortised and the structure stays
+    trivially correct. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** [cap <= 0] disables the cache (every [find] misses, [add] is a
+    no-op). *)
+
+val find : 'a t -> string -> 'a option
+(** Refreshes the entry's recency on a hit. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts or replaces; evicts the least-recently-used entry when the
+    cache is full. *)
+
+val length : 'a t -> int
+val cap : 'a t -> int
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int

@@ -1,0 +1,166 @@
+open Ise_litmus
+
+let version = 1
+let store_abi = 1
+
+(* ------------------------------------------------------------------ *)
+(* run parameters and cache keys                                       *)
+
+type run_params = {
+  seeds : int;
+  inject_faults : bool;
+  timer_interrupts : bool;
+  model : Ise_model.Axiom.model;
+}
+
+let default_params = {
+  seeds = 20;
+  inject_faults = true;
+  timer_interrupts = false;
+  model = Ise_model.Axiom.Wc;
+}
+
+let cfg_of_params p =
+  Ise_sim.Config.with_consistency p.model Ise_sim.Config.default
+
+let model_name = function
+  | Ise_model.Axiom.Sc -> "sc"
+  | Ise_model.Axiom.Pc -> "pc"
+  | Ise_model.Axiom.Wc -> "wc"
+
+(* The config fingerprint digests everything that changes what a run
+   means: the store ABI epoch, the full machine configuration (via
+   Marshal — any Config.t field change invalidates), and the run
+   parameters.  git_rev is deliberately excluded. *)
+let config_fp p =
+  let cfg = cfg_of_params p in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [ "litmus"; string_of_int store_abi;
+            Digest.to_hex (Digest.string (Marshal.to_string cfg []));
+            string_of_int p.seeds;
+            string_of_bool p.inject_faults;
+            string_of_bool p.timer_interrupts;
+            model_name p.model ]))
+
+let litmus_key test params =
+  Store.key ~test_fp:(Lit_test.fingerprint test) ~cfg_fp:(config_fp params)
+
+let replay_key entry ~seeds =
+  let open Ise_fuzz.Corpus in
+  let cfg_fp =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "|"
+            [ "replay"; string_of_int store_abi;
+              entry.e_variant;
+              (match entry.e_expect with
+               | Must_pass -> "pass"
+               | Must_fail -> "fail");
+              entry.e_kind;
+              string_of_int seeds ]))
+  in
+  Store.key ~test_fp:(Lit_test.fingerprint entry.e_test) ~cfg_fp
+
+(* ------------------------------------------------------------------ *)
+(* cached payloads                                                     *)
+
+type litmus_payload = { lp_line : string; lp_pass : bool }
+
+let litmus_payload_to_string (p : litmus_payload) =
+  Ise_pool.Codec.marshal p
+
+let litmus_payload_of_string s =
+  match (Ise_pool.Codec.unmarshal s : litmus_payload) with
+  | p -> Some p
+  | exception _ -> None
+
+let replay_payload_to_string (r : (unit, string) result) =
+  Ise_pool.Codec.marshal r
+
+let replay_payload_of_string s =
+  match (Ise_pool.Codec.unmarshal s : (unit, string) result) with
+  | r -> Some r
+  | exception _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* messages                                                            *)
+
+type request =
+  | Hello of { proto : int; git_rev : string }
+  | Litmus of { tests : Lit_test.t list; params : run_params }
+  | Fuzz_replay of { entry : Ise_fuzz.Corpus.entry; seeds : int }
+  | Stats_req
+  | Shutdown
+
+type litmus_reply = { r_line : string; r_pass : bool; r_cached : bool }
+
+type store_view = {
+  v_mem_hits : int;
+  v_disk_hits : int;
+  v_misses : int;
+  v_writes : int;
+  v_corrupt_skipped : int;
+  v_mem_evictions : int;
+}
+
+type server_stats = {
+  ss_pid : int;
+  ss_uptime_s : float;
+  ss_git_rev : string;
+  ss_connections : int;
+  ss_requests : int;
+  ss_litmus_runs : int;
+  ss_replays : int;
+  ss_errors : int;
+  ss_store : store_view option;
+}
+
+type err_kind =
+  | Unsupported_proto
+  | Bad_request
+  | Frame_too_large
+  | Malformed_frame
+  | Internal
+
+let err_name = function
+  | Unsupported_proto -> "unsupported-proto"
+  | Bad_request -> "bad-request"
+  | Frame_too_large -> "frame-too-large"
+  | Malformed_frame -> "malformed-frame"
+  | Internal -> "internal"
+
+type response =
+  | Hello_ok of { proto : int; git_rev : string }
+  | Litmus_done of litmus_reply list
+  | Replay_done of { result : (unit, string) result; cached : bool }
+  | Stats of server_stats
+  | Shutting_down
+  | Error of err_kind * string
+
+(* ------------------------------------------------------------------ *)
+(* framed I/O                                                          *)
+
+let write_request fd (req : request) =
+  Ise_pool.Codec.write_frame ~proto:version fd (Ise_pool.Codec.marshal req)
+
+let write_response fd (resp : response) =
+  Ise_pool.Codec.write_frame ~proto:version fd (Ise_pool.Codec.marshal resp)
+
+let read_response ?max_payload fd =
+  match Ise_pool.Codec.read_frame_ext ?max_payload fd with
+  | Stdlib.Error `Eof -> Stdlib.Error "connection closed by daemon"
+  | Stdlib.Error (`Corrupt e) ->
+    Stdlib.Error
+      ("corrupt response frame: " ^ Ise_pool.Codec.error_to_string e)
+  | Stdlib.Ok (proto, payload) ->
+    if proto <> version then
+      Stdlib.Error
+        (Printf.sprintf "protocol mismatch: daemon speaks v%d, we speak v%d"
+           proto version)
+    else begin
+      match (Ise_pool.Codec.unmarshal payload : response) with
+      | resp -> Stdlib.Ok resp
+      | exception _ -> Stdlib.Error "undecodable response payload"
+    end

@@ -1,0 +1,349 @@
+open Ise_litmus
+module Codec = Ise_pool.Codec
+
+type config = {
+  socket_path : string;
+  store_dir : string option;
+  jobs : int;
+  mem_entries : int;
+  max_payload : int;
+  log : string -> unit;
+}
+
+let default_config ~socket_path = {
+  socket_path;
+  store_dir = None;
+  jobs = 1;
+  mem_entries = 512;
+  max_payload = 16 * 1024 * 1024;
+  log = ignore;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable buf : Bytes.t;
+  mutable len : int;  (* valid bytes at the front of [buf] *)
+  mutable hello_done : bool;
+  mutable closed : bool;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  store : Store.t option;
+  started : float;
+  mutable conns : conn list;
+  mutable draining : bool;
+  mutable connections : int;
+  mutable requests : int;
+  mutable litmus_runs : int;
+  mutable replays : int;
+  mutable errors : int;
+}
+
+let create cfg =
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec fd;
+  Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen fd 16;
+  let store =
+    Option.map
+      (fun dir -> Store.open_ ~mem_entries:cfg.mem_entries ~dir ())
+      cfg.store_dir
+  in
+  {
+    cfg;
+    listen_fd = fd;
+    store;
+    started = Unix.gettimeofday ();
+    conns = [];
+    draining = false;
+    connections = 0;
+    requests = 0;
+    litmus_runs = 0;
+    replays = 0;
+    errors = 0;
+  }
+
+let store t = t.store
+
+let store_view t =
+  Option.map
+    (fun s ->
+      let c = Store.counters s in
+      {
+        Proto.v_mem_hits = c.Store.c_mem_hits;
+        v_disk_hits = c.Store.c_disk_hits;
+        v_misses = c.Store.c_misses;
+        v_writes = c.Store.c_writes;
+        v_corrupt_skipped = c.Store.c_corrupt_skipped;
+        v_mem_evictions = c.Store.c_mem_evictions;
+      })
+    t.store
+
+let stats t = {
+  Proto.ss_pid = Unix.getpid ();
+  ss_uptime_s = Unix.gettimeofday () -. t.started;
+  ss_git_rev = Ise_obs.Runinfo.git_rev ();
+  ss_connections = t.connections;
+  ss_requests = t.requests;
+  ss_litmus_runs = t.litmus_runs;
+  ss_replays = t.replays;
+  ss_errors = t.errors;
+  ss_store = store_view t;
+}
+
+let request_drain t = t.draining <- true
+
+let install_signal_handlers t =
+  let drain = Sys.Signal_handle (fun _ -> request_drain t) in
+  Sys.set_signal Sys.sigterm drain;
+  Sys.set_signal Sys.sigint drain;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* request handling                                                    *)
+
+(* one litmus run, the cold path — identical to `ise litmus -j 1` *)
+let run_litmus params test =
+  let r =
+    Lit_run.run ~seeds:params.Proto.seeds
+      ~inject_faults:params.Proto.inject_faults
+      ~timer_interrupts:params.Proto.timer_interrupts
+      ~cfg:(Proto.cfg_of_params params) test
+  in
+  {
+    Proto.lp_line = Lit_run.summary_line r;
+    lp_pass = r.Lit_run.pass && r.Lit_run.contract_ok;
+  }
+
+let handle_litmus t tests params =
+  let lookup test =
+    match t.store with
+    | None -> Error (test, None)
+    | Some store ->
+      let key = Proto.litmus_key test params in
+      (match Option.bind (Store.find store key)
+               Proto.litmus_payload_of_string with
+      | Some p ->
+        Ok { Proto.r_line = p.Proto.lp_line; r_pass = p.Proto.lp_pass;
+             r_cached = true }
+      | None -> Error (test, Some key))
+  in
+  let slots = List.map lookup tests in
+  let misses =
+    List.filter_map (function Error tk -> Some tk | Ok _ -> None) slots
+  in
+  (* (payload, cacheable): pool failures are transient, never cached *)
+  let computed =
+    let run (test, _) = run_litmus params test in
+    let n = List.length misses in
+    t.litmus_runs <- t.litmus_runs + n;
+    if n > 1 && t.cfg.jobs > 1 && Ise_pool.Pool.fork_available then begin
+      let arr = Array.of_list misses in
+      let outcomes, _stats = Ise_pool.Pool.map ~jobs:t.cfg.jobs run arr in
+      List.map2
+        (fun (test, _) outcome ->
+          match outcome with
+          | Ise_pool.Pool.Done p -> (p, true)
+          | Ise_pool.Pool.Failed err ->
+            ( {
+                Proto.lp_line =
+                  Printf.sprintf "%-16s POOL FAILURE: %s" test.Lit_test.name
+                    (Ise_pool.Pool.error_to_string err);
+                lp_pass = false;
+              },
+              false )
+          | Ise_pool.Pool.Split _ -> assert false (* no bisect here *))
+        misses (Array.to_list outcomes)
+    end
+    else List.map (fun m -> (run m, true)) misses
+  in
+  List.iter2
+    (fun (_, key) ((p : Proto.litmus_payload), cacheable) ->
+      match t.store, key with
+      | Some store, Some key when cacheable ->
+        Store.add store key (Proto.litmus_payload_to_string p)
+      | _ -> ())
+    misses computed;
+  (* stitch cached and computed replies back into request order *)
+  let rest = ref computed in
+  List.map
+    (function
+      | Ok reply -> reply
+      | Error _ ->
+        let p, _ = List.hd !rest in
+        rest := List.tl !rest;
+        { Proto.r_line = p.Proto.lp_line; r_pass = p.Proto.lp_pass;
+          r_cached = false })
+    slots
+
+let handle_replay t entry seeds =
+  let cached =
+    match t.store with
+    | None -> None
+    | Some store ->
+      Option.bind
+        (Store.find store (Proto.replay_key entry ~seeds))
+        Proto.replay_payload_of_string
+  in
+  match cached with
+  | Some result -> (result, true)
+  | None ->
+    t.replays <- t.replays + 1;
+    let result = Ise_fuzz.Campaign.replay ~seeds entry in
+    Option.iter
+      (fun store ->
+        Store.add store (Proto.replay_key entry ~seeds)
+          (Proto.replay_payload_to_string result))
+      t.store;
+    (result, false)
+
+(* ------------------------------------------------------------------ *)
+(* connection plumbing                                                 *)
+
+let close_conn t conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c -> c != conn) t.conns
+  end
+
+let send_error t conn kind msg =
+  t.errors <- t.errors + 1;
+  t.cfg.log (Printf.sprintf "error to client: %s (%s)"
+               (Proto.err_name kind) msg);
+  (try Proto.write_response conn.fd (Proto.Error (kind, msg))
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  close_conn t conn
+
+let send t conn resp =
+  try Proto.write_response conn.fd resp
+  with Unix.Unix_error _ | Sys_error _ -> close_conn t conn
+
+let handle_request t conn (req : Proto.request) =
+  t.requests <- t.requests + 1;
+  match req with
+  | Proto.Hello { proto; git_rev = _ } ->
+    if proto <> Proto.version then
+      send_error t conn Proto.Unsupported_proto
+        (Printf.sprintf "daemon speaks protocol v%d, client sent v%d"
+           Proto.version proto)
+    else begin
+      conn.hello_done <- true;
+      send t conn
+        (Proto.Hello_ok
+           { proto = Proto.version; git_rev = Ise_obs.Runinfo.git_rev () })
+    end
+  | _ when not conn.hello_done ->
+    send_error t conn Proto.Bad_request "first request must be Hello"
+  | Proto.Litmus { tests; params } -> (
+    match handle_litmus t tests params with
+    | replies -> send t conn (Proto.Litmus_done replies)
+    | exception e ->
+      send_error t conn Proto.Internal (Printexc.to_string e))
+  | Proto.Fuzz_replay { entry; seeds } -> (
+    match handle_replay t entry seeds with
+    | result, cached -> send t conn (Proto.Replay_done { result; cached })
+    | exception e ->
+      send_error t conn Proto.Internal (Printexc.to_string e))
+  | Proto.Stats_req -> send t conn (Proto.Stats (stats t))
+  | Proto.Shutdown ->
+    send t conn Proto.Shutting_down;
+    t.cfg.log "shutdown requested by client";
+    request_drain t
+
+(* Peel complete frames off the connection buffer; stop on Need_more,
+   close with a typed error frame on anything corrupt. *)
+let drain_frames t conn =
+  let continue = ref true in
+  while !continue && not conn.closed do
+    match
+      Codec.decode ~max_payload:t.cfg.max_payload conn.buf ~pos:0
+        ~len:conn.len
+    with
+    | Codec.Need_more -> continue := false
+    | Codec.Corrupt (Codec.Oversized n) ->
+      send_error t conn Proto.Frame_too_large
+        (Printf.sprintf "claimed payload of %d bytes exceeds the %d-byte cap"
+           n t.cfg.max_payload)
+    | Codec.Corrupt (Codec.Unsupported_version v) ->
+      send_error t conn Proto.Unsupported_proto
+        (Printf.sprintf "unsupported frame version %d" v)
+    | Codec.Corrupt e ->
+      send_error t conn Proto.Malformed_frame (Codec.error_to_string e)
+    | Codec.Frame { payload; proto; consumed } ->
+      Bytes.blit conn.buf consumed conn.buf 0 (conn.len - consumed);
+      conn.len <- conn.len - consumed;
+      if proto <> Proto.version then
+        send_error t conn Proto.Unsupported_proto
+          (Printf.sprintf "frame protocol byte %d, daemon speaks v%d" proto
+             Proto.version)
+      else begin
+        match (Codec.unmarshal payload : Proto.request) with
+        | req -> handle_request t conn req
+        | exception _ ->
+          send_error t conn Proto.Malformed_frame
+            "request payload does not decode"
+      end
+  done
+
+let read_chunk = Bytes.create 65536
+
+let handle_readable t conn =
+  match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 -> close_conn t conn (* clean EOF *)
+  | n ->
+    if conn.len + n > Bytes.length conn.buf then begin
+      let cap = max (conn.len + n) (2 * Bytes.length conn.buf) in
+      let bigger = Bytes.create cap in
+      Bytes.blit conn.buf 0 bigger 0 conn.len;
+      conn.buf <- bigger
+    end;
+    Bytes.blit read_chunk 0 conn.buf conn.len n;
+    conn.len <- conn.len + n;
+    drain_frames t conn
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    close_conn t conn
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let accept t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+    Unix.set_close_on_exec fd;
+    t.connections <- t.connections + 1;
+    t.conns <-
+      { fd; buf = Bytes.create 4096; len = 0; hello_done = false;
+        closed = false }
+      :: t.conns
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let serve_forever t =
+  t.cfg.log (Printf.sprintf "listening on %s (pid %d)" t.cfg.socket_path
+               (Unix.getpid ()));
+  while not t.draining do
+    let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+    match Unix.select fds [] [] 1.0 with
+    | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          if t.draining then ()
+          else if fd = t.listen_fd then accept t
+          else
+            match List.find_opt (fun c -> c.fd = fd) t.conns with
+            | Some conn -> handle_readable t conn
+            | None -> ())
+        readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  List.iter (fun c -> close_conn t c) t.conns;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  t.cfg.log "drained; bye"
+
+let run cfg =
+  let t = create cfg in
+  install_signal_handlers t;
+  serve_forever t

@@ -1,0 +1,63 @@
+(** The [ise serve] daemon: a long-lived ISE service over a Unix
+    domain socket.
+
+    One resident supervisor process owns the litmus library, the
+    enumerator caches warmed by previous requests, and the result
+    {!Store}; batch requests fan out over {!Ise_pool.Pool} workers
+    forked {e from that hot process}, so every worker inherits the
+    warmed state at fork time instead of paying process start-up and
+    cold caches per request — the daemon's whole reason to exist.
+
+    Concurrency model: a [select] loop multiplexes the listening
+    socket and all client connections; frames are peeled off
+    per-connection buffers as they complete, and each request is
+    handled synchronously (parallelism lives {e inside} a request, in
+    the pool fan-out — requests from concurrent clients interleave at
+    frame granularity, which keeps responses trivially ordered per
+    connection).
+
+    Protocol discipline (see {!Proto}): the first frame of every
+    connection must be [Hello]; any framing error, oversized frame,
+    protocol-version mismatch, or undecodable payload is answered with
+    a typed [Error] frame and the connection is closed — a misbehaving
+    client can never wedge or crash the daemon.
+
+    [SIGTERM]/[SIGINT] request a drain: the current request finishes,
+    every connection is closed, the socket file is removed, and
+    {!serve_forever} returns. *)
+
+type config = {
+  socket_path : string;
+  store_dir : string option;  (** [None] disables result caching *)
+  jobs : int;  (** pool workers for batch fan-out; [<= 1] in-process *)
+  mem_entries : int;  (** store's in-memory LRU capacity *)
+  max_payload : int;  (** request frames above this are rejected *)
+  log : string -> unit;
+}
+
+val default_config : socket_path:string -> config
+(** No store, [jobs = 1], 512 memory entries, 16 MiB max payload,
+    silent log. *)
+
+type t
+
+val create : config -> t
+(** Binds and listens (removing a stale socket file first).  Raises
+    [Unix.Unix_error] if the path is unusable. *)
+
+val store : t -> Store.t option
+val stats : t -> Proto.server_stats
+
+val request_drain : t -> unit
+(** Async-signal-safe: sets the drain flag the serve loop checks. *)
+
+val install_signal_handlers : t -> unit
+(** [SIGTERM]/[SIGINT] → {!request_drain}; [SIGPIPE] ignored (a client
+    vanishing mid-write must not kill the daemon). *)
+
+val serve_forever : t -> unit
+(** Runs until a drain is requested, then closes everything and
+    removes the socket file. *)
+
+val run : config -> unit
+(** [create] + {!install_signal_handlers} + {!serve_forever}. *)

@@ -1,0 +1,222 @@
+let magic = "ise-store"
+let format_version = 1
+
+type t = {
+  dir : string;
+  mem : string Cache.t;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable writes : int;
+  mutable corrupt_skipped : int;
+  mutable write_errors : int;
+}
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ?(mem_entries = 512) ~dir () =
+  mkdir_p dir;
+  {
+    dir;
+    mem = Cache.create ~cap:mem_entries;
+    disk_hits = 0;
+    misses = 0;
+    writes = 0;
+    corrupt_skipped = 0;
+    write_errors = 0;
+  }
+
+let dir t = t.dir
+let key ~test_fp ~cfg_fp = test_fp ^ "-" ^ cfg_fp
+let entry_path ~dir key = Filename.concat dir (key ^ ".rec")
+
+(* ------------------------------------------------------------------ *)
+(* entry format                                                        *)
+
+let encode_entry key payload =
+  Printf.sprintf "%s v%d\nkey %s\nlen %d\nmd5 %s\n%s" magic format_version
+    key (String.length payload)
+    (Digest.to_hex (Digest.string payload))
+    payload
+
+(* Validates one entry file; [None] on any corruption (never raises on
+   malformed content — only I/O errors escape, and callers treat those
+   as corruption too). *)
+let read_entry path key =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  match
+    let line () = try Some (input_line ic) with End_of_file -> None in
+    let field name l =
+      let prefix = name ^ " " in
+      let pl = String.length prefix in
+      if String.length l > pl && String.sub l 0 pl = prefix then
+        Some (String.sub l pl (String.length l - pl))
+      else None
+    in
+    let ( let* ) = Option.bind in
+    let* l0 = line () in
+    let* () =
+      if l0 = Printf.sprintf "%s v%d" magic format_version then Some ()
+      else None
+    in
+    let* k = Option.bind (line ()) (field "key") in
+    let* () = if k = key then Some () else None in
+    let* len = Option.bind (Option.bind (line ()) (field "len"))
+                 int_of_string_opt in
+    let* md5 = Option.bind (line ()) (field "md5") in
+    let* payload =
+      try Some (really_input_string ic len) with End_of_file -> None
+    in
+    if Digest.to_hex (Digest.string payload) = md5 then Some payload
+    else None
+  with
+  | some_payload -> some_payload
+  | exception _ -> None
+
+let find t key =
+  match Cache.find t.mem key with
+  | Some payload -> payload |> Option.some
+  | None ->
+    let path = entry_path ~dir:t.dir key in
+    if not (Sys.file_exists path) then begin
+      t.misses <- t.misses + 1;
+      None
+    end
+    else begin
+      match read_entry path key with
+      | Some payload ->
+        t.disk_hits <- t.disk_hits + 1;
+        Cache.add t.mem key payload;
+        Some payload
+      | None | (exception Sys_error _) ->
+        t.corrupt_skipped <- t.corrupt_skipped + 1;
+        t.misses <- t.misses + 1;
+        None
+    end
+
+let add t key payload =
+  (match
+     let path = entry_path ~dir:t.dir key in
+     let tmp =
+       Filename.concat t.dir
+         (Printf.sprintf ".tmp.%d.%s" (Unix.getpid ()) key)
+     in
+     let oc = open_out_bin tmp in
+     output_string oc (encode_entry key payload);
+     close_out oc;
+     Sys.rename tmp path
+   with
+  | () -> t.writes <- t.writes + 1
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+    t.write_errors <- t.write_errors + 1);
+  Cache.add t.mem key payload
+
+type counters = {
+  c_mem_hits : int;
+  c_disk_hits : int;
+  c_misses : int;
+  c_writes : int;
+  c_corrupt_skipped : int;
+  c_write_errors : int;
+  c_mem_evictions : int;
+}
+
+let counters t = {
+  c_mem_hits = Cache.hits t.mem;
+  c_disk_hits = t.disk_hits;
+  c_misses = t.misses;
+  c_writes = t.writes;
+  c_corrupt_skipped = t.corrupt_skipped;
+  c_write_errors = t.write_errors;
+  c_mem_evictions = Cache.evictions t.mem;
+}
+
+(* ------------------------------------------------------------------ *)
+(* offline scan / gc                                                   *)
+
+let entry_files dir =
+  match Sys.readdir dir with
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".rec")
+    |> List.sort compare
+    |> List.map (fun f -> (Filename.chop_suffix f ".rec", Filename.concat dir f))
+  | exception Sys_error _ -> []
+
+type disk_stats = { ds_entries : int; ds_bytes : int; ds_corrupt : int }
+
+let scan dir =
+  List.fold_left
+    (fun acc (key, path) ->
+      match read_entry path key with
+      | Some _ ->
+        let bytes =
+          try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+        in
+        { acc with ds_entries = acc.ds_entries + 1;
+                   ds_bytes = acc.ds_bytes + bytes }
+      | None | (exception Sys_error _) ->
+        { acc with ds_corrupt = acc.ds_corrupt + 1 })
+    { ds_entries = 0; ds_bytes = 0; ds_corrupt = 0 }
+    (entry_files dir)
+
+type gc_stats = {
+  gc_kept : int;
+  gc_deleted : int;
+  gc_corrupt_deleted : int;
+  gc_bytes_freed : int;
+}
+
+let gc ?max_entries ?max_bytes dir =
+  let stats =
+    ref { gc_kept = 0; gc_deleted = 0; gc_corrupt_deleted = 0;
+          gc_bytes_freed = 0 }
+  in
+  let remove path size ~corrupt =
+    (try Sys.remove path with Sys_error _ -> ());
+    stats :=
+      if corrupt then
+        { !stats with gc_corrupt_deleted = !stats.gc_corrupt_deleted + 1;
+                      gc_bytes_freed = !stats.gc_bytes_freed + size }
+      else
+        { !stats with gc_deleted = !stats.gc_deleted + 1;
+                      gc_bytes_freed = !stats.gc_bytes_freed + size }
+  in
+  let valid =
+    List.filter_map
+      (fun (key, path) ->
+        let size, mtime =
+          try
+            let st = Unix.stat path in
+            (st.Unix.st_size, st.Unix.st_mtime)
+          with Unix.Unix_error _ -> (0, 0.)
+        in
+        match read_entry path key with
+        | Some _ -> Some (path, size, mtime)
+        | None | (exception Sys_error _) ->
+          remove path size ~corrupt:true;
+          None)
+      (entry_files dir)
+  in
+  (* oldest first, so the keep-set is the newest entries *)
+  let by_age = List.sort (fun (_, _, a) (_, _, b) -> compare a b) valid in
+  let total_bytes = List.fold_left (fun a (_, s, _) -> a + s) 0 valid in
+  let over_entries n =
+    match max_entries with Some m -> n > m | None -> false
+  in
+  let over_bytes b = match max_bytes with Some m -> b > m | None -> false in
+  let n = ref (List.length valid) and bytes = ref total_bytes in
+  List.iter
+    (fun (path, size, _) ->
+      if over_entries !n || over_bytes !bytes then begin
+        remove path size ~corrupt:false;
+        decr n;
+        bytes := !bytes - size
+      end)
+    by_age;
+  { !stats with gc_kept = !n }

@@ -1,0 +1,80 @@
+(** Content-addressed result store.
+
+    One entry per (canonical test hash, configuration fingerprint) key
+    — see {!Proto.litmus_key} — holding the opaque result payload the
+    daemon would otherwise recompute.  Entries live one-per-file under
+    a store directory, written atomically (temp file + rename), with a
+    versioned header and an integrity checksum:
+
+    {v
+    ise-store v1
+    key <key>
+    len <payload bytes>
+    md5 <hex digest of the payload>
+    <payload>
+    v}
+
+    The read path follows the torn-tail philosophy of
+    {!Ise_obs.Journal}: a corrupt entry — bad magic, unknown version,
+    mangled header, short payload, checksum mismatch — is {e counted
+    and skipped} (a miss that the next [add] overwrites), never fatal.
+    A small LRU {!Cache} fronts the disk so a hot working set never
+    touches the filesystem. *)
+
+type t
+
+val open_ : ?mem_entries:int -> dir:string -> unit -> t
+(** Creates [dir] if needed.  [mem_entries] (default 512) sizes the
+    in-memory LRU front; [0] disables it. *)
+
+val dir : t -> string
+
+val key : test_fp:string -> cfg_fp:string -> string
+(** The store key: both fingerprints joined — safe as a file name. *)
+
+val entry_path : dir:string -> string -> string
+(** Where [key]'s entry lives on disk (exposed for tests and gc). *)
+
+val find : t -> string -> string option
+(** Memory front first, then disk (promoting a disk hit into memory).
+    Corrupt disk entries count in {!counters} and return [None]. *)
+
+val add : t -> string -> string -> unit
+(** Atomic write-through: temp file + rename, then the memory front.
+    I/O errors (disk full, unwritable dir) degrade to cache-off — the
+    failure is counted, never raised. *)
+
+type counters = {
+  c_mem_hits : int;
+  c_disk_hits : int;
+  c_misses : int;
+  c_writes : int;
+  c_corrupt_skipped : int;  (** disk entries rejected by validation *)
+  c_write_errors : int;
+  c_mem_evictions : int;
+}
+
+val counters : t -> counters
+
+(** {1 Offline inspection — [ise store stats] / [ise store gc]} *)
+
+type disk_stats = {
+  ds_entries : int;  (** valid entries *)
+  ds_bytes : int;  (** total size of valid entry files *)
+  ds_corrupt : int;
+}
+
+val scan : string -> disk_stats
+(** Validates every entry under a store directory. *)
+
+type gc_stats = {
+  gc_kept : int;
+  gc_deleted : int;  (** valid entries evicted by the bounds *)
+  gc_corrupt_deleted : int;
+  gc_bytes_freed : int;
+}
+
+val gc : ?max_entries:int -> ?max_bytes:int -> string -> gc_stats
+(** Deletes corrupt entries, then the oldest (by mtime) valid entries
+    until at most [max_entries] remain totalling at most [max_bytes].
+    Omitted bounds are unlimited. *)

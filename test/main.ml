@@ -12,6 +12,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("fuzz", Test_fuzz.suite);
       ("pool", Test_pool.suite);
+      ("serve", Test_serve.suite);
       ("chaos", Test_chaos.suite);
       ("obs", Test_obs.suite);
       ("integration", Test_integration.suite);

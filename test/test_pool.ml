@@ -32,7 +32,7 @@ let test_codec_roundtrip () =
       checki "frame length" (Codec.header_bytes + String.length p)
         (String.length framed);
       match decode_all (Bytes.of_string framed) with
-      | Codec.Frame (got, consumed) ->
+      | Codec.Frame { payload = got; consumed; _ } ->
         checks "payload" p got;
         checki "consumed" (String.length framed) consumed
       | Codec.Need_more -> Alcotest.fail "complete frame decoded as Need_more"
@@ -64,7 +64,7 @@ let test_codec_corruption () =
   let bad = Bytes.copy framed in
   Bytes.set bad 4 (Char.chr 99);
   (match decode_all bad with
-  | Codec.Corrupt (Codec.Bad_version 99) -> ()
+  | Codec.Corrupt (Codec.Unsupported_version 99) -> ()
   | _ -> Alcotest.fail "bad version not detected");
   (* a length field above the cap is corruption, not an allocation *)
   (match decode_all ~max_payload:4 (frame_of "way past the cap") with
@@ -74,7 +74,7 @@ let test_codec_corruption () =
   (* garbage mid-buffer offsets honour pos *)
   let buf = Bytes.cat (Bytes.of_string "junk") framed in
   match Codec.decode buf ~pos:4 ~len:(Bytes.length framed) with
-  | Codec.Frame (p, _) -> checks "offset decode" "payload" p
+  | Codec.Frame { payload = p; _ } -> checks "offset decode" "payload" p
   | _ -> Alcotest.fail "decode at offset failed"
 
 let test_codec_marshal_roundtrip () =
