@@ -416,13 +416,16 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
           (base + mid, Array.sub ts mid (Array.length ts - mid))
           ro
     in
+    (* one persistent pool for the whole campaign: the pilot and main
+       batches reuse the same forked workers *)
+    let pool =
+      Ise_pool.Pool.create ~jobs ?job_timeout ?telemetry ?journal_dir worker
+    in
     let run_shards shards =
-      let outcomes, _stats =
-        Ise_pool.Pool.map ~jobs ?job_timeout ?telemetry ~bisect ?journal_dir
-          worker shards
-      in
+      let outcomes, _stats = Ise_pool.Pool.run ~bisect pool shards in
       Array.iteri (fun s outcome -> consume s shards.(s) outcome) outcomes
     in
+    Fun.protect ~finally:(fun () -> Ise_pool.Pool.close pool) @@ fun () ->
     let formula_size = max 1 ((count + (jobs * 4) - 1) / (jobs * 4)) in
     (* `Auto: run a pilot of single-test shards through the pool with a
        private sink, then size the remaining shards from the measured
@@ -437,8 +440,7 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
         let cal = Ise_telemetry.Sink.create () in
         let pshards = Array.init pilot (fun i -> (i, Array.sub tests i 1)) in
         let outcomes, _stats =
-          Ise_pool.Pool.map ~jobs ?job_timeout ~telemetry:cal ~bisect
-            ?journal_dir worker pshards
+          Ise_pool.Pool.run ~telemetry:cal ~bisect pool pshards
         in
         Array.iteri (fun s outcome -> consume s pshards.(s) outcome) outcomes;
         let is_job_ms name =

@@ -15,15 +15,22 @@ let name cfg =
   | Same_stream -> base ^ "+same-stream"
   | Split_stream -> base ^ "+split-stream"
 
-let memory_po (ex : Exec.t) =
-  let events = ex.graph.Event.events in
+(* ppo and fence order depend only on the event graph (event kinds,
+   program order, dependencies, faulting marks) — never on the rf/co
+   choice — so all of the following are graph-level; the [Exec.t]
+   wrappers below keep the historical signatures.  The enumerator
+   relies on this staticness to compute the happens-before base once
+   per program and only add rf/co/fr edges incrementally. *)
+
+let memory_po_g (graph : Event.graph) =
+  let events = graph.Event.events in
   Rel.filter
     (fun a b ->
       (not (Event.is_fence events.(a))) && not (Event.is_fence events.(b)))
-    ex.graph.Event.po
+    graph.Event.po
 
-let rmw_pairs (ex : Exec.t) =
-  let events = ex.graph.Event.events in
+let rmw_pairs_g (graph : Event.graph) =
+  let events = graph.Event.events in
   let r = Rel.create (Array.length events) in
   Array.iter
     (fun e ->
@@ -38,8 +45,8 @@ let rmw_pairs (ex : Exec.t) =
    after younger non-faulting operations of the same thread have
    completed, so those program-order edges disappear (unless to the
    same location, which the store buffer coalesces / forwards). *)
-let split_relax (ex : Exec.t) rel =
-  let events = ex.graph.Event.events in
+let split_relax_g (graph : Event.graph) rel =
+  let events = graph.Event.events in
   Rel.filter
     (fun a b ->
       let ea = events.(a) and eb = events.(b) in
@@ -51,9 +58,9 @@ let split_relax (ex : Exec.t) rel =
 
 let fuzz_unsound_strict_ppo = ref false
 
-let ppo cfg (ex : Exec.t) =
-  let events = ex.graph.Event.events in
-  let po_mem = memory_po ex in
+let ppo_g cfg (graph : Event.graph) =
+  let events = graph.Event.events in
+  let po_mem = memory_po_g graph in
   let base =
     match cfg.model with
     | _ when !fuzz_unsound_strict_ppo ->
@@ -73,17 +80,26 @@ let ppo cfg (ex : Exec.t) =
         Rel.filter (fun a b -> Event.same_loc events.(a) events.(b)) po_mem
       in
       let deps =
-        Rel.union ex.graph.Event.addr_dep
-          (Rel.union ex.graph.Event.data_dep
+        Rel.union graph.Event.addr_dep
+          (Rel.union graph.Event.data_dep
              (Rel.filter
                 (fun _ b -> Event.is_write events.(b))
-                ex.graph.Event.ctrl_dep))
+                graph.Event.ctrl_dep))
       in
-      Rel.union same_loc (Rel.union deps (rmw_pairs ex))
+      Rel.union same_loc (Rel.union deps (rmw_pairs_g graph))
   in
   match cfg.faults with
   | Precise | Same_stream -> base
-  | Split_stream -> split_relax ex base
+  | Split_stream -> split_relax_g graph base
+
+let ppo cfg (ex : Exec.t) = ppo_g cfg ex.Exec.graph
+
+(* The static part of global happens-before: everything except the
+   rf/co/fr edges contributed by a particular candidate. *)
+let ghb_base_g cfg graph =
+  match cfg.model with
+  | Sc -> ppo_g cfg graph
+  | Pc | Wc -> Rel.union (ppo_g cfg graph) (Exec.fence_order_g graph)
 
 let ghb cfg ex =
   let com w = Rel.union w (Rel.union ex.Exec.co (Exec.fr ex)) in

@@ -53,6 +53,16 @@ val fuzz_unsound_strict_ppo : bool ref
 val ppo : config -> Exec.t -> Rel.t
 (** Preserved program order under the configuration. *)
 
+val ppo_g : config -> Event.graph -> Rel.t
+(** Graph-level {!ppo}: preserved program order depends only on the
+    event graph, never on the candidate's rf/co choice. *)
+
+val ghb_base_g : config -> Event.graph -> Rel.t
+(** The static part of {!ghb}: [ppo] (plus fence order for PC/WC).
+    A candidate's full ghb is this base unioned with its rf (SC) or
+    rfe (PC/WC) edges, co, and fr — which is exactly the decomposition
+    the incremental enumerator exploits. *)
+
 val ghb : config -> Exec.t -> Rel.t
 (** Global happens-before whose acyclicity defines consistency. *)
 

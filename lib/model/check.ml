@@ -17,7 +17,15 @@ let allowed_with_stats ?(faulting : (tid * int) list = []) cfg threads =
   in
   (outcomes, !total, !consistent)
 
-let allowed ?faulting cfg threads =
+(* The hot path: campaigns, litmus verdicts and subset/equivalence
+   queries all funnel through [allowed], so it runs the pruned,
+   symmetry-reduced engine.  [allowed_with_stats] (above) deliberately
+   stays on the reference enumerator — it reports the total candidate
+   count, which only the exhaustive walk sees — and doubles as the
+   oracle the fast path is tested against. *)
+let allowed ?faulting cfg threads = fst (Enum.search ?faulting cfg threads)
+
+let allowed_ref ?faulting cfg threads =
   let o, _, _ = allowed_with_stats ?faulting cfg threads in
   o
 

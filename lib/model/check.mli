@@ -10,12 +10,23 @@ val allowed :
 (** All final outcomes of consistent executions.  [faulting] marks
     stores (by thread id and program-order index) as generating
     imprecise exceptions; it only affects configurations whose fault
-    mode is [Split_stream]. *)
+    mode is [Split_stream].  Computed by the pruned, symmetry-reduced
+    engine ({!Enum.search}); observationally identical to
+    {!allowed_ref}. *)
+
+val allowed_ref :
+  ?faulting:(tid * int) list -> Axiom.config -> Instr.t list array ->
+  Outcome.Set.t
+(** Reference implementation of {!allowed} via the seed
+    enumerate-then-check loop ({!Enum.candidates}); the oracle the
+    fast path is differentially tested against. *)
 
 val allowed_with_stats :
   ?faulting:(tid * int) list -> Axiom.config -> Instr.t list array ->
   Outcome.Set.t * int * int
-(** Outcomes plus (candidate count, consistent count). *)
+(** Outcomes plus (candidate count, consistent count), via the
+    reference enumerator — the total candidate count is only visible
+    to the exhaustive walk. *)
 
 val equivalent :
   ?faulting:(tid * int) list -> Axiom.config -> Axiom.config ->

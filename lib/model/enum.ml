@@ -1,3 +1,14 @@
+let epoch = 2
+
+(* ------------------------------------------------------------------ *)
+(* Reference enumerator (seed semantics)                               *)
+(*                                                                     *)
+(* Enumerate-then-check: build every (rf, co) candidate eagerly and    *)
+(* let the caller filter by the consistency axiom.  Kept verbatim as   *)
+(* the executable oracle for the fast path below — the oracle tests    *)
+(* in test/test_model.ml assert [search] agrees with it on outcome     *)
+(* sets and consistent counts for the whole litmus library.            *)
+
 let rec permutations = function
   | [] -> [ [] ]
   | l ->
@@ -76,3 +87,303 @@ let candidates (graph : Event.graph) =
     rf_choices
 
 let count graph = Seq.fold_left (fun acc _ -> acc + 1) 0 (candidates graph)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental reachability                                            *)
+(*                                                                     *)
+(* The transitive closure of an acyclic, monotonically growing edge    *)
+(* set, as packed bitset rows.  [add_edge u v] refuses edges that      *)
+(* would close a cycle (leaving the structure untouched) and otherwise *)
+(* folds v's reachability into u's and every predecessor of u's — an   *)
+(* O(n · words) update instead of a full closure recomputation.        *)
+(* Backtracking snapshots/restores the whole row array; candidate      *)
+(* graphs are a couple dozen events, so a snapshot is a handful of     *)
+(* words.                                                              *)
+
+module Reach = struct
+  let bits = Sys.int_size
+
+  type t = { n : int; words : int; rows : int array }
+
+  let create n =
+    let words = if n = 0 then 0 else ((n - 1) / bits) + 1 in
+    { n; words; rows = Array.make (n * words) 0 }
+
+  let mem t i j =
+    t.rows.((i * t.words) + (j / bits)) land (1 lsl (j mod bits)) <> 0
+
+  (* Add u -> v; false (and no change) if it would close a cycle. *)
+  let add_edge t u v =
+    if u = v || mem t v u then false
+    else if mem t u v then true
+    else begin
+      let bv = v * t.words in
+      let vw = v / bits and vbit = 1 lsl (v mod bits) in
+      for i = 0 to t.n - 1 do
+        if i = u || mem t i u then begin
+          let bi = i * t.words in
+          for w = 0 to t.words - 1 do
+            Array.unsafe_set t.rows (bi + w)
+              (Array.unsafe_get t.rows (bi + w)
+              lor Array.unsafe_get t.rows (bv + w))
+          done;
+          t.rows.(bi + vw) <- t.rows.(bi + vw) lor vbit
+        end
+      done;
+      true
+    end
+
+  (* Seed from a relation; false if the relation is already cyclic. *)
+  let add_rel t rel =
+    let ok = ref true in
+    Rel.iter (fun a b -> if not (add_edge t a b) then ok := false) rel;
+    !ok
+
+  let snapshot t = Array.copy t.rows
+  let restore t s = Array.blit s 0 t.rows 0 (Array.length s)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fast path: backtracking search with pruning and symmetry reduction  *)
+
+type stats = {
+  group_order : int;  (* |G|: program automorphisms found *)
+  rf_explored : int;  (* complete rf assignments surviving pruning *)
+  leaves : int;  (* co-complete candidates reached (pre leader check) *)
+  pruned_cycle : int;  (* choice subtrees cut by incremental reachability *)
+  pruned_symmetry : int;  (* assignments cut by the lex-leader check *)
+  consistent : int;  (* consistent candidates, orbit-multiplied *)
+}
+
+let search ?(symmetry = true) ?(faulting = []) cfg threads =
+  let graph = Event.compile ~faulting threads in
+  let events = graph.Event.events in
+  let n = Array.length events in
+  let stats =
+    ref
+      {
+        group_order = 1;
+        rf_explored = 0;
+        leaves = 0;
+        pruned_cycle = 0;
+        pruned_symmetry = 0;
+        consistent = 0;
+      }
+  in
+  let bump f = stats := f !stats in
+  (* choice structure, all in deterministic (ascending id) order *)
+  let reads =
+    Array.of_list
+      (Array.to_list events |> List.filter Event.is_read
+      |> List.map (fun e -> e.Event.id))
+  in
+  let writes_for =
+    Array.map
+      (fun rd ->
+        Array.to_list events
+        |> List.filter (fun w -> Event.is_write w && Event.same_loc w events.(rd))
+        |> List.map (fun w -> w.Event.id))
+      reads
+  in
+  let locs =
+    let tbl = Hashtbl.create 8 in
+    Array.iter
+      (fun e ->
+        if Event.is_write e && not (Event.is_init e) then
+          match e.Event.loc with
+          | Some l ->
+            Hashtbl.replace tbl l
+              ((try Hashtbl.find tbl l with Not_found -> []) @ [ e.Event.id ])
+          | None -> ())
+      events;
+    Hashtbl.fold (fun l ws acc -> (l, ws) :: acc) tbl []
+    |> List.sort compare |> Array.of_list
+  in
+  let nlocs_used = Array.length locs in
+  let init_of =
+    Array.map
+      (fun (l, _) ->
+        let found = ref (-1) in
+        Array.iter
+          (fun e ->
+            if Event.is_init e && e.Event.loc = Some l then found := e.Event.id)
+          events;
+        !found)
+      locs
+  in
+  (* symmetry group *)
+  let autos = if symmetry then Symm.automorphisms threads graph else [] in
+  let nontrivial = List.filter (fun a -> not (Symm.is_identity a)) autos in
+  let group_order = max 1 (List.length autos) in
+  bump (fun s -> { s with group_order });
+  (* per-automorphism inverse location maps, for the co leader check *)
+  let inv_loc =
+    List.map
+      (fun (a : Symm.t) ->
+        let inv = Array.make (Array.length a.Symm.map_loc) 0 in
+        Array.iteri (fun l l' -> inv.(l') <- l) a.Symm.map_loc;
+        (a, inv))
+      nontrivial
+  in
+  (* loc value -> index in [locs] *)
+  let loc_index = Hashtbl.create 8 in
+  Array.iteri (fun i (l, _) -> Hashtbl.replace loc_index l i) locs;
+  (* search state *)
+  let ghb = Reach.create n and coloc = Reach.create n in
+  let rf = Array.make n (-1) in
+  let readers = Array.make n [] in
+  (* chains.(li): the chosen coherence prefix for location li, newest
+     first, non-init writes only *)
+  let chains = Array.make (max 1 nlocs_used) [] in
+  let outcomes = ref Outcome.Set.empty in
+  let sc_model = cfg.Axiom.model = Axiom.Sc in
+  (* π·rf vs rf, lexicographically over reads in ascending id order:
+     (π·rf)(r) = perm(rf(perm⁻¹ r)). *)
+  let compare_rf (a : Symm.t) =
+    let rec go k =
+      if k >= Array.length reads then 0
+      else
+        let rd = reads.(k) in
+        let c = compare a.Symm.perm.(rf.(a.Symm.inv.(rd))) rf.(rd) in
+        if c <> 0 then c else go (k + 1)
+    in
+    go 0
+  in
+  (* π·co vs co over the per-location chains, locations ascending:
+     (π·co)'s chain at location l is perm applied to the chain at
+     λ⁻¹(l).  Chains are stored newest first; compare in chosen
+     (oldest-first) order. *)
+  let compare_co ((a : Symm.t), inv_loc) =
+    let rec go li =
+      if li >= nlocs_used then 0
+      else
+        let l, _ = locs.(li) in
+        let li' = Hashtbl.find loc_index inv_loc.(l) in
+        let c =
+          List.compare compare
+            (List.rev_map (fun w -> a.Symm.perm.(w)) chains.(li'))
+            (List.rev chains.(li))
+        in
+        if c <> 0 then c else go (li + 1)
+    in
+    go 0
+  in
+  let leaf rf_stab =
+    bump (fun s -> { s with leaves = s.leaves + 1 });
+    if List.exists (fun a -> compare_co a < 0) rf_stab then
+      bump (fun s -> { s with pruned_symmetry = s.pruned_symmetry + 1 })
+    else begin
+      let stab_size =
+        1 + List.length (List.filter (fun a -> compare_co a = 0) rf_stab)
+      in
+      let orbit = group_order / stab_size in
+      let co = Rel.create n in
+      Array.iteri
+        (fun li (_, _) ->
+          let chain =
+            let c = List.rev chains.(li) in
+            if init_of.(li) >= 0 then init_of.(li) :: c else c
+          in
+          let rec pairs = function
+            | [] -> ()
+            | x :: rest ->
+              List.iter (fun y -> Rel.add co x y) rest;
+              pairs rest
+          in
+          pairs chain)
+        locs;
+      match Exec.make graph ~rf:(Array.copy rf) ~co with
+      | None -> ()
+      | Some ex ->
+        let o = Exec.outcome ex in
+        bump (fun s -> { s with consistent = s.consistent + orbit });
+        outcomes := Outcome.Set.add o !outcomes;
+        List.iter
+          (fun a -> outcomes := Outcome.Set.add (Symm.apply_outcome a o) !outcomes)
+          nontrivial
+    end
+  in
+  (* coherence stage: per location, append remaining writes one at a
+     time; each append adds co edges from the whole prefix (and init)
+     plus fr edges from every read of the prefix, into both
+     reachability structures.  A refused edge prunes the subtree. *)
+  let rec co_loc li rf_stab =
+    if li >= nlocs_used then leaf rf_stab
+    else
+      let _, ws = locs.(li) in
+      extend li ws rf_stab
+  and extend li remaining rf_stab =
+    if remaining = [] then co_loc (li + 1) rf_stab
+    else
+      List.iter
+        (fun w ->
+          let s1 = Reach.snapshot ghb and s2 = Reach.snapshot coloc in
+          let ok = ref true in
+          let edge a b =
+            if !ok then
+              if not (Reach.add_edge coloc a b && Reach.add_edge ghb a b) then
+                ok := false
+          in
+          let prefix = chains.(li) in
+          if init_of.(li) >= 0 then edge init_of.(li) w;
+          List.iter
+            (fun c ->
+              edge c w;
+              List.iter (fun rd -> edge rd w) readers.(c))
+            prefix;
+          if init_of.(li) >= 0 then
+            List.iter (fun rd -> edge rd w) readers.(init_of.(li));
+          if !ok then begin
+            chains.(li) <- w :: chains.(li);
+            extend li (List.filter (fun x -> x <> w) remaining) rf_stab;
+            chains.(li) <- List.tl chains.(li)
+          end
+          else bump (fun s -> { s with pruned_cycle = s.pruned_cycle + 1 });
+          Reach.restore ghb s1;
+          Reach.restore coloc s2)
+        remaining
+  in
+  let rf_complete () =
+    if List.exists (fun a -> compare_rf a < 0) nontrivial then
+      bump (fun s -> { s with pruned_symmetry = s.pruned_symmetry + 1 })
+    else begin
+      bump (fun s -> { s with rf_explored = s.rf_explored + 1 });
+      let rf_stab =
+        List.filter (fun (a, _) -> compare_rf a = 0) inv_loc
+      in
+      co_loc 0 rf_stab
+    end
+  in
+  let rec rf_stage k =
+    if k >= Array.length reads then rf_complete ()
+    else
+      let rd = reads.(k) in
+      List.iter
+        (fun w ->
+          let s1 = Reach.snapshot ghb and s2 = Reach.snapshot coloc in
+          let ok =
+            Reach.add_edge coloc w rd
+            && ((not (sc_model || events.(w).Event.tid <> events.(rd).Event.tid))
+               || Reach.add_edge ghb w rd)
+          in
+          if ok then begin
+            rf.(rd) <- w;
+            readers.(w) <- rd :: readers.(w);
+            rf_stage (k + 1);
+            readers.(w) <- List.tl readers.(w);
+            rf.(rd) <- -1
+          end
+          else bump (fun s -> { s with pruned_cycle = s.pruned_cycle + 1 });
+          Reach.restore ghb s1;
+          Reach.restore coloc s2)
+        writes_for.(k)
+  in
+  (* static base: po-loc for coherence, ppo (+ fences, for PC/WC) for
+     happens-before.  Both are acyclic for compiled programs; if a
+     hostile graph ever makes the base cyclic, no candidate can be
+     consistent, which the early return encodes. *)
+  if
+    Reach.add_rel coloc (Exec.po_loc_g graph)
+    && Reach.add_rel ghb (Axiom.ghb_base_g cfg graph)
+  then rf_stage 0;
+  (!outcomes, !stats)

@@ -1,11 +1,39 @@
-(** Exhaustive enumeration of candidate executions.
+(** Enumeration of candidate executions.
 
-    For every read the enumerator tries every same-location write
-    (including the init write) as a reads-from source, and for every
-    location it tries every linearisation of the location's writes as
-    the coherence order.  Candidates that violate value well-formedness
-    or RMW atomicity are dropped by {!Exec.make}.  Litmus-scale
-    programs keep the space tiny. *)
+    Two engines share this module:
+
+    {b Reference} ({!candidates}/{!count}): the seed's
+    enumerate-then-check loop.  For every read it tries every
+    same-location write (including the init write) as a reads-from
+    source, and for every location every linearisation of the
+    location's writes as the coherence order; candidates that violate
+    value well-formedness or RMW atomicity are dropped by
+    {!Exec.make}.  Exhaustive, simple, and retained as the executable
+    oracle.
+
+    {b Fast} ({!search}): a backtracking enumerator over the same
+    (rf, co) choice space that maintains incremental transitive
+    reachability for both consistency obligations (coherence-per-
+    location and global happens-before) across choice points — each
+    added rf/co/fr edge is an O(changed-edges) update, and any edge
+    that would close a cycle prunes the whole subtree before it fans
+    out.  With [~symmetry] (default) it additionally quotients the
+    space by the program's automorphism group ({!Symm}): only the
+    lexicographically least assignment per orbit is explored, and
+    counts/outcome sets are multiplied back, exactly.
+    [test/test_model.ml]'s oracle suite proves both engines yield
+    identical consistent-outcome sets and counts across the litmus
+    library, corpus and all models. *)
+
+open Types
+
+val epoch : int
+(** Version of the enumeration engine, bumped on any change that could
+    alter which outcomes are enumerated or how verdicts are computed
+    (1 = seed enumerate-then-check; 2 = pruned symmetry-reduced
+    backtracking).  Folded into the serve daemon's cache fingerprints
+    ({!Ise_serve.Proto}), so results cached under an older engine miss
+    rather than masquerade as current. *)
 
 val candidates : Event.graph -> Exec.t Seq.t
 (** All well-formed candidate executions (not yet filtered by any
@@ -13,3 +41,27 @@ val candidates : Event.graph -> Exec.t Seq.t
 
 val count : Event.graph -> int
 (** Number of well-formed candidates (forces the sequence). *)
+
+(** {1 Fast path} *)
+
+type stats = {
+  group_order : int;  (** |G|: program automorphisms found *)
+  rf_explored : int;  (** complete rf assignments surviving pruning *)
+  leaves : int;  (** co-complete candidates reached (pre leader check) *)
+  pruned_cycle : int;  (** choice subtrees cut by incremental reachability *)
+  pruned_symmetry : int;  (** assignments cut by the lex-leader check *)
+  consistent : int;  (** consistent candidates, orbit-multiplied *)
+}
+
+val search :
+  ?symmetry:bool ->
+  ?faulting:(tid * int) list ->
+  Axiom.config ->
+  Instr.t list array ->
+  Outcome.Set.t * stats
+(** The set of outcomes of consistent executions of the program under
+    the configuration, computed by the pruned (and, by default,
+    symmetry-reduced) backtracking enumerator.  Equal to filtering
+    {!candidates} by {!Axiom.consistent} — the oracle tests hold the
+    two engines to that contract; [stats.consistent] likewise equals
+    the reference consistent-candidate count. *)

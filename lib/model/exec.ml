@@ -41,16 +41,18 @@ let fr t =
      from init handled because init writes participate in co. *)
   r
 
-let po_loc t =
-  let events = t.graph.Event.events in
+let po_loc_g (graph : Event.graph) =
+  let events = graph.Event.events in
   Rel.filter
     (fun a b -> Event.same_loc events.(a) events.(b))
-    t.graph.Event.po
+    graph.Event.po
 
-let fence_order t =
-  let events = t.graph.Event.events in
-  let po = t.graph.Event.po in
-  let n = n_events t in
+let po_loc t = po_loc_g t.graph
+
+let fence_order_g (graph : Event.graph) =
+  let events = graph.Event.events in
+  let po = graph.Event.po in
+  let n = Array.length events in
   let r = Rel.create n in
   Array.iter
     (fun f ->
@@ -64,6 +66,8 @@ let fence_order t =
         done)
     events;
   r
+
+let fence_order t = fence_order_g t.graph
 
 (* Compute the value of every event by fixpoint over rf and data
    sources.  Returns None if some value never settles (a cycle). *)

@@ -32,6 +32,13 @@ val po_loc : t -> Rel.t
 val fence_order : t -> Rel.t
 (** Pairs of memory events separated by a fence in program order. *)
 
+val po_loc_g : Event.graph -> Rel.t
+val fence_order_g : Event.graph -> Rel.t
+(** Graph-level variants of {!po_loc}/{!fence_order}: both relations
+    depend only on the event graph, not on any rf/co choice, so the
+    enumerator computes them once per program before exploring
+    candidates. *)
+
 val make : Event.graph -> rf:int array -> co:Rel.t -> t option
 (** Computes event values from [rf]; [None] when the value assignment
     has no fixpoint (a causal cycle through data) or when RMW

@@ -1,10 +1,19 @@
-type t = { n : int; m : Bytes.t }
+(* Packed bitset rows: row [i] of the adjacency matrix lives in
+   [words_per_row] native ints starting at [i * words_per_row], one bit
+   per column.  Row-level operations (union, intersection, compose,
+   closure) are word-parallel, which is what makes the enumerator's
+   per-candidate consistency checks cheap.  The seed dense-matrix
+   implementation survives verbatim as [Rel_ref]; test/test_rel.ml
+   asserts this module agrees with it operation by operation. *)
 
-let idx t a b = (a * t.n) + b
+type t = { n : int; words : int; m : int array }
+
+let bits = Sys.int_size
 
 let create n =
   if n < 0 then invalid_arg "Rel.create";
-  { n; m = Bytes.make (n * n) '\000' }
+  let words = if n = 0 then 0 else ((n - 1) / bits) + 1 in
+  { n; words; m = Array.make (n * words) 0 }
 
 let size t = t.n
 
@@ -13,94 +22,139 @@ let check t a b =
 
 let add t a b =
   check t a b;
-  Bytes.set t.m (idx t a b) '\001'
+  let w = (a * t.words) + (b / bits) in
+  t.m.(w) <- t.m.(w) lor (1 lsl (b mod bits))
 
 let mem t a b =
   check t a b;
-  Bytes.get t.m (idx t a b) <> '\000'
+  t.m.((a * t.words) + (b / bits)) land (1 lsl (b mod bits)) <> 0
 
 let same_size a b = if a.n <> b.n then invalid_arg "Rel: size mismatch"
 
 let map2 f a b =
   same_size a b;
   let r = create a.n in
-  for i = 0 to Bytes.length a.m - 1 do
-    if f (Bytes.get a.m i <> '\000') (Bytes.get b.m i <> '\000') then
-      Bytes.set r.m i '\001'
+  for i = 0 to Array.length a.m - 1 do
+    r.m.(i) <- f a.m.(i) b.m.(i)
   done;
   r
 
-let union a b = map2 ( || ) a b
-let inter a b = map2 ( && ) a b
-let diff a b = map2 (fun x y -> x && not y) a b
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+(* Fold over the set bits of row [a] in ascending column order. *)
+let iter_row t a f =
+  let base = a * t.words in
+  for w = 0 to t.words - 1 do
+    let word = ref (Array.unsafe_get t.m (base + w)) in
+    while !word <> 0 do
+      let bit = !word land - !word in
+      (* count trailing zeros of the isolated lowest bit *)
+      let j = ref 0 in
+      let x = ref bit in
+      if !x land 0xFFFFFFFF = 0 then begin j := !j + 32; x := !x lsr 32 end;
+      if !x land 0xFFFF = 0 then begin j := !j + 16; x := !x lsr 16 end;
+      if !x land 0xFF = 0 then begin j := !j + 8; x := !x lsr 8 end;
+      if !x land 0xF = 0 then begin j := !j + 4; x := !x lsr 4 end;
+      if !x land 0x3 = 0 then begin j := !j + 2; x := !x lsr 2 end;
+      if !x land 0x1 = 0 then j := !j + 1;
+      f ((w * bits) + !j);
+      word := !word land lnot bit
+    done
+  done
+
+(* r_row(i) |= src_row(k), word-parallel. *)
+let or_row_into dst i src k =
+  let db = i * dst.words and sb = k * src.words in
+  for w = 0 to dst.words - 1 do
+    Array.unsafe_set dst.m (db + w)
+      (Array.unsafe_get dst.m (db + w) lor Array.unsafe_get src.m (sb + w))
+  done
 
 let compose a b =
   same_size a b;
   let r = create a.n in
   for i = 0 to a.n - 1 do
-    for k = 0 to a.n - 1 do
-      if mem a i k then
-        for j = 0 to a.n - 1 do
-          if mem b k j then add r i j
-        done
-    done
+    iter_row a i (fun k -> or_row_into r i b k)
   done;
   r
 
 let inverse a =
   let r = create a.n in
   for i = 0 to a.n - 1 do
-    for j = 0 to a.n - 1 do
-      if mem a i j then add r j i
-    done
+    iter_row a i (fun j -> add r j i)
   done;
   r
 
-let copy a = { n = a.n; m = Bytes.copy a.m }
+let copy a = { a with m = Array.copy a.m }
 
 let transitive_closure a =
-  (* Floyd-Warshall reachability. *)
+  (* Floyd-Warshall with word-parallel row merges: if i reaches k, fold
+     k's row into i's. *)
   let r = copy a in
   for k = 0 to r.n - 1 do
+    let kw = k / bits and kbit = 1 lsl (k mod bits) in
     for i = 0 to r.n - 1 do
-      if mem r i k then
-        for j = 0 to r.n - 1 do
-          if mem r k j then add r i j
-        done
+      if r.m.((i * r.words) + kw) land kbit <> 0 then or_row_into r i r k
     done
   done;
   r
 
+(* Acyclicity via iterative three-colour DFS — no closure needed. *)
 let is_acyclic a =
-  let c = transitive_closure a in
-  let rec loop i = if i >= c.n then true else if mem c i i then false else loop (i + 1) in
-  loop 0
+  let state = Array.make a.n 0 in (* 0 white, 1 on stack, 2 done *)
+  let has_cycle = ref false in
+  let rec visit i =
+    if not !has_cycle then begin
+      state.(i) <- 1;
+      iter_row a i (fun j ->
+          if state.(j) = 1 then has_cycle := true
+          else if state.(j) = 0 then visit j);
+      state.(i) <- 2
+    end
+  in
+  (try
+     for i = 0 to a.n - 1 do
+       if state.(i) = 0 then visit i;
+       if !has_cycle then raise Exit
+     done
+   with Exit -> ());
+  not !has_cycle
 
 let cycle_witness a =
-  let c = transitive_closure a in
-  let rec find i = if i >= c.n then None else if mem c i i then Some i else find (i + 1) in
-  match find 0 with
-  | None -> None
-  | Some start ->
-    (* Reconstruct a path start -> ... -> start through direct edges. *)
-    let visited = Array.make a.n false in
-    let rec dfs node path =
-      if node = start && path <> [] then Some (List.rev (start :: path))
-      else if visited.(node) && node <> start then None
-      else begin
-        visited.(node) <- true;
-        let rec try_succ j =
-          if j >= a.n then None
-          else if mem a node j && (j = start || not visited.(j)) then
-            match dfs j (node :: path) with
-            | Some p -> Some p
-            | None -> try_succ (j + 1)
-          else try_succ (j + 1)
-        in
-        try_succ 0
-      end
-    in
-    dfs start []
+  (* DFS keeping the grey path; on a back edge j -> grey node, the path
+     segment from j's occurrence is a cycle.  Returned as
+     [e1; …; ek; e1] with every consecutive pair a direct edge. *)
+  let state = Array.make a.n 0 in
+  let found = ref None in
+  let rec visit i path =
+    if !found = None then begin
+      state.(i) <- 1;
+      iter_row a i (fun j ->
+          if !found = None then begin
+            if state.(j) = 1 then begin
+              (* path is i :: ... :: j :: ..., newest first *)
+              let rec take acc = function
+                | [] -> acc
+                | x :: rest ->
+                  if x = j then x :: acc else take (x :: acc) rest
+              in
+              let cyc = take [ j ] (i :: path) in
+              found := Some cyc
+            end
+            else if state.(j) = 0 then visit j (i :: path)
+          end);
+      state.(i) <- 2
+    end
+  in
+  (try
+     for i = 0 to a.n - 1 do
+       if state.(i) = 0 then visit i [];
+       if !found <> None then raise Exit
+     done
+   with Exit -> ());
+  !found
 
 let of_list n pairs =
   let r = create n in
@@ -110,36 +164,35 @@ let of_list n pairs =
 let to_list t =
   let acc = ref [] in
   for i = t.n - 1 downto 0 do
-    for j = t.n - 1 downto 0 do
-      if mem t i j then acc := (i, j) :: !acc
-    done
+    let row = ref [] in
+    iter_row t i (fun j -> row := (i, j) :: !row);
+    acc := List.rev_append !row !acc
   done;
   !acc
 
 let filter p t =
   let r = create t.n in
   for i = 0 to t.n - 1 do
-    for j = 0 to t.n - 1 do
-      if mem t i j && p i j then add r i j
-    done
+    iter_row t i (fun j -> if p i j then add r i j)
   done;
   r
 
 let cardinal t =
   let c = ref 0 in
-  Bytes.iter (fun ch -> if ch <> '\000' then incr c) t.m;
+  let rec popcount x = if x = 0 then 0 else (x land 1) + popcount (x lsr 1) in
+  Array.iter (fun w -> c := !c + popcount w) t.m;
   !c
 
-let equal a b = a.n = b.n && Bytes.equal a.m b.m
+let equal a b = a.n = b.n && a.m = b.m
 
 let iter f t =
   for i = 0 to t.n - 1 do
-    for j = 0 to t.n - 1 do
-      if mem t i j then f i j
-    done
+    iter_row t i (fun j -> f i j)
   done
 
 let topological_order t =
+  (* Kahn's algorithm, queue seeded in index order — matches Rel_ref
+     output exactly, which tests depend on. *)
   let indegree = Array.make t.n 0 in
   iter (fun _ j -> indegree.(j) <- indegree.(j) + 1) t;
   let queue = Queue.create () in
@@ -150,11 +203,8 @@ let topological_order t =
     let i = Queue.pop queue in
     order := i :: !order;
     incr count;
-    for j = 0 to t.n - 1 do
-      if mem t i j then begin
+    iter_row t i (fun j ->
         indegree.(j) <- indegree.(j) - 1;
-        if indegree.(j) = 0 then Queue.add j queue
-      end
-    done
+        if indegree.(j) = 0 then Queue.add j queue)
   done;
   if !count = t.n then Some (List.rev !order) else None

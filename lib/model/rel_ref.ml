@@ -1,0 +1,160 @@
+type t = { n : int; m : Bytes.t }
+
+let idx t a b = (a * t.n) + b
+
+let create n =
+  if n < 0 then invalid_arg "Rel.create";
+  { n; m = Bytes.make (n * n) '\000' }
+
+let size t = t.n
+
+let check t a b =
+  if a < 0 || a >= t.n || b < 0 || b >= t.n then invalid_arg "Rel: out of range"
+
+let add t a b =
+  check t a b;
+  Bytes.set t.m (idx t a b) '\001'
+
+let mem t a b =
+  check t a b;
+  Bytes.get t.m (idx t a b) <> '\000'
+
+let same_size a b = if a.n <> b.n then invalid_arg "Rel: size mismatch"
+
+let map2 f a b =
+  same_size a b;
+  let r = create a.n in
+  for i = 0 to Bytes.length a.m - 1 do
+    if f (Bytes.get a.m i <> '\000') (Bytes.get b.m i <> '\000') then
+      Bytes.set r.m i '\001'
+  done;
+  r
+
+let union a b = map2 ( || ) a b
+let inter a b = map2 ( && ) a b
+let diff a b = map2 (fun x y -> x && not y) a b
+
+let compose a b =
+  same_size a b;
+  let r = create a.n in
+  for i = 0 to a.n - 1 do
+    for k = 0 to a.n - 1 do
+      if mem a i k then
+        for j = 0 to a.n - 1 do
+          if mem b k j then add r i j
+        done
+    done
+  done;
+  r
+
+let inverse a =
+  let r = create a.n in
+  for i = 0 to a.n - 1 do
+    for j = 0 to a.n - 1 do
+      if mem a i j then add r j i
+    done
+  done;
+  r
+
+let copy a = { n = a.n; m = Bytes.copy a.m }
+
+let transitive_closure a =
+  (* Floyd-Warshall reachability. *)
+  let r = copy a in
+  for k = 0 to r.n - 1 do
+    for i = 0 to r.n - 1 do
+      if mem r i k then
+        for j = 0 to r.n - 1 do
+          if mem r k j then add r i j
+        done
+    done
+  done;
+  r
+
+let is_acyclic a =
+  let c = transitive_closure a in
+  let rec loop i = if i >= c.n then true else if mem c i i then false else loop (i + 1) in
+  loop 0
+
+let cycle_witness a =
+  let c = transitive_closure a in
+  let rec find i = if i >= c.n then None else if mem c i i then Some i else find (i + 1) in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    (* Reconstruct a path start -> ... -> start through direct edges. *)
+    let visited = Array.make a.n false in
+    let rec dfs node path =
+      if node = start && path <> [] then Some (List.rev (start :: path))
+      else if visited.(node) && node <> start then None
+      else begin
+        visited.(node) <- true;
+        let rec try_succ j =
+          if j >= a.n then None
+          else if mem a node j && (j = start || not visited.(j)) then
+            match dfs j (node :: path) with
+            | Some p -> Some p
+            | None -> try_succ (j + 1)
+          else try_succ (j + 1)
+        in
+        try_succ 0
+      end
+    in
+    dfs start []
+
+let of_list n pairs =
+  let r = create n in
+  List.iter (fun (a, b) -> add r a b) pairs;
+  r
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    for j = t.n - 1 downto 0 do
+      if mem t i j then acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let filter p t =
+  let r = create t.n in
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      if mem t i j && p i j then add r i j
+    done
+  done;
+  r
+
+let cardinal t =
+  let c = ref 0 in
+  Bytes.iter (fun ch -> if ch <> '\000' then incr c) t.m;
+  !c
+
+let equal a b = a.n = b.n && Bytes.equal a.m b.m
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      if mem t i j then f i j
+    done
+  done
+
+let topological_order t =
+  let indegree = Array.make t.n 0 in
+  iter (fun _ j -> indegree.(j) <- indegree.(j) + 1) t;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indegree;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := i :: !order;
+    incr count;
+    for j = 0 to t.n - 1 do
+      if mem t i j then begin
+        indegree.(j) <- indegree.(j) - 1;
+        if indegree.(j) = 0 then Queue.add j queue
+      end
+    done
+  done;
+  if !count = t.n then Some (List.rev !order) else None

@@ -1,11 +1,7 @@
-(** Finite binary relations over event ids [0 .. n-1].
-
-    Rows are packed int-array bitsets, so [union]/[inter]/[compose]/
-    [transitive_closure] are word-parallel and acyclicity is a DFS with
-    no closure materialization — this module is the inner loop of the
-    enumerator.  The seed dense-matrix implementation is retained as
-    {!Rel_ref}; [test/test_rel.ml] checks the two agree on every
-    operation. *)
+(** Reference implementation of {!Rel}: the seed's dense boolean-matrix
+    relations, kept verbatim as the executable oracle for the packed
+    bitset rewrite.  Used only by tests ([test/test_rel.ml]) — clarity
+    over asymptotics, by design. *)
 
 type t
 

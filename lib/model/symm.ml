@@ -1,0 +1,254 @@
+open Types
+
+(* A program automorphism: a thread permutation σ together with a
+   location permutation λ (over the used locations) and per-thread
+   register bijections ρ_t, such that renaming thread t's program by
+   (λ, ρ_t) yields thread σ(t)'s program verbatim — same instruction
+   shapes, same constants, same faulting marks.  Such a renaming
+   induces a permutation of compiled event ids that preserves every
+   static relation (po, deps, fence order, ppo), so it maps candidate
+   executions to candidate executions with the same consistency
+   verdict: the enumerator explores one lex-least representative per
+   orbit and multiplies counts/outcomes back (cf. the canonical-form
+   machinery in Lit_test, which quotients single tests by the same
+   renamings). *)
+
+type t = {
+  perm : int array;  (* event id -> event id *)
+  inv : int array;  (* inverse of [perm] *)
+  map_tid : int array;  (* σ *)
+  map_loc : int array;  (* λ, indexed by loc; identity off the used set *)
+  map_reg : (tid * reg, reg) Hashtbl.t;  (* ρ_t, keyed by (t, r) *)
+}
+
+let is_identity a = Array.for_all (fun i -> a.perm.(i) = i) a.inv
+
+(* All permutations of [0 .. k-1], identity first, lexicographic. *)
+let all_perms k =
+  let rec go avail =
+    if avail = [] then [ [] ]
+    else
+      List.concat_map
+        (fun x ->
+          List.map (fun p -> x :: p) (go (List.filter (fun y -> y <> x) avail)))
+        avail
+  in
+  List.map Array.of_list (go (List.init k (fun i -> i)))
+
+(* Try to infer the unique (λ, ρ) making σ an automorphism of the
+   instruction streams: walk thread t against thread σ(t) position by
+   position, unifying location and register operands greedily.  Any
+   valid (λ, ρ) must satisfy exactly these first-occurrence equations,
+   so failure here means no automorphism extends σ. *)
+let infer_renaming threads (sigma : int array) =
+  let exception No in
+  let lam : (loc, loc) Hashtbl.t = Hashtbl.create 8 in
+  let lam_inv : (loc, loc) Hashtbl.t = Hashtbl.create 8 in
+  let rho : (tid * reg, reg) Hashtbl.t = Hashtbl.create 8 in
+  let rho_inv : (tid * reg, reg) Hashtbl.t = Hashtbl.create 8 in
+  let bind_loc x x' =
+    (match Hashtbl.find_opt lam x with
+     | Some y -> if y <> x' then raise No
+     | None ->
+       (match Hashtbl.find_opt lam_inv x' with
+        | Some _ -> raise No
+        | None ->
+          Hashtbl.replace lam x x';
+          Hashtbl.replace lam_inv x' x))
+  in
+  let bind_reg t r r' =
+    let u = sigma.(t) in
+    (match Hashtbl.find_opt rho (t, r) with
+     | Some s -> if s <> r' then raise No
+     | None ->
+       (match Hashtbl.find_opt rho_inv (u, r') with
+        | Some _ -> raise No
+        | None ->
+          Hashtbl.replace rho (t, r) r';
+          Hashtbl.replace rho_inv (u, r') r))
+  in
+  let instr t a b =
+    match (a, b) with
+    | Instr.Load (r, x), Instr.Load (r', x') ->
+      bind_loc x x';
+      bind_reg t r r'
+    | Instr.Load_dep (r, x, d), Instr.Load_dep (r', x', d') ->
+      bind_loc x x';
+      bind_reg t r r';
+      bind_reg t d d'
+    | Instr.Store (x, v), Instr.Store (x', v') ->
+      if v <> v' then raise No;
+      bind_loc x x'
+    | Instr.Store_reg (x, r), Instr.Store_reg (x', r') ->
+      bind_loc x x';
+      bind_reg t r r'
+    | Instr.Store_dep (x, v, d), Instr.Store_dep (x', v', d') ->
+      if v <> v' then raise No;
+      bind_loc x x';
+      bind_reg t d d'
+    | Instr.Fence, Instr.Fence -> ()
+    | Instr.Ctrl r, Instr.Ctrl r' -> bind_reg t r r'
+    | Instr.Amo (r, x, v), Instr.Amo (r', x', v') ->
+      if v <> v' then raise No;
+      bind_loc x x';
+      bind_reg t r r'
+    | Instr.Amo_add (r, x, v), Instr.Amo_add (r', x', v') ->
+      if v <> v' then raise No;
+      bind_loc x x';
+      bind_reg t r r'
+    | _ -> raise No
+  in
+  try
+    Array.iteri
+      (fun t instrs ->
+        let instrs' = threads.(sigma.(t)) in
+        if List.length instrs <> List.length instrs' then raise No;
+        List.iter2 (instr t) instrs instrs')
+      threads;
+    Some (lam, rho)
+  with No -> None
+
+(* Build the induced event-id permutation from (σ, λ) against the
+   compiled graph: init writes are ordered by ascending location, so
+   the init for loc l maps to the init for λ(l); thread events occupy
+   contiguous id blocks in thread order, so block t maps offset-wise
+   onto block σ(t). *)
+let event_perm (graph : Event.graph) sigma map_loc =
+  let events = graph.Event.events in
+  let n = Array.length events in
+  let init_of : (loc, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun e ->
+      if Event.is_init e then
+        match e.Event.loc with
+        | Some l -> Hashtbl.replace init_of l e.Event.id
+        | None -> ())
+    events;
+  let offset = Array.make (graph.Event.nthreads + 1) max_int in
+  Array.iter
+    (fun e ->
+      if e.Event.tid >= 0 then
+        offset.(e.Event.tid) <- min offset.(e.Event.tid) e.Event.id)
+    events;
+  let perm = Array.make n (-1) in
+  try
+    Array.iter
+      (fun e ->
+        let open Event in
+        if is_init e then
+          match e.loc with
+          | Some l -> perm.(e.id) <- Hashtbl.find init_of map_loc.(l)
+          | None -> raise Not_found
+        else perm.(e.id) <- offset.(sigma.(e.tid)) + (e.id - offset.(e.tid)))
+      events;
+    Some perm
+  with Not_found -> None
+
+(* Full structural verification that [perm] is an automorphism of the
+   compiled graph: event attributes carry over under (λ, ρ) and every
+   static relation is preserved.  The inference above should guarantee
+   this; verifying keeps a subtle compile-layout change from silently
+   producing wrong orbits (the caller falls back to the trivial group
+   if anything fails). *)
+let verify (graph : Event.graph) perm map_loc rho =
+  let events = graph.Event.events in
+  let ok = ref true in
+  Array.iter
+    (fun e ->
+      let open Event in
+      let e' = events.(perm.(e.id)) in
+      if e'.dir <> e.dir || e'.faulting <> e.faulting then ok := false;
+      (match (e.loc, e'.loc) with
+       | Some l, Some l' -> if map_loc.(l) <> l' then ok := false
+       | None, None -> ()
+       | _ -> ok := false);
+      (match (e.dst, e'.dst) with
+       | Some r, Some r' ->
+         if e.tid >= 0 && Hashtbl.find_opt rho (e.tid, r) <> Some r' then
+           ok := false
+       | None, None -> ()
+       | _ -> ok := false);
+      (match (e.wsrc, e'.wsrc) with
+       | Some (Const v), Some (Const v')
+       | Some (Amo_swap v), Some (Amo_swap v')
+       | Some (Amo_fetch_add v), Some (Amo_fetch_add v') ->
+         if v <> v' then ok := false
+       | Some (Of_reg r), Some (Of_reg r') ->
+         if e.tid >= 0 && Hashtbl.find_opt rho (e.tid, r) <> Some r' then
+           ok := false
+       | None, None -> ()
+       | _ -> ok := false);
+      (match (e.rmw_partner, e'.rmw_partner) with
+       | Some p, Some p' -> if perm.(p) <> p' then ok := false
+       | None, None -> ()
+       | _ -> ok := false))
+    events;
+  let rel_preserved r =
+    Rel.iter (fun a b -> if not (Rel.mem r perm.(a) perm.(b)) then ok := false) r
+  in
+  rel_preserved graph.Event.po;
+  rel_preserved graph.Event.addr_dep;
+  rel_preserved graph.Event.data_dep;
+  rel_preserved graph.Event.ctrl_dep;
+  !ok
+
+let identity (graph : Event.graph) =
+  let n = Array.length graph.Event.events in
+  let nlocs = max 1 graph.Event.nlocs in
+  {
+    perm = Array.init n (fun i -> i);
+    inv = Array.init n (fun i -> i);
+    map_tid = Array.init (max 1 graph.Event.nthreads) (fun i -> i);
+    map_loc = Array.init nlocs (fun i -> i);
+    map_reg = Hashtbl.create 1;
+  }
+
+let automorphisms threads (graph : Event.graph) =
+  let nthreads = Array.length threads in
+  let nlocs = max 1 graph.Event.nlocs in
+  let disagreement = ref false in
+  let autos =
+    List.filter_map
+      (fun sigma ->
+        match infer_renaming threads sigma with
+        | None -> None
+        | Some (lam, rho) ->
+          let map_loc = Array.init nlocs (fun i -> i) in
+          Hashtbl.iter (fun l l' -> map_loc.(l) <- l') lam;
+          (match event_perm graph sigma map_loc with
+           | None ->
+             disagreement := true;
+             None
+           | Some perm ->
+             if not (verify graph perm map_loc rho) then begin
+               disagreement := true;
+               None
+             end
+             else begin
+               let inv = Array.make (Array.length perm) 0 in
+               Array.iteri (fun i j -> inv.(j) <- i) perm;
+               Some { perm; inv; map_tid = sigma; map_loc; map_reg = rho }
+             end))
+      (all_perms nthreads)
+  in
+  (* The defining checks are closed under composition and inverse, so
+     the surviving set is the full automorphism group.  If inference
+     and event-level verification ever disagree (e.g. a compile-layout
+     change), the group property is in doubt: fall back to the trivial
+     group, which costs speed but never soundness. *)
+  match autos with
+  | a :: _ when is_identity a && not !disagreement -> autos
+  | _ -> [ identity graph ]
+
+let apply_outcome a (o : Outcome.t) =
+  let regs =
+    List.map
+      (fun ((t, r), v) ->
+        let r' =
+          match Hashtbl.find_opt a.map_reg (t, r) with Some r' -> r' | None -> r
+        in
+        ((a.map_tid.(t), r'), v))
+      o.Outcome.regs
+  in
+  let mem = List.map (fun (l, v) -> (a.map_loc.(l), v)) o.Outcome.mem in
+  Outcome.make ~regs ~mem

@@ -1,0 +1,43 @@
+(** Program automorphisms for symmetry reduction.
+
+    An automorphism is a thread permutation σ plus a location
+    permutation λ and per-thread register bijections ρ_t under which
+    the program's instruction streams are literally invariant (same
+    shapes, same constants, same faulting marks).  It induces a
+    permutation of compiled event ids preserving every static relation
+    (po, dependencies, fence order, and hence ppo), so it acts on
+    candidate executions: π·(rf, co) is a candidate with the same
+    consistency verdict whose outcome is the (σ, λ, ρ)-renaming of the
+    original's.  The enumerator ({!Enum.search}) explores one
+    lexicographically least representative per orbit and multiplies
+    counts and outcome sets back — exact, not approximate, which
+    [test/test_model.ml]'s oracle suite checks against the seed
+    enumerator.
+
+    This is the same renaming quotient {!Lit_test.canonical_form} uses
+    to deduplicate whole litmus tests; here it is applied within a
+    single test's candidate space. *)
+
+open Types
+
+type t = {
+  perm : int array;  (** event id permutation (w.r.t. a compiled graph) *)
+  inv : int array;  (** inverse of [perm] *)
+  map_tid : int array;  (** σ *)
+  map_loc : int array;  (** λ, indexed by location; identity off the used set *)
+  map_reg : (tid * reg, reg) Hashtbl.t;  (** ρ_t, keyed by [(t, r)] *)
+}
+
+val automorphisms : Instr.t list array -> Event.graph -> t list
+(** The full automorphism group of the program (identity first,
+    deterministic order).  The [graph] must be the result of
+    [Event.compile] on exactly these threads (with whatever faulting
+    set was used — faulting marks are part of the invariance check).
+    Falls back to the trivial group if internal cross-checks fail, so
+    the result is always safe to quotient by. *)
+
+val is_identity : t -> bool
+
+val apply_outcome : t -> Outcome.t -> Outcome.t
+(** The outcome of π·ex given the outcome of ex: register keys map by
+    (σ, ρ), memory keys by λ, values unchanged. *)

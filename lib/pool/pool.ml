@@ -25,8 +25,24 @@ type stats = {
   st_crashes : int;
   st_cancelled : int;
   st_bisected : int;
+  st_spawned : int;
   st_wall_s : float;
 }
+
+let zero_stats =
+  {
+    st_jobs = 0;
+    st_workers = 0;
+    st_dispatched = 0;
+    st_completed = 0;
+    st_retried = 0;
+    st_timed_out = 0;
+    st_crashes = 0;
+    st_cancelled = 0;
+    st_bisected = 0;
+    st_spawned = 0;
+    st_wall_s = 0.;
+  }
 
 let fork_available = Sys.unix
 
@@ -140,15 +156,11 @@ let run_inline ~telemetry ~on_result f items =
   in
   ( results,
     {
+      zero_stats with
       st_jobs = Array.length items;
       st_workers = 1;
       st_dispatched = Array.length items;
       st_completed = !completed;
-      st_retried = 0;
-      st_timed_out = 0;
-      st_crashes = 0;
-      st_cancelled = 0;
-      st_bisected = 0;
       st_wall_s = Unix.gettimeofday () -. t0;
     } )
 
@@ -172,7 +184,24 @@ type worker = {
   mutable w_buf : string;  (* bytes read but not yet framed *)
   mutable w_job : running option;
   mutable w_alive : bool;
-  w_hist : Ise_util.Stats.t option;
+}
+
+(* A persistent pool handle: configuration plus the (lazily spawned)
+   worker set.  Workers survive across [run] calls — fork cost is paid
+   once per worker, not once per batch, which is what lets campaign
+   fan-out and the serve daemon amortize process startup. *)
+type ('a, 'r) t = {
+  p_jobs : int;
+  p_job_timeout : float option;
+  p_kill_grace : float;
+  p_max_retries : int;
+  p_retry_backoff : float;
+  p_telemetry : Ise_telemetry.Sink.t option;
+  p_journal_dir : string option;
+  p_f : 'a -> 'r;
+  p_workers : worker array;  (* length p_jobs; spawned on demand *)
+  mutable p_spawned : int;  (* total forks over the handle's lifetime *)
+  mutable p_closed : bool;
 }
 
 (* Child side: one frame in, one frame out, forever.  The job function
@@ -180,7 +209,8 @@ type worker = {
    the supervisor must not retry it), while a crash of the process is
    detected by the supervisor as EOF.  SIGINT is ignored so a
    terminal's Ctrl-C (delivered to the whole foreground process group)
-   leaves the drain decision to the supervisor. *)
+   leaves the drain decision to the supervisor.  Between batches a
+   persistent worker simply blocks in [read_frame]. *)
 let worker_loop req resp f =
   Sys.set_signal Sys.sigint Sys.Signal_ignore;
   let rec loop () =
@@ -226,9 +256,79 @@ let status_string = function
   | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
   | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
 
-let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
-    ~telemetry ~on_result ~bisect ~journal_dir f items =
-  Option.iter mkdir_p journal_dir;
+let spawn_worker p tele w =
+  (* flush so forked children don't re-flush inherited buffers *)
+  flush stdout;
+  flush stderr;
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close req_w;
+    Unix.close resp_r;
+    (match p.p_journal_dir with
+     | None -> ()
+     | Some dir -> (
+       try
+         ignore
+           (Ise_obs.Recorder.enable ~capacity:1024
+              ~spill:(journal_file dir ~slot:w.w_slot ~pid:(Unix.getpid ()))
+              ~meta:
+                (Ise_obs.Runinfo.stamp_meta ()
+                @ [ ("kind", "pool-worker");
+                    ("slot", string_of_int w.w_slot) ])
+              ())
+       with Sys_error _ -> ()));
+    (* drop the parent ends of every other live worker's pipes, so a
+       crashed sibling's EOF is seen by the supervisor alone *)
+    Array.iter
+      (fun w' ->
+        if w'.w_alive then begin
+          (try Unix.close w'.w_req with Unix.Unix_error _ -> ());
+          try Unix.close w'.w_resp with Unix.Unix_error _ -> ()
+        end)
+      p.p_workers;
+    (try worker_loop req_r resp_w p.p_f with _ -> ());
+    Unix._exit 104
+  | pid ->
+    Unix.close req_r;
+    Unix.close resp_w;
+    w.w_pid <- pid;
+    w.w_req <- req_w;
+    w.w_resp <- resp_r;
+    w.w_buf <- "";
+    w.w_job <- None;
+    w.w_alive <- true;
+    p.p_spawned <- p.p_spawned + 1;
+    count (fun t -> t.c_spawned) tele
+
+let shutdown_worker p w =
+  (* orderly shutdown: EOF on the job pipe makes the worker exit 0 — a
+     cleanly-exited worker's crash journal carries no information *)
+  if w.w_alive then begin
+    (try Unix.close w.w_req with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
+    (try Unix.close w.w_resp with Unix.Unix_error _ -> ());
+    (match p.p_journal_dir with
+     | Some dir -> (
+       try Sys.remove (journal_file dir ~slot:w.w_slot ~pid:w.w_pid)
+       with Sys_error _ -> ())
+     | None -> ());
+    w.w_alive <- false
+  end
+
+let kill_worker w =
+  if w.w_alive then begin
+    (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
+    (try Unix.close w.w_req with Unix.Unix_error _ -> ());
+    (try Unix.close w.w_resp with Unix.Unix_error _ -> ());
+    w.w_alive <- false
+  end
+
+(* One batch over the (persistent) worker set.  [persist] keeps the
+   workers alive on normal return; an exception still tears them down. *)
+let run_forked ~persist ~telemetry ~on_result ~bisect p items =
   let n = Array.length items in
   let t0 = Unix.gettimeofday () in
   let tele = Option.map (make_tele t0) telemetry in
@@ -238,7 +338,16 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
         (Ise_telemetry.Registry.counter t.reg "pool/jobs")
         n)
     tele;
-  let nw = min jobs n in
+  let spawned0 = p.p_spawned in
+  (* use at most [n] workers this batch; extra persistent workers (from
+     an earlier, larger batch) stay parked with no job *)
+  let nw = min p.p_jobs n in
+  let workers = Array.sub p.p_workers 0 nw in
+  let hists = Array.init nw (fun slot -> worker_hist tele slot) in
+  let job_timeout = p.p_job_timeout in
+  let kill_grace = p.p_kill_grace in
+  let max_retries = p.p_max_retries in
+  let retry_backoff = p.p_retry_backoff in
   let dispatched = ref 0
   and completed = ref 0
   and retried = ref 0
@@ -289,13 +398,13 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
   let complete_any idx out =
     match Hashtbl.find_opt parent_of idx with
     | None -> complete idx out
-    | Some p -> (
+    | Some parent -> (
       Hashtbl.replace child_out idx out;
-      match Hashtbl.find_opt children p with
+      match Hashtbl.find_opt children parent with
       | Some (li, ri) -> (
         match (Hashtbl.find_opt child_out li, Hashtbl.find_opt child_out ri)
         with
-        | Some lo, Some ro -> complete p (Split (lo, ro))
+        | Some lo, Some ro -> complete parent (Split (lo, ro))
         | _ -> ())
       | None -> ())
   in
@@ -326,64 +435,7 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
       | None -> false)
     | _ -> false
   in
-  let workers =
-    Array.init nw (fun slot ->
-        {
-          w_slot = slot;
-          w_pid = -1;
-          w_req = Unix.stdin;
-          w_resp = Unix.stdin;
-          w_buf = "";
-          w_job = None;
-          w_alive = false;
-          w_hist = worker_hist tele slot;
-        })
-  in
-  let spawn w =
-    (* flush so forked children don't re-flush inherited buffers *)
-    flush stdout;
-    flush stderr;
-    let req_r, req_w = Unix.pipe () in
-    let resp_r, resp_w = Unix.pipe () in
-    match Unix.fork () with
-    | 0 ->
-      Unix.close req_w;
-      Unix.close resp_r;
-      (match journal_dir with
-       | None -> ()
-       | Some dir -> (
-         try
-           ignore
-             (Ise_obs.Recorder.enable ~capacity:1024
-                ~spill:(journal_file dir ~slot:w.w_slot ~pid:(Unix.getpid ()))
-                ~meta:
-                  (Ise_obs.Runinfo.stamp_meta ()
-                  @ [ ("kind", "pool-worker");
-                      ("slot", string_of_int w.w_slot) ])
-                ())
-         with Sys_error _ -> ()));
-      (* drop the parent ends of every other live worker's pipes, so a
-         crashed sibling's EOF is seen by the supervisor alone *)
-      Array.iter
-        (fun w' ->
-          if w'.w_alive then begin
-            (try Unix.close w'.w_req with Unix.Unix_error _ -> ());
-            try Unix.close w'.w_resp with Unix.Unix_error _ -> ()
-          end)
-        workers;
-      (try worker_loop req_r resp_w f with _ -> ());
-      Unix._exit 104
-    | pid ->
-      Unix.close req_r;
-      Unix.close resp_w;
-      w.w_pid <- pid;
-      w.w_req <- req_w;
-      w.w_resp <- resp_r;
-      w.w_buf <- "";
-      w.w_job <- None;
-      w.w_alive <- true;
-      count (fun t -> t.c_spawned) tele
-  in
+  let spawn w = spawn_worker p tele w in
   let work_queued () = (not (Queue.is_empty pending)) || !retries <> [] in
   let schedule_retry now idx =
     incr retried;
@@ -397,7 +449,7 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
   in
   let handle_death w ~now reason =
     let journal =
-      match journal_dir with
+      match p.p_journal_dir with
       | Some dir when Sys.file_exists (journal_file dir ~slot:w.w_slot ~pid:w.w_pid)
         -> Some (journal_file dir ~slot:w.w_slot ~pid:w.w_pid)
       | _ -> None
@@ -435,7 +487,7 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
                 (Crashed
                    (Printf.sprintf "%s (%s)%s" reason status
                       (match journal with
-                       | Some p -> "; journal: " ^ p
+                       | Some path -> "; journal: " ^ path
                        | None -> ""))))
        end);
     if (not (interrupted ())) && work_queued () then spawn w
@@ -475,7 +527,7 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
        w.w_job <- None;
        Option.iter
          (fun h -> Ise_util.Stats.add h ((now -. r.r_started) *. 1e3))
-         w.w_hist;
+         hists.(w.w_slot);
        span_end tele ~slot:w.w_slot idx
      | _ -> ());
     incr completed;
@@ -497,8 +549,8 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
       let parsing = ref true in
       while !parsing do
         match Codec.decode bytes ~pos:!pos ~len:(total - !pos) with
-        | Codec.Frame { payload = p; consumed = used; _ } ->
-          handle_result w ~now p;
+        | Codec.Frame { payload = frame; consumed = used; _ } ->
+          handle_result w ~now frame;
           pos := !pos + used
         | Codec.Need_more -> parsing := false
         | Codec.Corrupt e ->
@@ -551,98 +603,82 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
     Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> incr sigints))
   in
   let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-  Fun.protect
-    ~finally:(fun () ->
+  let restore_signals () =
+    Sys.set_signal Sys.sigint prev_int;
+    Sys.set_signal Sys.sigpipe prev_pipe
+  in
+  let batch () =
+    Array.iter (fun w -> if not w.w_alive then spawn w) workers;
+    while !filled < n do
+      let now = Unix.gettimeofday () in
+      if interrupted () && not !drained then begin
+        (* graceful drain: nothing new is dispatched, queued jobs are
+           reported Cancelled, in-flight jobs are awaited below *)
+        drained := true;
+        let rec flush_pending () =
+          match Queue.take_opt pending with
+          | Some idx ->
+            complete_any idx (Failed Cancelled);
+            flush_pending ()
+          | None -> ()
+        in
+        flush_pending ();
+        List.iter (fun (_, idx) -> complete_any idx (Failed Cancelled)) !retries;
+        retries := []
+      end;
+      if !sigints >= 2 then
+        (* impatient drain: a second SIGINT abandons in-flight jobs *)
+        Array.iter
+          (fun w ->
+            if w.w_alive && Option.is_some w.w_job then
+              try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ())
+          workers;
+      check_timeouts now;
       Array.iter
         (fun w ->
-          if w.w_alive then begin
-            (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
-            (try ignore (Unix.waitpid [] w.w_pid)
-             with Unix.Unix_error _ -> ());
-            (try Unix.close w.w_req with Unix.Unix_error _ -> ());
-            (try Unix.close w.w_resp with Unix.Unix_error _ -> ());
-            w.w_alive <- false
-          end)
+          if w.w_alive && Option.is_none w.w_job then
+            match next_job now with Some idx -> dispatch w ~now idx | None -> ())
         workers;
-      Sys.set_signal Sys.sigint prev_int;
-      Sys.set_signal Sys.sigpipe prev_pipe)
-  @@ fun () ->
-  Array.iter spawn workers;
-  while !filled < n do
-    let now = Unix.gettimeofday () in
-    if interrupted () && not !drained then begin
-      (* graceful drain: nothing new is dispatched, queued jobs are
-         reported Cancelled, in-flight jobs are awaited below *)
-      drained := true;
-      let rec flush_pending () =
-        match Queue.take_opt pending with
-        | Some idx ->
-          complete_any idx (Failed Cancelled);
-          flush_pending ()
-        | None -> ()
-      in
-      flush_pending ();
-      List.iter (fun (_, idx) -> complete_any idx (Failed Cancelled)) !retries;
-      retries := []
-    end;
-    if !sigints >= 2 then
-      (* impatient drain: a second SIGINT abandons in-flight jobs *)
-      Array.iter
-        (fun w ->
-          if w.w_alive && Option.is_some w.w_job then
-            try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ())
-        workers;
-    check_timeouts now;
-    Array.iter
-      (fun w ->
-        if w.w_alive && Option.is_none w.w_job then
-          match next_job now with Some idx -> dispatch w ~now idx | None -> ())
-      workers;
-    if !filled < n then begin
-      if
-        (not (interrupted ()))
-        && work_queued ()
-        && not (Array.exists (fun w -> w.w_alive) workers)
-      then spawn workers.(0);
-      let fds =
-        Array.fold_left
-          (fun acc w -> if w.w_alive then w.w_resp :: acc else acc)
-          [] workers
-      in
-      if fds = [] then Unix.sleepf 0.005
-      else
-        match Unix.select fds [] [] (select_timeout now) with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | ready, _, _ ->
-          let now = Unix.gettimeofday () in
-          List.iter
-            (fun fd ->
-              match
-                Array.find_opt
-                  (fun w -> w.w_alive && w.w_resp = fd)
-                  workers
-              with
-              | Some w -> handle_readable w ~now
-              | None -> ())
-            ready
-    end
-  done;
-  (* orderly shutdown: EOF on the job pipe makes each worker exit 0 —
-     a cleanly-exited worker's crash journal carries no information *)
-  Array.iter
-    (fun w ->
-      if w.w_alive then begin
-        (try Unix.close w.w_req with Unix.Unix_error _ -> ());
-        (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
-        (try Unix.close w.w_resp with Unix.Unix_error _ -> ());
-        (match journal_dir with
-         | Some dir -> (
-           try Sys.remove (journal_file dir ~slot:w.w_slot ~pid:w.w_pid)
-           with Sys_error _ -> ())
-         | None -> ());
-        w.w_alive <- false
-      end)
-    workers;
+      if !filled < n then begin
+        if
+          (not (interrupted ()))
+          && work_queued ()
+          && not (Array.exists (fun w -> w.w_alive) workers)
+        then spawn workers.(0);
+        let fds =
+          Array.fold_left
+            (fun acc w -> if w.w_alive then w.w_resp :: acc else acc)
+            [] workers
+        in
+        if fds = [] then Unix.sleepf 0.005
+        else
+          match Unix.select fds [] [] (select_timeout now) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | ready, _, _ ->
+            let now = Unix.gettimeofday () in
+            List.iter
+              (fun fd ->
+                match
+                  Array.find_opt
+                    (fun w -> w.w_alive && w.w_resp = fd)
+                    workers
+                with
+                | Some w -> handle_readable w ~now
+                | None -> ())
+              ready
+      end
+    done;
+    (* after SIGINT the workers have been drained; keeping them would
+       leak a pool the caller is about to abandon *)
+    if (not persist) || interrupted () then
+      Array.iter (shutdown_worker p) workers
+  in
+  (match batch () with
+   | () -> restore_signals ()
+   | exception e ->
+     Array.iter kill_worker p.p_workers;
+     restore_signals ();
+     raise e);
   ( Array.map (function Some o -> o | None -> Failed Cancelled) results,
     {
       st_jobs = n;
@@ -654,29 +690,92 @@ let run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
       st_crashes = !crashes;
       st_cancelled = !cancelled;
       st_bisected = !bisected;
+      st_spawned = p.p_spawned - spawned0;
       st_wall_s = Unix.gettimeofday () -. t0;
     } )
 
-let map ?jobs ?job_timeout ?(kill_grace = 0.5) ?(max_retries = 2)
-    ?(retry_backoff = 0.05) ?telemetry ?on_result ?bisect ?journal_dir f
-    items =
+(* ------------------------------------------------------------------ *)
+(* persistent handles                                                  *)
+
+let create ?jobs ?job_timeout ?(kill_grace = 0.5) ?(max_retries = 2)
+    ?(retry_backoff = 0.05) ?telemetry ?journal_dir f =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  if Array.length items = 0 then
-    ( [||],
-      {
-        st_jobs = 0;
-        st_workers = 0;
-        st_dispatched = 0;
-        st_completed = 0;
-        st_retried = 0;
-        st_timed_out = 0;
-        st_crashes = 0;
-        st_cancelled = 0;
-        st_bisected = 0;
-        st_wall_s = 0.;
-      } )
+  Option.iter mkdir_p journal_dir;
+  {
+    p_jobs = jobs;
+    p_job_timeout = job_timeout;
+    p_kill_grace = kill_grace;
+    p_max_retries = max_retries;
+    p_retry_backoff = retry_backoff;
+    p_telemetry = telemetry;
+    p_journal_dir = journal_dir;
+    p_f = f;
+    p_workers =
+      Array.init jobs (fun slot ->
+          {
+            w_slot = slot;
+            w_pid = -1;
+            w_req = Unix.stdin;
+            w_resp = Unix.stdin;
+            w_buf = "";
+            w_job = None;
+            w_alive = false;
+          });
+    p_spawned = 0;
+    p_closed = false;
+  }
+
+let close p =
+  if not p.p_closed then begin
+    Array.iter (shutdown_worker p) p.p_workers;
+    p.p_closed <- true
+  end
+
+let prespawn p =
+  if p.p_closed then invalid_arg "Pool.prespawn: closed pool";
+  if p.p_jobs > 1 && fork_available then begin
+    let tele = Option.map (make_tele (Unix.gettimeofday ())) p.p_telemetry in
+    Array.iter
+      (fun w -> if not w.w_alive then spawn_worker p tele w)
+      p.p_workers
+  end
+
+let alive_workers p =
+  Array.fold_left (fun acc w -> if w.w_alive then acc + 1 else acc) 0 p.p_workers
+
+let run ?telemetry ?on_result ?bisect p items =
+  if p.p_closed then invalid_arg "Pool.run: closed pool";
+  let telemetry =
+    match telemetry with Some _ as t -> t | None -> p.p_telemetry
+  in
+  if Array.length items = 0 then ([||], zero_stats)
+  else if p.p_jobs <= 1 || not fork_available then
+    run_inline ~telemetry ~on_result p.p_f items
+  else run_forked ~persist:true ~telemetry ~on_result ~bisect p items
+
+let with_pool ?jobs ?job_timeout ?kill_grace ?max_retries ?retry_backoff
+    ?telemetry ?journal_dir f k =
+  let p =
+    create ?jobs ?job_timeout ?kill_grace ?max_retries ?retry_backoff
+      ?telemetry ?journal_dir f
+  in
+  Fun.protect ~finally:(fun () -> close p) (fun () -> k p)
+
+(* ------------------------------------------------------------------ *)
+(* one-shot batches                                                    *)
+
+let map ?jobs ?job_timeout ?kill_grace ?max_retries ?retry_backoff ?telemetry
+    ?on_result ?bisect ?journal_dir f items =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if Array.length items = 0 then ([||], zero_stats)
   else if jobs <= 1 || not fork_available then
     run_inline ~telemetry ~on_result f items
-  else
-    run_forked ~jobs ~job_timeout ~kill_grace ~max_retries ~retry_backoff
-      ~telemetry ~on_result ~bisect ~journal_dir f items
+  else begin
+    let p =
+      create ~jobs ?job_timeout ?kill_grace ?max_retries ?retry_backoff
+        ?telemetry ?journal_dir f
+    in
+    Fun.protect
+      ~finally:(fun () -> close p)
+      (fun () -> run_forked ~persist:false ~telemetry ~on_result ~bisect p items)
+  end

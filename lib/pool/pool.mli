@@ -38,7 +38,14 @@
     because workers are forks of the supervisor (same code image) —
     but it means ['a] and ['r] must not contain closures or custom
     blocks.  [f] itself never crosses a pipe: each worker inherits it
-    at fork time. *)
+    at fork time.
+
+    {b Persistent pools}: {!create} returns a handle whose workers
+    survive across {!run} calls — each worker is forked once (lazily,
+    at its first batch) and then blocks between batches waiting for
+    the next job frame.  A server or campaign issuing many batches
+    pays the fork cost once per worker instead of once per batch.
+    {!map} is the one-shot composition [create → run → close]. *)
 
 (** {1 Outcomes} *)
 
@@ -67,8 +74,12 @@ type stats = {
   st_crashes : int;
   st_cancelled : int;
   st_bisected : int;  (** timed-out jobs split into two halves *)
+  st_spawned : int;  (** workers forked during this batch (0 when the
+                         pool's persistent workers were all alive) *)
   st_wall_s : float;
 }
+
+val zero_stats : stats
 
 (** {1 Sizing} *)
 
@@ -79,6 +90,76 @@ val fork_available : bool
 val default_jobs : unit -> int
 (** Detected core count ([Domain.recommended_domain_count], falling
     back to the [nproc] utility, falling back to 1). *)
+
+(** {1 Persistent pools} *)
+
+type ('a, 'r) t
+(** A persistent pool of workers for jobs of type ['a] producing
+    results of type ['r].  Workers are forked lazily at the first
+    {!run} and kept alive between batches. *)
+
+val create :
+  ?jobs:int ->
+  ?job_timeout:float ->
+  ?kill_grace:float ->
+  ?max_retries:int ->
+  ?retry_backoff:float ->
+  ?telemetry:Ise_telemetry.Sink.t ->
+  ?journal_dir:string ->
+  ('a -> 'r) ->
+  ('a, 'r) t
+(** Create a handle; no processes are forked until the first {!run}.
+    Parameters are as for {!map} and apply to every batch.  [f] is
+    fixed for the pool's lifetime — per-batch inputs must travel in
+    the job values. *)
+
+val run :
+  ?telemetry:Ise_telemetry.Sink.t ->
+  ?on_result:(int -> 'r outcome -> unit) ->
+  ?bisect:('a -> ('a * 'a) option) ->
+  ('a, 'r) t ->
+  'a array ->
+  'r outcome array * stats
+(** Run one batch on the pool, reusing live workers and (re)forking
+    only dead or not-yet-started ones ([stats.st_spawned] counts the
+    forks this batch caused).  Semantics are exactly {!map}'s: results
+    in input order, in-order [on_result] streaming, timeouts, retries,
+    bisection, SIGINT drain.  [telemetry] overrides the pool's sink
+    for this batch only — a calibration pilot can measure into a
+    private registry.  A batch smaller than the pool uses only
+    the first [length items] workers; extra live workers stay parked.
+    After a SIGINT drain the workers are shut down (the caller is
+    abandoning the pool).  Raises [Invalid_argument] on a closed
+    pool. *)
+
+val prespawn : ('a, 'r) t -> unit
+(** Fork all workers now instead of at the first {!run} — a daemon
+    calls this at startup so workers inherit a pristine address space
+    (no client connections), and benchmarks call it to keep fork cost
+    out of the measured region.  No-op on single-job pools, platforms
+    without fork, and already-live workers. *)
+
+val close : ('a, 'r) t -> unit
+(** Shut the workers down (EOF on the job pipe, then reap) and remove
+    their journals.  Idempotent. *)
+
+val with_pool :
+  ?jobs:int ->
+  ?job_timeout:float ->
+  ?kill_grace:float ->
+  ?max_retries:int ->
+  ?retry_backoff:float ->
+  ?telemetry:Ise_telemetry.Sink.t ->
+  ?journal_dir:string ->
+  ('a -> 'r) ->
+  (('a, 'r) t -> 'b) ->
+  'b
+(** [with_pool … f k] = [create … f] passed to [k], closed on the way
+    out (also on exception). *)
+
+val alive_workers : ('a, 'r) t -> int
+(** Number of currently live (forked, not shut down) workers —
+    observability for tests and telemetry. *)
 
 (** {1 Running} *)
 

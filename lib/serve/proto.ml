@@ -29,23 +29,30 @@ let model_name = function
   | Ise_model.Axiom.Wc -> "wc"
 
 (* The config fingerprint digests everything that changes what a run
-   means: the store ABI epoch, the full machine configuration (via
-   Marshal — any Config.t field change invalidates), and the run
-   parameters.  git_rev is deliberately excluded. *)
-let config_fp p =
+   means: the store ABI epoch, the enumeration-engine epoch (a result
+   computed by an older engine must miss, not masquerade as current),
+   the full machine configuration (via Marshal — any Config.t field
+   change invalidates), and the run parameters.  git_rev is
+   deliberately excluded. *)
+let config_fp_at ~enum_epoch p =
   let cfg = cfg_of_params p in
   Digest.to_hex
     (Digest.string
        (String.concat "|"
           [ "litmus"; string_of_int store_abi;
+            string_of_int enum_epoch;
             Digest.to_hex (Digest.string (Marshal.to_string cfg []));
             string_of_int p.seeds;
             string_of_bool p.inject_faults;
             string_of_bool p.timer_interrupts;
             model_name p.model ]))
 
+let litmus_key_at ~enum_epoch test params =
+  Store.key ~test_fp:(Lit_test.fingerprint test)
+    ~cfg_fp:(config_fp_at ~enum_epoch params)
+
 let litmus_key test params =
-  Store.key ~test_fp:(Lit_test.fingerprint test) ~cfg_fp:(config_fp params)
+  litmus_key_at ~enum_epoch:Ise_model.Enum.epoch test params
 
 let replay_key entry ~seeds =
   let open Ise_fuzz.Corpus in
@@ -54,6 +61,7 @@ let replay_key entry ~seeds =
       (Digest.string
          (String.concat "|"
             [ "replay"; string_of_int store_abi;
+              string_of_int Ise_model.Enum.epoch;
               entry.e_variant;
               (match entry.e_expect with
                | Must_pass -> "pass"

@@ -16,12 +16,15 @@
 
     Cache keys pair {!Ise_litmus.Lit_test.fingerprint} (what program)
     with a configuration fingerprint (how it was run): machine
-    configuration, run parameters, and {!store_abi}.  [store_abi] must
-    be bumped whenever the {e meaning or rendering} of a stored result
-    changes — new summary-line format, new pass criterion, simulator
-    semantic fix — so stale entries become unreachable instead of
-    wrong.  The git revision is deliberately {e not} part of the key:
-    rebuilding the tree must not empty the cache. *)
+    configuration, run parameters, {!store_abi}, and the
+    enumeration-engine epoch {!Ise_model.Enum.epoch}.  [store_abi]
+    must be bumped whenever the {e meaning or rendering} of a stored
+    result changes — new summary-line format, new pass criterion,
+    simulator semantic fix; the engine epoch is bumped by
+    [Ise_model.Enum] itself when the enumerator changes — either bump
+    makes stale entries unreachable instead of wrong.  The git
+    revision is deliberately {e not} part of the key: rebuilding the
+    tree must not empty the cache. *)
 
 open Ise_litmus
 
@@ -50,9 +53,15 @@ val litmus_key : Lit_test.t -> run_params -> string
 (** [(test fingerprint, config fingerprint)] joined — the result-store
     key of a litmus run. *)
 
+val litmus_key_at : enum_epoch:int -> Lit_test.t -> run_params -> string
+(** {!litmus_key} with an explicit engine epoch in place of
+    {!Ise_model.Enum.epoch} — lets the epoch-invalidation test build
+    the key a {e previous} engine would have used and prove an
+    epoch bump makes old entries miss. *)
+
 val replay_key : Ise_fuzz.Corpus.entry -> seeds:int -> string
 (** Store key of a corpus-entry replay: test fingerprint × (variant,
-    expectation, seeds, {!store_abi}). *)
+    expectation, seeds, {!store_abi}, engine epoch). *)
 
 (** {1 Cached payload} *)
 

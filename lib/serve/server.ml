@@ -33,6 +33,13 @@ type t = {
   store : Store.t option;
   started : float;
   mutable conns : conn list;
+  (* persistent worker pool shared by every litmus request: forked
+     lazily at the first parallel batch, then reused — the fork cost is
+     paid once per daemon, not once per request.  The job carries its
+     params because the pool's function is fixed at creation. *)
+  mutable pool :
+    (Proto.run_params * Lit_test.t, Proto.litmus_payload) Ise_pool.Pool.t
+      option;
   mutable draining : bool;
   mutable connections : int;
   mutable requests : int;
@@ -40,6 +47,19 @@ type t = {
   mutable replays : int;
   mutable errors : int;
 }
+
+(* one litmus run, the cold path — identical to `ise litmus -j 1` *)
+let run_litmus params test =
+  let r =
+    Lit_run.run ~seeds:params.Proto.seeds
+      ~inject_faults:params.Proto.inject_faults
+      ~timer_interrupts:params.Proto.timer_interrupts
+      ~cfg:(Proto.cfg_of_params params) test
+  in
+  {
+    Proto.lp_line = Lit_run.summary_line r;
+    lp_pass = r.Lit_run.pass && r.Lit_run.contract_ok;
+  }
 
 let create cfg =
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
@@ -52,12 +72,26 @@ let create cfg =
       (fun dir -> Store.open_ ~mem_entries:cfg.mem_entries ~dir ())
       cfg.store_dir
   in
+  (* fork the workers before any client connects, so they inherit a
+     pristine address space (no connection fds) *)
+  let pool =
+    if cfg.jobs > 1 && Ise_pool.Pool.fork_available then begin
+      let p =
+        Ise_pool.Pool.create ~jobs:cfg.jobs (fun (params, test) ->
+            run_litmus params test)
+      in
+      Ise_pool.Pool.prespawn p;
+      Some p
+    end
+    else None
+  in
   {
     cfg;
     listen_fd = fd;
     store;
     started = Unix.gettimeofday ();
     conns = [];
+    pool;
     draining = false;
     connections = 0;
     requests = 0;
@@ -106,19 +140,6 @@ let install_signal_handlers t =
 (* ------------------------------------------------------------------ *)
 (* request handling                                                    *)
 
-(* one litmus run, the cold path — identical to `ise litmus -j 1` *)
-let run_litmus params test =
-  let r =
-    Lit_run.run ~seeds:params.Proto.seeds
-      ~inject_faults:params.Proto.inject_faults
-      ~timer_interrupts:params.Proto.timer_interrupts
-      ~cfg:(Proto.cfg_of_params params) test
-  in
-  {
-    Proto.lp_line = Lit_run.summary_line r;
-    lp_pass = r.Lit_run.pass && r.Lit_run.contract_ok;
-  }
-
 let handle_litmus t tests params =
   let lookup test =
     match t.store with
@@ -142,8 +163,19 @@ let handle_litmus t tests params =
     let n = List.length misses in
     t.litmus_runs <- t.litmus_runs + n;
     if n > 1 && t.cfg.jobs > 1 && Ise_pool.Pool.fork_available then begin
-      let arr = Array.of_list misses in
-      let outcomes, _stats = Ise_pool.Pool.map ~jobs:t.cfg.jobs run arr in
+      let pool =
+        match t.pool with
+        | Some p -> p
+        | None ->
+          let p =
+            Ise_pool.Pool.create ~jobs:t.cfg.jobs
+              (fun (params, test) -> run_litmus params test)
+          in
+          t.pool <- Some p;
+          p
+      in
+      let arr = Array.of_list (List.map (fun (test, _) -> (params, test)) misses) in
+      let outcomes, _stats = Ise_pool.Pool.run pool arr in
       List.map2
         (fun (test, _) outcome ->
           match outcome with
@@ -339,6 +371,11 @@ let serve_forever t =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   List.iter (fun c -> close_conn t c) t.conns;
+  (match t.pool with
+   | Some p ->
+     Ise_pool.Pool.close p;
+     t.pool <- None
+   | None -> ());
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
   t.cfg.log "drained; bye"

@@ -6,10 +6,15 @@ type line = {
   mutable lru : int;  (* larger = more recent *)
 }
 
+(* Rows (one per set) are allocated on first install: a litmus-scale
+   run touches a handful of sets, so eagerly building sets*ways line
+   records made [create] — and hence [Machine.create], called once per
+   seed per test — the hot path of the whole litmus bench.  An empty
+   row behaves exactly like a row of Invalid lines. *)
 type t = {
   sets : int;
   ways : int;
-  lines : line array;  (* sets * ways *)
+  rows : line array array;  (* rows.(s) is [||] until first insert *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -20,8 +25,7 @@ let create ~sets ~ways () =
   {
     sets;
     ways;
-    lines =
-      Array.init (sets * ways) (fun _ -> { tag = -1; state = Invalid; lru = 0 });
+    rows = Array.make sets [||];
     tick = 0;
     hits = 0;
     misses = 0;
@@ -30,12 +34,21 @@ let create ~sets ~ways () =
 
 let set_of t block = block mod t.sets
 
+let row t s =
+  let r = t.rows.(s) in
+  if Array.length r > 0 then r
+  else begin
+    let r = Array.init t.ways (fun _ -> { tag = -1; state = Invalid; lru = 0 }) in
+    t.rows.(s) <- r;
+    r
+  end
+
 let find_line t block =
-  let s = set_of t block in
+  let r = t.rows.(set_of t block) in
   let rec loop w =
-    if w >= t.ways then None
+    if w >= Array.length r then None
     else
-      let line = t.lines.((s * t.ways) + w) in
+      let line = r.(w) in
       if line.tag = block && line.state <> Invalid then Some line else loop (w + 1)
   in
   loop 0
@@ -62,11 +75,11 @@ let insert t block state =
     line.lru <- t.tick;
     None
   | None ->
-    let s = set_of t block in
+    let r = row t (set_of t block) in
     (* choose an invalid way, else the LRU way *)
-    let victim = ref t.lines.(s * t.ways) in
+    let victim = ref r.(0) in
     for w = 0 to t.ways - 1 do
-      let line = t.lines.((s * t.ways) + w) in
+      let line = r.(w) in
       if line.state = Invalid && !victim.state <> Invalid then victim := line
       else if line.state <> Invalid && !victim.state <> Invalid
               && line.lru < !victim.lru
@@ -112,8 +125,11 @@ let evictions t = t.evictions
 
 let occupancy t =
   Array.fold_left
-    (fun acc line -> if line.state <> Invalid then acc + 1 else acc)
-    0 t.lines
+    (fun acc r ->
+      Array.fold_left
+        (fun acc line -> if line.state <> Invalid then acc + 1 else acc)
+        acc r)
+    0 t.rows
 
 let state_to_string = function
   | Invalid -> "I"

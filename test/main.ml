@@ -2,6 +2,7 @@ let () =
   Alcotest.run "ise"
     [
       ("util", Test_util.suite);
+      ("rel", Test_rel.suite);
       ("model", Test_model.suite);
       ("litmus", Test_litmus.suite);
       ("sim", Test_sim.suite);

@@ -331,6 +331,100 @@ let test_campaign_j4_equals_j1 () =
     checks "clean log -j4 = -j1" log1 log4
   end
 
+(* ------------------------------------------------------------------ *)
+(* persistent pools                                                    *)
+
+let test_pool_persistent_reuse () =
+  if not (requires_fork ()) then ()
+  else begin
+    (* three batches on one handle: workers fork once, then are reused
+       — and every batch is byte-identical to the -j 1 inline run *)
+    let f i = if i mod 5 = 3 then failwith "det boom" else i * 7 in
+    let p = Pool.create ~jobs:3 f in
+    Fun.protect ~finally:(fun () -> Pool.close p) @@ fun () ->
+    let render (outs, _) =
+      String.concat "," (Array.to_list (Array.map render_outcome outs))
+    in
+    let batches = [ Array.init 9 (fun i -> i);
+                    Array.init 6 (fun i -> i + 100);
+                    Array.init 9 (fun i -> 2 * i) ] in
+    let spawned =
+      List.map
+        (fun items ->
+          let (_, stats) as out = Pool.run p items in
+          checks "persistent = inline bytes"
+            (render (Pool.map ~jobs:1 f items))
+            (render out);
+          stats.Pool.st_spawned)
+        batches
+    in
+    (match spawned with
+     | first :: rest ->
+       checki "first batch forks the workers" 3 first;
+       List.iter (checki "later batches fork nothing" 0) rest
+     | [] -> assert false);
+    checki "workers alive between batches" 3 (Pool.alive_workers p);
+    Pool.close p;
+    checki "close reaps all workers" 0 (Pool.alive_workers p)
+  end
+
+let test_pool_persistent_streams_in_order () =
+  if not (requires_fork ()) then ()
+  else begin
+    (* in-order on_result emission holds on the reused-worker path too *)
+    let n = 8 in
+    let f i = Unix.sleepf (float_of_int (n - 1 - i) *. 0.01); i in
+    Pool.with_pool ~jobs:4 f @@ fun p ->
+    ignore (Pool.run p (Array.init n (fun i -> i)));
+    let seen = ref [] in
+    let _ =
+      Pool.run ~on_result:(fun idx _ -> seen := idx :: !seen) p
+        (Array.init n (fun i -> i))
+    in
+    checkb "second batch emits in index order" true
+      (List.rev !seen = List.init n (fun i -> i))
+  end
+
+let test_pool_persistent_survives_crash () =
+  if not (requires_fork ()) then ()
+  else begin
+    (* a worker dying mid-stream fails its job (retries off) but the
+       handle keeps working: the next batch transparently respawns *)
+    let f i = if i = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill; i in
+    let p = Pool.create ~jobs:2 ~max_retries:0 f in
+    Fun.protect ~finally:(fun () -> Pool.close p) @@ fun () ->
+    let outs, stats = Pool.run p [| 0; 1; 2; 3 |] in
+    checkb "crash recorded" true (stats.Pool.st_crashes >= 1);
+    (match outs.(1) with
+     | Pool.Failed (Pool.Crashed _) -> ()
+     | o -> Alcotest.failf "expected Crashed, got %s" (render_outcome o));
+    checkb "other jobs completed" true
+      (outs.(0) = Pool.Done 0 && outs.(2) = Pool.Done 2
+       && outs.(3) = Pool.Done 3);
+    (* same handle, clean batch — any dead worker is re-forked *)
+    let g = Array.init 5 (fun i -> i + 10) in
+    let outs2, stats2 = Pool.run p g in
+    Array.iteri
+      (fun i o -> checkb "post-crash batch ok" true (o = Pool.Done (i + 10)))
+      outs2;
+    checki "no crashes in clean batch" 0 stats2.Pool.st_crashes
+  end
+
+let test_pool_prespawn () =
+  if not (requires_fork ()) then ()
+  else begin
+    let p = Pool.create ~jobs:2 (fun i -> i + 1) in
+    Fun.protect ~finally:(fun () -> Pool.close p) @@ fun () ->
+    checki "no workers before prespawn" 0 (Pool.alive_workers p);
+    Pool.prespawn p;
+    checki "prespawn forks all workers" 2 (Pool.alive_workers p);
+    let outs, stats = Pool.run p [| 1; 2; 3 |] in
+    checki "prespawned batch forks nothing" 0 stats.Pool.st_spawned;
+    Array.iteri
+      (fun i o -> checkb "result" true (o = Pool.Done (i + 2)))
+      outs
+  end
+
 let suite =
   [
     Alcotest.test_case "codec: round-trip" `Quick test_codec_roundtrip;
@@ -352,6 +446,13 @@ let suite =
     Alcotest.test_case "pool: timeout bisected" `Quick
       test_pool_timeout_bisect;
     Alcotest.test_case "pool: SIGINT drains" `Quick test_pool_sigint_drain;
+    Alcotest.test_case "pool: persistent workers reused" `Quick
+      test_pool_persistent_reuse;
+    Alcotest.test_case "pool: persistent streams in order" `Quick
+      test_pool_persistent_streams_in_order;
+    Alcotest.test_case "pool: persistent survives worker crash" `Quick
+      test_pool_persistent_survives_crash;
+    Alcotest.test_case "pool: prespawn" `Quick test_pool_prespawn;
     Alcotest.test_case "pool: campaign -j4 = -j1" `Slow
       test_campaign_j4_equals_j1;
   ]

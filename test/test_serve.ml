@@ -197,6 +197,29 @@ let test_config_fingerprint_invalidates () =
   checkb "replay seeds change the key" false
     (Proto.replay_key e ~seeds:2 = Proto.replay_key e ~seeds:3)
 
+let test_enum_epoch_invalidates () =
+  (* a store populated by an engine one epoch older must miss under
+     the current key — results enumerated by a superseded engine can
+     not masquerade as current *)
+  let t = List.hd Ise_litmus.Library.all in
+  let old_key =
+    Proto.litmus_key_at ~enum_epoch:(Enum.epoch - 1) t default_params
+  in
+  let cur_key = Proto.litmus_key t default_params in
+  checkb "epoch is in the key" false (old_key = cur_key);
+  checks "current epoch reproduces litmus_key"
+    (Proto.litmus_key_at ~enum_epoch:Enum.epoch t default_params)
+    cur_key;
+  let dir = tmp_dir () in
+  let s = Store.open_ ~dir () in
+  Store.add s old_key "pre-bump result";
+  checkb "pre-bump entry still addressable" true
+    (Store.find s old_key = Some "pre-bump result");
+  checkb "current key misses the pre-bump entry" true
+    (Store.find s cur_key = None);
+  Store.add s cur_key "post-bump result";
+  checkb "post-bump hit" true (Store.find s cur_key = Some "post-bump result")
+
 (* ------------------------------------------------------------------ *)
 (* store                                                               *)
 
@@ -644,6 +667,8 @@ let suite =
       test_fingerprint_semantic_change;
     Alcotest.test_case "keys: config fingerprint invalidates" `Quick
       test_config_fingerprint_invalidates;
+    Alcotest.test_case "keys: engine epoch bump invalidates" `Quick
+      test_enum_epoch_invalidates;
     Alcotest.test_case "cache: LRU eviction order" `Quick test_cache_lru;
     Alcotest.test_case "store: round-trip and persistence" `Quick
       test_store_roundtrip_and_persistence;
