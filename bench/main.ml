@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- -j 4      (sections in parallel)
 
    Sections: table1 table2 table3 table5 table6 fig1 fig2 fig5 fig6
-             litmus ablation bechamel enum pool serve
+             litmus ablation bechamel enum pool serve fabric
 
    With -j N (default: detected core count) sections run on an
    Ise_pool worker pool, each with stdout captured and re-emitted in
@@ -921,13 +921,103 @@ let serve_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* fabric: distributed campaign vs single-host, byte-identity gate      *)
+
+let fabric_bench () =
+  section "Fabric: distributed campaign, 1 vs 4 simulated workers";
+  if not Ise_fabric.Sim.available then
+    print_endline "fork unavailable on this platform; fabric bench skipped"
+  else begin
+    let seed = 2023 in
+    let spec =
+      Ise_fuzz.Campaign.spec ~count:24 ~seeds_per_test:8 ~seed ()
+    in
+    let fingerprint (r : Ise_fuzz.Campaign.report) =
+      ( r.Ise_fuzz.Campaign.r_tests,
+        r.Ise_fuzz.Campaign.r_checks,
+        r.Ise_fuzz.Campaign.r_lost_tests,
+        List.map
+          (fun f ->
+            Ise_fuzz.Corpus.to_string
+              (Ise_fuzz.Campaign.entry_of_failure ~seed f))
+          r.Ise_fuzz.Campaign.r_failures )
+    in
+    let t0 = Unix.gettimeofday () in
+    let reference =
+      Ise_fuzz.Campaign.run ~count:24 ~seeds_per_test:8 ~seed ()
+    in
+    let t_ref = Unix.gettimeofday () -. t0 in
+    let fabric_run n =
+      let dir = Filename.temp_file "ise_fabric_bench" "" in
+      Sys.remove dir;
+      let sim = Ise_fabric.Sim.start ~dir ~n () in
+      let cfg =
+        Ise_fabric.Supervisor.default_config
+          ~workers:(Ise_fabric.Sim.sockets sim)
+      in
+      let t0 = Unix.gettimeofday () in
+      let ranges, outcomes, stats = Ise_fabric.Supervisor.run cfg spec in
+      let wall = Unix.gettimeofday () -. t0 in
+      Ise_fabric.Sim.stop sim;
+      let merged = Ise_fabric.Merge.merge spec ~ranges ~outcomes in
+      (merged.Ise_fabric.Merge.m_report, stats, wall)
+    in
+    let r1, s1, t1 = fabric_run 1 in
+    let r4, s4, t4 = fabric_run 4 in
+    let id1 = fingerprint r1 = fingerprint reference in
+    let id4 = fingerprint r4 = fingerprint reference in
+    let t = Table.create ~headers:[ "Workers"; "Wall (s)"; "Speedup"; "Dispatched" ] in
+    Table.add_row t
+      [ "local"; Table.cell_f ~decimals:2 t_ref; Table.cell_f ~decimals:2 1.;
+        "-" ];
+    Table.add_row t
+      [ "1"; Table.cell_f ~decimals:2 t1;
+        Table.cell_f ~decimals:2 (t_ref /. t1);
+        string_of_int s1.Ise_fabric.Supervisor.f_dispatched ];
+    Table.add_row t
+      [ "4"; Table.cell_f ~decimals:2 t4;
+        Table.cell_f ~decimals:2 (t_ref /. t4);
+        string_of_int s4.Ise_fabric.Supervisor.f_dispatched ];
+    Table.print t;
+    Printf.printf
+      "merged reports byte-identical to single-host: 1 worker %b, 4 workers \
+       %b (%d tests, %d checks, %d failures)\n"
+      id1 id4 reference.Ise_fuzz.Campaign.r_tests
+      reference.Ise_fuzz.Campaign.r_checks
+      (List.length reference.Ise_fuzz.Campaign.r_failures);
+    emit_bench "fabric"
+      (Ise_telemetry.Json.Obj
+         [ ("shards", Ise_telemetry.Json.Int s4.Ise_fabric.Supervisor.f_shards);
+           ("local_wall_s", Ise_telemetry.Json.Float t_ref);
+           ("w1_wall_s", Ise_telemetry.Json.Float t1);
+           ("w4_wall_s", Ise_telemetry.Json.Float t4);
+           ("speedup_w4", Ise_telemetry.Json.Float (t_ref /. t4));
+           ( "w4_dispatched",
+             Ise_telemetry.Json.Int s4.Ise_fabric.Supervisor.f_dispatched );
+           ( "w4_redispatched",
+             Ise_telemetry.Json.Int s4.Ise_fabric.Supervisor.f_redispatched );
+           ( "w4_worker_losses",
+             Ise_telemetry.Json.Int s4.Ise_fabric.Supervisor.f_worker_losses );
+           ("identical_w1", Ise_telemetry.Json.Bool id1);
+           ("identical_w4", Ise_telemetry.Json.Bool id4) ]);
+    if not (id1 && id4) then begin
+      Printf.eprintf
+        "[bench] fabric: merged report diverged from single-host (1 worker \
+         %b, 4 workers %b)!\n%!"
+        id1 id4;
+      exit 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table5", table5); ("table6", table6); ("fig1", fig1); ("fig2", fig2);
     ("fig5", fig5); ("fig6", fig6); ("litmus", litmus);
     ("ablation", ablation); ("bechamel", bechamel_section);
-    ("enum", enum_bench); ("pool", pool_bench); ("serve", serve_bench) ]
+    ("enum", enum_bench); ("pool", pool_bench); ("serve", serve_bench);
+    ("fabric", fabric_bench) ]
 
 (* Run [f] with stdout redirected to a temp file; return what it
    printed.  Used by the parallel driver so each worker's section

@@ -563,9 +563,29 @@ let shard_size_arg =
                  the pool's per-worker latency histograms), or a fixed \
                  count.  All policies produce byte-identical reports.")
 
+let shard_spec_conv =
+  let parse s =
+    match Ise_fabric.Plan.parse_shard s with
+    | Ok kn -> Ok kn
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf (k, n) = Format.fprintf ppf "%d/%d" (k + 1) n in
+  Arg.conv (parse, print)
+
+let shard_arg ~what =
+  Arg.(value & opt (some shard_spec_conv) None
+       & info [ "shard" ] ~docv:"K/N"
+           ~doc:
+             (Printf.sprintf
+                "Run only shard K of N (1-based, CI-matrix style): the \
+                 contiguous %s range $(b,Ise_fabric.Plan.shard_range) \
+                 assigns to shard K.  The union of all N shards of the same \
+                 seed is exactly the unsharded run."
+                what))
+
 let fuzz_run_cmd =
   let run seed count seeds_per_test variants_spec corpus_dir no_save inject
-      trace_out telemetry_out jobs shard_sizing journal_dir ledger =
+      trace_out telemetry_out jobs shard_sizing journal_dir ledger shard =
     let variants =
       match variants_of_spec variants_spec with
       | Ok vs -> vs
@@ -578,11 +598,16 @@ let fuzz_run_cmd =
         exit 1
     in
     let sink = sink_for (trace_out, telemetry_out) in
+    let range =
+      Option.map
+        (fun (k, n) -> Ise_fabric.Plan.shard_range ~count ~shards:n k)
+        shard
+    in
     let report =
       with_injected_bug inject (fun () ->
           Ise_fuzz.Campaign.run ~count ~seeds_per_test ~variants ~jobs
             ~shard_sizing ?journal_dir ?telemetry:sink ~log:prerr_endline
-            ~seed ())
+            ?range ~seed ())
     in
     write_outputs sink ~trace_out ~telemetry_out;
     (match ledger with
@@ -660,7 +685,7 @@ let fuzz_run_cmd =
     Term.(const run $ seed_arg $ count_arg $ fuzz_seeds_arg $ variants_arg
           $ corpus_arg $ nosave_arg $ inject_bug_arg $ trace_out_arg
           $ telemetry_out_arg $ jobs_arg $ shard_size_arg $ journal_dir_arg
-          $ ledger_arg)
+          $ ledger_arg $ shard_arg ~what:"test")
 
 let fuzz_replay_cmd =
   let run corpus_dir files seeds inject =
@@ -894,7 +919,7 @@ let chaos_inject_bug_arg =
 let chaos_run_cmd =
   let run seed trials cores stores profiles_spec telemetry_out trace_out
       snapshot_out journal_out journal_dir ledger corpus_dir no_save inject
-      jobs =
+      jobs shard =
     let profiles =
       match profiles_of_spec profiles_spec with
       | Ok ps -> ps
@@ -918,6 +943,16 @@ let chaos_run_cmd =
     let specs =
       Array.init trials (fun t ->
           (seed + t, parr.(t mod Array.length parr).Ise_chaos.Profile.name))
+    in
+    (* --shard slices the *global* trial stream: each trial's (seed,
+       profile) is fixed by its global index before slicing, so the
+       union of all shards is byte-for-byte the unsharded run *)
+    let specs, trials =
+      match shard with
+      | None -> (specs, trials)
+      | Some (k, n) ->
+        let lo, hi = Ise_fabric.Plan.shard_range ~count:trials ~shards:n k in
+        (Array.sub specs lo (hi - lo), hi - lo)
     in
     let run_one ?telemetry (s, pname) =
       let profile = Option.get (Ise_chaos.Profile.named pname) in
@@ -1167,7 +1202,8 @@ let chaos_run_cmd =
     Term.(const run $ seed_arg $ trials_arg $ cores_arg $ stores_arg
           $ profiles_arg $ telemetry_out_arg $ trace_out_arg
           $ snapshot_out_arg $ journal_out_arg $ journal_dir_arg $ ledger_arg
-          $ corpus_arg $ nosave_arg $ chaos_inject_bug_arg $ jobs_arg)
+          $ corpus_arg $ nosave_arg $ chaos_inject_bug_arg $ jobs_arg
+          $ shard_arg ~what:"trial")
 
 let chaos_replay_cmd =
   let run corpus_dir files seeds inject =
@@ -1702,6 +1738,209 @@ let store_cmd =
     [ store_stats_cmd; store_gc_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* fabric: distributed campaigns                                       *)
+
+let fabric_worker_cmd =
+  let run socket jobs quiet =
+    let log =
+      if quiet then ignore
+      else fun msg -> Printf.eprintf "[ise-fabric-worker] %s\n%!" msg
+    in
+    Ise_fabric.Worker.run
+      { (Ise_fabric.Worker.default_config ~socket_path:socket) with
+        jobs;
+        log;
+      };
+    0
+  in
+  let socket_arg =
+    Arg.(value & opt string ".ise-fabric-worker.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix domain socket this worker listens on.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No lifecycle logging.")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Run a fabric worker daemon: executes campaign shard ranges for \
+             a supervisor over a Unix socket, fanned out over a persistent \
+             process pool")
+    Term.(const run $ socket_arg $ jobs_arg $ quiet_arg)
+
+let fabric_run_cmd =
+  let run seed count seeds_per_test variants_spec workers spawn spawn_jobs
+      shards window store_dir corpus_dir no_save ledger quiet =
+    let variants =
+      match variants_of_spec variants_spec with
+      | Ok vs -> vs
+      | Error n ->
+        Printf.eprintf "unknown variant %S\n" n;
+        exit 1
+    in
+    if workers = [] && spawn = 0 then begin
+      Printf.eprintf
+        "need workers: --workers SOCK[,SOCK..] and/or --spawn N\n";
+      exit 1
+    end;
+    if spawn > 0 && not Ise_fabric.Sim.available then begin
+      Printf.eprintf "--spawn needs fork(), unavailable on this platform\n";
+      exit 1
+    end;
+    let log =
+      if quiet then ignore
+      else fun msg -> Printf.eprintf "[ise-fabric] %s\n%!" msg
+    in
+    let spec =
+      Ise_fuzz.Campaign.spec ~count ~seeds_per_test ~variants ~seed ()
+    in
+    let sim =
+      if spawn = 0 then None
+      else begin
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ise-fabric-%d" (Unix.getpid ()))
+        in
+        Some (Ise_fabric.Sim.start ~jobs:spawn_jobs ~log ~dir ~n:spawn ())
+      end
+    in
+    let workers =
+      workers
+      @ (match sim with None -> [] | Some s -> Ise_fabric.Sim.sockets s)
+    in
+    let store =
+      Option.map
+        (fun dir -> Ise_serve.Store.open_ ~dir ())
+        store_dir
+    in
+    let cfg =
+      { (Ise_fabric.Supervisor.default_config ~workers) with
+        Ise_fabric.Supervisor.window;
+        shards;
+        store;
+        log;
+      }
+    in
+    let ranges, outcomes, stats = Ise_fabric.Supervisor.run cfg spec in
+    (match sim with None -> () | Some s -> Ise_fabric.Sim.stop s);
+    let merged =
+      Ise_fabric.Merge.merge ~log:prerr_endline spec ~ranges ~outcomes
+    in
+    let report = merged.Ise_fabric.Merge.m_report in
+    Printf.eprintf
+      "[fabric] %d worker(s), %d shard(s): %d dispatched (%d re-dispatch), \
+       %d store hit(s), %d inline, %d worker loss(es), %.2fs\n%!"
+      stats.Ise_fabric.Supervisor.f_workers
+      stats.Ise_fabric.Supervisor.f_shards
+      stats.Ise_fabric.Supervisor.f_dispatched
+      stats.Ise_fabric.Supervisor.f_redispatched
+      stats.Ise_fabric.Supervisor.f_store_hits
+      stats.Ise_fabric.Supervisor.f_inline
+      stats.Ise_fabric.Supervisor.f_worker_losses
+      stats.Ise_fabric.Supervisor.f_wall_s;
+    (match ledger with
+     | None -> ()
+     | Some path ->
+       append_ledger ~path
+         (Ise_fabric.Merge.ledger_record ~label:variants_spec spec report));
+    (* stdout below is byte-identical to `ise fuzz run` on the same
+       seed — the point of the deterministic merge *)
+    Printf.printf "seed %d: %d tests, %d checks, %d failure(s)\n"
+      report.Ise_fuzz.Campaign.r_seed report.Ise_fuzz.Campaign.r_tests
+      report.Ise_fuzz.Campaign.r_checks
+      (List.length report.Ise_fuzz.Campaign.r_failures);
+    if report.Ise_fuzz.Campaign.r_lost_tests > 0 then
+      Printf.eprintf "warning: %d test(s) lost to failed fabric shards\n%!"
+        report.Ise_fuzz.Campaign.r_lost_tests;
+    List.iter2
+      (fun f entry ->
+        Format.printf "@.%s under %s [%s]: %s@.%a@."
+          f.Ise_fuzz.Campaign.f_test.Ise_litmus.Lit_test.name
+          (Ise_fuzz.Campaign.variant_name f.Ise_fuzz.Campaign.f_variant)
+          (Ise_fuzz.Campaign.kind_name f.Ise_fuzz.Campaign.f_kind)
+          f.Ise_fuzz.Campaign.f_detail Ise_litmus.Lit_test.pp
+          f.Ise_fuzz.Campaign.f_shrunk;
+        if not no_save then begin
+          let path = Ise_fuzz.Corpus.save ~dir:corpus_dir entry in
+          Printf.printf "replay artifact: %s\n" path
+        end)
+      report.Ise_fuzz.Campaign.r_failures merged.Ise_fabric.Merge.m_entries;
+    if
+      report.Ise_fuzz.Campaign.r_failures = []
+      && report.Ise_fuzz.Campaign.r_lost_tests = 0
+    then 0
+    else 1
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let count_arg =
+    Arg.(value & opt int 100
+         & info [ "count" ] ~docv:"N" ~doc:"Generated tests.")
+  in
+  let variants_arg =
+    Arg.(value & opt string "all"
+         & info [ "variants" ] ~docv:"SPEC"
+             ~doc:"Lattice variants: 'all', 'base', 'chaos', or names.")
+  in
+  let workers_arg =
+    Arg.(value & opt (list string) []
+         & info [ "workers" ] ~docv:"SOCK,..."
+             ~doc:"Worker daemon sockets (each an $(b,ise fabric worker)).")
+  in
+  let spawn_arg =
+    Arg.(value & opt int 0
+         & info [ "spawn" ] ~docv:"N"
+             ~doc:"Additionally fork N local worker daemons for the run's \
+                   duration (single-host fabric).")
+  in
+  let spawn_jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "spawn-jobs" ] ~docv:"N"
+             ~doc:"Pool fan-out inside each --spawn worker.")
+  in
+  let shards_arg =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Shard count (default: 4 per worker).")
+  in
+  let window_arg =
+    Arg.(value & opt int 2
+         & info [ "window" ] ~docv:"N"
+             ~doc:"Max shards in flight per worker.")
+  in
+  let store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Cache shard results in a content-addressed store: a \
+                   repeated campaign (same spec, same enumeration epoch) is \
+                   answered without dispatching.")
+  in
+  let nosave_arg =
+    Arg.(value & flag
+         & info [ "no-save" ] ~doc:"Do not write failure artifacts.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No dispatch logging.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a fuzzing campaign across fabric workers; the merged \
+             report is byte-identical to a single-host run of the same seed")
+    Term.(const run $ seed_arg $ count_arg $ fuzz_seeds_arg $ variants_arg
+          $ workers_arg $ spawn_arg $ spawn_jobs_arg $ shards_arg
+          $ window_arg $ store_arg $ corpus_arg $ nosave_arg $ ledger_arg
+          $ quiet_arg)
+
+let fabric_cmd =
+  Cmd.group
+    (Cmd.info "fabric"
+       ~doc:"Distributed campaign fabric: shard-range workers, a \
+             straggler-aware supervisor, and a deterministic merge")
+    [ fabric_worker_cmd; fabric_run_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -1730,7 +1969,7 @@ let () =
         (Cmd.group ~default info
            [ litmus_cmd; mbench_cmd; gap_cmd; mix_cmd; explain_cmd; stats_cmd;
              chaos_cmd; fuzz_cmd; report_cmd; compare_cmd; serve_cmd;
-             client_cmd; store_cmd ])
+             client_cmd; store_cmd; fabric_cmd ])
     with e ->
       let bt = Printexc.get_backtrace () in
       let msg = Printexc.to_string e in

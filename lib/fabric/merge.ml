@@ -1,0 +1,52 @@
+open Ise_fuzz
+
+type merged = {
+  m_report : Campaign.report;
+  m_entries : Corpus.entry list;
+}
+
+let merge ?(log = fun (_ : string) -> ()) spec ~ranges ~outcomes =
+  if Array.length ranges <> Array.length outcomes then
+    invalid_arg "Merge.merge: ranges/outcomes length mismatch";
+  let tests = Campaign.tests_of_spec spec in
+  let lost = ref 0 in
+  let raws = ref [] in
+  (* shard order = global test order: the partition is contiguous and
+     ascending, so this concatenation is exactly the raw-failure
+     stream a sequential run would produce *)
+  Array.iteri
+    (fun sh outcome ->
+      let lo, hi = ranges.(sh) in
+      match outcome with
+      | Supervisor.Shard_ok rs -> raws := List.rev_append rs !raws
+      | Supervisor.Shard_lost reason ->
+        lost := !lost + (hi - lo);
+        log
+          (Printf.sprintf "LOST shard %d (tests %d-%d): %s" sh lo (hi - 1)
+             reason))
+    outcomes;
+  let report =
+    Campaign.report_of_raw ~log spec ~tests ~lost:!lost (List.rev !raws)
+  in
+  {
+    m_report = report;
+    m_entries =
+      List.map
+        (Campaign.entry_of_failure ~seed:spec.Campaign.s_seed)
+        report.Campaign.r_failures;
+  }
+
+let ledger_record ?run_id ?git_rev ?time ?(label = "fabric")
+    (spec : Campaign.spec) (r : Campaign.report) =
+  (* field-for-field the record `ise fuzz run` appends, so fabric and
+     single-host runs are comparable (and, with pinned run_id/time,
+     byte-identical) in BENCH_history.jsonl *)
+  Ise_obs.Ledger.make ?run_id ?git_rev ?time ~kind:"fuzz" ~label
+    ~seed:spec.Campaign.s_seed
+    ~config:
+      (Printf.sprintf "count=%d seeds_per_test=%d jobs-independent"
+         spec.Campaign.s_count spec.Campaign.s_seeds_per_test)
+    [ ("tests", float_of_int r.Campaign.r_tests);
+      ("checks", float_of_int r.Campaign.r_checks);
+      ("failures", float_of_int (List.length r.Campaign.r_failures));
+      ("lost_tests", float_of_int r.Campaign.r_lost_tests) ]

@@ -1,0 +1,49 @@
+(** Deterministic merge: fold per-shard fabric results into the exact
+    report a single-host [jobs = 1] run would produce.
+
+    The argument is three invariants deep:
+
+    + the test stream is a pure function of the spec
+      ({!Ise_fuzz.Campaign.tests_of_spec}), so every worker checked
+      the same tests the supervisor regenerates here;
+    + {!Plan.partition} tiles [[0, count)] contiguously in shard
+      order, and {!Ise_fuzz.Campaign.check_range} emits failures in
+      global check order, so concatenating shard results in shard
+      index order reproduces the sequential raw-failure stream
+      regardless of which worker computed what, in what order, or how
+      many times;
+    + shrinking, logging, and artifact construction happen only here,
+      via {!Ise_fuzz.Campaign.report_of_raw} — the same code path as a
+      local run.
+
+    Hence report, corpus entries, and ledger metrics are byte-identical
+    to the single-host run — asserted by the fabric tier-1 tests and
+    [bench fabric]. *)
+
+open Ise_fuzz
+
+type merged = {
+  m_report : Campaign.report;
+  m_entries : Corpus.entry list;
+      (** corpus artifacts of every failure, in discovery order —
+          what [ise fabric run] saves under [--corpus] *)
+}
+
+val merge :
+  ?log:(string -> unit) ->
+  Campaign.spec ->
+  ranges:(int * int) array ->
+  outcomes:Supervisor.shard_outcome array ->
+  merged
+(** Fold shard outcomes (in shard order) through the campaign
+    finalizer.  Lost shards contribute their test count to
+    [r_lost_tests] and a [LOST] log line, mirroring lost pool
+    shards. *)
+
+val ledger_record :
+  ?run_id:string -> ?git_rev:string -> ?time:float -> ?label:string ->
+  Campaign.spec -> Campaign.report -> Ise_obs.Ledger.record
+(** The exact record [ise fuzz run --ledger] appends (kind ["fuzz"],
+    same config string and metrics), so fabric runs land in
+    [BENCH_history.jsonl] comparably; pin [run_id]/[time] to make the
+    comparison literal byte equality. *)

@@ -1,0 +1,51 @@
+(* ------------------------------------------------------------------ *)
+(* shard partitioning                                                  *)
+
+let shard_range ~count ~shards i =
+  if shards <= 0 then invalid_arg "Plan.shard_range: shards must be positive";
+  if count < 0 then invalid_arg "Plan.shard_range: negative count";
+  if i < 0 || i >= shards then invalid_arg "Plan.shard_range: index out of range";
+  (i * count / shards, (i + 1) * count / shards)
+
+let partition ~count ~shards =
+  if shards <= 0 then invalid_arg "Plan.partition: shards must be positive";
+  if count < 0 then invalid_arg "Plan.partition: negative count";
+  if count = 0 then [||]
+  else
+    let k = min shards count in
+    Array.init k (fun i -> shard_range ~count ~shards:k i)
+
+let parse_shard str =
+  let fail () = Error (Printf.sprintf "bad shard spec %S: want k/N with 1 <= k <= N, e.g. 2/4" str) in
+  match String.index_opt str '/' with
+  | None -> fail ()
+  | Some i -> (
+    let k = int_of_string_opt (String.sub str 0 i) in
+    let n =
+      int_of_string_opt (String.sub str (i + 1) (String.length str - i - 1))
+    in
+    match (k, n) with
+    | Some k, Some n when n >= 1 && k >= 1 && k <= n -> Ok (k - 1, n)
+    | _ -> fail ())
+
+(* ------------------------------------------------------------------ *)
+(* straggler deadlines                                                 *)
+
+type ewma = {
+  alpha : float;
+  mutable mean : float;
+  mutable samples : int;
+}
+
+let ewma_create ?(alpha = 0.3) () = { alpha; mean = 0.0; samples = 0 }
+
+let observe e x =
+  e.samples <- e.samples + 1;
+  if e.samples = 1 then e.mean <- x
+  else e.mean <- e.mean +. (e.alpha *. (x -. e.mean))
+
+let mean e = e.mean
+let samples e = e.samples
+
+let deadline ?(factor = 4.0) ?(floor = 0.5) e =
+  if e.samples = 0 then infinity else Float.max floor (factor *. e.mean)

@@ -1,0 +1,56 @@
+let available = Ise_pool.Pool.fork_available
+
+type t = {
+  dir : string;
+  procs : (int * string) array;  (* pid, socket path *)
+}
+
+let start ?(jobs = 1) ?log ~dir ~n () =
+  if not available then
+    invalid_arg "Sim.start: fork is not available on this platform";
+  if n <= 0 then invalid_arg "Sim.start: need at least one worker";
+  (try Unix.mkdir dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let procs =
+    Array.init n (fun k ->
+        let sock = Filename.concat dir (Printf.sprintf "worker%d.sock" k) in
+        (try Unix.unlink sock with Unix.Unix_error _ -> ());
+        match Unix.fork () with
+        | 0 ->
+          (* the child is a worker daemon and nothing else: any exit
+             path must be _exit, so the parent's at_exit machinery
+             (alcotest, telemetry flushes) never runs twice *)
+          (try
+             let cfg =
+               { (Worker.default_config ~socket_path:sock) with
+                 jobs;
+                 log = (match log with Some l -> l | None -> ignore);
+               }
+             in
+             Worker.run cfg
+           with _ -> ());
+          Unix._exit 0
+        | pid -> (pid, sock))
+  in
+  { dir; procs }
+
+let sockets t = Array.to_list (Array.map snd t.procs)
+let pids t = Array.to_list (Array.map fst t.procs)
+
+let reap pid =
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let kill t k =
+  if k < 0 || k >= Array.length t.procs then invalid_arg "Sim.kill";
+  let pid, _ = t.procs.(k) in
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  reap pid
+
+let stop t =
+  Array.iter
+    (fun (pid, sock) ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      reap pid;
+      try Unix.unlink sock with Unix.Unix_error _ -> ())
+    t.procs

@@ -1,0 +1,32 @@
+(** Single-host fabric simulation: N "remote" workers as forked
+    daemons on local sockets.
+
+    This is what keeps the fabric tier-1 testable — the supervisor,
+    wire protocol, straggler re-dispatch, and merge run exactly as
+    they would across machines, but every worker is a local child
+    whose pid the test can {!kill} mid-campaign. *)
+
+val available : bool
+(** [Ise_pool.Pool.fork_available] — tests and bench skip the
+    simulation where fork does not exist. *)
+
+type t
+
+val start : ?jobs:int -> ?log:(string -> unit) -> dir:string -> n:int -> unit -> t
+(** Fork [n] worker daemons listening on [dir/worker<k>.sock], each
+    with a pool of [jobs] (default 1).  The children [_exit]; the
+    parent keeps their pids.
+    @raise Invalid_argument when fork is unavailable or [n <= 0]. *)
+
+val sockets : t -> string list
+(** In worker order — feed straight into
+    {!Supervisor.config.workers}. *)
+
+val pids : t -> int list
+
+val kill : t -> int -> unit
+(** SIGKILL worker [k] and reap it — the kill-mid-campaign test. *)
+
+val stop : t -> unit
+(** SIGTERM+SIGKILL and reap every worker, removing the sockets.
+    Idempotent with {!kill}. *)

@@ -1,0 +1,417 @@
+open Ise_fuzz
+module Codec = Ise_pool.Codec
+
+type config = {
+  workers : string list;
+  window : int;
+  shards : int option;
+  straggler_factor : float;
+  straggler_floor : float;
+  max_attempts : int;
+  connect_retries : int;
+  max_payload : int;
+  store : Ise_serve.Store.t option;
+  on_shard_done : int -> unit;
+  log : string -> unit;
+}
+
+let default_config ~workers = {
+  workers;
+  window = 2;
+  shards = None;
+  straggler_factor = 4.0;
+  straggler_floor = 0.5;
+  max_attempts = 3;
+  connect_retries = 40;
+  max_payload = 64 * 1024 * 1024;
+  store = None;
+  on_shard_done = ignore;
+  log = ignore;
+}
+
+type shard_outcome =
+  | Shard_ok of Campaign.raw_failure list
+  | Shard_lost of string
+
+type stats = {
+  f_workers : int;
+  f_shards : int;
+  f_dispatched : int;
+  f_redispatched : int;
+  f_store_hits : int;
+  f_inline : int;
+  f_worker_losses : int;
+  f_wall_s : float;
+}
+
+(* one connected worker *)
+type wstate = {
+  w_id : int;
+  w_path : string;
+  w_fd : Unix.file_descr;
+  mutable w_buf : Bytes.t;
+  mutable w_len : int;
+  mutable w_inflight : (int * float) list;  (* shard, dispatch time *)
+  mutable w_dead : bool;
+}
+
+let connect_worker cfg spec id path =
+  let rec attempt left =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.set_close_on_exec fd;
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Some fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN), _, _)
+      when left > 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      ignore (Unix.select [] [] [] 0.05);
+      attempt (left - 1)
+    | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+  in
+  match attempt cfg.connect_retries with
+  | None ->
+    cfg.log (Printf.sprintf "worker %d (%s): connect failed" id path);
+    None
+  | Some fd ->
+    let fail msg =
+      cfg.log (Printf.sprintf "worker %d (%s): %s" id path msg);
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+    in
+    (try
+       Wire.write_request fd
+         (Wire.Hello
+            { proto = Wire.version; git_rev = Ise_obs.Runinfo.git_rev () })
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    match Wire.read_response ~max_payload:cfg.max_payload fd with
+    | Stdlib.Error msg -> fail ("handshake failed: " ^ msg)
+    | Stdlib.Ok (Wire.Error (kind, msg)) ->
+      fail (Printf.sprintf "handshake rejected: %s (%s)"
+              (Ise_serve.Framed.err_name kind) msg)
+    | Stdlib.Ok (Wire.Hello_ok { pid; _ }) -> (
+      (try Wire.write_request fd (Wire.Set_spec spec)
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      match Wire.read_response ~max_payload:cfg.max_payload fd with
+      | Stdlib.Ok Wire.Spec_ok ->
+        cfg.log (Printf.sprintf "worker %d (%s): connected, pid %d" id path
+                   pid);
+        Some
+          { w_id = id; w_path = path; w_fd = fd; w_buf = Bytes.create 65536;
+            w_len = 0; w_inflight = []; w_dead = false }
+      | Stdlib.Ok _ -> fail "unexpected response to Set_spec"
+      | Stdlib.Error msg -> fail ("Set_spec failed: " ^ msg))
+    | Stdlib.Ok _ -> fail "unexpected response to Hello"
+
+let run cfg spec =
+  let t0 = Unix.gettimeofday () in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let count = spec.Campaign.s_count in
+  let nshards_req =
+    match cfg.shards with
+    | Some n -> max 1 n
+    | None -> max 1 (4 * max 1 (List.length cfg.workers))
+  in
+  let ranges =
+    if count = 0 then [||] else Plan.partition ~count ~shards:nshards_req
+  in
+  let nshards = Array.length ranges in
+  let results : shard_outcome option array = Array.make nshards None in
+  let attempts = Array.make nshards 0 in
+  let dispatched_once = Array.make nshards false in
+  let queued = Array.make nshards false in
+  let pending = Queue.create () in
+  let dispatched = ref 0 and redispatched = ref 0 and store_hits = ref 0 in
+  let inline_runs = ref 0 and worker_losses = ref 0 in
+  let unfinished = ref nshards in
+  let record sh raws =
+    if results.(sh) = None then begin
+      results.(sh) <- Some (Shard_ok raws);
+      decr unfinished;
+      (match cfg.store with
+       | Some store ->
+         let lo, hi = ranges.(sh) in
+         Ise_serve.Store.add store (Wire.shard_key spec ~lo ~hi)
+           (Wire.shard_payload_to_string raws)
+       | None -> ());
+      cfg.on_shard_done sh
+    end
+  in
+  (* store pre-pass: a shard already computed — by an earlier run or a
+     re-dispatched duplicate of this one — never hits a worker *)
+  (match cfg.store with
+   | None -> ()
+   | Some store ->
+     Array.iteri
+       (fun sh (lo, hi) ->
+         match
+           Option.bind
+             (Ise_serve.Store.find store (Wire.shard_key spec ~lo ~hi))
+             Wire.shard_payload_of_string
+         with
+         | Some raws ->
+           incr store_hits;
+           record sh raws
+         | None -> ())
+       ranges);
+  let enqueue sh =
+    if results.(sh) = None && not queued.(sh) then begin
+      queued.(sh) <- true;
+      Queue.add sh pending
+    end
+  in
+  Array.iteri (fun sh _ -> enqueue sh) ranges;
+  let workers =
+    if !unfinished = 0 then []
+    else
+      List.mapi (fun id path -> connect_worker cfg spec id path) cfg.workers
+      |> List.filter_map Fun.id
+  in
+  let nworkers = List.length workers in
+  let ewma = Plan.ewma_create () in
+  let live () = List.filter (fun w -> not w.w_dead) workers in
+  let inflight_count sh =
+    List.fold_left
+      (fun acc w ->
+        if (not w.w_dead) && List.mem_assoc sh w.w_inflight then acc + 1
+        else acc)
+      0 workers
+  in
+  let worker_lost w reason =
+    if not w.w_dead then begin
+      w.w_dead <- true;
+      incr worker_losses;
+      (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+      cfg.log
+        (Printf.sprintf "worker %d (%s) lost: %s" w.w_id w.w_path reason);
+      let inflight = w.w_inflight in
+      w.w_inflight <- [];
+      List.iter
+        (fun (sh, _) ->
+          if results.(sh) = None && inflight_count sh = 0 then enqueue sh)
+        inflight
+    end
+  in
+  let dispatch_to w sh ~redispatch =
+    let lo, hi = ranges.(sh) in
+    match
+      Wire.write_request w.w_fd (Wire.Run { j_shard = sh; j_lo = lo; j_hi = hi })
+    with
+    | () ->
+      incr dispatched;
+      if redispatch || dispatched_once.(sh) then begin
+        incr redispatched;
+        cfg.log
+          (Printf.sprintf "re-dispatch shard %d (tests %d-%d) to worker %d"
+             sh lo (hi - 1) w.w_id)
+      end;
+      dispatched_once.(sh) <- true;
+      attempts.(sh) <- attempts.(sh) + 1;
+      w.w_inflight <- (sh, Unix.gettimeofday ()) :: w.w_inflight;
+      true
+    | exception (Unix.Unix_error _ | Sys_error _) ->
+      worker_lost w "write failed";
+      false
+  in
+  let dispatch_pending () =
+    let progress = ref true in
+    while !progress && not (Queue.is_empty pending) do
+      progress := false;
+      (* least-loaded live worker with window room *)
+      let target =
+        List.fold_left
+          (fun best w ->
+            if List.length w.w_inflight >= cfg.window then best
+            else
+              match best with
+              | Some b
+                when List.length b.w_inflight <= List.length w.w_inflight ->
+                best
+              | _ -> Some w)
+          None (live ())
+      in
+      match target with
+      | None -> ()
+      | Some w ->
+        let sh = Queue.pop pending in
+        queued.(sh) <- false;
+        if results.(sh) = None then begin
+          if dispatch_to w sh ~redispatch:false then progress := true
+          else enqueue sh
+        end
+        else progress := true
+    done
+  in
+  let handle_response w (resp : Wire.response) =
+    match resp with
+    | Wire.Shard_done sr ->
+      let sh = sr.Wire.sr_shard in
+      if sh < 0 || sh >= nshards then worker_lost w "bogus shard id"
+      else begin
+        (match List.assoc_opt sh w.w_inflight with
+         | Some td ->
+           Plan.observe ewma (Unix.gettimeofday () -. td);
+           w.w_inflight <- List.remove_assoc sh w.w_inflight
+         | None -> ());
+        (* first result wins; a duplicate from a straggler is dropped *)
+        record sh sr.Wire.sr_raw
+      end
+    | Wire.Shard_failed { shard = sh; reason } ->
+      if sh < 0 || sh >= nshards then worker_lost w "bogus shard id"
+      else begin
+        w.w_inflight <- List.remove_assoc sh w.w_inflight;
+        cfg.log
+          (Printf.sprintf "shard %d failed on worker %d: %s" sh w.w_id
+             reason);
+        if results.(sh) = None && inflight_count sh = 0 then begin
+          if attempts.(sh) < cfg.max_attempts then enqueue sh
+          else begin
+            results.(sh) <- Some (Shard_lost reason);
+            decr unfinished;
+            cfg.on_shard_done sh
+          end
+        end
+      end
+    | Wire.Error (kind, msg) ->
+      (* the worker closes the connection after a typed error *)
+      worker_lost w
+        (Printf.sprintf "error frame: %s (%s)"
+           (Ise_serve.Framed.err_name kind) msg)
+    | Wire.Shutting_down -> worker_lost w "shutting down"
+    | Wire.Hello_ok _ | Wire.Spec_ok | Wire.Worker_stats _ -> ()
+  in
+  let read_chunk = Bytes.create 65536 in
+  let handle_readable w =
+    match Unix.read w.w_fd read_chunk 0 (Bytes.length read_chunk) with
+    | 0 -> worker_lost w "eof"
+    | n ->
+      if w.w_len + n > Bytes.length w.w_buf then begin
+        let cap = max (w.w_len + n) (2 * Bytes.length w.w_buf) in
+        let bigger = Bytes.create cap in
+        Bytes.blit w.w_buf 0 bigger 0 w.w_len;
+        w.w_buf <- bigger
+      end;
+      Bytes.blit read_chunk 0 w.w_buf w.w_len n;
+      w.w_len <- w.w_len + n;
+      let continue = ref true in
+      while !continue && not w.w_dead do
+        match
+          Codec.decode ~max_payload:cfg.max_payload w.w_buf ~pos:0
+            ~len:w.w_len
+        with
+        | Codec.Need_more -> continue := false
+        | Codec.Corrupt e ->
+          worker_lost w ("corrupt frame: " ^ Codec.error_to_string e)
+        | Codec.Frame { payload; proto; consumed } ->
+          Bytes.blit w.w_buf consumed w.w_buf 0 (w.w_len - consumed);
+          w.w_len <- w.w_len - consumed;
+          if proto <> Wire.version then
+            worker_lost w (Printf.sprintf "bad protocol byte %d" proto)
+          else begin
+            match (Codec.unmarshal payload : Wire.response) with
+            | resp -> handle_response w resp
+            | exception _ -> worker_lost w "undecodable response"
+          end
+      done
+    | exception
+        Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      worker_lost w "connection reset"
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let redispatch_stragglers () =
+    let dl =
+      Plan.deadline ~factor:cfg.straggler_factor ~floor:cfg.straggler_floor
+        ewma
+    in
+    if dl < infinity then begin
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun w ->
+          List.iter
+            (fun (sh, td) ->
+              if
+                results.(sh) = None
+                && now -. td > dl
+                && inflight_count sh <= 1
+              then begin
+                let peer =
+                  List.find_opt
+                    (fun p ->
+                      p != w
+                      && List.length p.w_inflight < cfg.window
+                      && not (List.mem_assoc sh p.w_inflight))
+                    (live ())
+                in
+                match peer with
+                | Some p -> ignore (dispatch_to p sh ~redispatch:true)
+                | None -> ()
+              end)
+            w.w_inflight)
+        (live ())
+    end
+  in
+  (* main loop: dispatch, multiplex, watch for stragglers *)
+  while !unfinished > 0 && live () <> [] do
+    dispatch_pending ();
+    let fds = List.map (fun w -> w.w_fd) (live ()) in
+    if fds <> [] then begin
+      (match Unix.select fds [] [] 0.05 with
+       | readable, _, _ ->
+         List.iter
+           (fun fd ->
+             match List.find_opt (fun w -> w.w_fd = fd) (live ()) with
+             | Some w -> handle_readable w
+             | None -> ())
+           readable
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      redispatch_stragglers ()
+    end
+  done;
+  (* no workers left (or none ever connected): finish inline so the
+     campaign always completes — dead fabric degrades to single-host *)
+  if !unfinished > 0 then begin
+    let tests = lazy (Campaign.tests_of_spec spec) in
+    Array.iteri
+      (fun sh (lo, hi) ->
+        if results.(sh) = None then begin
+          incr inline_runs;
+          cfg.log
+            (Printf.sprintf "running shard %d (tests %d-%d) inline" sh lo
+               (hi - 1));
+          match Campaign.check_range spec ~tests:(Lazy.force tests) ~lo ~hi with
+          | raws -> record sh raws
+          | exception e ->
+            results.(sh) <- Some (Shard_lost (Printexc.to_string e));
+            decr unfinished;
+            cfg.on_shard_done sh
+        end)
+      ranges
+  end;
+  List.iter
+    (fun w ->
+      if not w.w_dead then begin
+        w.w_dead <- true;
+        (try Unix.close w.w_fd with Unix.Unix_error _ -> ())
+      end)
+    workers;
+  let outcomes =
+    Array.map
+      (function Some o -> o | None -> Shard_lost "unreachable")
+      results
+  in
+  ( ranges,
+    outcomes,
+    {
+      f_workers = nworkers;
+      f_shards = nshards;
+      f_dispatched = !dispatched;
+      f_redispatched = !redispatched;
+      f_store_hits = !store_hits;
+      f_inline = !inline_runs;
+      f_worker_losses = !worker_losses;
+      f_wall_s = Unix.gettimeofday () -. t0;
+    } )

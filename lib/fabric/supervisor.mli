@@ -1,0 +1,72 @@
+(** The fabric supervisor: partitions a campaign into shard ranges,
+    dispatches them across workers, and survives everything.
+
+    Dispatch discipline:
+
+    - each worker holds at most [window] shards in flight;
+    - a completed shard feeds the {!Plan.ewma} of shard wall-clock,
+      and any shard in flight longer than the EWMA deadline is
+      {e duplicated} to an idle worker — first result wins, the
+      late duplicate is dropped;
+    - a worker that vanishes (EOF, reset, typed error frame) has its
+      in-flight shards re-queued for the survivors;
+    - a shard whose checks {e fail} (worker-side exception) is retried
+      up to [max_attempts] times, then reported {!Shard_lost};
+    - when a [store] is given, every shard is looked up before
+      dispatch ({!Wire.shard_key}) and written through on completion,
+      so repeated or re-dispatched shards hit the store;
+    - if every worker dies — or none ever connects — the remaining
+      shards run inline in the supervisor: a dead fabric degrades to a
+      single-host run instead of hanging.
+
+    The supervisor never shrinks, logs failures, or builds reports —
+    it only collects raw per-shard results, in an array indexed by
+    shard.  {!Merge.merge} folds them in shard order, which is what
+    makes the fabric output byte-identical to a local run. *)
+
+open Ise_fuzz
+
+type config = {
+  workers : string list;  (** worker socket paths *)
+  window : int;  (** max shards in flight per worker *)
+  shards : int option;  (** shard count; default [4 × workers] *)
+  straggler_factor : float;  (** deadline = factor × EWMA mean *)
+  straggler_floor : float;  (** minimum deadline, seconds *)
+  max_attempts : int;  (** dispatch attempts before {!Shard_lost} *)
+  connect_retries : int;  (** 50 ms connect retries per worker *)
+  max_payload : int;
+  store : Ise_serve.Store.t option;  (** shard-result cache *)
+  on_shard_done : int -> unit;
+      (** fired once per shard on first completion (tests use it to
+          kill workers mid-campaign) *)
+  log : string -> unit;
+}
+
+val default_config : workers:string list -> config
+(** window 2, shards [4 × workers], straggler factor 4.0 / floor
+    0.5 s, 3 attempts, 40 connect retries, 64 MiB payloads, no store,
+    silent. *)
+
+type shard_outcome =
+  | Shard_ok of Campaign.raw_failure list
+  | Shard_lost of string
+      (** every attempt failed, even inline — mirrors a lost pool
+          shard: the merge counts its tests in [r_lost_tests] *)
+
+type stats = {
+  f_workers : int;  (** workers that completed the handshake *)
+  f_shards : int;
+  f_dispatched : int;  (** Run frames sent, duplicates included *)
+  f_redispatched : int;  (** straggler/loss re-dispatches *)
+  f_store_hits : int;  (** shards answered by the store pre-pass *)
+  f_inline : int;  (** shards computed in the supervisor *)
+  f_worker_losses : int;
+  f_wall_s : float;
+}
+
+val run :
+  config -> Campaign.spec -> (int * int) array * shard_outcome array * stats
+(** Execute the campaign across the fabric.  Returns the shard ranges
+    (from {!Plan.partition}), one outcome per shard in shard order,
+    and dispatch statistics.  Always returns: worker loss degrades to
+    re-dispatch, then to inline execution. *)

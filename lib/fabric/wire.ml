@@ -1,0 +1,83 @@
+open Ise_fuzz
+
+let version = 1
+
+type job = { j_shard : int; j_lo : int; j_hi : int }
+
+type request =
+  | Hello of { proto : int; git_rev : string }
+  | Set_spec of Campaign.spec
+  | Run of job
+  | Worker_stats_req
+  | Shutdown
+
+type shard_result = {
+  sr_shard : int;
+  sr_lo : int;
+  sr_hi : int;
+  sr_raw : Campaign.raw_failure list;
+}
+
+type worker_stats = {
+  ws_pid : int;
+  ws_jobs : int;
+  ws_shards_run : int;
+  ws_uptime_s : float;
+}
+
+type response =
+  | Hello_ok of { proto : int; git_rev : string; pid : int }
+  | Spec_ok
+  | Shard_done of shard_result
+  | Shard_failed of { shard : int; reason : string }
+  | Worker_stats of worker_stats
+  | Shutting_down
+  | Error of Ise_serve.Framed.err_kind * string
+
+(* ------------------------------------------------------------------ *)
+(* framed I/O                                                          *)
+
+let write_request fd (req : request) =
+  Ise_pool.Codec.write_frame ~proto:version fd (Ise_pool.Codec.marshal req)
+
+let write_response fd (resp : response) =
+  Ise_pool.Codec.write_frame ~proto:version fd (Ise_pool.Codec.marshal resp)
+
+let read_response ?max_payload fd =
+  match Ise_pool.Codec.read_frame_ext ?max_payload fd with
+  | Stdlib.Error `Eof -> Stdlib.Error "connection closed by worker"
+  | Stdlib.Error (`Corrupt e) ->
+    Stdlib.Error
+      ("corrupt response frame: " ^ Ise_pool.Codec.error_to_string e)
+  | Stdlib.Ok (proto, payload) ->
+    if proto <> version then
+      Stdlib.Error
+        (Printf.sprintf "protocol mismatch: worker speaks v%d, we speak v%d"
+           proto version)
+    else begin
+      match (Ise_pool.Codec.unmarshal payload : response) with
+      | resp -> Stdlib.Ok resp
+      | exception _ -> Stdlib.Error "undecodable response payload"
+    end
+
+(* ------------------------------------------------------------------ *)
+(* shard cache keys and payloads                                       *)
+
+let spec_fp (s : Campaign.spec) =
+  Digest.to_hex (Digest.string (Marshal.to_string s []))
+
+let shard_key (s : Campaign.spec) ~lo ~hi =
+  Ise_serve.Store.key ~test_fp:(spec_fp s)
+    ~cfg_fp:
+      (Ise_serve.Cache.config_fp ~domain:"fuzz-shard"
+         [ string_of_int s.Campaign.s_seed;
+           string_of_int lo;
+           string_of_int hi ])
+
+let shard_payload_to_string (raws : Campaign.raw_failure list) =
+  Ise_pool.Codec.marshal raws
+
+let shard_payload_of_string str =
+  match (Ise_pool.Codec.unmarshal str : Campaign.raw_failure list) with
+  | raws -> Some raws
+  | exception _ -> None

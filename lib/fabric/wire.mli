@@ -1,0 +1,90 @@
+(** The fabric wire protocol: supervisor↔worker messages and shard
+    cache keys.
+
+    Same stack and discipline as {!Ise_serve.Proto}: versioned
+    {!Ise_pool.Codec} frames whose protocol byte carries {!version},
+    [Marshal]ed payloads (safe because supervisor and workers are the
+    same [ise] executable image), a mandatory {!Hello} handshake, and
+    typed {!Ise_serve.Framed.err_kind} error frames for anything
+    malformed.
+
+    A connection carries one campaign: the supervisor sends
+    {!Set_spec} once — the full {!Ise_fuzz.Campaign.spec}, from which
+    the worker re-derives the test stream — and then streams {!Run}
+    jobs that name only shard {e ranges}.  Shipping the spec once and
+    ranges thereafter keeps per-shard frames tiny regardless of
+    campaign size. *)
+
+open Ise_fuzz
+
+val version : int
+(** Fabric protocol version, carried in the Codec protocol byte and in
+    {!Hello}. *)
+
+type job = {
+  j_shard : int;  (** shard index, echoed back in the result *)
+  j_lo : int;  (** global test range [j_lo, j_hi) *)
+  j_hi : int;
+}
+
+type request =
+  | Hello of { proto : int; git_rev : string }
+      (** mandatory first request of every connection *)
+  | Set_spec of Campaign.spec
+      (** the campaign; must precede any {!Run} *)
+  | Run of job
+  | Worker_stats_req
+  | Shutdown  (** ask the worker to drain and exit *)
+
+type shard_result = {
+  sr_shard : int;
+  sr_lo : int;
+  sr_hi : int;
+  sr_raw : Campaign.raw_failure list;  (** in global check order *)
+}
+
+type worker_stats = {
+  ws_pid : int;
+  ws_jobs : int;
+  ws_shards_run : int;
+  ws_uptime_s : float;
+}
+
+type response =
+  | Hello_ok of { proto : int; git_rev : string; pid : int }
+  | Spec_ok
+  | Shard_done of shard_result
+  | Shard_failed of { shard : int; reason : string }
+      (** the shard's checks raised or its pool lost workers; the
+          supervisor re-dispatches *)
+  | Worker_stats of worker_stats
+  | Shutting_down
+  | Error of Ise_serve.Framed.err_kind * string
+      (** typed error frame; the worker closes the connection after
+          sending one *)
+
+(** {1 Framed I/O} *)
+
+val write_request : Unix.file_descr -> request -> unit
+val write_response : Unix.file_descr -> response -> unit
+
+val read_response :
+  ?max_payload:int -> Unix.file_descr -> (response, string) result
+(** Blocking read of one response frame. *)
+
+(** {1 Shard cache keys} *)
+
+val spec_fp : Campaign.spec -> string
+(** Fingerprint of the whole campaign description (params, counts,
+    variants, seed) — the "what program" half of a shard key. *)
+
+val shard_key : Campaign.spec -> lo:int -> hi:int -> string
+(** {!Ise_serve.Store} key of one shard's raw-failure list: spec
+    fingerprint × (seed, range) under the ["fuzz-shard"] domain of
+    {!Ise_serve.Cache.config_fp}, so {!Ise_serve.Cache.store_abi} and
+    the enumeration-engine epoch invalidate shard results exactly like
+    litmus and replay results. *)
+
+val shard_payload_to_string : Campaign.raw_failure list -> string
+val shard_payload_of_string : string -> Campaign.raw_failure list option
+(** [None] if the payload does not decode. *)

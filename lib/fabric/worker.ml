@@ -1,0 +1,205 @@
+open Ise_fuzz
+module Framed = Ise_serve.Framed
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  max_payload : int;
+  log : string -> unit;
+}
+
+let default_config ~socket_path = {
+  socket_path;
+  jobs = 1;
+  max_payload = 64 * 1024 * 1024;
+  log = ignore;
+}
+
+(* Pool jobs carry the spec, so the pool's function is fixed at
+   creation and the workers can be prespawned before any campaign
+   arrives.  Each process (the daemon and every forked pool worker)
+   memoizes the regenerated test stream per spec fingerprint: a
+   campaign's generation cost is paid once per process, not once per
+   shard. *)
+let memo : (string * Ise_litmus.Lit_test.t array) option ref = ref None
+
+let tests_for spec =
+  let fp = Wire.spec_fp spec in
+  match !memo with
+  | Some (fp', tests) when fp' = fp -> tests
+  | _ ->
+    let tests = Campaign.tests_of_spec spec in
+    memo := Some (fp, tests);
+    tests
+
+let check (spec, lo, hi) =
+  Campaign.check_range spec ~tests:(tests_for spec) ~lo ~hi
+
+type t = {
+  cfg : config;
+  framed : Framed.t;
+  started : float;
+  pool :
+    (Campaign.spec * int * int, Campaign.raw_failure list) Ise_pool.Pool.t
+      option;
+  mutable spec : Campaign.spec option;
+  mutable shards_run : int;
+  mutable errors : int;
+}
+
+let create cfg =
+  let framed = Framed.create ~socket_path:cfg.socket_path () in
+  (* fork the pool before any supervisor connects, so pool workers
+     inherit a pristine address space (no connection fds) *)
+  let pool =
+    if cfg.jobs > 1 && Ise_pool.Pool.fork_available then begin
+      let p = Ise_pool.Pool.create ~jobs:cfg.jobs check in
+      Ise_pool.Pool.prespawn p;
+      Some p
+    end
+    else None
+  in
+  {
+    cfg;
+    framed;
+    started = Unix.gettimeofday ();
+    pool;
+    spec = None;
+    shards_run = 0;
+    errors = 0;
+  }
+
+let request_drain t = Framed.request_drain t.framed
+let install_signal_handlers t = Framed.install_signal_handlers t.framed
+
+let stats t = {
+  Wire.ws_pid = Unix.getpid ();
+  ws_jobs = t.cfg.jobs;
+  ws_shards_run = t.shards_run;
+  ws_uptime_s = Unix.gettimeofday () -. t.started;
+}
+
+let send_error t conn kind msg =
+  t.errors <- t.errors + 1;
+  t.cfg.log (Printf.sprintf "error to supervisor: %s (%s)"
+               (Framed.err_name kind) msg);
+  (try Wire.write_response (Framed.fd conn) (Wire.Error (kind, msg))
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  Framed.close_conn t.framed conn
+
+let send t conn resp =
+  try Wire.write_response (Framed.fd conn) resp
+  with Unix.Unix_error _ | Sys_error _ -> Framed.close_conn t.framed conn
+
+(* One shard: fan [lo, hi) out over the persistent pool in contiguous
+   sub-ranges (results concatenated in order keep global check order),
+   or run inline when the pool is disabled.  Any sub-range failure
+   fails the whole shard — the supervisor's re-dispatch handles it. *)
+let run_shard t spec (j : Wire.job) =
+  let sub_results =
+    match t.pool with
+    | Some pool when j.Wire.j_hi - j.Wire.j_lo > 1 ->
+      let parts =
+        Plan.partition ~count:(j.Wire.j_hi - j.Wire.j_lo) ~shards:t.cfg.jobs
+      in
+      let pjobs =
+        Array.map (fun (a, b) -> (spec, j.Wire.j_lo + a, j.Wire.j_lo + b)) parts
+      in
+      let outcomes, _stats = Ise_pool.Pool.run pool pjobs in
+      Array.to_list outcomes
+      |> List.map (function
+           | Ise_pool.Pool.Done raws -> Ok raws
+           | Ise_pool.Pool.Failed err ->
+             Error (Ise_pool.Pool.error_to_string err)
+           | Ise_pool.Pool.Split _ -> assert false (* no bisect here *))
+    | _ -> (
+      match check (spec, j.Wire.j_lo, j.Wire.j_hi) with
+      | raws -> [ Ok raws ]
+      | exception e -> [ Error (Printexc.to_string e) ])
+  in
+  match
+    List.find_map (function Error r -> Some r | Ok _ -> None) sub_results
+  with
+  | Some reason -> Wire.Shard_failed { shard = j.Wire.j_shard; reason }
+  | None ->
+    let raws =
+      List.concat_map (function Ok r -> r | Error _ -> []) sub_results
+    in
+    t.shards_run <- t.shards_run + 1;
+    Wire.Shard_done
+      { sr_shard = j.Wire.j_shard; sr_lo = j.Wire.j_lo; sr_hi = j.Wire.j_hi;
+        sr_raw = raws }
+
+let handle_request t conn (req : Wire.request) =
+  match req with
+  | Wire.Hello { proto; git_rev = _ } ->
+    if proto <> Wire.version then
+      send_error t conn Framed.Unsupported_proto
+        (Printf.sprintf "worker speaks fabric protocol v%d, peer sent v%d"
+           Wire.version proto)
+    else begin
+      Framed.mark_hello conn;
+      send t conn
+        (Wire.Hello_ok
+           { proto = Wire.version; git_rev = Ise_obs.Runinfo.git_rev ();
+             pid = Unix.getpid () })
+    end
+  | _ when not (Framed.hello_done conn) ->
+    send_error t conn Framed.Bad_request "first request must be Hello"
+  | Wire.Set_spec spec -> (
+    (* regenerating the stream validates the spec's generator params *)
+    match tests_for spec with
+    | _tests ->
+      t.spec <- Some spec;
+      t.cfg.log
+        (Printf.sprintf "spec set: seed %d, %d tests" spec.Campaign.s_seed
+           spec.Campaign.s_count);
+      send t conn Wire.Spec_ok
+    | exception e ->
+      send_error t conn Framed.Bad_request
+        ("spec rejected: " ^ Printexc.to_string e))
+  | Wire.Run j -> (
+    match t.spec with
+    | None ->
+      send_error t conn Framed.Bad_request "Run before Set_spec"
+    | Some spec ->
+      if j.Wire.j_lo < 0 || j.Wire.j_hi > spec.Campaign.s_count
+         || j.Wire.j_lo > j.Wire.j_hi
+      then
+        send_error t conn Framed.Bad_request
+          (Printf.sprintf "shard range [%d, %d) outside [0, %d)"
+             j.Wire.j_lo j.Wire.j_hi spec.Campaign.s_count)
+      else begin
+        t.cfg.log
+          (Printf.sprintf "shard %d: tests [%d, %d)" j.Wire.j_shard
+             j.Wire.j_lo j.Wire.j_hi);
+        match run_shard t spec j with
+        | resp -> send t conn resp
+        | exception e ->
+          send_error t conn Framed.Internal (Printexc.to_string e)
+      end)
+  | Wire.Worker_stats_req -> send t conn (Wire.Worker_stats (stats t))
+  | Wire.Shutdown ->
+    send t conn Wire.Shutting_down;
+    t.cfg.log "shutdown requested by supervisor";
+    request_drain t
+
+let serve_forever t =
+  t.cfg.log (Printf.sprintf "fabric worker on %s (pid %d, jobs %d)"
+               t.cfg.socket_path (Unix.getpid ()) t.cfg.jobs);
+  Framed.serve t.framed ~proto:Wire.version ~max_payload:t.cfg.max_payload
+    ~error:(fun conn kind msg -> send_error t conn kind msg)
+    ~request:(fun conn payload ->
+      match (Ise_pool.Codec.unmarshal payload : Wire.request) with
+      | req -> handle_request t conn req
+      | exception _ ->
+        send_error t conn Framed.Malformed_frame
+          "request payload does not decode")
+    ~on_drained:(fun () ->
+      Option.iter Ise_pool.Pool.close t.pool;
+      t.cfg.log "drained; bye")
+
+let run cfg =
+  let t = create cfg in
+  install_signal_handlers t;
+  serve_forever t

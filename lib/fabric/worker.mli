@@ -1,0 +1,42 @@
+(** The [ise fabric worker] daemon: executes shard-range jobs for a
+    fabric supervisor.
+
+    Built on {!Ise_serve.Framed}, so it has the same connection
+    discipline as [ise serve]: Hello-first handshake, typed error
+    frames for malformed/oversized/version-skewed traffic, and
+    SIGTERM/SIGINT drain.  A misbehaving supervisor can never wedge or
+    crash the worker.
+
+    Work model: {!Wire.Set_spec} installs the campaign; each
+    {!Wire.Run} job names a global test range, which the worker checks
+    with {!Ise_fuzz.Campaign.check_range} — fanned out over a
+    persistent {!Ise_pool.Pool} of [jobs] forked processes in
+    contiguous sub-ranges (results concatenated in order), or inline
+    when [jobs <= 1].  The test stream is regenerated from the spec
+    and memoized per spec fingerprint, so only ranges cross the wire.
+    Raw failures go back unshrunk and unlogged: shrinking and
+    reporting are the supervisor's (deterministic) job. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** pool fan-out inside this worker; [<= 1] inline *)
+  max_payload : int;
+  log : string -> unit;
+}
+
+val default_config : socket_path:string -> config
+(** [jobs = 1], 64 MiB max payload, silent log. *)
+
+type t
+
+val create : config -> t
+(** Binds and listens (removing a stale socket file first), and
+    prespawns the pool when [jobs > 1]. *)
+
+val request_drain : t -> unit
+val install_signal_handlers : t -> unit
+val stats : t -> Wire.worker_stats
+
+val serve_forever : t -> unit
+val run : config -> unit
+(** [create] + {!install_signal_handlers} + {!serve_forever}. *)

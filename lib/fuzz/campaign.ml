@@ -251,18 +251,150 @@ type report = {
   r_lost_tests : int;
 }
 
-let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
-    ?(variants = all_variants) ?(variants_per_test = 2) ?(model_checks = true)
-    ?(shrink_evals = 400) ?(jobs = 1) ?job_timeout
-    ?(shard_sizing = `Formula) ?journal_dir ?telemetry
-    ?(log = fun (_ : string) -> ()) ~seed () =
+(* ------------------------------------------------------------------ *)
+(* specs: the shippable description of a campaign                      *)
+
+type spec = {
+  s_params : Gen.params;
+  s_count : int;
+  s_seeds_per_test : int;
+  s_variants : variant list;
+  s_variants_per_test : int;  (* clamped to |s_variants| at build time *)
+  s_model_checks : bool;
+  s_shrink_evals : int;
+  s_seed : int;
+}
+
+let make_spec ~who ?(params = Gen.default_params) ?(count = 100)
+    ?(seeds_per_test = 10) ?(variants = all_variants) ?(variants_per_test = 2)
+    ?(model_checks = true) ?(shrink_evals = 400) ~seed () =
   (match Gen.validate params with
    | Ok () -> ()
-   | Error msg -> invalid_arg ("Campaign.run: " ^ msg));
-  if variants = [] then invalid_arg "Campaign.run: empty variant list";
-  let varr = Array.of_list variants in
+   | Error msg -> invalid_arg (who ^ ": " ^ msg));
+  if variants = [] then invalid_arg (who ^ ": empty variant list");
+  {
+    s_params = params;
+    s_count = count;
+    s_seeds_per_test = seeds_per_test;
+    s_variants = variants;
+    s_variants_per_test = min variants_per_test (List.length variants);
+    s_model_checks = model_checks;
+    s_shrink_evals = shrink_evals;
+    s_seed = seed;
+  }
+
+let spec = make_spec ~who:"Campaign.spec"
+
+(* Generation stays in test order, so the test stream is one pure
+   function of [s_seed] whatever the worker (or machine) count. *)
+let tests_of_spec s =
+  let rng = Rng.create s.s_seed in
+  Array.init s.s_count (fun _ -> Gen.generate (Rng.split rng) s.s_params)
+
+type raw_failure = {
+  rf_test : int;
+  rf_slot : int;
+  rf_kind : check_kind;
+  rf_detail : string;
+}
+
+(* the variant schedule is a function of the global test index *)
+let variant_of s =
+  let varr = Array.of_list s.s_variants in
   let nv = Array.length varr in
-  let variants_per_test = min variants_per_test nv in
+  fun i j -> varr.(((i * s.s_variants_per_test) + j) mod nv)
+
+(* The pure, shippable part of a check: no logging, no shrinking, no
+   telemetry — exactly what a worker process (or remote worker) runs. *)
+let check_test s vof i t =
+  let acc = ref [] in
+  for j = 0 to s.s_variants_per_test - 1 do
+    (* model-vs-model checks don't depend on the simulator knobs,
+       so run them only on the test's first variant *)
+    match
+      failing_check ~seeds:s.s_seeds_per_test
+        ~model_checks:(s.s_model_checks && j = 0) (vof i j) t
+    with
+    | None -> ()
+    | Some (kind, detail) ->
+      acc :=
+        { rf_test = i; rf_slot = j; rf_kind = kind; rf_detail = detail }
+        :: !acc
+  done;
+  List.rev !acc
+
+let check_range s ~tests ~lo ~hi =
+  if lo < 0 || hi > Array.length tests || lo > hi then
+    invalid_arg "Campaign.check_range: bad range";
+  let vof = variant_of s in
+  let acc = ref [] in
+  for i = lo to hi - 1 do
+    acc := List.rev_append (check_test s vof i tests.(i)) !acc
+  done;
+  List.rev !acc
+
+(* Shrinking stays in the supervisor: it is where the failure is
+   logged, minimized, and turned into a record, identically for the
+   sequential, the parallel, and the fabric path. *)
+let process_failure s ~log ~count_failure tests vof rf =
+  let t = tests.(rf.rf_test) in
+  let v = vof rf.rf_test rf.rf_slot in
+  log
+    (Printf.sprintf "FAIL %s under %s [%s]: %s" t.Lit_test.name
+       (variant_name v) (kind_name rf.rf_kind) rf.rf_detail);
+  Ise_obs.Recorder.note "fuzz/failure"
+    ~args:
+      [ ("test", Ise_telemetry.Json.String t.Lit_test.name);
+        ("variant", Ise_telemetry.Json.String (variant_name v));
+        ("kind", Ise_telemetry.Json.String (kind_name rf.rf_kind)) ];
+  let shrunk, steps =
+    Shrink.minimize ~max_evals:s.s_shrink_evals
+      ~keeps_failing:(kind_fails ~seeds:s.s_seeds_per_test v rf.rf_kind)
+      t
+  in
+  if steps > 0 then
+    log
+      (Printf.sprintf "  shrunk %s: %d -> %d instrs in %d steps"
+         t.Lit_test.name
+         (Array.fold_left (fun a is -> a + List.length is) 0
+            t.Lit_test.threads)
+         (Array.fold_left (fun a is -> a + List.length is) 0
+            shrunk.Lit_test.threads)
+         steps);
+  count_failure steps;
+  { f_test = t; f_shrunk = shrunk; f_variant = v; f_kind = rf.rf_kind;
+    f_detail = rf.rf_detail; f_shrink_steps = steps }
+
+let report_of_raw ?(log = fun (_ : string) -> ()) s ~tests ~lost raws =
+  let vof = variant_of s in
+  let failures =
+    List.map (process_failure s ~log ~count_failure:ignore tests vof) raws
+  in
+  {
+    r_seed = s.s_seed;
+    r_tests = s.s_count - lost;
+    r_checks = (s.s_count - lost) * s.s_variants_per_test;
+    r_failures = failures;
+    r_lost_tests = lost;
+  }
+
+let run ?params ?count ?seeds_per_test ?variants ?variants_per_test
+    ?model_checks ?shrink_evals ?(jobs = 1) ?job_timeout
+    ?(shard_sizing = `Formula) ?journal_dir ?telemetry
+    ?(log = fun (_ : string) -> ()) ?range ~seed () =
+  let s =
+    make_spec ~who:"Campaign.run" ?params ?count ?seeds_per_test ?variants
+      ?variants_per_test ?model_checks ?shrink_evals ~seed ()
+  in
+  let lo, hi =
+    match range with
+    | None -> (0, s.s_count)
+    | Some (lo, hi) ->
+      if lo < 0 || hi > s.s_count || lo > hi then
+        invalid_arg "Campaign.run: range outside [0, count]";
+      (lo, hi)
+  in
+  let n = hi - lo in
   let counters =
     Option.map
       (fun sink ->
@@ -285,82 +417,30 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
       counters
   in
   let trace = Option.map Ise_telemetry.Sink.trace telemetry in
-  let rng = Rng.create seed in
-  (* Generation stays in the supervisor and in test order, so the test
-     stream is one pure function of [seed] whatever the worker count. *)
-  let tests =
-    Array.init count (fun _ -> Gen.generate (Rng.split rng) params)
-  in
-  let variant_of i j = varr.(((i * variants_per_test) + j) mod nv) in
-  (* The pure, shippable part of a check: no logging, no shrinking, no
-     telemetry — exactly what a worker process runs. *)
-  let raw_failures i t =
-    let acc = ref [] in
-    for j = 0 to variants_per_test - 1 do
-      (* model-vs-model checks don't depend on the simulator knobs,
-         so run them only on the test's first variant *)
-      match
-        failing_check ~seeds:seeds_per_test
-          ~model_checks:(model_checks && j = 0) (variant_of i j) t
-      with
-      | None -> ()
-      | Some (kind, detail) -> acc := (i, j, kind, detail) :: !acc
-    done;
-    List.rev !acc
-  in
-  (* Shrinking stays in the supervisor: it is where the failure is
-     logged, minimized, and turned into a record, identically for the
-     sequential and the parallel path. *)
-  let process_failure (i, j, kind, detail) =
-    let t = tests.(i) in
-    let v = variant_of i j in
-    log
-      (Printf.sprintf "FAIL %s under %s [%s]: %s" t.Lit_test.name
-         (variant_name v) (kind_name kind) detail);
-    Ise_obs.Recorder.note "fuzz/failure"
-      ~args:
-        [ ("test", Ise_telemetry.Json.String t.Lit_test.name);
-          ("variant", Ise_telemetry.Json.String (variant_name v));
-          ("kind", Ise_telemetry.Json.String (kind_name kind)) ];
-    let shrunk, steps =
-      Shrink.minimize ~max_evals:shrink_evals
-        ~keeps_failing:(kind_fails ~seeds:seeds_per_test v kind)
-        t
-    in
-    if steps > 0 then
-      log
-        (Printf.sprintf "  shrunk %s: %d -> %d instrs in %d steps"
-           t.Lit_test.name
-           (Array.fold_left (fun a is -> a + List.length is) 0
-              t.Lit_test.threads)
-           (Array.fold_left (fun a is -> a + List.length is) 0
-              shrunk.Lit_test.threads)
-           steps);
-    count_failure steps;
-    { f_test = t; f_shrunk = shrunk; f_variant = v; f_kind = kind;
-      f_detail = detail; f_shrink_steps = steps }
-  in
+  let tests = tests_of_spec s in
+  let vof = variant_of s in
+  let proc rf = process_failure s ~log ~count_failure tests vof rf in
   let failures = ref [] in
   let lost = ref 0 in
-  if jobs <= 1 || not Ise_pool.Pool.fork_available || count = 0 then
-    Array.iteri
-      (fun i t ->
-        count_tests 1;
-        Option.iter
-          (fun tr ->
-            Ise_telemetry.Trace.span_begin tr ~cat:"fuzz"
-              ~name:t.Lit_test.name ~tid:0 i)
-          trace;
-        count_checks variants_per_test;
-        List.iter
-          (fun f -> failures := process_failure f :: !failures)
-          (raw_failures i t);
-        Option.iter
-          (fun tr ->
-            Ise_telemetry.Trace.span_end tr ~cat:"fuzz"
-              ~name:t.Lit_test.name ~tid:0 (i + 1))
-          trace)
-      tests
+  if jobs <= 1 || not Ise_pool.Pool.fork_available || n = 0 then
+    for i = lo to hi - 1 do
+      let t = tests.(i) in
+      count_tests 1;
+      Option.iter
+        (fun tr ->
+          Ise_telemetry.Trace.span_begin tr ~cat:"fuzz"
+            ~name:t.Lit_test.name ~tid:0 i)
+        trace;
+      count_checks s.s_variants_per_test;
+      List.iter
+        (fun rf -> failures := proc rf :: !failures)
+        (check_test s vof i t);
+      Option.iter
+        (fun tr ->
+          Ise_telemetry.Trace.span_end tr ~cat:"fuzz"
+            ~name:t.Lit_test.name ~tid:0 (i + 1))
+        trace
+    done
   else begin
     (* contiguous shards keep each test's global index — the variant
        schedule depends on it — and results come back in shard order,
@@ -368,7 +448,7 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
     let worker (base, ts) =
       let acc = ref [] in
       Array.iteri
-        (fun k t -> acc := List.rev_append (raw_failures (base + k) t) !acc)
+        (fun k t -> acc := List.rev_append (check_test s vof (base + k) t) !acc)
         ts;
       List.rev !acc
     in
@@ -387,34 +467,34 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
        sizing policy must hand results back contiguously in global
        test order, or the variant schedule (a function of the global
        index) would silently diverge from the sequential run. *)
-    let next_base = ref 0 in
-    let rec consume s (base, ts) outcome =
+    let next_base = ref lo in
+    let rec consume sh (base, ts) outcome =
       match outcome with
       | Ise_pool.Pool.Done fs ->
         assert (base = !next_base);
         next_base := base + Array.length ts;
         count_tests (Array.length ts);
-        count_checks (Array.length ts * variants_per_test);
-        List.iter (fun f -> failures := process_failure f :: !failures) fs
+        count_checks (Array.length ts * s.s_variants_per_test);
+        List.iter (fun rf -> failures := proc rf :: !failures) fs
       | Ise_pool.Pool.Failed err ->
         assert (base = !next_base);
         next_base := base + Array.length ts;
         lost := !lost + Array.length ts;
         log
-          (Printf.sprintf "LOST shard %d (tests %d-%d): %s" s base
+          (Printf.sprintf "LOST shard %d (tests %d-%d): %s" sh base
              (base + Array.length ts - 1)
              (Ise_pool.Pool.error_to_string err))
-      | Ise_pool.Pool.Split (lo, ro) ->
+      | Ise_pool.Pool.Split (lout, rout) ->
         (* halves mirror [bisect]'s split exactly *)
         let mid = Array.length ts / 2 in
         log
           (Printf.sprintf "SPLIT shard %d (tests %d-%d): timed out, bisected"
-             s base
+             sh base
              (base + Array.length ts - 1));
-        consume s (base, Array.sub ts 0 mid) lo;
-        consume s
+        consume sh (base, Array.sub ts 0 mid) lout;
+        consume sh
           (base + mid, Array.sub ts mid (Array.length ts - mid))
-          ro
+          rout
     in
     (* one persistent pool for the whole campaign: the pilot and main
        batches reuse the same forked workers *)
@@ -423,26 +503,30 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
     in
     let run_shards shards =
       let outcomes, _stats = Ise_pool.Pool.run ~bisect pool shards in
-      Array.iteri (fun s outcome -> consume s shards.(s) outcome) outcomes
+      Array.iteri (fun sh outcome -> consume sh shards.(sh) outcome) outcomes
     in
     Fun.protect ~finally:(fun () -> Ise_pool.Pool.close pool) @@ fun () ->
-    let formula_size = max 1 ((count + (jobs * 4) - 1) / (jobs * 4)) in
+    let formula_size = max 1 ((n + (jobs * 4) - 1) / (jobs * 4)) in
     (* `Auto: run a pilot of single-test shards through the pool with a
        private sink, then size the remaining shards from the measured
        per-test latency (pool/worker<k>/job_ms histograms) *)
     let pilot =
-      match shard_sizing with `Auto -> min count (jobs * 2) | _ -> 0
+      match shard_sizing with `Auto -> min n (jobs * 2) | _ -> 0
     in
     let shard_size =
       if pilot = 0 then
-        match shard_sizing with `Fixed n -> max 1 n | _ -> formula_size
+        match shard_sizing with `Fixed sz -> max 1 sz | _ -> formula_size
       else begin
         let cal = Ise_telemetry.Sink.create () in
-        let pshards = Array.init pilot (fun i -> (i, Array.sub tests i 1)) in
+        let pshards =
+          Array.init pilot (fun i -> (lo + i, Array.sub tests (lo + i) 1))
+        in
         let outcomes, _stats =
           Ise_pool.Pool.run ~telemetry:cal ~bisect pool pshards
         in
-        Array.iteri (fun s outcome -> consume s pshards.(s) outcome) outcomes;
+        Array.iteri
+          (fun sh outcome -> consume sh pshards.(sh) outcome)
+          outcomes;
         let is_job_ms name =
           String.length name > 12
           && String.sub name 0 11 = "pool/worker"
@@ -450,8 +534,8 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
         in
         let total_ms = ref 0.0 and samples = ref 0 in
         List.iter
-          (fun (name, s) ->
-            match s with
+          (fun (name, snap) ->
+            match snap with
             | Ise_telemetry.Registry.Snap_histogram h when is_job_ms name ->
               total_ms := !total_ms +. (h.s_mean *. float_of_int h.s_count);
               samples := !samples + h.s_count
@@ -465,7 +549,7 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
             max 1 (int_of_float (Float.round (target_ms /. mean)))
           in
           (* keep at least two shards per worker so the tail balances *)
-          let cap = max 1 ((count - pilot + (jobs * 2) - 1) / (jobs * 2)) in
+          let cap = max 1 ((n - pilot + (jobs * 2) - 1) / (jobs * 2)) in
           let chosen = min by_latency cap in
           log
             (Printf.sprintf
@@ -476,19 +560,19 @@ let run ?(params = Gen.default_params) ?(count = 100) ?(seeds_per_test = 10)
         end
       end
     in
-    let remaining = count - pilot in
+    let remaining = n - pilot in
     let nshards = (remaining + shard_size - 1) / shard_size in
     let shards =
-      Array.init nshards (fun s ->
-          let base = pilot + (s * shard_size) in
-          (base, Array.sub tests base (min shard_size (count - base))))
+      Array.init nshards (fun sh ->
+          let base = lo + pilot + (sh * shard_size) in
+          (base, Array.sub tests base (min shard_size (hi - base))))
     in
     run_shards shards
   end;
   {
-    r_seed = seed;
-    r_tests = count - !lost;
-    r_checks = (count - !lost) * variants_per_test;
+    r_seed = s.s_seed;
+    r_tests = n - !lost;
+    r_checks = (n - !lost) * s.s_variants_per_test;
     r_failures = List.rev !failures;
     r_lost_tests = !lost;
   }

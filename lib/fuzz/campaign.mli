@@ -111,6 +111,68 @@ type report = {
           retries); always 0 sequentially and on a healthy pool *)
 }
 
+(** {1 Specs: the shippable description of a campaign}
+
+    A {!spec} is everything a worker — a forked pool process or a
+    remote fabric worker — needs to re-derive the campaign's test
+    stream and check schedule: plain data, [Marshal]-safe, no
+    closures.  {!run} is [tests_of_spec] + {!check_range} over
+    [0, count) + {!report_of_raw}; the fabric supervisor runs the same
+    three stages with the middle one distributed, which is why its
+    merged output is byte-identical by construction. *)
+
+type spec = {
+  s_params : Gen.params;
+  s_count : int;
+  s_seeds_per_test : int;
+  s_variants : variant list;
+  s_variants_per_test : int;  (** clamped to [|s_variants|] *)
+  s_model_checks : bool;
+  s_shrink_evals : int;
+  s_seed : int;
+}
+
+val spec :
+  ?params:Gen.params -> ?count:int -> ?seeds_per_test:int ->
+  ?variants:variant list -> ?variants_per_test:int ->
+  ?model_checks:bool -> ?shrink_evals:int ->
+  seed:int -> unit -> spec
+(** Same defaults and validation as {!run}.
+    @raise Invalid_argument on bad generator parameters or an empty
+    variant list. *)
+
+val tests_of_spec : spec -> Lit_test.t array
+(** The campaign's full test stream, in global test order — a pure
+    function of [s_seed] and [s_params]. *)
+
+type raw_failure = {
+  rf_test : int;  (** global test index *)
+  rf_slot : int;  (** variant slot [0 .. s_variants_per_test) *)
+  rf_kind : check_kind;
+  rf_detail : string;
+}
+(** The pure, shippable outcome of a failed check: enough to rebuild
+    the full {!failure} record (test, variant, shrinking) on the
+    supervisor side from the spec alone. *)
+
+val check_range :
+  spec -> tests:Lit_test.t array -> lo:int -> hi:int -> raw_failure list
+(** Run every check of tests [lo .. hi-1] (global indices into
+    [tests_of_spec]); failures come back in global check order.  Pure:
+    no logging, shrinking, or telemetry.
+    @raise Invalid_argument when the range falls outside [tests]. *)
+
+val report_of_raw :
+  ?log:(string -> unit) ->
+  spec -> tests:Lit_test.t array -> lost:int -> raw_failure list -> report
+(** Fold raw failures — concatenated in global check order — into a
+    campaign report: logs each failure, records it with the flight
+    recorder, shrinks it, exactly as {!run} does, so
+    [report_of_raw s ~tests ~lost:0 (check_range s ~tests ~lo:0
+    ~hi:s.s_count)] is byte-identical to [run ~seed ()].  [lost] is
+    the number of tests whose shards never completed
+    ([r_lost_tests]). *)
+
 val run :
   ?params:Gen.params -> ?count:int -> ?seeds_per_test:int ->
   ?variants:variant list -> ?variants_per_test:int ->
@@ -119,6 +181,7 @@ val run :
   ?shard_sizing:[ `Formula | `Fixed of int | `Auto ] ->
   ?journal_dir:string ->
   ?telemetry:Ise_telemetry.Sink.t -> ?log:(string -> unit) ->
+  ?range:int * int ->
   seed:int -> unit -> report
 (** Deterministic in [seed].  [count] (default 100) programs are
     generated; test [i] runs under [variants_per_test] (default 2)
@@ -152,7 +215,15 @@ val run :
 
     [journal_dir] is passed to {!Ise_pool.Pool.map}: forked workers
     keep crash journals there, and each chaos-variant machine mirrors
-    its lifecycle events into them. *)
+    its lifecycle events into them.
+
+    [range] (default [(0, count)]) restricts checking to global test
+    indices [lo .. hi-1] — the [--shard k/N] entry point.  The {e
+    full} test stream is still generated, so the checked tests and
+    their variant schedule are exactly the slice the unsharded run
+    would execute: concatenating the failure streams of a contiguous
+    partition of [0, count) reproduces the unsharded run's stream.
+    [r_tests]/[r_checks] count only the range. *)
 
 (** {1 Corpus integration} *)
 

@@ -1,3 +1,18 @@
+(* ------------------------------------------------------------------ *)
+(* cache-key construction                                              *)
+
+let store_abi = 1
+
+let config_fp ?(enum_epoch = Ise_model.Enum.epoch) ~domain parts =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          (domain :: string_of_int store_abi :: string_of_int enum_epoch
+           :: parts)))
+
+(* ------------------------------------------------------------------ *)
+(* LRU                                                                 *)
+
 type 'a entry = { value : 'a; mutable used : int }
 
 type 'a t = {

@@ -4,7 +4,34 @@
     Capacity is a handful of hundreds of entries, so eviction scans
     for the least-recently-used key instead of maintaining a linked
     list; [find]/[add] stay O(1) amortised and the structure stays
-    trivially correct. *)
+    trivially correct.
+
+    This module also owns the {e one} place cache keys are derived:
+    every store key in the system — litmus batches, corpus replays,
+    fuzz-campaign shards — builds its configuration fingerprint with
+    {!config_fp}, so the invalidation discipline ({!store_abi} and the
+    enumeration-engine epoch) cannot silently diverge between call
+    sites. *)
+
+(** {1 Cache-key construction} *)
+
+val store_abi : int
+(** Result-store compatibility epoch.  Bump whenever the {e meaning or
+    rendering} of any stored result changes — new summary-line format,
+    new pass criterion, simulator semantic fix — so stale entries
+    become unreachable instead of wrong. *)
+
+val config_fp : ?enum_epoch:int -> domain:string -> string list -> string
+(** [config_fp ~domain parts] is the configuration fingerprint
+    [digest (domain | store_abi | enum_epoch | parts...)].  [domain]
+    namespaces the key family (["litmus"], ["replay"],
+    ["fuzz-shard"]); {!store_abi} and the enumeration-engine epoch
+    (default {!Ise_model.Enum.epoch}) ride in every key so either bump
+    invalidates the whole store.  [?enum_epoch] exists for
+    epoch-invalidation tests that must reconstruct the key a previous
+    engine would have used. *)
+
+(** {1 LRU} *)
 
 type 'a t
 

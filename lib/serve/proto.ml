@@ -1,7 +1,7 @@
 open Ise_litmus
 
 let version = 1
-let store_abi = 1
+let store_abi = Cache.store_abi
 
 (* ------------------------------------------------------------------ *)
 (* run parameters and cache keys                                       *)
@@ -36,16 +36,12 @@ let model_name = function
    deliberately excluded. *)
 let config_fp_at ~enum_epoch p =
   let cfg = cfg_of_params p in
-  Digest.to_hex
-    (Digest.string
-       (String.concat "|"
-          [ "litmus"; string_of_int store_abi;
-            string_of_int enum_epoch;
-            Digest.to_hex (Digest.string (Marshal.to_string cfg []));
-            string_of_int p.seeds;
-            string_of_bool p.inject_faults;
-            string_of_bool p.timer_interrupts;
-            model_name p.model ]))
+  Cache.config_fp ~enum_epoch ~domain:"litmus"
+    [ Digest.to_hex (Digest.string (Marshal.to_string cfg []));
+      string_of_int p.seeds;
+      string_of_bool p.inject_faults;
+      string_of_bool p.timer_interrupts;
+      model_name p.model ]
 
 let litmus_key_at ~enum_epoch test params =
   Store.key ~test_fp:(Lit_test.fingerprint test)
@@ -57,17 +53,13 @@ let litmus_key test params =
 let replay_key entry ~seeds =
   let open Ise_fuzz.Corpus in
   let cfg_fp =
-    Digest.to_hex
-      (Digest.string
-         (String.concat "|"
-            [ "replay"; string_of_int store_abi;
-              string_of_int Ise_model.Enum.epoch;
-              entry.e_variant;
-              (match entry.e_expect with
-               | Must_pass -> "pass"
-               | Must_fail -> "fail");
-              entry.e_kind;
-              string_of_int seeds ]))
+    Cache.config_fp ~domain:"replay"
+      [ entry.e_variant;
+        (match entry.e_expect with
+         | Must_pass -> "pass"
+         | Must_fail -> "fail");
+        entry.e_kind;
+        string_of_int seeds ]
   in
   Store.key ~test_fp:(Lit_test.fingerprint entry.e_test) ~cfg_fp
 
@@ -125,19 +117,14 @@ type server_stats = {
   ss_store : store_view option;
 }
 
-type err_kind =
+type err_kind = Framed.err_kind =
   | Unsupported_proto
   | Bad_request
   | Frame_too_large
   | Malformed_frame
   | Internal
 
-let err_name = function
-  | Unsupported_proto -> "unsupported-proto"
-  | Bad_request -> "bad-request"
-  | Frame_too_large -> "frame-too-large"
-  | Malformed_frame -> "malformed-frame"
-  | Internal -> "internal"
+let err_name = Framed.err_name
 
 type response =
   | Hello_ok of { proto : int; git_rev : string }

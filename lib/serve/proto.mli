@@ -117,12 +117,13 @@ type server_stats = {
   ss_store : store_view option;  (** [None] when caching is disabled *)
 }
 
-type err_kind =
+type err_kind = Framed.err_kind =
   | Unsupported_proto
   | Bad_request  (** well-formed frame, invalid at this point (no Hello…) *)
   | Frame_too_large
   | Malformed_frame  (** framing or payload did not decode *)
   | Internal
+      (** shared with every framed daemon — see {!Framed.err_kind} *)
 
 val err_name : err_kind -> string
 

@@ -1,5 +1,4 @@
 open Ise_litmus
-module Codec = Ise_pool.Codec
 
 type config = {
   socket_path : string;
@@ -19,20 +18,11 @@ let default_config ~socket_path = {
   log = ignore;
 }
 
-type conn = {
-  fd : Unix.file_descr;
-  mutable buf : Bytes.t;
-  mutable len : int;  (* valid bytes at the front of [buf] *)
-  mutable hello_done : bool;
-  mutable closed : bool;
-}
-
 type t = {
   cfg : config;
-  listen_fd : Unix.file_descr;
+  framed : Framed.t;
   store : Store.t option;
   started : float;
-  mutable conns : conn list;
   (* persistent worker pool shared by every litmus request: forked
      lazily at the first parallel batch, then reused — the fork cost is
      paid once per daemon, not once per request.  The job carries its
@@ -40,8 +30,6 @@ type t = {
   mutable pool :
     (Proto.run_params * Lit_test.t, Proto.litmus_payload) Ise_pool.Pool.t
       option;
-  mutable draining : bool;
-  mutable connections : int;
   mutable requests : int;
   mutable litmus_runs : int;
   mutable replays : int;
@@ -62,11 +50,7 @@ let run_litmus params test =
   }
 
 let create cfg =
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.set_close_on_exec fd;
-  Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
-  Unix.listen fd 16;
+  let framed = Framed.create ~socket_path:cfg.socket_path () in
   let store =
     Option.map
       (fun dir -> Store.open_ ~mem_entries:cfg.mem_entries ~dir ())
@@ -87,13 +71,10 @@ let create cfg =
   in
   {
     cfg;
-    listen_fd = fd;
+    framed;
     store;
     started = Unix.gettimeofday ();
-    conns = [];
     pool;
-    draining = false;
-    connections = 0;
     requests = 0;
     litmus_runs = 0;
     replays = 0;
@@ -120,7 +101,7 @@ let stats t = {
   Proto.ss_pid = Unix.getpid ();
   ss_uptime_s = Unix.gettimeofday () -. t.started;
   ss_git_rev = Ise_obs.Runinfo.git_rev ();
-  ss_connections = t.connections;
+  ss_connections = Framed.connections t.framed;
   ss_requests = t.requests;
   ss_litmus_runs = t.litmus_runs;
   ss_replays = t.replays;
@@ -128,14 +109,8 @@ let stats t = {
   ss_store = store_view t;
 }
 
-let request_drain t = t.draining <- true
-
-let install_signal_handlers t =
-  let drain = Sys.Signal_handle (fun _ -> request_drain t) in
-  Sys.set_signal Sys.sigterm drain;
-  Sys.set_signal Sys.sigint drain;
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ -> ())
+let request_drain t = Framed.request_drain t.framed
+let install_signal_handlers t = Framed.install_signal_handlers t.framed
 
 (* ------------------------------------------------------------------ *)
 (* request handling                                                    *)
@@ -234,26 +209,19 @@ let handle_replay t entry seeds =
     (result, false)
 
 (* ------------------------------------------------------------------ *)
-(* connection plumbing                                                 *)
-
-let close_conn t conn =
-  if not conn.closed then begin
-    conn.closed <- true;
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-    t.conns <- List.filter (fun c -> c != conn) t.conns
-  end
+(* connection plumbing (the generic loop lives in Framed)              *)
 
 let send_error t conn kind msg =
   t.errors <- t.errors + 1;
   t.cfg.log (Printf.sprintf "error to client: %s (%s)"
                (Proto.err_name kind) msg);
-  (try Proto.write_response conn.fd (Proto.Error (kind, msg))
+  (try Proto.write_response (Framed.fd conn) (Proto.Error (kind, msg))
    with Unix.Unix_error _ | Sys_error _ -> ());
-  close_conn t conn
+  Framed.close_conn t.framed conn
 
 let send t conn resp =
-  try Proto.write_response conn.fd resp
-  with Unix.Unix_error _ | Sys_error _ -> close_conn t conn
+  try Proto.write_response (Framed.fd conn) resp
+  with Unix.Unix_error _ | Sys_error _ -> Framed.close_conn t.framed conn
 
 let handle_request t conn (req : Proto.request) =
   t.requests <- t.requests + 1;
@@ -264,12 +232,12 @@ let handle_request t conn (req : Proto.request) =
         (Printf.sprintf "daemon speaks protocol v%d, client sent v%d"
            Proto.version proto)
     else begin
-      conn.hello_done <- true;
+      Framed.mark_hello conn;
       send t conn
         (Proto.Hello_ok
            { proto = Proto.version; git_rev = Ise_obs.Runinfo.git_rev () })
     end
-  | _ when not conn.hello_done ->
+  | _ when not (Framed.hello_done conn) ->
     send_error t conn Proto.Bad_request "first request must be Hello"
   | Proto.Litmus { tests; params } -> (
     match handle_litmus t tests params with
@@ -287,98 +255,24 @@ let handle_request t conn (req : Proto.request) =
     t.cfg.log "shutdown requested by client";
     request_drain t
 
-(* Peel complete frames off the connection buffer; stop on Need_more,
-   close with a typed error frame on anything corrupt. *)
-let drain_frames t conn =
-  let continue = ref true in
-  while !continue && not conn.closed do
-    match
-      Codec.decode ~max_payload:t.cfg.max_payload conn.buf ~pos:0
-        ~len:conn.len
-    with
-    | Codec.Need_more -> continue := false
-    | Codec.Corrupt (Codec.Oversized n) ->
-      send_error t conn Proto.Frame_too_large
-        (Printf.sprintf "claimed payload of %d bytes exceeds the %d-byte cap"
-           n t.cfg.max_payload)
-    | Codec.Corrupt (Codec.Unsupported_version v) ->
-      send_error t conn Proto.Unsupported_proto
-        (Printf.sprintf "unsupported frame version %d" v)
-    | Codec.Corrupt e ->
-      send_error t conn Proto.Malformed_frame (Codec.error_to_string e)
-    | Codec.Frame { payload; proto; consumed } ->
-      Bytes.blit conn.buf consumed conn.buf 0 (conn.len - consumed);
-      conn.len <- conn.len - consumed;
-      if proto <> Proto.version then
-        send_error t conn Proto.Unsupported_proto
-          (Printf.sprintf "frame protocol byte %d, daemon speaks v%d" proto
-             Proto.version)
-      else begin
-        match (Codec.unmarshal payload : Proto.request) with
-        | req -> handle_request t conn req
-        | exception _ ->
-          send_error t conn Proto.Malformed_frame
-            "request payload does not decode"
-      end
-  done
-
-let read_chunk = Bytes.create 65536
-
-let handle_readable t conn =
-  match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
-  | 0 -> close_conn t conn (* clean EOF *)
-  | n ->
-    if conn.len + n > Bytes.length conn.buf then begin
-      let cap = max (conn.len + n) (2 * Bytes.length conn.buf) in
-      let bigger = Bytes.create cap in
-      Bytes.blit conn.buf 0 bigger 0 conn.len;
-      conn.buf <- bigger
-    end;
-    Bytes.blit read_chunk 0 conn.buf conn.len n;
-    conn.len <- conn.len + n;
-    drain_frames t conn
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-    close_conn t conn
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-
-let accept t =
-  match Unix.accept t.listen_fd with
-  | fd, _ ->
-    Unix.set_close_on_exec fd;
-    t.connections <- t.connections + 1;
-    t.conns <-
-      { fd; buf = Bytes.create 4096; len = 0; hello_done = false;
-        closed = false }
-      :: t.conns
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-
 let serve_forever t =
   t.cfg.log (Printf.sprintf "listening on %s (pid %d)" t.cfg.socket_path
                (Unix.getpid ()));
-  while not t.draining do
-    let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
-    match Unix.select fds [] [] 1.0 with
-    | readable, _, _ ->
-      List.iter
-        (fun fd ->
-          if t.draining then ()
-          else if fd = t.listen_fd then accept t
-          else
-            match List.find_opt (fun c -> c.fd = fd) t.conns with
-            | Some conn -> handle_readable t conn
-            | None -> ())
-        readable
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done;
-  List.iter (fun c -> close_conn t c) t.conns;
-  (match t.pool with
-   | Some p ->
-     Ise_pool.Pool.close p;
-     t.pool <- None
-   | None -> ());
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
-  t.cfg.log "drained; bye"
+  Framed.serve t.framed ~proto:Proto.version ~max_payload:t.cfg.max_payload
+    ~error:(fun conn kind msg -> send_error t conn kind msg)
+    ~request:(fun conn payload ->
+      match (Ise_pool.Codec.unmarshal payload : Proto.request) with
+      | req -> handle_request t conn req
+      | exception _ ->
+        send_error t conn Proto.Malformed_frame
+          "request payload does not decode")
+    ~on_drained:(fun () ->
+      (match t.pool with
+       | Some p ->
+         Ise_pool.Pool.close p;
+         t.pool <- None
+       | None -> ());
+      t.cfg.log "drained; bye")
 
 let run cfg =
   let t = create cfg in

@@ -14,6 +14,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("pool", Test_pool.suite);
       ("serve", Test_serve.suite);
+      ("fabric", Test_fabric.suite);
       ("chaos", Test_chaos.suite);
       ("obs", Test_obs.suite);
       ("integration", Test_integration.suite);

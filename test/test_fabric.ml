@@ -1,0 +1,456 @@
+(* Tests for Ise_fabric: partition/EWMA plans, shard cache keys, the
+   --shard range-union property, worker protocol discipline under
+   malformed traffic, and the headline guarantee — a campaign run
+   across 4 simulated workers (including one killed mid-campaign, and
+   one answered entirely by the result store) merges to output
+   byte-identical to a single-host run.  Fabric cases fork worker
+   daemons and are skipped on platforms without [Unix.fork]. *)
+
+module Codec = Ise_pool.Codec
+module Framed = Ise_serve.Framed
+module Store = Ise_serve.Store
+module Campaign = Ise_fuzz.Campaign
+module Corpus = Ise_fuzz.Corpus
+module Plan = Ise_fabric.Plan
+module Wire = Ise_fabric.Wire
+module Supervisor = Ise_fabric.Supervisor
+module Merge = Ise_fabric.Merge
+module Sim = Ise_fabric.Sim
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let tmp_dir () =
+  let d = Filename.temp_file "ise-fabric" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let requires_fork () = Sim.available
+
+let with_injected_bug f =
+  Ise_model.Axiom.fuzz_unsound_strict_ppo := true;
+  Fun.protect
+    ~finally:(fun () -> Ise_model.Axiom.fuzz_unsound_strict_ppo := false)
+    f
+
+(* byte-level fingerprint of a report: counts plus every failure
+   rendered as the corpus artifact it would be saved as *)
+let fingerprint ~seed (r : Campaign.report) =
+  ( r.Campaign.r_tests,
+    r.Campaign.r_checks,
+    r.Campaign.r_lost_tests,
+    List.map
+      (fun f -> Corpus.to_string (Campaign.entry_of_failure ~seed f))
+      r.Campaign.r_failures )
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+
+let test_plan_partition () =
+  List.iter
+    (fun (count, shards) ->
+      let ranges = Plan.partition ~count ~shards in
+      checkb "no empty shard" true
+        (Array.for_all (fun (lo, hi) -> hi > lo) ranges);
+      (* tiles [0, count) contiguously in order *)
+      let expected_lo = ref 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          checki "contiguous" !expected_lo lo;
+          expected_lo := hi)
+        ranges;
+      checki "covers count" count !expected_lo;
+      (* balanced: sizes differ by at most one *)
+      let sizes = Array.map (fun (lo, hi) -> hi - lo) ranges in
+      let mn = Array.fold_left min max_int sizes in
+      let mx = Array.fold_left max 0 sizes in
+      checkb "balanced" true (mx - mn <= 1))
+    [ (10, 3); (3, 10); (16, 4); (1, 1); (7, 7); (100, 9) ];
+  checki "count=0 is empty" 0
+    (Array.length (Plan.partition ~count:0 ~shards:4))
+
+let test_plan_parse () =
+  (match Plan.parse_shard "2/5" with
+   | Ok (k, n) ->
+     checki "k is 0-based" 1 k;
+     checki "n" 5 n
+   | Error msg -> Alcotest.failf "2/5 rejected: %s" msg);
+  List.iter
+    (fun s ->
+      match Plan.parse_shard s with
+      | Ok _ -> Alcotest.failf "%S accepted" s
+      | Error _ -> ())
+    [ ""; "0/5"; "6/5"; "1/0"; "a/b"; "1"; "1/2/3"; "-1/4" ]
+
+let test_plan_ewma () =
+  let e = Plan.ewma_create () in
+  checkb "deadline infinite before first sample" true
+    (Plan.deadline e = infinity);
+  Plan.observe e 1.0;
+  checkb "first sample sets the mean" true (Plan.mean e = 1.0);
+  checkb "deadline = factor * mean" true
+    (Plan.deadline ~factor:4.0 ~floor:0.1 e = 4.0);
+  Plan.observe e 3.0;
+  checkb "ewma moved toward the new sample" true
+    (Plan.mean e > 1.0 && Plan.mean e < 3.0);
+  checki "samples counted" 2 (Plan.samples e);
+  let tiny = Plan.ewma_create () in
+  Plan.observe tiny 0.001;
+  checkb "floor bounds the deadline" true
+    (Plan.deadline ~floor:0.5 tiny = 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* shard cache keys                                                    *)
+
+let test_shard_keys () =
+  let spec = Campaign.spec ~count:10 ~seed:1 () in
+  let k = Wire.shard_key spec ~lo:0 ~hi:5 in
+  checks "key is deterministic" k (Wire.shard_key spec ~lo:0 ~hi:5);
+  checkb "range changes the key" true (k <> Wire.shard_key spec ~lo:5 ~hi:10);
+  let spec' = Campaign.spec ~count:10 ~seed:2 () in
+  checkb "seed changes the key" true (k <> Wire.shard_key spec' ~lo:0 ~hi:5);
+  let spec'' = Campaign.spec ~count:10 ~seeds_per_test:3 ~seed:1 () in
+  checkb "config changes the key" true
+    (k <> Wire.shard_key spec'' ~lo:0 ~hi:5);
+  (* the fuzz-shard domain rides the shared key helper, so an
+     enumeration-engine epoch bump invalidates shard results exactly
+     like litmus and replay results *)
+  let fp e =
+    Ise_serve.Cache.config_fp ~enum_epoch:e ~domain:"fuzz-shard" [ "x" ]
+  in
+  checkb "epoch bump invalidates" true (fp 1 <> fp 2)
+
+(* ------------------------------------------------------------------ *)
+(* --shard: the union property                                         *)
+
+let test_range_union () =
+  with_injected_bug (fun () ->
+      let variant =
+        match Campaign.variant_named "wc+same+nofaults" with
+        | Some v -> v
+        | None -> Alcotest.fail "variant wc+same+nofaults missing"
+      in
+      let count = 12 in
+      let run ?range () =
+        Campaign.run ~count ~seeds_per_test:8 ~variants:[ variant ] ?range
+          ~seed:5 ()
+      in
+      let full = run () in
+      checkb "campaign finds the injected bug" true
+        (full.Campaign.r_failures <> []);
+      let parts =
+        List.map
+          (fun k -> run ~range:(Plan.shard_range ~count ~shards:3 k) ())
+          [ 0; 1; 2 ]
+      in
+      checki "tests sum to the full run" full.Campaign.r_tests
+        (List.fold_left (fun a r -> a + r.Campaign.r_tests) 0 parts);
+      checki "checks sum to the full run" full.Campaign.r_checks
+        (List.fold_left (fun a r -> a + r.Campaign.r_checks) 0 parts);
+      let arts r =
+        List.map
+          (fun f -> Corpus.to_string (Campaign.entry_of_failure ~seed:5 f))
+          r.Campaign.r_failures
+      in
+      checkb "failure artifacts concatenate to the full run" true
+        (List.concat_map arts parts = arts full))
+
+(* ------------------------------------------------------------------ *)
+(* worker protocol discipline                                          *)
+
+let raw_connect socket =
+  let rec attempt n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> fd
+    | exception Unix.Unix_error _ when n > 0 ->
+      Unix.close fd;
+      ignore (Unix.select [] [] [] 0.05);
+      attempt (n - 1)
+    | exception e ->
+      Unix.close fd;
+      raise e
+  in
+  attempt 100
+
+let expect_err fd kind =
+  match Wire.read_response fd with
+  | Ok (Wire.Error (k, _)) ->
+    checks "typed error frame" (Framed.err_name kind) (Framed.err_name k)
+  | Ok _ -> Alcotest.fail "expected a typed error frame"
+  | Error msg -> Alcotest.failf "no error frame: %s" msg
+
+let hello fd =
+  Wire.write_request fd
+    (Wire.Hello { proto = Wire.version; git_rev = "test" });
+  match Wire.read_response fd with
+  | Ok (Wire.Hello_ok _) -> ()
+  | Ok _ -> Alcotest.fail "expected Hello_ok"
+  | Error msg -> Alcotest.failf "hello failed: %s" msg
+
+let with_sim ?(n = 1) ?jobs f =
+  let dir = tmp_dir () in
+  let sim = Sim.start ?jobs ~dir ~n () in
+  Fun.protect ~finally:(fun () -> Sim.stop sim) (fun () -> f sim)
+
+let test_worker_hello_discipline () =
+  if not (requires_fork ()) then ()
+  else
+    with_sim (fun sim ->
+        let socket = List.hd (Sim.sockets sim) in
+        (* any request before Hello is refused *)
+        let fd = raw_connect socket in
+        Wire.write_request fd Wire.Worker_stats_req;
+        expect_err fd Framed.Bad_request;
+        Unix.close fd;
+        (* a future protocol version is refused by name *)
+        let fd = raw_connect socket in
+        Wire.write_request fd
+          (Wire.Hello { proto = Wire.version + 1; git_rev = "test" });
+        expect_err fd Framed.Unsupported_proto;
+        Unix.close fd;
+        (* Run before Set_spec is a Bad_request, not a crash *)
+        let fd = raw_connect socket in
+        hello fd;
+        Wire.write_request fd (Wire.Run { j_shard = 0; j_lo = 0; j_hi = 1 });
+        expect_err fd Framed.Bad_request;
+        Unix.close fd)
+
+let test_worker_malformed_traffic () =
+  if not (requires_fork ()) then ()
+  else
+    with_sim (fun sim ->
+        let socket = List.hd (Sim.sockets sim) in
+        (* garbage bytes → typed Malformed_frame error *)
+        let fd = raw_connect socket in
+        let garbage = "this is not a frame at all.............." in
+        ignore (Unix.write_substring fd garbage 0 (String.length garbage));
+        expect_err fd Framed.Malformed_frame;
+        Unix.close fd;
+        (* a version-skewed frame (wrong protocol byte) is refused *)
+        let fd = raw_connect socket in
+        let skewed =
+          Codec.encode ~proto:(Wire.version + 9) (Codec.marshal Wire.Shutdown)
+        in
+        ignore (Unix.write_substring fd skewed 0 (String.length skewed));
+        expect_err fd Framed.Unsupported_proto;
+        Unix.close fd;
+        (* an honest header claiming an absurd payload is refused from
+           the header alone *)
+        let fd = raw_connect socket in
+        let header =
+          String.sub
+            (Codec.encode ~proto:Wire.version (String.make 256 'x'))
+            0 Codec.header_bytes
+        in
+        let header =
+          (* rewrite the BE32 length to 256 MiB, beyond max_payload *)
+          let b = Bytes.of_string header in
+          Bytes.set_int32_be b
+            (Codec.header_bytes - 4)
+            (Int32.of_int (256 * 1024 * 1024));
+          Bytes.to_string b
+        in
+        ignore (Unix.write_substring fd header 0 (String.length header));
+        expect_err fd Framed.Frame_too_large;
+        Unix.close fd;
+        (* a truncated frame followed by a hangup is just a dropped
+           connection; the worker survives and serves the next one *)
+        let fd = raw_connect socket in
+        let frame =
+          Codec.encode ~proto:Wire.version
+            (Codec.marshal Wire.Worker_stats_req)
+        in
+        ignore (Unix.write_substring fd frame 0 (String.length frame / 2));
+        Unix.close fd;
+        let fd = raw_connect socket in
+        hello fd;
+        let spec = Campaign.spec ~count:2 ~seeds_per_test:2 ~seed:1 () in
+        Wire.write_request fd (Wire.Set_spec spec);
+        (match Wire.read_response fd with
+         | Ok Wire.Spec_ok -> ()
+         | Ok _ | Error _ -> Alcotest.fail "Set_spec refused");
+        Wire.write_request fd (Wire.Run { j_shard = 0; j_lo = 0; j_hi = 2 });
+        (match Wire.read_response fd with
+         | Ok (Wire.Shard_done sr) ->
+           checki "echoes the shard id" 0 sr.Wire.sr_shard
+         | Ok _ | Error _ -> Alcotest.fail "worker did not survive abuse");
+        (* a Run range outside the spec is a Bad_request *)
+        Wire.write_request fd (Wire.Run { j_shard = 1; j_lo = 0; j_hi = 99 });
+        expect_err fd Framed.Bad_request;
+        Unix.close fd)
+
+(* ------------------------------------------------------------------ *)
+(* the fabric: byte-identity with a single-host run                    *)
+
+let failing_spec () =
+  let variant =
+    match Campaign.variant_named "wc+same+nofaults" with
+    | Some v -> v
+    | None -> Alcotest.fail "variant wc+same+nofaults missing"
+  in
+  Campaign.spec ~count:12 ~seeds_per_test:8 ~variants:[ variant ] ~seed:5 ()
+
+let reference_run (s : Campaign.spec) ~log =
+  Campaign.run ~count:s.Campaign.s_count
+    ~seeds_per_test:s.Campaign.s_seeds_per_test
+    ~variants:s.Campaign.s_variants
+    ~variants_per_test:s.Campaign.s_variants_per_test
+    ~model_checks:s.Campaign.s_model_checks
+    ~shrink_evals:s.Campaign.s_shrink_evals ~log ~seed:s.Campaign.s_seed ()
+
+let test_fabric_identity () =
+  if not (requires_fork ()) then ()
+  else
+    with_injected_bug (fun () ->
+        let spec = failing_spec () in
+        let ref_log = ref [] in
+        let reference =
+          reference_run spec ~log:(fun l -> ref_log := l :: !ref_log)
+        in
+        checkb "campaign finds the injected bug" true
+          (reference.Campaign.r_failures <> []);
+        with_sim ~n:4 (fun sim ->
+            let cfg =
+              Supervisor.default_config ~workers:(Sim.sockets sim)
+            in
+            let ranges, outcomes, stats = Supervisor.run cfg spec in
+            checki "all four workers connected" 4 stats.Supervisor.f_workers;
+            checki "nothing ran inline" 0 stats.Supervisor.f_inline;
+            let fab_log = ref [] in
+            let merged =
+              Merge.merge
+                ~log:(fun l -> fab_log := l :: !fab_log)
+                spec ~ranges ~outcomes
+            in
+            checkb "merged report is byte-identical" true
+              (fingerprint ~seed:5 merged.Merge.m_report
+              = fingerprint ~seed:5 reference);
+            checkb "log stream is identical" true (!fab_log = !ref_log);
+            (* corpus artifacts the CLI would save are the same bytes *)
+            checkb "corpus entries identical" true
+              (List.map Corpus.to_string merged.Merge.m_entries
+              = List.map
+                  (fun f ->
+                    Corpus.to_string (Campaign.entry_of_failure ~seed:5 f))
+                  reference.Campaign.r_failures);
+            (* with run_id/time pinned, the ledger record a fabric run
+               appends equals the single-host `ise fuzz run` record *)
+            let pinned r =
+              Merge.ledger_record ~run_id:"rid" ~git_rev:"rev" ~time:0. spec
+                r
+            in
+            checkb "ledger record identical" true
+              (pinned merged.Merge.m_report = pinned reference)))
+
+let test_fabric_kill_mid_campaign () =
+  if not (requires_fork ()) then ()
+  else
+    let spec = Campaign.spec ~count:16 ~seeds_per_test:4 ~seed:11 () in
+    let reference = reference_run spec ~log:ignore in
+    with_sim ~n:4 (fun sim ->
+        let killed = ref false in
+        let cfg =
+          {
+            (Supervisor.default_config ~workers:(Sim.sockets sim)) with
+            Supervisor.shards = Some 16;
+            on_shard_done =
+              (fun _ ->
+                (* SIGKILL a worker as soon as the first shard lands:
+                   its in-flight shards must be re-dispatched to the
+                   survivors without changing the merged output *)
+                if not !killed then begin
+                  killed := true;
+                  Sim.kill sim 3
+                end);
+          }
+        in
+        let ranges, outcomes, stats = Supervisor.run cfg spec in
+        checkb "the loss was detected" true
+          (stats.Supervisor.f_worker_losses >= 1);
+        checkb "every shard completed" true
+          (Array.for_all
+             (function Supervisor.Shard_ok _ -> true | _ -> false)
+             outcomes);
+        let merged = Merge.merge spec ~ranges ~outcomes in
+        checkb "killed-worker run is byte-identical" true
+          (fingerprint ~seed:11 merged.Merge.m_report
+          = fingerprint ~seed:11 reference))
+
+let test_fabric_store_cache () =
+  if not (requires_fork ()) then ()
+  else
+    let spec = Campaign.spec ~count:8 ~seeds_per_test:4 ~seed:3 () in
+    let dir = tmp_dir () in
+    let once ~workers =
+      let store = Store.open_ ~dir:(Filename.concat dir "store") () in
+      let cfg =
+        { (Supervisor.default_config ~workers) with
+          Supervisor.store = Some store;
+          (* pinned: the default scales with the worker count, and the
+             two runs of this test use different fabrics *)
+          shards = Some 8;
+        }
+      in
+      Supervisor.run cfg spec
+    in
+    let r1, o1, s1 =
+      with_sim ~n:2 (fun sim -> once ~workers:(Sim.sockets sim))
+    in
+    checki "cold run hits nothing" 0 s1.Supervisor.f_store_hits;
+    (* the second campaign is answered entirely by the store: no
+       workers are even needed *)
+    let r2, o2, s2 = once ~workers:[] in
+    checki "warm run is all hits" s2.Supervisor.f_shards
+      s2.Supervisor.f_store_hits;
+    checki "nothing dispatched" 0 s2.Supervisor.f_dispatched;
+    let m1 = Merge.merge spec ~ranges:r1 ~outcomes:o1 in
+    let m2 = Merge.merge spec ~ranges:r2 ~outcomes:o2 in
+    checkb "store round-trip preserves the report" true
+      (fingerprint ~seed:3 m1.Merge.m_report
+      = fingerprint ~seed:3 m2.Merge.m_report)
+
+let test_fabric_inline_fallback () =
+  (* no fork needed: every worker is unreachable, so the supervisor
+     degrades to computing each shard inline — the campaign still
+     completes, byte-identical *)
+  let spec = Campaign.spec ~count:6 ~seeds_per_test:3 ~seed:9 () in
+  let reference = reference_run spec ~log:ignore in
+  let cfg =
+    {
+      (Supervisor.default_config ~workers:[ "/nonexistent/fabric.sock" ]) with
+      Supervisor.connect_retries = 0;
+    }
+  in
+  let ranges, outcomes, stats = Supervisor.run cfg spec in
+  checki "no worker connected" 0 stats.Supervisor.f_workers;
+  checki "every shard ran inline" stats.Supervisor.f_shards
+    stats.Supervisor.f_inline;
+  let merged = Merge.merge spec ~ranges ~outcomes in
+  checkb "inline fallback is byte-identical" true
+    (fingerprint ~seed:9 merged.Merge.m_report = fingerprint ~seed:9 reference)
+
+let suite =
+  [
+    Alcotest.test_case "plan: partition tiles and balances" `Quick
+      test_plan_partition;
+    Alcotest.test_case "plan: k/N parsing" `Quick test_plan_parse;
+    Alcotest.test_case "plan: ewma straggler deadline" `Quick test_plan_ewma;
+    Alcotest.test_case "wire: shard keys invalidate" `Quick test_shard_keys;
+    Alcotest.test_case "campaign: shard ranges union to the full run" `Slow
+      test_range_union;
+    Alcotest.test_case "worker: hello and spec discipline" `Quick
+      test_worker_hello_discipline;
+    Alcotest.test_case "worker: malformed traffic, typed errors" `Quick
+      test_worker_malformed_traffic;
+    Alcotest.test_case "fabric: 4 workers = single host, byte-identical"
+      `Slow test_fabric_identity;
+    Alcotest.test_case "fabric: worker killed mid-campaign" `Slow
+      test_fabric_kill_mid_campaign;
+    Alcotest.test_case "fabric: store answers a repeated campaign" `Quick
+      test_fabric_store_cache;
+    Alcotest.test_case "fabric: dead fabric degrades to inline" `Quick
+      test_fabric_inline_fallback;
+  ]
