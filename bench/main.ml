@@ -947,16 +947,18 @@ let fabric_bench () =
       Ise_fuzz.Campaign.run ~count:24 ~seeds_per_test:8 ~seed ()
     in
     let t_ref = Unix.gettimeofday () -. t0 in
-    let fabric_run n =
+    let fabric_run ?netchaos n =
       let dir = Filename.temp_file "ise_fabric_bench" "" in
       Sys.remove dir;
-      let sim = Ise_fabric.Sim.start ~dir ~n () in
+      let sim = Ise_fabric.Sim.start ?netchaos ~dir ~n () in
       let cfg =
         Ise_fabric.Supervisor.default_config
           ~workers:(Ise_fabric.Sim.sockets sim)
       in
       let t0 = Unix.gettimeofday () in
-      let ranges, outcomes, stats = Ise_fabric.Supervisor.run cfg spec in
+      let ranges, outcomes, stats =
+        Ise_fabric.Supervisor.run cfg (Ise_fabric.Wire.Fuzz spec)
+      in
       let wall = Unix.gettimeofday () -. t0 in
       Ise_fabric.Sim.stop sim;
       let merged = Ise_fabric.Merge.merge spec ~ranges ~outcomes in
@@ -964,8 +966,14 @@ let fabric_bench () =
     in
     let r1, s1, t1 = fabric_run 1 in
     let r4, s4, t4 = fabric_run 4 in
+    (* the resilience gate: the same campaign through storm-profile
+       wire-fault proxies must still merge byte-identically *)
+    let rs, ss, ts =
+      fabric_run ~netchaos:(seed, Ise_fabric.Netchaos.storm) 4
+    in
     let id1 = fingerprint r1 = fingerprint reference in
     let id4 = fingerprint r4 = fingerprint reference in
+    let ids = fingerprint rs = fingerprint reference in
     let t = Table.create ~headers:[ "Workers"; "Wall (s)"; "Speedup"; "Dispatched" ] in
     Table.add_row t
       [ "local"; Table.cell_f ~decimals:2 t_ref; Table.cell_f ~decimals:2 1.;
@@ -978,33 +986,63 @@ let fabric_bench () =
       [ "4"; Table.cell_f ~decimals:2 t4;
         Table.cell_f ~decimals:2 (t_ref /. t4);
         string_of_int s4.Ise_fabric.Supervisor.f_dispatched ];
+    Table.add_row t
+      [ "4+storm"; Table.cell_f ~decimals:2 ts;
+        Table.cell_f ~decimals:2 (t_ref /. ts);
+        string_of_int ss.Ise_fabric.Supervisor.f_dispatched ];
     Table.print t;
     Printf.printf
       "merged reports byte-identical to single-host: 1 worker %b, 4 workers \
-       %b (%d tests, %d checks, %d failures)\n"
-      id1 id4 reference.Ise_fuzz.Campaign.r_tests
+       %b, 4 workers under netchaos storm %b (%d tests, %d checks, %d \
+       failures)\n"
+      id1 id4 ids reference.Ise_fuzz.Campaign.r_tests
       reference.Ise_fuzz.Campaign.r_checks
       (List.length reference.Ise_fuzz.Campaign.r_failures);
+    Printf.printf
+      "storm run: %d dispatched (%d re-dispatch), %d worker loss(es), %d \
+       rejoin(s), %d ping(s), %d heartbeat loss(es)\n"
+      ss.Ise_fabric.Supervisor.f_dispatched
+      ss.Ise_fabric.Supervisor.f_redispatched
+      ss.Ise_fabric.Supervisor.f_worker_losses
+      ss.Ise_fabric.Supervisor.f_rejoins
+      ss.Ise_fabric.Supervisor.f_pings
+      ss.Ise_fabric.Supervisor.f_hb_losses;
     emit_bench "fabric"
       (Ise_telemetry.Json.Obj
          [ ("shards", Ise_telemetry.Json.Int s4.Ise_fabric.Supervisor.f_shards);
            ("local_wall_s", Ise_telemetry.Json.Float t_ref);
            ("w1_wall_s", Ise_telemetry.Json.Float t1);
            ("w4_wall_s", Ise_telemetry.Json.Float t4);
+           ("storm_wall_s", Ise_telemetry.Json.Float ts);
            ("speedup_w4", Ise_telemetry.Json.Float (t_ref /. t4));
            ( "w4_dispatched",
              Ise_telemetry.Json.Int s4.Ise_fabric.Supervisor.f_dispatched );
            ( "w4_redispatched",
              Ise_telemetry.Json.Int s4.Ise_fabric.Supervisor.f_redispatched );
+           ( "w4_store_hits",
+             Ise_telemetry.Json.Int s4.Ise_fabric.Supervisor.f_store_hits );
            ( "w4_worker_losses",
              Ise_telemetry.Json.Int s4.Ise_fabric.Supervisor.f_worker_losses );
+           ( "storm_dispatched",
+             Ise_telemetry.Json.Int ss.Ise_fabric.Supervisor.f_dispatched );
+           ( "storm_redispatched",
+             Ise_telemetry.Json.Int ss.Ise_fabric.Supervisor.f_redispatched );
+           ( "storm_worker_losses",
+             Ise_telemetry.Json.Int ss.Ise_fabric.Supervisor.f_worker_losses );
+           ( "storm_rejoins",
+             Ise_telemetry.Json.Int ss.Ise_fabric.Supervisor.f_rejoins );
+           ( "storm_pings",
+             Ise_telemetry.Json.Int ss.Ise_fabric.Supervisor.f_pings );
+           ( "storm_hb_losses",
+             Ise_telemetry.Json.Int ss.Ise_fabric.Supervisor.f_hb_losses );
            ("identical_w1", Ise_telemetry.Json.Bool id1);
-           ("identical_w4", Ise_telemetry.Json.Bool id4) ]);
-    if not (id1 && id4) then begin
+           ("identical_w4", Ise_telemetry.Json.Bool id4);
+           ("identical_storm", Ise_telemetry.Json.Bool ids) ]);
+    if not (id1 && id4 && ids) then begin
       Printf.eprintf
         "[bench] fabric: merged report diverged from single-host (1 worker \
-         %b, 4 workers %b)!\n%!"
-        id1 id4;
+         %b, 4 workers %b, storm %b)!\n%!"
+        id1 id4 ids;
       exit 1
     end
   end

@@ -919,7 +919,7 @@ let chaos_inject_bug_arg =
 let chaos_run_cmd =
   let run seed trials cores stores profiles_spec telemetry_out trace_out
       snapshot_out journal_out journal_dir ledger corpus_dir no_save inject
-      jobs shard =
+      jobs shard workers spawn spawn_jobs =
     let profiles =
       match profiles_of_spec profiles_spec with
       | Ok ps -> ps
@@ -934,6 +934,17 @@ let chaos_run_cmd =
     let trials =
       match trials with Some t -> t | None -> List.length profiles
     in
+    let fabric = workers <> [] || spawn > 0 in
+    if fabric && shard <> None then begin
+      Printf.eprintf
+        "--shard slices one host's trials; fabric dispatch already shards \
+         — use one or the other\n";
+      exit 1
+    end;
+    if spawn > 0 && not Ise_fabric.Sim.available then begin
+      Printf.eprintf "--spawn needs fork(), unavailable on this platform\n";
+      exit 1
+    end;
     with_handler_bug inject @@ fun () ->
     let parr = Array.of_list profiles in
     let sink = sink_for (trace_out, telemetry_out) in
@@ -960,7 +971,56 @@ let chaos_run_cmd =
         ~stores_per_core:stores ~seed:s ~profile ()
     in
     let reports =
-      if jobs <= 1 || not Ise_pool.Pool.fork_available then
+      if fabric then begin
+        (* dispatch the trial stream across fabric workers: the worker
+           re-derives each trial's (seed, profile) from the spec and
+           its global index, so the merged report stream is
+           byte-identical to the local run above *)
+        if sink <> None then
+          Printf.eprintf
+            "note: fabric dispatch records no per-trial telemetry; use \
+             -j 1 without --workers/--spawn for complete traces\n%!";
+        let cs =
+          Ise_chaos.Chaos_run.spec ~trials ~cores ~stores ~seed ~profiles ()
+        in
+        let sim =
+          if spawn = 0 then None
+          else
+            let dir =
+              Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "ise-chaos-fabric-%d" (Unix.getpid ()))
+            in
+            Some (Ise_fabric.Sim.start ~jobs:spawn_jobs ~dir ~n:spawn ())
+        in
+        let workers =
+          workers
+          @ (match sim with None -> [] | Some s -> Ise_fabric.Sim.sockets s)
+        in
+        let cfg = Ise_fabric.Supervisor.default_config ~workers in
+        let ranges, outcomes, stats =
+          Ise_fabric.Supervisor.run cfg (Ise_fabric.Wire.Chaos cs)
+        in
+        (match sim with None -> () | Some s -> Ise_fabric.Sim.stop s);
+        let reps, lost =
+          Ise_fabric.Merge.merge_chaos ~log:prerr_endline ~ranges ~outcomes ()
+        in
+        Printf.eprintf
+          "[fabric] %d worker(s), %d shard(s): %d dispatched, %d inline, \
+           %d worker loss(es), %d rejoin(s), %.2fs\n%!"
+          stats.Ise_fabric.Supervisor.f_workers
+          stats.Ise_fabric.Supervisor.f_shards
+          stats.Ise_fabric.Supervisor.f_dispatched
+          stats.Ise_fabric.Supervisor.f_inline
+          stats.Ise_fabric.Supervisor.f_worker_losses
+          stats.Ise_fabric.Supervisor.f_rejoins
+          stats.Ise_fabric.Supervisor.f_wall_s;
+        if lost > 0 then
+          Printf.eprintf "warning: %d trial(s) lost to failed shards\n%!"
+            lost;
+        reps
+      end
+      else if jobs <= 1 || not Ise_pool.Pool.fork_available then
         Array.map (fun spec -> run_one ?telemetry:sink spec) specs
       else begin
         if sink <> None then
@@ -1195,6 +1255,24 @@ let chaos_run_cmd =
          & info [ "no-save" ]
              ~doc:"With --inject-bug: do not write failure artifacts.")
   in
+  let workers_arg =
+    Arg.(value & opt (list string) []
+         & info [ "workers" ] ~docv:"SOCK,..."
+             ~doc:"Dispatch trials across fabric worker sockets (each an \
+                   $(b,ise fabric worker)); the merged report stream is \
+                   byte-identical to the local run.")
+  in
+  let spawn_arg =
+    Arg.(value & opt int 0
+         & info [ "spawn" ] ~docv:"N"
+             ~doc:"Additionally fork N local fabric workers for the run's \
+                   duration.")
+  in
+  let spawn_jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "spawn-jobs" ] ~docv:"N"
+             ~doc:"Pool fan-out inside each --spawn worker.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Seeded fault-injection stress runs with the invariant watchdog \
@@ -1203,7 +1281,8 @@ let chaos_run_cmd =
           $ profiles_arg $ telemetry_out_arg $ trace_out_arg
           $ snapshot_out_arg $ journal_out_arg $ journal_dir_arg $ ledger_arg
           $ corpus_arg $ nosave_arg $ chaos_inject_bug_arg $ jobs_arg
-          $ shard_arg ~what:"trial")
+          $ shard_arg ~what:"trial" $ workers_arg $ spawn_arg
+          $ spawn_jobs_arg)
 
 let chaos_replay_cmd =
   let run corpus_dir files seeds inject =
@@ -1740,8 +1819,14 @@ let store_cmd =
 (* ------------------------------------------------------------------ *)
 (* fabric: distributed campaigns                                       *)
 
+let netchaos_profile_names () =
+  String.concat "\n  "
+    (List.map
+       (fun p -> p.Ise_fabric.Netchaos.name)
+       (Ise_fabric.Netchaos.calm :: Ise_fabric.Netchaos.all))
+
 let fabric_worker_cmd =
-  let run socket jobs quiet =
+  let run socket jobs proto quiet =
     let log =
       if quiet then ignore
       else fun msg -> Printf.eprintf "[ise-fabric-worker] %s\n%!" msg
@@ -1749,6 +1834,7 @@ let fabric_worker_cmd =
     Ise_fabric.Worker.run
       { (Ise_fabric.Worker.default_config ~socket_path:socket) with
         jobs;
+        proto;
         log;
       };
     0
@@ -1758,6 +1844,12 @@ let fabric_worker_cmd =
          & info [ "socket" ] ~docv:"PATH"
              ~doc:"Unix domain socket this worker listens on.")
   in
+  let proto_arg =
+    Arg.(value & opt int Ise_fabric.Wire.version
+         & info [ "proto" ] ~docv:"V"
+             ~doc:"Highest fabric protocol version to speak (compatibility \
+                   testing: 1 behaves like a pre-heartbeat worker).")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No lifecycle logging.")
   in
@@ -1766,11 +1858,76 @@ let fabric_worker_cmd =
        ~doc:"Run a fabric worker daemon: executes campaign shard ranges for \
              a supervisor over a Unix socket, fanned out over a persistent \
              process pool")
-    Term.(const run $ socket_arg $ jobs_arg $ quiet_arg)
+    Term.(const run $ socket_arg $ jobs_arg $ proto_arg $ quiet_arg)
+
+let fabric_chaos_proxy_cmd =
+  let run listen upstream seed profile quiet =
+    match Ise_fabric.Netchaos.named profile with
+    | None ->
+      Printf.eprintf "unknown netchaos profile %S; valid names:\n  %s\n"
+        profile
+        (netchaos_profile_names ());
+      1
+    | Some p ->
+      let log =
+        if quiet then None
+        else Some (fun msg -> Printf.eprintf "[ise-netchaos] %s\n%!" msg)
+      in
+      let nc = Ise_fabric.Netchaos.create ~seed ~profile:p in
+      let proxy =
+        Ise_fabric.Netchaos.create_proxy ?log ~listen ~upstream nc
+      in
+      let stop (_ : int) = Ise_fabric.Netchaos.stop_proxy proxy in
+      (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+       with Invalid_argument _ -> ());
+      (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+       with Invalid_argument _ -> ());
+      Ise_fabric.Netchaos.run_proxy proxy;
+      if not quiet then
+        List.iter
+          (fun (k, v) -> Printf.eprintf "%s=%d\n%!" k v)
+          (Ise_fabric.Netchaos.counts nc);
+      0
+  in
+  let listen_arg =
+    Arg.(value & opt string ".ise-netchaos.sock"
+         & info [ "listen" ] ~docv:"PATH"
+             ~doc:"Socket the supervisor connects to.")
+  in
+  let upstream_arg =
+    Arg.(required & opt (some string) None
+         & info [ "upstream" ] ~docv:"PATH"
+             ~doc:"The real worker's socket.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Fault-schedule seed: (seed, profile) replays the same \
+                   fault pattern against the same traffic.")
+  in
+  let profile_arg =
+    Arg.(value & opt string "storm"
+         & info [ "profile" ] ~docv:"NAME"
+             ~doc:"Netchaos profile (calm, drop, delay, dup, reorder, \
+                   corrupt, reset, stall, storm).")
+  in
+  let quiet_arg =
+    Arg.(value & flag
+         & info [ "q"; "quiet" ] ~doc:"No fault logging or final counters.")
+  in
+  Cmd.v
+    (Cmd.info "chaos-proxy"
+       ~doc:"Interpose a deterministic wire-fault injector between a fabric \
+             supervisor and a worker: drops, delays, duplicates, reorders, \
+             corrupts, resets, and stalls framed traffic on a seeded \
+             schedule; SIGTERM stops it and prints injection counters")
+    Term.(const run $ listen_arg $ upstream_arg $ seed_arg $ profile_arg
+          $ quiet_arg)
 
 let fabric_run_cmd =
   let run seed count seeds_per_test variants_spec workers spawn spawn_jobs
-      shards window store_dir corpus_dir no_save ledger quiet =
+      shards window store_dir corpus_dir no_save ledger require_workers
+      netchaos netchaos_seed soak_rejoin quiet =
     let variants =
       match variants_of_spec variants_spec with
       | Ok vs -> vs
@@ -1785,6 +1942,28 @@ let fabric_run_cmd =
     end;
     if spawn > 0 && not Ise_fabric.Sim.available then begin
       Printf.eprintf "--spawn needs fork(), unavailable on this platform\n";
+      exit 1
+    end;
+    let netchaos =
+      match netchaos with
+      | None -> None
+      | Some name -> (
+        match Ise_fabric.Netchaos.named name with
+        | Some p -> Some (netchaos_seed, p)
+        | None ->
+          Printf.eprintf "unknown netchaos profile %S; valid names:\n  %s\n"
+            name
+            (netchaos_profile_names ());
+          exit 1)
+    in
+    if netchaos <> None && spawn = 0 then begin
+      Printf.eprintf
+        "--netchaos proxies --spawn workers; for external --workers run \
+         $(b,ise fabric chaos-proxy) in front of each\n";
+      exit 1
+    end;
+    if soak_rejoin && spawn = 0 then begin
+      Printf.eprintf "--soak-rejoin needs --spawn workers to kill\n";
       exit 1
     end;
     let log =
@@ -1802,7 +1981,9 @@ let fabric_run_cmd =
             (Filename.get_temp_dir_name ())
             (Printf.sprintf "ise-fabric-%d" (Unix.getpid ()))
         in
-        Some (Ise_fabric.Sim.start ~jobs:spawn_jobs ~log ~dir ~n:spawn ())
+        Some
+          (Ise_fabric.Sim.start ~jobs:spawn_jobs ~log ?netchaos ~dir
+             ~n:spawn ())
       end
     in
     let workers =
@@ -1814,15 +1995,60 @@ let fabric_run_cmd =
         (fun dir -> Ise_serve.Store.open_ ~dir ())
         store_dir
     in
+    (* --soak-rejoin: on the first completed shard, SIGKILL spawned
+       worker 0 and restart it — the registry must re-admit it while
+       the campaign is still running *)
+    let rejoin_fired = ref false in
+    let on_shard_done (_ : int) =
+      if soak_rejoin && not !rejoin_fired then begin
+        rejoin_fired := true;
+        match sim with
+        | Some s ->
+          log "soak: SIGKILL worker 0, restarting it";
+          Ise_fabric.Sim.kill s 0;
+          Ise_fabric.Sim.restart s 0
+        | None -> ()
+      end
+    in
+    let liveness =
+      if soak_rejoin || netchaos <> None then
+        (* probe eagerly so the killed worker is re-admitted fast, but
+           bound each probe's handshake: under heavy wire faults a
+           5 s timeout per blocking probe gives the soak a heavy wall-
+           clock tail *)
+        { Ise_fabric.Supervisor.default_liveness with
+          rejoin_backoff_s = 0.5;
+          handshake_timeout_s = 2.0;
+          (* results get lost on a faulty wire far more often than on a
+             healthy one — resend much sooner than the default 30 s *)
+          dispatch_timeout_s = 5.0;
+        }
+      else Ise_fabric.Supervisor.default_liveness
+    in
     let cfg =
       { (Ise_fabric.Supervisor.default_config ~workers) with
         Ise_fabric.Supervisor.window;
         shards;
         store;
+        liveness;
+        require_workers;
+        await_rejoin_s = (if soak_rejoin then 30.0 else 0.0);
+        on_shard_done;
         log;
       }
     in
-    let ranges, outcomes, stats = Ise_fabric.Supervisor.run cfg spec in
+    let ranges, outcomes, stats =
+      match Ise_fabric.Supervisor.run cfg (Ise_fabric.Wire.Fuzz spec) with
+      | result -> result
+      | exception Ise_fabric.Supervisor.Insufficient_workers { wanted; got }
+        ->
+        (match sim with None -> () | Some s -> Ise_fabric.Sim.stop s);
+        Printf.eprintf
+          "fabric: %d worker(s) required (--require-workers), only %d \
+           completed the handshake; refusing to degrade to inline\n%!"
+          wanted got;
+        exit 3
+    in
     (match sim with None -> () | Some s -> Ise_fabric.Sim.stop s);
     let merged =
       Ise_fabric.Merge.merge ~log:prerr_endline spec ~ranges ~outcomes
@@ -1830,7 +2056,8 @@ let fabric_run_cmd =
     let report = merged.Ise_fabric.Merge.m_report in
     Printf.eprintf
       "[fabric] %d worker(s), %d shard(s): %d dispatched (%d re-dispatch), \
-       %d store hit(s), %d inline, %d worker loss(es), %.2fs\n%!"
+       %d store hit(s), %d inline, %d worker loss(es), %d rejoin(s), \
+       %d ping(s), %d heartbeat loss(es), %.2fs\n%!"
       stats.Ise_fabric.Supervisor.f_workers
       stats.Ise_fabric.Supervisor.f_shards
       stats.Ise_fabric.Supervisor.f_dispatched
@@ -1838,7 +2065,16 @@ let fabric_run_cmd =
       stats.Ise_fabric.Supervisor.f_store_hits
       stats.Ise_fabric.Supervisor.f_inline
       stats.Ise_fabric.Supervisor.f_worker_losses
+      stats.Ise_fabric.Supervisor.f_rejoins
+      stats.Ise_fabric.Supervisor.f_pings
+      stats.Ise_fabric.Supervisor.f_hb_losses
       stats.Ise_fabric.Supervisor.f_wall_s;
+    if soak_rejoin && stats.Ise_fabric.Supervisor.f_rejoins = 0 then begin
+      Printf.eprintf
+        "soak: worker 0 was killed and restarted but no rejoin was \
+         observed within the 30s grace\n%!";
+      exit 1
+    end;
     (match ledger with
      | None -> ()
      | Some path ->
@@ -1921,6 +2157,33 @@ let fabric_run_cmd =
     Arg.(value & flag
          & info [ "no-save" ] ~doc:"Do not write failure artifacts.")
   in
+  let require_workers_arg =
+    Arg.(value & opt int 0
+         & info [ "require-workers" ] ~docv:"N"
+             ~doc:"Fail (exit 3) unless at least N workers complete the \
+                   handshake, instead of silently degrading to an inline \
+                   run.")
+  in
+  let netchaos_arg =
+    Arg.(value & opt (some string) None
+         & info [ "netchaos" ] ~docv:"PROFILE"
+             ~doc:"Interpose a deterministic wire-fault proxy (drop, delay, \
+                   duplicate, reorder, corrupt, reset, stall — or 'storm') \
+                   in front of every --spawn worker; the merged report must \
+                   still be byte-identical.")
+  in
+  let netchaos_seed_arg =
+    Arg.(value & opt int 42
+         & info [ "netchaos-seed" ] ~docv:"N"
+             ~doc:"Fault-schedule seed for --netchaos.")
+  in
+  let soak_rejoin_arg =
+    Arg.(value & flag
+         & info [ "soak-rejoin" ]
+             ~doc:"After the first shard completes, SIGKILL spawned worker \
+                   0 and restart it; fail unless the supervisor re-admits \
+                   it (the nightly soak's rejoin assertion).")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No dispatch logging.")
   in
@@ -1931,14 +2194,16 @@ let fabric_run_cmd =
     Term.(const run $ seed_arg $ count_arg $ fuzz_seeds_arg $ variants_arg
           $ workers_arg $ spawn_arg $ spawn_jobs_arg $ shards_arg
           $ window_arg $ store_arg $ corpus_arg $ nosave_arg $ ledger_arg
-          $ quiet_arg)
+          $ require_workers_arg $ netchaos_arg $ netchaos_seed_arg
+          $ soak_rejoin_arg $ quiet_arg)
 
 let fabric_cmd =
   Cmd.group
     (Cmd.info "fabric"
        ~doc:"Distributed campaign fabric: shard-range workers, a \
-             straggler-aware supervisor, and a deterministic merge")
-    [ fabric_worker_cmd; fabric_run_cmd ]
+             straggler-aware supervisor, deterministic wire-fault \
+             injection, and a deterministic merge")
+    [ fabric_worker_cmd; fabric_run_cmd; fabric_chaos_proxy_cmd ]
 
 (* ------------------------------------------------------------------ *)
 

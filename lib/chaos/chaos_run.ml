@@ -203,6 +203,56 @@ let pp_report ppf r =
   Format.fprintf ppf "@]"
 
 (* ------------------------------------------------------------------ *)
+(* Campaign specs: the spec/check_range split that lets stress trials
+   dispatch across the fabric with a byte-identical merge              *)
+
+type spec = {
+  cs_seed : int;
+  cs_trials : int;
+  cs_cores : int;
+  cs_stores : int;
+  cs_profiles : string list;
+}
+
+let spec ?trials ?(cores = 4) ?(stores = 120) ~seed ~profiles () =
+  if profiles = [] then invalid_arg "Chaos_run.spec: no profiles";
+  let names = List.map (fun p -> p.Profile.name) profiles in
+  let trials = match trials with Some t -> t | None -> List.length names in
+  { cs_seed = seed; cs_trials = trials; cs_cores = cores;
+    cs_stores = stores; cs_profiles = names }
+
+let spec_profiles s =
+  let rec resolve acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | n :: rest -> (
+      match Profile.named n with
+      | Some p -> resolve (p :: acc) rest
+      | None -> Error n)
+  in
+  if s.cs_profiles = [] then Error "(empty profile list)"
+  else resolve [] s.cs_profiles
+
+(* Trial t of a spec: the profile rotates, the seed advances — fixed
+   by the trial's *global* index, so any slicing of [0, cs_trials)
+   reproduces exactly the trials a sequential run would execute. *)
+let trial_of_spec s t =
+  match spec_profiles s with
+  | Error n -> invalid_arg ("Chaos_run.trial_of_spec: unknown profile " ^ n)
+  | Ok parr -> (s.cs_seed + t, parr.(t mod Array.length parr))
+
+let check_range s ~lo ~hi =
+  if lo < 0 || hi > s.cs_trials || lo > hi then
+    invalid_arg "Chaos_run.check_range: range out of bounds";
+  match spec_profiles s with
+  | Error n -> invalid_arg ("Chaos_run.check_range: unknown profile " ^ n)
+  | Ok parr ->
+    List.init (hi - lo) (fun i ->
+        let t = lo + i in
+        let profile = parr.(t mod Array.length parr) in
+        run_stress ~ncores:s.cs_cores ~stores_per_core:s.cs_stores
+          ~seed:(s.cs_seed + t) ~profile ())
+
+(* ------------------------------------------------------------------ *)
 (* Chaos-hardened litmus checking                                      *)
 
 let chaos_seed (p : Profile.t) (t : Ise_litmus.Lit_test.t) =

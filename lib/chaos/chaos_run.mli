@@ -44,6 +44,45 @@ val pp_report : Format.formatter -> report -> unit
 (** Deterministic single-line-per-field rendering, used by the CLI's
     byte-identical determinism contract. *)
 
+(** {1 Campaign specs}
+
+    The chaos counterpart of {!Ise_fuzz.Campaign.spec}/[check_range]:
+    a plain-data description of a whole stress campaign, from which
+    any process can recompute any contiguous trial range.  Trial [t]'s
+    [(seed, profile)] pair is a function of its {e global} index
+    ([cs_seed + t], profiles rotating), so concatenating disjoint
+    ranges in order is byte-identical to running [0, cs_trials)
+    sequentially — what lets [ise chaos run] dispatch over the fabric
+    with a deterministic merge. *)
+
+type spec = {
+  cs_seed : int;
+  cs_trials : int;
+  cs_cores : int;  (** cores per stress machine *)
+  cs_stores : int;  (** stores per core *)
+  cs_profiles : string list;
+      (** profile {e names} (plain marshalable data); resolved via
+          {!Profile.named} at check time *)
+}
+
+val spec :
+  ?trials:int -> ?cores:int -> ?stores:int -> seed:int ->
+  profiles:Profile.t list -> unit -> spec
+(** Defaults: one trial per profile, 4 cores, 120 stores.
+    @raise Invalid_argument on an empty profile list. *)
+
+val spec_profiles : spec -> (Profile.t array, string) result
+(** Resolve the profile names; [Error name] on an unknown one — how a
+    fabric worker validates a spec before accepting it. *)
+
+val trial_of_spec : spec -> int -> int * Profile.t
+(** [(seed, profile)] of global trial [t]. *)
+
+val check_range : spec -> lo:int -> hi:int -> report list
+(** Run trials [lo, hi)] in global order.  Like {!run_stress}, never
+    raises on a chaotic machine — only on a malformed spec
+    ([Invalid_argument]). *)
+
 val cfg_with_profile : Profile.t -> Ise_sim.Config.t -> Ise_sim.Config.t
 (** Applies the profile's FSB sizing/overflow-policy overrides. *)
 

@@ -18,7 +18,10 @@ let merge ?(log = fun (_ : string) -> ()) spec ~ranges ~outcomes =
     (fun sh outcome ->
       let lo, hi = ranges.(sh) in
       match outcome with
-      | Supervisor.Shard_ok rs -> raws := List.rev_append rs !raws
+      | Supervisor.Shard_ok (Wire.Fuzz_raw rs) ->
+        raws := List.rev_append rs !raws
+      | Supervisor.Shard_ok (Wire.Chaos_reports _) ->
+        invalid_arg "Merge.merge: chaos payload in a fuzz campaign"
       | Supervisor.Shard_lost reason ->
         lost := !lost + (hi - lo);
         log
@@ -35,6 +38,30 @@ let merge ?(log = fun (_ : string) -> ()) spec ~ranges ~outcomes =
         (Campaign.entry_of_failure ~seed:spec.Campaign.s_seed)
         report.Campaign.r_failures;
   }
+
+let merge_chaos ?(log = fun (_ : string) -> ()) ~ranges ~outcomes () =
+  if Array.length ranges <> Array.length outcomes then
+    invalid_arg "Merge.merge_chaos: ranges/outcomes length mismatch";
+  let lost = ref 0 in
+  let reports = ref [] in
+  (* same contiguity argument as [merge]: shard order = global trial
+     order, so the concatenation is the report stream a sequential
+     chaos run would print *)
+  Array.iteri
+    (fun sh outcome ->
+      let lo, hi = ranges.(sh) in
+      match outcome with
+      | Supervisor.Shard_ok (Wire.Chaos_reports rs) ->
+        reports := List.rev_append rs !reports
+      | Supervisor.Shard_ok (Wire.Fuzz_raw _) ->
+        invalid_arg "Merge.merge_chaos: fuzz payload in a chaos campaign"
+      | Supervisor.Shard_lost reason ->
+        lost := !lost + (hi - lo);
+        log
+          (Printf.sprintf "LOST shard %d (trials %d-%d): %s" sh lo (hi - 1)
+             reason))
+    outcomes;
+  (Array.of_list (List.rev !reports), !lost)
 
 let ledger_record ?run_id ?git_rev ?time ?(label = "fabric")
     (spec : Campaign.spec) (r : Campaign.report) =

@@ -35,10 +35,21 @@ val merge :
   ranges:(int * int) array ->
   outcomes:Supervisor.shard_outcome array ->
   merged
-(** Fold shard outcomes (in shard order) through the campaign
+(** Fold fuzz shard outcomes (in shard order) through the campaign
     finalizer.  Lost shards contribute their test count to
-    [r_lost_tests] and a [LOST] log line, mirroring lost pool
-    shards. *)
+    [r_lost_tests] and a [LOST] log line, mirroring lost pool shards.
+    @raise Invalid_argument on a chaos payload. *)
+
+val merge_chaos :
+  ?log:(string -> unit) ->
+  ranges:(int * int) array ->
+  outcomes:Supervisor.shard_outcome array ->
+  unit ->
+  Ise_chaos.Chaos_run.report array * int
+(** Concatenate chaos shard reports in shard order — global trial
+    order, exactly the stream a sequential [ise chaos run] produces —
+    plus the number of lost trials.
+    @raise Invalid_argument on a fuzz payload. *)
 
 val ledger_record :
   ?run_id:string -> ?git_rev:string -> ?time:float -> ?label:string ->

@@ -1,0 +1,139 @@
+(** Deterministic wire-fault injection for the fabric: the network
+    counterpart of {!Ise_chaos.Plane}.
+
+    A seeded injector decides, per frame and per fresh connection,
+    whether to drop, delay, duplicate, reorder, or corrupt traffic,
+    reset the connection, or stall a new connection before its first
+    byte.  Every fault category draws from its own split PRNG stream
+    (SplitMix64, same discipline as [Plane]), so enabling one class
+    never perturbs another's schedule and a [(seed, profile)] pair
+    replays the same fault pattern against the same traffic.
+
+    The injector is interposed as an {e fd proxy}: a process (or an
+    in-process loop, for tests) that listens on one Unix socket,
+    connects on to the real worker, peels {!Ise_pool.Codec} frames off
+    each direction, and forwards them through the fault schedule.
+    Injecting at frame granularity above a reliable byte stream — not
+    at the OS packet layer — keeps the faults deterministic and
+    portable, and every fault lands on a protocol-meaningful boundary:
+    exactly the failure surface [Supervisor] claims to survive.
+
+    Byte corruption flips payload bytes only, leaving framing intact:
+    the corruption must be caught by {!Wire}'s digest envelope (the
+    hard case), not by the frame parser. *)
+
+(** {1 Profiles} *)
+
+type profile = {
+  name : string;
+  doc : string;
+  drop_pct : int;  (** drop a frame outright *)
+  delay_pct : int;  (** hold a frame (and the frames behind it) *)
+  delay_ms_max : int;
+  dup_pct : int;  (** deliver a frame twice *)
+  reorder_pct : int;  (** a frame swaps places with the next one *)
+  corrupt_pct : int;  (** flip payload bytes, framing intact *)
+  corrupt_bytes_max : int;
+  reset_pct : int;  (** close both sides mid-stream *)
+  stall_pct : int;  (** freeze a fresh connection (handshake stall) *)
+  stall_ms : int;
+}
+
+val calm : profile
+(** Everything off — proves the proxy itself is transparent. *)
+
+val drop : profile
+val delay : profile
+val dup : profile
+val reorder : profile
+val corrupt : profile
+val reset : profile
+val stall : profile
+
+val storm : profile
+(** Every fault class at once — the soak profile. *)
+
+val all : profile list
+(** The single-fault profiles plus {!storm} (not {!calm}). *)
+
+val named : string -> profile option
+
+(** {1 Frame mutation generators}
+
+    Shared with the codec-hostility property tests: ways to damage an
+    encoded frame. *)
+
+module Mutate : sig
+  type kind =
+    | Flip  (** XOR random bytes anywhere in the frame *)
+    | Truncate
+    | Extend  (** append garbage *)
+    | Skew_version  (** randomize the Codec version byte *)
+    | Skew_proto  (** randomize the protocol byte *)
+    | Oversize  (** claim a multi-gigabyte payload length *)
+
+  val apply : Ise_util.Rng.t -> kind -> string -> string
+  val mutate : Ise_util.Rng.t -> string -> string
+  (** [apply] with a random kind. *)
+
+  val corrupt_payload : Ise_util.Rng.t -> max_bytes:int -> string -> string
+  (** Flip 1..[max_bytes] bytes strictly inside the payload region, so
+      the frame still parses but the payload is damaged. *)
+end
+
+(** {1 The injector} *)
+
+type t
+
+val create : seed:int -> profile:profile -> t
+val profile : t -> profile
+
+val counts : t -> (string * int) list
+(** Injection counters ([netchaos/drops], [netchaos/dups], …), the
+    {!Ise_chaos.Plane.counts} idiom. *)
+
+type action =
+  | Pass
+  | Drop
+  | Delay of float  (** seconds *)
+  | Duplicate
+  | Reorder
+  | Corrupt of string  (** the mutated frame bytes to forward instead *)
+  | Reset
+
+val frame_action : t -> string -> action
+(** Decide the fate of one encoded frame.  First category hit wins;
+    counters are bumped. *)
+
+val conn_stall : t -> float option
+(** Decide whether a fresh connection stalls, and for how long. *)
+
+(** {1 The fd proxy} *)
+
+type proxy
+
+val create_proxy :
+  ?max_payload:int -> ?log:(string -> unit) -> listen:string ->
+  upstream:string -> t -> proxy
+(** Bind [listen] (replacing any stale socket) and forward every
+    accepted connection to [upstream] through the injector. *)
+
+val proxy_step : proxy -> unit
+(** One select round (≤ 20 ms): accept, read, inject, release due
+    frames.  For in-process use by tests that need the proxy and the
+    supervisor in one thread of control. *)
+
+val run_proxy : proxy -> unit
+(** Loop {!proxy_step} until {!stop_proxy}; then close every pair and
+    unlink the listening socket. *)
+
+val stop_proxy : proxy -> unit
+
+val spawn :
+  ?max_payload:int -> ?log:(string -> unit) -> listen:string ->
+  upstream:string -> seed:int -> profile:profile -> unit -> int
+(** Fork a proxy child ([run_proxy] with SIGTERM/SIGINT wired to a
+    clean stop); returns its pid. *)
+
+val stop_spawned : int -> unit
+(** SIGTERM, wait briefly, escalate to SIGKILL, reap. *)

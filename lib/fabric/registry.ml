@@ -1,0 +1,57 @@
+type status = Never | Alive | Down
+
+type entry = {
+  e_path : string;
+  mutable e_status : status;
+  mutable e_last_attempt : float;
+}
+
+type t = {
+  entries : entry list;
+  mutable rejoins : int;
+}
+
+let create paths =
+  let seen = Hashtbl.create 8 in
+  let entries =
+    List.filter_map
+      (fun p ->
+        if Hashtbl.mem seen p then None
+        else begin
+          Hashtbl.add seen p ();
+          Some { e_path = p; e_status = Never; e_last_attempt = neg_infinity }
+        end)
+      paths
+  in
+  { entries; rejoins = 0 }
+
+let find t path = List.find_opt (fun e -> e.e_path = path) t.entries
+
+let mark_alive t path =
+  match find t path with
+  | None -> ()
+  | Some e ->
+    if e.e_status = Down then t.rejoins <- t.rejoins + 1;
+    e.e_status <- Alive
+
+let mark_down t path ~now =
+  match find t path with
+  | None -> ()
+  | Some e ->
+    e.e_status <- Down;
+    e.e_last_attempt <- now
+
+let due t ~now ~backoff =
+  List.filter_map
+    (fun e ->
+      if e.e_status = Down && now -. e.e_last_attempt >= backoff then
+        Some e.e_path
+      else None)
+    t.entries
+
+let rejoins t = t.rejoins
+
+let down t =
+  List.filter_map
+    (fun e -> if e.e_status = Down then Some e.e_path else None)
+    t.entries

@@ -1,0 +1,34 @@
+(** The supervisor's worker registry: per-socket-path liveness state
+    that turns worker loss into something {e recoverable}.
+
+    Every configured worker path is tracked as [Never] (no successful
+    handshake yet), [Alive] (a connection is up), or [Down] (connect
+    failed, or an established worker was lost).  While a campaign
+    runs, the supervisor periodically re-probes [Down] paths — gated
+    by a per-path backoff — and a successful probe {e re-admits} the
+    worker mid-campaign.  A re-admission of a path that was [Down]
+    counts as a rejoin, whether the worker came back (restarted after
+    SIGKILL) or showed up for the first time (started late): loss
+    degrades, then recovers, instead of ratcheting down to inline. *)
+
+type t
+
+val create : string list -> t
+(** One entry per distinct path, all [Never]. *)
+
+val mark_alive : t -> string -> unit
+(** Handshake completed.  [Down → Alive] increments {!rejoins}. *)
+
+val mark_down : t -> string -> now:float -> unit
+(** Connect/probe failed or the worker was lost; stamps the attempt
+    time that {!due}'s backoff is measured from. *)
+
+val due : t -> now:float -> backoff:float -> string list
+(** [Down] paths whose last attempt is at least [backoff] seconds
+    old — the paths worth probing this loop iteration. *)
+
+val down : t -> string list
+(** All [Down] paths, backoff ignored — the final "anyone at all?"
+    sweep before degrading to inline. *)
+
+val rejoins : t -> int

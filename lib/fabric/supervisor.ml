@@ -1,16 +1,37 @@
 open Ise_fuzz
 module Codec = Ise_pool.Codec
 
+type liveness = {
+  connect_retries : int;
+  handshake_timeout_s : float;
+  max_attempts : int;
+  dispatch_timeout_s : float;
+  heartbeat_s : float;
+  miss_budget : int;
+  rejoin_backoff_s : float;
+}
+
+let default_liveness = {
+  connect_retries = 40;
+  handshake_timeout_s = 5.0;
+  max_attempts = 3;
+  dispatch_timeout_s = 30.0;
+  heartbeat_s = 2.0;
+  miss_budget = 3;
+  rejoin_backoff_s = 1.0;
+}
+
 type config = {
   workers : string list;
   window : int;
   shards : int option;
   straggler_factor : float;
   straggler_floor : float;
-  max_attempts : int;
-  connect_retries : int;
+  liveness : liveness;
+  require_workers : int;
   max_payload : int;
   store : Ise_serve.Store.t option;
+  await_rejoin_s : float;
   on_shard_done : int -> unit;
   log : string -> unit;
 }
@@ -21,16 +42,19 @@ let default_config ~workers = {
   shards = None;
   straggler_factor = 4.0;
   straggler_floor = 0.5;
-  max_attempts = 3;
-  connect_retries = 40;
+  liveness = default_liveness;
+  require_workers = 0;
   max_payload = 64 * 1024 * 1024;
   store = None;
+  await_rejoin_s = 0.0;
   on_shard_done = ignore;
   log = ignore;
 }
 
+exception Insufficient_workers of { wanted : int; got : int }
+
 type shard_outcome =
-  | Shard_ok of Campaign.raw_failure list
+  | Shard_ok of Wire.shard_payload
   | Shard_lost of string
 
 type stats = {
@@ -41,6 +65,9 @@ type stats = {
   f_store_hits : int;
   f_inline : int;
   f_worker_losses : int;
+  f_rejoins : int;
+  f_pings : int;
+  f_hb_losses : int;
   f_wall_s : float;
 }
 
@@ -49,13 +76,21 @@ type wstate = {
   w_id : int;
   w_path : string;
   w_fd : Unix.file_descr;
+  w_proto : int;  (* negotiated protocol for this connection *)
   mutable w_buf : Bytes.t;
   mutable w_len : int;
   mutable w_inflight : (int * float) list;  (* shard, dispatch time *)
   mutable w_dead : bool;
+  mutable w_hb_out : int;  (* pings sent and not yet answered by any frame *)
+  mutable w_last_ping : float;
+  mutable w_refreshes : int;  (* consecutive same-worker re-dispatches *)
 }
 
-let connect_worker cfg spec id path =
+let set_handshake_timeout fd s =
+  try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let connect_worker cfg campaign ~retries id path =
   let rec attempt left =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.set_close_on_exec fd;
@@ -72,7 +107,7 @@ let connect_worker cfg spec id path =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       None
   in
-  match attempt cfg.connect_retries with
+  match attempt retries with
   | None ->
     cfg.log (Printf.sprintf "worker %d (%s): connect failed" id path);
     None
@@ -82,35 +117,73 @@ let connect_worker cfg spec id path =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       None
     in
+    (* a handshake must not hang on a stalled wire or a half-dead peer:
+       bound each synchronous read, then return to untimed reads (the
+       main loop is select-driven) *)
+    if cfg.liveness.handshake_timeout_s > 0. then
+      set_handshake_timeout fd cfg.liveness.handshake_timeout_s;
+    let read_hs () =
+      match Wire.read_response ~max_payload:cfg.max_payload fd with
+      | r -> r
+      | exception
+          Unix.Unix_error
+            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+        Stdlib.Error "handshake timed out"
+      | exception Unix.Unix_error (e, _, _) ->
+        (* e.g. ECONNRESET from a faulted wire: a failed handshake,
+           not a supervisor crash *)
+        Stdlib.Error ("handshake read: " ^ Unix.error_message e)
+    in
     (try
-       Wire.write_request fd
+       Wire.write_request ~proto:Wire.hello_proto fd
          (Wire.Hello
             { proto = Wire.version; git_rev = Ise_obs.Runinfo.git_rev () })
      with Unix.Unix_error _ | Sys_error _ -> ());
-    match Wire.read_response ~max_payload:cfg.max_payload fd with
+    match read_hs () with
     | Stdlib.Error msg -> fail ("handshake failed: " ^ msg)
     | Stdlib.Ok (Wire.Error (kind, msg)) ->
       fail (Printf.sprintf "handshake rejected: %s (%s)"
               (Ise_serve.Framed.err_name kind) msg)
-    | Stdlib.Ok (Wire.Hello_ok { pid; _ }) -> (
-      (try Wire.write_request fd (Wire.Set_spec spec)
-       with Unix.Unix_error _ | Sys_error _ -> ());
-      match Wire.read_response ~max_payload:cfg.max_payload fd with
-      | Stdlib.Ok Wire.Spec_ok ->
-        cfg.log (Printf.sprintf "worker %d (%s): connected, pid %d" id path
-                   pid);
-        Some
-          { w_id = id; w_path = path; w_fd = fd; w_buf = Bytes.create 65536;
-            w_len = 0; w_inflight = []; w_dead = false }
-      | Stdlib.Ok _ -> fail "unexpected response to Set_spec"
-      | Stdlib.Error msg -> fail ("Set_spec failed: " ^ msg))
+    | Stdlib.Ok (Wire.Hello_ok { proto = wproto; pid; _ }) ->
+      let proto = min Wire.version wproto in
+      if proto < Wire.min_version then
+        fail (Printf.sprintf "worker speaks unsupported protocol v%d" wproto)
+      else begin
+        (try Wire.write_request ~proto fd (Wire.Set_spec campaign)
+         with Unix.Unix_error _ | Sys_error _ -> ());
+        let rec await_spec_ok skips =
+          match read_hs () with
+          | Stdlib.Ok Wire.Spec_ok ->
+            set_handshake_timeout fd 0.;
+            cfg.log
+              (Printf.sprintf "worker %d (%s): connected, pid %d, proto v%d"
+                 id path pid proto);
+            Some
+              { w_id = id; w_path = path; w_fd = fd; w_proto = proto;
+                w_buf = Bytes.create 65536; w_len = 0; w_inflight = [];
+                w_dead = false; w_hb_out = 0; w_last_ping = 0.;
+                w_refreshes = 0 }
+          | Stdlib.Ok (Wire.Hello_ok _) when skips > 0 ->
+            (* a wire-level duplicate of the Hello_ok already consumed
+               (netchaos dup, or a retransmitting relay): skip it
+               rather than failing the handshake *)
+            await_spec_ok (skips - 1)
+          | Stdlib.Ok (Wire.Error (kind, msg)) ->
+            fail (Printf.sprintf "spec rejected: %s (%s)"
+                    (Ise_serve.Framed.err_name kind) msg)
+          | Stdlib.Ok _ -> fail "unexpected response to Set_spec"
+          | Stdlib.Error msg -> fail ("Set_spec failed: " ^ msg)
+        in
+        await_spec_ok 3
+      end
     | Stdlib.Ok _ -> fail "unexpected response to Hello"
 
-let run cfg spec =
+let run cfg campaign =
   let t0 = Unix.gettimeofday () in
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let count = spec.Campaign.s_count in
+  let lv = cfg.liveness in
+  let count = Wire.campaign_count campaign in
   let nshards_req =
     match cfg.shards with
     | Some n -> max 1 n
@@ -127,16 +200,17 @@ let run cfg spec =
   let pending = Queue.create () in
   let dispatched = ref 0 and redispatched = ref 0 and store_hits = ref 0 in
   let inline_runs = ref 0 and worker_losses = ref 0 in
+  let pings = ref 0 and hb_losses = ref 0 in
   let unfinished = ref nshards in
-  let record sh raws =
+  let record sh payload =
     if results.(sh) = None then begin
-      results.(sh) <- Some (Shard_ok raws);
+      results.(sh) <- Some (Shard_ok payload);
       decr unfinished;
       (match cfg.store with
        | Some store ->
          let lo, hi = ranges.(sh) in
-         Ise_serve.Store.add store (Wire.shard_key spec ~lo ~hi)
-           (Wire.shard_payload_to_string raws)
+         Ise_serve.Store.add store (Wire.shard_key campaign ~lo ~hi)
+           (Wire.shard_payload_to_string payload)
        | None -> ());
       cfg.on_shard_done sh
     end
@@ -150,12 +224,12 @@ let run cfg spec =
        (fun sh (lo, hi) ->
          match
            Option.bind
-             (Ise_serve.Store.find store (Wire.shard_key spec ~lo ~hi))
+             (Ise_serve.Store.find store (Wire.shard_key campaign ~lo ~hi))
              Wire.shard_payload_of_string
          with
-         | Some raws ->
+         | Some payload ->
            incr store_hits;
-           record sh raws
+           record sh payload
          | None -> ())
        ranges);
   let enqueue sh =
@@ -165,26 +239,62 @@ let run cfg spec =
     end
   in
   Array.iteri (fun sh _ -> enqueue sh) ranges;
-  let workers =
-    if !unfinished = 0 then []
-    else
-      List.mapi (fun id path -> connect_worker cfg spec id path) cfg.workers
-      |> List.filter_map Fun.id
+  let registry = Registry.create cfg.workers in
+  let workers = ref [] in  (* every wstate ever admitted, dead included *)
+  let next_id = ref 0 in
+  let live () = List.filter (fun w -> not w.w_dead) !workers in
+  let add_worker ~retries path =
+    (* a handshake can fail transiently (wire faults, a worker still
+       starting up): during the patient initial pass, retry the whole
+       connect+handshake a few times before writing the path off —
+       rejoin probes (retries = 0) stay single-shot so they cannot
+       stall the dispatch loop *)
+    let attempts = if retries > 0 then 3 else 1 in
+    let rec admit k =
+      match connect_worker cfg campaign ~retries !next_id path with
+      | Some w ->
+        incr next_id;
+        workers := !workers @ [ w ];
+        Registry.mark_alive registry path;
+        true
+      | None when k > 1 ->
+        ignore (Unix.select [] [] [] 0.1);
+        admit (k - 1)
+      | None ->
+        Registry.mark_down registry path ~now:(Unix.gettimeofday ());
+        false
+    in
+    admit attempts
   in
-  let nworkers = List.length workers in
+  if !unfinished > 0 then
+    List.iter
+      (fun p -> ignore (add_worker ~retries:lv.connect_retries p))
+      cfg.workers;
+  let initial_workers = !next_id in
+  if
+    !unfinished > 0 && cfg.require_workers > 0
+    && initial_workers < cfg.require_workers
+  then begin
+    List.iter
+      (fun w -> try Unix.close w.w_fd with Unix.Unix_error _ -> ())
+      (live ());
+    raise
+      (Insufficient_workers
+         { wanted = cfg.require_workers; got = initial_workers })
+  end;
   let ewma = Plan.ewma_create () in
-  let live () = List.filter (fun w -> not w.w_dead) workers in
   let inflight_count sh =
     List.fold_left
       (fun acc w ->
         if (not w.w_dead) && List.mem_assoc sh w.w_inflight then acc + 1
         else acc)
-      0 workers
+      0 !workers
   in
   let worker_lost w reason =
     if not w.w_dead then begin
       w.w_dead <- true;
       incr worker_losses;
+      Registry.mark_down registry w.w_path ~now:(Unix.gettimeofday ());
       (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
       cfg.log
         (Printf.sprintf "worker %d (%s) lost: %s" w.w_id w.w_path reason);
@@ -199,14 +309,15 @@ let run cfg spec =
   let dispatch_to w sh ~redispatch =
     let lo, hi = ranges.(sh) in
     match
-      Wire.write_request w.w_fd (Wire.Run { j_shard = sh; j_lo = lo; j_hi = hi })
+      Wire.write_request ~proto:w.w_proto w.w_fd
+        (Wire.Run { j_shard = sh; j_lo = lo; j_hi = hi })
     with
     | () ->
       incr dispatched;
       if redispatch || dispatched_once.(sh) then begin
         incr redispatched;
         cfg.log
-          (Printf.sprintf "re-dispatch shard %d (tests %d-%d) to worker %d"
+          (Printf.sprintf "re-dispatch shard %d (units %d-%d) to worker %d"
              sh lo (hi - 1) w.w_id)
       end;
       dispatched_once.(sh) <- true;
@@ -251,6 +362,12 @@ let run cfg spec =
     | Wire.Shard_done sr ->
       let sh = sr.Wire.sr_shard in
       if sh < 0 || sh >= nshards then worker_lost w "bogus shard id"
+      else if ranges.(sh) <> (sr.Wire.sr_lo, sr.Wire.sr_hi) then
+        (* a corrupted-but-decodable Run can only have come from a v1
+           (digest-free) connection; the echoed range exposes it *)
+        worker_lost w
+          (Printf.sprintf "shard %d result range [%d, %d) does not match"
+             sh sr.Wire.sr_lo sr.Wire.sr_hi)
       else begin
         (match List.assoc_opt sh w.w_inflight with
          | Some td ->
@@ -258,7 +375,7 @@ let run cfg spec =
            w.w_inflight <- List.remove_assoc sh w.w_inflight
          | None -> ());
         (* first result wins; a duplicate from a straggler is dropped *)
-        record sh sr.Wire.sr_raw
+        record sh sr.Wire.sr_payload
       end
     | Wire.Shard_failed { shard = sh; reason } ->
       if sh < 0 || sh >= nshards then worker_lost w "bogus shard id"
@@ -268,7 +385,7 @@ let run cfg spec =
           (Printf.sprintf "shard %d failed on worker %d: %s" sh w.w_id
              reason);
         if results.(sh) = None && inflight_count sh = 0 then begin
-          if attempts.(sh) < cfg.max_attempts then enqueue sh
+          if attempts.(sh) < lv.max_attempts then enqueue sh
           else begin
             results.(sh) <- Some (Shard_lost reason);
             decr unfinished;
@@ -276,6 +393,7 @@ let run cfg spec =
           end
         end
       end
+    | Wire.Pong _ -> ()  (* any inbound frame already cleared w_hb_out *)
     | Wire.Error (kind, msg) ->
       (* the worker closes the connection after a typed error *)
       worker_lost w
@@ -289,6 +407,9 @@ let run cfg spec =
     match Unix.read w.w_fd read_chunk 0 (Bytes.length read_chunk) with
     | 0 -> worker_lost w "eof"
     | n ->
+      (* bytes mean the worker is alive (clear heartbeat debt), but
+         only a frame that *decodes* clears the refresh budget *)
+      w.w_hb_out <- 0;
       if w.w_len + n > Bytes.length w.w_buf then begin
         let cap = max (w.w_len + n) (2 * Bytes.length w.w_buf) in
         let bigger = Bytes.create cap in
@@ -309,12 +430,45 @@ let run cfg spec =
         | Codec.Frame { payload; proto; consumed } ->
           Bytes.blit w.w_buf consumed w.w_buf 0 (w.w_len - consumed);
           w.w_len <- w.w_len - consumed;
-          if proto <> Wire.version then
+          if proto < Wire.min_version || proto > Wire.version then
             worker_lost w (Printf.sprintf "bad protocol byte %d" proto)
           else begin
-            match (Codec.unmarshal payload : Wire.response) with
-            | resp -> handle_response w resp
-            | exception _ -> worker_lost w "undecodable response"
+            match (Wire.decode_payload ~proto payload : Wire.response option)
+            with
+            | Some resp ->
+              w.w_refreshes <- 0;
+              handle_response w resp
+            | None ->
+              (* a well-formed frame whose sealed payload failed its
+                 digest: corruption in transit, stream still in sync
+                 (the codec validated magic/version/length). The
+                 worker is healthy — it computed and memoized the
+                 result — so re-request its in-flight work on the
+                 same connection instead of tearing it down, bounded
+                 by the same refresh budget as straggler refreshes *)
+              if w.w_refreshes > lv.miss_budget then begin
+                incr hb_losses;
+                worker_lost w "undecodable responses beyond refresh budget"
+              end
+              else begin
+                w.w_refreshes <- w.w_refreshes + 1;
+                cfg.log
+                  (Printf.sprintf
+                     "worker %d (%s): corrupted response payload; \
+                      re-queueing in-flight shards"
+                     w.w_id w.w_path);
+                (* back to the pending queue, not straight back to [w]:
+                   the scheduler can then place the shard on a healthier
+                   path, and a worker death mid-redispatch cannot orphan
+                   a shard (the queue is the single source of truth) *)
+                let inflight = w.w_inflight in
+                w.w_inflight <- [];
+                List.iter
+                  (fun (sh, _) ->
+                    if results.(sh) = None && inflight_count sh = 0 then
+                      enqueue sh)
+                  inflight
+              end
           end
       done
     | exception
@@ -323,67 +477,164 @@ let run cfg spec =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   in
   let redispatch_stragglers () =
-    let dl =
+    let dl_straggler =
       Plan.deadline ~factor:cfg.straggler_factor ~floor:cfg.straggler_floor
         ewma
     in
+    let dl_timeout =
+      if lv.dispatch_timeout_s > 0. then lv.dispatch_timeout_s else infinity
+    in
+    let dl = min dl_straggler dl_timeout in
     if dl < infinity then begin
       let now = Unix.gettimeofday () in
       List.iter
         (fun w ->
           List.iter
             (fun (sh, td) ->
-              if
-                results.(sh) = None
-                && now -. td > dl
-                && inflight_count sh <= 1
+              if (not w.w_dead) && results.(sh) = None && now -. td > dl
               then begin
+                (* duplicate to a peer only while this is the sole
+                   in-flight copy — but never exempt a duplicated shard
+                   from the absolute timeout below: under wire faults
+                   *every* copy's result can be lost, and a shard whose
+                   holders all wait on each other would deadlock the
+                   campaign *)
                 let peer =
-                  List.find_opt
-                    (fun p ->
-                      p != w
-                      && List.length p.w_inflight < cfg.window
-                      && not (List.mem_assoc sh p.w_inflight))
-                    (live ())
+                  if inflight_count sh > 1 then None
+                  else
+                    List.find_opt
+                      (fun p ->
+                        p != w
+                        && List.length p.w_inflight < cfg.window
+                        && not (List.mem_assoc sh p.w_inflight))
+                      (live ())
                 in
                 match peer with
                 | Some p -> ignore (dispatch_to p sh ~redispatch:true)
-                | None -> ()
+                | None ->
+                  if now -. td > dl_timeout then begin
+                    (* no peer to duplicate to and the absolute timeout
+                       passed: the Run frame (or its result) may have
+                       been lost on the wire — resend to the same
+                       worker, unless it has stopped answering
+                       entirely *)
+                    if w.w_refreshes > lv.miss_budget then begin
+                      incr hb_losses;
+                      worker_lost w
+                        (Printf.sprintf
+                           "unresponsive: %d re-dispatches unanswered"
+                           w.w_refreshes)
+                    end
+                    else begin
+                      w.w_refreshes <- w.w_refreshes + 1;
+                      w.w_inflight <- List.remove_assoc sh w.w_inflight;
+                      ignore (dispatch_to w sh ~redispatch:true)
+                    end
+                  end
               end)
             w.w_inflight)
         (live ())
     end
   in
-  (* main loop: dispatch, multiplex, watch for stragglers *)
-  while !unfinished > 0 && live () <> [] do
-    dispatch_pending ();
-    let fds = List.map (fun w -> w.w_fd) (live ()) in
-    if fds <> [] then begin
-      (match Unix.select fds [] [] 0.05 with
-       | readable, _, _ ->
-         List.iter
-           (fun fd ->
-             match List.find_opt (fun w -> w.w_fd = fd) (live ()) with
-             | Some w -> handle_readable w
-             | None -> ())
-           readable
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      redispatch_stragglers ()
+  let heartbeats () =
+    if lv.heartbeat_s > 0. then begin
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun w ->
+          (* ping only idle v2 workers: a worker crunching a shard is
+             single-threaded and legitimately silent — in-flight work
+             is policed by dispatch_timeout_s instead *)
+          if (not w.w_dead) && w.w_proto >= 2 && w.w_inflight = [] then begin
+            if w.w_hb_out > lv.miss_budget then begin
+              incr hb_losses;
+              worker_lost w
+                (Printf.sprintf "heartbeat: %d ping(s) unanswered"
+                   w.w_hb_out)
+            end
+            else if now -. w.w_last_ping >= lv.heartbeat_s then begin
+              match
+                Wire.write_request ~proto:w.w_proto w.w_fd (Wire.Ping !pings)
+              with
+              | () ->
+                incr pings;
+                w.w_hb_out <- w.w_hb_out + 1;
+                w.w_last_ping <- now
+              | exception (Unix.Unix_error _ | Sys_error _) ->
+                worker_lost w "write failed (ping)"
+            end
+          end)
+        (live ())
     end
-  done;
+  in
+  let rejoin_probes () =
+    (* one probe per loop iteration, backoff-gated per path: a probe
+       blocks for at most the handshake timeout, so probing is rationed *)
+    if !unfinished > 0 then
+      match
+        Registry.due registry ~now:(Unix.gettimeofday ())
+          ~backoff:lv.rejoin_backoff_s
+      with
+      | [] -> ()
+      | path :: _ -> ignore (add_worker ~retries:0 path)
+  in
+  (* main loop: dispatch, multiplex, watch stragglers and liveness,
+     re-admit returning workers *)
+  let revive_budget = ref 3 in
+  let rec drive () =
+    while !unfinished > 0 && live () <> [] do
+      dispatch_pending ();
+      let fds = List.map (fun w -> w.w_fd) (live ()) in
+      if fds <> [] then begin
+        (match Unix.select fds [] [] 0.05 with
+         | readable, _, _ ->
+           List.iter
+             (fun fd ->
+               match List.find_opt (fun w -> w.w_fd = fd) (live ()) with
+               | Some w -> handle_readable w
+               | None -> ())
+             readable
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        redispatch_stragglers ();
+        heartbeats ();
+        rejoin_probes ()
+      end
+    done;
+    (* every worker is down: sweep all Down paths once (backoff
+       ignored) before giving up on the fabric — bounded so a fabric
+       that keeps dying cannot livelock the campaign *)
+    if !unfinished > 0 && !revive_budget > 0 then begin
+      decr revive_budget;
+      if List.exists (fun p -> add_worker ~retries:0 p) (Registry.down registry)
+      then drive ()
+    end
+  in
+  drive ();
   (* no workers left (or none ever connected): finish inline so the
      campaign always completes — dead fabric degrades to single-host *)
   if !unfinished > 0 then begin
-    let tests = lazy (Campaign.tests_of_spec spec) in
+    let tests =
+      lazy
+        (match campaign with
+         | Wire.Fuzz spec -> Campaign.tests_of_spec spec
+         | Wire.Chaos _ -> [||])
+    in
+    let check_inline lo hi =
+      match campaign with
+      | Wire.Fuzz spec ->
+        Wire.Fuzz_raw
+          (Campaign.check_range spec ~tests:(Lazy.force tests) ~lo ~hi)
+      | Wire.Chaos cs ->
+        Wire.Chaos_reports (Ise_chaos.Chaos_run.check_range cs ~lo ~hi)
+    in
     Array.iteri
       (fun sh (lo, hi) ->
         if results.(sh) = None then begin
           incr inline_runs;
           cfg.log
-            (Printf.sprintf "running shard %d (tests %d-%d) inline" sh lo
+            (Printf.sprintf "running shard %d (units %d-%d) inline" sh lo
                (hi - 1));
-          match Campaign.check_range spec ~tests:(Lazy.force tests) ~lo ~hi with
-          | raws -> record sh raws
+          match check_inline lo hi with
+          | payload -> record sh payload
           | exception e ->
             results.(sh) <- Some (Shard_lost (Printexc.to_string e));
             decr unfinished;
@@ -391,13 +642,34 @@ let run cfg spec =
         end)
       ranges
   end;
+  (* bounded rejoin barrier: a soak that kills and restarts a worker
+     wants the rejoin path exercised even when the campaign drains
+     before any probe lands — under heavy wire faults the single-shot
+     probes can be starved for the whole (short) campaign.  Keep
+     probing the Down paths until one rejoins or the grace expires;
+     results are already complete, so this only extends wall clock. *)
+  if cfg.await_rejoin_s > 0.0 && Registry.rejoins registry = 0
+     && Registry.down registry <> []
+  then begin
+    let deadline = Unix.gettimeofday () +. cfg.await_rejoin_s in
+    cfg.log
+      (Printf.sprintf "awaiting a rejoin for up to %.0fs" cfg.await_rejoin_s);
+    while Registry.rejoins registry = 0 && Unix.gettimeofday () < deadline do
+      match
+        Registry.due registry ~now:(Unix.gettimeofday ())
+          ~backoff:lv.rejoin_backoff_s
+      with
+      | [] -> ignore (Unix.select [] [] [] 0.05)
+      | path :: _ -> ignore (add_worker ~retries:0 path)
+    done
+  end;
   List.iter
     (fun w ->
       if not w.w_dead then begin
         w.w_dead <- true;
         (try Unix.close w.w_fd with Unix.Unix_error _ -> ())
       end)
-    workers;
+    !workers;
   let outcomes =
     Array.map
       (function Some o -> o | None -> Shard_lost "unreachable")
@@ -406,12 +678,15 @@ let run cfg spec =
   ( ranges,
     outcomes,
     {
-      f_workers = nworkers;
+      f_workers = !next_id;
       f_shards = nshards;
       f_dispatched = !dispatched;
       f_redispatched = !redispatched;
       f_store_hits = !store_hits;
       f_inline = !inline_runs;
       f_worker_losses = !worker_losses;
+      f_rejoins = Registry.rejoins registry;
+      f_pings = !pings;
+      f_hb_losses = !hb_losses;
       f_wall_s = Unix.gettimeofday () -. t0;
     } )

@@ -1,33 +1,55 @@
 open Ise_fuzz
+module Codec = Ise_pool.Codec
 
-let version = 1
+let version = 2
+let min_version = 1
+
+type campaign =
+  | Fuzz of Campaign.spec
+  | Chaos of Ise_chaos.Chaos_run.spec
+
+let campaign_count = function
+  | Fuzz s -> s.Campaign.s_count
+  | Chaos cs -> cs.Ise_chaos.Chaos_run.cs_trials
+
+let campaign_seed = function
+  | Fuzz s -> s.Campaign.s_seed
+  | Chaos cs -> cs.Ise_chaos.Chaos_run.cs_seed
 
 type job = { j_shard : int; j_lo : int; j_hi : int }
 
 type request =
   | Hello of { proto : int; git_rev : string }
-  | Set_spec of Campaign.spec
+  | Set_spec of campaign
   | Run of job
+  | Ping of int
   | Worker_stats_req
   | Shutdown
+
+type shard_payload =
+  | Fuzz_raw of Campaign.raw_failure list
+  | Chaos_reports of Ise_chaos.Chaos_run.report list
 
 type shard_result = {
   sr_shard : int;
   sr_lo : int;
   sr_hi : int;
-  sr_raw : Campaign.raw_failure list;
+  sr_payload : shard_payload;
 }
 
 type worker_stats = {
   ws_pid : int;
   ws_jobs : int;
+  ws_proto : int;
   ws_shards_run : int;
+  ws_pings : int;
   ws_uptime_s : float;
 }
 
 type response =
   | Hello_ok of { proto : int; git_rev : string; pid : int }
   | Spec_ok
+  | Pong of int
   | Shard_done of shard_result
   | Shard_failed of { shard : int; reason : string }
   | Worker_stats of worker_stats
@@ -35,29 +57,70 @@ type response =
   | Error of Ise_serve.Framed.err_kind * string
 
 (* ------------------------------------------------------------------ *)
+(* payload envelopes                                                   *)
+
+(* v2 payloads carry a leading MD5 of the marshalled value: Marshal has
+   no integrity check of its own, and a wire-corrupted payload that
+   still unmarshals (flipped bytes inside an int field) would silently
+   poison the merge.  With the digest, corruption of any payload byte
+   is *guaranteed* to surface as a typed decode failure, which the
+   fault-handling paths (worker error frames, supervisor worker_lost +
+   re-dispatch) then absorb.  v1 payloads are bare marshal — kept so a
+   v2 endpoint still speaks to v1 peers after Hello negotiation. *)
+
+let seal v =
+  let m = Codec.marshal v in
+  Digest.string m ^ m
+
+let unseal s =
+  if String.length s < 16 then None
+  else
+    let d = String.sub s 0 16 in
+    let body = String.sub s 16 (String.length s - 16) in
+    if not (String.equal (Digest.string body) d) then None
+    else match Codec.unmarshal body with
+      | v -> Some v
+      | exception _ -> None
+
+let encode_payload ~proto v =
+  if proto >= 2 then seal v else Codec.marshal v
+
+(* v1 payloads (and the hello exchange, which always travels at v1)
+   have no digest — decode them through the structural validator so a
+   wire-corrupted stream surfaces as [None] instead of crashing the
+   runtime's intern loop. *)
+let decode_payload ~proto s =
+  if proto >= 2 then unseal s else Codec.unmarshal_opt s
+
+(* ------------------------------------------------------------------ *)
 (* framed I/O                                                          *)
 
-let write_request fd (req : request) =
-  Ise_pool.Codec.write_frame ~proto:version fd (Ise_pool.Codec.marshal req)
+(* Hello/Hello_ok always travel at v1 framing — the lowest version any
+   peer speaks — so negotiation itself never needs negotiating.  The
+   agreed version governs every frame after the handshake. *)
+let hello_proto = 1
 
-let write_response fd (resp : response) =
-  Ise_pool.Codec.write_frame ~proto:version fd (Ise_pool.Codec.marshal resp)
+let write_request ?(proto = version) fd (req : request) =
+  Codec.write_frame ~proto fd (encode_payload ~proto (req : request))
+
+let write_response ?(proto = version) fd (resp : response) =
+  Codec.write_frame ~proto fd (encode_payload ~proto (resp : response))
 
 let read_response ?max_payload fd =
-  match Ise_pool.Codec.read_frame_ext ?max_payload fd with
+  match Codec.read_frame_ext ?max_payload fd with
   | Stdlib.Error `Eof -> Stdlib.Error "connection closed by worker"
   | Stdlib.Error (`Corrupt e) ->
-    Stdlib.Error
-      ("corrupt response frame: " ^ Ise_pool.Codec.error_to_string e)
+    Stdlib.Error ("corrupt response frame: " ^ Codec.error_to_string e)
   | Stdlib.Ok (proto, payload) ->
-    if proto <> version then
+    if proto < min_version || proto > version then
       Stdlib.Error
-        (Printf.sprintf "protocol mismatch: worker speaks v%d, we speak v%d"
-           proto version)
+        (Printf.sprintf
+           "protocol mismatch: worker speaks v%d, we speak v%d..v%d" proto
+           min_version version)
     else begin
-      match (Ise_pool.Codec.unmarshal payload : response) with
-      | resp -> Stdlib.Ok resp
-      | exception _ -> Stdlib.Error "undecodable response payload"
+      match (decode_payload ~proto payload : response option) with
+      | Some resp -> Stdlib.Ok resp
+      | None -> Stdlib.Error "undecodable response payload"
     end
 
 (* ------------------------------------------------------------------ *)
@@ -66,18 +129,22 @@ let read_response ?max_payload fd =
 let spec_fp (s : Campaign.spec) =
   Digest.to_hex (Digest.string (Marshal.to_string s []))
 
-let shard_key (s : Campaign.spec) ~lo ~hi =
-  Ise_serve.Store.key ~test_fp:(spec_fp s)
+let campaign_fp = function
+  | Fuzz s -> spec_fp s
+  | Chaos cs -> Digest.to_hex (Digest.string (Marshal.to_string cs []))
+
+let campaign_domain = function
+  | Fuzz _ -> "fuzz-shard"
+  | Chaos _ -> "chaos-shard"
+
+let shard_key c ~lo ~hi =
+  Ise_serve.Store.key ~test_fp:(campaign_fp c)
     ~cfg_fp:
-      (Ise_serve.Cache.config_fp ~domain:"fuzz-shard"
-         [ string_of_int s.Campaign.s_seed;
+      (Ise_serve.Cache.config_fp ~domain:(campaign_domain c)
+         [ string_of_int (campaign_seed c);
            string_of_int lo;
            string_of_int hi ])
 
-let shard_payload_to_string (raws : Campaign.raw_failure list) =
-  Ise_pool.Codec.marshal raws
+let shard_payload_to_string (p : shard_payload) = seal p
 
-let shard_payload_of_string str =
-  match (Ise_pool.Codec.unmarshal str : Campaign.raw_failure list) with
-  | raws -> Some raws
-  | exception _ -> None
+let shard_payload_of_string str : shard_payload option = unseal str

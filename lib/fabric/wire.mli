@@ -2,57 +2,97 @@
     cache keys.
 
     Same stack and discipline as {!Ise_serve.Proto}: versioned
-    {!Ise_pool.Codec} frames whose protocol byte carries {!version},
-    [Marshal]ed payloads (safe because supervisor and workers are the
-    same [ise] executable image), a mandatory {!Hello} handshake, and
-    typed {!Ise_serve.Framed.err_kind} error frames for anything
-    malformed.
+    {!Ise_pool.Codec} frames, [Marshal]ed payloads (safe because
+    supervisor and workers are the same [ise] executable image), a
+    mandatory {!Hello} handshake, and typed {!Ise_serve.Framed.err_kind}
+    error frames for anything malformed.
+
+    {b Versioning.}  v1 (PR 8) payloads are bare marshal; v2 payloads
+    carry a leading MD5 digest of the marshalled value, and v2 adds
+    {!Ping}/{!Pong} liveness frames and chaos campaigns.  {!Hello} and
+    {!Hello_ok} always travel at v1 framing ({!hello_proto}) so the
+    handshake itself needs no negotiation; each side advertises the
+    highest version it speaks and the connection proceeds at the
+    minimum of the two.  A supervisor never sends {!Ping} (or any
+    other v2-only construct) on a connection negotiated at v1 — old
+    workers still speak.
 
     A connection carries one campaign: the supervisor sends
-    {!Set_spec} once — the full {!Ise_fuzz.Campaign.spec}, from which
-    the worker re-derives the test stream — and then streams {!Run}
-    jobs that name only shard {e ranges}.  Shipping the spec once and
-    ranges thereafter keeps per-shard frames tiny regardless of
-    campaign size. *)
+    {!Set_spec} once — the full {!campaign} description, from which
+    the worker re-derives the test/trial stream — and then streams
+    {!Run} jobs that name only shard {e ranges}.  Shipping the spec
+    once and ranges thereafter keeps per-shard frames tiny regardless
+    of campaign size. *)
 
 open Ise_fuzz
 
 val version : int
-(** Fabric protocol version, carried in the Codec protocol byte and in
-    {!Hello}. *)
+(** Highest fabric protocol version this build speaks (2). *)
+
+val min_version : int
+(** Lowest version still accepted (1). *)
+
+val hello_proto : int
+(** The framing version of Hello/Hello_ok frames (= {!min_version}). *)
+
+(** {1 Campaigns} *)
+
+type campaign =
+  | Fuzz of Campaign.spec
+  | Chaos of Ise_chaos.Chaos_run.spec
+
+val campaign_count : campaign -> int
+(** Tests (fuzz) or trials (chaos) — the unit {!Plan.partition}
+    shards. *)
+
+val campaign_seed : campaign -> int
+
+(** {1 Messages} *)
 
 type job = {
   j_shard : int;  (** shard index, echoed back in the result *)
-  j_lo : int;  (** global test range [j_lo, j_hi) *)
+  j_lo : int;  (** global test/trial range [j_lo, j_hi) *)
   j_hi : int;
 }
 
 type request =
   | Hello of { proto : int; git_rev : string }
-      (** mandatory first request of every connection *)
-  | Set_spec of Campaign.spec
-      (** the campaign; must precede any {!Run} *)
+      (** mandatory first request of every connection; [proto] is the
+          highest version the supervisor speaks *)
+  | Set_spec of campaign  (** the campaign; must precede any {!Run} *)
   | Run of job
+  | Ping of int
+      (** v2 liveness probe; the worker echoes the token in {!Pong}.
+          Sent only on connections negotiated at ≥ 2 *)
   | Worker_stats_req
   | Shutdown  (** ask the worker to drain and exit *)
+
+type shard_payload =
+  | Fuzz_raw of Campaign.raw_failure list  (** in global check order *)
+  | Chaos_reports of Ise_chaos.Chaos_run.report list
+      (** in global trial order *)
 
 type shard_result = {
   sr_shard : int;
   sr_lo : int;
   sr_hi : int;
-  sr_raw : Campaign.raw_failure list;  (** in global check order *)
+  sr_payload : shard_payload;
 }
 
 type worker_stats = {
   ws_pid : int;
   ws_jobs : int;
+  ws_proto : int;  (** highest version the worker speaks *)
   ws_shards_run : int;
+  ws_pings : int;  (** pings answered *)
   ws_uptime_s : float;
 }
 
 type response =
   | Hello_ok of { proto : int; git_rev : string; pid : int }
+      (** [proto] is the negotiated version: min(worker's, peer's) *)
   | Spec_ok
+  | Pong of int
   | Shard_done of shard_result
   | Shard_failed of { shard : int; reason : string }
       (** the shard's checks raised or its pool lost workers; the
@@ -63,28 +103,42 @@ type response =
       (** typed error frame; the worker closes the connection after
           sending one *)
 
+(** {1 Payload envelopes} *)
+
+val encode_payload : proto:int -> 'a -> string
+(** At [proto >= 2]: MD5-of-marshal prefix + marshal, so any payload
+    corruption is {e guaranteed} to decode as [None] rather than
+    silently yielding a plausible wrong value.  At v1: bare marshal. *)
+
+val decode_payload : proto:int -> string -> 'a option
+
 (** {1 Framed I/O} *)
 
-val write_request : Unix.file_descr -> request -> unit
-val write_response : Unix.file_descr -> response -> unit
+val write_request : ?proto:int -> Unix.file_descr -> request -> unit
+val write_response : ?proto:int -> Unix.file_descr -> response -> unit
+(** [proto] defaults to {!version}; pass the connection's negotiated
+    version after a handshake. *)
 
 val read_response :
   ?max_payload:int -> Unix.file_descr -> (response, string) result
-(** Blocking read of one response frame. *)
+(** Blocking read of one response frame; the frame's own protocol byte
+    selects the payload envelope. *)
 
 (** {1 Shard cache keys} *)
 
 val spec_fp : Campaign.spec -> string
-(** Fingerprint of the whole campaign description (params, counts,
+(** Fingerprint of a fuzz campaign description (params, counts,
     variants, seed) — the "what program" half of a shard key. *)
 
-val shard_key : Campaign.spec -> lo:int -> hi:int -> string
-(** {!Ise_serve.Store} key of one shard's raw-failure list: spec
-    fingerprint × (seed, range) under the ["fuzz-shard"] domain of
-    {!Ise_serve.Cache.config_fp}, so {!Ise_serve.Cache.store_abi} and
-    the enumeration-engine epoch invalidate shard results exactly like
-    litmus and replay results. *)
+val campaign_fp : campaign -> string
 
-val shard_payload_to_string : Campaign.raw_failure list -> string
-val shard_payload_of_string : string -> Campaign.raw_failure list option
-(** [None] if the payload does not decode. *)
+val shard_key : campaign -> lo:int -> hi:int -> string
+(** {!Ise_serve.Store} key of one shard's payload: campaign
+    fingerprint × (seed, range) under the ["fuzz-shard"] /
+    ["chaos-shard"] domain of {!Ise_serve.Cache.config_fp}, so
+    {!Ise_serve.Cache.store_abi} and the enumeration-engine epoch
+    invalidate shard results exactly like litmus and replay results. *)
+
+val shard_payload_to_string : shard_payload -> string
+val shard_payload_of_string : string -> shard_payload option
+(** [None] if the payload does not decode (digest-checked). *)

@@ -4,6 +4,7 @@ module Framed = Ise_serve.Framed
 type config = {
   socket_path : string;
   jobs : int;
+  proto : int;
   max_payload : int;
   log : string -> unit;
 }
@@ -11,16 +12,17 @@ type config = {
 let default_config ~socket_path = {
   socket_path;
   jobs = 1;
+  proto = Wire.version;
   max_payload = 64 * 1024 * 1024;
   log = ignore;
 }
 
-(* Pool jobs carry the spec, so the pool's function is fixed at
+(* Pool jobs carry the campaign, so the pool's function is fixed at
    creation and the workers can be prespawned before any campaign
    arrives.  Each process (the daemon and every forked pool worker)
-   memoizes the regenerated test stream per spec fingerprint: a
+   memoizes the regenerated fuzz test stream per spec fingerprint: a
    campaign's generation cost is paid once per process, not once per
-   shard. *)
+   shard.  Chaos campaigns need no memo — trials are self-contained. *)
 let memo : (string * Ise_litmus.Lit_test.t array) option ref = ref None
 
 let tests_for spec =
@@ -32,18 +34,34 @@ let tests_for spec =
     memo := Some (fp, tests);
     tests
 
-let check (spec, lo, hi) =
-  Campaign.check_range spec ~tests:(tests_for spec) ~lo ~hi
+let check ((c : Wire.campaign), lo, hi) : Wire.shard_payload =
+  match c with
+  | Wire.Fuzz spec ->
+    Wire.Fuzz_raw (Campaign.check_range spec ~tests:(tests_for spec) ~lo ~hi)
+  | Wire.Chaos cs ->
+    Wire.Chaos_reports (Ise_chaos.Chaos_run.check_range cs ~lo ~hi)
+
+let concat_payloads (ps : Wire.shard_payload list) : Wire.shard_payload =
+  match ps with
+  | Wire.Chaos_reports _ :: _ ->
+    Wire.Chaos_reports
+      (List.concat_map
+         (function Wire.Chaos_reports rs -> rs | Wire.Fuzz_raw _ -> [])
+         ps)
+  | _ ->
+    Wire.Fuzz_raw
+      (List.concat_map
+         (function Wire.Fuzz_raw rs -> rs | Wire.Chaos_reports _ -> [])
+         ps)
 
 type t = {
   cfg : config;
   framed : Framed.t;
   started : float;
-  pool :
-    (Campaign.spec * int * int, Campaign.raw_failure list) Ise_pool.Pool.t
-      option;
-  mutable spec : Campaign.spec option;
+  pool : (Wire.campaign * int * int, Wire.shard_payload) Ise_pool.Pool.t option;
+  mutable campaign : Wire.campaign option;
   mutable shards_run : int;
+  mutable pings : int;
   mutable errors : int;
 }
 
@@ -64,8 +82,9 @@ let create cfg =
     framed;
     started = Unix.gettimeofday ();
     pool;
-    spec = None;
+    campaign = None;
     shards_run = 0;
+    pings = 0;
     errors = 0;
   }
 
@@ -75,27 +94,34 @@ let install_signal_handlers t = Framed.install_signal_handlers t.framed
 let stats t = {
   Wire.ws_pid = Unix.getpid ();
   ws_jobs = t.cfg.jobs;
+  ws_proto = t.cfg.proto;
   ws_shards_run = t.shards_run;
+  ws_pings = t.pings;
   ws_uptime_s = Unix.gettimeofday () -. t.started;
 }
+
+let send_at t conn ~proto resp =
+  try Wire.write_response ~proto (Framed.fd conn) resp
+  with Unix.Unix_error _ | Sys_error _ -> Framed.close_conn t.framed conn
+
+(* responses travel at the connection's negotiated version *)
+let send t conn resp = send_at t conn ~proto:(Framed.proto conn) resp
 
 let send_error t conn kind msg =
   t.errors <- t.errors + 1;
   t.cfg.log (Printf.sprintf "error to supervisor: %s (%s)"
                (Framed.err_name kind) msg);
-  (try Wire.write_response (Framed.fd conn) (Wire.Error (kind, msg))
+  (try
+     Wire.write_response ~proto:(Framed.proto conn) (Framed.fd conn)
+       (Wire.Error (kind, msg))
    with Unix.Unix_error _ | Sys_error _ -> ());
   Framed.close_conn t.framed conn
-
-let send t conn resp =
-  try Wire.write_response (Framed.fd conn) resp
-  with Unix.Unix_error _ | Sys_error _ -> Framed.close_conn t.framed conn
 
 (* One shard: fan [lo, hi) out over the persistent pool in contiguous
    sub-ranges (results concatenated in order keep global check order),
    or run inline when the pool is disabled.  Any sub-range failure
    fails the whole shard — the supervisor's re-dispatch handles it. *)
-let run_shard t spec (j : Wire.job) =
+let run_shard t campaign (j : Wire.job) =
   let sub_results =
     match t.pool with
     | Some pool when j.Wire.j_hi - j.Wire.j_lo > 1 ->
@@ -103,18 +129,20 @@ let run_shard t spec (j : Wire.job) =
         Plan.partition ~count:(j.Wire.j_hi - j.Wire.j_lo) ~shards:t.cfg.jobs
       in
       let pjobs =
-        Array.map (fun (a, b) -> (spec, j.Wire.j_lo + a, j.Wire.j_lo + b)) parts
+        Array.map
+          (fun (a, b) -> (campaign, j.Wire.j_lo + a, j.Wire.j_lo + b))
+          parts
       in
       let outcomes, _stats = Ise_pool.Pool.run pool pjobs in
       Array.to_list outcomes
       |> List.map (function
-           | Ise_pool.Pool.Done raws -> Ok raws
+           | Ise_pool.Pool.Done payload -> Ok payload
            | Ise_pool.Pool.Failed err ->
              Error (Ise_pool.Pool.error_to_string err)
            | Ise_pool.Pool.Split _ -> assert false (* no bisect here *))
     | _ -> (
-      match check (spec, j.Wire.j_lo, j.Wire.j_hi) with
-      | raws -> [ Ok raws ]
+      match check (campaign, j.Wire.j_lo, j.Wire.j_hi) with
+      | payload -> [ Ok payload ]
       | exception e -> [ Error (Printexc.to_string e) ])
   in
   match
@@ -122,58 +150,88 @@ let run_shard t spec (j : Wire.job) =
   with
   | Some reason -> Wire.Shard_failed { shard = j.Wire.j_shard; reason }
   | None ->
-    let raws =
-      List.concat_map (function Ok r -> r | Error _ -> []) sub_results
+    let payload =
+      concat_payloads
+        (List.filter_map (function Ok p -> Some p | Error _ -> None)
+           sub_results)
     in
     t.shards_run <- t.shards_run + 1;
     Wire.Shard_done
       { sr_shard = j.Wire.j_shard; sr_lo = j.Wire.j_lo; sr_hi = j.Wire.j_hi;
-        sr_raw = raws }
+        sr_payload = payload }
 
 let handle_request t conn (req : Wire.request) =
   match req with
-  | Wire.Hello { proto; git_rev = _ } ->
-    if proto <> Wire.version then
+  | Wire.Hello { proto = peer; git_rev = _ } ->
+    let negotiated = min t.cfg.proto peer in
+    if negotiated < Wire.min_version then
       send_error t conn Framed.Unsupported_proto
-        (Printf.sprintf "worker speaks fabric protocol v%d, peer sent v%d"
-           Wire.version proto)
+        (Printf.sprintf
+           "worker speaks fabric protocol v%d..v%d, peer sent v%d"
+           Wire.min_version t.cfg.proto peer)
     else begin
       Framed.mark_hello conn;
-      send t conn
+      (* Hello_ok itself travels at the pre-negotiation framing; every
+         frame after it at the agreed version *)
+      send_at t conn ~proto:Wire.hello_proto
         (Wire.Hello_ok
-           { proto = Wire.version; git_rev = Ise_obs.Runinfo.git_rev ();
-             pid = Unix.getpid () })
+           { proto = negotiated; git_rev = Ise_obs.Runinfo.git_rev ();
+             pid = Unix.getpid () });
+      Framed.set_proto conn negotiated
     end
   | _ when not (Framed.hello_done conn) ->
     send_error t conn Framed.Bad_request "first request must be Hello"
-  | Wire.Set_spec spec -> (
-    (* regenerating the stream validates the spec's generator params *)
-    match tests_for spec with
-    | _tests ->
-      t.spec <- Some spec;
-      t.cfg.log
-        (Printf.sprintf "spec set: seed %d, %d tests" spec.Campaign.s_seed
-           spec.Campaign.s_count);
+  | Wire.Set_spec campaign -> (
+    (* regenerating the stream / resolving the profiles validates the
+       campaign's parameters before any Run is accepted *)
+    let validated =
+      match campaign with
+      | Wire.Fuzz spec -> (
+        match tests_for spec with
+        | _tests ->
+          Ok
+            (Printf.sprintf "fuzz spec set: seed %d, %d tests"
+               spec.Campaign.s_seed spec.Campaign.s_count)
+        | exception e -> Error ("spec rejected: " ^ Printexc.to_string e))
+      | Wire.Chaos cs -> (
+        match Ise_chaos.Chaos_run.spec_profiles cs with
+        | Ok _ ->
+          Ok
+            (Printf.sprintf "chaos spec set: seed %d, %d trials"
+               cs.Ise_chaos.Chaos_run.cs_seed
+               cs.Ise_chaos.Chaos_run.cs_trials)
+        | Error msg -> Error ("spec rejected: " ^ msg))
+    in
+    match validated with
+    | Ok msg ->
+      t.campaign <- Some campaign;
+      t.cfg.log msg;
       send t conn Wire.Spec_ok
-    | exception e ->
+    | Error msg -> send_error t conn Framed.Bad_request msg)
+  | Wire.Ping token ->
+    if Framed.proto conn >= 2 then begin
+      t.pings <- t.pings + 1;
+      send t conn (Wire.Pong token)
+    end
+    else
       send_error t conn Framed.Bad_request
-        ("spec rejected: " ^ Printexc.to_string e))
+        "Ping requires a connection negotiated at protocol v2"
   | Wire.Run j -> (
-    match t.spec with
+    match t.campaign with
     | None ->
       send_error t conn Framed.Bad_request "Run before Set_spec"
-    | Some spec ->
-      if j.Wire.j_lo < 0 || j.Wire.j_hi > spec.Campaign.s_count
-         || j.Wire.j_lo > j.Wire.j_hi
+    | Some campaign ->
+      let count = Wire.campaign_count campaign in
+      if j.Wire.j_lo < 0 || j.Wire.j_hi > count || j.Wire.j_lo > j.Wire.j_hi
       then
         send_error t conn Framed.Bad_request
           (Printf.sprintf "shard range [%d, %d) outside [0, %d)"
-             j.Wire.j_lo j.Wire.j_hi spec.Campaign.s_count)
+             j.Wire.j_lo j.Wire.j_hi count)
       else begin
         t.cfg.log
-          (Printf.sprintf "shard %d: tests [%d, %d)" j.Wire.j_shard
+          (Printf.sprintf "shard %d: units [%d, %d)" j.Wire.j_shard
              j.Wire.j_lo j.Wire.j_hi);
-        match run_shard t spec j with
+        match run_shard t campaign j with
         | resp -> send t conn resp
         | exception e ->
           send_error t conn Framed.Internal (Printexc.to_string e)
@@ -185,14 +243,21 @@ let handle_request t conn (req : Wire.request) =
     request_drain t
 
 let serve_forever t =
-  t.cfg.log (Printf.sprintf "fabric worker on %s (pid %d, jobs %d)"
-               t.cfg.socket_path (Unix.getpid ()) t.cfg.jobs);
-  Framed.serve t.framed ~proto:Wire.version ~max_payload:t.cfg.max_payload
+  t.cfg.log (Printf.sprintf "fabric worker on %s (pid %d, jobs %d, proto v%d)"
+               t.cfg.socket_path (Unix.getpid ()) t.cfg.jobs t.cfg.proto);
+  Framed.serve t.framed ~proto:t.cfg.proto ~min_proto:Wire.min_version
+    ~max_payload:t.cfg.max_payload
     ~error:(fun conn kind msg -> send_error t conn kind msg)
     ~request:(fun conn payload ->
-      match (Ise_pool.Codec.unmarshal payload : Wire.request) with
-      | req -> handle_request t conn req
-      | exception _ ->
+      (* the frame's own protocol byte selects the payload envelope —
+         a v1 supervisor's bare marshal and a v2 supervisor's sealed
+         payload are both understood *)
+      match
+        (Wire.decode_payload ~proto:(Framed.frame_proto conn) payload
+          : Wire.request option)
+      with
+      | Some req -> handle_request t conn req
+      | None ->
         send_error t conn Framed.Malformed_frame
           "request payload does not decode")
     ~on_drained:(fun () ->

@@ -3,35 +3,48 @@
 
     Built on {!Ise_serve.Framed}, so it has the same connection
     discipline as [ise serve]: Hello-first handshake, typed error
-    frames for malformed/oversized/version-skewed traffic, and
-    SIGTERM/SIGINT drain.  A misbehaving supervisor can never wedge or
-    crash the worker.
+    frames for malformed/oversized/version-skewed traffic,
+    SIGTERM/SIGINT drain that unlinks the socket, and stale-socket
+    replacement on startup.  A misbehaving supervisor — or a hostile
+    wire — can never wedge or crash the worker: every mutated frame
+    {!Ise_fabric.Netchaos.Mutate} can produce decodes to a typed
+    error, an error frame, or a clean close.
 
-    Work model: {!Wire.Set_spec} installs the campaign; each
-    {!Wire.Run} job names a global test range, which the worker checks
-    with {!Ise_fuzz.Campaign.check_range} — fanned out over a
-    persistent {!Ise_pool.Pool} of [jobs] forked processes in
-    contiguous sub-ranges (results concatenated in order), or inline
-    when [jobs <= 1].  The test stream is regenerated from the spec
-    and memoized per spec fingerprint, so only ranges cross the wire.
-    Raw failures go back unshrunk and unlogged: shrinking and
-    reporting are the supervisor's (deterministic) job. *)
+    Protocol: the worker speaks fabric versions
+    [{!Wire.min_version}..proto].  A Hello advertising a lower version
+    negotiates the connection down (so a v2 worker still serves a v1
+    supervisor); [proto = 1] in the config caps the worker at v1 —
+    tests use it to {e be} the old worker.  {!Wire.Ping} is answered
+    with {!Wire.Pong} only on connections negotiated at ≥ 2.
+
+    Work model: {!Wire.Set_spec} installs the campaign — fuzz
+    ({!Ise_fuzz.Campaign.check_range}) or chaos
+    ({!Ise_chaos.Chaos_run.check_range}); each {!Wire.Run} job names a
+    global unit range, fanned out over a persistent {!Ise_pool.Pool}
+    of [jobs] forked processes in contiguous sub-ranges (results
+    concatenated in order), or run inline when [jobs <= 1].  The fuzz
+    test stream is regenerated from the spec and memoized per spec
+    fingerprint, so only ranges cross the wire.  Raw results go back
+    unshrunk and unlogged: shrinking, reporting and merging are the
+    supervisor's (deterministic) job. *)
 
 type config = {
   socket_path : string;
   jobs : int;  (** pool fan-out inside this worker; [<= 1] inline *)
+  proto : int;  (** highest fabric version to speak (tests set 1) *)
   max_payload : int;
   log : string -> unit;
 }
 
 val default_config : socket_path:string -> config
-(** [jobs = 1], 64 MiB max payload, silent log. *)
+(** [jobs = 1], [proto = Wire.version], 64 MiB max payload, silent. *)
 
 type t
 
 val create : config -> t
-(** Binds and listens (removing a stale socket file first), and
-    prespawns the pool when [jobs > 1]. *)
+(** Binds and listens (replacing a dead predecessor's stale socket,
+    refusing to steal a live one), and prespawns the pool when
+    [jobs > 1]. *)
 
 val request_drain : t -> unit
 val install_signal_handlers : t -> unit

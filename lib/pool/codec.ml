@@ -152,3 +152,109 @@ let read_frame ?max_payload fd =
 
 let marshal v = Marshal.to_string v []
 let unmarshal s = Marshal.from_string s 0
+
+(* ------------------------------------------------------------------ *)
+(* crash-safe unmarshal for untrusted payloads                         *)
+
+(* [Marshal.from_string] trusts its input: a corrupted stream can make
+   the runtime's intern loop overread the buffer, overflow the shared-
+   object table, or build a type-confused value — all of which segfault
+   rather than raise.  [valid_marshal] walks the compact extern format
+   (see caml/intext.h) with every read bounds-checked and cross-checks
+   the three header invariants intern relies on: the byte length of the
+   data segment, the number of shared-table registrations, and the
+   total 64-bit word size of the decoded heap graph.  A stream that
+   passes cannot make intern read outside the buffer, index outside the
+   object table, or allocate more than the header promised.  Type
+   confusion within a structurally valid stream is still possible —
+   integrity needs a checksum envelope on top (the fabric wire seals v2
+   payloads) — but decode becomes total: corrupt bytes yield [None],
+   never a crash.
+
+   Opcodes never produced for this codec's payloads (closures, custom
+   blocks, 64-bit length forms) are rejected outright. *)
+
+let valid_marshal s =
+  let len = String.length s in
+  let byte i = Char.code (String.unsafe_get s i) in
+  let u32 i = (byte i lsl 24) lor (byte (i + 1) lsl 16)
+              lor (byte (i + 2) lsl 8) lor byte (i + 3) in
+  if len < 20 || u32 0 <> 0x8495A6BE then false
+  else begin
+    let data_len = u32 4 and num_objects = u32 8 and words64 = u32 16 in
+    if 20 + data_len <> len then false
+    else begin
+      let limit = len in
+      let pos = ref 20 and needed = ref 1 and objs = ref 0 and words = ref 0 in
+      let ok = ref true in
+      let take n = (* consume n raw bytes, return offset or fail *)
+        let p = !pos in
+        if n < 0 || p + n > limit then (ok := false; p) else (pos := p + n; p)
+      in
+      let string_words n = (n / 8) + 2 in      (* data words + header, 64-bit *)
+      let register () = incr objs in
+      let block size =
+        if size > 0 then begin register (); words := !words + size + 1 end;
+        needed := !needed + size
+      in
+      while !ok && !needed > 0 do
+        if !pos >= limit then ok := false
+        else begin
+          let c = byte !pos in
+          incr pos;
+          decr needed;
+          if c >= 0x80 then block ((c lsr 4) land 0x7)          (* small block *)
+          else if c >= 0x40 then ()                             (* small int *)
+          else if c >= 0x20 then begin                          (* small string *)
+            let n = c land 0x1F in
+            ignore (take n);
+            if !ok then begin register (); words := !words + string_words n end
+          end
+          else
+            match c with
+            | 0x0 -> ignore (take 1)                            (* INT8 *)
+            | 0x1 -> ignore (take 2)                            (* INT16 *)
+            | 0x2 -> ignore (take 4)                            (* INT32 *)
+            | 0x3 -> ignore (take 8)                            (* INT64 *)
+            | 0x4 | 0x5 | 0x6 ->                                (* SHAREDn *)
+              let n = match c with 0x4 -> 1 | 0x5 -> 2 | _ -> 4 in
+              let p = take n in
+              if !ok then begin
+                let d = ref 0 in
+                for k = 0 to n - 1 do d := (!d lsl 8) lor byte (p + k) done;
+                if !d < 1 || !d > !objs then ok := false
+              end
+            | 0x8 ->                                            (* BLOCK32 *)
+              let p = take 4 in
+              if !ok then begin
+                let hd = u32 p in
+                let size = hd lsr 10 in
+                if size = 0 then ok := false else block size
+              end
+            | 0x9 | 0xA ->                                      (* STRING8/32 *)
+              let p = take (if c = 0x9 then 1 else 4) in
+              if !ok then begin
+                let n = if c = 0x9 then byte p else u32 p in
+                ignore (take n);
+                if !ok then begin register (); words := !words + string_words n end
+              end
+            | 0xB | 0xC ->                                      (* DOUBLE *)
+              ignore (take 8);
+              if !ok then begin register (); words := !words + 2 end
+            | 0xD | 0xE | 0x7 | 0xF ->                          (* DOUBLE_ARRAYn *)
+              let p = take (if c = 0xD || c = 0xE then 1 else 4) in
+              if !ok then begin
+                let n = if c = 0xD || c = 0xE then byte p else u32 p in
+                ignore (take (8 * n));
+                if !ok then begin register (); words := !words + n + 1 end
+              end
+            | _ -> ok := false    (* closures, custom blocks, 64-bit forms *)
+        end
+      done;
+      !ok && !pos = limit && !objs = num_objects && !words = words64
+    end
+  end
+
+let unmarshal_opt s =
+  if not (valid_marshal s) then None
+  else match unmarshal s with v -> Some v | exception _ -> None

@@ -110,3 +110,19 @@ val marshal : 'a -> string
 val unmarshal : string -> 'a
 (** [unmarshal] trusts the payload — only use on frames produced by
     [marshal] in the same executable image. *)
+
+val valid_marshal : string -> bool
+(** Structural validation of a marshal stream without decoding it.
+    Walks the compact extern format with every read bounds-checked and
+    cross-checks the header's data length, shared-object count, and
+    64-bit word size — the three invariants the runtime's intern loop
+    trusts blindly.  A stream that passes cannot crash
+    [Marshal.from_string]; one that fails would (or uses opcodes this
+    codec never produces, e.g. closures or custom blocks). *)
+
+val unmarshal_opt : string -> 'a option
+(** Crash-safe [unmarshal] for untrusted bytes: [None] unless the
+    stream passes {!valid_marshal} and decodes cleanly.  Structural
+    validity is not integrity — a corrupted stream can still decode to
+    a wrong value of the right shape; layer a checksum on top when that
+    matters (the fabric wire seals v2 payloads with an MD5 digest). *)

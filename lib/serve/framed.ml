@@ -20,12 +20,17 @@ type conn = {
   mutable len : int;  (* valid bytes at the front of [buf] *)
   mutable hello_done : bool;
   mutable closed : bool;
+  mutable c_proto : int;  (* negotiated protocol for this connection *)
+  mutable c_frame_proto : int;  (* protocol byte of the frame in [request] *)
 }
 
 let fd c = c.c_fd
 let closed c = c.closed
 let hello_done c = c.hello_done
 let mark_hello c = c.hello_done <- true
+let proto c = c.c_proto
+let set_proto c p = c.c_proto <- p
+let frame_proto c = c.c_frame_proto
 
 type t = {
   socket_path : string;
@@ -35,8 +40,26 @@ type t = {
   mutable connections : int;
 }
 
+(* Stale-socket hygiene: an existing socket file may belong to a live
+   daemon (a probe connect succeeds — refuse to steal its address) or
+   to a dead predecessor that never got to unlink (SIGKILL, power loss
+   — the probe is refused, so replacing the file is safe). *)
+let probe_stale socket_path =
+  if Sys.file_exists socket_path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX socket_path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", socket_path));
+    try Unix.unlink socket_path with Unix.Unix_error _ -> ()
+  end
+
 let create ~socket_path () =
-  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  probe_stale socket_path;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.set_close_on_exec fd;
   Unix.bind fd (Unix.ADDR_UNIX socket_path);
@@ -65,7 +88,7 @@ let close_conn t conn =
 (* Peel complete frames off the connection buffer; stop on Need_more,
    hand anything corrupt to [error] as a typed kind (the callback sends
    the error frame and closes the connection). *)
-let drain_frames conn ~proto ~max_payload ~error ~request =
+let drain_frames conn ~proto ~min_proto ~max_payload ~error ~request =
   let continue = ref true in
   while !continue && not conn.closed do
     match Codec.decode ~max_payload conn.buf ~pos:0 ~len:conn.len with
@@ -82,16 +105,19 @@ let drain_frames conn ~proto ~max_payload ~error ~request =
     | Codec.Frame { payload; proto = got; consumed } ->
       Bytes.blit conn.buf consumed conn.buf 0 (conn.len - consumed);
       conn.len <- conn.len - consumed;
-      if got <> proto then
+      if got < min_proto || got > proto then
         error conn Unsupported_proto
-          (Printf.sprintf "frame protocol byte %d, daemon speaks v%d" got
-             proto)
-      else request conn payload
+          (Printf.sprintf "frame protocol byte %d, daemon speaks v%d..v%d"
+             got min_proto proto)
+      else begin
+        conn.c_frame_proto <- got;
+        request conn payload
+      end
   done
 
 let read_chunk = Bytes.create 65536
 
-let handle_readable t conn ~proto ~max_payload ~error ~request =
+let handle_readable t conn ~proto ~min_proto ~max_payload ~error ~request =
   match Unix.read conn.c_fd read_chunk 0 (Bytes.length read_chunk) with
   | 0 -> close_conn t conn (* clean EOF *)
   | n ->
@@ -103,38 +129,42 @@ let handle_readable t conn ~proto ~max_payload ~error ~request =
     end;
     Bytes.blit read_chunk 0 conn.buf conn.len n;
     conn.len <- conn.len + n;
-    drain_frames conn ~proto ~max_payload ~error ~request
+    drain_frames conn ~proto ~min_proto ~max_payload ~error ~request
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
     close_conn t conn
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
-let accept t =
+let accept t ~proto =
   match Unix.accept t.listen_fd with
   | fd, _ ->
     Unix.set_close_on_exec fd;
     t.connections <- t.connections + 1;
     t.conns <-
       { c_fd = fd; buf = Bytes.create 4096; len = 0; hello_done = false;
-        closed = false }
+        closed = false; c_proto = proto; c_frame_proto = proto }
       :: t.conns
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
-let serve t ~proto ~max_payload ~error ~request ~on_drained =
+let serve ?min_proto ?(tick = fun () -> ()) t ~proto ~max_payload ~error
+    ~request ~on_drained =
+  let min_proto = match min_proto with Some p -> p | None -> proto in
   while not t.draining do
     let fds = t.listen_fd :: List.map (fun c -> c.c_fd) t.conns in
-    match Unix.select fds [] [] 1.0 with
-    | readable, _, _ ->
-      List.iter
-        (fun fd ->
-          if t.draining then ()
-          else if fd = t.listen_fd then accept t
-          else
-            match List.find_opt (fun c -> c.c_fd = fd) t.conns with
-            | Some conn ->
-              handle_readable t conn ~proto ~max_payload ~error ~request
-            | None -> ())
-        readable
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    (match Unix.select fds [] [] 1.0 with
+     | readable, _, _ ->
+       List.iter
+         (fun fd ->
+           if t.draining then ()
+           else if fd = t.listen_fd then accept t ~proto
+           else
+             match List.find_opt (fun c -> c.c_fd = fd) t.conns with
+             | Some conn ->
+               handle_readable t conn ~proto ~min_proto ~max_payload ~error
+                 ~request
+             | None -> ())
+         readable
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    if not t.draining then tick ()
   done;
   List.iter (fun c -> close_conn t c) t.conns;
   on_drained ();

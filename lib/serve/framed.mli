@@ -44,13 +44,30 @@ val hello_done : conn -> bool
 
 val mark_hello : conn -> unit
 
+val proto : conn -> int
+(** The connection's negotiated protocol version.  Starts at the
+    server's [proto]; a protocol that negotiates down during its Hello
+    records the agreed version with {!set_proto} and renders every
+    later response at that version. *)
+
+val set_proto : conn -> int -> unit
+
+val frame_proto : conn -> int
+(** Protocol byte of the frame currently being delivered to the
+    [request] callback — self-describing payload encodings (a v1 peer
+    and a v2 peer marshal differently) dispatch on this. *)
+
 (** {1 The server} *)
 
 type t
 
 val create : socket_path:string -> unit -> t
-(** Unlinks any stale socket, binds, and listens.  @raise
-    Unix.Unix_error on bind/listen failure. *)
+(** Binds and listens.  An existing socket file is probe-connected
+    first: a live daemon answers the probe and [create] raises
+    [Unix.Unix_error (EADDRINUSE, _, _)] instead of stealing its
+    address; a dead predecessor's socket (connect refused — the owner
+    was SIGKILLed before it could unlink) is silently replaced.
+    @raise Unix.Unix_error on a live owner or bind/listen failure. *)
 
 val connections : t -> int
 (** Accepted over the server's lifetime. *)
@@ -60,11 +77,14 @@ val request_drain : t -> unit
 
 val install_signal_handlers : t -> unit
 (** SIGTERM/SIGINT request a drain; SIGPIPE is ignored (a dying client
-    must not kill the daemon mid-write). *)
+    must not kill the daemon mid-write).  Draining unlinks the socket,
+    so a signalled daemon never leaves a stale file behind. *)
 
 val close_conn : t -> conn -> unit
 
 val serve :
+  ?min_proto:int ->
+  ?tick:(unit -> unit) ->
   t ->
   proto:int ->
   max_payload:int ->
@@ -72,11 +92,15 @@ val serve :
   request:(conn -> string -> unit) ->
   on_drained:(unit -> unit) ->
   unit
-(** Run the select loop until {!request_drain}.  [proto] is the Codec
-    protocol byte every inbound frame must carry; [max_payload] bounds
-    one frame.  [request conn payload] receives each well-framed
-    payload (still marshalled — the caller decodes, and reports its
-    own decode failures through its error path); [error conn kind msg]
-    receives every framing-layer failure.  On drain: every connection
-    is closed, [on_drained] runs (close pools, log), then the listening
+(** Run the select loop until {!request_drain}.  Inbound frames must
+    carry a Codec protocol byte in [[min_proto, proto]] (default:
+    exactly [proto]) — the range is what lets a daemon keep speaking
+    to older peers; {!frame_proto} exposes each frame's byte to the
+    handler.  [max_payload] bounds one frame.  [request conn payload]
+    receives each well-framed payload (still marshalled — the caller
+    decodes, and reports its own decode failures through its error
+    path); [error conn kind msg] receives every framing-layer failure.
+    [tick] runs once per loop iteration (at least every second) — the
+    heartbeat/housekeeping hook.  On drain: every connection is
+    closed, [on_drained] runs (close pools, log), then the listening
     socket is closed and unlinked. *)

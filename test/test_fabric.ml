@@ -1,8 +1,11 @@
 (* Tests for Ise_fabric: partition/EWMA plans, shard cache keys, the
    --shard range-union property, worker protocol discipline under
-   malformed traffic, and the headline guarantee — a campaign run
-   across 4 simulated workers (including one killed mid-campaign, and
-   one answered entirely by the result store) merges to output
+   malformed and hostile traffic, the resilience plane (netchaos
+   wire-fault injection, heartbeats, rejoin, stale-socket hygiene,
+   v1 compatibility), chaos campaigns over the fabric, and the
+   headline guarantee — a campaign run across simulated workers
+   (killed, restarted, proxied through deterministic wire faults, or
+   answered entirely by the result store) merges to output
    byte-identical to a single-host run.  Fabric cases fork worker
    daemons and are skipped on platforms without [Unix.fork]. *)
 
@@ -13,9 +16,12 @@ module Campaign = Ise_fuzz.Campaign
 module Corpus = Ise_fuzz.Corpus
 module Plan = Ise_fabric.Plan
 module Wire = Ise_fabric.Wire
+module Netchaos = Ise_fabric.Netchaos
 module Supervisor = Ise_fabric.Supervisor
 module Merge = Ise_fabric.Merge
 module Sim = Ise_fabric.Sim
+module Chaos_run = Ise_chaos.Chaos_run
+module Profile = Ise_chaos.Profile
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -44,6 +50,15 @@ let fingerprint ~seed (r : Campaign.report) =
     List.map
       (fun f -> Corpus.to_string (Campaign.entry_of_failure ~seed f))
       r.Campaign.r_failures )
+
+(* short everything: tests poke at loss, not patience *)
+let test_liveness =
+  { Supervisor.default_liveness with
+    handshake_timeout_s = 2.0;
+    dispatch_timeout_s = 1.0;
+    heartbeat_s = 0.2;
+    rejoin_backoff_s = 0.1;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)
@@ -106,14 +121,18 @@ let test_plan_ewma () =
 
 let test_shard_keys () =
   let spec = Campaign.spec ~count:10 ~seed:1 () in
-  let k = Wire.shard_key spec ~lo:0 ~hi:5 in
-  checks "key is deterministic" k (Wire.shard_key spec ~lo:0 ~hi:5);
-  checkb "range changes the key" true (k <> Wire.shard_key spec ~lo:5 ~hi:10);
+  let key s = Wire.shard_key (Wire.Fuzz s) in
+  let k = key spec ~lo:0 ~hi:5 in
+  checks "key is deterministic" k (key spec ~lo:0 ~hi:5);
+  checkb "range changes the key" true (k <> key spec ~lo:5 ~hi:10);
   let spec' = Campaign.spec ~count:10 ~seed:2 () in
-  checkb "seed changes the key" true (k <> Wire.shard_key spec' ~lo:0 ~hi:5);
+  checkb "seed changes the key" true (k <> key spec' ~lo:0 ~hi:5);
   let spec'' = Campaign.spec ~count:10 ~seeds_per_test:3 ~seed:1 () in
-  checkb "config changes the key" true
-    (k <> Wire.shard_key spec'' ~lo:0 ~hi:5);
+  checkb "config changes the key" true (k <> key spec'' ~lo:0 ~hi:5);
+  (* chaos campaigns live in their own key domain *)
+  let cs = Chaos_run.spec ~trials:10 ~seed:1 ~profiles:Profile.all () in
+  checkb "chaos and fuzz keys are domain-separated" true
+    (k <> Wire.shard_key (Wire.Chaos cs) ~lo:0 ~hi:5);
   (* the fuzz-shard domain rides the shared key helper, so an
      enumeration-engine epoch bump invalidates shard results exactly
      like litmus and replay results *)
@@ -158,6 +177,122 @@ let test_range_union () =
         (List.concat_map arts parts = arts full))
 
 (* ------------------------------------------------------------------ *)
+(* netchaos: the injector itself                                       *)
+
+let sample_frames =
+  List.init 120 (fun i ->
+      Codec.encode ~proto:Wire.version
+        (String.make (8 + (i mod 40)) (Char.chr (65 + (i mod 26)))))
+
+let test_netchaos_deterministic () =
+  let run () =
+    let nc = Netchaos.create ~seed:7 ~profile:Netchaos.storm in
+    let acts = List.map (Netchaos.frame_action nc) sample_frames in
+    let stalls = List.init 20 (fun _ -> Netchaos.conn_stall nc) in
+    (acts, stalls, Netchaos.counts nc)
+  in
+  let a1, s1, c1 = run () in
+  let a2, s2, c2 = run () in
+  checkb "same fault schedule for the same seed" true (a1 = a2 && s1 = s2);
+  checkb "same counters" true (c1 = c2);
+  let nc' = Netchaos.create ~seed:8 ~profile:Netchaos.storm in
+  let a3 = List.map (Netchaos.frame_action nc') sample_frames in
+  checkb "seed changes the schedule" true (a1 <> a3);
+  (* calm is transparent *)
+  let calm = Netchaos.create ~seed:7 ~profile:Netchaos.calm in
+  checkb "calm passes everything" true
+    (List.for_all
+       (fun f -> Netchaos.frame_action calm f = Netchaos.Pass)
+       sample_frames
+    && Netchaos.conn_stall calm = None);
+  (* every named profile resolves, and names round-trip *)
+  List.iter
+    (fun p ->
+      match Netchaos.named p.Netchaos.name with
+      | Some p' -> checks "named round-trips" p.Netchaos.name p'.Netchaos.name
+      | None -> Alcotest.failf "profile %s not named" p.Netchaos.name)
+    (Netchaos.calm :: Netchaos.all)
+
+let test_wire_hostility_decode () =
+  let base =
+    Codec.encode ~proto:Wire.version
+      (Wire.encode_payload ~proto:Wire.version
+         (Wire.Run { j_shard = 1; j_lo = 2; j_hi = 9 }))
+  in
+  (* any mutation — truncation, bit flips, version/proto skew, absurd
+     length claims — must yield a typed decode result, never an
+     exception *)
+  for seed = 0 to 499 do
+    let rng = Ise_util.Rng.create seed in
+    let m = Netchaos.Mutate.mutate rng base in
+    let buf = Bytes.of_string m in
+    match Codec.decode ~max_payload:(1 lsl 20) buf ~pos:0 ~len:(Bytes.length buf) with
+    | Codec.Need_more | Codec.Corrupt _ -> ()
+    | Codec.Frame { payload; proto; _ } -> (
+      match (Wire.decode_payload ~proto payload : Wire.request option) with
+      | Some _ | None -> ())
+    | exception e ->
+      Alcotest.failf "decode raised on mutation seed %d: %s" seed
+        (Printexc.to_string e)
+  done;
+  (* the v2 digest envelope *guarantees* payload corruption surfaces
+     as a typed decode failure, never a plausible wrong value *)
+  for seed = 0 to 199 do
+    let rng = Ise_util.Rng.create (1000 + seed) in
+    let m = Netchaos.Mutate.corrupt_payload rng ~max_bytes:4 base in
+    match
+      Codec.decode ~max_payload:(1 lsl 20) (Bytes.of_string m) ~pos:0
+        ~len:(String.length m)
+    with
+    | Codec.Frame { payload; proto; _ } -> (
+      match (Wire.decode_payload ~proto payload : Wire.request option) with
+      | None -> ()
+      | Some _ -> Alcotest.failf "corrupted payload decoded (seed %d)" seed)
+    | Codec.Need_more | Codec.Corrupt _ ->
+      Alcotest.fail "corrupt_payload damaged the framing"
+  done;
+  (* v1 payloads have no digest — the structural marshal validator must
+     make decode *total* there too.  A corrupted bare-marshal stream
+     fed straight to [Marshal.from_string] can segfault the runtime's
+     intern loop (e.g. a one-byte flip turning "block of size 1" into
+     "block of size 7" makes it overread), so simply running this loop
+     without crashing is the assertion. *)
+  let v1_bases =
+    [ Codec.marshal (Wire.Hello_ok { proto = 2; git_rev = "cafe"; pid = 42 });
+      Codec.marshal (Wire.Hello { proto = 2; git_rev = "cafe" });
+      Codec.marshal Wire.Spec_ok;
+      Codec.marshal
+        (Wire.Shard_done
+           { sr_shard = 0; sr_lo = 0; sr_hi = 4; sr_payload = Wire.Fuzz_raw [] });
+    ]
+  in
+  List.iter
+    (fun payload ->
+      Alcotest.(check bool)
+        "validator accepts real v1 payload" true
+        (Codec.valid_marshal payload);
+      for seed = 0 to 499 do
+        let rng = Ise_util.Rng.create (2000 + seed) in
+        let b = Bytes.of_string payload in
+        let n = Bytes.length b in
+        for _ = 0 to Ise_util.Rng.int rng 4 do
+          Bytes.set b (Ise_util.Rng.int rng n)
+            (Char.chr (Ise_util.Rng.int rng 256))
+        done;
+        let s =
+          if Ise_util.Rng.int rng 4 = 0 && n > 1 then
+            Bytes.sub_string b 0 (1 + Ise_util.Rng.int rng (n - 1))
+          else Bytes.to_string b
+        in
+        match (Wire.decode_payload ~proto:1 s : Wire.response option) with
+        | Some _ | None -> ()
+        | exception e ->
+          Alcotest.failf "v1 decode raised on corruption seed %d: %s" seed
+            (Printexc.to_string e)
+      done)
+    v1_bases
+
+(* ------------------------------------------------------------------ *)
 (* worker protocol discipline                                          *)
 
 let raw_connect socket =
@@ -183,16 +318,16 @@ let expect_err fd kind =
   | Error msg -> Alcotest.failf "no error frame: %s" msg
 
 let hello fd =
-  Wire.write_request fd
+  Wire.write_request ~proto:Wire.hello_proto fd
     (Wire.Hello { proto = Wire.version; git_rev = "test" });
   match Wire.read_response fd with
   | Ok (Wire.Hello_ok _) -> ()
   | Ok _ -> Alcotest.fail "expected Hello_ok"
   | Error msg -> Alcotest.failf "hello failed: %s" msg
 
-let with_sim ?(n = 1) ?jobs f =
+let with_sim ?(n = 1) ?jobs ?proto ?netchaos f =
   let dir = tmp_dir () in
-  let sim = Sim.start ?jobs ~dir ~n () in
+  let sim = Sim.start ?jobs ?proto ?netchaos ~dir ~n () in
   Fun.protect ~finally:(fun () -> Sim.stop sim) (fun () -> f sim)
 
 let test_worker_hello_discipline () =
@@ -205,10 +340,20 @@ let test_worker_hello_discipline () =
         Wire.write_request fd Wire.Worker_stats_req;
         expect_err fd Framed.Bad_request;
         Unix.close fd;
-        (* a future protocol version is refused by name *)
+        (* a future peer version negotiates down, not away *)
         let fd = raw_connect socket in
-        Wire.write_request fd
+        Wire.write_request ~proto:Wire.hello_proto fd
           (Wire.Hello { proto = Wire.version + 1; git_rev = "test" });
+        (match Wire.read_response fd with
+         | Ok (Wire.Hello_ok { proto; _ }) ->
+           checki "negotiated down to ours" Wire.version proto
+         | Ok _ -> Alcotest.fail "expected Hello_ok"
+         | Error msg -> Alcotest.failf "future-version Hello: %s" msg);
+        Unix.close fd;
+        (* a version below min_version is refused by name *)
+        let fd = raw_connect socket in
+        Wire.write_request ~proto:Wire.hello_proto fd
+          (Wire.Hello { proto = 0; git_rev = "test" });
         expect_err fd Framed.Unsupported_proto;
         Unix.close fd;
         (* Run before Set_spec is a Bad_request, not a crash *)
@@ -268,7 +413,7 @@ let test_worker_malformed_traffic () =
         let fd = raw_connect socket in
         hello fd;
         let spec = Campaign.spec ~count:2 ~seeds_per_test:2 ~seed:1 () in
-        Wire.write_request fd (Wire.Set_spec spec);
+        Wire.write_request fd (Wire.Set_spec (Wire.Fuzz spec));
         (match Wire.read_response fd with
          | Ok Wire.Spec_ok -> ()
          | Ok _ | Error _ -> Alcotest.fail "Set_spec refused");
@@ -281,6 +426,85 @@ let test_worker_malformed_traffic () =
         Wire.write_request fd (Wire.Run { j_shard = 1; j_lo = 0; j_hi = 99 });
         expect_err fd Framed.Bad_request;
         Unix.close fd)
+
+let test_worker_wire_hostility () =
+  if not (requires_fork ()) then ()
+  else
+    with_sim (fun sim ->
+        let socket = List.hd (Sim.sockets sim) in
+        let bases =
+          [| Codec.encode ~proto:Wire.version
+               (Wire.encode_payload ~proto:Wire.version
+                  (Wire.Hello { proto = Wire.version; git_rev = "t" }));
+             Codec.encode ~proto:Wire.version
+               (Wire.encode_payload ~proto:Wire.version
+                  (Wire.Run { j_shard = 0; j_lo = 0; j_hi = 1 }));
+             Codec.encode ~proto:1
+               (Wire.encode_payload ~proto:1 Wire.Worker_stats_req)
+          |]
+        in
+        let rng = Ise_util.Rng.create 99 in
+        for _ = 1 to 40 do
+          let m = Netchaos.Mutate.mutate rng (Ise_util.Rng.choose rng bases) in
+          let fd = raw_connect socket in
+          (* a mutation can leave a frame the worker must wait on
+             (truncation): bound our read instead of hanging the test *)
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.3;
+          (try ignore (Unix.write_substring fd m 0 (String.length m))
+           with Unix.Unix_error _ -> ());
+          (match Wire.read_response fd with
+           | Ok _ -> ()  (* typed error frame, or still a valid frame *)
+           | Error _ -> ()  (* clean close / corrupt reply detected *)
+           | exception
+               Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+             ()  (* the worker is (correctly) waiting for more bytes *));
+          Unix.close fd
+        done;
+        (* after 40 hostile connections the worker still works *)
+        let fd = raw_connect socket in
+        hello fd;
+        let spec = Campaign.spec ~count:2 ~seeds_per_test:2 ~seed:1 () in
+        Wire.write_request fd (Wire.Set_spec (Wire.Fuzz spec));
+        (match Wire.read_response fd with
+         | Ok Wire.Spec_ok -> ()
+         | Ok _ | Error _ -> Alcotest.fail "worker wedged by hostile wire");
+        Unix.close fd)
+
+(* ------------------------------------------------------------------ *)
+(* stale-socket hygiene                                                *)
+
+let test_stale_socket_hygiene () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "stale.sock" in
+  (* a SIGKILLed predecessor: the file exists, nobody listens *)
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.close dead;
+  checkb "stale file exists" true (Sys.file_exists path);
+  let _t = Framed.create ~socket_path:path () in
+  checkb "stale socket replaced" true (Sys.file_exists path);
+  (* a live owner is never stolen *)
+  (match Framed.create ~socket_path:path () with
+   | _ -> Alcotest.fail "stole a live daemon's socket"
+   | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ());
+  (* SIGTERM drains and unlinks: no stale file left behind *)
+  if requires_fork () then begin
+    let dir2 = tmp_dir () in
+    let sim = Sim.start ~dir:dir2 ~n:1 () in
+    let sock = List.hd (Sim.sockets sim) in
+    let fd = raw_connect sock in
+    Unix.close fd;
+    (match Sim.pids sim with
+     | [ pid ] ->
+       Unix.kill pid Sys.sigterm;
+       let deadline = Unix.gettimeofday () +. 5.0 in
+       while Sys.file_exists sock && Unix.gettimeofday () < deadline do
+         ignore (Unix.select [] [] [] 0.05)
+       done;
+       checkb "SIGTERM unlinked the socket" true (not (Sys.file_exists sock))
+     | _ -> Alcotest.fail "expected one worker");
+    Sim.stop sim
+  end
 
 (* ------------------------------------------------------------------ *)
 (* the fabric: byte-identity with a single-host run                    *)
@@ -316,7 +540,9 @@ let test_fabric_identity () =
             let cfg =
               Supervisor.default_config ~workers:(Sim.sockets sim)
             in
-            let ranges, outcomes, stats = Supervisor.run cfg spec in
+            let ranges, outcomes, stats =
+              Supervisor.run cfg (Wire.Fuzz spec)
+            in
             checki "all four workers connected" 4 stats.Supervisor.f_workers;
             checki "nothing ran inline" 0 stats.Supervisor.f_inline;
             let fab_log = ref [] in
@@ -367,7 +593,7 @@ let test_fabric_kill_mid_campaign () =
                 end);
           }
         in
-        let ranges, outcomes, stats = Supervisor.run cfg spec in
+        let ranges, outcomes, stats = Supervisor.run cfg (Wire.Fuzz spec) in
         checkb "the loss was detected" true
           (stats.Supervisor.f_worker_losses >= 1);
         checkb "every shard completed" true
@@ -378,6 +604,199 @@ let test_fabric_kill_mid_campaign () =
         checkb "killed-worker run is byte-identical" true
           (fingerprint ~seed:11 merged.Merge.m_report
           = fingerprint ~seed:11 reference))
+
+let test_fabric_rejoin () =
+  if not (requires_fork ()) then ()
+  else
+    (* heavy enough that the campaign outlives the rejoin probe: each
+       of the 16 shards takes ~20ms, serialized by window = 1 *)
+    let spec = Campaign.spec ~count:16 ~seeds_per_test:64 ~seed:11 () in
+    let reference = reference_run spec ~log:ignore in
+    with_sim ~n:2 (fun sim ->
+        let fired = ref false in
+        let cfg =
+          {
+            (Supervisor.default_config ~workers:(Sim.sockets sim)) with
+            Supervisor.shards = Some 16;
+            window = 1;
+            liveness = { test_liveness with rejoin_backoff_s = 0.01 };
+            on_shard_done =
+              (fun _ ->
+                (* kill worker 0 after the first shard, then restart
+                   it: the registry must re-admit it mid-campaign *)
+                if not !fired then begin
+                  fired := true;
+                  Sim.kill sim 0;
+                  Sim.restart sim 0
+                end);
+          }
+        in
+        let ranges, outcomes, stats = Supervisor.run cfg (Wire.Fuzz spec) in
+        checkb "the loss was detected" true
+          (stats.Supervisor.f_worker_losses >= 1);
+        checkb "the restarted worker rejoined" true
+          (stats.Supervisor.f_rejoins >= 1);
+        checkb "every shard completed" true
+          (Array.for_all
+             (function Supervisor.Shard_ok _ -> true | _ -> false)
+             outcomes);
+        let merged = Merge.merge spec ~ranges ~outcomes in
+        checkb "rejoin run is byte-identical" true
+          (fingerprint ~seed:11 merged.Merge.m_report
+          = fingerprint ~seed:11 reference))
+
+(* a worker that completes the handshake and then never answers
+   anything again — the heartbeat's prey *)
+let spawn_silent_worker path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       Unix.bind srv (Unix.ADDR_UNIX path);
+       Unix.listen srv 8;
+       while true do
+         let fd, _ = Unix.accept srv in
+         (try
+            (match Codec.read_frame_ext fd with
+             | Ok _ ->
+               Wire.write_response ~proto:Wire.hello_proto fd
+                 (Wire.Hello_ok
+                    { proto = Wire.version; git_rev = "silent";
+                      pid = Unix.getpid () });
+               (match Codec.read_frame_ext fd with
+                | Ok _ -> Wire.write_response fd Wire.Spec_ok
+                | Error _ -> ())
+             | Error _ -> ());
+            (* swallow everything (pings included), answer nothing *)
+            let buf = Bytes.create 4096 in
+            let rec drain () =
+              match Unix.read fd buf 0 4096 with 0 -> () | _ -> drain ()
+            in
+            drain ()
+          with _ -> ());
+         try Unix.close fd with Unix.Unix_error _ -> ()
+       done
+     with _ -> ());
+    Unix._exit 0
+  | pid -> pid
+
+let test_fabric_heartbeat_loss () =
+  if not (requires_fork ()) then ()
+  else
+    (* the single shard must outlast miss_budget+1 heartbeat rounds of
+       the 50ms supervisor loop (~0.15s): ~0.5s of fuzzing *)
+    let spec = Campaign.spec ~count:16 ~seeds_per_test:96 ~seed:21 () in
+    let reference = reference_run spec ~log:ignore in
+    with_sim ~n:1 (fun sim ->
+        let dir = tmp_dir () in
+        let silent_sock = Filename.concat dir "silent.sock" in
+        let silent_pid = spawn_silent_worker silent_sock in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.kill silent_pid Sys.sigkill
+             with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] silent_pid)
+            with Unix.Unix_error _ -> ())
+          (fun () ->
+            let workers = Sim.sockets sim @ [ silent_sock ] in
+            let cfg =
+              { (Supervisor.default_config ~workers) with
+                (* one shard: the real worker crunches it while the
+                   silent one sits idle — exactly the state heartbeats
+                   police *)
+                Supervisor.shards = Some 1;
+                liveness =
+                  { Supervisor.default_liveness with
+                    heartbeat_s = 0.03;
+                    miss_budget = 1;
+                    (* no re-admission: the loss must come from
+                       heartbeats and stay *)
+                    rejoin_backoff_s = 1e9;
+                  };
+              }
+            in
+            let ranges, outcomes, stats =
+              Supervisor.run cfg (Wire.Fuzz spec)
+            in
+            checkb "pings were sent" true (stats.Supervisor.f_pings >= 2);
+            checkb "the silent worker was lost via heartbeat" true
+              (stats.Supervisor.f_hb_losses >= 1);
+            let merged = Merge.merge spec ~ranges ~outcomes in
+            checkb "report unharmed by the silent worker" true
+              (fingerprint ~seed:21 merged.Merge.m_report
+              = fingerprint ~seed:21 reference)))
+
+let test_netchaos_fault_identity () =
+  if not (requires_fork ()) then ()
+  else
+    with_injected_bug (fun () ->
+        let spec = failing_spec () in
+        let reference = reference_run spec ~log:ignore in
+        checkb "campaign finds the injected bug" true
+          (reference.Campaign.r_failures <> []);
+        let pinned r =
+          Merge.ledger_record ~run_id:"rid" ~git_rev:"rev" ~time:0. spec r
+        in
+        (* every fault category (and all at once): the merged report,
+           its corpus artifacts, and its ledger record are
+           byte-identical to the clean single-host run *)
+        List.iter
+          (fun profile ->
+            with_sim ~n:2 ~netchaos:(33, profile) (fun sim ->
+                let cfg =
+                  { (Supervisor.default_config ~workers:(Sim.sockets sim)) with
+                    Supervisor.liveness = test_liveness;
+                    straggler_floor = 0.3;
+                  }
+                in
+                let ranges, outcomes, _stats =
+                  Supervisor.run cfg (Wire.Fuzz spec)
+                in
+                let merged = Merge.merge spec ~ranges ~outcomes in
+                checkb
+                  (Printf.sprintf "netchaos %s: report byte-identical"
+                     profile.Netchaos.name)
+                  true
+                  (fingerprint ~seed:5 merged.Merge.m_report
+                  = fingerprint ~seed:5 reference);
+                checkb
+                  (Printf.sprintf "netchaos %s: ledger record identical"
+                     profile.Netchaos.name)
+                  true
+                  (pinned merged.Merge.m_report = pinned reference)))
+          (Netchaos.calm :: Netchaos.all))
+
+let test_fabric_v1_compat () =
+  if not (requires_fork ()) then ()
+  else
+    let spec = Campaign.spec ~count:8 ~seeds_per_test:4 ~seed:13 () in
+    let reference = reference_run spec ~log:ignore in
+    with_sim ~n:2 ~proto:1 (fun sim ->
+        (* the v1 worker negotiates the connection down and refuses
+           v2-only requests by name *)
+        let socket = List.hd (Sim.sockets sim) in
+        let fd = raw_connect socket in
+        Wire.write_request ~proto:Wire.hello_proto fd
+          (Wire.Hello { proto = Wire.version; git_rev = "test" });
+        (match Wire.read_response fd with
+         | Ok (Wire.Hello_ok { proto; _ }) ->
+           checki "negotiated down to v1" 1 proto
+         | Ok _ -> Alcotest.fail "expected Hello_ok"
+         | Error msg -> Alcotest.failf "hello failed: %s" msg);
+        Wire.write_request ~proto:1 fd (Wire.Ping 7);
+        expect_err fd Framed.Bad_request;
+        Unix.close fd;
+        (* a v2 supervisor still runs a campaign over a v1 fleet —
+           silently skipping heartbeats on those connections *)
+        let cfg = Supervisor.default_config ~workers:(Sim.sockets sim) in
+        let ranges, outcomes, stats = Supervisor.run cfg (Wire.Fuzz spec) in
+        checki "no pings to v1 workers" 0 stats.Supervisor.f_pings;
+        checki "nothing ran inline" 0 stats.Supervisor.f_inline;
+        let merged = Merge.merge spec ~ranges ~outcomes in
+        checkb "v1 fleet is byte-identical" true
+          (fingerprint ~seed:13 merged.Merge.m_report
+          = fingerprint ~seed:13 reference))
 
 let test_fabric_store_cache () =
   if not (requires_fork ()) then ()
@@ -394,7 +813,7 @@ let test_fabric_store_cache () =
           shards = Some 8;
         }
       in
-      Supervisor.run cfg spec
+      Supervisor.run cfg (Wire.Fuzz spec)
     in
     let r1, o1, s1 =
       with_sim ~n:2 (fun sim -> once ~workers:(Sim.sockets sim))
@@ -421,16 +840,88 @@ let test_fabric_inline_fallback () =
   let cfg =
     {
       (Supervisor.default_config ~workers:[ "/nonexistent/fabric.sock" ]) with
-      Supervisor.connect_retries = 0;
+      Supervisor.liveness =
+        { Supervisor.default_liveness with connect_retries = 0 };
     }
   in
-  let ranges, outcomes, stats = Supervisor.run cfg spec in
+  let ranges, outcomes, stats = Supervisor.run cfg (Wire.Fuzz spec) in
   checki "no worker connected" 0 stats.Supervisor.f_workers;
   checki "every shard ran inline" stats.Supervisor.f_shards
     stats.Supervisor.f_inline;
   let merged = Merge.merge spec ~ranges ~outcomes in
   checkb "inline fallback is byte-identical" true
     (fingerprint ~seed:9 merged.Merge.m_report = fingerprint ~seed:9 reference)
+
+let test_fabric_require_workers () =
+  let spec = Campaign.spec ~count:4 ~seeds_per_test:2 ~seed:2 () in
+  let cfg =
+    {
+      (Supervisor.default_config ~workers:[ "/nonexistent/fabric.sock" ]) with
+      Supervisor.require_workers = 1;
+      liveness = { Supervisor.default_liveness with connect_retries = 0 };
+    }
+  in
+  (match Supervisor.run cfg (Wire.Fuzz spec) with
+   | _ -> Alcotest.fail "expected Insufficient_workers"
+   | exception Supervisor.Insufficient_workers { wanted; got } ->
+     checki "wanted" 1 wanted;
+     checki "got" 0 got);
+  (* without the floor the same dead fabric degrades to inline *)
+  let cfg = { cfg with Supervisor.require_workers = 0 } in
+  let _ranges, _outcomes, stats = Supervisor.run cfg (Wire.Fuzz spec) in
+  checki "degrades without the floor" stats.Supervisor.f_shards
+    stats.Supervisor.f_inline
+
+(* ------------------------------------------------------------------ *)
+(* chaos campaigns over the fabric                                     *)
+
+let test_chaos_spec_mapping () =
+  let profiles = Profile.all in
+  let cs = Chaos_run.spec ~trials:7 ~seed:100 ~profiles () in
+  for t = 0 to 6 do
+    let s, p = Chaos_run.trial_of_spec cs t in
+    checki "seed advances per trial" (100 + t) s;
+    checks "profile rotates"
+      (List.nth profiles (t mod List.length profiles)).Profile.name
+      p.Profile.name
+  done;
+  (match
+     Chaos_run.spec_profiles
+       { cs with Chaos_run.cs_profiles = [ "no-such-profile" ] }
+   with
+   | Error n -> checks "unknown profile is reported by name" "no-such-profile" n
+   | Ok _ -> Alcotest.fail "bogus profile accepted");
+  match Chaos_run.spec ~seed:1 ~profiles:[] () with
+  | _ -> Alcotest.fail "empty profile list accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_chaos_fabric_identity () =
+  if not (requires_fork ()) then ()
+  else begin
+    let profiles =
+      match Profile.all with a :: b :: _ -> [ a; b ] | _ -> Profile.all
+    in
+    let cs = Chaos_run.spec ~trials:4 ~cores:2 ~stores:40 ~seed:77 ~profiles () in
+    (* local = the sequential trial stream `ise chaos run -j 1` prints *)
+    let local = Chaos_run.check_range cs ~lo:0 ~hi:4 in
+    let render r = Format.asprintf "%a" Chaos_run.pp_report r in
+    with_sim ~n:3 (fun sim ->
+        let cfg =
+          { (Supervisor.default_config ~workers:(Sim.sockets sim)) with
+            Supervisor.shards = Some 4;
+          }
+        in
+        let ranges, outcomes, stats = Supervisor.run cfg (Wire.Chaos cs) in
+        checki "nothing ran inline" 0 stats.Supervisor.f_inline;
+        let reports, lost = Merge.merge_chaos ~ranges ~outcomes () in
+        checki "no lost trials" 0 lost;
+        checki "all trials came back" 4 (Array.length reports);
+        (* journals carry process-local run ids, so identity is judged
+           on the rendered reports — what the CLI prints — and the
+           watchdog/chaos counters *)
+        checkb "fabric chaos reports identical to local" true
+          (Array.to_list (Array.map render reports) = List.map render local))
+  end
 
 let suite =
   [
@@ -441,16 +932,38 @@ let suite =
     Alcotest.test_case "wire: shard keys invalidate" `Quick test_shard_keys;
     Alcotest.test_case "campaign: shard ranges union to the full run" `Slow
       test_range_union;
+    Alcotest.test_case "netchaos: seeded schedules are deterministic" `Quick
+      test_netchaos_deterministic;
+    Alcotest.test_case "wire: hostile frames decode to typed errors" `Quick
+      test_wire_hostility_decode;
     Alcotest.test_case "worker: hello and spec discipline" `Quick
       test_worker_hello_discipline;
     Alcotest.test_case "worker: malformed traffic, typed errors" `Quick
       test_worker_malformed_traffic;
+    Alcotest.test_case "worker: survives mutated-frame hostility" `Quick
+      test_worker_wire_hostility;
+    Alcotest.test_case "framed: stale-socket hygiene" `Quick
+      test_stale_socket_hygiene;
     Alcotest.test_case "fabric: 4 workers = single host, byte-identical"
       `Slow test_fabric_identity;
     Alcotest.test_case "fabric: worker killed mid-campaign" `Slow
       test_fabric_kill_mid_campaign;
+    Alcotest.test_case "fabric: killed worker restarts and rejoins" `Slow
+      test_fabric_rejoin;
+    Alcotest.test_case "fabric: silent worker lost via heartbeat" `Slow
+      test_fabric_heartbeat_loss;
+    Alcotest.test_case "fabric: byte-identity under every netchaos fault"
+      `Slow test_netchaos_fault_identity;
+    Alcotest.test_case "fabric: v1 workers still speak" `Slow
+      test_fabric_v1_compat;
     Alcotest.test_case "fabric: store answers a repeated campaign" `Quick
       test_fabric_store_cache;
     Alcotest.test_case "fabric: dead fabric degrades to inline" `Quick
       test_fabric_inline_fallback;
+    Alcotest.test_case "fabric: --require-workers fails fast" `Quick
+      test_fabric_require_workers;
+    Alcotest.test_case "chaos: spec maps trials like the CLI" `Quick
+      test_chaos_spec_mapping;
+    Alcotest.test_case "chaos: fabric dispatch = local trial stream" `Slow
+      test_chaos_fabric_identity;
   ]
