@@ -305,8 +305,9 @@ let gap_cmd =
 (* stats                                                               *)
 
 let stats_cmd =
-  let run kernel nodes degree no_inject format trace_out telemetry_out
+  let run kernel nodes degree no_inject format prom trace_out telemetry_out
       sample_period =
+    let format = if prom then "prom" else format in
     if sample_period <= 0 then begin
       Printf.eprintf "--sample-period must be positive\n";
       exit 1
@@ -324,8 +325,9 @@ let stats_cmd =
        print_endline
          (Ise_telemetry.Json.to_string_pretty
             (Ise_telemetry.Registry.to_json reg))
+     | "prom" -> print_string (Ise_telemetry.Registry.to_prometheus reg)
      | f ->
-       Printf.eprintf "unknown format %S (text|csv|json)\n" f;
+       Printf.eprintf "unknown format %S (text|csv|json|prom)\n" f;
        exit 1);
     (match trace_out with
      | Some path -> write_trace sink path
@@ -352,7 +354,8 @@ let stats_cmd =
   in
   let format_arg =
     Arg.(value & opt string "text"
-         & info [ "f"; "format" ] ~docv:"FMT" ~doc:"text|csv|json")
+         & info [ "f"; "format" ] ~docv:"FMT"
+             ~doc:"text|csv|json|prom (prom = Prometheus text exposition)")
   in
   let period_arg =
     Arg.(value & opt int 200
@@ -364,7 +367,13 @@ let stats_cmd =
        ~doc:"Run a GAP kernel with full telemetry and dump the metrics \
              registry (optionally a Perfetto trace)")
     Term.(const run $ kernel_arg $ nodes_arg $ degree_arg $ noinject_arg
-          $ format_arg $ trace_out_arg
+          $ format_arg
+          $ Arg.(value & flag
+                 & info [ "prom" ]
+                     ~doc:"Shorthand for $(b,--format prom): Prometheus \
+                           text exposition, scrapable as a node exporter \
+                           dump.")
+          $ trace_out_arg
           $ telemetry_out_arg
               ~doc:"Also write the (stamped) metrics registry as a JSON \
                     file, independent of --format."
@@ -1744,6 +1753,25 @@ let client_stats_cmd =
     (Cmd.info "stats" ~doc:"Print the daemon's lifetime counters")
     Term.(const run $ socket_arg)
 
+let client_metrics_cmd =
+  let run socket =
+    let c = connect_or_die socket in
+    match Ise_serve.Client.metrics c with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      Ise_serve.Client.close c;
+      1
+    | Ok text ->
+      Ise_serve.Client.close c;
+      print_string text;
+      0
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Dump the daemon's metrics in Prometheus text format (scrape \
+             target for long-lived daemons)")
+    Term.(const run $ socket_arg)
+
 let client_shutdown_cmd =
   let run socket =
     let c = connect_or_die socket in
@@ -1765,7 +1793,8 @@ let client_cmd =
   Cmd.group
     (Cmd.info "client"
        ~doc:"Talk to a running $(b,ise serve) daemon over its Unix socket")
-    [ client_litmus_cmd; client_stats_cmd; client_shutdown_cmd ]
+    [ client_litmus_cmd; client_stats_cmd; client_metrics_cmd;
+      client_shutdown_cmd ]
 
 let store_dir_pos_arg =
   Arg.(value & opt string ".ise-store"
@@ -1924,10 +1953,65 @@ let fabric_chaos_proxy_cmd =
     Term.(const run $ listen_arg $ upstream_arg $ seed_arg $ profile_arg
           $ quiet_arg)
 
+(* One ise-fabric-status/v1 snapshot rendered as a terminal table.
+   Shared by `ise top` and `fabric run --top`; writes to stderr so the
+   campaign's stdout stays byte-identical to a local run. *)
+let render_status ?(clear = true) doc =
+  let module J = Ise_telemetry.Json in
+  let i k o = Option.value (Option.bind (J.member k o) J.to_int) ~default:0 in
+  let f k o =
+    Option.value (Option.bind (J.member k o) J.to_float) ~default:0.
+  in
+  let s k o =
+    Option.value (Option.bind (J.member k o) J.to_str) ~default:"?"
+  in
+  let buf = Buffer.create 1024 in
+  if clear then Buffer.add_string buf "\027[H\027[2J";
+  let eta = f "eta_s" doc in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "ise fabric  %d/%d shards  %.1f shards/s  wall %.1fs  %s\n"
+       (i "done" doc) (i "shards" doc) (f "shards_per_s" doc)
+       (f "wall_s" doc)
+       (if eta < 0. then "eta --" else Printf.sprintf "eta %.0fs" eta));
+  let c =
+    match J.member "counters" doc with Some o -> o | None -> J.Obj []
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "dispatched %d (redispatch %d)  store hits %d  inline %d  losses %d \
+        rejoins %d  pings %d  hb losses %d  telemetry %d\n\n"
+       (i "dispatched" c) (i "redispatched" c) (i "store_hits" c)
+       (i "inline" c) (i "worker_losses" c) (i "rejoins" c) (i "pings" c)
+       (i "hb_losses" c) (i "telemetry_frames" c));
+  Buffer.add_string buf
+    (Printf.sprintf "%4s  %-8s  %5s  %8s  %6s  %5s  %s\n" "ID" "STATE"
+       "PROTO" "INFLIGHT" "DONE" "TELE" "PATH");
+  (match Option.bind (J.member "workers" doc) J.to_list with
+   | None -> ()
+   | Some ws ->
+     List.iter
+       (fun w ->
+         Buffer.add_string buf
+           (Printf.sprintf "%4d  %-8s  %5d  %8d  %6d  %5d  %s\n" (i "id" w)
+              (String.uppercase_ascii (s "state" w))
+              (i "proto" w) (i "inflight" w) (i "done" w)
+              (i "telemetry_frames" w) (s "path" w)))
+       ws);
+  Buffer.add_string buf
+    (Printf.sprintf "\newma %.0f ms   run %s\n" (f "ewma_ms" doc)
+       (s "run_id" doc));
+  prerr_string (Buffer.contents buf);
+  flush stderr
+
+let mkdir_p dir =
+  try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
 let fabric_run_cmd =
   let run seed count seeds_per_test variants_spec workers spawn spawn_jobs
       shards window store_dir corpus_dir no_save ledger require_workers
-      netchaos netchaos_seed soak_rejoin quiet =
+      netchaos netchaos_seed soak_rejoin top status_out prom_out trace_dir
+      quiet =
     let variants =
       match variants_of_spec variants_spec with
       | Ok vs -> vs
@@ -1966,9 +2050,35 @@ let fabric_run_cmd =
       Printf.eprintf "--soak-rejoin needs --spawn workers to kill\n";
       exit 1
     end;
+    (* the observability plane: any of --top/--status-out/--prom-out/
+       --trace-dir turns on v3 telemetry streaming.  --top owns the
+       terminal, so it implies --quiet. *)
+    let observing =
+      top || status_out <> None || prom_out <> None || trace_dir <> None
+    in
     let log =
-      if quiet then ignore
+      if quiet || top then ignore
       else fun msg -> Printf.eprintf "[ise-fabric] %s\n%!" msg
+    in
+    let obs_metrics =
+      if observing then Some (Ise_telemetry.Registry.create ()) else None
+    in
+    let sup_trace =
+      match trace_dir with
+      | Some dir ->
+        mkdir_p dir;
+        Some (Ise_telemetry.Trace.create ())
+      | None -> None
+    in
+    let observe =
+      { Ise_fabric.Supervisor.default_observe with
+        Ise_fabric.Supervisor.stream = observing;
+        metrics = obs_metrics;
+        trace = sup_trace;
+        trace_id = Printf.sprintf "ise-%s" (Ise_obs.Runinfo.run_id ());
+        status_out;
+        on_status = (if top then render_status ~clear:true else ignore);
+      }
     in
     let spec =
       Ise_fuzz.Campaign.spec ~count ~seeds_per_test ~variants ~seed ()
@@ -1982,8 +2092,8 @@ let fabric_run_cmd =
             (Printf.sprintf "ise-fabric-%d" (Unix.getpid ()))
         in
         Some
-          (Ise_fabric.Sim.start ~jobs:spawn_jobs ~log ?netchaos ~dir
-             ~n:spawn ())
+          (Ise_fabric.Sim.start ~jobs:spawn_jobs ~log ?netchaos ?trace_dir
+             ~dir ~n:spawn ())
       end
     in
     let workers =
@@ -2033,6 +2143,7 @@ let fabric_run_cmd =
         liveness;
         require_workers;
         await_rejoin_s = (if soak_rejoin then 30.0 else 0.0);
+        observe;
         on_shard_done;
         log;
       }
@@ -2050,6 +2161,26 @@ let fabric_run_cmd =
         exit 3
     in
     (match sim with None -> () | Some s -> Ise_fabric.Sim.stop s);
+    (* observability artifacts, written after the campaign drains *)
+    (match trace_dir, sup_trace with
+     | Some dir, Some tr ->
+       let doc =
+         Ise_telemetry.Trace.to_chrome_json
+           ~meta:
+             (("role", Ise_telemetry.Json.String "supervisor")
+              :: ("pid", Ise_telemetry.Json.Int (Unix.getpid ()))
+              :: Ise_obs.Runinfo.stamp ())
+           tr
+       in
+       let path = Filename.concat dir "supervisor.trace.json" in
+       write_file path (Ise_telemetry.Json.to_string doc);
+       log (Printf.sprintf "wrote supervisor trace to %s" path)
+     | _ -> ());
+    (match prom_out, obs_metrics with
+     | Some path, Some reg ->
+       write_file path (Ise_telemetry.Registry.to_prometheus reg);
+       log (Printf.sprintf "wrote prometheus snapshot to %s" path)
+     | _ -> ());
     let merged =
       Ise_fabric.Merge.merge ~log:prerr_endline spec ~ranges ~outcomes
     in
@@ -2184,6 +2315,36 @@ let fabric_run_cmd =
                    0 and restart it; fail unless the supervisor re-admits \
                    it (the nightly soak's rejoin assertion).")
   in
+  let top_arg =
+    Arg.(value & flag
+         & info [ "top" ]
+             ~doc:"Live campaign dashboard on stderr (refreshing table of \
+                   per-worker state, throughput, ETA); implies --quiet and \
+                   v3 telemetry streaming.  Campaign stdout is unchanged.")
+  in
+  let status_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "status-out" ] ~docv:"FILE"
+             ~doc:"Write an $(b,ise-fabric-status/v1) JSON snapshot to FILE \
+                   (atomically, every 0.5s and once after the drain); \
+                   $(b,ise top --status FILE) renders it from another \
+                   terminal.")
+  in
+  let prom_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "prom-out" ] ~docv:"FILE"
+             ~doc:"After the campaign drains, write the aggregated fleet \
+                   metrics (worker deltas + supervisor counters) to FILE in \
+                   Prometheus text format.")
+  in
+  let trace_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-dir" ] ~docv:"DIR"
+             ~doc:"Collect per-process Chrome traces under DIR: the \
+                   supervisor's dispatch spans and each --spawn worker's \
+                   shard spans (context-linked); merge with $(b,ise trace \
+                   stitch DIR/*.json).")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No dispatch logging.")
   in
@@ -2195,7 +2356,8 @@ let fabric_run_cmd =
           $ workers_arg $ spawn_arg $ spawn_jobs_arg $ shards_arg
           $ window_arg $ store_arg $ corpus_arg $ nosave_arg $ ledger_arg
           $ require_workers_arg $ netchaos_arg $ netchaos_seed_arg
-          $ soak_rejoin_arg $ quiet_arg)
+          $ soak_rejoin_arg $ top_arg $ status_out_arg $ prom_out_arg
+          $ trace_dir_arg $ quiet_arg)
 
 let fabric_cmd =
   Cmd.group
@@ -2204,6 +2366,135 @@ let fabric_cmd =
              straggler-aware supervisor, deterministic wire-fault \
              injection, and a deterministic merge")
     [ fabric_worker_cmd; fabric_run_cmd; fabric_chaos_proxy_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* trace: cross-process trace tooling                                  *)
+
+let trace_stitch_cmd =
+  let run files out =
+    match Ise_obs.Stitch.stitch_files files with
+    | Error msg ->
+      Printf.eprintf "stitch: %s\n" msg;
+      1
+    | Ok (doc, infos) ->
+      let text = Ise_telemetry.Json.to_string doc in
+      (match out with
+       | None -> print_string text
+       | Some path ->
+         write_file path text;
+         List.iter
+           (fun fi ->
+             Printf.eprintf
+               "  pid %d  %-10s  offset %+d us  %4d event(s)  %s\n"
+               fi.Ise_obs.Stitch.sf_pid fi.Ise_obs.Stitch.sf_role
+               fi.Ise_obs.Stitch.sf_offset_us fi.Ise_obs.Stitch.sf_events
+               fi.Ise_obs.Stitch.sf_file)
+           infos;
+         Printf.eprintf "wrote stitched trace to %s\n%!" path);
+      0
+  in
+  let files_arg =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"TRACE.json"
+             ~doc:"Per-process Chrome trace files (e.g. \
+                   $(b,--trace-dir) output of a fabric run).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the stitched document here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "stitch"
+       ~doc:"Merge per-process fabric trace files into one Perfetto \
+             timeline: one lane per process, worker clocks normalized \
+             against their dispatch anchors, orphan spans tagged. \
+             Deterministic for fixed inputs.")
+    Term.(const run $ files_arg $ out_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Distributed-trace tooling for fabric campaigns")
+    [ trace_stitch_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* top: live campaign dashboard                                        *)
+
+let top_cmd =
+  let run status once period =
+    let read () =
+      match
+        let ic = open_in_bin status in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with
+      | s -> (
+        match Ise_telemetry.Json.of_string s with
+        | Ok doc -> Some (s, doc)
+        | Error _ -> None (* torn read of a non-atomic writer: retry *))
+      | exception Sys_error _ -> None
+    in
+    if once then begin
+      match read () with
+      | Some (raw, _) ->
+        print_string raw;
+        if raw = "" || raw.[String.length raw - 1] <> '\n' then
+          print_newline ();
+        0
+      | None ->
+        Printf.eprintf "no status snapshot at %s\n" status;
+        1
+    end
+    else begin
+      (* follow the file until the campaign reports done = shards *)
+      let module J = Ise_telemetry.Json in
+      let finished = ref false in
+      let missing_logged = ref false in
+      while not !finished do
+        (match read () with
+         | Some (_, doc) ->
+           missing_logged := false;
+           render_status ~clear:true doc;
+           let geti k =
+             Option.value (Option.bind (J.member k doc) J.to_int) ~default:0
+           in
+           if geti "shards" > 0 && geti "done" >= geti "shards" then
+             finished := true
+         | None ->
+           if not !missing_logged then begin
+             Printf.eprintf "waiting for %s ...\n%!" status;
+             missing_logged := true
+           end);
+        if not !finished then ignore (Unix.select [] [] [] period)
+      done;
+      0
+    end
+  in
+  let status_arg =
+    Arg.(value & opt string (Filename.concat ".ise" "fabric-status.json")
+         & info [ "status" ] ~docv:"FILE"
+             ~doc:"Status snapshot to follow (the $(b,--status-out) of a \
+                   running $(b,ise fabric run)).")
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Print one machine-readable ise-fabric-status/v1 JSON \
+                   snapshot to stdout and exit (CI smoke / scripting).")
+  in
+  let period_arg =
+    Arg.(value & opt float 0.5
+         & info [ "period" ] ~docv:"S" ~doc:"Refresh period in seconds.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live fabric campaign dashboard: render the supervisor's \
+             status snapshots as a refreshing per-worker table until the \
+             campaign drains")
+    Term.(const run $ status_arg $ once_arg $ period_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -2234,7 +2525,7 @@ let () =
         (Cmd.group ~default info
            [ litmus_cmd; mbench_cmd; gap_cmd; mix_cmd; explain_cmd; stats_cmd;
              chaos_cmd; fuzz_cmd; report_cmd; compare_cmd; serve_cmd;
-             client_cmd; store_cmd; fabric_cmd ])
+             client_cmd; store_cmd; fabric_cmd; trace_cmd; top_cmd ])
     with e ->
       let bt = Printexc.get_backtrace () in
       let msg = Printexc.to_string e in
@@ -2244,12 +2535,13 @@ let () =
        | Some r ->
          Ise_obs.Recorder.note "cli/uncaught-exception"
            ~args:[ ("exn", Ise_telemetry.Json.String msg) ];
-         let path = Filename.concat ".ise" "crash-journal.jnl" in
-         (try
-            if not (Sys.file_exists ".ise") then Sys.mkdir ".ise" 0o755;
-            Ise_obs.Recorder.dump_to r path;
+         (* per-run/per-pid journal names: concurrent crashing ise
+            processes never clobber each other, and the oldest-first
+            prune bounds the directory *)
+         (match Ise_obs.Recorder.crash_dump r with
+          | Some path ->
             Printf.eprintf "flight recorder dumped to %s\n%!" path
-          with _ -> ()));
+          | None -> ()));
       125
   in
   exit code

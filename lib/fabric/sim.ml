@@ -4,6 +4,7 @@ type t = {
   dir : string;
   jobs : int;
   proto : int;
+  trace_dir : string option;
   log : (string -> unit) option;
   wpids : int array;  (* worker pids; restart replaces entries *)
   real : string array;  (* sockets the workers themselves listen on *)
@@ -11,7 +12,7 @@ type t = {
   proxies : int array;  (* netchaos proxy pids; empty without netchaos *)
 }
 
-let fork_worker ~jobs ~proto ~log sock =
+let fork_worker ~jobs ~proto ~log ?trace_out sock =
   match Unix.fork () with
   | 0 ->
     (* the child is a worker daemon and nothing else: any exit path
@@ -22,6 +23,7 @@ let fork_worker ~jobs ~proto ~log sock =
          { (Worker.default_config ~socket_path:sock) with
            jobs;
            proto;
+           trace_out;
            log = (match log with Some l -> l | None -> ignore);
          }
        in
@@ -47,7 +49,13 @@ let wait_ready sock =
   in
   loop ()
 
-let start ?(jobs = 1) ?log ?(proto = Wire.version) ?netchaos ~dir ~n () =
+let trace_path trace_dir k =
+  Option.map
+    (fun d -> Filename.concat d (Printf.sprintf "worker%d.trace.json" k))
+    trace_dir
+
+let start ?(jobs = 1) ?log ?(proto = Wire.version) ?netchaos ?trace_dir ~dir
+    ~n () =
   if not available then
     invalid_arg "Sim.start: fork is not available on this platform";
   if n <= 0 then invalid_arg "Sim.start: need at least one worker";
@@ -66,7 +74,16 @@ let start ?(jobs = 1) ?log ?(proto = Wire.version) ?netchaos ~dir ~n () =
   Array.iter
     (fun s -> try Unix.unlink s with Unix.Unix_error _ -> ())
     (Array.append public real);
-  let wpids = Array.map (fun sock -> fork_worker ~jobs ~proto ~log sock) real in
+  (match trace_dir with
+   | None -> ()
+   | Some d -> (
+     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()));
+  let wpids =
+    Array.mapi
+      (fun k sock ->
+        fork_worker ~jobs ~proto ~log ?trace_out:(trace_path trace_dir k) sock)
+      real
+  in
   let proxies =
     match netchaos with
     | None -> [||]
@@ -75,7 +92,7 @@ let start ?(jobs = 1) ?log ?(proto = Wire.version) ?netchaos ~dir ~n () =
           Netchaos.spawn ?log ~listen:public.(k) ~upstream:real.(k)
             ~seed:(seed + (7919 * k)) ~profile ())
   in
-  { dir; jobs; proto; log; wpids; real; public; proxies }
+  { dir; jobs; proto; trace_dir; log; wpids; real; public; proxies }
 
 let sockets t = Array.to_list t.public
 let pids t = Array.to_list t.wpids
@@ -90,7 +107,10 @@ let kill t k =
 
 let restart t k =
   if k < 0 || k >= Array.length t.wpids then invalid_arg "Sim.restart";
-  t.wpids.(k) <- fork_worker ~jobs:t.jobs ~proto:t.proto ~log:t.log t.real.(k);
+  t.wpids.(k) <-
+    fork_worker ~jobs:t.jobs ~proto:t.proto ~log:t.log
+      ?trace_out:(trace_path t.trace_dir k)
+      t.real.(k);
   wait_ready t.real.(k)
 
 let stop t =

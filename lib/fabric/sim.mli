@@ -19,6 +19,7 @@ val start :
   ?log:(string -> unit) ->
   ?proto:int ->
   ?netchaos:int * Netchaos.profile ->
+  ?trace_dir:string ->
   dir:string ->
   n:int ->
   unit ->
@@ -29,7 +30,10 @@ val start :
     old workers).  With [netchaos = (seed, profile)], each worker
     instead listens on [dir/worker<k>.real.sock] and a forked
     {!Netchaos.spawn} proxy serves [dir/worker<k>.sock] in front of
-    it, seeded deterministically per worker ([seed + 7919·k]).  The
+    it, seeded deterministically per worker ([seed + 7919·k]).  With
+    [trace_dir], worker [k] writes its shard-span trace to
+    [trace_dir/worker<k>.trace.json] (created if missing) after every
+    traced shard — readable even after {!stop}'s SIGKILL.  The
     children [_exit]; the parent keeps their pids.
     @raise Invalid_argument when fork is unavailable or [n <= 0]. *)
 

@@ -1,7 +1,7 @@
 open Ise_fuzz
 module Codec = Ise_pool.Codec
 
-let version = 2
+let version = 3
 let min_version = 1
 
 type campaign =
@@ -16,7 +16,22 @@ let campaign_seed = function
   | Fuzz s -> s.Campaign.s_seed
   | Chaos cs -> cs.Ise_chaos.Chaos_run.cs_seed
 
-type job = { j_shard : int; j_lo : int; j_hi : int }
+type job = {
+  j_shard : int;
+  j_lo : int;
+  j_hi : int;
+  (* v3 observability fields.  Marshal is structural and every fabric
+     endpoint is the same executable image, so older-*protocol* peers
+     still decode them — they just never act on them: a supervisor
+     only sets them on connections negotiated at >= 3. *)
+  j_ctx : (string * string) option;
+      (* (trace_id, dispatch span id): the worker parents its shard
+         span under the supervisor's dispatch span *)
+  j_stream : bool;  (* stream Telemetry frames after this shard *)
+}
+
+let plain_job ~shard ~lo ~hi =
+  { j_shard = shard; j_lo = lo; j_hi = hi; j_ctx = None; j_stream = false }
 
 type request =
   | Hello of { proto : int; git_rev : string }
@@ -46,6 +61,12 @@ type worker_stats = {
   ws_uptime_s : float;
 }
 
+type telemetry_update = {
+  tu_pid : int;
+  tu_seq : int;
+  tu_metrics : Ise_telemetry.Registry.drained;
+}
+
 type response =
   | Hello_ok of { proto : int; git_rev : string; pid : int }
   | Spec_ok
@@ -53,6 +74,7 @@ type response =
   | Shard_done of shard_result
   | Shard_failed of { shard : int; reason : string }
   | Worker_stats of worker_stats
+  | Telemetry of telemetry_update
   | Shutting_down
   | Error of Ise_serve.Framed.err_kind * string
 

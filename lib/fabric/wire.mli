@@ -9,13 +9,16 @@
 
     {b Versioning.}  v1 (PR 8) payloads are bare marshal; v2 payloads
     carry a leading MD5 digest of the marshalled value, and v2 adds
-    {!Ping}/{!Pong} liveness frames and chaos campaigns.  {!Hello} and
-    {!Hello_ok} always travel at v1 framing ({!hello_proto}) so the
-    handshake itself needs no negotiation; each side advertises the
-    highest version it speaks and the connection proceeds at the
-    minimum of the two.  A supervisor never sends {!Ping} (or any
-    other v2-only construct) on a connection negotiated at v1 — old
-    workers still speak.
+    {!Ping}/{!Pong} liveness frames and chaos campaigns.  v3 adds the
+    observability plane: trace context and a streaming flag on
+    {!job}, and unsolicited {!Telemetry} delta-snapshot frames from
+    the worker.  {!Hello} and {!Hello_ok} always travel at v1 framing
+    ({!hello_proto}) so the handshake itself needs no negotiation;
+    each side advertises the highest version it speaks and the
+    connection proceeds at the minimum of the two.  A supervisor never
+    sends {!Ping} or a context-carrying job (or any other
+    higher-version construct) on a connection negotiated below it —
+    old workers still speak, they just don't stream.
 
     A connection carries one campaign: the supervisor sends
     {!Set_spec} once — the full {!campaign} description, from which
@@ -27,7 +30,7 @@
 open Ise_fuzz
 
 val version : int
-(** Highest fabric protocol version this build speaks (2). *)
+(** Highest fabric protocol version this build speaks (3). *)
 
 val min_version : int
 (** Lowest version still accepted (1). *)
@@ -53,7 +56,18 @@ type job = {
   j_shard : int;  (** shard index, echoed back in the result *)
   j_lo : int;  (** global test/trial range [j_lo, j_hi) *)
   j_hi : int;
+  j_ctx : (string * string) option;
+      (** v3: [(trace_id, dispatch_span_id)] — the worker parents its
+          shard span under the supervisor's dispatch span.  [None] on
+          connections below v3 or when tracing is off *)
+  j_stream : bool;
+      (** v3: ask the worker to follow Shard_done / Pong with a
+          {!Telemetry} delta-snapshot.  Never set below v3 *)
 }
+
+val plain_job : shard:int -> lo:int -> hi:int -> job
+(** A job with no observability fields set — what a v1/v2 supervisor
+    would have sent. *)
 
 type request =
   | Hello of { proto : int; git_rev : string }
@@ -88,6 +102,13 @@ type worker_stats = {
   ws_uptime_s : float;
 }
 
+type telemetry_update = {
+  tu_pid : int;  (** sender's pid, for per-worker attribution *)
+  tu_seq : int;  (** per-worker monotonic sequence number *)
+  tu_metrics : Ise_telemetry.Registry.drained;
+      (** delta since the worker's previous drain *)
+}
+
 type response =
   | Hello_ok of { proto : int; git_rev : string; pid : int }
       (** [proto] is the negotiated version: min(worker's, peer's) *)
@@ -98,6 +119,11 @@ type response =
       (** the shard's checks raised or its pool lost workers; the
           supervisor re-dispatches *)
   | Worker_stats of worker_stats
+  | Telemetry of telemetry_update
+      (** v3: unsolicited delta-snapshot, sent after Shard_done/Pong
+          when the campaign streams.  Observability-only — the
+          supervisor folds it into live aggregates and it never
+          touches the result path *)
   | Shutting_down
   | Error of Ise_serve.Framed.err_kind * string
       (** typed error frame; the worker closes the connection after

@@ -1,11 +1,15 @@
 open Ise_fuzz
 module Framed = Ise_serve.Framed
+module Trace = Ise_telemetry.Trace
+module Registry = Ise_telemetry.Registry
+module Json = Ise_telemetry.Json
 
 type config = {
   socket_path : string;
   jobs : int;
   proto : int;
   max_payload : int;
+  trace_out : string option;
   log : string -> unit;
 }
 
@@ -14,6 +18,7 @@ let default_config ~socket_path = {
   jobs = 1;
   proto = Wire.version;
   max_payload = 64 * 1024 * 1024;
+  trace_out = None;
   log = ignore;
 }
 
@@ -34,7 +39,28 @@ let tests_for spec =
     memo := Some (fp, tests);
     tests
 
-let check ((c : Wire.campaign), lo, hi) : Wire.shard_payload =
+(* The trace context rides the pool's Codec job frames too, so a
+   forked pool worker can attribute its work to the campaign's
+   distributed trace (via the flight recorder, when one is enabled —
+   a no-op otherwise). *)
+type pool_job = {
+  pj_campaign : Wire.campaign;
+  pj_lo : int;
+  pj_hi : int;
+  pj_ctx : (string * string) option;  (* (trace_id, parent span id) *)
+}
+
+let check { pj_campaign = c; pj_lo = lo; pj_hi = hi; pj_ctx } :
+    Wire.shard_payload =
+  (match pj_ctx with
+   | None -> ()
+   | Some (trace_id, parent) ->
+     Ise_obs.Recorder.note ~cat:"fabric"
+       ~args:
+         [ (Trace.ctx_key_trace, Json.String trace_id);
+           (Trace.ctx_key_parent, Json.String parent);
+           ("lo", Json.Int lo); ("hi", Json.Int hi) ]
+       "pool-subrange");
   match c with
   | Wire.Fuzz spec ->
     Wire.Fuzz_raw (Campaign.check_range spec ~tests:(tests_for spec) ~lo ~hi)
@@ -58,7 +84,14 @@ type t = {
   cfg : config;
   framed : Framed.t;
   started : float;
-  pool : (Wire.campaign * int * int, Wire.shard_payload) Ise_pool.Pool.t option;
+  pool : (pool_job, Wire.shard_payload) Ise_pool.Pool.t option;
+  registry : Registry.t;  (* drained into Telemetry frames *)
+  trace : Trace.t;  (* wall-clock µs shard spans, written to trace_out *)
+  pool_sink : Ise_telemetry.Sink.t;
+      (* shares [registry]; its trace is a throwaway — pool spans use
+         relative timestamps and would pollute the stitched timeline *)
+  mutable stream : bool;  (* a v3 supervisor asked for Telemetry frames *)
+  mutable tele_seq : int;
   mutable campaign : Wire.campaign option;
   mutable shards_run : int;
   mutable pings : int;
@@ -77,11 +110,17 @@ let create cfg =
     end
     else None
   in
+  let registry = Registry.create () in
   {
     cfg;
     framed;
     started = Unix.gettimeofday ();
     pool;
+    registry;
+    trace = Trace.create ();
+    pool_sink = { Ise_telemetry.Sink.registry; trace = Trace.create () };
+    stream = false;
+    tele_seq = 0;
     campaign = None;
     shards_run = 0;
     pings = 0;
@@ -107,6 +146,45 @@ let send_at t conn ~proto resp =
 (* responses travel at the connection's negotiated version *)
 let send t conn resp = send_at t conn ~proto:(Framed.proto conn) resp
 
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+(* Atomic (tmp + rename) so a reader — or the stitcher — never sees a
+   torn file, and written after *every* shard because a simulated
+   worker dies by SIGKILL: the last drain is not guaranteed to run. *)
+let flush_trace t =
+  match t.cfg.trace_out with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Trace.to_chrome_json
+        ~meta:
+          (("role", Json.String "worker")
+           :: ("pid", Json.Int (Unix.getpid ()))
+           :: Ise_obs.Runinfo.stamp ())
+        t.trace
+    in
+    let tmp = path ^ ".tmp" in
+    (try
+       let oc = open_out_bin tmp in
+       output_string oc (Json.to_string doc);
+       close_out oc;
+       Sys.rename tmp path
+     with Sys_error _ -> ())
+
+(* Delta-snapshot frame: everything the registry accumulated since the
+   previous drain.  Observability-only — losing one (dead supervisor,
+   faulted wire) loses a little visibility, never a result. *)
+let send_telemetry t conn =
+  if t.stream && Framed.proto conn >= 3 then begin
+    let d = Registry.drain t.registry in
+    if d <> [] then begin
+      t.tele_seq <- t.tele_seq + 1;
+      send t conn
+        (Wire.Telemetry
+           { tu_pid = Unix.getpid (); tu_seq = t.tele_seq; tu_metrics = d })
+    end
+  end
+
 let send_error t conn kind msg =
   t.errors <- t.errors + 1;
   t.cfg.log (Printf.sprintf "error to supervisor: %s (%s)"
@@ -122,18 +200,49 @@ let send_error t conn kind msg =
    or run inline when the pool is disabled.  Any sub-range failure
    fails the whole shard — the supervisor's re-dispatch handles it. *)
 let run_shard t campaign (j : Wire.job) =
+  (* Shard span, parented under the supervisor's dispatch span when the
+     job carries a context.  The "receive" instant is the stitcher's
+     clock anchor: its (wall-clock) timestamp pairs with the dispatch
+     span's begin on the supervisor side. *)
+  let ctx =
+    match j.Wire.j_ctx with
+    | None -> None
+    | Some (trace_id, dispatch_span) ->
+      let span_id =
+        Printf.sprintf "w%d-s%d-%d" (Unix.getpid ()) j.Wire.j_shard
+          t.shards_run
+      in
+      Some
+        { Trace.trace_id; span_id; parent_span_id = Some dispatch_span }
+  in
+  let span_name = Printf.sprintf "shard %d" j.Wire.j_shard in
+  (match ctx with
+   | None -> ()
+   | Some c ->
+     let now = now_us () in
+     Trace.instant t.trace ~cat:"fabric" ~ctx:c ~name:"receive" ~tid:0 now;
+     Trace.span_begin t.trace ~cat:"fabric"
+       ~args:[ ("lo", Json.Int j.Wire.j_lo); ("hi", Json.Int j.Wire.j_hi) ]
+       ~ctx:c ~name:span_name ~tid:0 now);
+  let started = Unix.gettimeofday () in
   let sub_results =
     match t.pool with
     | Some pool when j.Wire.j_hi - j.Wire.j_lo > 1 ->
       let parts =
         Plan.partition ~count:(j.Wire.j_hi - j.Wire.j_lo) ~shards:t.cfg.jobs
       in
+      let pj_ctx =
+        Option.map (fun c -> (c.Trace.trace_id, c.Trace.span_id)) ctx
+      in
       let pjobs =
         Array.map
-          (fun (a, b) -> (campaign, j.Wire.j_lo + a, j.Wire.j_lo + b))
+          (fun (a, b) ->
+            { pj_campaign = campaign; pj_lo = j.Wire.j_lo + a;
+              pj_hi = j.Wire.j_lo + b; pj_ctx })
           parts
       in
-      let outcomes, _stats = Ise_pool.Pool.run pool pjobs in
+      let telemetry = if t.stream then Some t.pool_sink else None in
+      let outcomes, _stats = Ise_pool.Pool.run ?telemetry pool pjobs in
       Array.to_list outcomes
       |> List.map (function
            | Ise_pool.Pool.Done payload -> Ok payload
@@ -141,10 +250,21 @@ let run_shard t campaign (j : Wire.job) =
              Error (Ise_pool.Pool.error_to_string err)
            | Ise_pool.Pool.Split _ -> assert false (* no bisect here *))
     | _ -> (
-      match check (campaign, j.Wire.j_lo, j.Wire.j_hi) with
+      match
+        check
+          { pj_campaign = campaign; pj_lo = j.Wire.j_lo; pj_hi = j.Wire.j_hi;
+            pj_ctx = None }
+      with
       | payload -> [ Ok payload ]
       | exception e -> [ Error (Printexc.to_string e) ])
   in
+  let elapsed_ms = (Unix.gettimeofday () -. started) *. 1e3 in
+  (match ctx with
+   | None -> ()
+   | Some c ->
+     Trace.span_end t.trace ~cat:"fabric" ~ctx:c ~name:span_name ~tid:0
+       (now_us ());
+     flush_trace t);
   match
     List.find_map (function Error r -> Some r | Ok _ -> None) sub_results
   with
@@ -156,6 +276,10 @@ let run_shard t campaign (j : Wire.job) =
            sub_results)
     in
     t.shards_run <- t.shards_run + 1;
+    Registry.incr (Registry.counter t.registry "fabric/worker/shards_done");
+    Ise_util.Stats.add
+      (Registry.histogram t.registry "fabric/worker/shard_ms")
+      elapsed_ms;
     Wire.Shard_done
       { sr_shard = j.Wire.j_shard; sr_lo = j.Wire.j_lo; sr_hi = j.Wire.j_hi;
         sr_payload = payload }
@@ -211,7 +335,10 @@ let handle_request t conn (req : Wire.request) =
   | Wire.Ping token ->
     if Framed.proto conn >= 2 then begin
       t.pings <- t.pings + 1;
-      send t conn (Wire.Pong token)
+      Registry.incr (Registry.counter t.registry "fabric/worker/pings");
+      send t conn (Wire.Pong token);
+      (* an idle streaming worker piggybacks its deltas on heartbeats *)
+      send_telemetry t conn
     end
     else
       send_error t conn Framed.Bad_request
@@ -231,8 +358,11 @@ let handle_request t conn (req : Wire.request) =
         t.cfg.log
           (Printf.sprintf "shard %d: units [%d, %d)" j.Wire.j_shard
              j.Wire.j_lo j.Wire.j_hi);
+        if j.Wire.j_stream && Framed.proto conn >= 3 then t.stream <- true;
         match run_shard t campaign j with
-        | resp -> send t conn resp
+        | resp ->
+          send t conn resp;
+          send_telemetry t conn
         | exception e ->
           send_error t conn Framed.Internal (Printexc.to_string e)
       end)
@@ -262,6 +392,7 @@ let serve_forever t =
           "request payload does not decode")
     ~on_drained:(fun () ->
       Option.iter Ise_pool.Pool.close t.pool;
+      flush_trace t;
       t.cfg.log "drained; bye")
 
 let run cfg =

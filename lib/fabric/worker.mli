@@ -15,7 +15,13 @@
     negotiates the connection down (so a v2 worker still serves a v1
     supervisor); [proto = 1] in the config caps the worker at v1 —
     tests use it to {e be} the old worker.  {!Wire.Ping} is answered
-    with {!Wire.Pong} only on connections negotiated at ≥ 2.
+    with {!Wire.Pong} only on connections negotiated at ≥ 2.  On
+    connections negotiated at ≥ 3, a job with [j_stream] set switches
+    the worker into streaming mode: after every Shard_done (and after
+    every Pong while idle) it sends one {!Wire.Telemetry} frame
+    carrying the delta of its metrics registry since the previous
+    drain — shards done, shard wall-clock histogram, pings, and the
+    per-pool-worker job-latency histograms from {!Ise_pool.Pool}.
 
     Work model: {!Wire.Set_spec} installs the campaign — fuzz
     ({!Ise_fuzz.Campaign.check_range}) or chaos
@@ -33,11 +39,19 @@ type config = {
   jobs : int;  (** pool fan-out inside this worker; [<= 1] inline *)
   proto : int;  (** highest fabric version to speak (tests set 1) *)
   max_payload : int;
+  trace_out : string option;
+      (** Chrome trace file for this worker's shard spans (wall-clock
+          µs domain), rewritten atomically after every traced shard —
+          a SIGKILLed worker still leaves its last-completed-shard
+          trace for [ise trace stitch].  Spans are only emitted for
+          jobs that carry a {!Wire.job.j_ctx}, so the file stays an
+          empty skeleton unless a v3 supervisor traces the campaign *)
   log : string -> unit;
 }
 
 val default_config : socket_path:string -> config
-(** [jobs = 1], [proto = Wire.version], 64 MiB max payload, silent. *)
+(** [jobs = 1], [proto = Wire.version], 64 MiB max payload, no trace
+    file, silent. *)
 
 type t
 

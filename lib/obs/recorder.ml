@@ -85,6 +85,43 @@ let tail_lines ?(limit = 64) t =
   let evs = if n > limit then List.filteri (fun i _ -> i >= n - limit) evs else evs in
   List.map Journal.encode_event evs
 
+(* Crash journals are stamped with run id + pid so concurrent crashing
+   CLIs cannot clobber each other, and pruned oldest-first so a
+   crash-looping script cannot fill the disk. *)
+let crash_dump ?(dir = ".ise") ?(keep = 16) t =
+  try
+    (try Unix.mkdir dir 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "crash-%s-%d.jnl" (Runinfo.run_id ()) (Unix.getpid ()))
+    in
+    dump_to t path;
+    let is_crash_jnl f =
+      String.length f > 6
+      && String.sub f 0 6 = "crash-"
+      && Filename.check_suffix f ".jnl"
+    in
+    let stamped =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter is_crash_jnl
+      |> List.filter_map (fun f ->
+             let p = Filename.concat dir f in
+             match Unix.stat p with
+             | st -> Some (st.Unix.st_mtime, p)
+             | exception Unix.Unix_error _ -> None)
+      |> List.sort compare  (* oldest first; path breaks mtime ties *)
+    in
+    let excess = List.length stamped - max 1 keep in
+    if excess > 0 then
+      List.iteri
+        (fun i (_, p) ->
+          if i < excess && p <> path then
+            try Sys.remove p with Sys_error _ -> ())
+        stamped;
+    Some path
+  with Sys_error _ | Unix.Unix_error _ -> None
+
 let close t =
   match t.spill with
   | None -> ()

@@ -52,6 +52,14 @@ val tail_lines : ?limit:int -> t -> string list
 (** The newest [limit] (default [64]) encoded event lines, oldest
     first — for embedding in human-facing snapshots. *)
 
+val crash_dump : ?dir:string -> ?keep:int -> t -> string option
+(** Dump the journal to [dir/crash-<run_id>-<pid>.jnl] (default dir
+    [".ise"], created if missing), so concurrent crashing processes
+    never overwrite each other's dumps, then prune the directory's
+    [crash-*.jnl] files oldest-first (by mtime) down to [keep]
+    (default 16).  Returns the written path, or [None] if the dump
+    itself failed — a crash handler must never raise. *)
+
 val close : t -> unit
 (** Flushes and closes the spill channel, if any.  The ring stays
     readable. *)

@@ -1,0 +1,203 @@
+module Json = Ise_telemetry.Json
+module Trace = Ise_telemetry.Trace
+
+type input = { in_file : string; in_doc : Json.t }
+
+type file_info = {
+  sf_file : string;
+  sf_role : string;
+  sf_pid : int;
+  sf_offset_us : int;
+  sf_events : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* accessors over raw Chrome trace-event objects                       *)
+
+let obj_assoc = function Json.Obj kvs -> kvs | _ -> []
+let str_field k ev = Option.bind (Json.member k ev) Json.to_str
+let int_field k ev = Option.bind (Json.member k ev) Json.to_int
+
+let args_of ev =
+  match Json.member "args" ev with Some (Json.Obj kvs) -> kvs | _ -> []
+
+let arg_str k ev = Option.bind (List.assoc_opt k (args_of ev)) Json.to_str
+let span_id_of ev = arg_str Trace.ctx_key_span ev
+let parent_of ev = arg_str Trace.ctx_key_parent ev
+
+let events_of doc =
+  match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+  | Some evs -> evs
+  | None -> []
+
+let role_of doc =
+  match Option.bind (Json.member "role" doc) Json.to_str with
+  | Some r -> r
+  | None -> "worker"
+
+(* ------------------------------------------------------------------ *)
+(* stitching                                                           *)
+
+(* Deterministic input order: supervisor files first, then by
+   filename.  The Chrome pid of each process is its index in this
+   order, so the same set of files always stitches to the same
+   bytes. *)
+let order_inputs inputs =
+  List.sort
+    (fun a b ->
+      let rank i = if role_of i.in_doc = "supervisor" then 0 else 1 in
+      match compare (rank a) (rank b) with
+      | 0 -> compare a.in_file b.in_file
+      | c -> c)
+    inputs
+
+(* Per-process clock-offset normalization, anchored on dispatch /
+   receive pairs: the supervisor's dispatch span begin and the
+   worker's "receive" instant bracket one one-way message.  For each
+   matched pair, [receive_ts - dispatch_ts] = clock skew + wire
+   latency; the minimum over all pairs is the tightest skew bound the
+   trace itself offers (the classic one-way NTP argument).  Worker
+   timestamps are shifted by that offset, so the fastest observed
+   dispatch lands exactly on its dispatch span and everything else
+   stays causally after it. *)
+let offset_for ~dispatch_ts events =
+  List.fold_left
+    (fun acc ev ->
+      match (str_field "name" ev, parent_of ev) with
+      | Some "receive", Some parent -> (
+        match (Hashtbl.find_opt dispatch_ts parent, int_field "ts" ev) with
+        | Some dts, Some rts ->
+          let d = rts - dts in
+          (match acc with Some m when m <= d -> acc | _ -> Some d)
+        | _ -> acc)
+      | _ -> acc)
+    None events
+  |> Option.value ~default:0
+
+let stitch inputs =
+  let inputs = order_inputs inputs in
+  (* pass 1: every span id defined anywhere, and the begin timestamp
+     of every supervisor dispatch span *)
+  let known_spans = Hashtbl.create 256 in
+  let dispatch_ts = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      let sup = role_of i.in_doc = "supervisor" in
+      List.iter
+        (fun ev ->
+          match span_id_of ev with
+          | None -> ()
+          | Some id ->
+            Hashtbl.replace known_spans id ();
+            if sup && str_field "ph" ev = Some "B" then
+              match int_field "ts" ev with
+              | Some ts ->
+                (* keep the earliest begin for a (re-used) span id *)
+                (match Hashtbl.find_opt dispatch_ts id with
+                 | Some old when old <= ts -> ()
+                 | _ -> Hashtbl.replace dispatch_ts id ts)
+              | None -> ())
+        (events_of i.in_doc))
+    inputs;
+  (* pass 2: shift, re-pid, tag orphans *)
+  let infos = ref [] in
+  let out = ref [] in
+  List.iteri
+    (fun pid i ->
+      let role = role_of i.in_doc in
+      let events = events_of i.in_doc in
+      let offset =
+        if role = "supervisor" then 0 else offset_for ~dispatch_ts events
+      in
+      infos :=
+        { sf_file = Filename.basename i.in_file; sf_role = role;
+          sf_pid = pid; sf_offset_us = offset;
+          sf_events = List.length events }
+        :: !infos;
+      List.iteri
+        (fun seq ev ->
+          let ts =
+            match int_field "ts" ev with Some t -> t - offset | None -> 0
+          in
+          let orphan =
+            match parent_of ev with
+            | Some p -> not (Hashtbl.mem known_spans p)
+            | None -> false
+          in
+          let fields =
+            List.map
+              (fun (k, v) ->
+                match k with
+                | "ts" -> (k, Json.Int ts)
+                | "pid" -> (k, Json.Int pid)
+                | "args" when orphan ->
+                  (k, Json.Obj (obj_assoc v @ [ ("orphan", Json.Bool true) ]))
+                | _ -> (k, v))
+              (obj_assoc ev)
+          in
+          out := (ts, pid, seq, Json.Obj fields) :: !out)
+        events)
+    inputs;
+  let infos = List.rev !infos in
+  (* deterministic final order: normalized timestamp, then process,
+     then each file's own event order *)
+  let sorted =
+    List.sort
+      (fun (ts1, p1, s1, _) (ts2, p2, s2, _) ->
+        match compare ts1 ts2 with
+        | 0 -> ( match compare p1 p2 with 0 -> compare s1 s2 | c -> c)
+        | c -> c)
+      !out
+  in
+  let name_meta info =
+    Json.Obj
+      [ ("name", Json.String "process_name"); ("ph", Json.String "M");
+        ("pid", Json.Int info.sf_pid);
+        ( "args",
+          Json.Obj
+            [ ( "name",
+                Json.String
+                  (Printf.sprintf "%s (%s)" info.sf_role info.sf_file) ) ] )
+      ]
+  in
+  let stitch_meta =
+    Json.List
+      (List.map
+         (fun f ->
+           Json.Obj
+             [ ("file", Json.String f.sf_file);
+               ("role", Json.String f.sf_role); ("pid", Json.Int f.sf_pid);
+               ("offset_us", Json.Int f.sf_offset_us);
+               ("events", Json.Int f.sf_events) ])
+         infos)
+  in
+  ( Json.Obj
+      [ ("stitch", stitch_meta);
+        ( "traceEvents",
+          Json.List
+            (List.map name_meta infos
+            @ List.map (fun (_, _, _, ev) -> ev) sorted) );
+        ("displayTimeUnit", Json.String "ms") ],
+    infos )
+
+let load_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | Ok doc -> Ok { in_file = path; in_doc = doc }
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let stitch_files paths =
+  let rec load acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+      match load_file p with
+      | Ok i -> load (i :: acc) rest
+      | Error e -> Error e)
+  in
+  match load [] paths with
+  | Error e -> Error e
+  | Ok inputs -> Ok (stitch inputs)
+

@@ -1,0 +1,46 @@
+(** Cross-process trace stitching: merge per-process Chrome trace
+    files (one supervisor, N workers) into a single fleet-wide
+    Perfetto timeline.
+
+    Each fabric process writes its own trace in its own clock domain
+    (wall-clock µs of its host).  Stitching does three things:
+
+    - {b pid assignment}: inputs are ordered deterministically
+      (supervisor-role files first, then by filename) and each gets
+      that index as its Chrome [pid], plus a [process_name] metadata
+      event, so Perfetto shows one lane per process;
+    - {b clock-offset normalization}: for every worker file, the
+      offset is the minimum of [receive_ts - dispatch_ts] over all
+      matched dispatch/receive anchor pairs (a supervisor dispatch
+      span begin and the worker's ["receive"] instant whose
+      [parent_span_id] names it).  That minimum bounds clock skew from
+      above by one wire latency — the one-way NTP argument — and
+      subtracting it puts every worker event causally after its
+      dispatch;
+    - {b orphan tagging}: an event whose [parent_span_id] resolves to
+      no span in any input gets ["orphan": true] in its args instead
+      of being dropped — a parent lost to a SIGKILLed process is
+      evidence, not noise.
+
+    Output is deterministic for fixed inputs: stable input order,
+    stable event sort ([normalized ts], [pid], per-file sequence). *)
+
+type input = { in_file : string; in_doc : Ise_telemetry.Json.t }
+
+type file_info = {
+  sf_file : string;  (** basename *)
+  sf_role : string;  (** ["supervisor"] or ["worker"] *)
+  sf_pid : int;  (** assigned Chrome pid *)
+  sf_offset_us : int;  (** subtracted from every timestamp *)
+  sf_events : int;
+}
+
+val stitch : input list -> Ise_telemetry.Json.t * file_info list
+(** Merge the inputs into one Chrome trace document (top-level
+    [stitch] key records the per-file table). *)
+
+val load_file : string -> (input, string) result
+
+val stitch_files :
+  string list -> (Ise_telemetry.Json.t * file_info list, string) result
+(** {!load_file} each path, then {!stitch}. *)

@@ -60,6 +60,14 @@ let server_stats t =
   | Ok _ -> Error "unexpected response to stats request"
   | Error _ as e -> e
 
+let metrics t =
+  match rpc t Proto.Metrics_req with
+  | Ok (Proto.Metrics text) -> Ok text
+  | Ok (Proto.Error (kind, msg)) ->
+    Error (Printf.sprintf "%s (%s)" (Proto.err_name kind) msg)
+  | Ok _ -> Error "unexpected response to metrics request"
+  | Error _ as e -> e
+
 let shutdown t =
   match rpc t Proto.Shutdown with
   | Ok Proto.Shutting_down -> Ok ()

@@ -1,6 +1,10 @@
 open Ise_litmus
 
-let version = 1
+(* v2 adds Metrics_req / Metrics (Prometheus text exposition).  The
+   handshake is strict equality, and daemon and client ship in the
+   same executable image, so the bump is safe: there is no mixed-
+   version serve deployment to stay compatible with. *)
+let version = 2
 let store_abi = Cache.store_abi
 
 (* ------------------------------------------------------------------ *)
@@ -92,6 +96,7 @@ type request =
   | Litmus of { tests : Lit_test.t list; params : run_params }
   | Fuzz_replay of { entry : Ise_fuzz.Corpus.entry; seeds : int }
   | Stats_req
+  | Metrics_req
   | Shutdown
 
 type litmus_reply = { r_line : string; r_pass : bool; r_cached : bool }
@@ -131,6 +136,7 @@ type response =
   | Litmus_done of litmus_reply list
   | Replay_done of { result : (unit, string) result; cached : bool }
   | Stats of server_stats
+  | Metrics of string
   | Shutting_down
   | Error of err_kind * string
 

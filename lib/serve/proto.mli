@@ -86,6 +86,9 @@ type request =
   | Litmus of { tests : Lit_test.t list; params : run_params }
   | Fuzz_replay of { entry : Ise_fuzz.Corpus.entry; seeds : int }
   | Stats_req
+  | Metrics_req
+      (** v2: ask for a Prometheus text-format dump of the daemon's
+          metrics — the scrapable face of {!server_stats} *)
   | Shutdown  (** ask the daemon to drain and exit *)
 
 (** {1 Responses} *)
@@ -132,6 +135,10 @@ type response =
   | Litmus_done of litmus_reply list  (** in request order *)
   | Replay_done of { result : (unit, string) result; cached : bool }
   | Stats of server_stats
+  | Metrics of string
+      (** v2: Prometheus text exposition
+          ({!Ise_telemetry.Registry.to_prometheus}) of the daemon's
+          counters and store view *)
   | Shutting_down
   | Error of err_kind * string
       (** typed error frame; the daemon closes the connection after

@@ -15,6 +15,45 @@ type event = {
   ev_args : (string * Json.t) list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* distributed trace context                                           *)
+
+(* The context rides in [ev_args] rather than in dedicated record
+   fields: both serializers (the journal line codec and the Chrome
+   JSON emitter) round-trip args generically, so a context survives
+   every existing export/import path — and events without one cost
+   nothing. *)
+
+type ctx = {
+  trace_id : string;
+  span_id : string;
+  parent_span_id : string option;
+}
+
+let ctx_key_trace = "trace_id"
+let ctx_key_span = "span_id"
+let ctx_key_parent = "parent_span_id"
+
+let ctx_args c =
+  (ctx_key_trace, Json.String c.trace_id)
+  :: (ctx_key_span, Json.String c.span_id)
+  ::
+  (match c.parent_span_id with
+   | None -> []
+   | Some p -> [ (ctx_key_parent, Json.String p) ])
+
+let with_ctx ?ctx args =
+  match ctx with None -> args | Some c -> args @ ctx_args c
+
+let ctx_of_args args =
+  let str k = Option.bind (List.assoc_opt k args) Json.to_str in
+  match (str ctx_key_trace, str ctx_key_span) with
+  | Some trace_id, Some span_id ->
+    Some { trace_id; span_id; parent_span_id = str ctx_key_parent }
+  | _ -> None
+
+let ctx_of_event ev = ctx_of_args ev.ev_args
+
 type t = {
   ring : event Ring_buffer.t option;
   mutable events_rev : event list;  (* unbounded mode *)
@@ -41,20 +80,20 @@ let emit t ev =
     Ring_buffer.push rb ev
   | None -> t.events_rev <- ev :: t.events_rev
 
-let span_begin t ?(cat = "") ?(args = []) ~name ~tid ts =
+let span_begin t ?(cat = "") ?(args = []) ?ctx ~name ~tid ts =
   emit t
     { ev_name = name; ev_cat = cat; ev_ph = Span_begin; ev_ts = ts;
-      ev_tid = tid; ev_args = args }
+      ev_tid = tid; ev_args = with_ctx ?ctx args }
 
-let span_end t ?(cat = "") ?(args = []) ~name ~tid ts =
+let span_end t ?(cat = "") ?(args = []) ?ctx ~name ~tid ts =
   emit t
     { ev_name = name; ev_cat = cat; ev_ph = Span_end; ev_ts = ts; ev_tid = tid;
-      ev_args = args }
+      ev_args = with_ctx ?ctx args }
 
-let instant t ?(cat = "") ?(args = []) ~name ~tid ts =
+let instant t ?(cat = "") ?(args = []) ?ctx ~name ~tid ts =
   emit t
     { ev_name = name; ev_cat = cat; ev_ph = Instant; ev_ts = ts; ev_tid = tid;
-      ev_args = args }
+      ev_args = with_ctx ?ctx args }
 
 let counter t ~name ~value ts =
   emit t
@@ -86,12 +125,12 @@ let phase_letter = function
   | Instant -> "i"
   | Counter_sample -> "C"
 
-let event_to_json ev =
+let event_to_json ?(pid = 0) ev =
   let base =
     [ ("name", Json.String ev.ev_name);
       ("cat", Json.String (if ev.ev_cat = "" then "ise" else ev.ev_cat));
       ("ph", Json.String (phase_letter ev.ev_ph));
-      ("ts", Json.Int ev.ev_ts); ("pid", Json.Int 0);
+      ("ts", Json.Int ev.ev_ts); ("pid", Json.Int pid);
       ("tid", Json.Int ev.ev_tid) ]
   in
   let scope =
@@ -103,8 +142,8 @@ let event_to_json ev =
   in
   Json.Obj (base @ scope @ args)
 
-let to_chrome_json ?(meta = []) t =
+let to_chrome_json ?(meta = []) ?pid t =
   Json.Obj
     (meta
-    @ [ ("traceEvents", Json.List (List.map event_to_json (events t)));
+    @ [ ("traceEvents", Json.List (List.map (event_to_json ?pid) (events t)));
         ("displayTimeUnit", Json.String "ms") ])

@@ -29,6 +29,35 @@ type event = {
   ev_args : (string * Json.t) list;
 }
 
+(** {1 Distributed trace context}
+
+    A context identifies a span across process boundaries: the
+    supervisor opens a dispatch span, ships the ids over the wire, and
+    the worker parents its own spans under them.  The context rides in
+    [ev_args] (keys [trace_id] / [span_id] / [parent_span_id]), so it
+    survives every existing serializer — the journal line codec and
+    the Chrome JSON emitter both round-trip args generically. *)
+
+type ctx = {
+  trace_id : string;  (** one id per campaign/run *)
+  span_id : string;  (** this span *)
+  parent_span_id : string option;  (** the remote parent, if any *)
+}
+
+val ctx_key_trace : string
+val ctx_key_span : string
+val ctx_key_parent : string
+(** The [ev_args] keys a context occupies ([trace_id] / [span_id] /
+    [parent_span_id]). *)
+
+val ctx_args : ctx -> (string * Json.t) list
+(** The arg-list encoding of a context. *)
+
+val ctx_of_args : (string * Json.t) list -> ctx option
+(** Inverse of {!ctx_args}; [None] when no context is present. *)
+
+val ctx_of_event : event -> ctx option
+
 type t
 
 val create : ?ring_capacity:int -> unit -> t
@@ -36,17 +65,18 @@ val create : ?ring_capacity:int -> unit -> t
     enables the bounded mode. *)
 
 val span_begin :
-  t -> ?cat:string -> ?args:(string * Json.t) list -> name:string ->
-  tid:int -> int -> unit
-(** The trailing [int] is the cycle timestamp (likewise below). *)
+  t -> ?cat:string -> ?args:(string * Json.t) list -> ?ctx:ctx ->
+  name:string -> tid:int -> int -> unit
+(** The trailing [int] is the cycle timestamp (likewise below).
+    [ctx], when given, is appended to [args] via {!ctx_args}. *)
 
 val span_end :
-  t -> ?cat:string -> ?args:(string * Json.t) list -> name:string ->
-  tid:int -> int -> unit
+  t -> ?cat:string -> ?args:(string * Json.t) list -> ?ctx:ctx ->
+  name:string -> tid:int -> int -> unit
 
 val instant :
-  t -> ?cat:string -> ?args:(string * Json.t) list -> name:string ->
-  tid:int -> int -> unit
+  t -> ?cat:string -> ?args:(string * Json.t) list -> ?ctx:ctx ->
+  name:string -> tid:int -> int -> unit
 
 val counter : t -> name:string -> value:float -> int -> unit
 (** Emits a Chrome counter-track sample ([ph = "C"], [args = {"value":
@@ -62,7 +92,11 @@ val recorded : t -> int
 val dropped : t -> int
 val clear : t -> unit
 
-val to_chrome_json : ?meta:(string * Json.t) list -> t -> Json.t
+val event_to_json : ?pid:int -> event -> Json.t
+(** One Chrome trace-event object.  [pid] defaults to 0; the stitcher
+    assigns one pid per source process. *)
+
+val to_chrome_json : ?meta:(string * Json.t) list -> ?pid:int -> t -> Json.t
 (** [{"traceEvents": [...], "displayTimeUnit": "ms"}].  [meta]
     key/values (e.g. a run id / git rev stamp) are spliced into the
     top-level object ahead of [traceEvents]; Chrome/Perfetto ignore

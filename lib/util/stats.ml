@@ -88,6 +88,8 @@ let percentile t p =
       +. (frac *. (t.sorted_cache.(hi) -. t.sorted_cache.(lo)))
   end
 
+let samples t = Array.sub t.samples 0 t.size
+
 let merge a b =
   let t = create () in
   for i = 0 to a.size - 1 do

@@ -27,6 +27,11 @@ val percentile : t -> float -> float
     sorted order is cached and reused across queries until the next
     [add].  Returns [nan] when empty. *)
 
+val samples : t -> float array
+(** Copy of the recorded samples, in insertion order.  Used by the
+    telemetry delta-snapshot machinery to ship raw samples across
+    processes so the receiver can compute exact percentiles. *)
+
 val merge : t -> t -> t
 (** Combine two accumulators into a fresh one. *)
 

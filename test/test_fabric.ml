@@ -217,7 +217,7 @@ let test_wire_hostility_decode () =
   let base =
     Codec.encode ~proto:Wire.version
       (Wire.encode_payload ~proto:Wire.version
-         (Wire.Run { j_shard = 1; j_lo = 2; j_hi = 9 }))
+         (Wire.Run (Wire.plain_job ~shard:1 ~lo:2 ~hi:9)))
   in
   (* any mutation — truncation, bit flips, version/proto skew, absurd
      length claims — must yield a typed decode result, never an
@@ -325,9 +325,9 @@ let hello fd =
   | Ok _ -> Alcotest.fail "expected Hello_ok"
   | Error msg -> Alcotest.failf "hello failed: %s" msg
 
-let with_sim ?(n = 1) ?jobs ?proto ?netchaos f =
+let with_sim ?(n = 1) ?jobs ?proto ?netchaos ?trace_dir f =
   let dir = tmp_dir () in
-  let sim = Sim.start ?jobs ?proto ?netchaos ~dir ~n () in
+  let sim = Sim.start ?jobs ?proto ?netchaos ?trace_dir ~dir ~n () in
   Fun.protect ~finally:(fun () -> Sim.stop sim) (fun () -> f sim)
 
 let test_worker_hello_discipline () =
@@ -359,7 +359,7 @@ let test_worker_hello_discipline () =
         (* Run before Set_spec is a Bad_request, not a crash *)
         let fd = raw_connect socket in
         hello fd;
-        Wire.write_request fd (Wire.Run { j_shard = 0; j_lo = 0; j_hi = 1 });
+        Wire.write_request fd (Wire.Run (Wire.plain_job ~shard:0 ~lo:0 ~hi:1));
         expect_err fd Framed.Bad_request;
         Unix.close fd)
 
@@ -417,13 +417,13 @@ let test_worker_malformed_traffic () =
         (match Wire.read_response fd with
          | Ok Wire.Spec_ok -> ()
          | Ok _ | Error _ -> Alcotest.fail "Set_spec refused");
-        Wire.write_request fd (Wire.Run { j_shard = 0; j_lo = 0; j_hi = 2 });
+        Wire.write_request fd (Wire.Run (Wire.plain_job ~shard:0 ~lo:0 ~hi:2));
         (match Wire.read_response fd with
          | Ok (Wire.Shard_done sr) ->
            checki "echoes the shard id" 0 sr.Wire.sr_shard
          | Ok _ | Error _ -> Alcotest.fail "worker did not survive abuse");
         (* a Run range outside the spec is a Bad_request *)
-        Wire.write_request fd (Wire.Run { j_shard = 1; j_lo = 0; j_hi = 99 });
+        Wire.write_request fd (Wire.Run (Wire.plain_job ~shard:1 ~lo:0 ~hi:99));
         expect_err fd Framed.Bad_request;
         Unix.close fd)
 
@@ -438,7 +438,7 @@ let test_worker_wire_hostility () =
                   (Wire.Hello { proto = Wire.version; git_rev = "t" }));
              Codec.encode ~proto:Wire.version
                (Wire.encode_payload ~proto:Wire.version
-                  (Wire.Run { j_shard = 0; j_lo = 0; j_hi = 1 }));
+                  (Wire.Run (Wire.plain_job ~shard:0 ~lo:0 ~hi:1)));
              Codec.encode ~proto:1
                (Wire.encode_payload ~proto:1 Wire.Worker_stats_req)
           |]
@@ -798,6 +798,219 @@ let test_fabric_v1_compat () =
           (fingerprint ~seed:13 merged.Merge.m_report
           = fingerprint ~seed:13 reference))
 
+(* ------------------------------------------------------------------ *)
+(* observability plane                                                 *)
+
+module Json = Ise_telemetry.Json
+module Registry_t = Ise_telemetry.Registry
+module Trace_t = Ise_telemetry.Trace
+
+let test_fabric_streaming_observability () =
+  if not (requires_fork ()) then ()
+  else
+    let spec = Campaign.spec ~count:24 ~seeds_per_test:4 ~seed:11 () in
+    let reference = reference_run spec ~log:ignore in
+    let trace_dir = tmp_dir () in
+    with_sim ~n:4 ~trace_dir (fun sim ->
+        let reg = Registry_t.create () in
+        let tr = Trace_t.create () in
+        let status_path = Filename.concat trace_dir "status.json" in
+        let statuses = ref 0 in
+        let observe =
+          { Supervisor.stream = true;
+            metrics = Some reg;
+            trace = Some tr;
+            trace_id = "t-obs";
+            status_out = Some status_path;
+            status_period_s = 0.02;
+            on_status = (fun _ -> incr statuses);
+          }
+        in
+        let cfg =
+          { (Supervisor.default_config ~workers:(Sim.sockets sim)) with
+            Supervisor.shards = Some 16;
+            observe;
+          }
+        in
+        let ranges, outcomes, stats = Supervisor.run cfg (Wire.Fuzz spec) in
+        (* the headline property: telemetry is never on the result
+           path — full streaming changes nothing in the merge *)
+        let merged = Merge.merge spec ~ranges ~outcomes in
+        checkb "byte-identical with streaming on" true
+          (fingerprint ~seed:11 merged.Merge.m_report
+          = fingerprint ~seed:11 reference);
+        checkb "telemetry frames absorbed" true
+          (stats.Supervisor.f_telemetry_frames > 0);
+        checkb "status callback fired" true (!statuses >= 1);
+        (* worker delta-snapshots accumulated into the live aggregate *)
+        checkb "fleet shard completions" true
+          (Registry_t.value
+             (Registry_t.counter reg "fabric/worker/shards_done")
+           >= 16);
+        (match Registry_t.find_histogram reg "fabric/worker/shard_ms" with
+         | None -> Alcotest.fail "no aggregated shard-latency histogram"
+         | Some st ->
+           checkb "latency samples streamed" true
+             (Ise_util.Stats.count st >= 16);
+           (* raw samples travel, so fleet-wide tail quantiles exist *)
+           checkb "p999 computable" true
+             (Ise_util.Stats.percentile st 99.9 >= 0.));
+        (* the final snapshot validates against ise-fabric-status/v1 *)
+        let ic = open_in_bin status_path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let doc =
+          match Json.of_string text with
+          | Ok d -> d
+          | Error e -> Alcotest.failf "status does not parse: %s" e
+        in
+        let geti k =
+          Option.value (Option.bind (Json.member k doc) Json.to_int)
+            ~default:(-1)
+        in
+        checks "status schema"  "ise-fabric-status/v1"
+          (Option.value ~default:"?"
+             (Option.bind (Json.member "schema" doc) Json.to_str));
+        checki "status shards" 16 (geti "shards");
+        checki "status drained" 16 (geti "done");
+        (match Option.bind (Json.member "workers" doc) Json.to_list with
+         | Some ws -> checki "status workers" 4 (List.length ws)
+         | None -> Alcotest.fail "status has no workers table");
+        checkb "status counters present" true
+          (Json.member "counters" doc <> None))
+
+let test_fabric_trace_parenting () =
+  if not (requires_fork ()) then ()
+  else
+    let spec = Campaign.spec ~count:16 ~seeds_per_test:4 ~seed:17 () in
+    let trace_dir = tmp_dir () in
+    with_sim ~n:4 ~trace_dir (fun sim ->
+        let tr = Trace_t.create () in
+        let observe =
+          { Supervisor.default_observe with
+            Supervisor.stream = true;
+            trace = Some tr;
+            trace_id = "t-stitch";
+          }
+        in
+        let cfg =
+          { (Supervisor.default_config ~workers:(Sim.sockets sim)) with
+            Supervisor.shards = Some 8;
+            observe;
+          }
+        in
+        let _, outcomes, _ = Supervisor.run cfg (Wire.Fuzz spec) in
+        checkb "every shard completed" true
+          (Array.for_all
+             (function Supervisor.Shard_ok _ -> true | _ -> false)
+             outcomes);
+        (* write the supervisor's trace next to the workers' and
+           stitch the directory, exactly as the CLI does *)
+        let sup_path = Filename.concat trace_dir "supervisor.trace.json" in
+        let oc = open_out_bin sup_path in
+        output_string oc
+          (Json.to_string
+             (Trace_t.to_chrome_json
+                ~meta:[ ("role", Json.String "supervisor") ]
+                tr));
+        close_out oc;
+        let files =
+          Sys.readdir trace_dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".json")
+          |> List.sort compare
+          |> List.map (Filename.concat trace_dir)
+        in
+        checkb "supervisor + 4 workers traced" true (List.length files = 5);
+        let doc, infos =
+          match Ise_obs.Stitch.stitch_files files with
+          | Ok r -> r
+          | Error e -> Alcotest.failf "stitch failed: %s" e
+        in
+        List.iter
+          (fun fi ->
+            if fi.Ise_obs.Stitch.sf_role = "worker" then
+              checkb "offset is causal" true
+                (fi.Ise_obs.Stitch.sf_offset_us >= 0))
+          infos;
+        let evs =
+          match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+          | Some e -> e
+          | None -> Alcotest.fail "no traceEvents"
+        in
+        let sfield k ev = Option.bind (Json.member k ev) Json.to_str in
+        let arg k ev =
+          Option.bind (Json.member "args" ev) (fun a ->
+              Option.bind (Json.member k a) Json.to_str)
+        in
+        let dispatch_spans =
+          List.filter_map
+            (fun ev ->
+              match
+                (Option.bind (Json.member "pid" ev) Json.to_int,
+                 sfield "ph" ev)
+              with
+              | Some 0, Some "B" -> arg Trace_t.ctx_key_span ev
+              | _ -> None)
+            evs
+        in
+        (* the acceptance bar: every worker shard span parents under a
+           supervisor dispatch span, and nothing is orphaned *)
+        let shard_spans = ref 0 in
+        List.iter
+          (fun ev ->
+            match
+              (Option.bind (Json.member "pid" ev) Json.to_int,
+               sfield "ph" ev, sfield "name" ev)
+            with
+            | Some pid, Some "B", Some name
+              when pid > 0
+                   && String.length name >= 6
+                   && String.sub name 0 6 = "shard " ->
+              incr shard_spans;
+              (match arg Trace_t.ctx_key_parent ev with
+               | Some parent ->
+                 checkb "parent is a dispatch span" true
+                   (List.mem parent dispatch_spans)
+               | None -> Alcotest.fail "worker shard span has no parent");
+              checkb "not orphaned" true
+                (Option.bind (Json.member "args" ev) (Json.member "orphan")
+                 = None)
+            | _ -> ())
+          evs;
+        checkb "worker shard spans present" true (!shard_spans >= 8))
+
+let test_fabric_streaming_v1_degrades () =
+  if not (requires_fork ()) then ()
+  else
+    (* observability requested against a v1 fleet: the supervisor must
+       not ship ctx or stream flags those workers cannot decode, and
+       the campaign must be unaffected *)
+    let spec = Campaign.spec ~count:8 ~seeds_per_test:4 ~seed:13 () in
+    let reference = reference_run spec ~log:ignore in
+    with_sim ~n:2 ~proto:1 (fun sim ->
+        let reg = Registry_t.create () in
+        let observe =
+          { Supervisor.default_observe with
+            Supervisor.stream = true;
+            metrics = Some reg;
+            trace = Some (Trace_t.create ());
+            trace_id = "t-v1";
+          }
+        in
+        let cfg =
+          { (Supervisor.default_config ~workers:(Sim.sockets sim)) with
+            Supervisor.observe = observe;
+          }
+        in
+        let ranges, outcomes, stats = Supervisor.run cfg (Wire.Fuzz spec) in
+        checki "v1 workers stream nothing" 0
+          stats.Supervisor.f_telemetry_frames;
+        checki "nothing ran inline" 0 stats.Supervisor.f_inline;
+        let merged = Merge.merge spec ~ranges ~outcomes in
+        checkb "v1 fleet byte-identical under observe" true
+          (fingerprint ~seed:13 merged.Merge.m_report
+          = fingerprint ~seed:13 reference))
+
 let test_fabric_store_cache () =
   if not (requires_fork ()) then ()
   else
@@ -954,6 +1167,12 @@ let suite =
       test_fabric_heartbeat_loss;
     Alcotest.test_case "fabric: byte-identity under every netchaos fault"
       `Slow test_netchaos_fault_identity;
+    Alcotest.test_case "fabric: streaming telemetry, identity preserved"
+      `Slow test_fabric_streaming_observability;
+    Alcotest.test_case "fabric: stitched trace parents shard spans" `Slow
+      test_fabric_trace_parenting;
+    Alcotest.test_case "fabric: observe degrades on a v1 fleet" `Slow
+      test_fabric_streaming_v1_degrades;
     Alcotest.test_case "fabric: v1 workers still speak" `Slow
       test_fabric_v1_compat;
     Alcotest.test_case "fabric: store answers a repeated campaign" `Quick

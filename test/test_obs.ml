@@ -513,6 +513,205 @@ let test_auto_shard_sizing_deterministic () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* trace stitching                                                     *)
+
+module Json = Ise_telemetry.Json
+
+(* hand-built Chrome trace-event objects, so each test controls the
+   clock domains exactly *)
+let chrome_ev ?(ph = "i") ?(tid = 0) ?(args = []) ~name ts =
+  Json.Obj
+    [ ("name", Json.String name); ("cat", Json.String "fabric");
+      ("ph", Json.String ph); ("ts", Json.Int ts); ("pid", Json.Int 0);
+      ("tid", Json.Int tid); ("args", Json.Obj args) ]
+
+let ctx_args ?parent span =
+  (Ise_telemetry.Trace.ctx_key_span, Json.String span)
+  :: (match parent with
+      | Some p -> [ (Ise_telemetry.Trace.ctx_key_parent, Json.String p) ]
+      | None -> [])
+
+let doc ?role events =
+  Json.Obj
+    ((match role with
+      | Some r -> [ ("role", Json.String r) ]
+      | None -> [])
+    @ [ ("traceEvents", Json.List events) ])
+
+let sup_input =
+  { Ise_obs.Stitch.in_file = "supervisor.trace.json";
+    in_doc =
+      doc ~role:"supervisor"
+        [ chrome_ev ~ph:"B" ~name:"dispatch shard 0"
+            ~args:(ctx_args "d-0") 1000;
+          chrome_ev ~ph:"E" ~name:"dispatch shard 0"
+            ~args:(ctx_args "d-0") 1900;
+          chrome_ev ~ph:"B" ~name:"dispatch shard 1"
+            ~args:(ctx_args "d-1") 2000;
+          chrome_ev ~ph:"E" ~name:"dispatch shard 1"
+            ~args:(ctx_args "d-1") 2900 ] }
+
+(* this worker's clock runs 7000 us ahead; its fastest observed
+   dispatch (d-1, 50 us latency) bounds the skew at 7050 *)
+let worker_input =
+  { Ise_obs.Stitch.in_file = "worker0.trace.json";
+    in_doc =
+      doc ~role:"worker"
+        [ chrome_ev ~name:"receive" ~args:(ctx_args ~parent:"d-0" "w-r0")
+            8100;
+          chrome_ev ~ph:"B" ~name:"shard 0"
+            ~args:(ctx_args ~parent:"d-0" "w-s0") 8200;
+          chrome_ev ~ph:"E" ~name:"shard 0"
+            ~args:(ctx_args ~parent:"d-0" "w-s0") 8500;
+          chrome_ev ~name:"receive" ~args:(ctx_args ~parent:"d-1" "w-r1")
+            9050 ] }
+
+let ts_of ev = Option.bind (Json.member "ts" ev) Json.to_int
+let name_of ev = Option.bind (Json.member "name" ev) Json.to_str
+
+let stitched_events d =
+  match Option.bind (Json.member "traceEvents" d) Json.to_list with
+  | Some evs -> evs
+  | None -> Alcotest.fail "stitched doc has no traceEvents"
+
+let test_stitch_skew_normalization () =
+  let d, infos = Ise_obs.Stitch.stitch [ worker_input; sup_input ] in
+  (* supervisor first regardless of argument order, pid 0 / offset 0 *)
+  (match infos with
+   | [ s; w ] ->
+     Alcotest.(check string) "sup role" "supervisor" s.Ise_obs.Stitch.sf_role;
+     Alcotest.(check int) "sup pid" 0 s.Ise_obs.Stitch.sf_pid;
+     Alcotest.(check int) "sup offset" 0 s.Ise_obs.Stitch.sf_offset_us;
+     Alcotest.(check int) "worker pid" 1 w.Ise_obs.Stitch.sf_pid;
+     (* min(8100-1000, 9050-2000): the tightest anchor wins *)
+     Alcotest.(check int) "worker offset" 7050 w.Ise_obs.Stitch.sf_offset_us
+   | _ -> Alcotest.fail "expected two file infos");
+  let evs = stitched_events d in
+  (* the anchoring receive lands exactly on its dispatch begin, and
+     every worker event is causally after its dispatch *)
+  let receive1 =
+    List.find
+      (fun ev ->
+        name_of ev = Some "receive"
+        && Option.bind (Json.member "args" ev) (fun a ->
+               Option.bind
+                 (Json.member Ise_telemetry.Trace.ctx_key_parent a)
+                 Json.to_str)
+           = Some "d-1")
+      evs
+  in
+  Alcotest.(check (option int)) "anchor on dispatch" (Some 2000)
+    (ts_of receive1);
+  List.iter
+    (fun ev ->
+      if name_of ev = Some "shard 0" then
+        match ts_of ev with
+        | Some ts ->
+          Alcotest.(check bool) "shard after dispatch" true (ts >= 1000)
+        | None -> ())
+    evs
+
+let test_stitch_deterministic () =
+  let d1, _ = Ise_obs.Stitch.stitch [ sup_input; worker_input ] in
+  let d2, _ = Ise_obs.Stitch.stitch [ worker_input; sup_input ] in
+  Alcotest.(check string) "byte-identical output"
+    (Json.to_string d1) (Json.to_string d2)
+
+let test_stitch_orphans () =
+  let lost =
+    { Ise_obs.Stitch.in_file = "worker1.trace.json";
+      in_doc =
+        doc ~role:"worker"
+          [ chrome_ev ~ph:"B" ~name:"shard 9"
+              ~args:(ctx_args ~parent:"d-gone" "w1-s9") 500 ] }
+  in
+  let d, _ = Ise_obs.Stitch.stitch [ sup_input; worker_input; lost ] in
+  let orphan_of ev =
+    Option.bind (Json.member "args" ev) (Json.member "orphan")
+  in
+  List.iter
+    (fun ev ->
+      match name_of ev with
+      | Some "shard 9" ->
+        (* the parent died with its process: tagged, not dropped *)
+        Alcotest.(check bool) "orphan tagged" true
+          (orphan_of ev = Some (Json.Bool true))
+      | Some "shard 0" ->
+        Alcotest.(check bool) "resolved parent untouched" true
+          (orphan_of ev = None)
+      | _ -> ())
+    (stitched_events d)
+
+let test_stitch_mixed_versions () =
+  (* a v1/v2 worker streams nothing and writes no ctx: its file (if
+     any) has no receive anchor and no parents — it must merge with
+     offset 0 and no orphan tags *)
+  let v1 =
+    { Ise_obs.Stitch.in_file = "worker-old.trace.json";
+      in_doc = doc [ chrome_ev ~ph:"B" ~name:"shard 3" 400 ] }
+  in
+  let d, infos = Ise_obs.Stitch.stitch [ sup_input; v1; worker_input ] in
+  let old = List.find (fun f -> f.Ise_obs.Stitch.sf_file
+                                = "worker-old.trace.json") infos in
+  Alcotest.(check int) "no anchor, no shift" 0 old.Ise_obs.Stitch.sf_offset_us;
+  List.iter
+    (fun ev ->
+      if name_of ev = Some "shard 3" then begin
+        Alcotest.(check (option int)) "ts unshifted" (Some 400) (ts_of ev);
+        Alcotest.(check bool) "no orphan tag" true
+          (Option.bind (Json.member "args" ev) (Json.member "orphan") = None)
+      end)
+    (stitched_events d)
+
+(* ------------------------------------------------------------------ *)
+(* crash journals                                                      *)
+
+let test_crash_dump_bounded () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ise-crash-test-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+  (* pre-existing journals from older crashed runs, oldest first *)
+  let plant name age =
+    let p = Filename.concat dir name in
+    let oc = open_out p in
+    output_string oc "stale\n";
+    close_out oc;
+    let t = Unix.gettimeofday () -. age in
+    Unix.utimes p t t
+  in
+  plant "crash-old1-1.jnl" 300.;
+  plant "crash-old2-2.jnl" 200.;
+  plant "crash-old3-3.jnl" 100.;
+  let r = Recorder.create ~meta:[ ("kind", "test") ] () in
+  Recorder.instant r ~name:"boom" ~tid:0 1;
+  (match Recorder.crash_dump ~dir ~keep:2 r with
+   | None -> Alcotest.fail "crash_dump failed"
+   | Some path ->
+     Alcotest.(check bool) "dump exists" true (Sys.file_exists path);
+     (* the fresh dump decodes as a journal *)
+     let ic = open_in_bin path in
+     let text = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     (match Journal.parse text with
+      | Ok p ->
+        Alcotest.(check int) "one event" 1 (List.length p.Journal.j_events)
+      | Error e -> Alcotest.fail ("crash journal does not parse: " ^ e));
+     let left =
+       Sys.readdir dir |> Array.to_list
+       |> List.filter (fun f -> Filename.check_suffix f ".jnl")
+       |> List.sort compare
+     in
+     (* pruned oldest-first down to keep=2, never the fresh dump *)
+     Alcotest.(check int) "bounded count" 2 (List.length left);
+     Alcotest.(check bool) "fresh dump kept" true
+       (List.mem (Filename.basename path) left);
+     Alcotest.(check bool) "oldest pruned" false
+       (List.mem "crash-old1-1.jnl" left))
+
 let suite =
   [ Alcotest.test_case "journal round-trip with escaping" `Quick
       test_journal_roundtrip;
@@ -551,4 +750,14 @@ let suite =
     Alcotest.test_case "pool crash leaves a decodable journal" `Quick
       test_pool_crash_journal;
     Alcotest.test_case "auto shard sizing is schedule-deterministic" `Quick
-      test_auto_shard_sizing_deterministic ]
+      test_auto_shard_sizing_deterministic;
+    Alcotest.test_case "stitch: clock-skew normalization" `Quick
+      test_stitch_skew_normalization;
+    Alcotest.test_case "stitch: deterministic output" `Quick
+      test_stitch_deterministic;
+    Alcotest.test_case "stitch: orphan spans tagged" `Quick
+      test_stitch_orphans;
+    Alcotest.test_case "stitch: v1 files merge untouched" `Quick
+      test_stitch_mixed_versions;
+    Alcotest.test_case "crash journals are bounded" `Quick
+      test_crash_dump_bounded ]

@@ -225,6 +225,114 @@ let test_episode_sequence () =
       check Alcotest.int (name ^ " balanced") 0 d)
     depth
 
+(* ------------------------------------------------------------------ *)
+(* Delta snapshots (v3 telemetry streaming) and Prometheus export      *)
+
+let test_drain_absorb () =
+  let w = Registry.create () in
+  Registry.add (Registry.counter w "fabric/worker/shards_done") 3;
+  Registry.set (Registry.gauge w "mem/l1/miss_rate") 0.5;
+  let h = Registry.histogram w "fabric/worker/shard_ms" in
+  List.iter (Ise_util.Stats.add h) [ 1.0; 2.0; 3.0 ];
+  Registry.counter w "fabric/worker/zero" |> ignore;
+  let d = Registry.drain w in
+  (* zero counters are omitted; names are sorted *)
+  check
+    (Alcotest.list Alcotest.string)
+    "drained names"
+    [ "fabric/worker/shard_ms"; "fabric/worker/shards_done";
+      "mem/l1/miss_rate" ]
+    (List.map fst d);
+  (* drain resets counters and histograms: a second drain only carries
+     the gauge (absolute, re-sent every time) *)
+  check
+    (Alcotest.list Alcotest.string)
+    "second drain" [ "mem/l1/miss_rate" ]
+    (List.map fst (Registry.drain w));
+  (* deltas accumulate on the absorbing side *)
+  let s = Registry.create () in
+  Registry.absorb s d;
+  Registry.absorb s
+    [ ("fabric/worker/shards_done", Registry.D_counter 2);
+      ("fabric/worker/shard_ms", Registry.D_histogram [| 4.0 |]) ];
+  check Alcotest.int "absorbed counter" 5
+    (Registry.value (Registry.counter s "fabric/worker/shards_done"));
+  (match Registry.find_histogram s "fabric/worker/shard_ms" with
+   | None -> Alcotest.fail "expected absorbed histogram"
+   | Some st ->
+     check Alcotest.int "absorbed samples" 4 (Ise_util.Stats.count st);
+     (* raw samples travel, so supervisor-side percentiles are exact *)
+     check (Alcotest.float 1e-9) "exact max" 4.0 (Ise_util.Stats.max_value st));
+  check (Alcotest.float 1e-9) "absorbed gauge" 0.5
+    (Registry.get (Registry.gauge s "mem/l1/miss_rate"))
+
+let test_prometheus_export () =
+  let r = Registry.create () in
+  Registry.add (Registry.counter r "fabric/done") 7;
+  Registry.set (Registry.gauge r "fabric/shards_per_s") 2.5;
+  let h = Registry.histogram r "pool/job_ms" in
+  for i = 1 to 100 do
+    Ise_util.Stats.add_int h i
+  done;
+  let text = Registry.to_prometheus r in
+  let has needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "counter line" true
+    (has "# TYPE ise_fabric_done counter" && has "ise_fabric_done 7");
+  check Alcotest.bool "gauge line" true (has "ise_fabric_shards_per_s 2.5");
+  check Alcotest.bool "summary quantiles" true
+    (has "ise_pool_job_ms{quantile=\"0.999\"}"
+     && has "ise_pool_job_ms_count 100");
+  (* every name is sanitized into the Prometheus charset *)
+  String.iter
+    (fun c ->
+      if c = '/' then Alcotest.fail "unsanitized metric name")
+    text
+
+let test_trace_ctx_roundtrip () =
+  let ctx =
+    { Trace.trace_id = "t-1"; span_id = "s-9"; parent_span_id = Some "d-3" }
+  in
+  let tr = Trace.create () in
+  Trace.span_begin tr ~name:"shard 9" ~tid:0 ~ctx 100;
+  Trace.instant tr ~name:"receive" ~tid:0
+    ~ctx:{ ctx with Trace.parent_span_id = Some "d-3" } 101;
+  (match Trace.events tr with
+   | [ b; _ ] ->
+     (match Trace.ctx_of_event b with
+      | Some c ->
+        check Alcotest.string "trace id" "t-1" c.Trace.trace_id;
+        check Alcotest.string "span id" "s-9" c.Trace.span_id;
+        check
+          (Alcotest.option Alcotest.string)
+          "parent" (Some "d-3") c.Trace.parent_span_id
+      | None -> Alcotest.fail "ctx lost in ev_args")
+   | _ -> Alcotest.fail "expected two events");
+  (* the ctx survives Chrome JSON: args round-trip generically *)
+  let doc = Trace.to_chrome_json ~pid:4 tr in
+  let ev =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List (e :: _)) -> e
+    | _ -> Alcotest.fail "no traceEvents"
+  in
+  check
+    (Alcotest.option Alcotest.int)
+    "pid override" (Some 4)
+    (Option.bind (Json.member "pid" ev) Json.to_int);
+  let arg k =
+    Option.bind (Json.member "args" ev) (fun a ->
+        Option.bind (Json.member k a) Json.to_str)
+  in
+  check
+    (Alcotest.option Alcotest.string)
+    "json trace id" (Some "t-1") (arg Trace.ctx_key_trace);
+  check
+    (Alcotest.option Alcotest.string)
+    "json parent" (Some "d-3") (arg Trace.ctx_key_parent)
+
 let suite =
   [
     ("registry basics", `Quick, test_registry_basics);
@@ -235,4 +343,7 @@ let suite =
     ("chrome json roundtrip", `Quick, test_chrome_json_roundtrip);
     ("cycle equivalence", `Quick, test_cycle_equivalence);
     ("episode sequence", `Quick, test_episode_sequence);
+    ("drain/absorb delta snapshots", `Quick, test_drain_absorb);
+    ("prometheus export", `Quick, test_prometheus_export);
+    ("trace ctx roundtrip", `Quick, test_trace_ctx_roundtrip);
   ]
